@@ -1,0 +1,45 @@
+//! Criterion benchmark for the embedding model: per-call cost of the subword
+//! model (the `M` term of the cost model) and the benefit of caching — the
+//! micro-scale counterpart of the Figure 8 logical optimisation.
+
+use std::time::Duration;
+
+use cej_embedding::{CachedEmbedder, Embedder, FastTextConfig, FastTextModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_embedding(c: &mut Criterion) {
+    let model =
+        FastTextModel::new(FastTextConfig { dim: 100, ..FastTextConfig::default() }).unwrap();
+    let words: Vec<String> = (0..64).map(|i| format!("benchmarkword{i}")).collect();
+
+    let mut group = c.benchmark_group("embedding_model");
+    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group.bench_function("embed_single_word_100d", |b| {
+        b.iter(|| model.embed(std::hint::black_box("barbecue")))
+    });
+    group.bench_function("embed_batch_64_words", |b| b.iter(|| model.embed_batch(&words)));
+    group.bench_function("embed_64_words_uncached", |b| {
+        let uncached = CachedEmbedder::uncached(
+            FastTextModel::new(FastTextConfig { dim: 100, ..FastTextConfig::default() }).unwrap(),
+        );
+        b.iter(|| {
+            for w in &words {
+                uncached.embed(w);
+            }
+        })
+    });
+    group.bench_function("embed_64_words_cached", |b| {
+        let cached = CachedEmbedder::new(
+            FastTextModel::new(FastTextConfig { dim: 100, ..FastTextConfig::default() }).unwrap(),
+        );
+        b.iter(|| {
+            for w in &words {
+                cached.embed(w);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks for the blocked similarity-matrix kernel:
+//! tile-size ablation and kernel choice (the physical design choices behind
+//! the tensor join).
+
+use std::time::Duration;
+
+use cej_vector::{gemm::similarity_matrix, GemmConfig, Kernel};
+use cej_workload::uniform_matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_gemm(c: &mut Criterion) {
+    let a = uniform_matrix(256, 100, 1, true);
+    let b = uniform_matrix(256, 100, 2, true);
+
+    let mut group = c.benchmark_group("gemm_tile_ablation");
+    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    for tile in [8usize, 32, 64, 128] {
+        let cfg = GemmConfig::default().tiles(tile, tile);
+        group.bench_with_input(BenchmarkId::new("tile", tile), &tile, |bencher, _| {
+            bencher.iter(|| similarity_matrix(&a, &b, &cfg).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gemm_kernel_choice");
+    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    for (name, kernel) in [("scalar", Kernel::Scalar), ("unrolled", Kernel::Unrolled)] {
+        let cfg = GemmConfig::with_kernel(kernel);
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| similarity_matrix(&a, &b, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

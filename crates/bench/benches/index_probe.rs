@@ -1,0 +1,41 @@
+//! Criterion benchmark for HNSW probes vs exhaustive scans of the same data:
+//! the per-probe cost side of the access-path decision (Figures 15-16).
+
+use std::time::Duration;
+
+use cej_index::{BruteForce, HnswIndex, HnswParams};
+use cej_vector::Metric;
+use cej_workload::clustered_matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_index_probe(c: &mut Criterion) {
+    let (vectors, _) = clustered_matrix(8_000, 64, 32, 0.05, 1);
+    let queries = vectors.row_slice(0, 16).unwrap();
+    let params =
+        HnswParams { m: 16, m0: 32, ef_construction: 64, ef_search: 64, ..HnswParams::low_recall() };
+    let index = HnswIndex::build(vectors.clone(), params).unwrap();
+    let brute = BruteForce::new(vectors.clone(), Metric::Cosine);
+
+    let mut group = c.benchmark_group("probe_vs_scan_8k_64d");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    for k in [1usize, 32] {
+        group.bench_with_input(BenchmarkId::new("hnsw_probe", k), &k, |b, &k| {
+            b.iter(|| {
+                for q in 0..queries.rows() {
+                    index.search(queries.row(q).unwrap(), k, None).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact_scan", k), &k, |b, &k| {
+            b.iter(|| {
+                for q in 0..queries.rows() {
+                    brute.search(queries.row(q).unwrap(), k, None).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_probe);
+criterion_main!(benches);

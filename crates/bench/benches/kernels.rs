@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks for the scalar vs unrolled (SIMD) kernels —
+//! the building block behind the paper's SIMD / NO-SIMD axis.
+
+use std::time::Duration;
+
+use cej_vector::kernels::{dot_scalar, dot_unrolled, l2_norm_scalar, l2_norm_unrolled};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot_product_kernels");
+    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    for dim in [16usize, 100, 256, 1024] {
+        let a = random_vec(dim, 1);
+        let b = random_vec(dim, 2);
+        group.bench_with_input(BenchmarkId::new("scalar", dim), &dim, |bencher, _| {
+            bencher.iter(|| dot_scalar(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("unrolled", dim), &dim, |bencher, _| {
+            bencher.iter(|| dot_unrolled(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("norm_kernels");
+    group.sample_size(20).measurement_time(Duration::from_millis(400)).warm_up_time(Duration::from_millis(200));
+    let v = random_vec(100, 3);
+    group.bench_function("l2_scalar_100d", |bencher| {
+        bencher.iter(|| l2_norm_scalar(std::hint::black_box(&v)))
+    });
+    group.bench_function("l2_unrolled_100d", |bencher| {
+        bencher.iter(|| l2_norm_unrolled(std::hint::black_box(&v)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmark comparing the three scan-based join formulations on
+//! the same embedded inputs: the micro-scale counterpart of Figures 11 / 14,
+//! plus the mini-batching ablation of Figure 13.
+
+use std::time::Duration;
+
+use cej_core::{NljConfig, PrefetchNlJoin, TensorJoin, TensorJoinConfig};
+use cej_relational::SimilarityPredicate;
+use cej_vector::{BufferBudget, Kernel};
+use cej_workload::uniform_matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_join_formulations(c: &mut Criterion) {
+    let left = uniform_matrix(512, 100, 1, true);
+    let right = uniform_matrix(512, 100, 2, true);
+    let predicate = SimilarityPredicate::Threshold(0.95);
+
+    let mut group = c.benchmark_group("join_formulations_512x512_100d");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group.bench_function("nlj_scalar", |b| {
+        let op = PrefetchNlJoin::new(NljConfig::default().with_kernel(Kernel::Scalar));
+        b.iter(|| op.join_matrices(&left, &right, predicate).unwrap())
+    });
+    group.bench_function("nlj_simd", |b| {
+        let op = PrefetchNlJoin::new(NljConfig::default());
+        b.iter(|| op.join_matrices(&left, &right, predicate).unwrap())
+    });
+    group.bench_function("tensor", |b| {
+        let op = TensorJoin::new(TensorJoinConfig::default());
+        b.iter(|| op.join_matrices(&left, &right, predicate).unwrap())
+    });
+    group.bench_function("tensor_non_batched", |b| {
+        let op = TensorJoin::new(TensorJoinConfig::default().without_inner_batching());
+        b.iter(|| op.join_matrices(&left, &right, predicate).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("tensor_buffer_budget_512x512");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    for budget_kib in [16usize, 64, 256, 1024] {
+        let op = TensorJoin::new(
+            TensorJoinConfig::default().with_budget(BufferBudget::from_bytes(budget_kib * 1024)),
+        );
+        group.bench_with_input(BenchmarkId::new("budget_kib", budget_kib), &budget_kib, |b, _| {
+            b.iter(|| op.join_matrices(&left, &right, predicate).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_formulations);
+criterion_main!(benches);

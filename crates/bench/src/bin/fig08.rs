@@ -1,0 +1,40 @@
+//! Figure 8: impact of logical (prefetch) and physical (SIMD) optimisation on
+//! the E-NLJ formulation.
+
+use cej_bench::experiments::{fig08_nlj_logical_physical, DIM};
+use cej_bench::harness::{fmt_ms, header, print_table, scaled};
+
+fn main() {
+    header("Figure 8", "logical (prefetch) x physical (SIMD) optimisation of the E-NLJ");
+    // Paper sizes: 1k x 1k, 10k x 1k, 10k x 10k.  Scaled down because the
+    // naive variant embeds |R|*|S| pairs.
+    let sizes =
+        [(scaled(200), scaled(200)), (scaled(400), scaled(200)), (scaled(400), scaled(400))];
+    let rows = fig08_nlj_logical_physical(&sizes, DIM);
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.sizes.clone(),
+                fmt_ms(r.naive_no_simd),
+                fmt_ms(r.naive_simd),
+                fmt_ms(r.prefetch_no_simd),
+                fmt_ms(r.prefetch_simd),
+                r.naive_model_calls.to_string(),
+                r.prefetch_model_calls.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "|R| x |S|",
+            "NO-SIMD [ms]",
+            "SIMD [ms]",
+            "Prefetch NO-SIMD [ms]",
+            "Prefetch SIMD [ms]",
+            "naive model calls",
+            "prefetch model calls",
+        ],
+        &printable,
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 9: thread scalability of the optimised NLJ (SIMD vs NO-SIMD).
+
+use cej_bench::experiments::{fig09_thread_scalability, DIM};
+use cej_bench::harness::{fmt_ms, header, print_table, scaled};
+
+fn main() {
+    header("Figure 9", "optimised NLJ scalability with threads (10k x 10k in the paper)");
+    let rows = fig09_thread_scalability(scaled(1_500), DIM, &[1, 2, 4, 8]);
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(t, simd, no_simd)| vec![t.to_string(), fmt_ms(*simd), fmt_ms(*no_simd)])
+        .collect();
+    print_table(&["threads", "SIMD [ms]", "NO-SIMD [ms]"], &printable);
+}

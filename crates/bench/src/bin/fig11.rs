@@ -1,0 +1,28 @@
+//! Figure 11: per-element processing time of the vectorised NLJ vs the tensor
+//! formulation across total work and vector dimensionality.
+
+use cej_bench::experiments::fig11_nlj_vs_tensor;
+use cej_bench::harness::{header, print_table, scaled};
+
+fn main() {
+    header("Figure 11", "per-FP32-element time: vectorised NLJ vs tensor join");
+    let ops = [scaled(25_600), scaled(2_560_000), scaled(25_600_000)];
+    let dims = [1usize, 4, 16, 64, 256];
+    let rows = fig11_nlj_vs_tensor(&ops, &dims);
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.fp32_ops.to_string(),
+                r.dim.to_string(),
+                r.tuples.to_string(),
+                r.first_ns.clone(),
+                r.second_ns.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["#FP32 ops", "vector #FP32", "tuples/side", "Vectorize-NLJ [ns/elem]", "Tensor [ns/elem]"],
+        &printable,
+    );
+}

@@ -1,0 +1,34 @@
+//! Figure 12: impact of vector batching — fully-batched vs non-batched tensor
+//! formulation.
+
+use cej_bench::experiments::fig12_batched_vs_non_batched;
+use cej_bench::harness::{header, print_table, scaled};
+
+fn main() {
+    header("Figure 12", "tensor join: fully batched vs one-vector-at-a-time inner relation");
+    let ops = [scaled(25_600), scaled(2_560_000), scaled(25_600_000)];
+    let dims = [1usize, 4, 16, 64, 256];
+    let rows = fig12_batched_vs_non_batched(&ops, &dims);
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.fp32_ops.to_string(),
+                r.dim.to_string(),
+                r.tuples.to_string(),
+                r.first_ns.clone(),
+                r.second_ns.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "#FP32 ops",
+            "vector #FP32",
+            "tuples/side",
+            "Tensor-Fully-Batched [ns/elem]",
+            "Tensor-Non-Batched [ns/elem]",
+        ],
+        &printable,
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 13: mini-batch size impact on memory requirements and execution
+//! time.
+
+use cej_bench::experiments::{fig13_batch_size_impact, DIM};
+use cej_bench::harness::{header, print_table, scaled};
+
+fn main() {
+    header("Figure 13", "mini-batch size: relative slowdown vs relative RAM reduction");
+    // Paper: 100k x 100k (40 GB intermediate).  Scaled to 4k x 4k by default.
+    let n = scaled(4_000);
+    let batches = [
+        (n, n / 2),
+        (n / 2, n / 2),
+        (n, n / 10),
+        (n / 10, n / 2),
+        (n / 20, n / 2),
+        (n / 10, n / 10),
+        (n / 10, n / 20),
+        (n / 20, n / 20),
+    ];
+    let rows = fig13_batch_size_impact(n, DIM, &batches);
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.batch.clone(),
+                format!("{:.2}x", r.relative_slowdown),
+                format!("{:.1}x", r.ram_reduction),
+            ]
+        })
+        .collect();
+    print_table(&["mini-batch", "relative slowdown", "RAM reduction"], &printable);
+}

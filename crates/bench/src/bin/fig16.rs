@@ -1,0 +1,22 @@
+//! Figure 16: top-k = 32 vector join condition, scan vs probe under
+//! relational selectivity on the inner relation.
+
+use cej_bench::experiments::{scan_vs_probe, scan_vs_probe_rows, DIM};
+use cej_bench::harness::{header, print_table, scaled};
+use cej_relational::SimilarityPredicate;
+
+fn main() {
+    header("Figure 16", "top-32 join: tensor scan vs HNSW index probe (10k x 1M in the paper)");
+    let rows = scan_vs_probe(
+        scaled(500),
+        scaled(50_000),
+        DIM,
+        SimilarityPredicate::TopK(32),
+        &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
+        true,
+    );
+    print_table(
+        &["selectivity", "Tensor [ms]", "Tensor -filter [ms]", "Index Lo [ms]", "Index Hi [ms]"],
+        &scan_vs_probe_rows(&rows),
+    );
+}

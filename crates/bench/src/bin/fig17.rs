@@ -1,0 +1,25 @@
+//! Figure 17: range predicate (`similarity > 0.9`) join condition, scan vs
+//! probe under relational selectivity on the inner relation.
+
+use cej_bench::experiments::{scan_vs_probe, scan_vs_probe_rows, DIM};
+use cej_bench::harness::{header, print_table, scaled};
+use cej_relational::SimilarityPredicate;
+
+fn main() {
+    header(
+        "Figure 17",
+        "range join (sim > 0.9): tensor scan vs HNSW index probe (10k x 1M in the paper)",
+    );
+    let rows = scan_vs_probe(
+        scaled(500),
+        scaled(50_000),
+        DIM,
+        SimilarityPredicate::Threshold(0.9),
+        &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
+        true,
+    );
+    print_table(
+        &["selectivity", "Tensor [ms]", "Tensor -filter [ms]", "Index Lo [ms]", "Index Hi [ms]"],
+        &scan_vs_probe_rows(&rows),
+    );
+}

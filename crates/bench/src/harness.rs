@@ -1,0 +1,118 @@
+//! Shared timing, scaling, and reporting helpers for the experiment binaries.
+
+use std::time::{Duration, Instant};
+
+/// Returns the global size-scale factor (`CEJ_SCALE` environment variable,
+/// default `1.0`).  All experiment cardinalities are multiplied by it.
+pub fn scale() -> f64 {
+    std::env::var("CEJ_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// Scales a cardinality by the global factor, keeping at least 1.
+pub fn scaled(n: usize) -> usize {
+    ((n as f64) * scale()).round().max(1.0) as usize
+}
+
+/// Times one invocation of `f`, returning its result and the elapsed time.
+pub fn time_once<T>(mut f: impl FnMut() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Times `runs` invocations of `f` and returns the median duration.
+pub fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut samples: Vec<Duration> = (0..runs.max(1)).map(|_| time_once(&mut f).1).collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Formats a duration in milliseconds with one decimal.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats nanoseconds-per-element with two decimals.
+pub fn fmt_ns_per(d: Duration, elements: usize) -> String {
+    format!("{:.2}", d.as_nanos() as f64 / elements.max(1) as f64)
+}
+
+/// Prints an experiment header (figure/table id plus description).
+pub fn header(id: &str, description: &str) {
+    println!("=== {id}: {description} ===");
+    println!(
+        "(scaled-down reproduction; CEJ_SCALE={} — shapes, not absolute numbers, are expected to match the paper)",
+        scale()
+    );
+}
+
+/// Prints a table of rows with fixed-width columns.
+pub fn print_table(columns: &[&str], rows: &[Vec<String>]) {
+    let widths: Vec<usize> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            rows.iter().map(|r| r.get(i).map(|v| v.len()).unwrap_or(0)).chain([c.len()]).max().unwrap_or(c.len())
+        })
+        .collect();
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_respects_minimum() {
+        assert!(scaled(0) >= 1);
+        assert!(scaled(100) >= 1);
+    }
+
+    #[test]
+    fn time_once_returns_value_and_duration() {
+        let (v, d) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0 || d.as_nanos() == 0);
+    }
+
+    #[test]
+    fn time_median_runs_requested_times() {
+        let mut count = 0;
+        let _ = time_median(5, || count += 1);
+        assert_eq!(count, 5);
+        // zero runs clamps to one
+        let mut count2 = 0;
+        let _ = time_median(0, || count2 += 1);
+        assert_eq!(count2, 1);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ms(Duration::from_millis(1500)), "1500.0");
+        assert_eq!(fmt_ns_per(Duration::from_nanos(100), 10), "10.00");
+        assert_eq!(fmt_ns_per(Duration::from_nanos(100), 0), "100.00");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            &["a", "column_b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        header("Fig X", "smoke test");
+    }
+}

@@ -1,0 +1,26 @@
+//! # cej-bench
+//!
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (Section VI).  Two kinds of targets live here:
+//!
+//! * **Experiment binaries** (`src/bin/fig08.rs` … `fig17.rs`, `table02.rs`,
+//!   `costmodel.rs`): each regenerates one table or figure of the paper,
+//!   printing the same rows / series the paper reports.  Input sizes are
+//!   scaled down from the paper's server-scale runs (documented per
+//!   experiment in `EXPERIMENTS.md`); set the `CEJ_SCALE` environment
+//!   variable to grow or shrink them (`CEJ_SCALE=2` doubles cardinalities).
+//! * **Criterion micro-benchmarks** (`benches/`): kernel-level ablations
+//!   (SIMD vs scalar dot products, tiled GEMM, NLJ vs tensor join, index
+//!   probes, embedding throughput) used to sanity-check the figure-level
+//!   results.
+//!
+//! The [`harness`] module provides the shared timing and reporting helpers;
+//! [`experiments`] provides the parameterised experiment bodies shared by
+//! related figures (e.g. Figures 15-17 all call
+//! [`experiments::scan_vs_probe`]).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod harness;

@@ -1,0 +1,109 @@
+//! Error type for the core join layer.
+
+use std::fmt;
+
+use cej_embedding::EmbeddingError;
+use cej_index::IndexError;
+use cej_relational::RelationalError;
+use cej_storage::StorageError;
+use cej_vector::VectorError;
+
+/// Errors raised by the context-enhanced join operators and the session API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Error from the vector substrate.
+    Vector(VectorError),
+    /// Error from the embedding substrate.
+    Embedding(EmbeddingError),
+    /// Error from the storage substrate.
+    Storage(StorageError),
+    /// Error from the relational layer.
+    Relational(RelationalError),
+    /// Error from the vector index substrate.
+    Index(IndexError),
+    /// The join inputs are inconsistent (e.g. mismatched dimensions after
+    /// embedding with different models).
+    InvalidInput(String),
+    /// The requested plan or operator configuration is unsupported.
+    Unsupported(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Vector(e) => write!(f, "vector error: {e}"),
+            CoreError::Embedding(e) => write!(f, "embedding error: {e}"),
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::Relational(e) => write!(f, "relational error: {e}"),
+            CoreError::Index(e) => write!(f, "index error: {e}"),
+            CoreError::InvalidInput(msg) => write!(f, "invalid join input: {msg}"),
+            CoreError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Vector(e) => Some(e),
+            CoreError::Embedding(e) => Some(e),
+            CoreError::Storage(e) => Some(e),
+            CoreError::Relational(e) => Some(e),
+            CoreError::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VectorError> for CoreError {
+    fn from(e: VectorError) -> Self {
+        CoreError::Vector(e)
+    }
+}
+
+impl From<EmbeddingError> for CoreError {
+    fn from(e: EmbeddingError) -> Self {
+        CoreError::Embedding(e)
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<RelationalError> for CoreError {
+    fn from(e: RelationalError) -> Self {
+        CoreError::Relational(e)
+    }
+}
+
+impl From<IndexError> for CoreError {
+    fn from(e: IndexError) -> Self {
+        CoreError::Index(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = VectorError::Empty("x").into();
+        assert!(e.to_string().contains("vector error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = EmbeddingError::EmptyCorpus.into();
+        assert!(e.to_string().contains("embedding error"));
+        let e: CoreError = StorageError::ColumnNotFound("c".into()).into();
+        assert!(e.to_string().contains("storage error"));
+        let e: CoreError = RelationalError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("relational error"));
+        let e: CoreError = IndexError::EmptyIndex.into();
+        assert!(e.to_string().contains("index error"));
+        assert!(CoreError::InvalidInput("bad".into()).to_string().contains("bad"));
+        assert!(CoreError::Unsupported("nope".into()).to_string().contains("nope"));
+        assert!(std::error::Error::source(&CoreError::Unsupported("x".into())).is_none());
+    }
+}

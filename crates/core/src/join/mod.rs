@@ -1,0 +1,108 @@
+//! Physical implementations of the context-enhanced join.
+//!
+//! All operators implement the same logical operation — find pairs of tuples
+//! whose embeddings satisfy a similarity predicate — but with very different
+//! cost profiles, mirroring the paper's step-by-step optimisation narrative:
+//!
+//! 1. [`naive_nlj::NaiveNlJoin`] — the straightforward extension of a
+//!    nested-loop join: embed *inside* the pair loop (quadratic model cost).
+//! 2. [`prefetch_nlj::PrefetchNlJoin`] — the logical optimisation: embed each
+//!    tuple exactly once, then run a (parallel, optionally SIMD) pair-wise
+//!    NLJ over the vectors.
+//! 3. [`tensor_join::TensorJoin`] — the physical optimisation: reformulate
+//!    the pair-wise comparison as blocked matrix multiplication with
+//!    mini-batching under an explicit memory budget.
+//! 4. [`index_join::IndexJoin`] — the vector-database alternative: build an
+//!    HNSW index on the inner relation and answer the join with top-k probes
+//!    under relational pre-filtering.
+
+pub mod index_join;
+pub mod naive_nlj;
+pub mod prefetch_nlj;
+pub mod tensor_join;
+
+use cej_embedding::Embedder;
+use cej_relational::SimilarityPredicate;
+use cej_vector::Matrix;
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// Embeds a slice of strings into a row-per-string matrix, validating that
+/// the model produced the expected dimensionality.
+pub(crate) fn embed_all(model: &dyn Embedder, strings: &[String]) -> Result<Matrix> {
+    let matrix = model.embed_batch(strings);
+    if matrix.rows() != strings.len() {
+        return Err(CoreError::InvalidInput(format!(
+            "model produced {} embeddings for {} inputs",
+            matrix.rows(),
+            strings.len()
+        )));
+    }
+    Ok(matrix)
+}
+
+/// Validates that two embedded inputs are joinable (same dimensionality).
+pub(crate) fn check_joinable(left: &Matrix, right: &Matrix) -> Result<()> {
+    if left.cols() != right.cols() {
+        return Err(CoreError::InvalidInput(format!(
+            "embedding dimensionality mismatch: left {} vs right {}",
+            left.cols(),
+            right.cols()
+        )));
+    }
+    Ok(())
+}
+
+/// Validates a similarity predicate.
+pub(crate) fn check_predicate(predicate: &SimilarityPredicate) -> Result<()> {
+    match predicate {
+        SimilarityPredicate::Threshold(t) => {
+            if !t.is_finite() {
+                return Err(CoreError::InvalidInput("similarity threshold must be finite".into()));
+            }
+            Ok(())
+        }
+        SimilarityPredicate::TopK(k) => {
+            if *k == 0 {
+                return Err(CoreError::InvalidInput("top-k must be at least 1".into()));
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cej_embedding::{FastTextConfig, FastTextModel};
+
+    fn model() -> FastTextModel {
+        FastTextModel::new(FastTextConfig { dim: 8, buckets: 500, ..FastTextConfig::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn embed_all_produces_one_row_per_string() {
+        let m = model();
+        let out = embed_all(&m, &["a".into(), "b".into(), "c".into()]).unwrap();
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.cols(), 8);
+        let empty = embed_all(&m, &[]).unwrap();
+        assert_eq!(empty.rows(), 0);
+    }
+
+    #[test]
+    fn check_joinable_rejects_dim_mismatch() {
+        assert!(check_joinable(&Matrix::zeros(2, 4), &Matrix::zeros(3, 4)).is_ok());
+        assert!(check_joinable(&Matrix::zeros(2, 4), &Matrix::zeros(3, 5)).is_err());
+    }
+
+    #[test]
+    fn check_predicate_validation() {
+        assert!(check_predicate(&SimilarityPredicate::Threshold(0.9)).is_ok());
+        assert!(check_predicate(&SimilarityPredicate::Threshold(f32::NAN)).is_err());
+        assert!(check_predicate(&SimilarityPredicate::TopK(5)).is_ok());
+        assert!(check_predicate(&SimilarityPredicate::TopK(0)).is_err());
+    }
+}

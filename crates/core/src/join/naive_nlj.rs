@@ -1,0 +1,178 @@
+//! The naive context-enhanced nested-loop join.
+//!
+//! This operator is the paper's *negative baseline* (Section IV-A, Figure 8):
+//! it extends a classic nested-loop join by calling the embedding model for
+//! **both tuples of every pair**, incurring `|R| · |S|` model invocations.
+//! It exists so the cost difference against the prefetch-optimised operators
+//! can be measured and asserted exactly; real deployments should never use
+//! it, which is precisely the paper's point about non-expert imperative
+//! integrations of models and query engines.
+
+use std::time::Instant;
+
+use cej_embedding::Embedder;
+use cej_relational::SimilarityPredicate;
+use cej_vector::cosine_similarity;
+
+use crate::error::CoreError;
+use crate::result::{JoinPair, JoinResult, JoinStats};
+use crate::Result;
+
+use super::check_predicate;
+
+/// The naive E-NLJ operator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveNlJoin;
+
+impl NaiveNlJoin {
+    /// Creates the operator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Joins two string inputs by embedding *inside* the pair loop.
+    ///
+    /// Only threshold predicates are supported: top-k semantics require the
+    /// per-left-row result collection that the optimised operators provide,
+    /// and the paper only evaluates the naive formulation with a threshold.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Unsupported`] for top-k predicates and
+    /// [`CoreError::InvalidInput`] for invalid thresholds.
+    pub fn join(
+        &self,
+        model: &dyn Embedder,
+        left: &[String],
+        right: &[String],
+        predicate: SimilarityPredicate,
+    ) -> Result<JoinResult> {
+        check_predicate(&predicate)?;
+        let threshold = match predicate {
+            SimilarityPredicate::Threshold(t) => t,
+            SimilarityPredicate::TopK(_) => {
+                return Err(CoreError::Unsupported(
+                    "the naive E-NLJ only supports threshold predicates".into(),
+                ))
+            }
+        };
+        let start = Instant::now();
+        let mut stats = JoinStats::default();
+        let mut pairs = Vec::new();
+        for (i, l) in left.iter().enumerate() {
+            for (j, r) in right.iter().enumerate() {
+                // The defining inefficiency: the model runs for every pair,
+                // including repeated embeddings of the very same string.
+                let lv = model.embed(l);
+                let rv = model.embed(r);
+                stats.model_calls += 2;
+                stats.pairs_compared += 1;
+                let score = cosine_similarity(lv.as_slice(), rv.as_slice());
+                if score >= threshold {
+                    pairs.push(JoinPair::new(i, j, score));
+                }
+            }
+        }
+        stats.peak_buffer_bytes = pairs.len() * std::mem::size_of::<JoinPair>();
+        stats.elapsed = start.elapsed();
+        Ok(JoinResult { pairs, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cej_embedding::{CachedEmbedder, FastTextConfig, FastTextModel};
+
+    fn model() -> FastTextModel {
+        FastTextModel::new(FastTextConfig { dim: 16, buckets: 1000, ..FastTextConfig::default() })
+            .unwrap()
+    }
+
+    fn strings(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_strings_always_match() {
+        let result = NaiveNlJoin::new()
+            .join(
+                &model(),
+                &strings(&["barbecue", "database"]),
+                &strings(&["database", "barbecue"]),
+                SimilarityPredicate::Threshold(0.99),
+            )
+            .unwrap();
+        assert_eq!(result.pair_indices(), vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn model_call_count_is_quadratic() {
+        let counted = CachedEmbedder::uncached(model());
+        let left = strings(&["a", "b", "c"]);
+        let right = strings(&["x", "y"]);
+        let result = NaiveNlJoin::new()
+            .join(&counted, &left, &right, SimilarityPredicate::Threshold(0.5))
+            .unwrap();
+        // 2 model calls per pair: |R| * |S| * 2
+        assert_eq!(counted.stats().model_calls, 12);
+        assert_eq!(result.stats.model_calls, 12);
+        assert_eq!(result.stats.pairs_compared, 6);
+    }
+
+    #[test]
+    fn low_threshold_matches_everything() {
+        let result = NaiveNlJoin::new()
+            .join(
+                &model(),
+                &strings(&["aa", "bb"]),
+                &strings(&["cc", "dd"]),
+                SimilarityPredicate::Threshold(-1.0),
+            )
+            .unwrap();
+        assert_eq!(result.len(), 4);
+    }
+
+    #[test]
+    fn high_threshold_matches_nothing_dissimilar() {
+        let result = NaiveNlJoin::new()
+            .join(
+                &model(),
+                &strings(&["barbecue"]),
+                &strings(&["spreadsheet"]),
+                SimilarityPredicate::Threshold(0.999),
+            )
+            .unwrap();
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn topk_unsupported() {
+        let err = NaiveNlJoin::new().join(
+            &model(),
+            &strings(&["a"]),
+            &strings(&["b"]),
+            SimilarityPredicate::TopK(1),
+        );
+        assert!(matches!(err, Err(CoreError::Unsupported(_))));
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let err = NaiveNlJoin::new().join(
+            &model(),
+            &strings(&["a"]),
+            &strings(&["b"]),
+            SimilarityPredicate::Threshold(f32::INFINITY - f32::INFINITY),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_result() {
+        let result = NaiveNlJoin::new()
+            .join(&model(), &[], &strings(&["x"]), SimilarityPredicate::Threshold(0.0))
+            .unwrap();
+        assert!(result.is_empty());
+        assert_eq!(result.stats.model_calls, 0);
+    }
+}

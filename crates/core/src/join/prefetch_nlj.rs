@@ -1,0 +1,382 @@
+//! The prefetch-optimised (vectorised, parallel) nested-loop join.
+//!
+//! Two optimisations from the paper are combined here:
+//!
+//! * **Logical** (Section IV-A): every tuple is embedded exactly once before
+//!   the pair loop (`(|R| + |S|) · M` model cost instead of `|R| · |S| · M`).
+//! * **Physical** (Section V-A): the pair loop runs data-parallel over
+//!   partitions of the outer relation, dispatches its inner dot products
+//!   through a scalar or auto-vectorising kernel (the SIMD / NO-SIMD axis),
+//!   and keeps the smaller relation in the inner loop for cache locality
+//!   (the classic NLJ heuristic the paper re-validates in Figure 10).
+
+use std::time::Instant;
+
+use cej_embedding::Embedder;
+use cej_relational::SimilarityPredicate;
+use cej_vector::{norm::normalize_matrix_rows_with, Kernel, Matrix, TopK};
+
+use crate::result::{JoinPair, JoinResult, JoinStats};
+use crate::Result;
+
+use super::{check_joinable, check_predicate, embed_all};
+
+// Re-export used by callers configuring kernels.
+pub use cej_vector::kernels::UNROLL_LANES;
+
+/// Configuration of the prefetch NLJ operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NljConfig {
+    /// Compute kernel (SIMD-style unrolled or scalar).
+    pub kernel: Kernel,
+    /// Number of worker threads over the outer relation.
+    pub threads: usize,
+    /// Whether to apply the "smaller relation as inner loop" heuristic
+    /// automatically (Figure 10's ordering effect).
+    pub auto_loop_order: bool,
+}
+
+impl Default for NljConfig {
+    fn default() -> Self {
+        Self { kernel: Kernel::Unrolled, threads: 1, auto_loop_order: true }
+    }
+}
+
+impl NljConfig {
+    /// Sets the kernel.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Disables the loop-order heuristic (used by the Figure 10 experiment to
+    /// measure the effect of a bad ordering).
+    pub fn without_loop_order_heuristic(mut self) -> Self {
+        self.auto_loop_order = false;
+        self
+    }
+}
+
+/// The prefetch-optimised E-NLJ operator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrefetchNlJoin {
+    config: NljConfig,
+}
+
+impl PrefetchNlJoin {
+    /// Creates the operator with the given configuration.
+    pub fn new(config: NljConfig) -> Self {
+        Self { config }
+    }
+
+    /// The operator configuration.
+    pub fn config(&self) -> &NljConfig {
+        &self.config
+    }
+
+    /// Joins two string inputs: embeds each tuple once (prefetch), then runs
+    /// the parallel pair-wise NLJ over the embedding matrices.
+    ///
+    /// # Errors
+    /// Propagates embedding and predicate validation errors.
+    pub fn join(
+        &self,
+        model: &dyn Embedder,
+        left: &[String],
+        right: &[String],
+        predicate: SimilarityPredicate,
+    ) -> Result<JoinResult> {
+        check_predicate(&predicate)?;
+        let start = Instant::now();
+        let left_matrix = embed_all(model, left)?;
+        let right_matrix = embed_all(model, right)?;
+        let mut result = self.join_matrices(&left_matrix, &right_matrix, predicate)?;
+        result.stats.model_calls = (left.len() + right.len()) as u64;
+        result.stats.elapsed = start.elapsed();
+        Ok(result)
+    }
+
+    /// Joins two already-embedded inputs (one embedding per row).
+    ///
+    /// Embeddings are normalised internally so cosine similarity reduces to a
+    /// dot product, matching the other operators.
+    ///
+    /// # Errors
+    /// Returns [`crate::CoreError::InvalidInput`] for dimension mismatches.
+    pub fn join_matrices(
+        &self,
+        left: &Matrix,
+        right: &Matrix,
+        predicate: SimilarityPredicate,
+    ) -> Result<JoinResult> {
+        check_predicate(&predicate)?;
+        check_joinable(left, right)?;
+        let start = Instant::now();
+        let kernel = self.config.kernel;
+
+        let mut left_norm = left.clone();
+        let mut right_norm = right.clone();
+        normalize_matrix_rows_with(&mut left_norm, kernel);
+        normalize_matrix_rows_with(&mut right_norm, kernel);
+
+        // Loop-order heuristic: keep the smaller relation on the inner loop
+        // so its vectors stay cache-resident across outer iterations.  When
+        // we swap, the produced pair offsets are swapped back before
+        // returning.
+        let swap = self.config.auto_loop_order
+            && matches!(predicate, SimilarityPredicate::Threshold(_))
+            && right_norm.rows() > left_norm.rows();
+        let (outer, inner) = if swap { (&right_norm, &left_norm) } else { (&left_norm, &right_norm) };
+
+        let mut pairs = self.pairwise_loop(outer, inner, predicate, kernel);
+        if swap {
+            // A top-k predicate is defined per *left* row; when the loop
+            // order was swapped the semantics would change, so the swap is
+            // only applied for threshold predicates.
+            for p in &mut pairs {
+                std::mem::swap(&mut p.left, &mut p.right);
+            }
+        }
+
+        let stats = JoinStats {
+            model_calls: 0,
+            pairs_compared: left.rows() as u64 * right.rows() as u64,
+            peak_buffer_bytes: left_norm.bytes()
+                + right_norm.bytes()
+                + pairs.len() * std::mem::size_of::<JoinPair>(),
+            elapsed: start.elapsed(),
+            ..JoinStats::default()
+        };
+        Ok(JoinResult { pairs, stats })
+    }
+
+    /// The parallel pair-wise loop.  For top-k predicates the loop order is
+    /// never swapped (see `join_matrices`), so `outer` rows are left rows.
+    fn pairwise_loop(
+        &self,
+        outer: &Matrix,
+        inner: &Matrix,
+        predicate: SimilarityPredicate,
+        kernel: Kernel,
+    ) -> Vec<JoinPair> {
+        let threads = self.config.threads.max(1).min(outer.rows().max(1));
+        if threads <= 1 {
+            return Self::pairwise_range(outer, inner, 0, outer.rows(), predicate, kernel);
+        }
+        let rows_per_thread = outer.rows().div_ceil(threads);
+        let mut partial: Vec<Vec<JoinPair>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut start = 0;
+            while start < outer.rows() {
+                let end = (start + rows_per_thread).min(outer.rows());
+                handles.push(scope.spawn(move |_| {
+                    Self::pairwise_range(outer, inner, start, end, predicate, kernel)
+                }));
+                start = end;
+            }
+            for h in handles {
+                partial.push(h.join().expect("NLJ worker panicked"));
+            }
+        })
+        .expect("NLJ thread scope failed");
+        partial.into_iter().flatten().collect()
+    }
+
+    fn pairwise_range(
+        outer: &Matrix,
+        inner: &Matrix,
+        start: usize,
+        end: usize,
+        predicate: SimilarityPredicate,
+        kernel: Kernel,
+    ) -> Vec<JoinPair> {
+        let mut pairs = Vec::new();
+        for i in start..end {
+            let outer_row = outer.row(i).expect("outer row in range");
+            match predicate {
+                SimilarityPredicate::Threshold(t) => {
+                    for j in 0..inner.rows() {
+                        let score = kernel.dot(outer_row, inner.row(j).expect("inner row"));
+                        if score >= t {
+                            pairs.push(JoinPair::new(i, j, score));
+                        }
+                    }
+                }
+                SimilarityPredicate::TopK(k) => {
+                    let mut topk = TopK::new(k);
+                    for j in 0..inner.rows() {
+                        let score = kernel.dot(outer_row, inner.row(j).expect("inner row"));
+                        topk.push(j, score);
+                    }
+                    for entry in topk.into_sorted() {
+                        pairs.push(JoinPair::new(i, entry.id, entry.score));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// When a top-k predicate is used the loop-order heuristic is disabled; this
+/// helper makes that policy explicit for the planner.
+pub fn effective_config(config: NljConfig, predicate: &SimilarityPredicate) -> NljConfig {
+    match predicate {
+        SimilarityPredicate::TopK(_) => NljConfig { auto_loop_order: false, ..config },
+        SimilarityPredicate::Threshold(_) => config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::naive_nlj::NaiveNlJoin;
+    use cej_embedding::{CachedEmbedder, FastTextConfig, FastTextModel};
+    use cej_workload::uniform_matrix;
+
+    fn model() -> FastTextModel {
+        FastTextModel::new(FastTextConfig { dim: 16, buckets: 1000, ..FastTextConfig::default() })
+            .unwrap()
+    }
+
+    fn strings(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn matches_naive_join_output() {
+        let left = strings(&["barbecue", "database", "laptop"]);
+        let right = strings(&["barbecues", "databases", "laptops", "barbecue"]);
+        let naive = NaiveNlJoin::new()
+            .join(&model(), &left, &right, SimilarityPredicate::Threshold(0.7))
+            .unwrap();
+        let prefetch = PrefetchNlJoin::new(NljConfig::default())
+            .join(&model(), &left, &right, SimilarityPredicate::Threshold(0.7))
+            .unwrap();
+        assert_eq!(naive.pair_indices(), prefetch.pair_indices());
+    }
+
+    #[test]
+    fn model_call_count_is_linear() {
+        let counted = CachedEmbedder::new(model());
+        let left = strings(&["a", "b", "c"]);
+        let right = strings(&["x", "y"]);
+        PrefetchNlJoin::new(NljConfig::default())
+            .join(&counted, &left, &right, SimilarityPredicate::Threshold(0.5))
+            .unwrap();
+        assert_eq!(counted.stats().model_calls, 5);
+    }
+
+    #[test]
+    fn scalar_and_simd_kernels_agree() {
+        let left = uniform_matrix(20, 32, 1, true);
+        let right = uniform_matrix(30, 32, 2, true);
+        let simd = PrefetchNlJoin::new(NljConfig::default().with_kernel(Kernel::Unrolled))
+            .join_matrices(&left, &right, SimilarityPredicate::Threshold(0.2))
+            .unwrap();
+        let scalar = PrefetchNlJoin::new(NljConfig::default().with_kernel(Kernel::Scalar))
+            .join_matrices(&left, &right, SimilarityPredicate::Threshold(0.2))
+            .unwrap();
+        assert_eq!(simd.pair_indices(), scalar.pair_indices());
+    }
+
+    #[test]
+    fn multi_threaded_matches_single_threaded() {
+        let left = uniform_matrix(37, 16, 3, true);
+        let right = uniform_matrix(23, 16, 4, true);
+        let single = PrefetchNlJoin::new(NljConfig::default().with_threads(1))
+            .join_matrices(&left, &right, SimilarityPredicate::Threshold(0.1))
+            .unwrap();
+        let multi = PrefetchNlJoin::new(NljConfig::default().with_threads(4))
+            .join_matrices(&left, &right, SimilarityPredicate::Threshold(0.1))
+            .unwrap();
+        assert_eq!(single.pair_indices(), multi.pair_indices());
+    }
+
+    #[test]
+    fn loop_order_heuristic_preserves_pair_orientation() {
+        // right much larger than left: the heuristic swaps loops internally
+        // but the reported (left, right) offsets must stay correct.
+        let left = uniform_matrix(3, 8, 5, true);
+        let right = uniform_matrix(50, 8, 6, true);
+        let with_heuristic = PrefetchNlJoin::new(NljConfig::default())
+            .join_matrices(&left, &right, SimilarityPredicate::Threshold(0.3))
+            .unwrap();
+        let without = PrefetchNlJoin::new(NljConfig::default().without_loop_order_heuristic())
+            .join_matrices(&left, &right, SimilarityPredicate::Threshold(0.3))
+            .unwrap();
+        assert_eq!(with_heuristic.pair_indices(), without.pair_indices());
+        for (l, _r) in with_heuristic.pair_indices() {
+            assert!(l < 3, "left offsets must index the left relation");
+        }
+    }
+
+    #[test]
+    fn topk_returns_k_pairs_per_left_row() {
+        let left = uniform_matrix(5, 16, 7, true);
+        let right = uniform_matrix(40, 16, 8, true);
+        let k = 3;
+        let result = PrefetchNlJoin::new(NljConfig::default())
+            .join_matrices(&left, &right, SimilarityPredicate::TopK(k))
+            .unwrap();
+        assert_eq!(result.len(), 5 * k);
+        for l in 0..5 {
+            let count = result.pairs.iter().filter(|p| p.left == l).count();
+            assert_eq!(count, k);
+        }
+        // scores of the kept pairs must be the true maxima
+        let all_scores: Vec<f32> = (0..right.rows())
+            .map(|j| Kernel::Unrolled.dot(left.row(0).unwrap(), right.row(j).unwrap()))
+            .collect();
+        let mut sorted = all_scores.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let kept: Vec<f32> = result
+            .pairs
+            .iter()
+            .filter(|p| p.left == 0)
+            .map(|p| p.score)
+            .collect();
+        for score in kept {
+            assert!(score >= sorted[k - 1] - 1e-5);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let left = uniform_matrix(2, 8, 1, true);
+        let right = uniform_matrix(2, 16, 1, true);
+        assert!(PrefetchNlJoin::new(NljConfig::default())
+            .join_matrices(&left, &right, SimilarityPredicate::Threshold(0.5))
+            .is_err());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let left = strings(&["alpha", "beta"]);
+        let right = strings(&["gamma"]);
+        let result = PrefetchNlJoin::new(NljConfig::default())
+            .join(&model(), &left, &right, SimilarityPredicate::Threshold(-1.0))
+            .unwrap();
+        assert_eq!(result.stats.model_calls, 3);
+        assert_eq!(result.stats.pairs_compared, 2);
+        assert!(result.stats.peak_buffer_bytes > 0);
+        assert!(result.stats.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn effective_config_disables_swap_for_topk() {
+        let cfg = NljConfig::default();
+        assert!(cfg.auto_loop_order);
+        let eff = effective_config(cfg, &SimilarityPredicate::TopK(2));
+        assert!(!eff.auto_loop_order);
+        let eff = effective_config(cfg, &SimilarityPredicate::Threshold(0.5));
+        assert!(eff.auto_loop_order);
+    }
+}

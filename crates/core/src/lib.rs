@@ -1,0 +1,54 @@
+//! # cej-core
+//!
+//! The paper's primary contribution: **context-enhanced relational join
+//! operators** over vector embeddings, their cost model, and access-path
+//! selection — plus an end-to-end session API that ties the substrates
+//! (storage, relational algebra, embedding model, vector index) together.
+//!
+//! ## Operator inventory
+//!
+//! | Operator | Paper section | Model cost | Compute pattern |
+//! |---|---|---|---|
+//! | [`join::NaiveNlJoin`] | IV-A (E-NL Join Cost) | `|R|·|S|·M` | per-pair embed + compare |
+//! | [`join::PrefetchNlJoin`] | IV-A (Prefetch Optimization), V-A | `(|R|+|S|)·M` | embed once, parallel pair-wise NLJ, SIMD / scalar kernels |
+//! | [`join::TensorJoin`] | IV-C, V-B | `(|R|+|S|)·M` | blocked matrix multiplication with mini-batching under a buffer budget |
+//! | [`join::IndexJoin`] | IV-B, VI-E | `(|R|+|S|)·M` + build | HNSW top-k probes with relational pre-filtering |
+//!
+//! ## Cost model and access-path selection
+//!
+//! [`cost::CostModel`] implements the four closed-form costs of Section IV
+//! and [`access_path::AccessPathAdvisor`] uses them (plus the observed
+//! selectivity) to choose between the scan-based tensor join and the
+//! index-probe join, reproducing the paper's scan-vs-probe analysis.
+//!
+//! ## End-to-end API
+//!
+//! [`session::ContextJoinSession`] accepts a declarative
+//! [`cej_relational::LogicalPlan`] containing an `EJoin` node, optimises it
+//! (relational predicate pushdown below the embedding), executes the
+//! relational inputs, prefetches embeddings through a counting cache, picks a
+//! physical join operator, and returns the joined table together with
+//! detailed execution statistics.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod access_path;
+pub mod cost;
+pub mod error;
+pub mod join;
+pub mod result;
+pub mod session;
+
+pub use access_path::{AccessPath, AccessPathAdvisor, AccessPathQuery};
+pub use cost::{CostModel, CostParameters};
+pub use error::CoreError;
+pub use join::index_join::{IndexJoin, IndexJoinConfig};
+pub use join::naive_nlj::NaiveNlJoin;
+pub use join::prefetch_nlj::{NljConfig, PrefetchNlJoin};
+pub use join::tensor_join::{TensorJoin, TensorJoinConfig};
+pub use result::{JoinPair, JoinResult, JoinStats};
+pub use session::{ContextJoinSession, ExecutionReport, JoinStrategy};
+
+/// Result alias for the core layer.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,547 @@
+//! End-to-end declarative API: from a logical plan with an `EJoin` node to a
+//! joined table.
+//!
+//! [`ContextJoinSession`] is the "hybrid vector-relational engine" of the
+//! paper in miniature: the user registers tables and embedding models, writes
+//! a declarative plan (scan / filter / context-enhanced join), and the
+//! session
+//!
+//! 1. optimises the plan (relational predicate pushdown below the embedding,
+//!    Section III-C / IV),
+//! 2. executes the relational inputs of the join,
+//! 3. prefetches embeddings through a counting cache (`(|R| + |S|)` model
+//!    calls — the logical optimisation of Section IV-A),
+//! 4. picks a physical join operator via cost-based access-path selection
+//!    (or an explicitly requested strategy), and
+//! 5. materialises the joined table (left columns prefixed `l_`, right
+//!    columns prefixed `r_`, plus a `similarity` score column).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cej_embedding::{CachedEmbedder, Embedder, EmbeddingStats};
+use cej_relational::{
+    physical::{apply_embedding, execute_relational},
+    Catalog, LogicalPlan, ModelRegistry, Optimizer, SimilarityPredicate,
+};
+use cej_storage::{Column, Field, Schema, Table};
+use cej_vector::Vector;
+
+use crate::access_path::{AccessPath, AccessPathAdvisor, AccessPathQuery};
+use crate::error::CoreError;
+use crate::join::index_join::{IndexJoin, IndexJoinConfig};
+use crate::join::naive_nlj::NaiveNlJoin;
+use crate::join::prefetch_nlj::{NljConfig, PrefetchNlJoin};
+use crate::join::tensor_join::{TensorJoin, TensorJoinConfig};
+use crate::result::{JoinResult, JoinStats};
+use crate::Result;
+
+/// Which physical join operator the session should use.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum JoinStrategy {
+    /// Cost-based access-path selection between the tensor scan and the
+    /// index probe (the paper's recommended policy).
+    #[default]
+    Auto,
+    /// The naive per-pair-embedding NLJ (for demonstration only).
+    NaiveNlj,
+    /// The prefetch-optimised parallel NLJ.
+    PrefetchNlj(NljConfig),
+    /// The blocked tensor join.
+    Tensor(TensorJoinConfig),
+    /// The HNSW index-probe join.
+    Index(IndexJoinConfig),
+}
+
+/// Everything the session reports about one executed query.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// The materialised join output.
+    pub table: Table,
+    /// The optimised logical plan that was executed.
+    pub optimized_plan: LogicalPlan,
+    /// Operator-level statistics of the join.
+    pub join_stats: JoinStats,
+    /// Model access counters observed during the query.
+    pub embedding_stats: EmbeddingStats,
+    /// The access path that was chosen (None when the plan had no join).
+    pub access_path: Option<AccessPath>,
+    /// Number of joined pairs.
+    pub matched_pairs: usize,
+}
+
+/// Adapter so a shared `Arc<dyn Embedder>` can be wrapped by
+/// [`CachedEmbedder`] (which needs an owned `Embedder`).
+struct SharedEmbedder(Arc<dyn Embedder>);
+
+impl Embedder for SharedEmbedder {
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+    fn embed(&self, input: &str) -> Vector {
+        self.0.embed(input)
+    }
+}
+
+/// The end-to-end hybrid vector-relational session.
+pub struct ContextJoinSession {
+    catalog: Catalog,
+    models: HashMap<String, Arc<dyn Embedder>>,
+    strategy: JoinStrategy,
+    advisor: AccessPathAdvisor,
+    optimizer: Optimizer,
+}
+
+impl Default for ContextJoinSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContextJoinSession {
+    /// Creates an empty session with the default optimizer and advisor.
+    pub fn new() -> Self {
+        Self {
+            catalog: Catalog::new(),
+            models: HashMap::new(),
+            strategy: JoinStrategy::Auto,
+            advisor: AccessPathAdvisor::default(),
+            optimizer: Optimizer::with_default_rules(),
+        }
+    }
+
+    /// Registers a base table.
+    pub fn register_table(&mut self, name: &str, table: Table) -> &mut Self {
+        self.catalog.register(name, table);
+        self
+    }
+
+    /// Registers an embedding model.
+    pub fn register_model<E: Embedder + 'static>(&mut self, name: &str, model: E) -> &mut Self {
+        self.models.insert(name.to_string(), Arc::new(model));
+        self
+    }
+
+    /// Forces a particular physical join strategy (default: cost-based).
+    pub fn with_strategy(&mut self, strategy: JoinStrategy) -> &mut Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The table catalog (e.g. for inspection in tests).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn model_registry(&self) -> ModelRegistry {
+        let mut registry = ModelRegistry::new();
+        for (name, model) in &self.models {
+            registry.register(name, model.clone());
+        }
+        registry
+    }
+
+    fn shared_model(&self, name: &str) -> Result<Arc<dyn Embedder>> {
+        self.models
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::Relational(cej_relational::RelationalError::UnknownModel(
+                name.to_string(),
+            )))
+    }
+
+    /// Optimises and executes a logical plan.
+    ///
+    /// # Errors
+    /// Propagates optimisation, relational execution, embedding, and join
+    /// errors.
+    pub fn execute(&self, plan: &LogicalPlan) -> Result<ExecutionReport> {
+        let optimized = self.optimizer.optimize(plan.clone(), &self.catalog)?;
+        let registry = self.model_registry();
+        let mut context = QueryContext::default();
+        let table = self.execute_node(&optimized, &registry, &mut context)?;
+        Ok(ExecutionReport {
+            table,
+            optimized_plan: optimized,
+            join_stats: context.join_stats,
+            embedding_stats: context.embedding_stats,
+            access_path: context.access_path,
+            matched_pairs: context.matched_pairs,
+        })
+    }
+
+    fn execute_node(
+        &self,
+        plan: &LogicalPlan,
+        registry: &ModelRegistry,
+        context: &mut QueryContext,
+    ) -> Result<Table> {
+        if plan.embed_count() == 0 && !contains_join(plan) {
+            // Purely relational subtree.
+            return execute_relational(plan, &self.catalog, registry).map_err(CoreError::from);
+        }
+        match plan {
+            LogicalPlan::EJoin { left, right, left_column, right_column, model, predicate } => {
+                let left_table = self.execute_node(left, registry, context)?;
+                let right_table = self.execute_node(right, registry, context)?;
+                self.execute_join(
+                    &left_table,
+                    &right_table,
+                    left_column,
+                    right_column,
+                    model,
+                    *predicate,
+                    context,
+                )
+            }
+            LogicalPlan::Selection { predicate, input } => {
+                let table = self.execute_node(input, registry, context)?;
+                let selection = cej_relational::eval::evaluate_predicate(predicate, &table)
+                    .map_err(CoreError::from)?;
+                table.filter(&selection).map_err(CoreError::from)
+            }
+            LogicalPlan::Projection { columns, input } => {
+                let table = self.execute_node(input, registry, context)?;
+                let names: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+                table.project(&names).map_err(CoreError::from)
+            }
+            LogicalPlan::Embed { spec, input } => {
+                let table = self.execute_node(input, registry, context)?;
+                apply_embedding(&table, spec, registry).map_err(CoreError::from)
+            }
+            LogicalPlan::Scan { .. } => {
+                execute_relational(plan, &self.catalog, registry).map_err(CoreError::from)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_join(
+        &self,
+        left: &Table,
+        right: &Table,
+        left_column: &str,
+        right_column: &str,
+        model_name: &str,
+        predicate: SimilarityPredicate,
+        context: &mut QueryContext,
+    ) -> Result<Table> {
+        let left_strings = left.column_by_name(left_column).map_err(CoreError::from)?.as_utf8()?;
+        let right_strings =
+            right.column_by_name(right_column).map_err(CoreError::from)?.as_utf8()?;
+
+        let model = self.shared_model(model_name)?;
+        let counted = CachedEmbedder::new(SharedEmbedder(model));
+
+        let (result, path) = self.run_strategy(
+            &counted,
+            left_strings,
+            right_strings,
+            predicate,
+            left.num_rows(),
+            right.num_rows(),
+        )?;
+        context.embedding_stats = counted.stats();
+        context.join_stats = result.stats;
+        context.join_stats.model_calls = counted.stats().model_calls;
+        context.access_path = Some(path);
+        context.matched_pairs = result.len();
+
+        self.materialize_output(left, right, &result)
+    }
+
+    fn run_strategy(
+        &self,
+        model: &dyn Embedder,
+        left: &[String],
+        right: &[String],
+        predicate: SimilarityPredicate,
+        left_rows: usize,
+        right_rows: usize,
+    ) -> Result<(JoinResult, AccessPath)> {
+        match self.strategy {
+            JoinStrategy::NaiveNlj => Ok((
+                NaiveNlJoin::new().join(model, left, right, predicate)?,
+                AccessPath::TensorScan,
+            )),
+            JoinStrategy::PrefetchNlj(config) => Ok((
+                PrefetchNlJoin::new(config).join(model, left, right, predicate)?,
+                AccessPath::TensorScan,
+            )),
+            JoinStrategy::Tensor(config) => Ok((
+                TensorJoin::new(config).join(model, left, right, predicate)?,
+                AccessPath::TensorScan,
+            )),
+            JoinStrategy::Index(config) => Ok((
+                IndexJoin::new(config).join(model, left, right, predicate)?,
+                AccessPath::IndexProbe,
+            )),
+            JoinStrategy::Auto => {
+                let query = AccessPathQuery {
+                    outer_rows: left_rows,
+                    inner_rows: right_rows,
+                    inner_selectivity: 1.0,
+                    predicate,
+                    index_available: false,
+                };
+                let path = self.advisor.choose(&query);
+                let result = match path {
+                    AccessPath::TensorScan => TensorJoin::new(TensorJoinConfig::default())
+                        .join(model, left, right, predicate)?,
+                    AccessPath::IndexProbe => IndexJoin::new(IndexJoinConfig::default())
+                        .join(model, left, right, predicate)?,
+                };
+                Ok((result, path))
+            }
+        }
+    }
+
+    /// Builds the output table: `l_*` columns, `r_*` columns, `similarity`.
+    fn materialize_output(
+        &self,
+        left: &Table,
+        right: &Table,
+        result: &JoinResult,
+    ) -> Result<Table> {
+        let pairs = result.sorted_pairs();
+        let left_indices: Vec<usize> = pairs.iter().map(|p| p.left).collect();
+        let right_indices: Vec<usize> = pairs.iter().map(|p| p.right).collect();
+        let scores: Vec<f64> = pairs.iter().map(|p| p.score as f64).collect();
+
+        let left_taken = left.take(&left_indices).map_err(CoreError::from)?;
+        let right_taken = right.take(&right_indices).map_err(CoreError::from)?;
+
+        let mut fields: Vec<Field> = Vec::new();
+        let mut columns: Vec<Column> = Vec::new();
+        for (field, column) in left_taken.schema().fields().iter().zip(left_taken.columns()) {
+            fields.push(Field::new(format!("l_{}", field.name), field.data_type));
+            columns.push(column.clone());
+        }
+        for (field, column) in right_taken.schema().fields().iter().zip(right_taken.columns()) {
+            fields.push(Field::new(format!("r_{}", field.name), field.data_type));
+            columns.push(column.clone());
+        }
+        fields.push(Field::new("similarity", cej_storage::DataType::Float64));
+        columns.push(Column::Float64(scores));
+
+        let schema = Schema::new(fields).map_err(CoreError::from)?;
+        Table::new(schema, columns).map_err(CoreError::from)
+    }
+}
+
+/// Whether a plan tree contains an `EJoin` node.
+fn contains_join(plan: &LogicalPlan) -> bool {
+    matches!(plan, LogicalPlan::EJoin { .. })
+        || plan.children().iter().any(|c| contains_join(c))
+}
+
+#[derive(Debug, Default)]
+struct QueryContext {
+    join_stats: JoinStats,
+    embedding_stats: EmbeddingStats,
+    access_path: Option<AccessPath>,
+    matched_pairs: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cej_embedding::{FastTextConfig, FastTextModel};
+    use cej_relational::{col, lit_i64};
+    use cej_storage::TableBuilder;
+
+    fn model() -> FastTextModel {
+        FastTextModel::new(FastTextConfig { dim: 16, buckets: 1000, ..FastTextConfig::default() })
+            .unwrap()
+    }
+
+    fn session() -> ContextJoinSession {
+        let mut s = ContextJoinSession::new();
+        s.register_table(
+            "photos",
+            TableBuilder::new()
+                .int64("photo_id", vec![1, 2, 3, 4])
+                .utf8(
+                    "caption",
+                    vec!["barbecue".into(), "database".into(), "laptop".into(), "vacation".into()],
+                )
+                .int64("year", vec![2021, 2022, 2023, 2024])
+                .build()
+                .unwrap(),
+        );
+        s.register_table(
+            "products",
+            TableBuilder::new()
+                .int64("product_id", vec![10, 20, 30])
+                .utf8("title", vec!["barbecues".into(), "databases".into(), "notebooks".into()])
+                .build()
+                .unwrap(),
+        );
+        s.register_model("fasttext", model());
+        s
+    }
+
+    fn join_plan(predicate: SimilarityPredicate) -> LogicalPlan {
+        LogicalPlan::e_join(
+            LogicalPlan::scan("photos"),
+            LogicalPlan::scan("products"),
+            "caption",
+            "title",
+            "fasttext",
+            predicate,
+        )
+    }
+
+    #[test]
+    fn threshold_join_produces_expected_schema_and_matches() {
+        let s = session();
+        let report = s.execute(&join_plan(SimilarityPredicate::Threshold(0.5))).unwrap();
+        let table = &report.table;
+        assert!(table.schema().field("l_caption").is_ok());
+        assert!(table.schema().field("r_title").is_ok());
+        assert!(table.schema().field("similarity").is_ok());
+        // barbecue-barbecues and database-databases must match
+        let captions = table.column_by_name("l_caption").unwrap().as_utf8().unwrap();
+        let titles = table.column_by_name("r_title").unwrap().as_utf8().unwrap();
+        let pairs: Vec<(String, String)> =
+            captions.iter().cloned().zip(titles.iter().cloned()).collect();
+        assert!(pairs.contains(&("barbecue".into(), "barbecues".into())));
+        assert!(pairs.contains(&("database".into(), "databases".into())));
+        assert_eq!(report.matched_pairs, table.num_rows());
+        assert!(report.access_path.is_some());
+    }
+
+    #[test]
+    fn prefetch_embedding_counts_are_linear() {
+        let s = session();
+        let report = s.execute(&join_plan(SimilarityPredicate::Threshold(0.5))).unwrap();
+        // 4 left + 3 right distinct strings = 7 model calls through the cache
+        assert_eq!(report.embedding_stats.model_calls, 7);
+        assert_eq!(report.join_stats.model_calls, 7);
+    }
+
+    #[test]
+    fn topk_join_returns_k_rows_per_left_tuple() {
+        let mut s = session();
+        s.with_strategy(JoinStrategy::Tensor(TensorJoinConfig::default()));
+        let report = s.execute(&join_plan(SimilarityPredicate::TopK(1))).unwrap();
+        assert_eq!(report.table.num_rows(), 4);
+    }
+
+    #[test]
+    fn relational_predicate_pushed_below_join_reduces_model_calls() {
+        let s = session();
+        let plan = join_plan(SimilarityPredicate::Threshold(0.5))
+            .select(col("year").gt_eq(lit_i64(2023)));
+        let report = s.execute(&plan).unwrap();
+        // after pushdown only 2 left rows survive: 2 + 3 = 5 model calls
+        assert_eq!(report.embedding_stats.model_calls, 5);
+        assert_eq!(report.optimized_plan.selections_below_embedding(), 1);
+        // all output rows satisfy the relational predicate
+        let years = report.table.column_by_name("l_year").unwrap().as_int64().unwrap();
+        assert!(years.iter().all(|&y| y >= 2023));
+    }
+
+    #[test]
+    fn all_strategies_agree_on_threshold_join() {
+        let strategies = vec![
+            JoinStrategy::NaiveNlj,
+            JoinStrategy::PrefetchNlj(NljConfig::default()),
+            JoinStrategy::Tensor(TensorJoinConfig::default()),
+        ];
+        let mut reference: Option<Vec<(String, String)>> = None;
+        for strategy in strategies {
+            let mut s = session();
+            s.with_strategy(strategy);
+            let report = s.execute(&join_plan(SimilarityPredicate::Threshold(0.5))).unwrap();
+            let captions =
+                report.table.column_by_name("l_caption").unwrap().as_utf8().unwrap().to_vec();
+            let titles =
+                report.table.column_by_name("r_title").unwrap().as_utf8().unwrap().to_vec();
+            let mut pairs: Vec<(String, String)> =
+                captions.into_iter().zip(titles.into_iter()).collect();
+            pairs.sort();
+            match &reference {
+                None => reference = Some(pairs),
+                Some(expected) => assert_eq!(&pairs, expected, "strategy {strategy:?} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn index_strategy_executes() {
+        let mut s = session();
+        s.with_strategy(JoinStrategy::Index(IndexJoinConfig {
+            params: cej_index::HnswParams::tiny(),
+            range_probe_k: 3,
+        }));
+        let report = s.execute(&join_plan(SimilarityPredicate::TopK(1))).unwrap();
+        assert_eq!(report.access_path, Some(AccessPath::IndexProbe));
+        assert_eq!(report.table.num_rows(), 4);
+        assert!(report.join_stats.probe_stats.distance_computations > 0);
+    }
+
+    #[test]
+    fn purely_relational_plan_still_executes() {
+        let s = session();
+        let plan = LogicalPlan::scan("photos").select(col("year").gt(lit_i64(2022)));
+        let report = s.execute(&plan).unwrap();
+        assert_eq!(report.table.num_rows(), 2);
+        assert!(report.access_path.is_none());
+        assert_eq!(report.matched_pairs, 0);
+    }
+
+    #[test]
+    fn selection_above_join_on_joined_columns() {
+        let s = session();
+        // predicate references both sides, so it cannot be pushed down and is
+        // evaluated over the join output
+        let plan = join_plan(SimilarityPredicate::Threshold(0.5))
+            .select(col("similarity").gt_eq(cej_relational::lit_f64(0.9)));
+        let report = s.execute(&plan).unwrap();
+        let sims = report.table.column_by_name("similarity").unwrap().as_float64().unwrap();
+        assert!(sims.iter().all(|&s| s >= 0.9));
+    }
+
+    #[test]
+    fn unknown_model_and_table_errors() {
+        let mut s = ContextJoinSession::new();
+        s.register_table(
+            "t",
+            TableBuilder::new().utf8("w", vec!["a".into()]).build().unwrap(),
+        );
+        let plan = LogicalPlan::e_join(
+            LogicalPlan::scan("t"),
+            LogicalPlan::scan("t"),
+            "w",
+            "w",
+            "missing-model",
+            SimilarityPredicate::TopK(1),
+        );
+        assert!(s.execute(&plan).is_err());
+        let s2 = session();
+        let bad_table = LogicalPlan::e_join(
+            LogicalPlan::scan("nope"),
+            LogicalPlan::scan("products"),
+            "caption",
+            "title",
+            "fasttext",
+            SimilarityPredicate::TopK(1),
+        );
+        assert!(s2.execute(&bad_table).is_err());
+    }
+
+    #[test]
+    fn join_on_non_string_column_is_type_error() {
+        let s = session();
+        let plan = LogicalPlan::e_join(
+            LogicalPlan::scan("photos"),
+            LogicalPlan::scan("products"),
+            "photo_id",
+            "title",
+            "fasttext",
+            SimilarityPredicate::TopK(1),
+        );
+        assert!(s.execute(&plan).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Embedding cache and model-access accounting.
+//!
+//! The key logical optimisation of the paper (Section IV-A) is that the
+//! naive E-NLJ invokes the model `|R| · |S|` times while the prefetch-aware
+//! formulation needs only `|R| + |S|` invocations.  To make that difference
+//! *measurable and testable* independent of wall-clock noise, every
+//! operator-facing model goes through [`CachedEmbedder`], which
+//!
+//! * counts real model invocations and cache hits ([`EmbeddingStats`]), and
+//! * optionally memoises embeddings per distinct input string, which is the
+//!   "lookup table" flavour of model access described in the paper.
+//!
+//! The naive join operator deliberately uses an *uncached* wrapper so its
+//! quadratic model cost is observable; the optimised operators prefetch
+//! through a cached wrapper.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cej_vector::Vector;
+use parking_lot::RwLock;
+
+use crate::cost::ModelCostProfile;
+use crate::model::Embedder;
+
+/// Counters describing how an operator interacted with the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EmbeddingStats {
+    /// Number of real model invocations (cache misses + uncached calls).
+    pub model_calls: u64,
+    /// Number of calls served from the cache.
+    pub cache_hits: u64,
+}
+
+impl EmbeddingStats {
+    /// Total number of embedding requests observed.
+    pub fn total_requests(&self) -> u64 {
+        self.model_calls + self.cache_hits
+    }
+}
+
+/// A counting (and optionally caching) wrapper around any [`Embedder`].
+pub struct CachedEmbedder<E> {
+    inner: E,
+    cache: Option<RwLock<HashMap<String, Vector>>>,
+    cost: ModelCostProfile,
+    model_calls: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl<E: Embedder> CachedEmbedder<E> {
+    /// Caching wrapper: each distinct input invokes the model once.
+    pub fn new(inner: E) -> Self {
+        Self {
+            inner,
+            cache: Some(RwLock::new(HashMap::new())),
+            cost: ModelCostProfile::free(),
+            model_calls: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Counting-only wrapper: every request invokes the model (used by the
+    /// naive join to expose its quadratic model cost).
+    pub fn uncached(inner: E) -> Self {
+        Self {
+            inner,
+            cache: None,
+            cost: ModelCostProfile::free(),
+            model_calls: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a simulated per-call model cost.
+    pub fn with_cost(mut self, cost: ModelCostProfile) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> EmbeddingStats {
+        EmbeddingStats {
+            model_calls: self.model_calls.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets counters (the cache itself is retained).
+    pub fn reset_stats(&self) {
+        self.model_calls.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+    }
+
+    /// Clears any memoised embeddings.
+    pub fn clear_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.write().clear();
+        }
+    }
+
+    /// Number of memoised embeddings (0 for uncached wrappers).
+    pub fn cached_entries(&self) -> usize {
+        self.cache.as_ref().map(|c| c.read().len()).unwrap_or(0)
+    }
+
+    /// Access to the wrapped model.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    fn invoke_model(&self, input: &str) -> Vector {
+        self.model_calls.fetch_add(1, Ordering::Relaxed);
+        self.cost.simulate();
+        self.inner.embed(input)
+    }
+}
+
+impl<E: Embedder> Embedder for CachedEmbedder<E> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn embed(&self, input: &str) -> Vector {
+        match &self.cache {
+            None => self.invoke_model(input),
+            Some(cache) => {
+                if let Some(v) = cache.read().get(input) {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return v.clone();
+                }
+                let v = self.invoke_model(input);
+                cache.write().insert(input.to_string(), v.clone());
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FastTextConfig, FastTextModel};
+
+    fn model() -> FastTextModel {
+        FastTextModel::new(FastTextConfig { dim: 16, buckets: 1000, ..FastTextConfig::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn cached_embedder_invokes_model_once_per_distinct_input() {
+        let e = CachedEmbedder::new(model());
+        for _ in 0..5 {
+            e.embed("dbms");
+            e.embed("postgres");
+        }
+        let stats = e.stats();
+        assert_eq!(stats.model_calls, 2);
+        assert_eq!(stats.cache_hits, 8);
+        assert_eq!(stats.total_requests(), 10);
+        assert_eq!(e.cached_entries(), 2);
+    }
+
+    #[test]
+    fn uncached_embedder_counts_every_call() {
+        let e = CachedEmbedder::uncached(model());
+        for _ in 0..4 {
+            e.embed("dbms");
+        }
+        let stats = e.stats();
+        assert_eq!(stats.model_calls, 4);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(e.cached_entries(), 0);
+    }
+
+    #[test]
+    fn cached_and_uncached_produce_identical_vectors() {
+        let cached = CachedEmbedder::new(model());
+        let uncached = CachedEmbedder::uncached(model());
+        assert_eq!(cached.embed("barbecue"), uncached.embed("barbecue"));
+        // second call hits the cache but must return the same vector
+        assert_eq!(cached.embed("barbecue"), uncached.embed("barbecue"));
+    }
+
+    #[test]
+    fn reset_and_clear() {
+        let e = CachedEmbedder::new(model());
+        e.embed("a");
+        e.embed("a");
+        e.reset_stats();
+        assert_eq!(e.stats(), EmbeddingStats::default());
+        assert_eq!(e.cached_entries(), 1);
+        e.clear_cache();
+        assert_eq!(e.cached_entries(), 0);
+        e.embed("a");
+        assert_eq!(e.stats().model_calls, 1);
+    }
+
+    #[test]
+    fn dim_is_forwarded() {
+        let e = CachedEmbedder::new(model());
+        assert_eq!(e.dim(), 16);
+        assert_eq!(e.inner().dim(), 16);
+    }
+
+    #[test]
+    fn concurrent_embedding_is_consistent() {
+        let e = std::sync::Arc::new(CachedEmbedder::new(model()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let e = e.clone();
+            handles.push(std::thread::spawn(move || {
+                for w in ["alpha", "beta", "gamma"] {
+                    let v = e.embed(w);
+                    assert_eq!(v.dim(), 16);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // every thread requested 3 words; each distinct word required at
+        // least one and at most 4 model calls (benign race on first fill)
+        let stats = e.stats();
+        assert!(stats.model_calls >= 3 && stats.model_calls <= 12);
+        assert_eq!(stats.total_requests(), 12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Simulated model invocation cost.
+//!
+//! The paper's cost model (Section IV-A) treats the model cost `M` as a
+//! first-class term: it can range "from random access to a lookup table …
+//! to expensive computations over deep neural networks", and when embeddings
+//! are bought as a service it is literally a monetary cost per call.  Our
+//! FastText-style model is cheap, so to study how the operators behave with
+//! expensive models (and to make the quadratic-vs-linear model access cost of
+//! the naive E-NLJ visible at small scales) the benchmark harness can attach
+//! a [`ModelCostProfile`] that adds a deterministic busy-wait per model call.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated per-invocation model cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ModelCostProfile {
+    /// Extra latency added to every *real* (non-cached) model invocation, in
+    /// nanoseconds.  Zero means "no simulation" and is the default.
+    pub per_call_nanos: u64,
+}
+
+impl ModelCostProfile {
+    /// No added cost (the raw model cost only).
+    pub fn free() -> Self {
+        Self { per_call_nanos: 0 }
+    }
+
+    /// Adds `nanos` nanoseconds per model call.
+    pub fn from_nanos(nanos: u64) -> Self {
+        Self { per_call_nanos: nanos }
+    }
+
+    /// Adds `micros` microseconds per model call — a realistic magnitude for
+    /// a transformer encoder on CPU.
+    pub fn from_micros(micros: u64) -> Self {
+        Self { per_call_nanos: micros * 1_000 }
+    }
+
+    /// `true` when no artificial cost is added.
+    pub fn is_free(&self) -> bool {
+        self.per_call_nanos == 0
+    }
+
+    /// Busy-waits for the configured duration (no-op when free).
+    ///
+    /// A busy-wait is used instead of `thread::sleep` because sleep
+    /// granularity on most systems is far coarser than the sub-microsecond
+    /// costs we simulate.
+    #[inline]
+    pub fn simulate(&self) {
+        if self.per_call_nanos == 0 {
+            return;
+        }
+        let target = Duration::from_nanos(self.per_call_nanos);
+        let start = Instant::now();
+        while start.elapsed() < target {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_profile_is_noop() {
+        let p = ModelCostProfile::free();
+        assert!(p.is_free());
+        let start = Instant::now();
+        for _ in 0..1000 {
+            p.simulate();
+        }
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn from_micros_converts() {
+        assert_eq!(ModelCostProfile::from_micros(3).per_call_nanos, 3_000);
+        assert!(!ModelCostProfile::from_micros(3).is_free());
+    }
+
+    #[test]
+    fn simulate_waits_at_least_requested_time() {
+        let p = ModelCostProfile::from_micros(200);
+        let start = Instant::now();
+        p.simulate();
+        assert!(start.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn default_is_free() {
+        assert!(ModelCostProfile::default().is_free());
+    }
+}

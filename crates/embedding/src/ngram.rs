@@ -1,0 +1,155 @@
+//! Character n-gram extraction with word boundary markers.
+//!
+//! FastText represents each word as the bag of its character n-grams plus the
+//! whole word, where the word is wrapped in `<` and `>` boundary markers
+//! (e.g. `where` with n = 3 yields `<wh`, `whe`, `her`, `ere`, `re>` and the
+//! special sequence `<where>`).  Sharing n-grams is what gives the model its
+//! robustness to misspellings and out-of-vocabulary words — the property the
+//! paper relies on for context-aware joins over dirty strings.
+
+/// Inclusive n-gram length range used for subword extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NgramRange {
+    /// Minimum n-gram length.
+    pub min_n: usize,
+    /// Maximum n-gram length (inclusive).
+    pub max_n: usize,
+}
+
+impl Default for NgramRange {
+    fn default() -> Self {
+        // FastText's default subword range.
+        Self { min_n: 3, max_n: 6 }
+    }
+}
+
+impl NgramRange {
+    /// Creates a new range, clamping degenerate values to at least 1.
+    pub fn new(min_n: usize, max_n: usize) -> Self {
+        let min_n = min_n.max(1);
+        Self { min_n, max_n: max_n.max(min_n) }
+    }
+}
+
+/// Wraps a word with the FastText boundary markers.
+pub fn wrap_word(word: &str) -> String {
+    let mut s = String::with_capacity(word.len() + 2);
+    s.push('<');
+    s.push_str(word);
+    s.push('>');
+    s
+}
+
+/// Extracts the character n-grams of `word` (with boundary markers) for every
+/// length in `range`, plus the full wrapped word itself.
+///
+/// Extraction is performed over Unicode scalar values, not bytes, so
+/// multi-byte characters never get split.
+pub fn extract_ngrams(word: &str, range: NgramRange) -> Vec<String> {
+    let wrapped = wrap_word(word);
+    let chars: Vec<char> = wrapped.chars().collect();
+    let mut out = Vec::new();
+    for n in range.min_n..=range.max_n {
+        if n > chars.len() {
+            break;
+        }
+        for start in 0..=(chars.len() - n) {
+            out.push(chars[start..start + n].iter().collect());
+        }
+    }
+    // The full word sequence is always included (even when longer than max_n)
+    // so that frequent exact words keep a dedicated feature.
+    if !out.contains(&wrapped) {
+        out.push(wrapped);
+    }
+    out
+}
+
+/// Jaccard overlap between the n-gram sets of two words — a cheap diagnostic
+/// used in tests to confirm that misspellings share most of their subwords.
+pub fn ngram_overlap(a: &str, b: &str, range: NgramRange) -> f32 {
+    use std::collections::HashSet;
+    let sa: HashSet<String> = extract_ngrams(a, range).into_iter().collect();
+    let sb: HashSet<String> = extract_ngrams(b, range).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f32;
+    let union = sa.union(&sb).count() as f32;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_with_markers() {
+        assert_eq!(wrap_word("abc"), "<abc>");
+    }
+
+    #[test]
+    fn extracts_expected_trigrams() {
+        let grams = extract_ngrams("ab", NgramRange::new(3, 3));
+        // "<ab>" has chars < a b > : trigrams "<ab", "ab>", plus full "<ab>"
+        assert!(grams.contains(&"<ab".to_string()));
+        assert!(grams.contains(&"ab>".to_string()));
+        assert!(grams.contains(&"<ab>".to_string()));
+        assert_eq!(grams.len(), 3);
+    }
+
+    #[test]
+    fn range_of_lengths() {
+        let grams = extract_ngrams("cat", NgramRange::new(2, 3));
+        // wrapped "<cat>" : 2-grams: <c ca at t> ; 3-grams: <ca cat at>
+        assert!(grams.contains(&"<c".to_string()));
+        assert!(grams.contains(&"at>".to_string()));
+        assert!(grams.contains(&"cat".to_string()));
+        assert!(grams.contains(&"<cat>".to_string()));
+    }
+
+    #[test]
+    fn full_word_always_included() {
+        let grams = extract_ngrams("barbecue", NgramRange::new(3, 4));
+        assert!(grams.contains(&"<barbecue>".to_string()));
+    }
+
+    #[test]
+    fn short_word_with_large_min_n() {
+        let grams = extract_ngrams("a", NgramRange::new(5, 6));
+        // only the wrapped word "<a>" survives
+        assert_eq!(grams, vec!["<a>".to_string()]);
+    }
+
+    #[test]
+    fn unicode_not_split_mid_character() {
+        let grams = extract_ngrams("über", NgramRange::new(3, 3));
+        for g in &grams {
+            assert!(g.chars().count() <= 6);
+            assert!(!g.is_empty());
+        }
+    }
+
+    #[test]
+    fn misspellings_share_most_ngrams() {
+        let overlap_misspelling = ngram_overlap("barbecue", "barbicue", NgramRange::default());
+        let overlap_unrelated = ngram_overlap("barbecue", "database", NgramRange::default());
+        assert!(overlap_misspelling > 0.1, "got {overlap_misspelling}");
+        assert!(overlap_unrelated < overlap_misspelling);
+    }
+
+    #[test]
+    fn degenerate_range_clamped() {
+        let r = NgramRange::new(0, 0);
+        assert_eq!(r.min_n, 1);
+        assert_eq!(r.max_n, 1);
+        let r2 = NgramRange::new(5, 2);
+        assert_eq!(r2.max_n, 5);
+    }
+
+    #[test]
+    fn default_range_is_fasttext_default() {
+        let r = NgramRange::default();
+        assert_eq!((r.min_n, r.max_n), (3, 6));
+    }
+}

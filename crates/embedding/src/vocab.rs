@@ -1,0 +1,159 @@
+//! Vocabulary and the id ↔ string lookup table (`E⁻¹`).
+//!
+//! The paper's algebra defines a decode operation `E⁻¹_µ(E_µ(R)) = R`
+//! (Section III-C).  FastText has no generative decoder, so the paper
+//! proposes "a lookup table mechanism [that] can maintain the
+//! object-embedding mapping via unique IDs".  [`Vocabulary`] is exactly that
+//! mechanism: it interns strings, hands out stable ids, tracks frequencies,
+//! and can recover the original string for any id produced during the join.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EmbeddingError;
+use crate::Result;
+
+/// An interned vocabulary with stable ids and occurrence counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    word_to_id: HashMap<String, usize>,
+    id_to_word: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `word`, returning its id and incrementing its count.
+    pub fn add(&mut self, word: &str) -> usize {
+        if let Some(&id) = self.word_to_id.get(word) {
+            self.counts[id] += 1;
+            return id;
+        }
+        let id = self.id_to_word.len();
+        self.word_to_id.insert(word.to_string(), id);
+        self.id_to_word.push(word.to_string());
+        self.counts.push(1);
+        id
+    }
+
+    /// Looks up the id of `word` without interning it.
+    pub fn id_of(&self, word: &str) -> Option<usize> {
+        self.word_to_id.get(word).copied()
+    }
+
+    /// The decode operation `E⁻¹`: recovers the string for an id.
+    ///
+    /// # Errors
+    /// Returns [`EmbeddingError::UnknownId`] for ids never interned.
+    pub fn decode(&self, id: usize) -> Result<&str> {
+        self.id_to_word.get(id).map(|s| s.as_str()).ok_or(EmbeddingError::UnknownId(id))
+    }
+
+    /// Occurrence count of an id (0 when unknown).
+    pub fn count(&self, id: usize) -> u64 {
+        self.counts.get(id).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.id_to_word.len()
+    }
+
+    /// `true` when the vocabulary holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_word.is_empty()
+    }
+
+    /// Iterates over `(id, word)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.id_to_word.iter().enumerate().map(|(i, w)| (i, w.as_str()))
+    }
+
+    /// Words sorted by descending frequency (ties by id), useful for
+    /// inspecting the head of the distribution in examples and reports.
+    pub fn most_frequent(&self, limit: usize) -> Vec<(&str, u64)> {
+        let mut entries: Vec<(usize, u64)> =
+            self.counts.iter().copied().enumerate().collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        entries
+            .into_iter()
+            .take(limit)
+            .map(|(id, c)| (self.id_to_word[id].as_str(), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_returns_stable_ids() {
+        let mut v = Vocabulary::new();
+        let a = v.add("dbms");
+        let b = v.add("postgres");
+        let a2 = v.add("dbms");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn counts_track_occurrences() {
+        let mut v = Vocabulary::new();
+        v.add("x");
+        v.add("x");
+        v.add("y");
+        assert_eq!(v.count(v.id_of("x").unwrap()), 2);
+        assert_eq!(v.count(v.id_of("y").unwrap()), 1);
+        assert_eq!(v.count(99), 0);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut v = Vocabulary::new();
+        let id = v.add("barbecue");
+        assert_eq!(v.decode(id).unwrap(), "barbecue");
+    }
+
+    #[test]
+    fn decode_unknown_errors() {
+        let v = Vocabulary::new();
+        assert!(matches!(v.decode(0), Err(EmbeddingError::UnknownId(0))));
+    }
+
+    #[test]
+    fn id_of_missing_is_none() {
+        let v = Vocabulary::new();
+        assert!(v.id_of("nope").is_none());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut v = Vocabulary::new();
+        v.add("a");
+        v.add("b");
+        let collected: Vec<(usize, &str)> = v.iter().collect();
+        assert_eq!(collected, vec![(0, "a"), (1, "b")]);
+    }
+
+    #[test]
+    fn most_frequent_sorted() {
+        let mut v = Vocabulary::new();
+        for _ in 0..3 {
+            v.add("common");
+        }
+        v.add("rare");
+        v.add("mid");
+        v.add("mid");
+        let top = v.most_frequent(2);
+        assert_eq!(top[0].0, "common");
+        assert_eq!(top[1].0, "mid");
+    }
+}

@@ -1,0 +1,134 @@
+//! Exact (brute-force) nearest-neighbour baseline.
+//!
+//! Used in tests and benches to measure the recall of the approximate HNSW
+//! probes, mirroring how ANN-Benchmarks reports recall against ground truth.
+
+use cej_storage::SelectionBitmap;
+use cej_vector::{Matrix, Metric, TopK, TopKEntry};
+
+use crate::error::IndexError;
+use crate::Result;
+
+/// Exact top-k search by scanning every (optionally pre-filtered) row.
+#[derive(Debug, Clone)]
+pub struct BruteForce {
+    vectors: Matrix,
+    metric: Metric,
+}
+
+impl BruteForce {
+    /// Wraps a matrix of row-vectors for exact search.
+    pub fn new(vectors: Matrix, metric: Metric) -> Self {
+        Self { vectors, metric }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.rows()
+    }
+
+    /// `true` when no vectors are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.rows() == 0
+    }
+
+    /// Exact top-k most similar rows to `query`.
+    ///
+    /// # Errors
+    /// Returns dimension, emptiness, and filter-length errors.
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: Option<&SelectionBitmap>,
+    ) -> Result<Vec<TopKEntry>> {
+        if self.vectors.rows() == 0 {
+            return Err(IndexError::EmptyIndex);
+        }
+        if query.len() != self.vectors.cols() {
+            return Err(IndexError::DimensionMismatch {
+                indexed: self.vectors.cols(),
+                query: query.len(),
+            });
+        }
+        if let Some(f) = filter {
+            if f.len() != self.vectors.rows() {
+                return Err(IndexError::FilterLengthMismatch {
+                    rows: self.vectors.rows(),
+                    filter: f.len(),
+                });
+            }
+        }
+        let mut topk = TopK::new(k);
+        for row in 0..self.vectors.rows() {
+            if let Some(f) = filter {
+                if !f.is_selected(row) {
+                    continue;
+                }
+            }
+            let score = self.metric.similarity(query, self.vectors.row(row).expect("in range"));
+            topk.push(row, score);
+        }
+        Ok(topk.into_sorted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cej_vector::Vector;
+
+    fn unit(dim: usize, axis: usize) -> Vector {
+        let mut v = Vector::zeros(dim);
+        v[axis] = 1.0;
+        v
+    }
+
+    fn index() -> BruteForce {
+        let m = Matrix::from_rows(&[unit(4, 0), unit(4, 1), unit(4, 2), unit(4, 3)]).unwrap();
+        BruteForce::new(m, Metric::Cosine)
+    }
+
+    #[test]
+    fn finds_exact_match_first() {
+        let idx = index();
+        let res = idx.search(unit(4, 2).as_slice(), 2, None).unwrap();
+        assert_eq!(res[0].id, 2);
+        assert!(res[0].score > 0.99);
+        assert_eq!(res.len(), 2);
+        assert_eq!(idx.len(), 4);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn filter_excludes_rows() {
+        let idx = index();
+        let filter = SelectionBitmap::from_bools(vec![true, true, false, true]);
+        let res = idx.search(unit(4, 2).as_slice(), 1, Some(&filter)).unwrap();
+        assert_ne!(res[0].id, 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        let idx = index();
+        assert!(matches!(
+            idx.search(&[1.0, 0.0], 1, None),
+            Err(IndexError::DimensionMismatch { .. })
+        ));
+        let bad_filter = SelectionBitmap::all(2);
+        assert!(matches!(
+            idx.search(unit(4, 0).as_slice(), 1, Some(&bad_filter)),
+            Err(IndexError::FilterLengthMismatch { .. })
+        ));
+        let empty = BruteForce::new(Matrix::zeros(0, 4), Metric::Cosine);
+        assert!(matches!(empty.search(unit(4, 0).as_slice(), 1, None), Err(IndexError::EmptyIndex)));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_candidates() {
+        let idx = index();
+        let res = idx.search(unit(4, 0).as_slice(), 100, None).unwrap();
+        assert_eq!(res.len(), 4);
+    }
+}

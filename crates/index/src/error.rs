@@ -1,0 +1,64 @@
+//! Error type for the index substrate.
+
+use std::fmt;
+
+/// Errors raised while building or probing an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The query dimensionality does not match the indexed vectors.
+    DimensionMismatch {
+        /// Dimensionality of the indexed vectors.
+        indexed: usize,
+        /// Dimensionality of the query.
+        query: usize,
+    },
+    /// The index is empty and cannot be probed.
+    EmptyIndex,
+    /// A pre-filter bitmap length does not match the number of indexed rows.
+    FilterLengthMismatch {
+        /// Number of indexed rows.
+        rows: usize,
+        /// Bitmap length.
+        filter: usize,
+    },
+    /// An invalid parameter was supplied.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::DimensionMismatch { indexed, query } => {
+                write!(f, "query dimension {query} does not match indexed dimension {indexed}")
+            }
+            IndexError::EmptyIndex => write!(f, "index contains no vectors"),
+            IndexError::FilterLengthMismatch { rows, filter } => {
+                write!(f, "filter length {filter} does not match indexed rows {rows}")
+            }
+            IndexError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(IndexError::DimensionMismatch { indexed: 4, query: 8 }.to_string().contains("8"));
+        assert!(IndexError::EmptyIndex.to_string().contains("no vectors"));
+        assert!(IndexError::FilterLengthMismatch { rows: 10, filter: 5 }
+            .to_string()
+            .contains("5"));
+        assert!(IndexError::InvalidParameter("k=0".into()).to_string().contains("k=0"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<IndexError>();
+    }
+}

@@ -1,0 +1,122 @@
+//! HNSW construction and search parameters.
+
+use cej_vector::Metric;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the HNSW graph (Malkov & Yashunin, TPAMI 2020), the index
+/// the paper benchmarks against (built inside Milvus, Section VI-E).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HnswParams {
+    /// Maximum out-degree per node on the upper layers (`M`).
+    pub m: usize,
+    /// Maximum out-degree on the base layer (`M0`, conventionally `2·M`).
+    pub m0: usize,
+    /// Candidate list size during construction (`efConstruction`).
+    pub ef_construction: usize,
+    /// Candidate list size during search (`efSearch`).
+    pub ef_search: usize,
+    /// Similarity metric (the paper builds cosine-distance indexes).
+    pub metric: Metric,
+    /// Seed for the level generator, fixed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        Self::low_recall()
+    }
+}
+
+impl HnswParams {
+    /// The paper's *high-recall* configuration: `M = 64`,
+    /// `efConstruction = 512` (Figure 15-17, "Index Join (Hi)").
+    pub fn high_recall() -> Self {
+        Self { m: 64, m0: 128, ef_construction: 512, ef_search: 128, metric: Metric::Cosine, seed: 42 }
+    }
+
+    /// The paper's *low-recall* configuration: `M = 32`,
+    /// `efConstruction = 256` ("Index Join (Lo)").
+    pub fn low_recall() -> Self {
+        Self { m: 32, m0: 64, ef_construction: 256, ef_search: 64, metric: Metric::Cosine, seed: 42 }
+    }
+
+    /// A small configuration for unit tests (fast to build).
+    pub fn tiny() -> Self {
+        Self { m: 8, m0: 16, ef_construction: 32, ef_search: 32, metric: Metric::Cosine, seed: 42 }
+    }
+
+    /// Sets `efSearch`.
+    pub fn with_ef_search(mut self, ef: usize) -> Self {
+        self.ef_search = ef.max(1);
+        self
+    }
+
+    /// Sets the metric.
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// The level-generation normalisation factor `mL = 1 / ln(M)`.
+    pub fn level_lambda(&self) -> f64 {
+        1.0 / (self.m.max(2) as f64).ln()
+    }
+
+    /// Maximum neighbours allowed at `layer`.
+    pub fn max_neighbors(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.m0
+        } else {
+            self.m
+        }
+    }
+
+    /// Label used by the benchmark harness ("Hi" / "Lo" / custom).
+    pub fn label(&self) -> String {
+        if *self == Self::high_recall() {
+            "Hi".to_string()
+        } else if *self == Self::low_recall() {
+            "Lo".to_string()
+        } else {
+            format!("M={},efC={}", self.m, self.ef_construction)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations() {
+        let hi = HnswParams::high_recall();
+        assert_eq!((hi.m, hi.ef_construction), (64, 512));
+        let lo = HnswParams::low_recall();
+        assert_eq!((lo.m, lo.ef_construction), (32, 256));
+        assert_eq!(hi.label(), "Hi");
+        assert_eq!(lo.label(), "Lo");
+        assert_eq!(HnswParams::default(), lo);
+    }
+
+    #[test]
+    fn max_neighbors_per_layer() {
+        let p = HnswParams::tiny();
+        assert_eq!(p.max_neighbors(0), 16);
+        assert_eq!(p.max_neighbors(1), 8);
+        assert_eq!(p.max_neighbors(5), 8);
+    }
+
+    #[test]
+    fn level_lambda_positive() {
+        assert!(HnswParams::tiny().level_lambda() > 0.0);
+        assert!(HnswParams::high_recall().level_lambda() < HnswParams::tiny().level_lambda());
+    }
+
+    #[test]
+    fn builders() {
+        let p = HnswParams::tiny().with_ef_search(7).with_metric(Metric::InnerProduct);
+        assert_eq!(p.ef_search, 7);
+        assert_eq!(p.metric, Metric::InnerProduct);
+        assert!(p.label().contains("M=8"));
+    }
+}

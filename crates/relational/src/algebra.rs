@@ -1,0 +1,326 @@
+//! The extended logical algebra: relational operators plus the embedding
+//! operator and the context-enhanced join.
+//!
+//! Plans are ordinary immutable trees.  The optimizer rewrites them using the
+//! algebraic equivalences of Section III-C; the physical layer (and
+//! `cej-core` for joins) turns them into executable operators.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::Expr;
+
+/// Which input of a join a rewrite refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinSide {
+    /// The left (outer, `R`) input.
+    Left,
+    /// The right (inner, `S`) input.
+    Right,
+}
+
+/// The similarity predicate of a context-enhanced join.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimilarityPredicate {
+    /// Keep every pair with cosine similarity at least the threshold
+    /// (the paper's range predicate, e.g. `similarity > 0.9`).
+    Threshold(f32),
+    /// For each left tuple keep its `k` most similar right tuples
+    /// (the paper's top-k probe semantics, Figures 15-16).
+    TopK(usize),
+}
+
+impl SimilarityPredicate {
+    /// Human-readable label used in plan displays and reports.
+    pub fn label(&self) -> String {
+        match self {
+            SimilarityPredicate::Threshold(t) => format!("sim >= {t}"),
+            SimilarityPredicate::TopK(k) => format!("top-{k}"),
+        }
+    }
+}
+
+/// Description of an embedding operator application: which column to embed,
+/// with which model, into which output column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmbedSpec {
+    /// Name of the context-rich input column (e.g. `word`).
+    pub input_column: String,
+    /// Name of the produced embedding column (e.g. `word_emb`).
+    pub output_column: String,
+    /// Name of the model in the [`crate::physical::ModelRegistry`].
+    pub model: String,
+}
+
+impl EmbedSpec {
+    /// Creates an embed spec with the conventional `<col>_emb` output name.
+    pub fn new(input_column: &str, model: &str) -> Self {
+        Self {
+            input_column: input_column.to_string(),
+            output_column: format!("{input_column}_emb"),
+            model: model.to_string(),
+        }
+    }
+}
+
+/// A logical query plan node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogicalPlan {
+    /// Scan of a named base table.
+    Scan {
+        /// Catalog name of the table.
+        table: String,
+    },
+    /// Relational selection `σ_θ(input)`.
+    Selection {
+        /// The predicate.
+        predicate: Expr,
+        /// The input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Projection to a subset of columns.
+    Projection {
+        /// Output column names, in order.
+        columns: Vec<String>,
+        /// The input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// The embedding operator `E_µ(input)`: appends an embedding column.
+    Embed {
+        /// What to embed and with which model.
+        spec: EmbedSpec,
+        /// The input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// The context-enhanced join `left ⋈_{E,µ,θ} right`.
+    EJoin {
+        /// Left (outer) input plan.
+        left: Box<LogicalPlan>,
+        /// Right (inner) input plan.
+        right: Box<LogicalPlan>,
+        /// Context-rich join column of the left input.
+        left_column: String,
+        /// Context-rich join column of the right input.
+        right_column: String,
+        /// Embedding model used for both sides.
+        model: String,
+        /// Similarity predicate.
+        predicate: SimilarityPredicate,
+    },
+}
+
+impl LogicalPlan {
+    /// Scan helper.
+    pub fn scan(table: &str) -> Self {
+        LogicalPlan::Scan { table: table.to_string() }
+    }
+
+    /// Wraps this plan in a selection.
+    pub fn select(self, predicate: Expr) -> Self {
+        LogicalPlan::Selection { predicate, input: Box::new(self) }
+    }
+
+    /// Wraps this plan in a projection.
+    pub fn project(self, columns: &[&str]) -> Self {
+        LogicalPlan::Projection {
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            input: Box::new(self),
+        }
+    }
+
+    /// Wraps this plan in an embedding operator.
+    pub fn embed(self, spec: EmbedSpec) -> Self {
+        LogicalPlan::Embed { spec, input: Box::new(self) }
+    }
+
+    /// Builds a context-enhanced join of two plans.
+    pub fn e_join(
+        left: LogicalPlan,
+        right: LogicalPlan,
+        left_column: &str,
+        right_column: &str,
+        model: &str,
+        predicate: SimilarityPredicate,
+    ) -> Self {
+        LogicalPlan::EJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_column: left_column.to_string(),
+            right_column: right_column.to_string(),
+            model: model.to_string(),
+            predicate,
+        }
+    }
+
+    /// The direct children of this node.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Selection { input, .. }
+            | LogicalPlan::Projection { input, .. }
+            | LogicalPlan::Embed { input, .. } => vec![input],
+            LogicalPlan::EJoin { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Total number of nodes in the plan tree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// Number of [`LogicalPlan::Embed`] nodes in the tree.
+    pub fn embed_count(&self) -> usize {
+        let own = usize::from(matches!(self, LogicalPlan::Embed { .. }));
+        own + self.children().iter().map(|c| c.embed_count()).sum::<usize>()
+    }
+
+    /// Number of [`LogicalPlan::Selection`] nodes that appear *below* the
+    /// first embedding / join operator on each path — a proxy for "relational
+    /// filters were pushed under the expensive operators", used by optimizer
+    /// tests.
+    pub fn selections_below_embedding(&self) -> usize {
+        fn walk(plan: &LogicalPlan, below: bool, acc: &mut usize) {
+            match plan {
+                LogicalPlan::Selection { input, .. } => {
+                    if below {
+                        *acc += 1;
+                    }
+                    walk(input, below, acc);
+                }
+                LogicalPlan::Embed { input, .. } => walk(input, true, acc),
+                LogicalPlan::EJoin { left, right, .. } => {
+                    walk(left, true, acc);
+                    walk(right, true, acc);
+                }
+                LogicalPlan::Projection { input, .. } => walk(input, below, acc),
+                LogicalPlan::Scan { .. } => {}
+            }
+        }
+        let mut acc = 0;
+        walk(self, false, &mut acc);
+        acc
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            LogicalPlan::Scan { table } => writeln!(f, "{pad}Scan: {table}"),
+            LogicalPlan::Selection { predicate, input } => {
+                writeln!(f, "{pad}Selection: {predicate}")?;
+                input.fmt_indented(f, indent + 1)
+            }
+            LogicalPlan::Projection { columns, input } => {
+                writeln!(f, "{pad}Projection: [{}]", columns.join(", "))?;
+                input.fmt_indented(f, indent + 1)
+            }
+            LogicalPlan::Embed { spec, input } => {
+                writeln!(
+                    f,
+                    "{pad}Embed: {} -> {} (model {})",
+                    spec.input_column, spec.output_column, spec.model
+                )?;
+                input.fmt_indented(f, indent + 1)
+            }
+            LogicalPlan::EJoin { left, right, left_column, right_column, model, predicate } => {
+                writeln!(
+                    f,
+                    "{pad}EJoin: {left_column} ~ {right_column} ({}, model {model})",
+                    predicate.label()
+                )?;
+                left.fmt_indented(f, indent + 1)?;
+                right.fmt_indented(f, indent + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit_i64};
+
+    fn sample_join() -> LogicalPlan {
+        LogicalPlan::e_join(
+            LogicalPlan::scan("photos").select(col("taken").gt(lit_i64(10))),
+            LogicalPlan::scan("catalog"),
+            "caption",
+            "title",
+            "fasttext",
+            SimilarityPredicate::Threshold(0.9),
+        )
+    }
+
+    #[test]
+    fn builders_produce_expected_shape() {
+        let plan = sample_join();
+        assert_eq!(plan.node_count(), 4);
+        assert_eq!(plan.children().len(), 2);
+        assert_eq!(plan.embed_count(), 0);
+    }
+
+    #[test]
+    fn display_shows_tree() {
+        let s = sample_join().to_string();
+        assert!(s.contains("EJoin"));
+        assert!(s.contains("Scan: photos"));
+        assert!(s.contains("sim >= 0.9"));
+        let embedded = LogicalPlan::scan("t").embed(EmbedSpec::new("word", "fasttext"));
+        assert!(embedded.to_string().contains("word -> word_emb"));
+        let projected = LogicalPlan::scan("t").project(&["a", "b"]);
+        assert!(projected.to_string().contains("[a, b]"));
+    }
+
+    #[test]
+    fn predicate_labels() {
+        assert_eq!(SimilarityPredicate::Threshold(0.5).label(), "sim >= 0.5");
+        assert_eq!(SimilarityPredicate::TopK(32).label(), "top-32");
+    }
+
+    #[test]
+    fn embed_spec_default_output_name() {
+        let spec = EmbedSpec::new("caption", "m");
+        assert_eq!(spec.output_column, "caption_emb");
+    }
+
+    #[test]
+    fn selections_below_embedding_counts_pushed_filters() {
+        // Selection above the join: not counted.
+        let above = LogicalPlan::e_join(
+            LogicalPlan::scan("r"),
+            LogicalPlan::scan("s"),
+            "a",
+            "b",
+            "m",
+            SimilarityPredicate::TopK(1),
+        )
+        .select(col("x").gt(lit_i64(0)));
+        assert_eq!(above.selections_below_embedding(), 0);
+
+        // Selection below the join input: counted.
+        let below = sample_join();
+        assert_eq!(below.selections_below_embedding(), 1);
+
+        // Selection below an Embed: counted.
+        let below_embed = LogicalPlan::scan("t")
+            .select(col("x").gt(lit_i64(0)))
+            .embed(EmbedSpec::new("w", "m"));
+        assert_eq!(below_embed.selections_below_embedding(), 1);
+    }
+
+    #[test]
+    fn node_and_embed_counts() {
+        let plan = LogicalPlan::scan("t")
+            .embed(EmbedSpec::new("w", "m"))
+            .select(col("x").gt(lit_i64(1)))
+            .project(&["w"]);
+        assert_eq!(plan.node_count(), 4);
+        assert_eq!(plan.embed_count(), 1);
+    }
+}

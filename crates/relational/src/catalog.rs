@@ -1,0 +1,96 @@
+//! In-memory table catalog.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cej_storage::Table;
+
+use crate::error::RelationalError;
+use crate::Result;
+
+/// A named collection of in-memory tables that plans can scan.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a table under `name`.
+    pub fn register(&mut self, name: &str, table: Table) {
+        self.tables.insert(name.to_string(), Arc::new(table));
+    }
+
+    /// Registers a shared table under `name`.
+    pub fn register_shared(&mut self, name: &str, table: Arc<Table>) {
+        self.tables.insert(name.to_string(), table);
+    }
+
+    /// Looks up a table.
+    ///
+    /// # Errors
+    /// Returns [`RelationalError::UnknownTable`] when absent.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RelationalError::UnknownTable(name.to_string()))
+    }
+
+    /// Whether a table with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all registered tables (unsorted).
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cej_storage::TableBuilder;
+
+    fn table() -> Table {
+        TableBuilder::new().int64("id", vec![1, 2]).build().unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.register("photos", table());
+        assert!(c.contains("photos"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.table("photos").unwrap().num_rows(), 2);
+        assert!(matches!(c.table("nope"), Err(RelationalError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn register_shared_and_replace() {
+        let mut c = Catalog::new();
+        let shared = Arc::new(table());
+        c.register_shared("t", shared.clone());
+        assert_eq!(c.table("t").unwrap().num_rows(), 2);
+        // replacing works
+        c.register("t", TableBuilder::new().int64("id", vec![1]).build().unwrap());
+        assert_eq!(c.table("t").unwrap().num_rows(), 1);
+        assert_eq!(c.table_names(), vec!["t"]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the relational layer.
+
+use std::fmt;
+
+use cej_storage::StorageError;
+
+/// Errors raised by expression evaluation, planning, and optimisation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelationalError {
+    /// An underlying storage error.
+    Storage(StorageError),
+    /// An expression referenced a column that does not exist.
+    UnknownColumn(String),
+    /// An expression combined incompatible types.
+    TypeError(String),
+    /// A plan referenced a table missing from the catalog.
+    UnknownTable(String),
+    /// A plan referenced an embedding model missing from the registry.
+    UnknownModel(String),
+    /// The plan is structurally invalid for the requested operation.
+    InvalidPlan(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::Storage(e) => write!(f, "storage error: {e}"),
+            RelationalError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            RelationalError::TypeError(msg) => write!(f, "type error: {msg}"),
+            RelationalError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            RelationalError::UnknownModel(m) => write!(f, "unknown embedding model: {m}"),
+            RelationalError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelationalError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for RelationalError {
+    fn from(e: StorageError) -> Self {
+        RelationalError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RelationalError::from(StorageError::ColumnNotFound("x".into()));
+        assert!(e.to_string().contains("storage error"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(RelationalError::UnknownColumn("c".into()).to_string().contains("c"));
+        assert!(RelationalError::UnknownTable("t".into()).to_string().contains("t"));
+        assert!(RelationalError::UnknownModel("m".into()).to_string().contains("m"));
+        assert!(RelationalError::InvalidPlan("p".into()).to_string().contains("p"));
+        assert!(RelationalError::TypeError("ty".into()).to_string().contains("ty"));
+        assert!(std::error::Error::source(&RelationalError::UnknownColumn("c".into())).is_none());
+    }
+}

@@ -1,0 +1,275 @@
+//! Relational predicate pushdown below the embedding operator and the
+//! context-enhanced join.
+//!
+//! This is the paper's single most important *logical* optimisation: without
+//! it, the engine eagerly embeds (and pairwise-compares) tuples that a cheap
+//! relational predicate would have discarded, exactly the "materialise
+//! everything, embed, then filter" anti-pattern of Figure 1.  The rewrite is
+//! justified by the E-Selection equivalence
+//! `σ_{E,µ,θ}(R) ⇔ σ_θE(E_µ(σ_θR(R)))` (Section III-C).
+
+use super::{output_columns, transform_up, OptimizerRule};
+use crate::algebra::LogicalPlan;
+use crate::catalog::Catalog;
+use crate::expr::Expr;
+use crate::Result;
+
+/// Pushes selections below `Embed` nodes and into the inputs of `EJoin`
+/// nodes whenever the predicate only references columns produced by the
+/// target child.
+pub struct PredicatePushdown;
+
+impl PredicatePushdown {
+    fn try_push(plan: &LogicalPlan, catalog: &Catalog) -> Result<Option<LogicalPlan>> {
+        let LogicalPlan::Selection { predicate, input } = plan else {
+            return Ok(None);
+        };
+        match input.as_ref() {
+            // σ_p(E_µ(x)) → E_µ(σ_p(x)) when p does not use the embedding.
+            LogicalPlan::Embed { spec, input: embed_input } => {
+                if predicate.referenced_columns().contains(&spec.output_column) {
+                    return Ok(None);
+                }
+                Ok(Some(LogicalPlan::Embed {
+                    spec: spec.clone(),
+                    input: Box::new(LogicalPlan::Selection {
+                        predicate: predicate.clone(),
+                        input: embed_input.clone(),
+                    }),
+                }))
+            }
+            // σ_p(R ⋈_E S) → (σ_p R) ⋈_E S (or the mirror) when p only
+            // references one side's columns.
+            LogicalPlan::EJoin { left, right, left_column, right_column, model, predicate: jp } => {
+                let left_cols = output_columns(left, catalog)?;
+                let right_cols = output_columns(right, catalog)?;
+                let referenced = predicate.referenced_columns();
+                let all_in = |cols: &[String]| {
+                    referenced.iter().all(|c| cols.iter().any(|col| col == c))
+                };
+                if all_in(&left_cols) {
+                    Ok(Some(LogicalPlan::EJoin {
+                        left: Box::new(LogicalPlan::Selection {
+                            predicate: predicate.clone(),
+                            input: left.clone(),
+                        }),
+                        right: right.clone(),
+                        left_column: left_column.clone(),
+                        right_column: right_column.clone(),
+                        model: model.clone(),
+                        predicate: *jp,
+                    }))
+                } else if all_in(&right_cols) {
+                    Ok(Some(LogicalPlan::EJoin {
+                        left: left.clone(),
+                        right: Box::new(LogicalPlan::Selection {
+                            predicate: predicate.clone(),
+                            input: right.clone(),
+                        }),
+                        left_column: left_column.clone(),
+                        right_column: right_column.clone(),
+                        model: model.clone(),
+                        predicate: *jp,
+                    }))
+                } else {
+                    Ok(None)
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn predicate_of(plan: &LogicalPlan) -> Option<&Expr> {
+        match plan {
+            LogicalPlan::Selection { predicate, .. } => Some(predicate),
+            _ => None,
+        }
+    }
+}
+
+impl OptimizerRule for PredicatePushdown {
+    fn name(&self) -> &'static str {
+        "predicate_pushdown"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, catalog: &Catalog) -> Result<Option<LogicalPlan>> {
+        // transform_up cannot thread Results, so collect the first error
+        // encountered while resolving join schemas.
+        let error: std::cell::RefCell<Option<crate::error::RelationalError>> =
+            std::cell::RefCell::new(None);
+        let (rewritten, changed) = transform_up(plan, &|node| {
+            if error.borrow().is_some() {
+                return None;
+            }
+            match Self::try_push(node, catalog) {
+                Ok(result) => result,
+                Err(e) => {
+                    *error.borrow_mut() = Some(e);
+                    None
+                }
+            }
+        });
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        // Guard against a pathological rewrite loop: the rewrite strictly
+        // pushes selections downward, so a changed plan that is equal to the
+        // input would indicate a bug.
+        debug_assert!(!changed || rewritten != *plan || Self::predicate_of(plan).is_none());
+        Ok(if changed { Some(rewritten) } else { None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{EmbedSpec, SimilarityPredicate};
+    use crate::expr::{col, lit_i64};
+    use cej_storage::TableBuilder;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "r",
+            TableBuilder::new()
+                .int64("r_id", vec![1])
+                .utf8("r_word", vec!["a".into()])
+                .build()
+                .unwrap(),
+        );
+        c.register(
+            "s",
+            TableBuilder::new()
+                .int64("s_id", vec![1])
+                .utf8("s_word", vec!["b".into()])
+                .build()
+                .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn selection_pushed_below_embed() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("r")
+            .embed(EmbedSpec::new("r_word", "m"))
+            .select(col("r_id").gt(lit_i64(0)));
+        assert_eq!(plan.selections_below_embedding(), 0);
+        let rewritten = PredicatePushdown.apply(&plan, &c).unwrap().unwrap();
+        assert_eq!(rewritten.selections_below_embedding(), 1);
+        match rewritten {
+            LogicalPlan::Embed { input, .. } => {
+                assert!(matches!(*input, LogicalPlan::Selection { .. }));
+            }
+            other => panic!("expected Embed at the root, got {other}"),
+        }
+    }
+
+    #[test]
+    fn selection_on_embedding_output_not_pushed() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("r")
+            .embed(EmbedSpec::new("r_word", "m"))
+            .select(col("r_word_emb").eq(col("r_word_emb")));
+        assert!(PredicatePushdown.apply(&plan, &c).unwrap().is_none());
+    }
+
+    #[test]
+    fn selection_pushed_into_left_join_input() {
+        let c = catalog();
+        let plan = LogicalPlan::e_join(
+            LogicalPlan::scan("r"),
+            LogicalPlan::scan("s"),
+            "r_word",
+            "s_word",
+            "m",
+            SimilarityPredicate::Threshold(0.9),
+        )
+        .select(col("r_id").gt(lit_i64(5)));
+        let rewritten = PredicatePushdown.apply(&plan, &c).unwrap().unwrap();
+        match rewritten {
+            LogicalPlan::EJoin { left, right, .. } => {
+                assert!(matches!(*left, LogicalPlan::Selection { .. }));
+                assert!(matches!(*right, LogicalPlan::Scan { .. }));
+            }
+            other => panic!("expected EJoin at root, got {other}"),
+        }
+    }
+
+    #[test]
+    fn selection_pushed_into_right_join_input() {
+        let c = catalog();
+        let plan = LogicalPlan::e_join(
+            LogicalPlan::scan("r"),
+            LogicalPlan::scan("s"),
+            "r_word",
+            "s_word",
+            "m",
+            SimilarityPredicate::TopK(4),
+        )
+        .select(col("s_id").lt(lit_i64(100)));
+        let rewritten = PredicatePushdown.apply(&plan, &c).unwrap().unwrap();
+        match rewritten {
+            LogicalPlan::EJoin { left, right, .. } => {
+                assert!(matches!(*left, LogicalPlan::Scan { .. }));
+                assert!(matches!(*right, LogicalPlan::Selection { .. }));
+            }
+            other => panic!("expected EJoin at root, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cross_side_predicate_stays_above_join() {
+        let c = catalog();
+        let plan = LogicalPlan::e_join(
+            LogicalPlan::scan("r"),
+            LogicalPlan::scan("s"),
+            "r_word",
+            "s_word",
+            "m",
+            SimilarityPredicate::TopK(4),
+        )
+        .select(col("r_id").eq(col("s_id")));
+        assert!(PredicatePushdown.apply(&plan, &c).unwrap().is_none());
+    }
+
+    #[test]
+    fn unknown_table_surfaces_error() {
+        let c = catalog();
+        let plan = LogicalPlan::e_join(
+            LogicalPlan::scan("missing"),
+            LogicalPlan::scan("s"),
+            "x",
+            "s_word",
+            "m",
+            SimilarityPredicate::TopK(1),
+        )
+        .select(col("s_id").gt(lit_i64(0)));
+        assert!(PredicatePushdown.apply(&plan, &c).is_err());
+    }
+
+    #[test]
+    fn nested_pushdown_through_both_embed_and_join() {
+        let c = catalog();
+        // σ_{r_id>0}( EJoin( Embed(scan r), scan s ) )
+        let plan = LogicalPlan::e_join(
+            LogicalPlan::scan("r").embed(EmbedSpec::new("r_word", "m")),
+            LogicalPlan::scan("s"),
+            "r_word",
+            "s_word",
+            "m",
+            SimilarityPredicate::Threshold(0.8),
+        )
+        .select(col("r_id").gt(lit_i64(0)));
+        // one application pushes below the join; a second (fixpoint) pass in
+        // the Optimizer would push it further below the Embed.
+        let first = PredicatePushdown.apply(&plan, &c).unwrap().unwrap();
+        let second = PredicatePushdown.apply(&first, &c).unwrap().unwrap();
+        assert_eq!(second.selections_below_embedding(), 1);
+        // and the selection now sits directly on the scan
+        let display = second.to_string();
+        let select_pos = display.find("Selection").unwrap();
+        let embed_pos = display.find("Embed").unwrap();
+        assert!(select_pos > embed_pos, "selection should print below the embed:\n{display}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Auxiliary rewrite rules: selection merging and redundant-embed
+//! elimination.
+
+use super::{transform_up, OptimizerRule};
+use crate::algebra::LogicalPlan;
+use crate::catalog::Catalog;
+use crate::Result;
+
+/// Fuses directly nested selections into a single conjunctive selection.
+///
+/// `σ_a(σ_b(x)) → σ_{a AND b}(x)` — harmless on its own, but it keeps the
+/// plans produced by repeated pushdown passes small and makes the
+/// "selections below the embedding" accounting used in tests unambiguous.
+pub struct SelectionMerge;
+
+impl OptimizerRule for SelectionMerge {
+    fn name(&self) -> &'static str {
+        "selection_merge"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _catalog: &Catalog) -> Result<Option<LogicalPlan>> {
+        let (rewritten, changed) = transform_up(plan, &|node| match node {
+            LogicalPlan::Selection { predicate, input } => match input.as_ref() {
+                LogicalPlan::Selection { predicate: inner_pred, input: inner_input } => {
+                    Some(LogicalPlan::Selection {
+                        predicate: predicate.clone().and(inner_pred.clone()),
+                        input: inner_input.clone(),
+                    })
+                }
+                _ => None,
+            },
+            _ => None,
+        });
+        Ok(if changed { Some(rewritten) } else { None })
+    }
+}
+
+/// Collapses `E_µ(E_µ(x))` with an identical [`crate::algebra::EmbedSpec`]
+/// into a single embedding — embedding the same column twice with the same
+/// model is pure waste under the paper's cost model, where `M` dominates.
+pub struct RedundantEmbedElimination;
+
+impl OptimizerRule for RedundantEmbedElimination {
+    fn name(&self) -> &'static str {
+        "redundant_embed_elimination"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _catalog: &Catalog) -> Result<Option<LogicalPlan>> {
+        let (rewritten, changed) = transform_up(plan, &|node| match node {
+            LogicalPlan::Embed { spec, input } => match input.as_ref() {
+                LogicalPlan::Embed { spec: inner_spec, input: inner_input } if spec == inner_spec => {
+                    Some(LogicalPlan::Embed { spec: spec.clone(), input: inner_input.clone() })
+                }
+                _ => None,
+            },
+            _ => None,
+        });
+        Ok(if changed { Some(rewritten) } else { None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::EmbedSpec;
+    use crate::expr::{col, lit_i64};
+    use crate::optimizer::Optimizer;
+    use cej_storage::TableBuilder;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "r",
+            TableBuilder::new()
+                .int64("r_id", vec![1])
+                .utf8("r_word", vec!["a".into()])
+                .build()
+                .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn adjacent_selections_merge() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("r")
+            .select(col("r_id").gt(lit_i64(0)))
+            .select(col("r_id").lt(lit_i64(10)));
+        let rewritten = SelectionMerge.apply(&plan, &c).unwrap().unwrap();
+        match rewritten {
+            LogicalPlan::Selection { predicate, input } => {
+                assert!(predicate.to_string().contains("AND"));
+                assert!(matches!(*input, LogicalPlan::Scan { .. }));
+            }
+            other => panic!("expected merged selection, got {other}"),
+        }
+        // no further change
+        assert!(SelectionMerge
+            .apply(&SelectionMerge.apply(&plan, &c).unwrap().unwrap(), &c)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn redundant_embed_removed() {
+        let c = catalog();
+        let spec = EmbedSpec::new("r_word", "m");
+        let plan = LogicalPlan::scan("r").embed(spec.clone()).embed(spec.clone());
+        assert_eq!(plan.embed_count(), 2);
+        let rewritten = RedundantEmbedElimination.apply(&plan, &c).unwrap().unwrap();
+        assert_eq!(rewritten.embed_count(), 1);
+    }
+
+    #[test]
+    fn different_embed_specs_not_collapsed() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("r")
+            .embed(EmbedSpec::new("r_word", "model_a"))
+            .embed(EmbedSpec::new("r_word", "model_b"));
+        assert!(RedundantEmbedElimination.apply(&plan, &c).unwrap().is_none());
+    }
+
+    #[test]
+    fn full_optimizer_pipeline_end_state() {
+        // σ(σ(Embed(scan))) with relational predicates ends up as
+        // Embed(σ(merged predicate)(scan)).
+        let c = catalog();
+        let plan = LogicalPlan::scan("r")
+            .embed(EmbedSpec::new("r_word", "m"))
+            .select(col("r_id").gt(lit_i64(0)))
+            .select(col("r_id").lt(lit_i64(10)));
+        let optimized = Optimizer::with_default_rules().optimize(plan, &c).unwrap();
+        match &optimized {
+            LogicalPlan::Embed { input, .. } => match input.as_ref() {
+                LogicalPlan::Selection { predicate, input: scan } => {
+                    assert!(predicate.to_string().contains("AND"));
+                    assert!(matches!(**scan, LogicalPlan::Scan { .. }));
+                }
+                other => panic!("expected selection under embed, got {other}"),
+            },
+            other => panic!("expected embed at root, got {other}"),
+        }
+        assert_eq!(optimized.selections_below_embedding(), 1);
+        assert_eq!(optimized.embed_count(), 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! Physical execution of the relational and embedding operators.
+//!
+//! Scans, selections, projections, and the embedding operator are executed
+//! here; the context-enhanced join itself — the paper's contribution — has
+//! several physical implementations that live in `cej-core` and consume the
+//! tables produced by this executor for the two join inputs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cej_embedding::Embedder;
+use cej_storage::{Column, Table};
+
+use crate::algebra::{EmbedSpec, LogicalPlan};
+use crate::catalog::Catalog;
+use crate::error::RelationalError;
+use crate::eval::evaluate_predicate;
+use crate::Result;
+
+/// A named registry of embedding models available to plans.
+///
+/// Plans refer to models by name (the declarative interface of the paper:
+/// "the user should only specify the embedding model and a threshold"); the
+/// registry resolves the name at execution time.
+#[derive(Clone, Default)]
+pub struct ModelRegistry {
+    models: HashMap<String, Arc<dyn Embedder>>,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry").field("models", &self.model_names()).finish()
+    }
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a model under `name`.
+    pub fn register(&mut self, name: &str, model: Arc<dyn Embedder>) {
+        self.models.insert(name.to_string(), model);
+    }
+
+    /// Resolves a model by name.
+    ///
+    /// # Errors
+    /// Returns [`RelationalError::UnknownModel`] when absent.
+    pub fn model(&self, name: &str) -> Result<Arc<dyn Embedder>> {
+        self.models
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RelationalError::UnknownModel(name.to_string()))
+    }
+
+    /// Registered model names (unsorted).
+    pub fn model_names(&self) -> Vec<&str> {
+        self.models.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Whether a model with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.models.contains_key(name)
+    }
+}
+
+/// Executes the relational portion of a plan (everything except `EJoin`),
+/// returning the materialised table.
+///
+/// # Errors
+/// Returns [`RelationalError::InvalidPlan`] when the plan contains an
+/// `EJoin` node (joins are executed by `cej-core`), plus any catalog, model,
+/// or evaluation errors.
+pub fn execute_relational(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    models: &ModelRegistry,
+) -> Result<Table> {
+    match plan {
+        LogicalPlan::Scan { table } => Ok(catalog.table(table)?.as_ref().clone()),
+        LogicalPlan::Selection { predicate, input } => {
+            let table = execute_relational(input, catalog, models)?;
+            let selection = evaluate_predicate(predicate, &table)?;
+            table.filter(&selection).map_err(RelationalError::from)
+        }
+        LogicalPlan::Projection { columns, input } => {
+            let table = execute_relational(input, catalog, models)?;
+            let names: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+            table.project(&names).map_err(RelationalError::from)
+        }
+        LogicalPlan::Embed { spec, input } => {
+            let table = execute_relational(input, catalog, models)?;
+            apply_embedding(&table, spec, models)
+        }
+        LogicalPlan::EJoin { .. } => Err(RelationalError::InvalidPlan(
+            "EJoin nodes are executed by the cej-core join operators, not the relational executor"
+                .into(),
+        )),
+    }
+}
+
+/// Applies the embedding operator `E_µ` to one column of a table, appending
+/// the embedding column named by the spec.
+///
+/// # Errors
+/// Returns model-resolution, column-lookup, and type errors.
+pub fn apply_embedding(table: &Table, spec: &EmbedSpec, models: &ModelRegistry) -> Result<Table> {
+    let model = models.model(&spec.model)?;
+    let strings = table
+        .column_by_name(&spec.input_column)
+        .map_err(|_| RelationalError::UnknownColumn(spec.input_column.clone()))?
+        .as_utf8()
+        .map_err(RelationalError::from)?;
+    let matrix = model.embed_batch(strings);
+    table
+        .with_column(&spec.output_column, Column::Vector(matrix))
+        .map_err(RelationalError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::SimilarityPredicate;
+    use crate::expr::{col, lit_i64};
+    use cej_embedding::{FastTextConfig, FastTextModel};
+    use cej_storage::{DataType, TableBuilder};
+
+    fn setup() -> (Catalog, ModelRegistry) {
+        let mut catalog = Catalog::new();
+        catalog.register(
+            "photos",
+            TableBuilder::new()
+                .int64("id", vec![1, 2, 3])
+                .utf8("caption", vec!["bbq party".into(), "database talk".into(), "grill".into()])
+                .date("taken", vec![10, 20, 30])
+                .build()
+                .unwrap(),
+        );
+        let mut models = ModelRegistry::new();
+        let model = FastTextModel::new(FastTextConfig {
+            dim: 16,
+            buckets: 1000,
+            ..FastTextConfig::default()
+        })
+        .unwrap();
+        models.register("fasttext", Arc::new(model));
+        (catalog, models)
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let (_, models) = setup();
+        assert!(models.contains("fasttext"));
+        assert!(models.model("fasttext").is_ok());
+        assert!(matches!(models.model("bert"), Err(RelationalError::UnknownModel(_))));
+        assert_eq!(models.model_names(), vec!["fasttext"]);
+        assert!(format!("{models:?}").contains("fasttext"));
+    }
+
+    #[test]
+    fn scan_and_selection_execute() {
+        let (catalog, models) = setup();
+        let plan = LogicalPlan::scan("photos").select(col("id").gt(lit_i64(1)));
+        let out = execute_relational(&plan, &catalog, &models).unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn projection_executes() {
+        let (catalog, models) = setup();
+        let plan = LogicalPlan::scan("photos").project(&["caption"]);
+        let out = execute_relational(&plan, &catalog, &models).unwrap();
+        assert_eq!(out.num_columns(), 1);
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn embedding_appends_vector_column() {
+        let (catalog, models) = setup();
+        let plan = LogicalPlan::scan("photos").embed(EmbedSpec::new("caption", "fasttext"));
+        let out = execute_relational(&plan, &catalog, &models).unwrap();
+        assert_eq!(out.num_columns(), 4);
+        let field = out.schema().field("caption_emb").unwrap();
+        assert_eq!(field.data_type, DataType::Vector(16));
+        // embedding rows correspond to input rows
+        let emb = out.column_by_name("caption_emb").unwrap().as_vectors().unwrap();
+        assert_eq!(emb.rows(), 3);
+    }
+
+    #[test]
+    fn selection_below_embedding_reduces_model_work() {
+        let (catalog, models) = setup();
+        let plan = LogicalPlan::scan("photos")
+            .select(col("id").gt(lit_i64(2)))
+            .embed(EmbedSpec::new("caption", "fasttext"));
+        let out = execute_relational(&plan, &catalog, &models).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, "caption").unwrap().as_str(), Some("grill"));
+    }
+
+    #[test]
+    fn ejoin_rejected_by_relational_executor() {
+        let (catalog, models) = setup();
+        let plan = LogicalPlan::e_join(
+            LogicalPlan::scan("photos"),
+            LogicalPlan::scan("photos"),
+            "caption",
+            "caption",
+            "fasttext",
+            SimilarityPredicate::TopK(1),
+        );
+        assert!(matches!(
+            execute_relational(&plan, &catalog, &models),
+            Err(RelationalError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_table_model_and_column_errors() {
+        let (catalog, models) = setup();
+        assert!(execute_relational(&LogicalPlan::scan("nope"), &catalog, &models).is_err());
+        let bad_model = LogicalPlan::scan("photos").embed(EmbedSpec::new("caption", "bert"));
+        assert!(matches!(
+            execute_relational(&bad_model, &catalog, &models),
+            Err(RelationalError::UnknownModel(_))
+        ));
+        let bad_column = LogicalPlan::scan("photos").embed(EmbedSpec::new("nope", "fasttext"));
+        assert!(matches!(
+            execute_relational(&bad_column, &catalog, &models),
+            Err(RelationalError::UnknownColumn(_))
+        ));
+        // embedding a non-string column is a type error
+        let bad_type = LogicalPlan::scan("photos").embed(EmbedSpec::new("id", "fasttext"));
+        assert!(execute_relational(&bad_type, &catalog, &models).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Convenient typed table construction.
+
+use cej_vector::Vector;
+
+use crate::column::Column;
+use crate::datatype::DataType;
+use crate::error::StorageError;
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::Result;
+
+/// Incremental, column-at-a-time table builder.
+///
+/// The builder validates lengths and types only at [`TableBuilder::build`]
+/// time, which keeps workload generators simple.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    fields: Vec<Field>,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an `Int64` column.
+    #[must_use]
+    pub fn int64(mut self, name: &str, values: Vec<i64>) -> Self {
+        self.fields.push(Field::new(name, DataType::Int64));
+        self.columns.push(Column::Int64(values));
+        self
+    }
+
+    /// Adds a `Float64` column.
+    #[must_use]
+    pub fn float64(mut self, name: &str, values: Vec<f64>) -> Self {
+        self.fields.push(Field::new(name, DataType::Float64));
+        self.columns.push(Column::Float64(values));
+        self
+    }
+
+    /// Adds a `Utf8` column.
+    #[must_use]
+    pub fn utf8(mut self, name: &str, values: Vec<String>) -> Self {
+        self.fields.push(Field::new(name, DataType::Utf8));
+        self.columns.push(Column::Utf8(values));
+        self
+    }
+
+    /// Adds a `Date` column (days since the epoch).
+    #[must_use]
+    pub fn date(mut self, name: &str, values: Vec<i32>) -> Self {
+        self.fields.push(Field::new(name, DataType::Date));
+        self.columns.push(Column::Date(values));
+        self
+    }
+
+    /// Adds a `Bool` column.
+    #[must_use]
+    pub fn bool(mut self, name: &str, values: Vec<bool>) -> Self {
+        self.fields.push(Field::new(name, DataType::Bool));
+        self.columns.push(Column::Bool(values));
+        self
+    }
+
+    /// Adds an embedding column from owned vectors.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::InvalidArgument`] for empty or ragged input.
+    pub fn vectors(mut self, name: &str, values: &[Vector]) -> Result<Self> {
+        let column = Column::from_vectors(values)?;
+        self.fields.push(Field::new(name, column.data_type()));
+        self.columns.push(column);
+        Ok(self)
+    }
+
+    /// Adds an already-constructed column.
+    #[must_use]
+    pub fn column(mut self, name: &str, column: Column) -> Self {
+        self.fields.push(Field::new(name, column.data_type()));
+        self.columns.push(column);
+        self
+    }
+
+    /// Builds the table, validating shapes and names.
+    ///
+    /// # Errors
+    /// Propagates schema (duplicate names) and table (length / type
+    /// mismatch) validation failures; an empty builder yields an error.
+    pub fn build(self) -> Result<Table> {
+        if self.fields.is_empty() {
+            return Err(StorageError::InvalidArgument("table must have at least one column".into()));
+        }
+        let schema = Schema::new(self.fields)?;
+        Table::new(schema, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_multi_typed_table() {
+        let t = TableBuilder::new()
+            .int64("id", vec![1, 2])
+            .utf8("word", vec!["a".into(), "b".into()])
+            .date("taken", vec![0, 10])
+            .bool("flag", vec![true, false])
+            .float64("score", vec![0.5, 0.6])
+            .vectors("emb", &[Vector::zeros(4), Vector::zeros(4)])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_columns(), 6);
+        assert_eq!(t.schema().field("emb").unwrap().data_type, DataType::Vector(4));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected_at_build() {
+        let res = TableBuilder::new()
+            .int64("id", vec![1, 2, 3])
+            .utf8("word", vec!["a".into()])
+            .build();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected_at_build() {
+        let res = TableBuilder::new().int64("x", vec![1]).float64("x", vec![1.0]).build();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn empty_builder_rejected() {
+        assert!(TableBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn ragged_vectors_rejected() {
+        let res = TableBuilder::new().vectors("emb", &[Vector::zeros(2), Vector::zeros(3)]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn generic_column_method() {
+        let t = TableBuilder::new()
+            .column("c", Column::Int64(vec![9]))
+            .build()
+            .unwrap();
+        assert_eq!(t.value(0, "c").unwrap().as_i64(), Some(9));
+    }
+}

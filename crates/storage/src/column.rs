@@ -1,0 +1,323 @@
+//! Typed columnar storage.
+
+use cej_vector::{Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+use crate::bitmap::SelectionBitmap;
+use crate::datatype::DataType;
+use crate::error::StorageError;
+use crate::scalar::ScalarValue;
+use crate::Result;
+
+/// A single typed column of values.
+///
+/// Embedding columns store their vectors contiguously as a [`Matrix`]
+/// (one row per tuple), which is exactly the layout the tensor join consumes —
+/// materialising an embedding column therefore costs nothing beyond the
+/// embedding itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64(Vec<i64>),
+    /// 64-bit floats.
+    Float64(Vec<f64>),
+    /// UTF-8 strings.
+    Utf8(Vec<String>),
+    /// Dates as days since the epoch.
+    Date(Vec<i32>),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// Dense embeddings, one row per tuple.
+    Vector(Matrix),
+}
+
+impl Column {
+    /// The logical type of the column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64(_) => DataType::Int64,
+            Column::Float64(_) => DataType::Float64,
+            Column::Utf8(_) => DataType::Utf8,
+            Column::Date(_) => DataType::Date,
+            Column::Bool(_) => DataType::Bool,
+            Column::Vector(m) => DataType::Vector(m.cols()),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.len(),
+            Column::Float64(v) => v.len(),
+            Column::Utf8(v) => v.len(),
+            Column::Date(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Vector(m) => m.rows(),
+        }
+    }
+
+    /// `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at row `i`.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::RowOutOfBounds`] for out-of-range rows.
+    pub fn get(&self, i: usize) -> Result<ScalarValue> {
+        if i >= self.len() {
+            return Err(StorageError::RowOutOfBounds { row: i, rows: self.len() });
+        }
+        Ok(match self {
+            Column::Int64(v) => ScalarValue::Int64(v[i]),
+            Column::Float64(v) => ScalarValue::Float64(v[i]),
+            Column::Utf8(v) => ScalarValue::Utf8(v[i].clone()),
+            Column::Date(v) => ScalarValue::Date(v[i]),
+            Column::Bool(v) => ScalarValue::Bool(v[i]),
+            Column::Vector(m) => {
+                ScalarValue::Vector(m.row_vector(i).expect("row bound already checked"))
+            }
+        })
+    }
+
+    /// Returns a new column containing only the selected rows (in order).
+    ///
+    /// # Errors
+    /// Returns [`StorageError::LengthMismatch`] when the bitmap length does
+    /// not match the column length.
+    pub fn filter(&self, selection: &SelectionBitmap) -> Result<Column> {
+        if selection.len() != self.len() {
+            return Err(StorageError::LengthMismatch {
+                expected: self.len(),
+                actual: selection.len(),
+            });
+        }
+        Ok(match self {
+            Column::Int64(v) => {
+                Column::Int64(selection.iter_selected().map(|i| v[i]).collect())
+            }
+            Column::Float64(v) => {
+                Column::Float64(selection.iter_selected().map(|i| v[i]).collect())
+            }
+            Column::Utf8(v) => {
+                Column::Utf8(selection.iter_selected().map(|i| v[i].clone()).collect())
+            }
+            Column::Date(v) => Column::Date(selection.iter_selected().map(|i| v[i]).collect()),
+            Column::Bool(v) => Column::Bool(selection.iter_selected().map(|i| v[i]).collect()),
+            Column::Vector(m) => {
+                let mut out = Matrix::zeros(0, m.cols());
+                for i in selection.iter_selected() {
+                    out.push_row(m.row(i).expect("selected row in range"))
+                        .expect("row widths agree");
+                }
+                Column::Vector(out)
+            }
+        })
+    }
+
+    /// Returns a new column containing the rows at `indices` (with repeats
+    /// allowed) — the classic `take` kernel used to materialise join results.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::RowOutOfBounds`] for any out-of-range index.
+    pub fn take(&self, indices: &[usize]) -> Result<Column> {
+        for &i in indices {
+            if i >= self.len() {
+                return Err(StorageError::RowOutOfBounds { row: i, rows: self.len() });
+            }
+        }
+        Ok(match self {
+            Column::Int64(v) => Column::Int64(indices.iter().map(|&i| v[i]).collect()),
+            Column::Float64(v) => Column::Float64(indices.iter().map(|&i| v[i]).collect()),
+            Column::Utf8(v) => Column::Utf8(indices.iter().map(|&i| v[i].clone()).collect()),
+            Column::Date(v) => Column::Date(indices.iter().map(|&i| v[i]).collect()),
+            Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i]).collect()),
+            Column::Vector(m) => {
+                let mut out = Matrix::zeros(0, m.cols());
+                for &i in indices {
+                    out.push_row(m.row(i).expect("index already validated"))
+                        .expect("row widths agree");
+                }
+                Column::Vector(out)
+            }
+        })
+    }
+
+    /// Borrows the strings of a `Utf8` column.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::TypeMismatch`] for other column types.
+    pub fn as_utf8(&self) -> Result<&[String]> {
+        match self {
+            Column::Utf8(v) => Ok(v),
+            other => Err(StorageError::TypeMismatch {
+                expected: "Utf8".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Borrows the values of an `Int64` column.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::TypeMismatch`] for other column types.
+    pub fn as_int64(&self) -> Result<&[i64]> {
+        match self {
+            Column::Int64(v) => Ok(v),
+            other => Err(StorageError::TypeMismatch {
+                expected: "Int64".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Borrows the values of a `Float64` column.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::TypeMismatch`] for other column types.
+    pub fn as_float64(&self) -> Result<&[f64]> {
+        match self {
+            Column::Float64(v) => Ok(v),
+            other => Err(StorageError::TypeMismatch {
+                expected: "Float64".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Borrows the values of a `Date` column.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::TypeMismatch`] for other column types.
+    pub fn as_date(&self) -> Result<&[i32]> {
+        match self {
+            Column::Date(v) => Ok(v),
+            other => Err(StorageError::TypeMismatch {
+                expected: "Date".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Borrows the embedding matrix of a `Vector` column.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::TypeMismatch`] for other column types.
+    pub fn as_vectors(&self) -> Result<&Matrix> {
+        match self {
+            Column::Vector(m) => Ok(m),
+            other => Err(StorageError::TypeMismatch {
+                expected: "Vector".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Builds a vector column from owned vectors.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::InvalidArgument`] when rows disagree on
+    /// dimensionality or the input is empty (dimension would be unknown).
+    pub fn from_vectors(vectors: &[Vector]) -> Result<Column> {
+        let m = Matrix::from_rows(vectors)
+            .map_err(|e| StorageError::InvalidArgument(e.to_string()))?;
+        Ok(Column::Vector(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn utf8_col() -> Column {
+        Column::Utf8(vec!["a".into(), "b".into(), "c".into()])
+    }
+
+    #[test]
+    fn data_type_and_len() {
+        assert_eq!(utf8_col().data_type(), DataType::Utf8);
+        assert_eq!(utf8_col().len(), 3);
+        assert!(!utf8_col().is_empty());
+        let vcol = Column::Vector(Matrix::zeros(2, 8));
+        assert_eq!(vcol.data_type(), DataType::Vector(8));
+        assert_eq!(vcol.len(), 2);
+    }
+
+    #[test]
+    fn get_values_and_bounds() {
+        let c = Column::Int64(vec![10, 20]);
+        assert_eq!(c.get(1).unwrap(), ScalarValue::Int64(20));
+        assert!(c.get(2).is_err());
+        let v = Column::Vector(Matrix::from_rows(&[Vector::new(vec![1.0, 2.0])]).unwrap());
+        assert_eq!(v.get(0).unwrap().as_vector().unwrap().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn filter_selects_rows() {
+        let c = utf8_col();
+        let sel = SelectionBitmap::from_bools(vec![true, false, true]);
+        let f = c.filter(&sel).unwrap();
+        assert_eq!(f.as_utf8().unwrap(), &["a".to_string(), "c".to_string()]);
+        assert!(c.filter(&SelectionBitmap::all(2)).is_err());
+    }
+
+    #[test]
+    fn filter_vector_column() {
+        let m = Matrix::from_rows(&[
+            Vector::new(vec![1.0, 0.0]),
+            Vector::new(vec![0.0, 1.0]),
+            Vector::new(vec![0.5, 0.5]),
+        ])
+        .unwrap();
+        let c = Column::Vector(m);
+        let sel = SelectionBitmap::from_bools(vec![false, true, true]);
+        let f = c.filter(&sel).unwrap();
+        let fm = f.as_vectors().unwrap();
+        assert_eq!(fm.rows(), 2);
+        assert_eq!(fm.row(0).unwrap(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn take_with_repeats() {
+        let c = Column::Int64(vec![5, 6, 7]);
+        let t = c.take(&[2, 0, 2]).unwrap();
+        assert_eq!(t.as_int64().unwrap(), &[7, 5, 7]);
+        assert!(c.take(&[3]).is_err());
+    }
+
+    #[test]
+    fn take_on_every_type() {
+        let cols = vec![
+            Column::Int64(vec![1, 2]),
+            Column::Float64(vec![1.0, 2.0]),
+            utf8_col(),
+            Column::Date(vec![0, 1]),
+            Column::Bool(vec![true, false]),
+            Column::Vector(Matrix::zeros(2, 3)),
+        ];
+        for c in cols {
+            let t = c.take(&[0]).unwrap();
+            assert_eq!(t.len(), 1);
+            assert_eq!(t.data_type(), c.data_type());
+        }
+    }
+
+    #[test]
+    fn typed_accessors_enforce_types() {
+        assert!(utf8_col().as_utf8().is_ok());
+        assert!(utf8_col().as_int64().is_err());
+        assert!(Column::Int64(vec![1]).as_int64().is_ok());
+        assert!(Column::Float64(vec![1.0]).as_float64().is_ok());
+        assert!(Column::Date(vec![1]).as_date().is_ok());
+        assert!(Column::Date(vec![1]).as_vectors().is_err());
+    }
+
+    #[test]
+    fn from_vectors_builds_matrix_column() {
+        let c = Column::from_vectors(&[Vector::new(vec![1.0]), Vector::new(vec![2.0])]).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.data_type(), DataType::Vector(1));
+        assert!(Column::from_vectors(&[]).is_err());
+    }
+}

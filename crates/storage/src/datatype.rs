@@ -1,0 +1,95 @@
+//! The type system of the relational substrate.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Logical data types supported by the storage layer.
+///
+/// `Vector(d)` is a first-class type: the paper argues embeddings should be
+/// treated as *atomic* values by the DBMS (they satisfy 1NF because the
+/// engine never decomposes them), so a column of embeddings is just another
+/// typed column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float.
+    Float64,
+    /// UTF-8 string (the paper's context-rich column).
+    Utf8,
+    /// Calendar date stored as days since 1970-01-01.
+    Date,
+    /// Boolean.
+    Bool,
+    /// Dense `f32` embedding of the given dimensionality.
+    Vector(usize),
+}
+
+impl DataType {
+    /// `true` for types with a total order usable in range predicates.
+    pub fn is_orderable(&self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64 | DataType::Date | DataType::Utf8)
+    }
+
+    /// `true` for the numeric types.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+
+    /// `true` when this is an embedding column.
+    pub fn is_vector(&self) -> bool {
+        matches!(self, DataType::Vector(_))
+    }
+
+    /// Embedding dimensionality, when applicable.
+    pub fn vector_dim(&self) -> Option<usize> {
+        match self {
+            DataType::Vector(d) => Some(*d),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int64 => write!(f, "Int64"),
+            DataType::Float64 => write!(f, "Float64"),
+            DataType::Utf8 => write!(f, "Utf8"),
+            DataType::Date => write!(f, "Date"),
+            DataType::Bool => write!(f, "Bool"),
+            DataType::Vector(d) => write!(f, "Vector({d})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::Int64.to_string(), "Int64");
+        assert_eq!(DataType::Vector(100).to_string(), "Vector(100)");
+    }
+
+    #[test]
+    fn orderable_and_numeric_classification() {
+        assert!(DataType::Int64.is_orderable());
+        assert!(DataType::Date.is_orderable());
+        assert!(DataType::Utf8.is_orderable());
+        assert!(!DataType::Vector(4).is_orderable());
+        assert!(!DataType::Bool.is_orderable());
+        assert!(DataType::Float64.is_numeric());
+        assert!(!DataType::Utf8.is_numeric());
+    }
+
+    #[test]
+    fn vector_dim_accessor() {
+        assert_eq!(DataType::Vector(64).vector_dim(), Some(64));
+        assert_eq!(DataType::Int64.vector_dim(), None);
+        assert!(DataType::Vector(64).is_vector());
+        assert!(!DataType::Date.is_vector());
+    }
+}

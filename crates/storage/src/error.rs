@@ -1,0 +1,81 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+
+/// Errors raised by schema, column, and table operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A column with this name does not exist in the schema.
+    ColumnNotFound(String),
+    /// The value or column type differs from the schema type.
+    TypeMismatch {
+        /// What the schema or operation expected.
+        expected: String,
+        /// What was actually provided.
+        actual: String,
+    },
+    /// Columns of a table (or a bitmap) have inconsistent lengths.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Number of rows available.
+        rows: usize,
+    },
+    /// A value could not be parsed (e.g. a malformed date literal).
+    Parse(String),
+    /// Any other invalid argument.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            StorageError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            StorageError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            StorageError::RowOutOfBounds { row, rows } => {
+                write!(f, "row {row} out of bounds ({rows} rows)")
+            }
+            StorageError::Parse(msg) => write!(f, "parse error: {msg}"),
+            StorageError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        assert!(StorageError::ColumnNotFound("x".into()).to_string().contains("x"));
+        assert!(StorageError::TypeMismatch { expected: "Int64".into(), actual: "Utf8".into() }
+            .to_string()
+            .contains("Int64"));
+        assert!(StorageError::LengthMismatch { expected: 3, actual: 4 }
+            .to_string()
+            .contains("3"));
+        assert!(StorageError::RowOutOfBounds { row: 9, rows: 2 }.to_string().contains("9"));
+        assert!(StorageError::Parse("bad date".into()).to_string().contains("bad date"));
+        assert!(StorageError::InvalidArgument("nope".into()).to_string().contains("nope"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<StorageError>();
+    }
+}

@@ -1,0 +1,150 @@
+//! Schemas: named, typed fields.
+
+use serde::{Deserialize, Serialize};
+
+use crate::datatype::DataType;
+use crate::error::StorageError;
+use crate::Result;
+
+/// A single named, typed column description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self { name: name.into(), data_type }
+    }
+}
+
+/// An ordered collection of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::InvalidArgument`] for duplicate column names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|other| other.name == f.name) {
+                return Err(StorageError::InvalidArgument(format!(
+                    "duplicate column name: {}",
+                    f.name
+                )));
+            }
+        }
+        Ok(Self { fields })
+    }
+
+    /// Empty schema.
+    pub fn empty() -> Self {
+        Self { fields: Vec::new() }
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` when there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column with the given name.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::ColumnNotFound`] when absent.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| StorageError::ColumnNotFound(name.to_string()))
+    }
+
+    /// The field with the given name.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::ColumnNotFound`] when absent.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        let idx = self.index_of(name)?;
+        Ok(&self.fields[idx])
+    }
+
+    /// Returns a new schema restricted to the given columns, in the given
+    /// order.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::ColumnNotFound`] if any name is absent.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(names.len());
+        for name in names {
+            fields.push(self.field(name)?.clone());
+        }
+        Schema::new(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("title", DataType::Utf8),
+            Field::new("taken", DataType::Date),
+            Field::new("embedding", DataType::Vector(100)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn index_and_field_lookup() {
+        let s = schema();
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.index_of("taken").unwrap(), 2);
+        assert_eq!(s.field("embedding").unwrap().data_type, DataType::Vector(100));
+        assert!(matches!(s.index_of("missing"), Err(StorageError::ColumnNotFound(_))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a", DataType::Utf8),
+        ]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn project_reorders_and_subsets() {
+        let s = schema();
+        let p = s.project(&["title", "id"]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.fields()[0].name, "title");
+        assert_eq!(p.fields()[1].name, "id");
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn empty_schema() {
+        assert!(Schema::empty().is_empty());
+        assert_eq!(Schema::default(), Schema::empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for the vector substrate.
+
+use std::fmt;
+
+/// Errors raised by vector and matrix operations.
+///
+/// The substrate is deliberately strict about shape mismatches: a dimension
+/// error in the join pipeline almost always indicates that two different
+/// embedding models (or model versions) were mixed, which the paper treats as
+/// a semantic error (embeddings are only comparable under the same model µ).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VectorError {
+    /// Two operands had incompatible dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the left operand.
+        left: usize,
+        /// Dimensionality of the right operand.
+        right: usize,
+    },
+    /// A matrix was constructed from data whose length is not a multiple of
+    /// the declared row width.
+    RaggedData {
+        /// Number of values supplied.
+        len: usize,
+        /// Declared row width.
+        width: usize,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Number of available entries.
+        len: usize,
+    },
+    /// An operation that requires a non-empty input received an empty one.
+    Empty(&'static str),
+    /// An invalid parameter was supplied (e.g. a zero tile size).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for VectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VectorError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            VectorError::RaggedData { len, width } => {
+                write!(f, "ragged matrix data: {len} values is not a multiple of width {width}")
+            }
+            VectorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            VectorError::Empty(what) => write!(f, "{what} must not be empty"),
+            VectorError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VectorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let err = VectorError::DimensionMismatch { left: 3, right: 4 };
+        assert_eq!(err.to_string(), "dimension mismatch: 3 vs 4");
+    }
+
+    #[test]
+    fn display_ragged() {
+        let err = VectorError::RaggedData { len: 10, width: 3 };
+        assert!(err.to_string().contains("ragged"));
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let err = VectorError::IndexOutOfBounds { index: 5, len: 2 };
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn display_empty_and_invalid() {
+        assert!(VectorError::Empty("input").to_string().contains("input"));
+        assert!(VectorError::InvalidParameter("tile=0".into())
+            .to_string()
+            .contains("tile=0"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<VectorError>();
+    }
+}

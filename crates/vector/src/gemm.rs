@@ -1,0 +1,363 @@
+//! Blocked similarity-matrix kernel (`A · Bᵀ`) — the physical backbone of the
+//! tensor join.
+//!
+//! Given an `m × d` matrix `A` (outer relation embeddings) and an `n × d`
+//! matrix `B` (inner relation embeddings), the tensor join needs the `m × n`
+//! score matrix `D = A · Bᵀ` (paper Section IV-C, Figure 6).  This module
+//! computes `D` (or a sub-block of it) with:
+//!
+//! * **register/cache tiling**: rows of `A` and `B` are processed in small
+//!   tiles so the working set of `B` rows stays cache resident and is reused
+//!   across many rows of `A` — exactly the cache-locality argument the paper
+//!   makes for preferring the tensor formulation over per-pair NLJ.
+//! * **kernel selection**: the innermost dot product dispatches through
+//!   [`Kernel`], reproducing the SIMD / NO-SIMD axis.
+//! * **optional multi-threading**: rows of `A` are split across scoped
+//!   threads writing disjoint slices of the output.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::VectorError;
+use crate::kernels::Kernel;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Configuration of the blocked similarity kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GemmConfig {
+    /// Compute kernel for the innermost dot products.
+    pub kernel: Kernel,
+    /// Tile height (rows of `A` per tile).
+    pub tile_rows: usize,
+    /// Tile width (rows of `B` per tile).
+    pub tile_cols: usize,
+    /// Number of worker threads (1 = single-threaded).
+    pub threads: usize,
+}
+
+impl Default for GemmConfig {
+    fn default() -> Self {
+        Self { kernel: Kernel::Unrolled, tile_rows: 64, tile_cols: 64, threads: 1 }
+    }
+}
+
+impl GemmConfig {
+    /// Single-threaded configuration with the given kernel.
+    pub fn with_kernel(kernel: Kernel) -> Self {
+        Self { kernel, ..Self::default() }
+    }
+
+    /// Sets the number of threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the tile shape.
+    pub fn tiles(mut self, rows: usize, cols: usize) -> Self {
+        self.tile_rows = rows.max(1);
+        self.tile_cols = cols.max(1);
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.tile_rows == 0 || self.tile_cols == 0 {
+            return Err(VectorError::InvalidParameter("tile sizes must be non-zero".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A dense `m × n` score matrix produced by [`similarity_matrix`].
+///
+/// Scores are raw dot products; callers that need cosine similarity must
+/// normalise the inputs first (see [`crate::norm::normalize_matrix_rows`]),
+/// which is how the tensor join implements cosine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityMatrix {
+    /// Number of outer (A) rows.
+    pub a_rows: usize,
+    /// Number of inner (B) rows.
+    pub b_rows: usize,
+    scores: Vec<f32>,
+}
+
+impl SimilarityMatrix {
+    /// Score of pair `(a_row, b_row)`.
+    #[inline]
+    pub fn score(&self, a_row: usize, b_row: usize) -> f32 {
+        self.scores[a_row * self.b_rows + b_row]
+    }
+
+    /// Borrow the scores of a single `A` row against every `B` row.
+    #[inline]
+    pub fn row(&self, a_row: usize) -> &[f32] {
+        &self.scores[a_row * self.b_rows..(a_row + 1) * self.b_rows]
+    }
+
+    /// Flat row-major score buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.scores
+    }
+
+    /// Memory footprint of the score buffer in bytes.
+    pub fn bytes(&self) -> usize {
+        self.scores.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Collects every pair whose score is at least `threshold`.
+    pub fn pairs_above(&self, threshold: f32) -> Vec<(usize, usize, f32)> {
+        let mut out = Vec::new();
+        for a in 0..self.a_rows {
+            let row = self.row(a);
+            for (b, &s) in row.iter().enumerate() {
+                if s >= threshold {
+                    out.push((a, b, s));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Computes the full `m × n` score matrix `A · Bᵀ`.
+///
+/// # Errors
+/// Returns [`VectorError::DimensionMismatch`] when the inputs disagree on the
+/// embedding dimension, and [`VectorError::InvalidParameter`] for a
+/// degenerate configuration.
+pub fn similarity_matrix(a: &Matrix, b: &Matrix, config: &GemmConfig) -> Result<SimilarityMatrix> {
+    config.validate()?;
+    if a.cols() != b.cols() {
+        return Err(VectorError::DimensionMismatch { left: a.cols(), right: b.cols() });
+    }
+    let mut scores = vec![0.0f32; a.rows() * b.rows()];
+    if a.rows() == 0 || b.rows() == 0 {
+        return Ok(SimilarityMatrix { a_rows: a.rows(), b_rows: b.rows(), scores });
+    }
+    if config.threads <= 1 || a.rows() < config.threads {
+        block_into(
+            a.as_slice(),
+            b.as_slice(),
+            a.rows(),
+            b.rows(),
+            a.cols(),
+            config,
+            &mut scores,
+        );
+    } else {
+        parallel_block_into(a, b, config, &mut scores);
+    }
+    Ok(SimilarityMatrix { a_rows: a.rows(), b_rows: b.rows(), scores })
+}
+
+/// Computes a score block for raw row-major slices, writing into `out`
+/// (which must have `a_rows * b_rows` elements).
+///
+/// This is the building block the tensor join uses for mini-batched
+/// execution: it never allocates, so the caller fully controls the
+/// intermediate-state memory budget (paper Section V-B, Figure 7).
+pub fn block_into(
+    a: &[f32],
+    b: &[f32],
+    a_rows: usize,
+    b_rows: usize,
+    dim: usize,
+    config: &GemmConfig,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), a_rows * dim);
+    debug_assert_eq!(b.len(), b_rows * dim);
+    debug_assert_eq!(out.len(), a_rows * b_rows);
+    let tr = config.tile_rows.max(1);
+    let tc = config.tile_cols.max(1);
+    let kernel = config.kernel;
+    let mut ai = 0;
+    while ai < a_rows {
+        let a_end = (ai + tr).min(a_rows);
+        let mut bi = 0;
+        while bi < b_rows {
+            let b_end = (bi + tc).min(b_rows);
+            // Tile loop: the B tile (tc rows) stays hot in cache while it is
+            // reused against every A row of the tile.
+            for ar in ai..a_end {
+                let a_row = &a[ar * dim..(ar + 1) * dim];
+                let out_row = &mut out[ar * b_rows..(ar + 1) * b_rows];
+                for br in bi..b_end {
+                    let b_row = &b[br * dim..(br + 1) * dim];
+                    out_row[br] = kernel.dot(a_row, b_row);
+                }
+            }
+            bi = b_end;
+        }
+        ai = a_end;
+    }
+}
+
+/// Multi-threaded variant of [`block_into`] over the rows of `A`.
+fn parallel_block_into(a: &Matrix, b: &Matrix, config: &GemmConfig, out: &mut [f32]) {
+    let threads = config.threads.max(1);
+    let a_rows = a.rows();
+    let b_rows = b.rows();
+    let dim = a.cols();
+    let rows_per_thread = a_rows.div_ceil(threads);
+    let b_slice = b.as_slice();
+    let a_slice = a.as_slice();
+
+    crossbeam::scope(|scope| {
+        let mut remaining = out;
+        let mut start = 0usize;
+        while start < a_rows {
+            let end = (start + rows_per_thread).min(a_rows);
+            let rows = end - start;
+            let (chunk, rest) = remaining.split_at_mut(rows * b_rows);
+            remaining = rest;
+            let a_chunk = &a_slice[start * dim..end * dim];
+            scope.spawn(move |_| {
+                block_into(a_chunk, b_slice, rows, b_rows, dim, config, chunk);
+            });
+            start = end;
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::Vector;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-4
+    }
+
+    fn matrix(rows: usize, cols: usize, seed: u32) -> Matrix {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((state >> 8) as f32 / (1u32 << 24) as f32) - 0.5
+        };
+        Matrix::from_flat(rows, cols, (0..rows * cols).map(|_| next()).collect()).unwrap()
+    }
+
+    fn naive(a: &Matrix, b: &Matrix) -> Vec<f32> {
+        let mut out = vec![0.0; a.rows() * b.rows()];
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.row(i).unwrap()[k] * b.row(j).unwrap()[k];
+                }
+                out[i * b.rows() + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_single_thread() {
+        let a = matrix(17, 33, 1);
+        let b = matrix(23, 33, 2);
+        let got = similarity_matrix(&a, &b, &GemmConfig::default()).unwrap();
+        let expected = naive(&a, &b);
+        for (g, e) in got.as_slice().iter().zip(expected.iter()) {
+            assert!(approx(*g, *e));
+        }
+    }
+
+    #[test]
+    fn matches_naive_multi_thread() {
+        let a = matrix(40, 16, 3);
+        let b = matrix(31, 16, 4);
+        let cfg = GemmConfig::default().threads(4).tiles(8, 8);
+        let got = similarity_matrix(&a, &b, &cfg).unwrap();
+        let expected = naive(&a, &b);
+        for (g, e) in got.as_slice().iter().zip(expected.iter()) {
+            assert!(approx(*g, *e));
+        }
+    }
+
+    #[test]
+    fn scalar_and_unrolled_kernels_agree() {
+        let a = matrix(9, 100, 5);
+        let b = matrix(11, 100, 6);
+        let s = similarity_matrix(&a, &b, &GemmConfig::with_kernel(Kernel::Scalar)).unwrap();
+        let u = similarity_matrix(&a, &b, &GemmConfig::with_kernel(Kernel::Unrolled)).unwrap();
+        for (x, y) in s.as_slice().iter().zip(u.as_slice().iter()) {
+            assert!(approx(*x, *y));
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = matrix(3, 8, 7);
+        let b = matrix(3, 9, 8);
+        assert!(similarity_matrix(&a, &b, &GemmConfig::default()).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_scores() {
+        let a = Matrix::zeros(0, 4);
+        let b = matrix(3, 4, 9);
+        let s = similarity_matrix(&a, &b, &GemmConfig::default()).unwrap();
+        assert_eq!(s.a_rows, 0);
+        assert!(s.as_slice().is_empty());
+    }
+
+    #[test]
+    fn score_row_and_pair_access() {
+        let a = Matrix::from_rows(&[Vector::new(vec![1.0, 0.0]), Vector::new(vec![0.0, 1.0])])
+            .unwrap();
+        let b = Matrix::from_rows(&[Vector::new(vec![1.0, 0.0]), Vector::new(vec![1.0, 1.0])])
+            .unwrap();
+        let s = similarity_matrix(&a, &b, &GemmConfig::default()).unwrap();
+        assert!(approx(s.score(0, 0), 1.0));
+        assert!(approx(s.score(0, 1), 1.0));
+        assert!(approx(s.score(1, 0), 0.0));
+        assert_eq!(s.row(1).len(), 2);
+        assert_eq!(s.bytes(), 4 * 4);
+    }
+
+    #[test]
+    fn pairs_above_threshold() {
+        let a = Matrix::from_rows(&[Vector::new(vec![1.0, 0.0])]).unwrap();
+        let b = Matrix::from_rows(&[
+            Vector::new(vec![1.0, 0.0]),
+            Vector::new(vec![0.0, 1.0]),
+            Vector::new(vec![0.9, 0.1]),
+        ])
+        .unwrap();
+        let s = similarity_matrix(&a, &b, &GemmConfig::default()).unwrap();
+        let pairs = s.pairs_above(0.5);
+        let ids: Vec<(usize, usize)> = pairs.iter().map(|p| (p.0, p.1)).collect();
+        assert_eq!(ids, vec![(0, 0), (0, 2)]);
+    }
+
+    #[test]
+    fn block_into_subblock_matches_full() {
+        let a = matrix(10, 12, 11);
+        let b = matrix(8, 12, 12);
+        let full = similarity_matrix(&a, &b, &GemmConfig::default()).unwrap();
+        // compute rows 4..10 of A against all of B as a standalone block
+        let a_chunk = a.rows_as_slice(4, 10).unwrap();
+        let mut block = vec![0.0f32; 6 * 8];
+        block_into(a_chunk, b.as_slice(), 6, 8, 12, &GemmConfig::default(), &mut block);
+        for r in 0..6 {
+            for c in 0..8 {
+                assert!(approx(block[r * 8 + c], full.score(r + 4, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn odd_tile_sizes_still_correct() {
+        let a = matrix(13, 7, 21);
+        let b = matrix(9, 7, 22);
+        let cfg = GemmConfig::default().tiles(5, 3);
+        let got = similarity_matrix(&a, &b, &cfg).unwrap();
+        let expected = naive(&a, &b);
+        for (g, e) in got.as_slice().iter().zip(expected.iter()) {
+            assert!(approx(*g, *e));
+        }
+    }
+}

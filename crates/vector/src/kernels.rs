@@ -1,0 +1,211 @@
+//! Scalar and unrolled ("vectorised") compute kernels.
+//!
+//! The paper evaluates every operator both with and without SIMD
+//! acceleration (Figures 8, 9, 11).  We reproduce that axis with two kernel
+//! families:
+//!
+//! * **Scalar** kernels: a straightforward element-by-element loop with a
+//!   single sequential accumulator.  The loop-carried dependency on the
+//!   accumulator prevents LLVM from auto-vectorising the floating-point
+//!   reduction, so this is a faithful stand-in for the paper's `NO-SIMD`
+//!   configuration.
+//! * **Unrolled** kernels: an 8-lane unrolled loop with independent partial
+//!   accumulators.  LLVM reliably turns this into packed SIMD instructions on
+//!   x86-64 and aarch64, standing in for the paper's AVX-512 `SIMD`
+//!   configuration.
+//!
+//! Operators take a [`Kernel`] value so benchmarks can switch between the two
+//! at run time.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of independent accumulator lanes used by the unrolled kernels.
+pub const UNROLL_LANES: usize = 8;
+
+/// Which compute kernel family an operator should use.
+///
+/// See the module documentation for how this maps onto the paper's
+/// SIMD / NO-SIMD experimental axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Kernel {
+    /// Element-at-a-time kernel with a single accumulator (paper: `NO-SIMD`).
+    Scalar,
+    /// 8-lane unrolled kernel that auto-vectorises (paper: `SIMD`).
+    #[default]
+    Unrolled,
+}
+
+impl Kernel {
+    /// Dot product of two equally sized slices using this kernel.
+    ///
+    /// # Panics
+    /// Debug-asserts that the slices have equal length; in release builds the
+    /// shorter length wins (consistent with `zip`).
+    #[inline]
+    pub fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Kernel::Scalar => dot_scalar(a, b),
+            Kernel::Unrolled => dot_unrolled(a, b),
+        }
+    }
+
+    /// L2 norm of a slice using this kernel.
+    #[inline]
+    pub fn l2_norm(&self, a: &[f32]) -> f32 {
+        match self {
+            Kernel::Scalar => l2_norm_scalar(a),
+            Kernel::Unrolled => l2_norm_unrolled(a),
+        }
+    }
+
+    /// Human-readable label used by the benchmark harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Kernel::Scalar => "NO-SIMD",
+            Kernel::Unrolled => "SIMD",
+        }
+    }
+}
+
+/// Scalar dot product: one accumulator, no unrolling.
+#[inline]
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Unrolled dot product with [`UNROLL_LANES`] independent accumulators.
+#[inline]
+pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let chunks = n / UNROLL_LANES;
+    let mut acc = [0.0f32; UNROLL_LANES];
+    for c in 0..chunks {
+        let base = c * UNROLL_LANES;
+        // Independent accumulators break the reduction dependency chain so
+        // the loop auto-vectorises into packed FMA/mul-add instructions.
+        for lane in 0..UNROLL_LANES {
+            acc[lane] += a[base + lane] * b[base + lane];
+        }
+    }
+    let mut total: f32 = acc.iter().sum();
+    for i in (chunks * UNROLL_LANES)..n {
+        total += a[i] * b[i];
+    }
+    total
+}
+
+/// Scalar L2 norm.
+#[inline]
+pub fn l2_norm_scalar(a: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for x in a {
+        acc += x * x;
+    }
+    acc.sqrt()
+}
+
+/// Unrolled L2 norm.
+#[inline]
+pub fn l2_norm_unrolled(a: &[f32]) -> f32 {
+    dot_unrolled(a, a).sqrt()
+}
+
+/// `out[i] += alpha * x[i]` (unrolled); used by embedding training updates.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    for (o, v) in out.iter_mut().zip(x.iter()) {
+        *o += alpha * *v;
+    }
+}
+
+/// Sum of a slice (unrolled partial accumulators).
+#[inline]
+pub fn sum(a: &[f32]) -> f32 {
+    let chunks = a.len() / UNROLL_LANES;
+    let mut acc = [0.0f32; UNROLL_LANES];
+    for c in 0..chunks {
+        let base = c * UNROLL_LANES;
+        for lane in 0..UNROLL_LANES {
+            acc[lane] += a[base + lane];
+        }
+    }
+    let mut total: f32 = acc.iter().sum();
+    for v in &a[chunks * UNROLL_LANES..] {
+        total += *v;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-4 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn scalar_and_unrolled_dot_agree() {
+        let a: Vec<f32> = (0..103).map(|i| (i as f32) * 0.01 - 0.5).collect();
+        let b: Vec<f32> = (0..103).map(|i| ((i * 7) % 13) as f32 * 0.1).collect();
+        assert!(approx(dot_scalar(&a, &b), dot_unrolled(&a, &b)));
+    }
+
+    #[test]
+    fn dot_of_empty_slices_is_zero() {
+        assert_eq!(dot_scalar(&[], &[]), 0.0);
+        assert_eq!(dot_unrolled(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_handles_non_multiple_of_lanes() {
+        let a = vec![1.0f32; 13];
+        let b = vec![2.0f32; 13];
+        assert!(approx(dot_unrolled(&a, &b), 26.0));
+    }
+
+    #[test]
+    fn norms_agree() {
+        let a: Vec<f32> = (0..57).map(|i| i as f32 * 0.3).collect();
+        assert!(approx(l2_norm_scalar(&a), l2_norm_unrolled(&a)));
+    }
+
+    #[test]
+    fn kernel_dispatch_matches_free_functions() {
+        let a: Vec<f32> = (0..40).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..40).map(|i| (40 - i) as f32).collect();
+        assert_eq!(Kernel::Scalar.dot(&a, &b), dot_scalar(&a, &b));
+        assert_eq!(Kernel::Unrolled.dot(&a, &b), dot_unrolled(&a, &b));
+        assert_eq!(Kernel::Scalar.l2_norm(&a), l2_norm_scalar(&a));
+        assert_eq!(Kernel::Unrolled.l2_norm(&a), l2_norm_unrolled(&a));
+    }
+
+    #[test]
+    fn kernel_labels() {
+        assert_eq!(Kernel::Scalar.label(), "NO-SIMD");
+        assert_eq!(Kernel::Unrolled.label(), "SIMD");
+        assert_eq!(Kernel::default(), Kernel::Unrolled);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = vec![1.0f32, 2.0, 3.0];
+        let mut out = vec![10.0f32, 10.0, 10.0];
+        axpy(0.5, &x, &mut out);
+        assert_eq!(out, vec![10.5, 11.0, 11.5]);
+    }
+
+    #[test]
+    fn sum_matches_iterator_sum() {
+        let a: Vec<f32> = (0..29).map(|i| i as f32).collect();
+        let expected: f32 = a.iter().sum();
+        assert!(approx(sum(&a), expected));
+    }
+}

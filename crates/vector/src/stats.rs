@@ -1,0 +1,109 @@
+//! Small statistics helpers shared by the benchmark harness and tests.
+
+/// Summary statistics over a set of `f64` samples (e.g. per-run timings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics; returns `None` for an empty input.
+    pub fn from_samples(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let min = sorted[0];
+        let max = sorted[count - 1];
+        let median = percentile(&sorted, 50.0);
+        let stddev = if count > 1 {
+            let var =
+                samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (count - 1) as f64;
+            var.sqrt()
+        } else {
+            0.0
+        };
+        Some(Summary { count, mean, min, max, median, stddev })
+    }
+}
+
+/// Linear-interpolation percentile of a **sorted** slice; `p` in `[0, 100]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_samples(&[4.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.stddev - 1.5811388).abs() < 1e-5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&sorted, 0.0), 10.0);
+        assert_eq!(percentile(&sorted, 100.0), 40.0);
+        assert_eq!(percentile(&sorted, 50.0), 25.0);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_nan() {
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn median_of_unsorted_input_handled_by_summary() {
+        let s = Summary::from_samples(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+    }
+}

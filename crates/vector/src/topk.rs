@@ -1,0 +1,191 @@
+//! Top-k selection over scored candidates.
+//!
+//! Index probes (HNSW) and top-k join predicates both need "keep the k best
+//! scores seen so far".  [`TopK`] is a small bounded max-collector built on a
+//! binary min-heap keyed by score, with deterministic tie-breaking on the id
+//! so results are reproducible across runs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scored candidate kept by [`TopK`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKEntry {
+    /// Identifier of the candidate (row offset, node id, ...).
+    pub id: usize,
+    /// Similarity score (larger is better).
+    pub score: f32,
+}
+
+impl TopKEntry {
+    /// Creates a new entry.
+    pub fn new(id: usize, score: f32) -> Self {
+        Self { id, score }
+    }
+}
+
+/// Reverse ordering wrapper so `BinaryHeap` (a max-heap) behaves as a
+/// min-heap on score: the root is always the *worst* kept candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MinByScore(TopKEntry);
+
+impl Eq for MinByScore {}
+
+impl Ord for MinByScore {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed comparison on score, ties broken by id (reversed too so the
+        // heap root is the entry we'd evict first: lowest score, largest id).
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.id.cmp(&other.0.id))
+    }
+}
+
+impl PartialOrd for MinByScore {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded collector retaining the `k` highest-scoring entries.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<MinByScore>,
+}
+
+impl TopK {
+    /// Creates a collector for the best `k` entries.  `k == 0` collects
+    /// nothing.
+    pub fn new(k: usize) -> Self {
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers a candidate; it is kept only if it beats the current k-th best.
+    pub fn push(&mut self, id: usize, score: f32) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(MinByScore(TopKEntry::new(id, score)));
+            return;
+        }
+        let worst = self.heap.peek().expect("non-empty heap").0;
+        if score > worst.score || (score == worst.score && id < worst.id) {
+            self.heap.pop();
+            self.heap.push(MinByScore(TopKEntry::new(id, score)));
+        }
+    }
+
+    /// Current worst kept score, if the collector is full.
+    pub fn threshold(&self) -> Option<f32> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|e| e.0.score)
+        }
+    }
+
+    /// Number of entries currently kept.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consumes the collector and returns entries sorted by descending score
+    /// (ties broken by ascending id).
+    pub fn into_sorted(self) -> Vec<TopKEntry> {
+        let mut entries: Vec<TopKEntry> = self.heap.into_iter().map(|e| e.0).collect();
+        entries.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        entries
+    }
+}
+
+/// Convenience: select the `k` highest scores of an iterator of `(id, score)`.
+pub fn top_k<I: IntoIterator<Item = (usize, f32)>>(k: usize, items: I) -> Vec<TopKEntry> {
+    let mut collector = TopK::new(k);
+    for (id, score) in items {
+        collector.push(id, score);
+    }
+    collector.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let scores = vec![(0, 0.1), (1, 0.9), (2, 0.5), (3, 0.7), (4, 0.2)];
+        let best = top_k(2, scores);
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[0].id, 1);
+        assert_eq!(best[1].id, 3);
+    }
+
+    #[test]
+    fn k_zero_keeps_nothing() {
+        let best = top_k(0, vec![(0, 1.0), (1, 2.0)]);
+        assert!(best.is_empty());
+    }
+
+    #[test]
+    fn fewer_items_than_k() {
+        let best = top_k(10, vec![(0, 0.3), (1, 0.8)]);
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[0].id, 1);
+    }
+
+    #[test]
+    fn sorted_descending_with_deterministic_ties() {
+        let best = top_k(3, vec![(5, 0.5), (2, 0.5), (9, 0.5), (1, 0.5)]);
+        assert_eq!(best.len(), 3);
+        // ties broken by smallest id kept and ascending id in output
+        assert_eq!(best.iter().map(|e| e.id).collect::<Vec<_>>(), vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn threshold_tracks_worst_kept() {
+        let mut tk = TopK::new(2);
+        assert_eq!(tk.threshold(), None);
+        tk.push(0, 0.4);
+        assert_eq!(tk.threshold(), None);
+        tk.push(1, 0.9);
+        assert_eq!(tk.threshold(), Some(0.4));
+        tk.push(2, 0.6);
+        assert_eq!(tk.threshold(), Some(0.6));
+        assert_eq!(tk.len(), 2);
+        assert!(!tk.is_empty());
+    }
+
+    #[test]
+    fn negative_scores_supported() {
+        let best = top_k(2, vec![(0, -0.5), (1, -0.1), (2, -0.9)]);
+        assert_eq!(best[0].id, 1);
+        assert_eq!(best[1].id, 0);
+    }
+
+    #[test]
+    fn large_input_matches_sort() {
+        let items: Vec<(usize, f32)> =
+            (0..1000).map(|i| (i, ((i * 7919) % 1000) as f32 / 1000.0)).collect();
+        let mut expected = items.clone();
+        expected.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let got = top_k(25, items);
+        let expected_ids: Vec<usize> = expected[..25].iter().map(|e| e.0).collect();
+        let got_ids: Vec<usize> = got.iter().map(|e| e.id).collect();
+        assert_eq!(got_ids, expected_ids);
+    }
+}

@@ -1,0 +1,302 @@
+//! Owned dense `f32` vector type used for single embeddings.
+
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::VectorError;
+use crate::kernels;
+use crate::Result;
+
+/// An owned, dense, fixed-dimension `f32` vector.
+///
+/// `Vector` is the unit of data produced by the embedding model (`E_mu` in
+/// the paper) for a single tuple.  Batches of vectors are stored as rows of a
+/// [`crate::Matrix`], which is what the tensor join operates on.
+///
+/// The paper treats embeddings as *atomic* values from the DBMS's point of
+/// view (Section IV): the engine never decomposes them, it only applies
+/// whole-vector expressions such as cosine similarity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vector {
+    data: Vec<f32>,
+}
+
+impl Vector {
+    /// Creates a vector from raw components.
+    pub fn new(data: Vec<f32>) -> Self {
+        Self { data }
+    }
+
+    /// Creates a zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Self { data: vec![0.0; dim] }
+    }
+
+    /// Creates a vector of dimension `dim` with every component equal to `value`.
+    pub fn splat(dim: usize, value: f32) -> Self {
+        Self { data: vec![value; dim] }
+    }
+
+    /// Dimensionality of the vector.
+    pub fn dim(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the vector has zero components.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the components as a slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Borrow the components mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying buffer.
+    pub fn into_inner(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// L2 (Euclidean) norm of the vector.
+    pub fn norm(&self) -> f32 {
+        kernels::l2_norm_unrolled(&self.data)
+    }
+
+    /// Returns a normalised (unit-length) copy of the vector.
+    ///
+    /// A zero vector is returned unchanged: the cosine similarity of a zero
+    /// vector against anything is defined as `0.0` by this crate, mirroring
+    /// how the paper's operators never match empty embeddings.
+    pub fn normalized(&self) -> Self {
+        let mut out = self.clone();
+        out.normalize();
+        out
+    }
+
+    /// Normalises the vector in place (see [`Vector::normalized`]).
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            for v in &mut self.data {
+                *v /= n;
+            }
+        }
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::DimensionMismatch`] when dimensions differ.
+    pub fn dot(&self, other: &Vector) -> Result<f32> {
+        if self.dim() != other.dim() {
+            return Err(VectorError::DimensionMismatch { left: self.dim(), right: other.dim() });
+        }
+        Ok(kernels::dot_unrolled(&self.data, &other.data))
+    }
+
+    /// Cosine similarity with another vector.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::DimensionMismatch`] when dimensions differ.
+    pub fn cosine_similarity(&self, other: &Vector) -> Result<f32> {
+        if self.dim() != other.dim() {
+            return Err(VectorError::DimensionMismatch { left: self.dim(), right: other.dim() });
+        }
+        Ok(crate::distance::cosine_similarity(&self.data, &other.data))
+    }
+
+    /// Adds `other` into `self` component-wise.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::DimensionMismatch`] when dimensions differ.
+    pub fn add_assign(&mut self, other: &Vector) -> Result<()> {
+        if self.dim() != other.dim() {
+            return Err(VectorError::DimensionMismatch { left: self.dim(), right: other.dim() });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every component by `factor`.
+    pub fn scale(&mut self, factor: f32) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Returns the component-wise mean of a non-empty set of vectors.
+    ///
+    /// Used by the embedding model to compose sub-word n-gram vectors into a
+    /// word embedding.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::Empty`] for an empty input and
+    /// [`VectorError::DimensionMismatch`] when inputs disagree on dimension.
+    pub fn mean(vectors: &[Vector]) -> Result<Vector> {
+        let first = vectors.first().ok_or(VectorError::Empty("mean input"))?;
+        let mut acc = Vector::zeros(first.dim());
+        for v in vectors {
+            acc.add_assign(v)?;
+        }
+        acc.scale(1.0 / vectors.len() as f32);
+        Ok(acc)
+    }
+}
+
+impl From<Vec<f32>> for Vector {
+    fn from(data: Vec<f32>) -> Self {
+        Vector::new(data)
+    }
+}
+
+impl From<&[f32]> for Vector {
+    fn from(data: &[f32]) -> Self {
+        Vector::new(data.to_vec())
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f32;
+
+    fn index(&self, index: usize) -> &Self::Output {
+        &self.data[index]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, index: usize) -> &mut Self::Output {
+        &mut self.data[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn zeros_and_dim() {
+        let v = Vector::zeros(8);
+        assert_eq!(v.dim(), 8);
+        assert!(v.as_slice().iter().all(|&x| x == 0.0));
+        assert!(!v.is_empty());
+        assert!(Vector::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn splat_fills_value() {
+        let v = Vector::splat(4, 2.5);
+        assert_eq!(v.as_slice(), &[2.5, 2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn norm_of_unit_axes() {
+        let v = Vector::new(vec![3.0, 4.0]);
+        assert!(approx(v.norm(), 5.0));
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm() {
+        let mut v = Vector::new(vec![3.0, 4.0, 0.0, 0.0]);
+        v.normalize();
+        assert!(approx(v.norm(), 1.0));
+        assert!(approx(v[0], 0.6));
+        assert!(approx(v[1], 0.8));
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = Vector::zeros(4);
+        v.normalize();
+        assert_eq!(v.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn dot_product_matches_manual() {
+        let a = Vector::new(vec![1.0, 2.0, 3.0]);
+        let b = Vector::new(vec![4.0, 5.0, 6.0]);
+        assert!(approx(a.dot(&b).unwrap(), 32.0));
+    }
+
+    #[test]
+    fn dot_dimension_mismatch_errors() {
+        let a = Vector::zeros(3);
+        let b = Vector::zeros(4);
+        assert!(matches!(a.dot(&b), Err(VectorError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn cosine_similarity_of_identical_vectors_is_one() {
+        let a = Vector::new(vec![0.2, -0.4, 0.9, 1.5]);
+        assert!(approx(a.cosine_similarity(&a).unwrap(), 1.0));
+    }
+
+    #[test]
+    fn cosine_similarity_of_orthogonal_vectors_is_zero() {
+        let a = Vector::new(vec![1.0, 0.0]);
+        let b = Vector::new(vec![0.0, 1.0]);
+        assert!(approx(a.cosine_similarity(&b).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn cosine_dimension_mismatch_errors() {
+        let a = Vector::zeros(3);
+        let b = Vector::zeros(5);
+        assert!(a.cosine_similarity(&b).is_err());
+    }
+
+    #[test]
+    fn mean_of_two_vectors() {
+        let a = Vector::new(vec![1.0, 2.0]);
+        let b = Vector::new(vec![3.0, 4.0]);
+        let m = Vector::mean(&[a, b]).unwrap();
+        assert_eq!(m.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_errors() {
+        assert!(matches!(Vector::mean(&[]), Err(VectorError::Empty(_))));
+    }
+
+    #[test]
+    fn mean_dimension_mismatch_errors() {
+        let a = Vector::zeros(2);
+        let b = Vector::zeros(3);
+        assert!(Vector::mean(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Vector::new(vec![1.0, 1.0]);
+        let b = Vector::new(vec![2.0, 3.0]);
+        a.add_assign(&b).unwrap();
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn indexing_and_from_impls() {
+        let mut v: Vector = vec![1.0f32, 2.0].into();
+        v[0] = 9.0;
+        assert_eq!(v[0], 9.0);
+        let s: Vector = [5.0f32, 6.0].as_slice().into();
+        assert_eq!(s.dim(), 2);
+    }
+
+    #[test]
+    fn into_inner_returns_buffer() {
+        let v = Vector::new(vec![1.0, -2.0, 3.5]);
+        assert_eq!(v.into_inner(), vec![1.0, -2.0, 3.5]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Random embedding matrices for model-free benchmarks.
+//!
+//! Figures 8-14 of the paper measure operator performance as a function of
+//! cardinality and dimensionality only; the semantic content of the vectors
+//! is irrelevant.  These helpers generate uniform or clustered matrices
+//! directly so benches don't pay model cost where the paper didn't.
+
+use cej_vector::{normalize, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A `rows × dim` matrix of uniform random values in `[-1, 1)`, row-normalised
+/// when `normalize_rows` is set (cosine similarity then equals dot product).
+pub fn uniform_matrix(rows: usize, dim: usize, seed: u64, normalize_rows: bool) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = vec![0.0f32; rows * dim];
+    for v in &mut data {
+        *v = rng.gen_range(-1.0..1.0);
+    }
+    let mut m = Matrix::from_flat(rows, dim, data).expect("shape matches by construction");
+    if normalize_rows {
+        for r in 0..rows {
+            normalize(m.row_mut(r).expect("row in range"));
+        }
+    }
+    m
+}
+
+/// A clustered matrix: `clusters` Gaussian-ish blobs, `rows` total rows,
+/// row-normalised.  Returns the matrix and the per-row cluster labels.
+pub fn clustered_matrix(
+    rows: usize,
+    dim: usize,
+    clusters: usize,
+    spread: f32,
+    seed: u64,
+) -> (Matrix, Vec<usize>) {
+    assert!(clusters > 0, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centroids: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let mut m = Matrix::zeros(0, dim);
+    let mut labels = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let c = i % clusters;
+        let mut row: Vec<f32> =
+            centroids[c].iter().map(|v| v + rng.gen_range(-spread..spread)).collect();
+        normalize(&mut row);
+        m.push_row(&row).expect("row width fixed");
+        labels.push(c);
+    }
+    (m, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cej_vector::cosine_similarity;
+
+    #[test]
+    fn uniform_matrix_shape_and_determinism() {
+        let a = uniform_matrix(10, 16, 4, false);
+        let b = uniform_matrix(10, 16, 4, false);
+        assert_eq!(a, b);
+        assert_eq!(a.rows(), 10);
+        assert_eq!(a.cols(), 16);
+        let c = uniform_matrix(10, 16, 5, false);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn normalized_rows_have_unit_norm() {
+        let m = uniform_matrix(20, 32, 1, true);
+        for r in 0..m.rows() {
+            let norm: f32 = m.row(r).unwrap().iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn clustered_matrix_same_cluster_is_closer() {
+        let (m, labels) = clustered_matrix(60, 24, 3, 0.05, 7);
+        assert_eq!(m.rows(), 60);
+        assert_eq!(labels.len(), 60);
+        // rows 0 and 3 share cluster 0; rows 0 and 1 do not
+        assert_eq!(labels[0], labels[3]);
+        assert_ne!(labels[0], labels[1]);
+        let same = cosine_similarity(m.row(0).unwrap(), m.row(3).unwrap());
+        let cross = cosine_similarity(m.row(0).unwrap(), m.row(1).unwrap());
+        assert!(same > cross, "same-cluster similarity {same} should exceed cross {cross}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        clustered_matrix(10, 4, 0, 0.1, 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Synonym-cluster word generation.
+//!
+//! Table II of the paper shows FastText mapping a word to semantically
+//! related neighbours (synonyms, plurals, related technologies).  To
+//! reproduce that behaviour without the Wikipedia corpus, the generator
+//! builds *clusters* of string variants around base concepts: inflections,
+//! misspellings, and designated synonyms.  Strings drawn from the same
+//! cluster are "semantically equal" ground truth, which tests and examples
+//! use to check join quality.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Built-in base concepts with hand-written synonyms, giving the generated
+/// vocabulary a realistic flavour (the paper's own example words included).
+const BASE_CONCEPTS: &[(&str, &[&str])] = &[
+    ("barbecue", &["bbq", "grilling", "cookout"]),
+    ("database", &["dbms", "rdbms", "datastore"]),
+    ("postgres", &["postgresql", "pgsql"]),
+    ("clothes", &["clothing", "garments", "apparel"]),
+    ("photograph", &["photo", "picture", "snapshot"]),
+    ("automobile", &["car", "vehicle", "motorcar"]),
+    ("laptop", &["notebook", "ultrabook"]),
+    ("holiday", &["vacation", "getaway"]),
+    ("restaurant", &["diner", "eatery", "bistro"]),
+    ("football", &["soccer", "futbol"]),
+];
+
+/// A cluster of string variants that are all "the same thing".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordCluster {
+    /// The canonical base word.
+    pub base: String,
+    /// All variants, including the base itself.
+    pub variants: Vec<String>,
+}
+
+impl WordCluster {
+    /// Number of variants in the cluster.
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// `true` when the cluster is empty (never by construction).
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    /// Whether a string belongs to this cluster.
+    pub fn contains(&self, word: &str) -> bool {
+        self.variants.iter().any(|v| v == word)
+    }
+}
+
+/// Deterministic generator of clustered vocabularies.
+#[derive(Debug, Clone)]
+pub struct WordGenerator {
+    rng: StdRng,
+}
+
+impl WordGenerator {
+    /// Creates a generator with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Introduces a single-character typo (substitution) into `word`.
+    pub fn misspell(&mut self, word: &str) -> String {
+        let chars: Vec<char> = word.chars().collect();
+        if chars.len() < 3 {
+            return word.to_string();
+        }
+        let pos = self.rng.gen_range(1..chars.len() - 1);
+        let replacement = (b'a' + self.rng.gen_range(0..26u8)) as char;
+        let mut out: Vec<char> = chars.clone();
+        out[pos] = replacement;
+        out.into_iter().collect()
+    }
+
+    /// A plural-ish inflection of `word`.
+    pub fn inflect(&mut self, word: &str) -> String {
+        if word.ends_with('s') {
+            format!("{word}es")
+        } else {
+            format!("{word}s")
+        }
+    }
+
+    /// A synthetic random word of the given length (used to pad vocabularies
+    /// beyond the built-in concepts).
+    pub fn random_word(&mut self, len: usize) -> String {
+        const CONSONANTS: &[u8] = b"bcdfghjklmnpqrstvwz";
+        const VOWELS: &[u8] = b"aeiou";
+        let mut out = String::with_capacity(len);
+        for i in 0..len.max(3) {
+            let set = if i % 2 == 0 { CONSONANTS } else { VOWELS };
+            out.push(set[self.rng.gen_range(0..set.len())] as char);
+        }
+        out
+    }
+
+    /// Generates `count` clusters, each with roughly `variants_per_cluster`
+    /// members (base word, synonyms, inflections, misspellings).  The first
+    /// clusters reuse the built-in concepts; the rest use random base words.
+    pub fn clusters(&mut self, count: usize, variants_per_cluster: usize) -> Vec<WordCluster> {
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let (base, synonyms): (String, Vec<String>) = if i < BASE_CONCEPTS.len() {
+                let (b, syns) = BASE_CONCEPTS[i];
+                (b.to_string(), syns.iter().map(|s| s.to_string()).collect())
+            } else {
+                (self.random_word(8), Vec::new())
+            };
+            let mut variants = vec![base.clone()];
+            variants.extend(synonyms);
+            while variants.len() < variants_per_cluster {
+                let source = variants[self.rng.gen_range(0..variants.len().min(2))].clone();
+                let variant = match variants.len() % 3 {
+                    0 => self.inflect(&source),
+                    1 => self.misspell(&source),
+                    _ => {
+                        let m = self.misspell(&source);
+                        self.inflect(&m)
+                    }
+                };
+                if !variants.contains(&variant) {
+                    variants.push(variant);
+                } else {
+                    variants.push(format!("{source}{}", self.rng.gen_range(0..10)));
+                }
+            }
+            variants.truncate(variants_per_cluster.max(1));
+            out.push(WordCluster { base, variants });
+        }
+        out
+    }
+
+    /// Draws `count` strings by sampling clusters (uniformly) and then a
+    /// variant within the chosen cluster.  Returns the strings and, for each,
+    /// the index of the cluster it came from (the ground-truth label).
+    pub fn sample_strings(
+        &mut self,
+        clusters: &[WordCluster],
+        count: usize,
+    ) -> (Vec<String>, Vec<usize>) {
+        assert!(!clusters.is_empty(), "need at least one cluster");
+        let mut strings = Vec::with_capacity(count);
+        let mut labels = Vec::with_capacity(count);
+        for _ in 0..count {
+            let c = self.rng.gen_range(0..clusters.len());
+            let v = self.rng.gen_range(0..clusters[c].variants.len());
+            strings.push(clusters[c].variants[v].clone());
+            labels.push(c);
+        }
+        (strings, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clusters_are_deterministic() {
+        let a = WordGenerator::new(7).clusters(12, 6);
+        let b = WordGenerator::new(7).clusters(12, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        assert!(a.iter().all(|c| c.len() == 6));
+    }
+
+    #[test]
+    fn built_in_concepts_come_first() {
+        let clusters = WordGenerator::new(1).clusters(3, 5);
+        assert_eq!(clusters[0].base, "barbecue");
+        assert!(clusters[0].contains("bbq"));
+        assert_eq!(clusters[1].base, "database");
+        assert!(clusters[1].contains("dbms"));
+    }
+
+    #[test]
+    fn misspell_changes_exactly_one_char() {
+        let mut g = WordGenerator::new(3);
+        let original = "barbecue";
+        let typo = g.misspell(original);
+        assert_eq!(typo.len(), original.len());
+        let diffs =
+            original.chars().zip(typo.chars()).filter(|(a, b)| a != b).count();
+        assert!(diffs <= 1);
+        // very short words are left alone
+        assert_eq!(g.misspell("ab"), "ab");
+    }
+
+    #[test]
+    fn inflect_appends_suffix() {
+        let mut g = WordGenerator::new(5);
+        assert_eq!(g.inflect("photo"), "photos");
+        assert_eq!(g.inflect("glass"), "glasses");
+    }
+
+    #[test]
+    fn random_word_alternates_letters() {
+        let mut g = WordGenerator::new(11);
+        let w = g.random_word(8);
+        assert_eq!(w.len(), 8);
+        assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+        // minimum length enforced
+        assert!(g.random_word(1).len() >= 3);
+    }
+
+    #[test]
+    fn sample_strings_respects_cluster_labels() {
+        let mut g = WordGenerator::new(13);
+        let clusters = g.clusters(5, 4);
+        let (strings, labels) = g.sample_strings(&clusters, 100);
+        assert_eq!(strings.len(), 100);
+        assert_eq!(labels.len(), 100);
+        for (s, &l) in strings.iter().zip(labels.iter()) {
+            assert!(clusters[l].contains(s), "{s} should belong to cluster {l}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn sampling_from_no_clusters_panics() {
+        let mut g = WordGenerator::new(1);
+        g.sample_strings(&[], 1);
+    }
+
+    #[test]
+    fn extra_clusters_use_random_bases() {
+        let clusters = WordGenerator::new(2).clusters(BASE_CONCEPTS.len() + 3, 4);
+        let extra = &clusters[BASE_CONCEPTS.len()];
+        assert!(extra.base.len() >= 3);
+        assert!(!BASE_CONCEPTS.iter().any(|(b, _)| *b == extra.base));
+    }
+}

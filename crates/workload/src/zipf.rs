@@ -1,0 +1,111 @@
+//! Zipfian sampling.
+//!
+//! Word frequencies in natural-language corpora are Zipf-distributed; the
+//! workload generator uses this sampler so synthetic string columns have a
+//! realistic skew (a few very frequent words, a long tail of rare ones).
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `{0, 1, …, n-1}` using inverse-CDF lookup.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with skew `theta` (`0.0` = uniform,
+    /// `~1.0` = classic Zipf).  `n` must be at least 1.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf requires at least one item");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be non-negative");
+        let mut weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // guard against floating point drift
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf: weights }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when the sampler covers no items (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples an item index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.5, "uniform sampling should be roughly flat");
+    }
+
+    #[test]
+    fn skewed_when_theta_high() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "rank 1 should dominate rank 51");
+        assert!(counts[0] > counts[99]);
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(7, 0.8);
+        assert_eq!(z.len(), 7);
+        assert!(!z.is_empty());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_items_panics() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_theta_panics() {
+        Zipf::new(5, -1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Quickstart: a declarative context-enhanced join between two tables.
+//!
+//! A photo table (captions + dates) is joined against a product catalogue on
+//! *semantic similarity of the strings*, with an ordinary relational filter
+//! on the date column.  The session optimises the plan (pushing the date
+//! filter below the embedding operator), prefetches embeddings, picks a
+//! physical join operator, and returns a joined table.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cej_core::{ContextJoinSession, JoinStrategy, TensorJoinConfig};
+use cej_embedding::{FastTextConfig, FastTextModel};
+use cej_relational::{col, lit_date, LogicalPlan, SimilarityPredicate};
+use cej_storage::{scalar::date, TableBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The embedding model (the paper uses a 100-D FastText model).
+    let model = FastTextModel::new(FastTextConfig { dim: 100, ..FastTextConfig::default() })?;
+
+    // 2. Two relational tables with a context-rich string column.
+    let photos = TableBuilder::new()
+        .int64("photo_id", vec![1, 2, 3, 4, 5])
+        .utf8(
+            "caption",
+            vec![
+                "barbecue party in the garden".into(),
+                "postgres database migration".into(),
+                "new laptop unboxing".into(),
+                "family vacation at the beach".into(),
+                "grilling bbq ribs".into(),
+            ],
+        )
+        .date(
+            "taken",
+            vec![
+                date::parse_iso("2023-01-02")?,
+                date::parse_iso("2023-12-01")?,
+                date::parse_iso("2023-12-05")?,
+                date::parse_iso("2023-06-15")?,
+                date::parse_iso("2023-12-20")?,
+            ],
+        )
+        .build()?;
+
+    let products = TableBuilder::new()
+        .int64("product_id", vec![10, 20, 30, 40])
+        .utf8(
+            "title",
+            vec![
+                "charcoal barbecues and grills".into(),
+                "postgresql administration handbook".into(),
+                "lightweight notebooks and laptops".into(),
+                "beach vacation packages".into(),
+            ],
+        )
+        .build()?;
+
+    // 3. Register everything in a session.
+    let mut session = ContextJoinSession::new();
+    session.register_table("photos", photos);
+    session.register_table("products", products);
+    session.register_model("fasttext", model);
+    session.with_strategy(JoinStrategy::Tensor(TensorJoinConfig::default()));
+
+    // 4. A declarative plan: filter photos taken after Dec 2, join captions
+    //    against product titles on cosine similarity >= 0.55.
+    let plan = LogicalPlan::e_join(
+        LogicalPlan::scan("photos"),
+        LogicalPlan::scan("products"),
+        "caption",
+        "title",
+        "fasttext",
+        SimilarityPredicate::Threshold(0.55),
+    )
+    .select(col("taken").gt(lit_date("2023-12-02")?));
+
+    println!("== Logical plan (as written) ==\n{plan}");
+    let report = session.execute(&plan)?;
+    println!("== Optimised plan (date filter pushed below the join) ==\n{}", report.optimized_plan);
+
+    // 5. Inspect the result.
+    println!(
+        "== Result: {} matched pairs, {} model calls, access path {:?} ==",
+        report.matched_pairs, report.embedding_stats.model_calls, report.access_path
+    );
+    let table = &report.table;
+    let captions = table.column_by_name("l_caption")?.as_utf8()?;
+    let titles = table.column_by_name("r_title")?.as_utf8()?;
+    let scores = table.column_by_name("similarity")?.as_float64()?;
+    for i in 0..table.num_rows() {
+        println!("  {:<35} ~ {:<40} (sim {:.3})", captions[i], titles[i], scores[i]);
+    }
+    Ok(())
+}

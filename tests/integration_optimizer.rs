@@ -1,0 +1,156 @@
+//! Integration tests for the logical optimizer: the algebraic equivalences of
+//! Section III-C must hold *observably* — pushing relational predicates below
+//! the embedding operator changes model-call counts but never query results.
+
+use cej_core::{ContextJoinSession, JoinStrategy, TensorJoinConfig};
+use cej_embedding::{FastTextConfig, FastTextModel};
+use cej_relational::{
+    col, lit_i64, Catalog, EmbedSpec, LogicalPlan, Optimizer, SimilarityPredicate,
+};
+use cej_storage::TableBuilder;
+
+fn model() -> FastTextModel {
+    FastTextModel::new(FastTextConfig { dim: 24, buckets: 5_000, ..FastTextConfig::default() })
+        .unwrap()
+}
+
+fn tables() -> (cej_storage::Table, cej_storage::Table) {
+    let left = TableBuilder::new()
+        .int64("id", (0..20).collect())
+        .utf8("word", (0..20).map(|i| format!("leftword{i}")).collect())
+        .int64("filter", (0..20).collect())
+        .build()
+        .unwrap();
+    let right = TableBuilder::new()
+        .int64("id", (0..30).collect())
+        .utf8("word", (0..30).map(|i| format!("rightword{i}")).collect())
+        .int64("filter", (0..30).collect())
+        .build()
+        .unwrap();
+    (left, right)
+}
+
+fn catalog() -> Catalog {
+    let (left, right) = tables();
+    let mut c = Catalog::new();
+    c.register("l", left);
+    c.register("r", right);
+    c
+}
+
+#[test]
+fn pushdown_moves_selection_below_join_and_embed() {
+    let c = catalog();
+    let optimizer = Optimizer::with_default_rules();
+    let plan = LogicalPlan::e_join(
+        LogicalPlan::scan("l").embed(EmbedSpec::new("word", "m")),
+        LogicalPlan::scan("r"),
+        "word",
+        "word",
+        "m",
+        SimilarityPredicate::Threshold(0.9),
+    )
+    .select(col("filter").lt(lit_i64(5)));
+
+    // The filter column exists on both sides; the predicate references the
+    // unqualified name, so the rule must resolve it against exactly one side
+    // (left in this plan because its columns are listed first).
+    let optimized = optimizer.optimize(plan.clone(), &c).unwrap();
+    assert!(optimized.selections_below_embedding() >= 1);
+    // The plan root is the join after pushdown.
+    assert!(matches!(optimized, LogicalPlan::EJoin { .. }));
+}
+
+#[test]
+fn optimizer_is_idempotent() {
+    let c = catalog();
+    let optimizer = Optimizer::with_default_rules();
+    let plan = LogicalPlan::e_join(
+        LogicalPlan::scan("l"),
+        LogicalPlan::scan("r"),
+        "word",
+        "word",
+        "m",
+        SimilarityPredicate::TopK(3),
+    )
+    .select(col("id").gt(lit_i64(2)));
+    let once = optimizer.optimize(plan, &c).unwrap();
+    let twice = optimizer.optimize(once.clone(), &c).unwrap();
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn optimized_and_unoptimized_plans_give_identical_results() {
+    // Execute the same query through the session (which always optimises) and
+    // manually with a pre-pushed-down plan: results must agree, which is the
+    // semantic-equivalence half of the E-Selection rewrite.
+    let (left, right) = tables();
+    let mut session = ContextJoinSession::new();
+    session.register_table("l", left);
+    session.register_table("r", right);
+    session.register_model("m", model());
+    session.with_strategy(JoinStrategy::Tensor(TensorJoinConfig::default()));
+
+    let above = LogicalPlan::e_join(
+        LogicalPlan::scan("l"),
+        LogicalPlan::scan("r"),
+        "word",
+        "word",
+        "m",
+        SimilarityPredicate::Threshold(0.6),
+    )
+    .select(col("l_filter").lt(lit_i64(10)));
+
+    let below = LogicalPlan::e_join(
+        LogicalPlan::scan("l").select(col("filter").lt(lit_i64(10))),
+        LogicalPlan::scan("r"),
+        "word",
+        "word",
+        "m",
+        SimilarityPredicate::Threshold(0.6),
+    );
+
+    let report_above = session.execute(&above).unwrap();
+    let report_below = session.execute(&below).unwrap();
+
+    let rows = |t: &cej_storage::Table| -> Vec<(i64, i64)> {
+        let mut v: Vec<(i64, i64)> = t
+            .column_by_name("l_id")
+            .unwrap()
+            .as_int64()
+            .unwrap()
+            .iter()
+            .copied()
+            .zip(t.column_by_name("r_id").unwrap().as_int64().unwrap().iter().copied())
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(rows(&report_above.table), rows(&report_below.table));
+    // ...but the pre-pushed plan embeds fewer left tuples
+    assert!(report_below.embedding_stats.model_calls <= report_above.embedding_stats.model_calls);
+}
+
+#[test]
+fn pushdown_reduces_model_calls_proportionally_to_selectivity() {
+    let (left, right) = tables();
+    let mut session = ContextJoinSession::new();
+    session.register_table("l", left);
+    session.register_table("r", right);
+    session.register_model("m", model());
+
+    let base = LogicalPlan::e_join(
+        LogicalPlan::scan("l"),
+        LogicalPlan::scan("r"),
+        "word",
+        "word",
+        "m",
+        SimilarityPredicate::TopK(1),
+    );
+    // filter on the left table column before the join (the optimizer pushes it)
+    let plan = base.select(col("filter").lt(lit_i64(4)));
+    let report = session.execute(&plan).unwrap();
+    // 4 surviving left rows + 30 right rows
+    assert_eq!(report.embedding_stats.model_calls, 34);
+    assert_eq!(report.optimized_plan.selections_below_embedding(), 1);
+}
