@@ -8,19 +8,31 @@ use cej_embedding::{CachedEmbedder, Embedder, FastTextConfig, FastTextModel};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_embedding(c: &mut Criterion) {
-    let model =
-        FastTextModel::new(FastTextConfig { dim: 100, ..FastTextConfig::default() }).unwrap();
+    let model = FastTextModel::new(FastTextConfig {
+        dim: 100,
+        ..FastTextConfig::default()
+    })
+    .unwrap();
     let words: Vec<String> = (0..64).map(|i| format!("benchmarkword{i}")).collect();
 
     let mut group = c.benchmark_group("embedding_model");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     group.bench_function("embed_single_word_100d", |b| {
         b.iter(|| model.embed(std::hint::black_box("barbecue")))
     });
-    group.bench_function("embed_batch_64_words", |b| b.iter(|| model.embed_batch(&words)));
+    group.bench_function("embed_batch_64_words", |b| {
+        b.iter(|| model.embed_batch(&words))
+    });
     group.bench_function("embed_64_words_uncached", |b| {
         let uncached = CachedEmbedder::uncached(
-            FastTextModel::new(FastTextConfig { dim: 100, ..FastTextConfig::default() }).unwrap(),
+            FastTextModel::new(FastTextConfig {
+                dim: 100,
+                ..FastTextConfig::default()
+            })
+            .unwrap(),
         );
         b.iter(|| {
             for w in &words {
@@ -30,7 +42,11 @@ fn bench_embedding(c: &mut Criterion) {
     });
     group.bench_function("embed_64_words_cached", |b| {
         let cached = CachedEmbedder::new(
-            FastTextModel::new(FastTextConfig { dim: 100, ..FastTextConfig::default() }).unwrap(),
+            FastTextModel::new(FastTextConfig {
+                dim: 100,
+                ..FastTextConfig::default()
+            })
+            .unwrap(),
         );
         b.iter(|| {
             for w in &words {

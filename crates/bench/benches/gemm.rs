@@ -13,7 +13,10 @@ fn bench_gemm(c: &mut Criterion) {
     let b = uniform_matrix(256, 100, 2, true);
 
     let mut group = c.benchmark_group("gemm_tile_ablation");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     for tile in [8usize, 32, 64, 128] {
         let cfg = GemmConfig::default().tiles(tile, tile);
         group.bench_with_input(BenchmarkId::new("tile", tile), &tile, |bencher, _| {
@@ -23,7 +26,10 @@ fn bench_gemm(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("gemm_kernel_choice");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     for (name, kernel) in [("scalar", Kernel::Scalar), ("unrolled", Kernel::Unrolled)] {
         let cfg = GemmConfig::with_kernel(kernel);
         group.bench_function(name, |bencher| {

@@ -11,13 +11,21 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_index_probe(c: &mut Criterion) {
     let (vectors, _) = clustered_matrix(8_000, 64, 32, 0.05, 1);
     let queries = vectors.row_slice(0, 16).unwrap();
-    let params =
-        HnswParams { m: 16, m0: 32, ef_construction: 64, ef_search: 64, ..HnswParams::low_recall() };
+    let params = HnswParams {
+        m: 16,
+        m0: 32,
+        ef_construction: 64,
+        ef_search: 64,
+        ..HnswParams::low_recall()
+    };
     let index = HnswIndex::build(vectors.clone(), params).unwrap();
     let brute = BruteForce::new(vectors.clone(), Metric::Cosine);
 
     let mut group = c.benchmark_group("probe_vs_scan_8k_64d");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for k in [1usize, 32] {
         group.bench_with_input(BenchmarkId::new("hnsw_probe", k), &k, |b, &k| {
             b.iter(|| {

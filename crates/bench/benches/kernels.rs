@@ -15,7 +15,10 @@ fn random_vec(n: usize, seed: u64) -> Vec<f32> {
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("dot_product_kernels");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
     for dim in [16usize, 100, 256, 1024] {
         let a = random_vec(dim, 1);
         let b = random_vec(dim, 2);
@@ -29,7 +32,10 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("norm_kernels");
-    group.sample_size(20).measurement_time(Duration::from_millis(400)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(200));
     let v = random_vec(100, 3);
     group.bench_function("l2_scalar_100d", |bencher| {
         bencher.iter(|| l2_norm_scalar(std::hint::black_box(&v)))

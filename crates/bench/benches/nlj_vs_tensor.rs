@@ -16,7 +16,10 @@ fn bench_join_formulations(c: &mut Criterion) {
     let predicate = SimilarityPredicate::Threshold(0.95);
 
     let mut group = c.benchmark_group("join_formulations_512x512_100d");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     group.bench_function("nlj_scalar", |b| {
         let op = PrefetchNlJoin::new(NljConfig::default().with_kernel(Kernel::Scalar));
         b.iter(|| op.join_matrices(&left, &right, predicate).unwrap())
@@ -36,14 +39,19 @@ fn bench_join_formulations(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("tensor_buffer_budget_512x512");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for budget_kib in [16usize, 64, 256, 1024] {
         let op = TensorJoin::new(
             TensorJoinConfig::default().with_budget(BufferBudget::from_bytes(budget_kib * 1024)),
         );
-        group.bench_with_input(BenchmarkId::new("budget_kib", budget_kib), &budget_kib, |b, _| {
-            b.iter(|| op.join_matrices(&left, &right, predicate).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("budget_kib", budget_kib),
+            &budget_kib,
+            |b, _| b.iter(|| op.join_matrices(&left, &right, predicate).unwrap()),
+        );
     }
     group.finish();
 }

@@ -5,21 +5,30 @@ use cej_bench::experiments::costmodel_validation;
 use cej_bench::harness::{header, print_table, scaled};
 
 fn main() {
-    header("Cost model", "measured model calls vs the Section IV formulas");
-    let sizes = [(scaled(20), scaled(20)), (scaled(50), scaled(20)), (scaled(50), scaled(50))];
+    header(
+        "Cost model",
+        "measured model calls vs the Section IV formulas",
+    );
+    let sizes = [
+        (scaled(20), scaled(20)),
+        (scaled(50), scaled(20)),
+        (scaled(50), scaled(50)),
+    ];
     let rows = costmodel_validation(&sizes);
     let printable: Vec<Vec<String>> = rows
         .iter()
-        .map(|(label, naive_calls, prefetch_calls, naive_cost, prefetch_cost)| {
-            vec![
-                label.clone(),
-                naive_calls.to_string(),
-                prefetch_calls.to_string(),
-                format!("{naive_cost:.2e}"),
-                format!("{prefetch_cost:.2e}"),
-                format!("{:.1}x", naive_cost / prefetch_cost),
-            ]
-        })
+        .map(
+            |(label, naive_calls, prefetch_calls, naive_cost, prefetch_cost)| {
+                vec![
+                    label.clone(),
+                    naive_calls.to_string(),
+                    prefetch_calls.to_string(),
+                    format!("{naive_cost:.2e}"),
+                    format!("{prefetch_cost:.2e}"),
+                    format!("{:.1}x", naive_cost / prefetch_cost),
+                ]
+            },
+        )
         .collect();
     print_table(
         &[

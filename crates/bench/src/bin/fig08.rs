@@ -5,11 +5,17 @@ use cej_bench::experiments::{fig08_nlj_logical_physical, DIM};
 use cej_bench::harness::{fmt_ms, header, print_table, scaled};
 
 fn main() {
-    header("Figure 8", "logical (prefetch) x physical (SIMD) optimisation of the E-NLJ");
+    header(
+        "Figure 8",
+        "logical (prefetch) x physical (SIMD) optimisation of the E-NLJ",
+    );
     // Paper sizes: 1k x 1k, 10k x 1k, 10k x 10k.  Scaled down because the
     // naive variant embeds |R|*|S| pairs.
-    let sizes =
-        [(scaled(200), scaled(200)), (scaled(400), scaled(200)), (scaled(400), scaled(400))];
+    let sizes = [
+        (scaled(200), scaled(200)),
+        (scaled(400), scaled(200)),
+        (scaled(400), scaled(400)),
+    ];
     let rows = fig08_nlj_logical_physical(&sizes, DIM);
     let printable: Vec<Vec<String>> = rows
         .iter()

@@ -4,7 +4,10 @@ use cej_bench::experiments::{fig09_thread_scalability, DIM};
 use cej_bench::harness::{fmt_ms, header, print_table, scaled};
 
 fn main() {
-    header("Figure 9", "optimised NLJ scalability with threads (10k x 10k in the paper)");
+    header(
+        "Figure 9",
+        "optimised NLJ scalability with threads (10k x 10k in the paper)",
+    );
     let rows = fig09_thread_scalability(scaled(1_500), DIM, &[1, 2, 4, 8]);
     let printable: Vec<Vec<String>> = rows
         .iter()

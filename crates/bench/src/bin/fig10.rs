@@ -5,7 +5,10 @@ use cej_bench::experiments::{fig10_input_sizes, DIM};
 use cej_bench::harness::{fmt_ms, header, print_table, scaled};
 
 fn main() {
-    header("Figure 10", "optimised NLJ across |R| x |S| combinations, 100-D");
+    header(
+        "Figure 10",
+        "optimised NLJ across |R| x |S| combinations, 100-D",
+    );
     let sizes = [
         (scaled(1_000), scaled(1_000)),
         (scaled(2_000), scaled(500)),
@@ -18,11 +21,21 @@ fn main() {
     let printable: Vec<Vec<String>> = rows
         .iter()
         .map(|(label, ops, ordered, unordered)| {
-            vec![label.clone(), ops.to_string(), fmt_ms(*ordered), fmt_ms(*unordered)]
+            vec![
+                label.clone(),
+                ops.to_string(),
+                fmt_ms(*ordered),
+                fmt_ms(*unordered),
+            ]
         })
         .collect();
     print_table(
-        &["|R| x |S|", "pair comparisons", "heuristic order [ms]", "as-given order [ms]"],
+        &[
+            "|R| x |S|",
+            "pair comparisons",
+            "heuristic order [ms]",
+            "as-given order [ms]",
+        ],
         &printable,
     );
 }

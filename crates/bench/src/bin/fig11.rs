@@ -5,7 +5,10 @@ use cej_bench::experiments::fig11_nlj_vs_tensor;
 use cej_bench::harness::{header, print_table, scaled};
 
 fn main() {
-    header("Figure 11", "per-FP32-element time: vectorised NLJ vs tensor join");
+    header(
+        "Figure 11",
+        "per-FP32-element time: vectorised NLJ vs tensor join",
+    );
     let ops = [scaled(25_600), scaled(2_560_000), scaled(25_600_000)];
     let dims = [1usize, 4, 16, 64, 256];
     let rows = fig11_nlj_vs_tensor(&ops, &dims);
@@ -22,7 +25,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["#FP32 ops", "vector #FP32", "tuples/side", "Vectorize-NLJ [ns/elem]", "Tensor [ns/elem]"],
+        &[
+            "#FP32 ops",
+            "vector #FP32",
+            "tuples/side",
+            "Vectorize-NLJ [ns/elem]",
+            "Tensor [ns/elem]",
+        ],
         &printable,
     );
 }

@@ -5,7 +5,10 @@ use cej_bench::experiments::fig12_batched_vs_non_batched;
 use cej_bench::harness::{header, print_table, scaled};
 
 fn main() {
-    header("Figure 12", "tensor join: fully batched vs one-vector-at-a-time inner relation");
+    header(
+        "Figure 12",
+        "tensor join: fully batched vs one-vector-at-a-time inner relation",
+    );
     let ops = [scaled(25_600), scaled(2_560_000), scaled(25_600_000)];
     let dims = [1usize, 4, 16, 64, 256];
     let rows = fig12_batched_vs_non_batched(&ops, &dims);

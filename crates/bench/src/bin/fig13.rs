@@ -5,7 +5,10 @@ use cej_bench::experiments::{fig13_batch_size_impact, DIM};
 use cej_bench::harness::{header, print_table, scaled};
 
 fn main() {
-    header("Figure 13", "mini-batch size: relative slowdown vs relative RAM reduction");
+    header(
+        "Figure 13",
+        "mini-batch size: relative slowdown vs relative RAM reduction",
+    );
     // Paper: 100k x 100k (40 GB intermediate).  Scaled to 4k x 4k by default.
     let n = scaled(4_000);
     let batches = [
@@ -29,5 +32,8 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["mini-batch", "relative slowdown", "RAM reduction"], &printable);
+    print_table(
+        &["mini-batch", "relative slowdown", "RAM reduction"],
+        &printable,
+    );
 }

@@ -4,7 +4,10 @@ use cej_bench::experiments::{fig14_tensor_vs_nlj, DIM};
 use cej_bench::harness::{fmt_ms, header, print_table, scaled};
 
 fn main() {
-    header("Figure 14", "tensor join vs optimised NLJ across input sizes, 100-D");
+    header(
+        "Figure 14",
+        "tensor join vs optimised NLJ across input sizes, 100-D",
+    );
     let sizes = [
         (scaled(1_000), scaled(1_000)),
         (scaled(2_000), scaled(1_000)),
@@ -17,8 +20,16 @@ fn main() {
         .iter()
         .map(|(label, tensor, nlj)| {
             let speedup = nlj.as_secs_f64() / tensor.as_secs_f64().max(1e-12);
-            vec![label.clone(), fmt_ms(*tensor), fmt_ms(*nlj), format!("{speedup:.1}x")]
+            vec![
+                label.clone(),
+                fmt_ms(*tensor),
+                fmt_ms(*nlj),
+                format!("{speedup:.1}x"),
+            ]
         })
         .collect();
-    print_table(&["|R| x |S|", "Tensor [ms]", "NLJ [ms]", "tensor speedup"], &printable);
+    print_table(
+        &["|R| x |S|", "Tensor [ms]", "NLJ [ms]", "tensor speedup"],
+        &printable,
+    );
 }

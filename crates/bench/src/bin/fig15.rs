@@ -6,7 +6,10 @@ use cej_bench::harness::{header, print_table, scaled};
 use cej_relational::SimilarityPredicate;
 
 fn main() {
-    header("Figure 15", "top-1 join: tensor scan vs HNSW index probe (10k x 1M in the paper)");
+    header(
+        "Figure 15",
+        "top-1 join: tensor scan vs HNSW index probe (10k x 1M in the paper)",
+    );
     let rows = scan_vs_probe(
         scaled(500),
         scaled(50_000),
@@ -16,7 +19,13 @@ fn main() {
         true,
     );
     print_table(
-        &["selectivity", "Tensor [ms]", "Tensor -filter [ms]", "Index Lo [ms]", "Index Hi [ms]"],
+        &[
+            "selectivity",
+            "Tensor [ms]",
+            "Tensor -filter [ms]",
+            "Index Lo [ms]",
+            "Index Hi [ms]",
+        ],
         &scan_vs_probe_rows(&rows),
     );
 }

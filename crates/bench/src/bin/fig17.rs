@@ -19,7 +19,13 @@ fn main() {
         true,
     );
     print_table(
-        &["selectivity", "Tensor [ms]", "Tensor -filter [ms]", "Index Lo [ms]", "Index Hi [ms]"],
+        &[
+            "selectivity",
+            "Tensor [ms]",
+            "Tensor -filter [ms]",
+            "Index Lo [ms]",
+            "Index Hi [ms]",
+        ],
         &scan_vs_probe_rows(&rows),
     );
 }

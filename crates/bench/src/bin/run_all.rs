@@ -7,7 +7,10 @@ use cej_bench::harness::{fmt_ms, header, print_table, scaled};
 use cej_relational::SimilarityPredicate;
 
 fn main() {
-    header("Run-all", "every table and figure of the evaluation, small scale");
+    header(
+        "Run-all",
+        "every table and figure of the evaluation, small scale",
+    );
 
     println!("\n--- Table II ---");
     for (query, matches) in experiments::table02_semantic_matches(15) {
@@ -31,7 +34,11 @@ fn main() {
 
     println!("\n--- Figure 9 ---");
     for (t, simd, no_simd) in experiments::fig09_thread_scalability(scaled(800), DIM, &[1, 2, 4]) {
-        println!("threads {t}: SIMD {} ms, NO-SIMD {} ms", fmt_ms(simd), fmt_ms(no_simd));
+        println!(
+            "threads {t}: SIMD {} ms, NO-SIMD {} ms",
+            fmt_ms(simd),
+            fmt_ms(no_simd)
+        );
     }
 
     println!("\n--- Figure 10 ---");
@@ -72,11 +79,18 @@ fn main() {
 
     println!("\n--- Figure 14 ---");
     for (label, tensor, nlj) in experiments::fig14_tensor_vs_nlj(
-        &[(scaled(1_000), scaled(1_000)), (scaled(2_000), scaled(1_000))],
+        &[
+            (scaled(1_000), scaled(1_000)),
+            (scaled(2_000), scaled(1_000)),
+        ],
         DIM,
         1,
     ) {
-        println!("{label}: tensor {} ms, NLJ {} ms", fmt_ms(tensor), fmt_ms(nlj));
+        println!(
+            "{label}: tensor {} ms, NLJ {} ms",
+            fmt_ms(tensor),
+            fmt_ms(nlj)
+        );
     }
 
     println!("\n--- Figures 15-17 ---");
@@ -95,7 +109,13 @@ fn main() {
             true,
         );
         print_table(
-            &["selectivity", "Tensor", "Tensor -filter", "Index Lo", "Index Hi"],
+            &[
+                "selectivity",
+                "Tensor",
+                "Tensor -filter",
+                "Index Lo",
+                "Index Hi",
+            ],
             &experiments::scan_vs_probe_rows(&rows),
         );
     }

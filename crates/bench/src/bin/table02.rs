@@ -4,7 +4,10 @@ use cej_bench::experiments::table02_semantic_matches;
 use cej_bench::harness::header;
 
 fn main() {
-    header("Table II", "semantic matches of the trained FastText-style model (top-15)");
+    header(
+        "Table II",
+        "semantic matches of the trained FastText-style model (top-15)",
+    );
     for (query, matches) in table02_semantic_matches(15) {
         println!("{query:<12} {}", matches.join(", "));
     }

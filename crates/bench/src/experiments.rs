@@ -37,7 +37,11 @@ fn filter_value(i: usize) -> usize {
 
 /// Builds the selectivity bitmap `filter < selectivity_percent` over `n` rows.
 pub fn selectivity_bitmap(n: usize, selectivity_percent: usize) -> SelectionBitmap {
-    SelectionBitmap::from_bools((0..n).map(|i| filter_value(i) < selectivity_percent).collect())
+    SelectionBitmap::from_bools(
+        (0..n)
+            .map(|i| filter_value(i) < selectivity_percent)
+            .collect(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -50,7 +54,9 @@ pub fn selectivity_bitmap(n: usize, selectivity_percent: usize) -> SelectionBitm
 pub fn table02_semantic_matches(k: usize) -> Vec<(String, Vec<String>)> {
     let mut generator = WordGenerator::new(42);
     let clusters = generator.clusters(10, 8);
-    let corpus = CorpusGenerator::new(7).with_noise(0.05).generate(&clusters, 600);
+    let corpus = CorpusGenerator::new(7)
+        .with_noise(0.05)
+        .generate(&clusters, 600);
     let mut model = FastTextModel::new(FastTextConfig {
         dim: DIM,
         buckets: 100_000,
@@ -62,8 +68,11 @@ pub fn table02_semantic_matches(k: usize) -> Vec<(String, Vec<String>)> {
     ["database", "postgres", "clothes", "barbecue"]
         .iter()
         .map(|query| {
-            let matches =
-                model.nearest_words(query, k).into_iter().map(|(w, _)| w).collect::<Vec<_>>();
+            let matches = model
+                .nearest_words(query, k)
+                .into_iter()
+                .map(|(w, _)| w)
+                .collect::<Vec<_>>();
             (query.to_string(), matches)
         })
         .collect()
@@ -106,8 +115,11 @@ fn naive_nlj_with_kernel(
             let lv = model.embed(l);
             let rv = model.embed(r);
             let denom = kernel.l2_norm(lv.as_slice()) * kernel.l2_norm(rv.as_slice());
-            let score =
-                if denom > 0.0 { kernel.dot(lv.as_slice(), rv.as_slice()) / denom } else { 0.0 };
+            let score = if denom > 0.0 {
+                kernel.dot(lv.as_slice(), rv.as_slice()) / denom
+            } else {
+                0.0
+            };
             if score >= threshold {
                 matches += 1;
             }
@@ -131,12 +143,14 @@ pub fn fig08_nlj_logical_physical(sizes: &[(usize, usize)], dim: usize) -> Vec<F
             let left = words(r, "l");
             let right = words(s, "r");
 
-            let counted = CachedEmbedder::uncached(FastTextModel::new(FastTextConfig {
-                dim,
-                buckets: 20_000,
-                ..FastTextConfig::default()
-            })
-            .expect("valid config"));
+            let counted = CachedEmbedder::uncached(
+                FastTextModel::new(FastTextConfig {
+                    dim,
+                    buckets: 20_000,
+                    ..FastTextConfig::default()
+                })
+                .expect("valid config"),
+            );
             let (_, naive_no_simd) = time_once(|| {
                 naive_nlj_with_kernel(&counted, &left, &right, threshold, Kernel::Scalar)
             });
@@ -146,23 +160,36 @@ pub fn fig08_nlj_logical_physical(sizes: &[(usize, usize)], dim: usize) -> Vec<F
                 naive_nlj_with_kernel(&counted, &left, &right, threshold, Kernel::Unrolled)
             });
 
-            let prefetch_scalar = PrefetchNlJoin::new(NljConfig::default().with_kernel(Kernel::Scalar));
+            let prefetch_scalar =
+                PrefetchNlJoin::new(NljConfig::default().with_kernel(Kernel::Scalar));
             let prefetch_simd_op = PrefetchNlJoin::new(NljConfig::default());
-            let cached = CachedEmbedder::new(FastTextModel::new(FastTextConfig {
-                dim,
-                buckets: 20_000,
-                ..FastTextConfig::default()
-            })
-            .expect("valid config"));
+            let cached = CachedEmbedder::new(
+                FastTextModel::new(FastTextConfig {
+                    dim,
+                    buckets: 20_000,
+                    ..FastTextConfig::default()
+                })
+                .expect("valid config"),
+            );
             let (_, prefetch_no_simd) = time_once(|| {
                 prefetch_scalar
-                    .join(&cached, &left, &right, SimilarityPredicate::Threshold(threshold))
+                    .join(
+                        &cached,
+                        &left,
+                        &right,
+                        SimilarityPredicate::Threshold(threshold),
+                    )
                     .expect("join succeeds")
             });
             let prefetch_model_calls = cached.stats().model_calls;
             let (_, prefetch_simd) = time_once(|| {
                 prefetch_simd_op
-                    .join(&model, &left, &right, SimilarityPredicate::Threshold(threshold))
+                    .join(
+                        &model,
+                        &left,
+                        &right,
+                        SimilarityPredicate::Threshold(threshold),
+                    )
                     .expect("join succeeds")
             });
 
@@ -198,7 +225,9 @@ pub fn fig09_thread_scalability(
         .map(|&t| {
             let simd_op = PrefetchNlJoin::new(NljConfig::default().with_threads(t));
             let scalar_op = PrefetchNlJoin::new(
-                NljConfig::default().with_threads(t).with_kernel(Kernel::Scalar),
+                NljConfig::default()
+                    .with_threads(t)
+                    .with_kernel(Kernel::Scalar),
             );
             let (_, simd) = time_once(|| simd_op.join_matrices(&left, &right, predicate).unwrap());
             let (_, no_simd) =
@@ -228,13 +257,26 @@ pub fn fig10_input_sizes(
             let predicate = SimilarityPredicate::Threshold(0.9);
             let with_heuristic = PrefetchNlJoin::new(NljConfig::default().with_threads(threads));
             let without_heuristic = PrefetchNlJoin::new(
-                NljConfig::default().with_threads(threads).without_loop_order_heuristic(),
+                NljConfig::default()
+                    .with_threads(threads)
+                    .without_loop_order_heuristic(),
             );
-            let (_, ordered) =
-                time_once(|| with_heuristic.join_matrices(&left, &right, predicate).unwrap());
-            let (_, unordered) =
-                time_once(|| without_heuristic.join_matrices(&left, &right, predicate).unwrap());
-            (format!("{r} x {s}"), (r as u64) * (s as u64), ordered, unordered)
+            let (_, ordered) = time_once(|| {
+                with_heuristic
+                    .join_matrices(&left, &right, predicate)
+                    .unwrap()
+            });
+            let (_, unordered) = time_once(|| {
+                without_heuristic
+                    .join_matrices(&left, &right, predicate)
+                    .unwrap()
+            });
+            (
+                format!("{r} x {s}"),
+                (r as u64) * (s as u64),
+                ordered,
+                unordered,
+            )
         })
         .collect()
 }
@@ -333,13 +375,12 @@ pub fn fig13_batch_size_impact(n: usize, dim: usize, batches: &[(usize, usize)])
     let left = uniform_matrix(n, dim, 7, true);
     let right = uniform_matrix(n, dim, 8, true);
     let predicate = SimilarityPredicate::Threshold(0.95);
-    let unbatched = TensorJoin::new(TensorJoinConfig::default().with_budget(BufferBudget::unlimited()));
+    let unbatched =
+        TensorJoin::new(TensorJoinConfig::default().with_budget(BufferBudget::unlimited()));
     let (base_result, base_time) =
         time_once(|| unbatched.join_matrices(&left, &right, predicate).unwrap());
-    let base_block_bytes = (base_result.stats.peak_buffer_bytes
-        - left.bytes()
-        - right.bytes())
-    .max(1);
+    let base_block_bytes =
+        (base_result.stats.peak_buffer_bytes - left.bytes() - right.bytes()).max(1);
 
     let mut rows = vec![Fig13Row {
         batch: format!("{n} x {n} (No Batch)"),
@@ -350,8 +391,7 @@ pub fn fig13_batch_size_impact(n: usize, dim: usize, batches: &[(usize, usize)])
         let budget = BufferBudget::from_bytes(outer * inner * std::mem::size_of::<f32>());
         let op = TensorJoin::new(TensorJoinConfig::default().with_budget(budget));
         let (result, elapsed) = time_once(|| op.join_matrices(&left, &right, predicate).unwrap());
-        let block_bytes =
-            (result.stats.peak_buffer_bytes - left.bytes() - right.bytes()).max(1);
+        let block_bytes = (result.stats.peak_buffer_bytes - left.bytes() - right.bytes()).max(1);
         rows.push(Fig13Row {
             batch: format!("{outer} x {inner}"),
             relative_slowdown: elapsed.as_secs_f64() / base_time.as_secs_f64(),
@@ -425,8 +465,20 @@ pub fn scan_vs_probe(
     // core while preserving the Hi > Lo cost ordering.
     let (lo_params, hi_params) = if hnsw_scale_down {
         (
-            HnswParams { m: 16, m0: 32, ef_construction: 64, ef_search: 48, ..HnswParams::low_recall() },
-            HnswParams { m: 32, m0: 64, ef_construction: 128, ef_search: 96, ..HnswParams::high_recall() },
+            HnswParams {
+                m: 16,
+                m0: 32,
+                ef_construction: 64,
+                ef_search: 48,
+                ..HnswParams::low_recall()
+            },
+            HnswParams {
+                m: 32,
+                m0: 64,
+                ef_construction: 128,
+                ef_search: 96,
+                ..HnswParams::high_recall()
+            },
         )
     } else {
         (HnswParams::low_recall(), HnswParams::high_recall())
@@ -435,8 +487,14 @@ pub fn scan_vs_probe(
         SimilarityPredicate::TopK(k) => k,
         SimilarityPredicate::Threshold(_) => 32,
     };
-    let lo_join = IndexJoin::new(IndexJoinConfig { params: lo_params, range_probe_k: k });
-    let hi_join = IndexJoin::new(IndexJoinConfig { params: hi_params, range_probe_k: k });
+    let lo_join = IndexJoin::new(IndexJoinConfig {
+        params: lo_params,
+        range_probe_k: k,
+    });
+    let hi_join = IndexJoin::new(IndexJoinConfig {
+        params: hi_params,
+        range_probe_k: k,
+    });
     let lo_index = lo_join.build_index(&inner).expect("index build");
     let hi_index = hi_join.build_index(&inner).expect("index build");
     let tensor = TensorJoin::new(TensorJoinConfig::default());
@@ -467,10 +525,14 @@ pub fn scan_vs_probe(
                 }
             });
             let (_, lo) = time_once(|| {
-                lo_join.probe_join(&outer, &lo_index, predicate, None, Some(&bitmap)).unwrap()
+                lo_join
+                    .probe_join(&outer, &lo_index, predicate, None, Some(&bitmap))
+                    .unwrap()
             });
             let (_, hi) = time_once(|| {
-                hi_join.probe_join(&outer, &hi_index, predicate, None, Some(&bitmap)).unwrap()
+                hi_join
+                    .probe_join(&outer, &hi_index, predicate, None, Some(&bitmap))
+                    .unwrap()
             });
             ScanVsProbeRow {
                 selectivity: sel,
@@ -518,14 +580,21 @@ pub fn costmodel_validation(sizes: &[(usize, usize)]) -> Vec<(String, u64, u64, 
             .expect("valid config");
             let left = words(r, "l");
             let right = words(s, "r");
-            let uncached = CachedEmbedder::uncached(FastTextModel::new(FastTextConfig {
-                dim: 32,
-                buckets: 5_000,
-                ..FastTextConfig::default()
-            })
-            .expect("valid config"));
+            let uncached = CachedEmbedder::uncached(
+                FastTextModel::new(FastTextConfig {
+                    dim: 32,
+                    buckets: 5_000,
+                    ..FastTextConfig::default()
+                })
+                .expect("valid config"),
+            );
             cej_core::NaiveNlJoin::new()
-                .join(&uncached, &left, &right, SimilarityPredicate::Threshold(0.99))
+                .join(
+                    &uncached,
+                    &left,
+                    &right,
+                    SimilarityPredicate::Threshold(0.99),
+                )
                 .expect("join succeeds");
             let cached = CachedEmbedder::new(model);
             TensorJoin::new(TensorJoinConfig::default())

@@ -5,7 +5,10 @@ use std::time::{Duration, Instant};
 /// Returns the global size-scale factor (`CEJ_SCALE` environment variable,
 /// default `1.0`).  All experiment cardinalities are multiplied by it.
 pub fn scale() -> f64 {
-    std::env::var("CEJ_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    std::env::var("CEJ_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Scales a cardinality by the global factor, keeping at least 1.
@@ -52,7 +55,11 @@ pub fn print_table(columns: &[&str], rows: &[Vec<String>]) {
         .iter()
         .enumerate()
         .map(|(i, c)| {
-            rows.iter().map(|r| r.get(i).map(|v| v.len()).unwrap_or(0)).chain([c.len()]).max().unwrap_or(c.len())
+            rows.iter()
+                .map(|r| r.get(i).map(|v| v.len()).unwrap_or(0))
+                .chain([c.len()])
+                .max()
+                .unwrap_or(c.len())
         })
         .collect();
     let fmt_row = |cells: &[String]| {
@@ -65,7 +72,10 @@ pub fn print_table(columns: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

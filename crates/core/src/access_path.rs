@@ -66,7 +66,13 @@ pub struct AccessPathQuery {
 impl AccessPathQuery {
     /// Convenience constructor with full selectivity and an existing index.
     pub fn new(outer_rows: usize, inner_rows: usize, predicate: SimilarityPredicate) -> Self {
-        Self { outer_rows, inner_rows, inner_selectivity: 1.0, predicate, index_available: true }
+        Self {
+            outer_rows,
+            inner_rows,
+            inner_selectivity: 1.0,
+            predicate,
+            index_available: true,
+        }
     }
 }
 
@@ -98,8 +104,7 @@ impl AccessPathAdvisor {
     /// post-filter), plus the index build when no index exists.
     pub fn probe_cost(&self, query: &AccessPathQuery) -> f64 {
         let p = &self.cost_model.params;
-        let per_probe =
-            p.index_probe_cost * (1.0 + (query.inner_rows.max(2) as f64).ln());
+        let per_probe = p.index_probe_cost * (1.0 + (query.inner_rows.max(2) as f64).ln());
         let k_factor = match query.predicate {
             SimilarityPredicate::TopK(k) => 1.0 + (k.max(1) as f64).ln(),
             // Range predicates probe with a fixed k (32 in the paper) and
@@ -135,9 +140,8 @@ impl AccessPathAdvisor {
     pub fn crossover_selectivity(&self, query: &AccessPathQuery) -> f64 {
         let p = &self.cost_model.params;
         let probe = self.probe_cost(query);
-        let per_selectivity = query.outer_rows as f64
-            * query.inner_rows as f64
-            * (p.access_cost + p.compute_cost);
+        let per_selectivity =
+            query.outer_rows as f64 * query.inner_rows as f64 * (p.access_cost + p.compute_cost);
         if per_selectivity == 0.0 {
             return f64::INFINITY;
         }
@@ -199,8 +203,14 @@ mod tests {
         let q32 = query(10_000, 1_000_000, 1.0, SimilarityPredicate::TopK(32));
         let c1 = advisor.crossover_selectivity(&q1);
         let c32 = advisor.crossover_selectivity(&q32);
-        assert!(c32 > c1 * 2.0, "top-32 crossover {c32} should be far above top-1 {c1}");
-        assert!(c32 > 0.6, "top-32 crossover {c32} should sit in the high-selectivity range");
+        assert!(
+            c32 > c1 * 2.0,
+            "top-32 crossover {c32} should be far above top-1 {c1}"
+        );
+        assert!(
+            c32 > 0.6,
+            "top-32 crossover {c32} should sit in the high-selectivity range"
+        );
         // at moderate selectivity top-32 therefore picks the scan
         let q32_mid = query(10_000, 1_000_000, 0.5, SimilarityPredicate::TopK(32));
         assert_eq!(advisor.choose(&q32_mid), AccessPath::TensorScan);

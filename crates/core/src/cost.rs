@@ -40,7 +40,12 @@ impl Default for CostParameters {
         // `ef · log(|S|)` random accesses.  The value is chosen so the
         // advisor's top-1 crossover lands in the paper's 20-30 % selectivity
         // band for the 10k × 1M workload of Figure 15.
-        Self { access_cost: 1.0, model_cost: 1_000.0, compute_cost: 4.0, index_probe_cost: 17_000.0 }
+        Self {
+            access_cost: 1.0,
+            model_cost: 1_000.0,
+            compute_cost: 4.0,
+            index_probe_cost: 17_000.0,
+        }
     }
 }
 
@@ -75,7 +80,8 @@ impl CostModel {
     /// Cost of the naive E-NLJ (`|R| · |S| · (A + M + C)`): the model is
     /// invoked for every *pair*.
     pub fn e_nlj_naive(&self, r: usize, s: usize) -> f64 {
-        (r as f64) * (s as f64)
+        (r as f64)
+            * (s as f64)
             * (self.params.access_cost + self.params.model_cost + self.params.compute_cost)
     }
 

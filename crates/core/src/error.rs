@@ -102,8 +102,12 @@ mod tests {
         assert!(e.to_string().contains("relational error"));
         let e: CoreError = IndexError::EmptyIndex.into();
         assert!(e.to_string().contains("index error"));
-        assert!(CoreError::InvalidInput("bad".into()).to_string().contains("bad"));
-        assert!(CoreError::Unsupported("nope".into()).to_string().contains("nope"));
+        assert!(CoreError::InvalidInput("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(CoreError::Unsupported("nope".into())
+            .to_string()
+            .contains("nope"));
         assert!(std::error::Error::source(&CoreError::Unsupported("x".into())).is_none());
     }
 }

@@ -42,19 +42,28 @@ pub struct IndexJoinConfig {
 
 impl Default for IndexJoinConfig {
     fn default() -> Self {
-        Self { params: HnswParams::low_recall(), range_probe_k: 32 }
+        Self {
+            params: HnswParams::low_recall(),
+            range_probe_k: 32,
+        }
     }
 }
 
 impl IndexJoinConfig {
     /// Uses the paper's high-recall index configuration.
     pub fn high_recall() -> Self {
-        Self { params: HnswParams::high_recall(), range_probe_k: 32 }
+        Self {
+            params: HnswParams::high_recall(),
+            range_probe_k: 32,
+        }
     }
 
     /// Uses the paper's low-recall index configuration.
     pub fn low_recall() -> Self {
-        Self { params: HnswParams::low_recall(), range_probe_k: 32 }
+        Self {
+            params: HnswParams::low_recall(),
+            range_probe_k: 32,
+        }
     }
 
     /// Sets the probe `k` used for threshold predicates.
@@ -154,7 +163,9 @@ impl IndexJoin {
                 }
             }
             let query = outer.row(row).map_err(CoreError::from)?;
-            let search = index.search(query, k, inner_filter).map_err(CoreError::from)?;
+            let search = index
+                .search(query, k, inner_filter)
+                .map_err(CoreError::from)?;
             stats.probe_stats.merge(&search.stats);
             stats.pairs_compared += search.stats.distance_computations;
             for neighbor in search.neighbors {
@@ -188,8 +199,12 @@ mod tests {
     use cej_workload::clustered_matrix;
 
     fn model() -> FastTextModel {
-        FastTextModel::new(FastTextConfig { dim: 16, buckets: 1000, ..FastTextConfig::default() })
-            .unwrap()
+        FastTextModel::new(FastTextConfig {
+            dim: 16,
+            buckets: 1000,
+            ..FastTextConfig::default()
+        })
+        .unwrap()
     }
 
     fn strings(words: &[&str]) -> Vec<String> {
@@ -197,7 +212,10 @@ mod tests {
     }
 
     fn test_config() -> IndexJoinConfig {
-        IndexJoinConfig { params: HnswParams::tiny(), range_probe_k: 8 }
+        IndexJoinConfig {
+            params: HnswParams::tiny(),
+            range_probe_k: 8,
+        }
     }
 
     #[test]
@@ -227,7 +245,13 @@ mod tests {
         let join = IndexJoin::new(test_config());
         let index = join.build_index(&vectors).unwrap();
         let result = join
-            .probe_join(&outer, &index, SimilarityPredicate::Threshold(0.95), None, None)
+            .probe_join(
+                &outer,
+                &index,
+                SimilarityPredicate::Threshold(0.95),
+                None,
+                None,
+            )
             .unwrap();
         assert!(result.pairs.iter().all(|p| p.score >= 0.95));
         // a range predicate can never return more than range_probe_k per outer row
@@ -254,7 +278,11 @@ mod tests {
             .unwrap();
         let exact_set: std::collections::HashSet<(usize, usize)> =
             exact.pair_indices().into_iter().collect();
-        let hits = approx.pair_indices().iter().filter(|p| exact_set.contains(p)).count();
+        let hits = approx
+            .pair_indices()
+            .iter()
+            .filter(|p| exact_set.contains(p))
+            .count();
         let recall = hits as f64 / exact.len() as f64;
         assert!(recall > 0.8, "index join recall {recall} too low");
     }
@@ -267,7 +295,13 @@ mod tests {
         let index = join.build_index(&vectors).unwrap();
         let filter = SelectionBitmap::from_indices(10, &[0, 1]);
         let result = join
-            .probe_join(&outer, &index, SimilarityPredicate::TopK(2), Some(&filter), None)
+            .probe_join(
+                &outer,
+                &index,
+                SimilarityPredicate::TopK(2),
+                Some(&filter),
+                None,
+            )
             .unwrap();
         assert_eq!(result.len(), 4);
         assert!(result.pairs.iter().all(|p| p.left < 2));
@@ -288,7 +322,13 @@ mod tests {
         let index = join.build_index(&vectors).unwrap();
         let inner_filter = SelectionBitmap::from_indices(100, &(0..30).collect::<Vec<_>>());
         let result = join
-            .probe_join(&outer, &index, SimilarityPredicate::TopK(3), None, Some(&inner_filter))
+            .probe_join(
+                &outer,
+                &index,
+                SimilarityPredicate::TopK(3),
+                None,
+                Some(&inner_filter),
+            )
             .unwrap();
         assert!(result.pairs.iter().all(|p| p.right < 30));
         // traversal cost is not reduced proportionally to the 70% exclusion
@@ -325,7 +365,13 @@ mod tests {
         // bad outer filter length
         let bad = SelectionBitmap::all(3);
         assert!(join
-            .probe_join(&outer, &index, SimilarityPredicate::TopK(1), Some(&bad), None)
+            .probe_join(
+                &outer,
+                &index,
+                SimilarityPredicate::TopK(1),
+                Some(&bad),
+                None
+            )
             .is_err());
         // invalid predicate
         assert!(join
@@ -342,10 +388,24 @@ mod tests {
 
     #[test]
     fn config_presets() {
-        assert_eq!(IndexJoinConfig::high_recall().params, HnswParams::high_recall());
-        assert_eq!(IndexJoinConfig::low_recall().params, HnswParams::low_recall());
+        assert_eq!(
+            IndexJoinConfig::high_recall().params,
+            HnswParams::high_recall()
+        );
+        assert_eq!(
+            IndexJoinConfig::low_recall().params,
+            HnswParams::low_recall()
+        );
         assert_eq!(IndexJoinConfig::default().range_probe_k, 32);
-        assert_eq!(IndexJoinConfig::default().with_range_probe_k(0).range_probe_k, 1);
-        assert_eq!(IndexJoin::default().config().params, HnswParams::low_recall());
+        assert_eq!(
+            IndexJoinConfig::default()
+                .with_range_probe_k(0)
+                .range_probe_k,
+            1
+        );
+        assert_eq!(
+            IndexJoin::default().config().params,
+            HnswParams::low_recall()
+        );
     }
 }

@@ -59,7 +59,9 @@ pub(crate) fn check_predicate(predicate: &SimilarityPredicate) -> Result<()> {
     match predicate {
         SimilarityPredicate::Threshold(t) => {
             if !t.is_finite() {
-                return Err(CoreError::InvalidInput("similarity threshold must be finite".into()));
+                return Err(CoreError::InvalidInput(
+                    "similarity threshold must be finite".into(),
+                ));
             }
             Ok(())
         }
@@ -78,8 +80,12 @@ mod tests {
     use cej_embedding::{FastTextConfig, FastTextModel};
 
     fn model() -> FastTextModel {
-        FastTextModel::new(FastTextConfig { dim: 8, buckets: 500, ..FastTextConfig::default() })
-            .unwrap()
+        FastTextModel::new(FastTextConfig {
+            dim: 8,
+            buckets: 500,
+            ..FastTextConfig::default()
+        })
+        .unwrap()
     }
 
     #[test]

@@ -84,8 +84,12 @@ mod tests {
     use cej_embedding::{CachedEmbedder, FastTextConfig, FastTextModel};
 
     fn model() -> FastTextModel {
-        FastTextModel::new(FastTextConfig { dim: 16, buckets: 1000, ..FastTextConfig::default() })
-            .unwrap()
+        FastTextModel::new(FastTextConfig {
+            dim: 16,
+            buckets: 1000,
+            ..FastTextConfig::default()
+        })
+        .unwrap()
     }
 
     fn strings(words: &[&str]) -> Vec<String> {
@@ -170,7 +174,12 @@ mod tests {
     #[test]
     fn empty_inputs_produce_empty_result() {
         let result = NaiveNlJoin::new()
-            .join(&model(), &[], &strings(&["x"]), SimilarityPredicate::Threshold(0.0))
+            .join(
+                &model(),
+                &[],
+                &strings(&["x"]),
+                SimilarityPredicate::Threshold(0.0),
+            )
             .unwrap();
         assert!(result.is_empty());
         assert_eq!(result.stats.model_calls, 0);

@@ -38,7 +38,11 @@ pub struct NljConfig {
 
 impl Default for NljConfig {
     fn default() -> Self {
-        Self { kernel: Kernel::Unrolled, threads: 1, auto_loop_order: true }
+        Self {
+            kernel: Kernel::Unrolled,
+            threads: 1,
+            auto_loop_order: true,
+        }
     }
 }
 
@@ -132,7 +136,11 @@ impl PrefetchNlJoin {
         let swap = self.config.auto_loop_order
             && matches!(predicate, SimilarityPredicate::Threshold(_))
             && right_norm.rows() > left_norm.rows();
-        let (outer, inner) = if swap { (&right_norm, &left_norm) } else { (&left_norm, &right_norm) };
+        let (outer, inner) = if swap {
+            (&right_norm, &left_norm)
+        } else {
+            (&left_norm, &right_norm)
+        };
 
         let mut pairs = self.pairwise_loop(outer, inner, predicate, kernel);
         if swap {
@@ -171,12 +179,12 @@ impl PrefetchNlJoin {
         }
         let rows_per_thread = outer.rows().div_ceil(threads);
         let mut partial: Vec<Vec<JoinPair>> = Vec::new();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             let mut start = 0;
             while start < outer.rows() {
                 let end = (start + rows_per_thread).min(outer.rows());
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     Self::pairwise_range(outer, inner, start, end, predicate, kernel)
                 }));
                 start = end;
@@ -184,8 +192,7 @@ impl PrefetchNlJoin {
             for h in handles {
                 partial.push(h.join().expect("NLJ worker panicked"));
             }
-        })
-        .expect("NLJ thread scope failed");
+        });
         partial.into_iter().flatten().collect()
     }
 
@@ -229,7 +236,10 @@ impl PrefetchNlJoin {
 /// helper makes that policy explicit for the planner.
 pub fn effective_config(config: NljConfig, predicate: &SimilarityPredicate) -> NljConfig {
     match predicate {
-        SimilarityPredicate::TopK(_) => NljConfig { auto_loop_order: false, ..config },
+        SimilarityPredicate::TopK(_) => NljConfig {
+            auto_loop_order: false,
+            ..config
+        },
         SimilarityPredicate::Threshold(_) => config,
     }
 }
@@ -242,8 +252,12 @@ mod tests {
     use cej_workload::uniform_matrix;
 
     fn model() -> FastTextModel {
-        FastTextModel::new(FastTextConfig { dim: 16, buckets: 1000, ..FastTextConfig::default() })
-            .unwrap()
+        FastTextModel::new(FastTextConfig {
+            dim: 16,
+            buckets: 1000,
+            ..FastTextConfig::default()
+        })
+        .unwrap()
     }
 
     fn strings(words: &[&str]) -> Vec<String> {
@@ -362,7 +376,12 @@ mod tests {
         let left = strings(&["alpha", "beta"]);
         let right = strings(&["gamma"]);
         let result = PrefetchNlJoin::new(NljConfig::default())
-            .join(&model(), &left, &right, SimilarityPredicate::Threshold(-1.0))
+            .join(
+                &model(),
+                &left,
+                &right,
+                SimilarityPredicate::Threshold(-1.0),
+            )
             .unwrap();
         assert_eq!(result.stats.model_calls, 3);
         assert_eq!(result.stats.pairs_compared, 2);

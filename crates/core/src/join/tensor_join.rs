@@ -202,10 +202,7 @@ impl TensorJoin {
 
     /// Compacts the selected rows of `m`, returning the compacted matrix and
     /// the mapping from compacted offset to original row.
-    fn compact(
-        m: &Matrix,
-        filter: Option<&SelectionBitmap>,
-    ) -> Result<(Matrix, Vec<usize>)> {
+    fn compact(m: &Matrix, filter: Option<&SelectionBitmap>) -> Result<(Matrix, Vec<usize>)> {
         match filter {
             None => Ok((m.clone(), (0..m.rows()).collect())),
             Some(f) => {
@@ -241,8 +238,7 @@ impl TensorJoin {
         predicate: SimilarityPredicate,
         stats: &mut JoinStats,
     ) -> Result<Vec<JoinPair>> {
-        let (outer_batch, inner_batch) =
-            self.config.budget.batch_shape(left.rows(), right.rows());
+        let (outer_batch, inner_batch) = self.config.budget.batch_shape(left.rows(), right.rows());
         let dim = left.cols();
         let gemm = self.config.gemm();
 
@@ -263,18 +259,24 @@ impl TensorJoin {
         while l_start < left.rows() {
             let l_end = (l_start + outer_batch).min(left.rows());
             let l_rows = l_end - l_start;
-            let l_block = left.rows_as_slice(l_start, l_end).expect("left block in range");
+            let l_block = left
+                .rows_as_slice(l_start, l_end)
+                .expect("left block in range");
             let mut r_start = 0usize;
             while r_start < right.rows() {
                 let r_end = (r_start + inner_batch).min(right.rows());
                 let r_rows = r_end - r_start;
-                let r_block = right.rows_as_slice(r_start, r_end).expect("right block in range");
+                let r_block = right
+                    .rows_as_slice(r_start, r_end)
+                    .expect("right block in range");
                 let out = &mut scores[..l_rows * r_rows];
 
                 if threads <= 1 || l_rows < threads {
                     block_into(l_block, r_block, l_rows, r_rows, dim, &gemm, out);
                 } else {
-                    Self::parallel_block(l_block, r_block, l_rows, r_rows, dim, &gemm, threads, out);
+                    Self::parallel_block(
+                        l_block, r_block, l_rows, r_rows, dim, &gemm, threads, out,
+                    );
                 }
                 stats.blocks_computed += 1;
 
@@ -329,7 +331,7 @@ impl TensorJoin {
         out: &mut [f32],
     ) {
         let rows_per_thread = l_rows.div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut remaining = out;
             let mut start = 0usize;
             while start < l_rows {
@@ -338,13 +340,12 @@ impl TensorJoin {
                 let (chunk, rest) = remaining.split_at_mut(rows * r_rows);
                 remaining = rest;
                 let l_chunk = &l_block[start * dim..end * dim];
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     block_into(l_chunk, r_block, rows, r_rows, dim, gemm, chunk);
                 });
                 start = end;
             }
-        })
-        .expect("tensor join worker panicked");
+        });
     }
 
     /// The non-batched variant of Figure 12: the inner relation is processed
@@ -407,8 +408,12 @@ mod tests {
     use cej_workload::uniform_matrix;
 
     fn model() -> FastTextModel {
-        FastTextModel::new(FastTextConfig { dim: 16, buckets: 1000, ..FastTextConfig::default() })
-            .unwrap()
+        FastTextModel::new(FastTextConfig {
+            dim: 16,
+            buckets: 1000,
+            ..FastTextConfig::default()
+        })
+        .unwrap()
     }
 
     fn strings(words: &[&str]) -> Vec<String> {
@@ -445,11 +450,10 @@ mod tests {
     fn mini_batching_does_not_change_results() {
         let left = uniform_matrix(40, 16, 5, true);
         let right = uniform_matrix(60, 16, 6, true);
-        let unbatched = TensorJoin::new(
-            TensorJoinConfig::default().with_budget(BufferBudget::unlimited()),
-        )
-        .join_matrices(&left, &right, SimilarityPredicate::Threshold(0.1))
-        .unwrap();
+        let unbatched =
+            TensorJoin::new(TensorJoinConfig::default().with_budget(BufferBudget::unlimited()))
+                .join_matrices(&left, &right, SimilarityPredicate::Threshold(0.1))
+                .unwrap();
         let batched = TensorJoin::new(
             TensorJoinConfig::default().with_budget(BufferBudget::from_bytes(4 * 128)),
         )
@@ -464,11 +468,10 @@ mod tests {
     fn mini_batching_with_topk_is_correct() {
         let left = uniform_matrix(12, 16, 7, true);
         let right = uniform_matrix(45, 16, 8, true);
-        let unbatched = TensorJoin::new(
-            TensorJoinConfig::default().with_budget(BufferBudget::unlimited()),
-        )
-        .join_matrices(&left, &right, SimilarityPredicate::TopK(3))
-        .unwrap();
+        let unbatched =
+            TensorJoin::new(TensorJoinConfig::default().with_budget(BufferBudget::unlimited()))
+                .join_matrices(&left, &right, SimilarityPredicate::TopK(3))
+                .unwrap();
         let batched = TensorJoin::new(
             TensorJoinConfig::default().with_budget(BufferBudget::from_bytes(4 * 64)),
         )

@@ -79,7 +79,10 @@ impl JoinResult {
     /// The set of `(left, right)` index pairs, for equality checks that
     /// ignore score rounding differences between operators.
     pub fn pair_indices(&self) -> Vec<(usize, usize)> {
-        self.sorted_pairs().iter().map(|p| (p.left, p.right)).collect()
+        self.sorted_pairs()
+            .iter()
+            .map(|p| (p.left, p.right))
+            .collect()
     }
 }
 

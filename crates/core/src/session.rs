@@ -142,12 +142,11 @@ impl ContextJoinSession {
     }
 
     fn shared_model(&self, name: &str) -> Result<Arc<dyn Embedder>> {
-        self.models
-            .get(name)
-            .cloned()
-            .ok_or_else(|| CoreError::Relational(cej_relational::RelationalError::UnknownModel(
+        self.models.get(name).cloned().ok_or_else(|| {
+            CoreError::Relational(cej_relational::RelationalError::UnknownModel(
                 name.to_string(),
-            )))
+            ))
+        })
     }
 
     /// Optimises and executes a logical plan.
@@ -181,7 +180,14 @@ impl ContextJoinSession {
             return execute_relational(plan, &self.catalog, registry).map_err(CoreError::from);
         }
         match plan {
-            LogicalPlan::EJoin { left, right, left_column, right_column, model, predicate } => {
+            LogicalPlan::EJoin {
+                left,
+                right,
+                left_column,
+                right_column,
+                model,
+                predicate,
+            } => {
                 let left_table = self.execute_node(left, registry, context)?;
                 let right_table = self.execute_node(right, registry, context)?;
                 self.execute_join(
@@ -226,9 +232,14 @@ impl ContextJoinSession {
         predicate: SimilarityPredicate,
         context: &mut QueryContext,
     ) -> Result<Table> {
-        let left_strings = left.column_by_name(left_column).map_err(CoreError::from)?.as_utf8()?;
-        let right_strings =
-            right.column_by_name(right_column).map_err(CoreError::from)?.as_utf8()?;
+        let left_strings = left
+            .column_by_name(left_column)
+            .map_err(CoreError::from)?
+            .as_utf8()?;
+        let right_strings = right
+            .column_by_name(right_column)
+            .map_err(CoreError::from)?
+            .as_utf8()?;
 
         let model = self.shared_model(model_name)?;
         let counted = CachedEmbedder::new(SharedEmbedder(model));
@@ -313,11 +324,21 @@ impl ContextJoinSession {
 
         let mut fields: Vec<Field> = Vec::new();
         let mut columns: Vec<Column> = Vec::new();
-        for (field, column) in left_taken.schema().fields().iter().zip(left_taken.columns()) {
+        for (field, column) in left_taken
+            .schema()
+            .fields()
+            .iter()
+            .zip(left_taken.columns())
+        {
             fields.push(Field::new(format!("l_{}", field.name), field.data_type));
             columns.push(column.clone());
         }
-        for (field, column) in right_taken.schema().fields().iter().zip(right_taken.columns()) {
+        for (field, column) in right_taken
+            .schema()
+            .fields()
+            .iter()
+            .zip(right_taken.columns())
+        {
             fields.push(Field::new(format!("r_{}", field.name), field.data_type));
             columns.push(column.clone());
         }
@@ -331,8 +352,7 @@ impl ContextJoinSession {
 
 /// Whether a plan tree contains an `EJoin` node.
 fn contains_join(plan: &LogicalPlan) -> bool {
-    matches!(plan, LogicalPlan::EJoin { .. })
-        || plan.children().iter().any(|c| contains_join(c))
+    matches!(plan, LogicalPlan::EJoin { .. }) || plan.children().iter().any(|c| contains_join(c))
 }
 
 #[derive(Debug, Default)]
@@ -351,8 +371,12 @@ mod tests {
     use cej_storage::TableBuilder;
 
     fn model() -> FastTextModel {
-        FastTextModel::new(FastTextConfig { dim: 16, buckets: 1000, ..FastTextConfig::default() })
-            .unwrap()
+        FastTextModel::new(FastTextConfig {
+            dim: 16,
+            buckets: 1000,
+            ..FastTextConfig::default()
+        })
+        .unwrap()
     }
 
     fn session() -> ContextJoinSession {
@@ -363,7 +387,12 @@ mod tests {
                 .int64("photo_id", vec![1, 2, 3, 4])
                 .utf8(
                     "caption",
-                    vec!["barbecue".into(), "database".into(), "laptop".into(), "vacation".into()],
+                    vec![
+                        "barbecue".into(),
+                        "database".into(),
+                        "laptop".into(),
+                        "vacation".into(),
+                    ],
                 )
                 .int64("year", vec![2021, 2022, 2023, 2024])
                 .build()
@@ -373,7 +402,10 @@ mod tests {
             "products",
             TableBuilder::new()
                 .int64("product_id", vec![10, 20, 30])
-                .utf8("title", vec!["barbecues".into(), "databases".into(), "notebooks".into()])
+                .utf8(
+                    "title",
+                    vec!["barbecues".into(), "databases".into(), "notebooks".into()],
+                )
                 .build()
                 .unwrap(),
         );
@@ -395,16 +427,25 @@ mod tests {
     #[test]
     fn threshold_join_produces_expected_schema_and_matches() {
         let s = session();
-        let report = s.execute(&join_plan(SimilarityPredicate::Threshold(0.5))).unwrap();
+        let report = s
+            .execute(&join_plan(SimilarityPredicate::Threshold(0.5)))
+            .unwrap();
         let table = &report.table;
         assert!(table.schema().field("l_caption").is_ok());
         assert!(table.schema().field("r_title").is_ok());
         assert!(table.schema().field("similarity").is_ok());
         // barbecue-barbecues and database-databases must match
-        let captions = table.column_by_name("l_caption").unwrap().as_utf8().unwrap();
+        let captions = table
+            .column_by_name("l_caption")
+            .unwrap()
+            .as_utf8()
+            .unwrap();
         let titles = table.column_by_name("r_title").unwrap().as_utf8().unwrap();
-        let pairs: Vec<(String, String)> =
-            captions.iter().cloned().zip(titles.iter().cloned()).collect();
+        let pairs: Vec<(String, String)> = captions
+            .iter()
+            .cloned()
+            .zip(titles.iter().cloned())
+            .collect();
         assert!(pairs.contains(&("barbecue".into(), "barbecues".into())));
         assert!(pairs.contains(&("database".into(), "databases".into())));
         assert_eq!(report.matched_pairs, table.num_rows());
@@ -414,7 +455,9 @@ mod tests {
     #[test]
     fn prefetch_embedding_counts_are_linear() {
         let s = session();
-        let report = s.execute(&join_plan(SimilarityPredicate::Threshold(0.5))).unwrap();
+        let report = s
+            .execute(&join_plan(SimilarityPredicate::Threshold(0.5)))
+            .unwrap();
         // 4 left + 3 right distinct strings = 7 model calls through the cache
         assert_eq!(report.embedding_stats.model_calls, 7);
         assert_eq!(report.join_stats.model_calls, 7);
@@ -431,14 +474,19 @@ mod tests {
     #[test]
     fn relational_predicate_pushed_below_join_reduces_model_calls() {
         let s = session();
-        let plan = join_plan(SimilarityPredicate::Threshold(0.5))
-            .select(col("year").gt_eq(lit_i64(2023)));
+        let plan =
+            join_plan(SimilarityPredicate::Threshold(0.5)).select(col("year").gt_eq(lit_i64(2023)));
         let report = s.execute(&plan).unwrap();
         // after pushdown only 2 left rows survive: 2 + 3 = 5 model calls
         assert_eq!(report.embedding_stats.model_calls, 5);
         assert_eq!(report.optimized_plan.selections_below_embedding(), 1);
         // all output rows satisfy the relational predicate
-        let years = report.table.column_by_name("l_year").unwrap().as_int64().unwrap();
+        let years = report
+            .table
+            .column_by_name("l_year")
+            .unwrap()
+            .as_int64()
+            .unwrap();
         assert!(years.iter().all(|&y| y >= 2023));
     }
 
@@ -453,13 +501,24 @@ mod tests {
         for strategy in strategies {
             let mut s = session();
             s.with_strategy(strategy);
-            let report = s.execute(&join_plan(SimilarityPredicate::Threshold(0.5))).unwrap();
-            let captions =
-                report.table.column_by_name("l_caption").unwrap().as_utf8().unwrap().to_vec();
-            let titles =
-                report.table.column_by_name("r_title").unwrap().as_utf8().unwrap().to_vec();
-            let mut pairs: Vec<(String, String)> =
-                captions.into_iter().zip(titles.into_iter()).collect();
+            let report = s
+                .execute(&join_plan(SimilarityPredicate::Threshold(0.5)))
+                .unwrap();
+            let captions = report
+                .table
+                .column_by_name("l_caption")
+                .unwrap()
+                .as_utf8()
+                .unwrap()
+                .to_vec();
+            let titles = report
+                .table
+                .column_by_name("r_title")
+                .unwrap()
+                .as_utf8()
+                .unwrap()
+                .to_vec();
+            let mut pairs: Vec<(String, String)> = captions.into_iter().zip(titles).collect();
             pairs.sort();
             match &reference {
                 None => reference = Some(pairs),
@@ -499,7 +558,12 @@ mod tests {
         let plan = join_plan(SimilarityPredicate::Threshold(0.5))
             .select(col("similarity").gt_eq(cej_relational::lit_f64(0.9)));
         let report = s.execute(&plan).unwrap();
-        let sims = report.table.column_by_name("similarity").unwrap().as_float64().unwrap();
+        let sims = report
+            .table
+            .column_by_name("similarity")
+            .unwrap()
+            .as_float64()
+            .unwrap();
         assert!(sims.iter().all(|&s| s >= 0.9));
     }
 
@@ -508,7 +572,10 @@ mod tests {
         let mut s = ContextJoinSession::new();
         s.register_table(
             "t",
-            TableBuilder::new().utf8("w", vec!["a".into()]).build().unwrap(),
+            TableBuilder::new()
+                .utf8("w", vec!["a".into()])
+                .build()
+                .unwrap(),
         );
         let plan = LogicalPlan::e_join(
             LogicalPlan::scan("t"),

@@ -143,8 +143,12 @@ mod tests {
     use crate::model::{FastTextConfig, FastTextModel};
 
     fn model() -> FastTextModel {
-        FastTextModel::new(FastTextConfig { dim: 16, buckets: 1000, ..FastTextConfig::default() })
-            .unwrap()
+        FastTextModel::new(FastTextConfig {
+            dim: 16,
+            buckets: 1000,
+            ..FastTextConfig::default()
+        })
+        .unwrap()
     }
 
     #[test]

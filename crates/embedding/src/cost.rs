@@ -29,13 +29,17 @@ impl ModelCostProfile {
 
     /// Adds `nanos` nanoseconds per model call.
     pub fn from_nanos(nanos: u64) -> Self {
-        Self { per_call_nanos: nanos }
+        Self {
+            per_call_nanos: nanos,
+        }
     }
 
     /// Adds `micros` microseconds per model call — a realistic magnitude for
     /// a transformer encoder on CPU.
     pub fn from_micros(micros: u64) -> Self {
-        Self { per_call_nanos: micros * 1_000 }
+        Self {
+            per_call_nanos: micros * 1_000,
+        }
     }
 
     /// `true` when no artificial cost is added.

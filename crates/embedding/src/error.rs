@@ -34,10 +34,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(EmbeddingError::InvalidConfig("dim=0".into()).to_string().contains("dim=0"));
+        assert!(EmbeddingError::InvalidConfig("dim=0".into())
+            .to_string()
+            .contains("dim=0"));
         assert!(EmbeddingError::UnknownId(7).to_string().contains('7'));
         assert!(EmbeddingError::EmptyCorpus.to_string().contains("empty"));
-        assert!(EmbeddingError::Serialization("bad".into()).to_string().contains("bad"));
+        assert!(EmbeddingError::Serialization("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 
     #[test]

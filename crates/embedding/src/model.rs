@@ -43,7 +43,8 @@ pub trait Embedder: Send + Sync {
         let mut m = Matrix::zeros(0, 0);
         for input in inputs {
             let v = self.embed(input);
-            m.push_row(v.as_slice()).expect("embedder produced inconsistent dimensions");
+            m.push_row(v.as_slice())
+                .expect("embedder produced inconsistent dimensions");
         }
         if inputs.is_empty() {
             Matrix::zeros(0, self.dim())
@@ -72,7 +73,14 @@ pub struct FastTextConfig {
 
 impl Default for FastTextConfig {
     fn default() -> Self {
-        Self { dim: 100, buckets: 200_000, min_n: 3, max_n: 6, seed: 42, normalize: true }
+        Self {
+            dim: 100,
+            buckets: 200_000,
+            min_n: 3,
+            max_n: 6,
+            seed: 42,
+            normalize: true,
+        }
     }
 }
 
@@ -133,7 +141,10 @@ impl FastTextModel {
 
     /// Creates a model with the paper's default configuration (100-D).
     pub fn with_dim(dim: usize) -> Result<Self> {
-        Self::new(FastTextConfig { dim, ..FastTextConfig::default() })
+        Self::new(FastTextConfig {
+            dim,
+            ..FastTextConfig::default()
+        })
     }
 
     /// The model configuration.
@@ -161,7 +172,9 @@ impl FastTextModel {
     fn bucket_vector(&self, bucket: usize) -> Vector {
         let mut rng = SplitMix64::new(self.config.seed ^ (bucket as u64).wrapping_mul(0x9E3779B9));
         let scale = 1.0 / self.config.dim as f32;
-        let data = (0..self.config.dim).map(|_| rng.next_symmetric(scale)).collect();
+        let data = (0..self.config.dim)
+            .map(|_| rng.next_symmetric(scale))
+            .collect();
         Vector::new(data)
     }
 
@@ -171,7 +184,8 @@ impl FastTextModel {
         let mut acc = Vector::zeros(self.config.dim);
         for gram in &grams {
             let bucket = bucket_of(gram, self.config.buckets);
-            acc.add_assign(&self.bucket_vector(bucket)).expect("bucket vectors share dim");
+            acc.add_assign(&self.bucket_vector(bucket))
+                .expect("bucket vectors share dim");
         }
         if !grams.is_empty() {
             acc.scale(1.0 / grams.len() as f32);
@@ -260,17 +274,35 @@ mod tests {
     use super::*;
 
     fn model() -> FastTextModel {
-        FastTextModel::new(FastTextConfig { dim: 32, buckets: 5_000, ..FastTextConfig::default() })
-            .unwrap()
+        FastTextModel::new(FastTextConfig {
+            dim: 32,
+            buckets: 5_000,
+            ..FastTextConfig::default()
+        })
+        .unwrap()
     }
 
     #[test]
     fn config_validation() {
-        assert!(FastTextConfig { dim: 0, ..FastTextConfig::default() }.validate().is_err());
-        assert!(FastTextConfig { buckets: 0, ..FastTextConfig::default() }.validate().is_err());
-        assert!(FastTextConfig { min_n: 4, max_n: 3, ..FastTextConfig::default() }
-            .validate()
-            .is_err());
+        assert!(FastTextConfig {
+            dim: 0,
+            ..FastTextConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FastTextConfig {
+            buckets: 0,
+            ..FastTextConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FastTextConfig {
+            min_n: 4,
+            max_n: 3,
+            ..FastTextConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!(FastTextConfig::default().validate().is_ok());
     }
 
@@ -290,10 +322,18 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_embeddings() {
-        let a = FastTextModel::new(FastTextConfig { dim: 32, seed: 1, ..FastTextConfig::default() })
-            .unwrap();
-        let b = FastTextModel::new(FastTextConfig { dim: 32, seed: 2, ..FastTextConfig::default() })
-            .unwrap();
+        let a = FastTextModel::new(FastTextConfig {
+            dim: 32,
+            seed: 1,
+            ..FastTextConfig::default()
+        })
+        .unwrap();
+        let b = FastTextModel::new(FastTextConfig {
+            dim: 32,
+            seed: 2,
+            ..FastTextConfig::default()
+        })
+        .unwrap();
         assert_ne!(a.embed("dbms"), b.embed("dbms"));
     }
 
@@ -331,7 +371,10 @@ mod tests {
     #[test]
     fn plural_shares_subwords_with_singular() {
         let m = model();
-        let sim = m.embed("barbecue").cosine_similarity(&m.embed("barbecues")).unwrap();
+        let sim = m
+            .embed("barbecue")
+            .cosine_similarity(&m.embed("barbecues"))
+            .unwrap();
         assert!(sim > 0.5);
     }
 
@@ -356,7 +399,11 @@ mod tests {
     #[test]
     fn embed_batch_matches_individual() {
         let m = model();
-        let inputs = vec!["dbms".to_string(), "postgres".to_string(), "grill".to_string()];
+        let inputs = vec![
+            "dbms".to_string(),
+            "postgres".to_string(),
+            "grill".to_string(),
+        ];
         let batch = m.embed_batch(&inputs);
         assert_eq!(batch.rows(), 3);
         for (i, s) in inputs.iter().enumerate() {

@@ -27,7 +27,10 @@ impl NgramRange {
     /// Creates a new range, clamping degenerate values to at least 1.
     pub fn new(min_n: usize, max_n: usize) -> Self {
         let min_n = min_n.max(1);
-        Self { min_n, max_n: max_n.max(min_n) }
+        Self {
+            min_n,
+            max_n: max_n.max(min_n),
+        }
     }
 }
 

@@ -88,7 +88,10 @@ mod tests {
     #[test]
     fn removes_stopwords_when_enabled() {
         let t = Tokenizer::new(true);
-        assert_eq!(t.tokenize("the quick brown fox is fast"), vec!["quick", "brown", "fox", "fast"]);
+        assert_eq!(
+            t.tokenize("the quick brown fox is fast"),
+            vec!["quick", "brown", "fox", "fast"]
+        );
     }
 
     #[test]
@@ -100,7 +103,10 @@ mod tests {
     #[test]
     fn splits_on_hyphen_underscore_slash() {
         let t = Tokenizer::new(false);
-        assert_eq!(t.tokenize("data-base_system/engine"), vec!["data", "base", "system", "engine"]);
+        assert_eq!(
+            t.tokenize("data-base_system/engine"),
+            vec!["data", "base", "system", "engine"]
+        );
     }
 
     #[test]

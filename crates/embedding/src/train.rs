@@ -41,7 +41,12 @@ pub struct TrainingConfig {
 
 impl Default for TrainingConfig {
     fn default() -> Self {
-        Self { window: 4, epochs: 10, learning_rate: 0.4, min_count: 1 }
+        Self {
+            window: 4,
+            epochs: 10,
+            learning_rate: 0.4,
+            min_count: 1,
+        }
     }
 }
 
@@ -51,7 +56,9 @@ impl TrainingConfig {
             return Err(EmbeddingError::InvalidConfig("epochs must be > 0".into()));
         }
         if !(self.learning_rate > 0.0 && self.learning_rate <= 1.0) {
-            return Err(EmbeddingError::InvalidConfig("learning_rate must be in (0, 1]".into()));
+            return Err(EmbeddingError::InvalidConfig(
+                "learning_rate must be in (0, 1]".into(),
+            ));
         }
         if self.window == 0 {
             return Err(EmbeddingError::InvalidConfig("window must be > 0".into()));
@@ -77,8 +84,11 @@ pub fn train_on_corpus(
     let tokenizer = Tokenizer::new(true);
 
     // Tokenise once; collect per-word counts.
-    let sentences: Vec<Vec<String>> =
-        corpus.iter().map(|s| tokenizer.tokenize(s)).filter(|t| !t.is_empty()).collect();
+    let sentences: Vec<Vec<String>> = corpus
+        .iter()
+        .map(|s| tokenizer.tokenize(s))
+        .filter(|t| !t.is_empty())
+        .collect();
     if sentences.is_empty() {
         return Err(EmbeddingError::EmptyCorpus);
     }
@@ -90,10 +100,8 @@ pub fn train_on_corpus(
     }
 
     // Initial vectors: the model's subword embeddings.
-    let mut vectors: HashMap<String, Vector> = counts
-        .keys()
-        .map(|w| (w.clone(), model.embed(w)))
-        .collect();
+    let mut vectors: HashMap<String, Vector> =
+        counts.keys().map(|w| (w.clone(), model.embed(w))).collect();
 
     let dim = model.dim();
     for _ in 0..config.epochs {
@@ -149,8 +157,12 @@ mod tests {
     use crate::model::FastTextConfig;
 
     fn small_model() -> FastTextModel {
-        FastTextModel::new(FastTextConfig { dim: 24, buckets: 2000, ..FastTextConfig::default() })
-            .unwrap()
+        FastTextModel::new(FastTextConfig {
+            dim: 24,
+            buckets: 2000,
+            ..FastTextConfig::default()
+        })
+        .unwrap()
     }
 
     fn synonym_corpus() -> Vec<String> {
@@ -211,7 +223,11 @@ mod tests {
             Err(EmbeddingError::EmptyCorpus)
         ));
         assert!(matches!(
-            train_on_corpus(&mut m, &["the of and".to_string()], &TrainingConfig::default()),
+            train_on_corpus(
+                &mut m,
+                &["the of and".to_string()],
+                &TrainingConfig::default()
+            ),
             Err(EmbeddingError::EmptyCorpus)
         ));
     }
@@ -220,11 +236,20 @@ mod tests {
     fn invalid_config_rejected() {
         let mut m = small_model();
         let corpus = synonym_corpus();
-        let bad_epochs = TrainingConfig { epochs: 0, ..TrainingConfig::default() };
+        let bad_epochs = TrainingConfig {
+            epochs: 0,
+            ..TrainingConfig::default()
+        };
         assert!(train_on_corpus(&mut m, &corpus, &bad_epochs).is_err());
-        let bad_lr = TrainingConfig { learning_rate: 0.0, ..TrainingConfig::default() };
+        let bad_lr = TrainingConfig {
+            learning_rate: 0.0,
+            ..TrainingConfig::default()
+        };
         assert!(train_on_corpus(&mut m, &corpus, &bad_lr).is_err());
-        let bad_window = TrainingConfig { window: 0, ..TrainingConfig::default() };
+        let bad_window = TrainingConfig {
+            window: 0,
+            ..TrainingConfig::default()
+        };
         assert!(train_on_corpus(&mut m, &corpus, &bad_window).is_err());
     }
 
@@ -233,7 +258,10 @@ mod tests {
         let mut m = small_model();
         let mut corpus = synonym_corpus();
         corpus.push("hapaxlegomenon appears once only here".to_string());
-        let config = TrainingConfig { min_count: 5, ..TrainingConfig::default() };
+        let config = TrainingConfig {
+            min_count: 5,
+            ..TrainingConfig::default()
+        };
         train_on_corpus(&mut m, &corpus, &config).unwrap();
         assert!(m.word_vector("hapaxlegomenon").is_none());
         assert!(m.word_vector("barbecue").is_some());

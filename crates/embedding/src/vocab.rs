@@ -51,7 +51,10 @@ impl Vocabulary {
     /// # Errors
     /// Returns [`EmbeddingError::UnknownId`] for ids never interned.
     pub fn decode(&self, id: usize) -> Result<&str> {
-        self.id_to_word.get(id).map(|s| s.as_str()).ok_or(EmbeddingError::UnknownId(id))
+        self.id_to_word
+            .get(id)
+            .map(|s| s.as_str())
+            .ok_or(EmbeddingError::UnknownId(id))
     }
 
     /// Occurrence count of an id (0 when unknown).
@@ -71,14 +74,16 @@ impl Vocabulary {
 
     /// Iterates over `(id, word)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
-        self.id_to_word.iter().enumerate().map(|(i, w)| (i, w.as_str()))
+        self.id_to_word
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i, w.as_str()))
     }
 
     /// Words sorted by descending frequency (ties by id), useful for
     /// inspecting the head of the distribution in examples and reports.
     pub fn most_frequent(&self, limit: usize) -> Vec<(&str, u64)> {
-        let mut entries: Vec<(usize, u64)> =
-            self.counts.iter().copied().enumerate().collect();
+        let mut entries: Vec<(usize, u64)> = self.counts.iter().copied().enumerate().collect();
         entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         entries
             .into_iter()

@@ -66,7 +66,9 @@ impl BruteForce {
                     continue;
                 }
             }
-            let score = self.metric.similarity(query, self.vectors.row(row).expect("in range"));
+            let score = self
+                .metric
+                .similarity(query, self.vectors.row(row).expect("in range"));
             topk.push(row, score);
         }
         Ok(topk.into_sorted())
@@ -121,7 +123,10 @@ mod tests {
             Err(IndexError::FilterLengthMismatch { .. })
         ));
         let empty = BruteForce::new(Matrix::zeros(0, 4), Metric::Cosine);
-        assert!(matches!(empty.search(unit(4, 0).as_slice(), 1, None), Err(IndexError::EmptyIndex)));
+        assert!(matches!(
+            empty.search(unit(4, 0).as_slice(), 1, None),
+            Err(IndexError::EmptyIndex)
+        ));
         assert!(empty.is_empty());
     }
 

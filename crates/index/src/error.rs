@@ -29,11 +29,17 @@ impl fmt::Display for IndexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IndexError::DimensionMismatch { indexed, query } => {
-                write!(f, "query dimension {query} does not match indexed dimension {indexed}")
+                write!(
+                    f,
+                    "query dimension {query} does not match indexed dimension {indexed}"
+                )
             }
             IndexError::EmptyIndex => write!(f, "index contains no vectors"),
             IndexError::FilterLengthMismatch { rows, filter } => {
-                write!(f, "filter length {filter} does not match indexed rows {rows}")
+                write!(
+                    f,
+                    "filter length {filter} does not match indexed rows {rows}"
+                )
             }
             IndexError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }
@@ -48,12 +54,22 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(IndexError::DimensionMismatch { indexed: 4, query: 8 }.to_string().contains("8"));
+        assert!(IndexError::DimensionMismatch {
+            indexed: 4,
+            query: 8
+        }
+        .to_string()
+        .contains("8"));
         assert!(IndexError::EmptyIndex.to_string().contains("no vectors"));
-        assert!(IndexError::FilterLengthMismatch { rows: 10, filter: 5 }
+        assert!(IndexError::FilterLengthMismatch {
+            rows: 10,
+            filter: 5
+        }
+        .to_string()
+        .contains("5"));
+        assert!(IndexError::InvalidParameter("k=0".into())
             .to_string()
-            .contains("5"));
-        assert!(IndexError::InvalidParameter("k=0".into()).to_string().contains("k=0"));
+            .contains("k=0"));
     }
 
     #[test]

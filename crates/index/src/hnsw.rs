@@ -40,6 +40,38 @@ impl ProbeStats {
     }
 }
 
+/// Reusable visited-set for layer searches: an epoch-stamped array, so one
+/// probe descending through several layers clears the set by bumping a
+/// counter instead of re-zeroing (or re-allocating) `O(n)` bytes per layer.
+#[derive(Debug)]
+struct VisitScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitScratch {
+    fn new(n: usize) -> Self {
+        VisitScratch {
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    fn next_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Marks `id` visited in the current epoch; `true` on first visit.
+    fn first_visit(&mut self, id: usize) -> bool {
+        if self.stamp[id] == self.epoch {
+            false
+        } else {
+            self.stamp[id] = self.epoch;
+            true
+        }
+    }
+}
+
 /// The result of one top-k probe.
 #[derive(Debug, Clone)]
 pub struct SearchResult {
@@ -138,11 +170,14 @@ impl HnswIndex {
 
     #[inline]
     fn similarity(&self, query: &[f32], node: usize) -> f32 {
-        self.params.metric.similarity(query, self.vectors.row(node).expect("node in range"))
+        self.params
+            .metric
+            .similarity(query, self.vectors.row(node).expect("node in range"))
     }
 
     fn insert(&mut self, id: usize, level: usize) {
-        self.neighbors.push((0..=level).map(|_| Vec::new()).collect());
+        self.neighbors
+            .push((0..=level).map(|_| Vec::new()).collect());
         self.levels.push(level);
         if id == 0 {
             self.entry_point = 0;
@@ -151,6 +186,7 @@ impl HnswIndex {
         }
         let query = self.vectors.row(id).expect("row exists").to_vec();
         let mut stats = ProbeStats::default();
+        let mut visited = VisitScratch::new(self.len());
         let mut entry = self.entry_point;
 
         // Greedy descent through layers above the new node's level.
@@ -159,6 +195,8 @@ impl HnswIndex {
             entry = self.greedy_closest(&query, entry, layer, &mut stats);
             layer -= 1;
         }
+        let mut seed = TopKEntry::new(entry, self.similarity(&query, entry));
+        stats.distance_computations += 1;
 
         // For each layer at or below the node's level, find efConstruction
         // candidates and connect using the diversity-preserving neighbour
@@ -167,10 +205,16 @@ impl HnswIndex {
         // kept links end up inside the node's own cluster.
         let top_layer = level.min(self.max_level);
         for layer in (0..=top_layer).rev() {
-            let candidates =
-                self.search_layer(&query, entry, self.params.ef_construction, layer, &mut stats);
+            let candidates = self.search_layer(
+                &query,
+                &[seed],
+                self.params.ef_construction,
+                layer,
+                &mut visited,
+                &mut stats,
+            );
             if let Some(best) = candidates.first() {
-                entry = best.id;
+                seed = *best;
             }
             let max_links = self.params.max_neighbors(layer);
             let selected = self.select_neighbors_heuristic(&candidates, max_links);
@@ -238,7 +282,11 @@ impl HnswIndex {
                 .iter()
                 .map(|&n| TopKEntry::new(n as usize, self.similarity(&from_vec, n as usize)))
                 .collect();
-            scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+            scored.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             self.neighbors[from][layer] = self.select_neighbors_heuristic(&scored, bound);
         }
     }
@@ -276,28 +324,42 @@ impl HnswIndex {
 
     /// Best-first search at one layer with a candidate list of size `ef`.
     /// Returns candidates sorted best-first.
+    ///
+    /// Accepts multiple *pre-scored* entry points: seeding the frontier from
+    /// several upper-layer candidates (rather than the single greedy winner)
+    /// lets the search escape the entry point's cluster, which measurably
+    /// improves recall for probes that do not come from the indexed
+    /// distribution.  Seeds carry the similarity already computed by the
+    /// caller (or the previous layer), so seeding costs no distance
+    /// computations and does not inflate [`ProbeStats`].
     fn search_layer(
         &self,
         query: &[f32],
-        entry: usize,
+        seeds: &[TopKEntry],
         ef: usize,
         layer: usize,
+        visited: &mut VisitScratch,
         stats: &mut ProbeStats,
     ) -> Vec<TopKEntry> {
-        let mut visited = vec![false; self.len()];
-        visited[entry] = true;
-        let entry_score = self.similarity(query, entry);
-        stats.distance_computations += 1;
-
-        // Candidate frontier ordered best-first (max-heap on score).
-        let mut frontier: Vec<TopKEntry> = vec![TopKEntry::new(entry, entry_score)];
+        visited.next_epoch();
+        let mut frontier: Vec<TopKEntry> = Vec::with_capacity(seeds.len());
         let mut results = TopK::new(ef);
-        results.push(entry, entry_score);
+        for &seed in seeds {
+            if !visited.first_visit(seed.id) {
+                continue;
+            }
+            frontier.push(seed);
+            results.push(seed.id, seed.score);
+        }
 
         while let Some(pos) = frontier
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.score.partial_cmp(&b.1.score).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| {
+                a.1.score
+                    .partial_cmp(&b.1.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .map(|(i, _)| i)
         {
             let current = frontier.swap_remove(pos);
@@ -312,10 +374,9 @@ impl HnswIndex {
             if layer < self.neighbors[current.id].len() {
                 for &n in &self.neighbors[current.id][layer] {
                     let n = n as usize;
-                    if visited[n] {
+                    if !visited.first_visit(n) {
                         continue;
                     }
-                    visited[n] = true;
                     let score = self.similarity(query, n);
                     stats.distance_computations += 1;
                     let admit = match results.threshold() {
@@ -352,22 +413,41 @@ impl HnswIndex {
             return Err(IndexError::InvalidParameter("k must be > 0".into()));
         }
         if query.len() != self.dim() {
-            return Err(IndexError::DimensionMismatch { indexed: self.dim(), query: query.len() });
+            return Err(IndexError::DimensionMismatch {
+                indexed: self.dim(),
+                query: query.len(),
+            });
         }
         if let Some(f) = filter {
             if f.len() != self.len() {
-                return Err(IndexError::FilterLengthMismatch { rows: self.len(), filter: f.len() });
+                return Err(IndexError::FilterLengthMismatch {
+                    rows: self.len(),
+                    filter: f.len(),
+                });
             }
         }
         let mut stats = ProbeStats::default();
-        let mut entry = self.entry_point;
+        let mut visited = VisitScratch::new(self.len());
+        let ef = self.params.ef_search.max(k);
+        // Multi-entry descent: keep a small beam of candidates per upper
+        // layer instead of a single greedy winner, then seed the layer-0
+        // search with the whole beam.  For probes drawn from a different
+        // distribution than the indexed vectors (the hard case in the
+        // scan-vs-probe experiments) a single greedy entry frequently lands
+        // in the wrong cluster and the layer-0 search cannot escape it;
+        // the beam repairs exactly that failure mode.  Each layer's output
+        // seeds the next (scores included), so the descent never re-scores
+        // a node it already knows.
+        let beam_width = (ef / 8).clamp(1, 16).max(k.min(16));
+        let entry_score = self.similarity(query, self.entry_point);
+        stats.distance_computations += 1;
+        let mut seeds: Vec<TopKEntry> = vec![TopKEntry::new(self.entry_point, entry_score)];
         let mut layer = self.max_level;
         while layer > 0 {
-            entry = self.greedy_closest(query, entry, layer, &mut stats);
+            seeds = self.search_layer(query, &seeds, beam_width, layer, &mut visited, &mut stats);
             layer -= 1;
         }
-        let ef = self.params.ef_search.max(k);
-        let candidates = self.search_layer(query, entry, ef, 0, &mut stats);
+        let candidates = self.search_layer(query, &seeds, ef, 0, &mut visited, &mut stats);
         let mut kept = TopK::new(k);
         for c in candidates {
             let allowed = filter.map(|f| f.is_selected(c.id)).unwrap_or(true);
@@ -375,7 +455,10 @@ impl HnswIndex {
                 kept.push(c.id, c.score);
             }
         }
-        Ok(SearchResult { neighbors: kept.into_sorted(), stats })
+        Ok(SearchResult {
+            neighbors: kept.into_sorted(),
+            stats,
+        })
     }
 }
 
@@ -392,10 +475,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut m = Matrix::zeros(0, dim);
         for c in 0..clusters {
-            let centroid: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0) + c as f32).collect();
+            let centroid: Vec<f32> = (0..dim)
+                .map(|_| rng.gen_range(-1.0..1.0) + c as f32)
+                .collect();
             for _ in 0..per_cluster {
-                let mut p: Vec<f32> =
-                    centroid.iter().map(|v| v + rng.gen_range(-0.05..0.05)).collect();
+                let mut p: Vec<f32> = centroid
+                    .iter()
+                    .map(|v| v + rng.gen_range(-0.05..0.05))
+                    .collect();
                 let norm: f32 = p.iter().map(|x| x * x).sum::<f32>().sqrt();
                 p.iter_mut().for_each(|x| *x /= norm);
                 m.push_row(&p).unwrap();
@@ -410,7 +497,10 @@ mod tests {
             HnswIndex::build(Matrix::zeros(0, 4), HnswParams::tiny()),
             Err(IndexError::EmptyIndex)
         ));
-        let bad = HnswParams { m: 1, ..HnswParams::tiny() };
+        let bad = HnswParams {
+            m: 1,
+            ..HnswParams::tiny()
+        };
         assert!(HnswIndex::build(Matrix::zeros(1, 4), bad).is_err());
     }
 
@@ -430,7 +520,10 @@ mod tests {
         let idx = HnswIndex::build(vectors.clone(), HnswParams::tiny()).unwrap();
         for probe in [0usize, 57, 123, 199] {
             let res = idx.search(vectors.row(probe).unwrap(), 1, None).unwrap();
-            assert_eq!(res.neighbors[0].id, probe, "self-query should return itself");
+            assert_eq!(
+                res.neighbors[0].id, probe,
+                "self-query should return itself"
+            );
             assert!(res.stats.distance_computations > 0);
             assert!(res.stats.nodes_visited > 0);
         }
@@ -448,18 +541,29 @@ mod tests {
             let approx = idx.search(query, 10, None).unwrap();
             let truth = exact.search(query, 10, None).unwrap();
             let truth_ids: Vec<usize> = truth.iter().map(|e| e.id).collect();
-            hits += approx.neighbors.iter().filter(|e| truth_ids.contains(&e.id)).count();
+            hits += approx
+                .neighbors
+                .iter()
+                .filter(|e| truth_ids.contains(&e.id))
+                .count();
             total += truth.len();
         }
         let recall = hits as f64 / total as f64;
-        assert!(recall > 0.8, "recall {recall} too low for a healthy HNSW graph");
+        assert!(
+            recall > 0.8,
+            "recall {recall} too low for a healthy HNSW graph"
+        );
     }
 
     #[test]
     fn higher_ef_construction_does_not_reduce_recall() {
         let vectors = clustered(6, 30, 16, 3);
         let lo = HnswIndex::build(vectors.clone(), HnswParams::tiny()).unwrap();
-        let hi_params = HnswParams { ef_construction: 128, ef_search: 64, ..HnswParams::tiny() };
+        let hi_params = HnswParams {
+            ef_construction: 128,
+            ef_search: 64,
+            ..HnswParams::tiny()
+        };
         let hi = HnswIndex::build(vectors.clone(), hi_params).unwrap();
         let exact = BruteForce::new(vectors.clone(), Metric::Cosine);
         let recall = |idx: &HnswIndex| {
@@ -470,7 +574,11 @@ mod tests {
                 let approx = idx.search(query, 5, None).unwrap();
                 let truth = exact.search(query, 5, None).unwrap();
                 let ids: Vec<usize> = truth.iter().map(|e| e.id).collect();
-                hits += approx.neighbors.iter().filter(|e| ids.contains(&e.id)).count();
+                hits += approx
+                    .neighbors
+                    .iter()
+                    .filter(|e| ids.contains(&e.id))
+                    .count();
                 total += truth.len();
             }
             hits as f64 / total as f64
@@ -502,7 +610,9 @@ mod tests {
         let idx = HnswIndex::build(vectors.clone(), HnswParams::tiny()).unwrap();
         let allowed: Vec<usize> = (0..10).collect();
         let filter = SelectionBitmap::from_indices(vectors.rows(), &allowed);
-        let res = idx.search(vectors.row(30).unwrap(), 5, Some(&filter)).unwrap();
+        let res = idx
+            .search(vectors.row(30).unwrap(), 5, Some(&filter))
+            .unwrap();
         assert!(res.neighbors.iter().all(|e| allowed.contains(&e.id)));
     }
 
@@ -513,15 +623,29 @@ mod tests {
         assert!(idx.search(&[0.0; 4], 1, None).is_err());
         assert!(idx.search(vectors.row(0).unwrap(), 0, None).is_err());
         let bad_filter = SelectionBitmap::all(3);
-        assert!(idx.search(vectors.row(0).unwrap(), 1, Some(&bad_filter)).is_err());
+        assert!(idx
+            .search(vectors.row(0).unwrap(), 1, Some(&bad_filter))
+            .is_err());
     }
 
     #[test]
     fn probe_stats_merge() {
-        let mut a = ProbeStats { distance_computations: 3, nodes_visited: 2 };
-        let b = ProbeStats { distance_computations: 5, nodes_visited: 7 };
+        let mut a = ProbeStats {
+            distance_computations: 3,
+            nodes_visited: 2,
+        };
+        let b = ProbeStats {
+            distance_computations: 5,
+            nodes_visited: 7,
+        };
         a.merge(&b);
-        assert_eq!(a, ProbeStats { distance_computations: 8, nodes_visited: 9 });
+        assert_eq!(
+            a,
+            ProbeStats {
+                distance_computations: 8,
+                nodes_visited: 9
+            }
+        );
     }
 
     #[test]

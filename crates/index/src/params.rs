@@ -31,18 +31,39 @@ impl HnswParams {
     /// The paper's *high-recall* configuration: `M = 64`,
     /// `efConstruction = 512` (Figure 15-17, "Index Join (Hi)").
     pub fn high_recall() -> Self {
-        Self { m: 64, m0: 128, ef_construction: 512, ef_search: 128, metric: Metric::Cosine, seed: 42 }
+        Self {
+            m: 64,
+            m0: 128,
+            ef_construction: 512,
+            ef_search: 128,
+            metric: Metric::Cosine,
+            seed: 42,
+        }
     }
 
     /// The paper's *low-recall* configuration: `M = 32`,
     /// `efConstruction = 256` ("Index Join (Lo)").
     pub fn low_recall() -> Self {
-        Self { m: 32, m0: 64, ef_construction: 256, ef_search: 64, metric: Metric::Cosine, seed: 42 }
+        Self {
+            m: 32,
+            m0: 64,
+            ef_construction: 256,
+            ef_search: 64,
+            metric: Metric::Cosine,
+            seed: 42,
+        }
     }
 
     /// A small configuration for unit tests (fast to build).
     pub fn tiny() -> Self {
-        Self { m: 8, m0: 16, ef_construction: 32, ef_search: 32, metric: Metric::Cosine, seed: 42 }
+        Self {
+            m: 8,
+            m0: 16,
+            ef_construction: 32,
+            ef_search: 32,
+            metric: Metric::Cosine,
+            seed: 42,
+        }
     }
 
     /// Sets `efSearch`.
@@ -114,7 +135,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let p = HnswParams::tiny().with_ef_search(7).with_metric(Metric::InnerProduct);
+        let p = HnswParams::tiny()
+            .with_ef_search(7)
+            .with_metric(Metric::InnerProduct);
         assert_eq!(p.ef_search, 7);
         assert_eq!(p.metric, Metric::InnerProduct);
         assert!(p.label().contains("M=8"));

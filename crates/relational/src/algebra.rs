@@ -113,12 +113,17 @@ pub enum LogicalPlan {
 impl LogicalPlan {
     /// Scan helper.
     pub fn scan(table: &str) -> Self {
-        LogicalPlan::Scan { table: table.to_string() }
+        LogicalPlan::Scan {
+            table: table.to_string(),
+        }
     }
 
     /// Wraps this plan in a selection.
     pub fn select(self, predicate: Expr) -> Self {
-        LogicalPlan::Selection { predicate, input: Box::new(self) }
+        LogicalPlan::Selection {
+            predicate,
+            input: Box::new(self),
+        }
     }
 
     /// Wraps this plan in a projection.
@@ -131,7 +136,10 @@ impl LogicalPlan {
 
     /// Wraps this plan in an embedding operator.
     pub fn embed(self, spec: EmbedSpec) -> Self {
-        LogicalPlan::Embed { spec, input: Box::new(self) }
+        LogicalPlan::Embed {
+            spec,
+            input: Box::new(self),
+        }
     }
 
     /// Builds a context-enhanced join of two plans.
@@ -166,13 +174,21 @@ impl LogicalPlan {
 
     /// Total number of nodes in the plan tree.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Number of [`LogicalPlan::Embed`] nodes in the tree.
     pub fn embed_count(&self) -> usize {
         let own = usize::from(matches!(self, LogicalPlan::Embed { .. }));
-        own + self.children().iter().map(|c| c.embed_count()).sum::<usize>()
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.embed_count())
+            .sum::<usize>()
     }
 
     /// Number of [`LogicalPlan::Selection`] nodes that appear *below* the
@@ -222,7 +238,14 @@ impl LogicalPlan {
                 )?;
                 input.fmt_indented(f, indent + 1)
             }
-            LogicalPlan::EJoin { left, right, left_column, right_column, model, predicate } => {
+            LogicalPlan::EJoin {
+                left,
+                right,
+                left_column,
+                right_column,
+                model,
+                predicate,
+            } => {
                 writeln!(
                     f,
                     "{pad}EJoin: {left_column} ~ {right_column} ({}, model {model})",

@@ -79,7 +79,10 @@ mod tests {
         assert!(c.contains("photos"));
         assert_eq!(c.len(), 1);
         assert_eq!(c.table("photos").unwrap().num_rows(), 2);
-        assert!(matches!(c.table("nope"), Err(RelationalError::UnknownTable(_))));
+        assert!(matches!(
+            c.table("nope"),
+            Err(RelationalError::UnknownTable(_))
+        ));
     }
 
     #[test]
@@ -89,7 +92,10 @@ mod tests {
         c.register_shared("t", shared.clone());
         assert_eq!(c.table("t").unwrap().num_rows(), 2);
         // replacing works
-        c.register("t", TableBuilder::new().int64("id", vec![1]).build().unwrap());
+        c.register(
+            "t",
+            TableBuilder::new().int64("id", vec![1]).build().unwrap(),
+        );
         assert_eq!(c.table("t").unwrap().num_rows(), 1);
         assert_eq!(c.table_names(), vec!["t"]);
     }

@@ -58,11 +58,21 @@ mod tests {
         let e = RelationalError::from(StorageError::ColumnNotFound("x".into()));
         assert!(e.to_string().contains("storage error"));
         assert!(std::error::Error::source(&e).is_some());
-        assert!(RelationalError::UnknownColumn("c".into()).to_string().contains("c"));
-        assert!(RelationalError::UnknownTable("t".into()).to_string().contains("t"));
-        assert!(RelationalError::UnknownModel("m".into()).to_string().contains("m"));
-        assert!(RelationalError::InvalidPlan("p".into()).to_string().contains("p"));
-        assert!(RelationalError::TypeError("ty".into()).to_string().contains("ty"));
+        assert!(RelationalError::UnknownColumn("c".into())
+            .to_string()
+            .contains("c"));
+        assert!(RelationalError::UnknownTable("t".into())
+            .to_string()
+            .contains("t"));
+        assert!(RelationalError::UnknownModel("m".into())
+            .to_string()
+            .contains("m"));
+        assert!(RelationalError::InvalidPlan("p".into())
+            .to_string()
+            .contains("p"));
+        assert!(RelationalError::TypeError("ty".into())
+            .to_string()
+            .contains("ty"));
         assert!(std::error::Error::source(&RelationalError::UnknownColumn("c".into())).is_none());
     }
 }

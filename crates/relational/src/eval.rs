@@ -101,7 +101,10 @@ mod tests {
     fn table() -> Table {
         TableBuilder::new()
             .int64("id", vec![1, 2, 3, 4])
-            .utf8("word", vec!["bbq".into(), "grill".into(), "dbms".into(), "sql".into()])
+            .utf8(
+                "word",
+                vec!["bbq".into(), "grill".into(), "dbms".into(), "sql".into()],
+            )
             .date("taken", vec![100, 200, 300, 400])
             .bool("flag", vec![true, false, true, false])
             .build()
@@ -137,9 +140,9 @@ mod tests {
     #[test]
     fn boolean_combinators() {
         let t = table();
-        let pred = col("id").lt(lit_i64(3)).and(col("flag").eq(crate::expr::lit(
-            ScalarValue::Bool(true),
-        )));
+        let pred = col("id")
+            .lt(lit_i64(3))
+            .and(col("flag").eq(crate::expr::lit(ScalarValue::Bool(true))));
         let sel = evaluate_predicate(&pred, &t).unwrap();
         assert_eq!(sel.selected_indices(), vec![0]);
 
@@ -198,7 +201,10 @@ mod tests {
             (col("id").gt_eq(lit_i64(3)), vec![2, 3]),
         ];
         for (pred, expected) in cases {
-            assert_eq!(evaluate_predicate(&pred, &t).unwrap().selected_indices(), expected);
+            assert_eq!(
+                evaluate_predicate(&pred, &t).unwrap().selected_indices(),
+                expected
+            );
         }
     }
 

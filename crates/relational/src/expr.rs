@@ -97,7 +97,9 @@ impl Expr {
 
     /// `true` when the expression only references columns in `available`.
     pub fn only_references(&self, available: &[&str]) -> bool {
-        self.referenced_columns().iter().all(|c| available.contains(&c.as_str()))
+        self.referenced_columns()
+            .iter()
+            .all(|c| available.contains(&c.as_str()))
     }
 
     /// Conjunction helper.
@@ -117,7 +119,11 @@ impl Expr {
     }
 
     fn compare(self, op: CompareOp, other: Expr) -> Expr {
-        Expr::Compare { left: Box::new(self), op, right: Box::new(other) }
+        Expr::Compare {
+            left: Box::new(self),
+            op,
+            right: Box::new(other),
+        }
     }
 
     /// `self = other`.
@@ -205,7 +211,9 @@ mod tests {
 
     #[test]
     fn builder_helpers_compose() {
-        let e = col("taken").gt(lit_date("2023-12-02").unwrap()).and(col("id").lt_eq(lit_i64(10)));
+        let e = col("taken")
+            .gt(lit_date("2023-12-02").unwrap())
+            .and(col("id").lt_eq(lit_i64(10)));
         let cols = e.referenced_columns();
         assert!(cols.contains("taken"));
         assert!(cols.contains("id"));
@@ -214,7 +222,9 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let e = col("a").eq(lit_i64(3)).or(col("b").not_eq(lit_str("x")).not());
+        let e = col("a")
+            .eq(lit_i64(3))
+            .or(col("b").not_eq(lit_str("x")).not());
         let s = e.to_string();
         assert!(s.contains("a = 3"));
         assert!(s.contains("OR"));
@@ -253,6 +263,9 @@ mod tests {
     #[test]
     fn float_and_literal_helpers() {
         assert_eq!(lit_f64(0.5), Expr::Literal(ScalarValue::Float64(0.5)));
-        assert_eq!(lit(ScalarValue::Bool(true)), Expr::Literal(ScalarValue::Bool(true)));
+        assert_eq!(
+            lit(ScalarValue::Bool(true)),
+            Expr::Literal(ScalarValue::Bool(true))
+        );
     }
 }

@@ -80,7 +80,10 @@ impl Optimizer {
 
     /// Creates an optimizer with a custom rule set.
     pub fn new(rules: Vec<Box<dyn OptimizerRule>>) -> Self {
-        Self { rules, max_passes: 16 }
+        Self {
+            rules,
+            max_passes: 16,
+        }
     }
 
     /// Names of the installed rules, in application order.
@@ -127,19 +130,41 @@ where
         LogicalPlan::Selection { predicate, input } => {
             let (child, ch) = transform_up(input, f);
             (
-                LogicalPlan::Selection { predicate: predicate.clone(), input: Box::new(child) },
+                LogicalPlan::Selection {
+                    predicate: predicate.clone(),
+                    input: Box::new(child),
+                },
                 ch,
             )
         }
         LogicalPlan::Projection { columns, input } => {
             let (child, ch) = transform_up(input, f);
-            (LogicalPlan::Projection { columns: columns.clone(), input: Box::new(child) }, ch)
+            (
+                LogicalPlan::Projection {
+                    columns: columns.clone(),
+                    input: Box::new(child),
+                },
+                ch,
+            )
         }
         LogicalPlan::Embed { spec, input } => {
             let (child, ch) = transform_up(input, f);
-            (LogicalPlan::Embed { spec: spec.clone(), input: Box::new(child) }, ch)
+            (
+                LogicalPlan::Embed {
+                    spec: spec.clone(),
+                    input: Box::new(child),
+                },
+                ch,
+            )
         }
-        LogicalPlan::EJoin { left, right, left_column, right_column, model, predicate } => {
+        LogicalPlan::EJoin {
+            left,
+            right,
+            left_column,
+            right_column,
+            model,
+            predicate,
+        } => {
             let (l, cl) = transform_up(left, f);
             let (r, cr) = transform_up(right, f);
             (

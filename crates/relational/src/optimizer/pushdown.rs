@@ -26,7 +26,10 @@ impl PredicatePushdown {
         };
         match input.as_ref() {
             // σ_p(E_µ(x)) → E_µ(σ_p(x)) when p does not use the embedding.
-            LogicalPlan::Embed { spec, input: embed_input } => {
+            LogicalPlan::Embed {
+                spec,
+                input: embed_input,
+            } => {
                 if predicate.referenced_columns().contains(&spec.output_column) {
                     return Ok(None);
                 }
@@ -40,13 +43,19 @@ impl PredicatePushdown {
             }
             // σ_p(R ⋈_E S) → (σ_p R) ⋈_E S (or the mirror) when p only
             // references one side's columns.
-            LogicalPlan::EJoin { left, right, left_column, right_column, model, predicate: jp } => {
+            LogicalPlan::EJoin {
+                left,
+                right,
+                left_column,
+                right_column,
+                model,
+                predicate: jp,
+            } => {
                 let left_cols = output_columns(left, catalog)?;
                 let right_cols = output_columns(right, catalog)?;
                 let referenced = predicate.referenced_columns();
-                let all_in = |cols: &[String]| {
-                    referenced.iter().all(|c| cols.iter().any(|col| col == c))
-                };
+                let all_in =
+                    |cols: &[String]| referenced.iter().all(|c| cols.iter().any(|col| col == c));
                 if all_in(&left_cols) {
                     Ok(Some(LogicalPlan::EJoin {
                         left: Box::new(LogicalPlan::Selection {
@@ -270,6 +279,9 @@ mod tests {
         let display = second.to_string();
         let select_pos = display.find("Selection").unwrap();
         let embed_pos = display.find("Embed").unwrap();
-        assert!(select_pos > embed_pos, "selection should print below the embed:\n{display}");
+        assert!(
+            select_pos > embed_pos,
+            "selection should print below the embed:\n{display}"
+        );
     }
 }

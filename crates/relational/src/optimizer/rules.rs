@@ -21,12 +21,13 @@ impl OptimizerRule for SelectionMerge {
     fn apply(&self, plan: &LogicalPlan, _catalog: &Catalog) -> Result<Option<LogicalPlan>> {
         let (rewritten, changed) = transform_up(plan, &|node| match node {
             LogicalPlan::Selection { predicate, input } => match input.as_ref() {
-                LogicalPlan::Selection { predicate: inner_pred, input: inner_input } => {
-                    Some(LogicalPlan::Selection {
-                        predicate: predicate.clone().and(inner_pred.clone()),
-                        input: inner_input.clone(),
-                    })
-                }
+                LogicalPlan::Selection {
+                    predicate: inner_pred,
+                    input: inner_input,
+                } => Some(LogicalPlan::Selection {
+                    predicate: predicate.clone().and(inner_pred.clone()),
+                    input: inner_input.clone(),
+                }),
                 _ => None,
             },
             _ => None,
@@ -48,9 +49,13 @@ impl OptimizerRule for RedundantEmbedElimination {
     fn apply(&self, plan: &LogicalPlan, _catalog: &Catalog) -> Result<Option<LogicalPlan>> {
         let (rewritten, changed) = transform_up(plan, &|node| match node {
             LogicalPlan::Embed { spec, input } => match input.as_ref() {
-                LogicalPlan::Embed { spec: inner_spec, input: inner_input } if spec == inner_spec => {
-                    Some(LogicalPlan::Embed { spec: spec.clone(), input: inner_input.clone() })
-                }
+                LogicalPlan::Embed {
+                    spec: inner_spec,
+                    input: inner_input,
+                } if spec == inner_spec => Some(LogicalPlan::Embed {
+                    spec: spec.clone(),
+                    input: inner_input.clone(),
+                }),
                 _ => None,
             },
             _ => None,
@@ -105,7 +110,9 @@ mod tests {
     fn redundant_embed_removed() {
         let c = catalog();
         let spec = EmbedSpec::new("r_word", "m");
-        let plan = LogicalPlan::scan("r").embed(spec.clone()).embed(spec.clone());
+        let plan = LogicalPlan::scan("r")
+            .embed(spec.clone())
+            .embed(spec.clone());
         assert_eq!(plan.embed_count(), 2);
         let rewritten = RedundantEmbedElimination.apply(&plan, &c).unwrap().unwrap();
         assert_eq!(rewritten.embed_count(), 1);
@@ -117,7 +124,10 @@ mod tests {
         let plan = LogicalPlan::scan("r")
             .embed(EmbedSpec::new("r_word", "model_a"))
             .embed(EmbedSpec::new("r_word", "model_b"));
-        assert!(RedundantEmbedElimination.apply(&plan, &c).unwrap().is_none());
+        assert!(RedundantEmbedElimination
+            .apply(&plan, &c)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -132,7 +142,10 @@ mod tests {
         let optimized = Optimizer::with_default_rules().optimize(plan, &c).unwrap();
         match &optimized {
             LogicalPlan::Embed { input, .. } => match input.as_ref() {
-                LogicalPlan::Selection { predicate, input: scan } => {
+                LogicalPlan::Selection {
+                    predicate,
+                    input: scan,
+                } => {
                     assert!(predicate.to_string().contains("AND"));
                     assert!(matches!(**scan, LogicalPlan::Scan { .. }));
                 }

@@ -29,7 +29,9 @@ pub struct ModelRegistry {
 
 impl std::fmt::Debug for ModelRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ModelRegistry").field("models", &self.model_names()).finish()
+        f.debug_struct("ModelRegistry")
+            .field("models", &self.model_names())
+            .finish()
     }
 }
 
@@ -133,7 +135,10 @@ mod tests {
             "photos",
             TableBuilder::new()
                 .int64("id", vec![1, 2, 3])
-                .utf8("caption", vec!["bbq party".into(), "database talk".into(), "grill".into()])
+                .utf8(
+                    "caption",
+                    vec!["bbq party".into(), "database talk".into(), "grill".into()],
+                )
                 .date("taken", vec![10, 20, 30])
                 .build()
                 .unwrap(),
@@ -154,7 +159,10 @@ mod tests {
         let (_, models) = setup();
         assert!(models.contains("fasttext"));
         assert!(models.model("fasttext").is_ok());
-        assert!(matches!(models.model("bert"), Err(RelationalError::UnknownModel(_))));
+        assert!(matches!(
+            models.model("bert"),
+            Err(RelationalError::UnknownModel(_))
+        ));
         assert_eq!(models.model_names(), vec!["fasttext"]);
         assert!(format!("{models:?}").contains("fasttext"));
     }
@@ -185,7 +193,11 @@ mod tests {
         let field = out.schema().field("caption_emb").unwrap();
         assert_eq!(field.data_type, DataType::Vector(16));
         // embedding rows correspond to input rows
-        let emb = out.column_by_name("caption_emb").unwrap().as_vectors().unwrap();
+        let emb = out
+            .column_by_name("caption_emb")
+            .unwrap()
+            .as_vectors()
+            .unwrap();
         assert_eq!(emb.rows(), 3);
     }
 

@@ -20,12 +20,16 @@ pub struct SelectionBitmap {
 impl SelectionBitmap {
     /// A bitmap selecting every row of an `len`-row relation.
     pub fn all(len: usize) -> Self {
-        Self { bits: vec![true; len] }
+        Self {
+            bits: vec![true; len],
+        }
     }
 
     /// A bitmap selecting no rows.
     pub fn none(len: usize) -> Self {
-        Self { bits: vec![false; len] }
+        Self {
+            bits: vec![false; len],
+        }
     }
 
     /// Builds a bitmap from raw booleans.
@@ -65,7 +69,10 @@ impl SelectionBitmap {
     /// Returns [`StorageError::RowOutOfBounds`] for out-of-range rows.
     pub fn set(&mut self, i: usize, selected: bool) -> Result<()> {
         if i >= self.bits.len() {
-            return Err(StorageError::RowOutOfBounds { row: i, rows: self.bits.len() });
+            return Err(StorageError::RowOutOfBounds {
+                row: i,
+                rows: self.bits.len(),
+            });
         }
         self.bits[i] = selected;
         Ok(())
@@ -87,12 +94,21 @@ impl SelectionBitmap {
 
     /// Indices of the selected rows, ascending.
     pub fn selected_indices(&self) -> Vec<usize> {
-        self.bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect()
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Iterates over the selected row indices without allocating.
     pub fn iter_selected(&self) -> impl Iterator<Item = usize> + '_ {
-        self.bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i)
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
     }
 
     /// Logical AND with another bitmap of the same length.
@@ -101,10 +117,18 @@ impl SelectionBitmap {
     /// Returns [`StorageError::LengthMismatch`] when lengths differ.
     pub fn and(&self, other: &SelectionBitmap) -> Result<SelectionBitmap> {
         if self.len() != other.len() {
-            return Err(StorageError::LengthMismatch { expected: self.len(), actual: other.len() });
+            return Err(StorageError::LengthMismatch {
+                expected: self.len(),
+                actual: other.len(),
+            });
         }
         Ok(SelectionBitmap {
-            bits: self.bits.iter().zip(other.bits.iter()).map(|(a, b)| *a && *b).collect(),
+            bits: self
+                .bits
+                .iter()
+                .zip(other.bits.iter())
+                .map(|(a, b)| *a && *b)
+                .collect(),
         })
     }
 
@@ -114,16 +138,26 @@ impl SelectionBitmap {
     /// Returns [`StorageError::LengthMismatch`] when lengths differ.
     pub fn or(&self, other: &SelectionBitmap) -> Result<SelectionBitmap> {
         if self.len() != other.len() {
-            return Err(StorageError::LengthMismatch { expected: self.len(), actual: other.len() });
+            return Err(StorageError::LengthMismatch {
+                expected: self.len(),
+                actual: other.len(),
+            });
         }
         Ok(SelectionBitmap {
-            bits: self.bits.iter().zip(other.bits.iter()).map(|(a, b)| *a || *b).collect(),
+            bits: self
+                .bits
+                .iter()
+                .zip(other.bits.iter())
+                .map(|(a, b)| *a || *b)
+                .collect(),
         })
     }
 
     /// Logical NOT.
     pub fn not(&self) -> SelectionBitmap {
-        SelectionBitmap { bits: self.bits.iter().map(|b| !b).collect() }
+        SelectionBitmap {
+            bits: self.bits.iter().map(|b| !b).collect(),
+        }
     }
 
     /// Borrow the raw booleans.

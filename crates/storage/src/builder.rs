@@ -91,7 +91,9 @@ impl TableBuilder {
     /// mismatch) validation failures; an empty builder yields an error.
     pub fn build(self) -> Result<Table> {
         if self.fields.is_empty() {
-            return Err(StorageError::InvalidArgument("table must have at least one column".into()));
+            return Err(StorageError::InvalidArgument(
+                "table must have at least one column".into(),
+            ));
         }
         let schema = Schema::new(self.fields)?;
         Table::new(schema, self.columns)
@@ -116,7 +118,10 @@ mod tests {
             .unwrap();
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.num_columns(), 6);
-        assert_eq!(t.schema().field("emb").unwrap().data_type, DataType::Vector(4));
+        assert_eq!(
+            t.schema().field("emb").unwrap().data_type,
+            DataType::Vector(4)
+        );
     }
 
     #[test]
@@ -130,7 +135,10 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected_at_build() {
-        let res = TableBuilder::new().int64("x", vec![1]).float64("x", vec![1.0]).build();
+        let res = TableBuilder::new()
+            .int64("x", vec![1])
+            .float64("x", vec![1.0])
+            .build();
         assert!(res.is_err());
     }
 

@@ -67,7 +67,10 @@ impl Column {
     /// Returns [`StorageError::RowOutOfBounds`] for out-of-range rows.
     pub fn get(&self, i: usize) -> Result<ScalarValue> {
         if i >= self.len() {
-            return Err(StorageError::RowOutOfBounds { row: i, rows: self.len() });
+            return Err(StorageError::RowOutOfBounds {
+                row: i,
+                rows: self.len(),
+            });
         }
         Ok(match self {
             Column::Int64(v) => ScalarValue::Int64(v[i]),
@@ -94,9 +97,7 @@ impl Column {
             });
         }
         Ok(match self {
-            Column::Int64(v) => {
-                Column::Int64(selection.iter_selected().map(|i| v[i]).collect())
-            }
+            Column::Int64(v) => Column::Int64(selection.iter_selected().map(|i| v[i]).collect()),
             Column::Float64(v) => {
                 Column::Float64(selection.iter_selected().map(|i| v[i]).collect())
             }
@@ -124,7 +125,10 @@ impl Column {
     pub fn take(&self, indices: &[usize]) -> Result<Column> {
         for &i in indices {
             if i >= self.len() {
-                return Err(StorageError::RowOutOfBounds { row: i, rows: self.len() });
+                return Err(StorageError::RowOutOfBounds {
+                    row: i,
+                    rows: self.len(),
+                });
             }
         }
         Ok(match self {
@@ -220,8 +224,8 @@ impl Column {
     /// Returns [`StorageError::InvalidArgument`] when rows disagree on
     /// dimensionality or the input is empty (dimension would be unknown).
     pub fn from_vectors(vectors: &[Vector]) -> Result<Column> {
-        let m = Matrix::from_rows(vectors)
-            .map_err(|e| StorageError::InvalidArgument(e.to_string()))?;
+        let m =
+            Matrix::from_rows(vectors).map_err(|e| StorageError::InvalidArgument(e.to_string()))?;
         Ok(Column::Vector(m))
     }
 }
@@ -250,7 +254,10 @@ mod tests {
         assert_eq!(c.get(1).unwrap(), ScalarValue::Int64(20));
         assert!(c.get(2).is_err());
         let v = Column::Vector(Matrix::from_rows(&[Vector::new(vec![1.0, 2.0])]).unwrap());
-        assert_eq!(v.get(0).unwrap().as_vector().unwrap().as_slice(), &[1.0, 2.0]);
+        assert_eq!(
+            v.get(0).unwrap().as_vector().unwrap().as_slice(),
+            &[1.0, 2.0]
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub enum DataType {
 impl DataType {
     /// `true` for types with a total order usable in range predicates.
     pub fn is_orderable(&self) -> bool {
-        matches!(self, DataType::Int64 | DataType::Float64 | DataType::Date | DataType::Utf8)
+        matches!(
+            self,
+            DataType::Int64 | DataType::Float64 | DataType::Date | DataType::Utf8
+        )
     }
 
     /// `true` for the numeric types.

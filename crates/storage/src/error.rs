@@ -61,16 +61,30 @@ mod tests {
 
     #[test]
     fn display_all_variants() {
-        assert!(StorageError::ColumnNotFound("x".into()).to_string().contains("x"));
-        assert!(StorageError::TypeMismatch { expected: "Int64".into(), actual: "Utf8".into() }
+        assert!(StorageError::ColumnNotFound("x".into())
             .to_string()
-            .contains("Int64"));
-        assert!(StorageError::LengthMismatch { expected: 3, actual: 4 }
+            .contains("x"));
+        assert!(StorageError::TypeMismatch {
+            expected: "Int64".into(),
+            actual: "Utf8".into()
+        }
+        .to_string()
+        .contains("Int64"));
+        assert!(StorageError::LengthMismatch {
+            expected: 3,
+            actual: 4
+        }
+        .to_string()
+        .contains("3"));
+        assert!(StorageError::RowOutOfBounds { row: 9, rows: 2 }
             .to_string()
-            .contains("3"));
-        assert!(StorageError::RowOutOfBounds { row: 9, rows: 2 }.to_string().contains("9"));
-        assert!(StorageError::Parse("bad date".into()).to_string().contains("bad date"));
-        assert!(StorageError::InvalidArgument("nope".into()).to_string().contains("nope"));
+            .contains("9"));
+        assert!(StorageError::Parse("bad date".into())
+            .to_string()
+            .contains("bad date"));
+        assert!(StorageError::InvalidArgument("nope".into())
+            .to_string()
+            .contains("nope"));
     }
 
     #[test]

@@ -146,7 +146,9 @@ pub mod date {
             dim += 1;
         }
         if day == 0 || day as i64 > dim {
-            return Err(StorageError::Parse(format!("day {day} out of range for month {month}")));
+            return Err(StorageError::Parse(format!(
+                "day {day} out of range for month {month}"
+            )));
         }
         let mut days: i64 = 0;
         if year >= 1970 {
@@ -177,12 +179,15 @@ pub mod date {
         if parts.len() != 3 {
             return Err(StorageError::Parse(format!("malformed date literal: {s}")));
         }
-        let year: i64 =
-            parts[0].parse().map_err(|_| StorageError::Parse(format!("bad year in {s}")))?;
-        let month: u32 =
-            parts[1].parse().map_err(|_| StorageError::Parse(format!("bad month in {s}")))?;
-        let day: u32 =
-            parts[2].parse().map_err(|_| StorageError::Parse(format!("bad day in {s}")))?;
+        let year: i64 = parts[0]
+            .parse()
+            .map_err(|_| StorageError::Parse(format!("bad year in {s}")))?;
+        let month: u32 = parts[1]
+            .parse()
+            .map_err(|_| StorageError::Parse(format!("bad month in {s}")))?;
+        let day: u32 = parts[2]
+            .parse()
+            .map_err(|_| StorageError::Parse(format!("bad day in {s}")))?;
         from_ymd(year, month, day)
     }
 
@@ -226,13 +231,18 @@ mod tests {
     #[test]
     fn data_type_of_values() {
         assert_eq!(ScalarValue::Int64(1).data_type(), DataType::Int64);
-        assert_eq!(ScalarValue::Vector(Vector::zeros(7)).data_type(), DataType::Vector(7));
+        assert_eq!(
+            ScalarValue::Vector(Vector::zeros(7)).data_type(),
+            DataType::Vector(7)
+        );
     }
 
     #[test]
     fn same_type_comparisons() {
         assert_eq!(
-            ScalarValue::Int64(1).partial_cmp_same_type(&ScalarValue::Int64(2)).unwrap(),
+            ScalarValue::Int64(1)
+                .partial_cmp_same_type(&ScalarValue::Int64(2))
+                .unwrap(),
             Ordering::Less
         );
         assert_eq!(
@@ -242,7 +252,9 @@ mod tests {
             Ordering::Greater
         );
         assert_eq!(
-            ScalarValue::Date(10).partial_cmp_same_type(&ScalarValue::Date(10)).unwrap(),
+            ScalarValue::Date(10)
+                .partial_cmp_same_type(&ScalarValue::Date(10))
+                .unwrap(),
             Ordering::Equal
         );
     }
@@ -271,7 +283,10 @@ mod tests {
     #[test]
     fn display_values() {
         assert_eq!(ScalarValue::Int64(3).to_string(), "3");
-        assert_eq!(ScalarValue::Vector(Vector::zeros(4)).to_string(), "<vector dim=4>");
+        assert_eq!(
+            ScalarValue::Vector(Vector::zeros(4)).to_string(),
+            "<vector dim=4>"
+        );
         assert_eq!(ScalarValue::Date(0).to_string(), "1970-01-01");
     }
 
@@ -287,7 +302,10 @@ mod tests {
         // 2000-01-01 is 10957 days after the epoch (known constant)
         assert_eq!(date::from_ymd(2000, 1, 1).unwrap(), 10957);
         // 2023-12-05 (a date from the paper's running example era)
-        assert_eq!(date::format_days(date::from_ymd(2023, 12, 5).unwrap()), "2023-12-05");
+        assert_eq!(
+            date::format_days(date::from_ymd(2023, 12, 5).unwrap()),
+            "2023-12-05"
+        );
     }
 
     #[test]

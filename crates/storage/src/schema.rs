@@ -18,7 +18,10 @@ pub struct Field {
 impl Field {
     /// Creates a field.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Self { name: name.into(), data_type }
+        Self {
+            name: name.into(),
+            data_type,
+        }
     }
 }
 
@@ -119,8 +122,14 @@ mod tests {
         assert_eq!(s.len(), 4);
         assert!(!s.is_empty());
         assert_eq!(s.index_of("taken").unwrap(), 2);
-        assert_eq!(s.field("embedding").unwrap().data_type, DataType::Vector(100));
-        assert!(matches!(s.index_of("missing"), Err(StorageError::ColumnNotFound(_))));
+        assert_eq!(
+            s.field("embedding").unwrap().data_type,
+            DataType::Vector(100)
+        );
+        assert!(matches!(
+            s.index_of("missing"),
+            Err(StorageError::ColumnNotFound(_))
+        ));
     }
 
     #[test]

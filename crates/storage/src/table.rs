@@ -34,7 +34,10 @@ impl Table {
         let rows = columns.first().map(|c| c.len()).unwrap_or(0);
         for (field, column) in schema.fields().iter().zip(columns.iter()) {
             if column.len() != rows {
-                return Err(StorageError::LengthMismatch { expected: rows, actual: column.len() });
+                return Err(StorageError::LengthMismatch {
+                    expected: rows,
+                    actual: column.len(),
+                });
             }
             if column.data_type() != field.data_type {
                 return Err(StorageError::TypeMismatch {
@@ -43,12 +46,20 @@ impl Table {
                 });
             }
         }
-        Ok(Self { schema, columns, rows })
+        Ok(Self {
+            schema,
+            columns,
+            rows,
+        })
     }
 
     /// An empty table with an empty schema.
     pub fn empty() -> Self {
-        Self { schema: Schema::empty(), columns: Vec::new(), rows: 0 }
+        Self {
+            schema: Schema::empty(),
+            columns: Vec::new(),
+            rows: 0,
+        }
     }
 
     /// The table schema.
@@ -77,9 +88,10 @@ impl Table {
     /// Returns [`StorageError::RowOutOfBounds`] when `i` exceeds the column
     /// count (reusing the bounds error with column semantics).
     pub fn column(&self, i: usize) -> Result<&Column> {
-        self.columns
-            .get(i)
-            .ok_or(StorageError::RowOutOfBounds { row: i, rows: self.columns.len() })
+        self.columns.get(i).ok_or(StorageError::RowOutOfBounds {
+            row: i,
+            rows: self.columns.len(),
+        })
     }
 
     /// The column with the given name.
@@ -225,7 +237,10 @@ mod tests {
         let f = t.filter(&sel).unwrap();
         assert_eq!(f.num_rows(), 2);
         assert_eq!(f.schema(), t.schema());
-        assert_eq!(f.value(1, "word").unwrap(), ScalarValue::Utf8("dbms".into()));
+        assert_eq!(
+            f.value(1, "word").unwrap(),
+            ScalarValue::Utf8("dbms".into())
+        );
         assert!(t.filter(&SelectionBitmap::all(5)).is_err());
     }
 
@@ -250,13 +265,17 @@ mod tests {
     #[test]
     fn with_column_appends() {
         let t = sample();
-        let t2 = t.with_column("flag", Column::Bool(vec![true, false, true])).unwrap();
+        let t2 = t
+            .with_column("flag", Column::Bool(vec![true, false, true]))
+            .unwrap();
         assert_eq!(t2.num_columns(), 4);
         assert_eq!(t2.value(2, "flag").unwrap(), ScalarValue::Bool(true));
         // wrong length rejected
         assert!(t.with_column("bad", Column::Bool(vec![true])).is_err());
         // duplicate name rejected
-        assert!(t.with_column("id", Column::Bool(vec![true, false, true])).is_err());
+        assert!(t
+            .with_column("id", Column::Bool(vec![true, false, true]))
+            .is_err());
     }
 
     #[test]

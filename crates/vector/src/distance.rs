@@ -131,7 +131,10 @@ mod tests {
     fn cosine_distance_complements_similarity() {
         let a = [0.3, 0.5, -0.2];
         let b = [0.1, 0.9, 0.4];
-        assert!(approx(cosine_distance(&a, &b), 1.0 - cosine_similarity(&a, &b)));
+        assert!(approx(
+            cosine_distance(&a, &b),
+            1.0 - cosine_similarity(&a, &b)
+        ));
     }
 
     #[test]
@@ -161,7 +164,10 @@ mod tests {
     fn inner_product_equals_cosine_on_normalized_inputs() {
         let a = [0.6, 0.8];
         let b = [0.8, 0.6];
-        assert!(approx(Metric::InnerProduct.similarity(&a, &b), Metric::Cosine.similarity(&a, &b)));
+        assert!(approx(
+            Metric::InnerProduct.similarity(&a, &b),
+            Metric::Cosine.similarity(&a, &b)
+        ));
     }
 
     #[test]

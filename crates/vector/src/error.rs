@@ -45,7 +45,10 @@ impl fmt::Display for VectorError {
                 write!(f, "dimension mismatch: {left} vs {right}")
             }
             VectorError::RaggedData { len, width } => {
-                write!(f, "ragged matrix data: {len} values is not a multiple of width {width}")
+                write!(
+                    f,
+                    "ragged matrix data: {len} values is not a multiple of width {width}"
+                )
             }
             VectorError::IndexOutOfBounds { index, len } => {
                 write!(f, "index {index} out of bounds for length {len}")

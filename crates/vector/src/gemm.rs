@@ -37,14 +37,22 @@ pub struct GemmConfig {
 
 impl Default for GemmConfig {
     fn default() -> Self {
-        Self { kernel: Kernel::Unrolled, tile_rows: 64, tile_cols: 64, threads: 1 }
+        Self {
+            kernel: Kernel::Unrolled,
+            tile_rows: 64,
+            tile_cols: 64,
+            threads: 1,
+        }
     }
 }
 
 impl GemmConfig {
     /// Single-threaded configuration with the given kernel.
     pub fn with_kernel(kernel: Kernel) -> Self {
-        Self { kernel, ..Self::default() }
+        Self {
+            kernel,
+            ..Self::default()
+        }
     }
 
     /// Sets the number of threads.
@@ -62,7 +70,9 @@ impl GemmConfig {
 
     fn validate(&self) -> Result<()> {
         if self.tile_rows == 0 || self.tile_cols == 0 {
-            return Err(VectorError::InvalidParameter("tile sizes must be non-zero".into()));
+            return Err(VectorError::InvalidParameter(
+                "tile sizes must be non-zero".into(),
+            ));
         }
         Ok(())
     }
@@ -129,11 +139,18 @@ impl SimilarityMatrix {
 pub fn similarity_matrix(a: &Matrix, b: &Matrix, config: &GemmConfig) -> Result<SimilarityMatrix> {
     config.validate()?;
     if a.cols() != b.cols() {
-        return Err(VectorError::DimensionMismatch { left: a.cols(), right: b.cols() });
+        return Err(VectorError::DimensionMismatch {
+            left: a.cols(),
+            right: b.cols(),
+        });
     }
     let mut scores = vec![0.0f32; a.rows() * b.rows()];
     if a.rows() == 0 || b.rows() == 0 {
-        return Ok(SimilarityMatrix { a_rows: a.rows(), b_rows: b.rows(), scores });
+        return Ok(SimilarityMatrix {
+            a_rows: a.rows(),
+            b_rows: b.rows(),
+            scores,
+        });
     }
     if config.threads <= 1 || a.rows() < config.threads {
         block_into(
@@ -148,7 +165,11 @@ pub fn similarity_matrix(a: &Matrix, b: &Matrix, config: &GemmConfig) -> Result<
     } else {
         parallel_block_into(a, b, config, &mut scores);
     }
-    Ok(SimilarityMatrix { a_rows: a.rows(), b_rows: b.rows(), scores })
+    Ok(SimilarityMatrix {
+        a_rows: a.rows(),
+        b_rows: b.rows(),
+        scores,
+    })
 }
 
 /// Computes a score block for raw row-major slices, writing into `out`
@@ -204,7 +225,9 @@ fn parallel_block_into(a: &Matrix, b: &Matrix, config: &GemmConfig, out: &mut [f
     let b_slice = b.as_slice();
     let a_slice = a.as_slice();
 
-    crossbeam::scope(|scope| {
+    // std's scoped threads (stable since 1.63) propagate worker panics on
+    // join, which is all the crossbeam::scope version relied on.
+    std::thread::scope(|scope| {
         let mut remaining = out;
         let mut start = 0usize;
         while start < a_rows {
@@ -213,13 +236,12 @@ fn parallel_block_into(a: &Matrix, b: &Matrix, config: &GemmConfig, out: &mut [f
             let (chunk, rest) = remaining.split_at_mut(rows * b_rows);
             remaining = rest;
             let a_chunk = &a_slice[start * dim..end * dim];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 block_into(a_chunk, b_slice, rows, b_rows, dim, config, chunk);
             });
             start = end;
         }
-    })
-    .expect("gemm worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -306,10 +328,10 @@ mod tests {
 
     #[test]
     fn score_row_and_pair_access() {
-        let a = Matrix::from_rows(&[Vector::new(vec![1.0, 0.0]), Vector::new(vec![0.0, 1.0])])
-            .unwrap();
-        let b = Matrix::from_rows(&[Vector::new(vec![1.0, 0.0]), Vector::new(vec![1.0, 1.0])])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[Vector::new(vec![1.0, 0.0]), Vector::new(vec![0.0, 1.0])]).unwrap();
+        let b =
+            Matrix::from_rows(&[Vector::new(vec![1.0, 0.0]), Vector::new(vec![1.0, 1.0])]).unwrap();
         let s = similarity_matrix(&a, &b, &GemmConfig::default()).unwrap();
         assert!(approx(s.score(0, 0), 1.0));
         assert!(approx(s.score(0, 1), 1.0));
@@ -341,7 +363,15 @@ mod tests {
         // compute rows 4..10 of A against all of B as a standalone block
         let a_chunk = a.rows_as_slice(4, 10).unwrap();
         let mut block = vec![0.0f32; 6 * 8];
-        block_into(a_chunk, b.as_slice(), 6, 8, 12, &GemmConfig::default(), &mut block);
+        block_into(
+            a_chunk,
+            b.as_slice(),
+            6,
+            8,
+            12,
+            &GemmConfig::default(),
+            &mut block,
+        );
         for r in 0..6 {
             for c in 0..8 {
                 assert!(approx(block[r * 8 + c], full.score(r + 4, c)));

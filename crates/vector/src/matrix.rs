@@ -23,7 +23,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -33,7 +37,10 @@ impl Matrix {
     /// `rows * cols`.
     pub fn from_flat(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
         if data.len() != rows * cols {
-            return Err(VectorError::RaggedData { len: data.len(), width: cols });
+            return Err(VectorError::RaggedData {
+                len: data.len(),
+                width: cols,
+            });
         }
         Ok(Self { rows, cols, data })
     }
@@ -49,11 +56,18 @@ impl Matrix {
         let mut data = Vec::with_capacity(rows.len() * cols);
         for row in rows {
             if row.dim() != cols {
-                return Err(VectorError::DimensionMismatch { left: cols, right: row.dim() });
+                return Err(VectorError::DimensionMismatch {
+                    left: cols,
+                    right: row.dim(),
+                });
             }
             data.extend_from_slice(row.as_slice());
         }
-        Ok(Self { rows: rows.len(), cols, data })
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Number of rows (tuples / embeddings).
@@ -87,7 +101,10 @@ impl Matrix {
     /// Returns [`VectorError::IndexOutOfBounds`] when `i >= rows`.
     pub fn row(&self, i: usize) -> Result<&[f32]> {
         if i >= self.rows {
-            return Err(VectorError::IndexOutOfBounds { index: i, len: self.rows });
+            return Err(VectorError::IndexOutOfBounds {
+                index: i,
+                len: self.rows,
+            });
         }
         Ok(&self.data[i * self.cols..(i + 1) * self.cols])
     }
@@ -98,7 +115,10 @@ impl Matrix {
     /// Returns [`VectorError::IndexOutOfBounds`] when `i >= rows`.
     pub fn row_mut(&mut self, i: usize) -> Result<&mut [f32]> {
         if i >= self.rows {
-            return Err(VectorError::IndexOutOfBounds { index: i, len: self.rows });
+            return Err(VectorError::IndexOutOfBounds {
+                index: i,
+                len: self.rows,
+            });
         }
         Ok(&mut self.data[i * self.cols..(i + 1) * self.cols])
     }
@@ -120,7 +140,10 @@ impl Matrix {
     /// Returns [`VectorError::IndexOutOfBounds`] when the range is invalid.
     pub fn row_slice(&self, start: usize, end: usize) -> Result<Matrix> {
         if start > end || end > self.rows {
-            return Err(VectorError::IndexOutOfBounds { index: end, len: self.rows });
+            return Err(VectorError::IndexOutOfBounds {
+                index: end,
+                len: self.rows,
+            });
         }
         Ok(Matrix {
             rows: end - start,
@@ -135,7 +158,10 @@ impl Matrix {
     /// Returns [`VectorError::IndexOutOfBounds`] when the range is invalid.
     pub fn rows_as_slice(&self, start: usize, end: usize) -> Result<&[f32]> {
         if start > end || end > self.rows {
-            return Err(VectorError::IndexOutOfBounds { index: end, len: self.rows });
+            return Err(VectorError::IndexOutOfBounds {
+                index: end,
+                len: self.rows,
+            });
         }
         Ok(&self.data[start * self.cols..end * self.cols])
     }
@@ -150,7 +176,10 @@ impl Matrix {
             self.cols = row.len();
         }
         if row.len() != self.cols {
-            return Err(VectorError::DimensionMismatch { left: self.cols, right: row.len() });
+            return Err(VectorError::DimensionMismatch {
+                left: self.cols,
+                right: row.len(),
+            });
         }
         self.data.extend_from_slice(row);
         self.rows += 1;
@@ -211,8 +240,8 @@ mod tests {
 
     #[test]
     fn from_rows_builds_row_major() {
-        let m = Matrix::from_rows(&[Vector::new(vec![1.0, 2.0]), Vector::new(vec![3.0, 4.0])])
-            .unwrap();
+        let m =
+            Matrix::from_rows(&[Vector::new(vec![1.0, 2.0]), Vector::new(vec![3.0, 4.0])]).unwrap();
         assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
     }
 

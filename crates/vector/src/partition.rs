@@ -48,7 +48,9 @@ impl BlockPartition {
     /// `total > 0`.
     pub fn new(total: usize, block: usize) -> Result<Self> {
         if total > 0 && block == 0 {
-            return Err(VectorError::InvalidParameter("block size must be non-zero".into()));
+            return Err(VectorError::InvalidParameter(
+                "block size must be non-zero".into(),
+            ));
         }
         let mut ranges = Vec::new();
         let mut start = 0;
@@ -57,7 +59,11 @@ impl BlockPartition {
             ranges.push(RowRange { start, end });
             start = end;
         }
-        Ok(Self { ranges, total, block: block.max(1) })
+        Ok(Self {
+            ranges,
+            total,
+            block: block.max(1),
+        })
     }
 
     /// The block ranges in order.
@@ -101,7 +107,9 @@ impl BufferBudget {
 
     /// A budget of `mib` mebibytes.
     pub fn from_mib(mib: usize) -> Self {
-        Self { bytes: mib * 1024 * 1024 }
+        Self {
+            bytes: mib * 1024 * 1024,
+        }
     }
 
     /// An effectively unlimited budget (the "No Batch" configuration of

@@ -37,7 +37,14 @@ impl Summary {
         } else {
             0.0
         };
-        Some(Summary { count, mean, min, max, median, stddev })
+        Some(Summary {
+            count,
+            mean,
+            min,
+            max,
+            median,
+            stddev,
+        })
     }
 }
 

@@ -61,7 +61,10 @@ impl TopK {
     /// Creates a collector for the best `k` entries.  `k == 0` collects
     /// nothing.
     pub fn new(k: usize) -> Self {
-        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Offers a candidate; it is kept only if it beats the current k-th best.
@@ -179,8 +182,9 @@ mod tests {
 
     #[test]
     fn large_input_matches_sort() {
-        let items: Vec<(usize, f32)> =
-            (0..1000).map(|i| (i, ((i * 7919) % 1000) as f32 / 1000.0)).collect();
+        let items: Vec<(usize, f32)> = (0..1000)
+            .map(|i| (i, ((i * 7919) % 1000) as f32 / 1000.0))
+            .collect();
         let mut expected = items.clone();
         expected.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         let got = top_k(25, items);

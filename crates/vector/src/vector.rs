@@ -30,12 +30,16 @@ impl Vector {
 
     /// Creates a zero vector of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
-        Self { data: vec![0.0; dim] }
+        Self {
+            data: vec![0.0; dim],
+        }
     }
 
     /// Creates a vector of dimension `dim` with every component equal to `value`.
     pub fn splat(dim: usize, value: f32) -> Self {
-        Self { data: vec![value; dim] }
+        Self {
+            data: vec![value; dim],
+        }
     }
 
     /// Dimensionality of the vector.
@@ -95,7 +99,10 @@ impl Vector {
     /// Returns [`VectorError::DimensionMismatch`] when dimensions differ.
     pub fn dot(&self, other: &Vector) -> Result<f32> {
         if self.dim() != other.dim() {
-            return Err(VectorError::DimensionMismatch { left: self.dim(), right: other.dim() });
+            return Err(VectorError::DimensionMismatch {
+                left: self.dim(),
+                right: other.dim(),
+            });
         }
         Ok(kernels::dot_unrolled(&self.data, &other.data))
     }
@@ -106,7 +113,10 @@ impl Vector {
     /// Returns [`VectorError::DimensionMismatch`] when dimensions differ.
     pub fn cosine_similarity(&self, other: &Vector) -> Result<f32> {
         if self.dim() != other.dim() {
-            return Err(VectorError::DimensionMismatch { left: self.dim(), right: other.dim() });
+            return Err(VectorError::DimensionMismatch {
+                left: self.dim(),
+                right: other.dim(),
+            });
         }
         Ok(crate::distance::cosine_similarity(&self.data, &other.data))
     }
@@ -117,7 +127,10 @@ impl Vector {
     /// Returns [`VectorError::DimensionMismatch`] when dimensions differ.
     pub fn add_assign(&mut self, other: &Vector) -> Result<()> {
         if self.dim() != other.dim() {
-            return Err(VectorError::DimensionMismatch { left: self.dim(), right: other.dim() });
+            return Err(VectorError::DimensionMismatch {
+                left: self.dim(),
+                right: other.dim(),
+            });
         }
         for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += *b;
@@ -233,7 +246,10 @@ mod tests {
     fn dot_dimension_mismatch_errors() {
         let a = Vector::zeros(3);
         let b = Vector::zeros(4);
-        assert!(matches!(a.dot(&b), Err(VectorError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.dot(&b),
+            Err(VectorError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

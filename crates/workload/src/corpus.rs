@@ -28,7 +28,12 @@ impl CorpusGenerator {
     /// Creates a generator with the given seed and default shape
     /// (6-word sentences, 10 % noise, mild skew).
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), sentence_len: 6, noise: 0.1, skew: 0.5 }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            sentence_len: 6,
+            noise: 0.1,
+            skew: 0.5,
+        }
     }
 
     /// Sets the sentence length.
@@ -98,12 +103,17 @@ mod tests {
     #[test]
     fn sentences_are_mostly_single_cluster() {
         let clusters = WordGenerator::new(1).clusters(8, 4);
-        let corpus = CorpusGenerator::new(3).with_noise(0.0).generate(&clusters, 20);
+        let corpus = CorpusGenerator::new(3)
+            .with_noise(0.0)
+            .generate(&clusters, 20);
         for sentence in &corpus {
             let words: Vec<&str> = sentence.split_whitespace().collect();
             // with zero noise every word must come from one cluster
             let home = clusters.iter().position(|c| c.contains(words[0])).unwrap();
-            assert!(words.iter().all(|w| clusters[home].contains(w)), "mixed sentence: {sentence}");
+            assert!(
+                words.iter().all(|w| clusters[home].contains(w)),
+                "mixed sentence: {sentence}"
+            );
         }
     }
 

@@ -28,7 +28,11 @@ pub struct RelationSpec {
 impl RelationSpec {
     /// A spec with the given row count and a default vocabulary shape.
     pub fn with_rows(rows: usize) -> Self {
-        Self { rows, clusters: 32, variants_per_cluster: 8 }
+        Self {
+            rows,
+            clusters: 32,
+            variants_per_cluster: 8,
+        }
     }
 }
 
@@ -55,7 +59,10 @@ impl JoinWorkload {
     /// # Panics
     /// Panics when either spec requests zero rows or zero clusters.
     pub fn generate(outer: RelationSpec, inner: RelationSpec, seed: u64) -> Self {
-        assert!(outer.rows > 0 && inner.rows > 0, "relations must be non-empty");
+        assert!(
+            outer.rows > 0 && inner.rows > 0,
+            "relations must be non-empty"
+        );
         assert!(outer.clusters > 0, "need at least one cluster");
         let mut words = WordGenerator::new(seed);
         let clusters = words.clusters(outer.clusters, outer.variants_per_cluster.max(1));
@@ -107,8 +114,16 @@ mod tests {
     #[test]
     fn generates_requested_shapes() {
         let w = JoinWorkload::generate(
-            RelationSpec { rows: 50, clusters: 8, variants_per_cluster: 4 },
-            RelationSpec { rows: 120, clusters: 8, variants_per_cluster: 4 },
+            RelationSpec {
+                rows: 50,
+                clusters: 8,
+                variants_per_cluster: 4,
+            },
+            RelationSpec {
+                rows: 120,
+                clusters: 8,
+                variants_per_cluster: 4,
+            },
             42,
         );
         assert_eq!(w.outer.num_rows(), 50);
@@ -136,8 +151,16 @@ mod tests {
     #[test]
     fn labels_match_cluster_membership() {
         let w = JoinWorkload::generate(
-            RelationSpec { rows: 40, clusters: 5, variants_per_cluster: 4 },
-            RelationSpec { rows: 40, clusters: 5, variants_per_cluster: 4 },
+            RelationSpec {
+                rows: 40,
+                clusters: 5,
+                variants_per_cluster: 4,
+            },
+            RelationSpec {
+                rows: 40,
+                clusters: 5,
+                variants_per_cluster: 4,
+            },
             3,
         );
         let words = w.outer.column_by_name("word").unwrap().as_utf8().unwrap();
@@ -148,10 +171,22 @@ mod tests {
 
     #[test]
     fn filter_column_gives_controllable_selectivity() {
-        let w = JoinWorkload::generate(RelationSpec::with_rows(5000), RelationSpec::with_rows(10), 11);
-        let filter = w.outer.column_by_name("filter").unwrap().as_int64().unwrap();
+        let w = JoinWorkload::generate(
+            RelationSpec::with_rows(5000),
+            RelationSpec::with_rows(10),
+            11,
+        );
+        let filter = w
+            .outer
+            .column_by_name("filter")
+            .unwrap()
+            .as_int64()
+            .unwrap();
         let frac_below_20 = filter.iter().filter(|&&v| v < 20).count() as f64 / filter.len() as f64;
-        assert!((frac_below_20 - 0.2).abs() < 0.05, "selectivity {frac_below_20} should be ~0.2");
+        assert!(
+            (frac_below_20 - 0.2).abs() < 0.05,
+            "selectivity {frac_below_20} should be ~0.2"
+        );
         let frac_below_80 = filter.iter().filter(|&&v| v < 80).count() as f64 / filter.len() as f64;
         assert!((frac_below_80 - 0.8).abs() < 0.05);
     }
@@ -159,8 +194,16 @@ mod tests {
     #[test]
     fn ground_truth_pairs_counts_same_cluster() {
         let w = JoinWorkload::generate(
-            RelationSpec { rows: 10, clusters: 2, variants_per_cluster: 3 },
-            RelationSpec { rows: 20, clusters: 2, variants_per_cluster: 3 },
+            RelationSpec {
+                rows: 10,
+                clusters: 2,
+                variants_per_cluster: 3,
+            },
+            RelationSpec {
+                rows: 20,
+                clusters: 2,
+                variants_per_cluster: 3,
+            },
             5,
         );
         let expected: usize = w

@@ -44,8 +44,10 @@ pub fn clustered_matrix(
     let mut labels = Vec::with_capacity(rows);
     for i in 0..rows {
         let c = i % clusters;
-        let mut row: Vec<f32> =
-            centroids[c].iter().map(|v| v + rng.gen_range(-spread..spread)).collect();
+        let mut row: Vec<f32> = centroids[c]
+            .iter()
+            .map(|v| v + rng.gen_range(-spread..spread))
+            .collect();
         normalize(&mut row);
         m.push_row(&row).expect("row width fixed");
         labels.push(c);
@@ -88,7 +90,10 @@ mod tests {
         assert_ne!(labels[0], labels[1]);
         let same = cosine_similarity(m.row(0).unwrap(), m.row(3).unwrap());
         let cross = cosine_similarity(m.row(0).unwrap(), m.row(1).unwrap());
-        assert!(same > cross, "same-cluster similarity {same} should exceed cross {cross}");
+        assert!(
+            same > cross,
+            "same-cluster similarity {same} should exceed cross {cross}"
+        );
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub struct WordGenerator {
 impl WordGenerator {
     /// Creates a generator with a fixed seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Introduces a single-character typo (substitution) into `word`.
@@ -105,12 +107,12 @@ impl WordGenerator {
     pub fn clusters(&mut self, count: usize, variants_per_cluster: usize) -> Vec<WordCluster> {
         let mut out = Vec::with_capacity(count);
         for i in 0..count {
-            let (base, synonyms): (String, Vec<String>) = if i < BASE_CONCEPTS.len() {
-                let (b, syns) = BASE_CONCEPTS[i];
-                (b.to_string(), syns.iter().map(|s| s.to_string()).collect())
-            } else {
-                (self.random_word(8), Vec::new())
-            };
+            let (base, synonyms): (String, Vec<String>) =
+                if let Some((b, syns)) = BASE_CONCEPTS.get(i) {
+                    (b.to_string(), syns.iter().map(|s| s.to_string()).collect())
+                } else {
+                    (self.random_word(8), Vec::new())
+                };
             let mut variants = vec![base.clone()];
             variants.extend(synonyms);
             while variants.len() < variants_per_cluster {
@@ -184,8 +186,11 @@ mod tests {
         let original = "barbecue";
         let typo = g.misspell(original);
         assert_eq!(typo.len(), original.len());
-        let diffs =
-            original.chars().zip(typo.chars()).filter(|(a, b)| a != b).count();
+        let diffs = original
+            .chars()
+            .zip(typo.chars())
+            .filter(|(a, b)| a != b)
+            .count();
         assert!(diffs <= 1);
         // very short words are left alone
         assert_eq!(g.misspell("ab"), "ab");

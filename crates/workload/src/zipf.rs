@@ -20,8 +20,13 @@ impl Zipf {
     /// Panics when `n == 0` or `theta` is negative/non-finite.
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "Zipf requires at least one item");
-        assert!(theta.is_finite() && theta >= 0.0, "theta must be non-negative");
-        let mut weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(theta)).collect();
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be non-negative"
+        );
+        let mut weights: Vec<f64> = (1..=n)
+            .map(|rank| 1.0 / (rank as f64).powf(theta))
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
         for w in &mut weights {
@@ -65,7 +70,7 @@ mod tests {
     fn uniform_when_theta_zero() {
         let z = Zipf::new(10, 0.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
         }

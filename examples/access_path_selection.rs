@@ -37,8 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let filter_col: Vec<i64> = (0..inner_rows).map(|_| rng.gen_range(0..100)).collect();
 
     let tensor = TensorJoin::new(TensorJoinConfig::default());
-    let index_join =
-        IndexJoin::new(IndexJoinConfig { params: HnswParams::low_recall(), range_probe_k: k });
+    let index_join = IndexJoin::new(IndexJoinConfig {
+        params: HnswParams::low_recall(),
+        range_probe_k: k,
+    });
     let index = index_join.build_index(&inner)?;
     let advisor = AccessPathAdvisor::default();
 
@@ -47,9 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "selectivity", "scan time", "probe time", "advisor", "measured best"
     );
     for selectivity in [10i64, 25, 50, 75, 100] {
-        let bitmap = SelectionBitmap::from_bools(
-            filter_col.iter().map(|&v| v < selectivity).collect(),
-        );
+        let bitmap =
+            SelectionBitmap::from_bools(filter_col.iter().map(|&v| v < selectivity).collect());
 
         let start = Instant::now();
         let scan = tensor.join_matrices_filtered(
@@ -79,7 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             index_available: true,
         };
         let choice = advisor.choose(&query);
-        let best = if scan_time <= probe_time { "tensor-scan" } else { "index-probe" };
+        let best = if scan_time <= probe_time {
+            "tensor-scan"
+        } else {
+            "index-probe"
+        };
         println!(
             "{:>11}% {:>14.2?} {:>14.2?} {:>14} {:>14}",
             selectivity,

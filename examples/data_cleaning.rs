@@ -11,7 +11,7 @@
 //! cargo run --release --example data_cleaning
 //! ```
 
-use cej_core::{PrefetchNlJoin, NljConfig};
+use cej_core::{NljConfig, PrefetchNlJoin};
 use cej_embedding::{train_on_corpus, FastTextConfig, FastTextModel, TrainingConfig};
 use cej_relational::SimilarityPredicate;
 use cej_workload::{CorpusGenerator, WordGenerator};
@@ -21,9 +21,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    cluster members (e.g. "barbecue", "bbq", "grilling") embed nearby.
     let mut words = WordGenerator::new(42);
     let clusters = words.clusters(10, 6);
-    let corpus = CorpusGenerator::new(7).with_noise(0.05).generate(&clusters, 400);
-    let mut model =
-        FastTextModel::new(FastTextConfig { dim: 64, buckets: 50_000, ..FastTextConfig::default() })?;
+    let corpus = CorpusGenerator::new(7)
+        .with_noise(0.05)
+        .generate(&clusters, 400);
+    let mut model = FastTextModel::new(FastTextConfig {
+        dim: 64,
+        buckets: 50_000,
+        ..FastTextConfig::default()
+    })?;
     let trained_words = train_on_corpus(&mut model, &corpus, &TrainingConfig::default())?;
     println!("trained vectors for {trained_words} vocabulary words");
 
@@ -37,11 +42,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Context-enhanced join: dirty feed ⋈ catalogue, top-1 per entry.
     let join = PrefetchNlJoin::new(NljConfig::default().with_threads(2));
-    let result = join.join(&model, &dirty_feed, &catalogue, SimilarityPredicate::TopK(1))?;
+    let result = join.join(
+        &model,
+        &dirty_feed,
+        &catalogue,
+        SimilarityPredicate::TopK(1),
+    )?;
 
     // 5. Report the cleaned assignments and the accuracy against ground truth.
     let mut correct = 0usize;
-    println!("\n{:<18} -> {:<14} {:>6}", "dirty entry", "canonical", "sim");
+    println!(
+        "\n{:<18} -> {:<14} {:>6}",
+        "dirty entry", "canonical", "sim"
+    );
     println!("{}", "-".repeat(44));
     for pair in &result.pairs {
         let ok = pair.right == truth[pair.left];

@@ -70,10 +70,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Recall of the approximate index join against the exact scan.
     let exact: std::collections::HashSet<(usize, usize)> =
         scan.pair_indices().into_iter().collect();
-    let hits = probed.pair_indices().iter().filter(|p| exact.contains(p)).count();
+    let hits = probed
+        .pair_indices()
+        .iter()
+        .filter(|p| exact.contains(p))
+        .count();
     let recall = hits as f64 / exact.len().max(1) as f64;
 
-    println!("\n{:<22} {:>12} {:>12} {:>10}", "operator", "pairs", "time", "recall");
+    println!(
+        "\n{:<22} {:>12} {:>12} {:>10}",
+        "operator", "pairs", "time", "recall"
+    );
     println!("{}", "-".repeat(60));
     println!(
         "{:<22} {:>12} {:>10.1?} {:>10}",
@@ -89,7 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         probe_time,
         recall * 100.0
     );
-    println!("(index build time: {build_time:.1?}, {} graph bytes)", index.memory_bytes());
+    println!(
+        "(index build time: {build_time:.1?}, {} graph bytes)",
+        index.memory_bytes()
+    );
     println!(
         "(probe cost: {} distance computations across {} probes)",
         probed.stats.probe_stats.distance_computations,

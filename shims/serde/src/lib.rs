@@ -1,0 +1,36 @@
+//! Offline API shim for [serde](https://serde.rs).
+//!
+//! The container building this workspace has no access to crates.io, and the
+//! tree only uses serde for `#[derive(Serialize, Deserialize)]` markers (no
+//! wire format is ever produced).  This shim provides the two traits as
+//! blanket-implemented markers plus no-op derive macros, so every
+//! `use serde::{Deserialize, Serialize}` in the tree compiles unchanged.
+//! Replacing this shim with the real crate is a one-line edit in the root
+//! `Cargo.toml`.
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// Blanket-implemented for every type so that generic `T: Serialize` bounds
+/// keep compiling against the shim.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// The lifetime parameter mirrors the real trait's signature so bounds like
+/// `T: Deserialize<'de>` compile unchanged.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+// The derive macros share the traits' names, exactly like the real crate's
+// `derive` feature re-export.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for the `serde::de` module (trait re-exports only).
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

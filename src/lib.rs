@@ -1,0 +1,27 @@
+//! # cej — Optimizing Context-Enhanced Relational Joins
+//!
+//! Umbrella crate for the reproduction of *"Optimizing Context-Enhanced
+//! Relational Joins"* (ICDE 2024).  It re-exports every substrate crate under
+//! one roof and anchors the workspace-level integration tests (`tests/`) and
+//! runnable examples (`examples/`).
+//!
+//! The substrates, bottom-up:
+//!
+//! * [`vector`] — dense vectors, kernels, tiled GEMM, top-k, partitioning.
+//! * [`storage`] — columnar tables, schemas, selection bitmaps.
+//! * [`embedding`] — FastText-style model, tokenizer, counting cache.
+//! * [`index`] — from-scratch HNSW with probe statistics.
+//! * [`relational`] — the extended algebra `E_µ`, optimizer, executor.
+//! * [`core`] — the join operators, cost model, access paths, session API.
+//! * [`workload`] — deterministic synthetic data generators.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use cej_core as core;
+pub use cej_embedding as embedding;
+pub use cej_index as index;
+pub use cej_relational as relational;
+pub use cej_storage as storage;
+pub use cej_vector as vector;
+pub use cej_workload as workload;

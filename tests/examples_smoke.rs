@@ -1,0 +1,82 @@
+//! Smoke coverage for the `examples/` directory.
+//!
+//! `cargo test` compiles every example alongside the test targets, so compile
+//! rot is always caught.  This test goes one step further and *executes* the
+//! fast examples, asserting on their output so a silent behavioural
+//! regression (e.g. the quickstart matching zero pairs again) fails the
+//! suite.  The two scan-vs-probe examples build multi-thousand-vector HNSW
+//! indexes and are far too slow without optimisations, so they are only
+//! checked for a successfully compiled binary here; CI additionally builds
+//! them in release mode.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Directory holding the compiled example binaries for the active profile
+/// (`target/<profile>/examples`, derived from this test binary's own path in
+/// `target/<profile>/deps`).
+fn examples_dir() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary path");
+    dir.pop(); // <hash-named test binary>
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir.join("examples")
+}
+
+fn run_example(name: &str) -> String {
+    let bin = examples_dir().join(name);
+    assert!(bin.exists(), "example binary missing: {}", bin.display());
+    let output = Command::new(&bin).output().expect("example should spawn");
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn quickstart_runs_and_matches_pairs() {
+    let stdout = run_example("quickstart");
+    // Regression guard: with the untrained hash-n-gram model the similarity
+    // threshold must be calibrated so the two intended pairs (laptop ~
+    // notebooks, bbq ~ grills) survive; the example once shipped with a
+    // trained-model threshold (0.55) and matched nothing.
+    assert!(
+        stdout.contains("2 matched pairs"),
+        "unexpected quickstart output:\n{stdout}"
+    );
+    assert!(stdout.contains("lightweight notebooks and laptops"));
+    assert!(stdout.contains("charcoal barbecues and grills"));
+}
+
+#[test]
+fn data_cleaning_runs_with_high_accuracy() {
+    let stdout = run_example("data_cleaning");
+    let accuracy_line = stdout
+        .lines()
+        .find(|l| l.contains("cleaned") && l.contains("correct"))
+        .unwrap_or_else(|| panic!("no accuracy summary in output:\n{stdout}"));
+    // The trained model should clean the synthetic misspellings near-perfectly;
+    // fail loudly if accuracy ever collapses.
+    let pct: f64 = accuracy_line
+        .split('(')
+        .nth(1)
+        .and_then(|s| s.split('%').next())
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or_else(|| panic!("unparsable accuracy line: {accuracy_line}"));
+    assert!(pct >= 90.0, "data_cleaning accuracy dropped to {pct}%");
+}
+
+#[test]
+fn slow_examples_compiled() {
+    // Too slow to execute unoptimised (HNSW build over thousands of vectors);
+    // their continued compilation is still asserted so they cannot rot out of
+    // the build graph unnoticed.
+    for name in ["near_duplicate_detection", "access_path_selection"] {
+        let bin = examples_dir().join(name);
+        assert!(bin.exists(), "example binary missing: {}", bin.display());
+    }
+}

@@ -14,8 +14,12 @@ use cej_vector::BufferBudget;
 use cej_workload::{uniform_matrix, JoinWorkload, RelationSpec};
 
 fn model() -> FastTextModel {
-    FastTextModel::new(FastTextConfig { dim: 16, buckets: 2_000, ..FastTextConfig::default() })
-        .unwrap()
+    FastTextModel::new(FastTextConfig {
+        dim: 16,
+        buckets: 2_000,
+        ..FastTextConfig::default()
+    })
+    .unwrap()
 }
 
 fn strings(n: usize, prefix: &str) -> Vec<String> {
@@ -27,10 +31,18 @@ fn naive_join_model_calls_match_quadratic_formula() {
     for (r, s) in [(3usize, 4usize), (5, 5), (8, 2)] {
         let counted = CachedEmbedder::uncached(model());
         NaiveNlJoin::new()
-            .join(&counted, &strings(r, "l"), &strings(s, "r"), SimilarityPredicate::Threshold(0.9))
+            .join(
+                &counted,
+                &strings(r, "l"),
+                &strings(s, "r"),
+                SimilarityPredicate::Threshold(0.9),
+            )
             .unwrap();
         // the operator embeds both tuples of every pair
-        assert_eq!(counted.stats().model_calls, 2 * CostModel::naive_model_calls(r, s));
+        assert_eq!(
+            counted.stats().model_calls,
+            2 * CostModel::naive_model_calls(r, s)
+        );
     }
 }
 
@@ -39,9 +51,17 @@ fn prefetch_join_model_calls_match_linear_formula() {
     for (r, s) in [(3usize, 4usize), (10, 7), (1, 20)] {
         let counted = CachedEmbedder::new(model());
         PrefetchNlJoin::new(NljConfig::default())
-            .join(&counted, &strings(r, "l"), &strings(s, "r"), SimilarityPredicate::Threshold(0.9))
+            .join(
+                &counted,
+                &strings(r, "l"),
+                &strings(s, "r"),
+                SimilarityPredicate::Threshold(0.9),
+            )
             .unwrap();
-        assert_eq!(counted.stats().model_calls, CostModel::prefetch_model_calls(r, s));
+        assert_eq!(
+            counted.stats().model_calls,
+            CostModel::prefetch_model_calls(r, s)
+        );
 
         let counted_tensor = CachedEmbedder::new(model());
         TensorJoin::new(TensorJoinConfig::default())
@@ -52,7 +72,10 @@ fn prefetch_join_model_calls_match_linear_formula() {
                 SimilarityPredicate::Threshold(0.9),
             )
             .unwrap();
-        assert_eq!(counted_tensor.stats().model_calls, CostModel::prefetch_model_calls(r, s));
+        assert_eq!(
+            counted_tensor.stats().model_calls,
+            CostModel::prefetch_model_calls(r, s)
+        );
     }
 }
 
@@ -82,12 +105,32 @@ fn naive_vs_prefetch_speedup_grows_with_input_like_the_cost_model_predicts() {
 #[test]
 fn tensor_join_work_counter_matches_cardinality_product() {
     let w = JoinWorkload::generate(
-        RelationSpec { rows: 18, clusters: 6, variants_per_cluster: 3 },
-        RelationSpec { rows: 27, clusters: 6, variants_per_cluster: 3 },
+        RelationSpec {
+            rows: 18,
+            clusters: 6,
+            variants_per_cluster: 3,
+        },
+        RelationSpec {
+            rows: 27,
+            clusters: 6,
+            variants_per_cluster: 3,
+        },
         3,
     );
-    let left = w.outer.column_by_name("word").unwrap().as_utf8().unwrap().to_vec();
-    let right = w.inner.column_by_name("word").unwrap().as_utf8().unwrap().to_vec();
+    let left = w
+        .outer
+        .column_by_name("word")
+        .unwrap()
+        .as_utf8()
+        .unwrap()
+        .to_vec();
+    let right = w
+        .inner
+        .column_by_name("word")
+        .unwrap()
+        .as_utf8()
+        .unwrap()
+        .to_vec();
     let result = TensorJoin::new(TensorJoinConfig::default())
         .join(&model(), &left, &right, SimilarityPredicate::Threshold(0.9))
         .unwrap();
@@ -105,7 +148,13 @@ fn scan_work_scales_with_selectivity_probe_style_does_not() {
         .unwrap();
     let bitmap = SelectionBitmap::from_indices(500, &(0..100).collect::<Vec<_>>());
     let fifth = TensorJoin::new(TensorJoinConfig::default())
-        .join_matrices_filtered(&left, &right, SimilarityPredicate::TopK(1), None, Some(&bitmap))
+        .join_matrices_filtered(
+            &left,
+            &right,
+            SimilarityPredicate::TopK(1),
+            None,
+            Some(&bitmap),
+        )
         .unwrap();
     assert_eq!(full.stats.pairs_compared, 20 * 500);
     assert_eq!(fifth.stats.pairs_compared, 20 * 100);
@@ -125,7 +174,10 @@ fn advisor_decisions_match_measured_work_ordering() {
         predicate: SimilarityPredicate::TopK(1),
         index_available: true,
     };
-    assert_eq!(advisor.choose(&scan_query), cej_core::AccessPath::TensorScan);
+    assert_eq!(
+        advisor.choose(&scan_query),
+        cej_core::AccessPath::TensorScan
+    );
     assert!(advisor.scan_cost(&scan_query) < advisor.probe_cost(&scan_query));
 
     let probe_query = AccessPathQuery {
@@ -135,7 +187,10 @@ fn advisor_decisions_match_measured_work_ordering() {
         predicate: SimilarityPredicate::TopK(1),
         index_available: true,
     };
-    assert_eq!(advisor.choose(&probe_query), cej_core::AccessPath::IndexProbe);
+    assert_eq!(
+        advisor.choose(&probe_query),
+        cej_core::AccessPath::IndexProbe
+    );
     assert!(advisor.probe_cost(&probe_query) < advisor.scan_cost(&probe_query));
 }
 
@@ -148,11 +203,10 @@ fn buffer_budget_bounds_measured_intermediate_state() {
     let right = uniform_matrix(300, 32, 6, true);
     let inputs_bytes = left.bytes() + right.bytes();
 
-    let unlimited = TensorJoin::new(
-        TensorJoinConfig::default().with_budget(BufferBudget::unlimited()),
-    )
-    .join_matrices(&left, &right, SimilarityPredicate::Threshold(0.5))
-    .unwrap();
+    let unlimited =
+        TensorJoin::new(TensorJoinConfig::default().with_budget(BufferBudget::unlimited()))
+            .join_matrices(&left, &right, SimilarityPredicate::Threshold(0.5))
+            .unwrap();
     let budget = BufferBudget::from_bytes(16 * 1024);
     let bounded = TensorJoin::new(TensorJoinConfig::default().with_budget(budget))
         .join_matrices(&left, &right, SimilarityPredicate::Threshold(0.5))

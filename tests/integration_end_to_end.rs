@@ -9,7 +9,9 @@ use cej_workload::{CorpusGenerator, JoinWorkload, RelationSpec, WordGenerator};
 fn trained_model(seed: u64) -> FastTextModel {
     let mut words = WordGenerator::new(seed);
     let clusters = words.clusters(8, 5);
-    let corpus = CorpusGenerator::new(seed).with_noise(0.05).generate(&clusters, 200);
+    let corpus = CorpusGenerator::new(seed)
+        .with_noise(0.05)
+        .generate(&clusters, 200);
     let mut model = FastTextModel::new(FastTextConfig {
         dim: 32,
         buckets: 20_000,
@@ -22,8 +24,16 @@ fn trained_model(seed: u64) -> FastTextModel {
 
 fn workload() -> JoinWorkload {
     JoinWorkload::generate(
-        RelationSpec { rows: 40, clusters: 8, variants_per_cluster: 5 },
-        RelationSpec { rows: 80, clusters: 8, variants_per_cluster: 5 },
+        RelationSpec {
+            rows: 40,
+            clusters: 8,
+            variants_per_cluster: 5,
+        },
+        RelationSpec {
+            rows: 80,
+            clusters: 8,
+            variants_per_cluster: 5,
+        },
         42,
     )
 }
@@ -56,8 +66,18 @@ fn semantic_join_recovers_ground_truth_clusters() {
 
     // Check cluster agreement using the ground-truth labels: the matched
     // inner word should usually come from the same cluster as the outer word.
-    let outer_ids = report.table.column_by_name("l_id").unwrap().as_int64().unwrap();
-    let inner_ids = report.table.column_by_name("r_id").unwrap().as_int64().unwrap();
+    let outer_ids = report
+        .table
+        .column_by_name("l_id")
+        .unwrap()
+        .as_int64()
+        .unwrap();
+    let inner_ids = report
+        .table
+        .column_by_name("r_id")
+        .unwrap()
+        .as_int64()
+        .unwrap();
     let mut correct = 0;
     for (o, i) in outer_ids.iter().zip(inner_ids.iter()) {
         if w.outer_labels[*o as usize] == w.inner_labels[*i as usize] {
@@ -80,7 +100,9 @@ fn relational_filter_restricts_join_and_model_work() {
         "fasttext",
         SimilarityPredicate::Threshold(0.8),
     );
-    let filtered_plan = unfiltered_plan.clone().select(col("filter").lt(lit_i64(30)));
+    let filtered_plan = unfiltered_plan
+        .clone()
+        .select(col("filter").lt(lit_i64(30)));
 
     let unfiltered = session.execute(&unfiltered_plan).unwrap();
     let filtered = session.execute(&filtered_plan).unwrap();
@@ -88,7 +110,12 @@ fn relational_filter_restricts_join_and_model_work() {
     // Model calls shrink because the filter was pushed below the embedding.
     assert!(filtered.embedding_stats.model_calls < unfiltered.embedding_stats.model_calls);
     // Every surviving row satisfies the filter (it is a left-side column).
-    let filter_vals = filtered.table.column_by_name("l_filter").unwrap().as_int64().unwrap();
+    let filter_vals = filtered
+        .table
+        .column_by_name("l_filter")
+        .unwrap()
+        .as_int64()
+        .unwrap();
     assert!(filter_vals.iter().all(|&v| v < 30));
     // The filtered result is a subset of the unfiltered result.
     assert!(filtered.table.num_rows() <= unfiltered.table.num_rows());
@@ -124,7 +151,16 @@ fn strategies_produce_identical_threshold_results_end_to_end() {
             .unwrap()
             .iter()
             .copied()
-            .zip(report.table.column_by_name("r_id").unwrap().as_int64().unwrap().iter().copied())
+            .zip(
+                report
+                    .table
+                    .column_by_name("r_id")
+                    .unwrap()
+                    .as_int64()
+                    .unwrap()
+                    .iter()
+                    .copied(),
+            )
             .collect();
         rows.sort();
         results.push(rows);

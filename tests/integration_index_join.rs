@@ -11,7 +11,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn test_params() -> HnswParams {
-    HnswParams { m: 12, m0: 24, ef_construction: 64, ef_search: 48, ..HnswParams::tiny() }
+    HnswParams {
+        m: 12,
+        m0: 24,
+        ef_construction: 64,
+        ef_search: 48,
+        ..HnswParams::tiny()
+    }
 }
 
 #[test]
@@ -25,7 +31,10 @@ fn index_join_recall_against_exact_tensor_join() {
     let exact = TensorJoin::new(TensorJoinConfig::default())
         .join_matrices(&outer, &inner, SimilarityPredicate::TopK(k))
         .unwrap();
-    let index_join = IndexJoin::new(IndexJoinConfig { params: test_params(), range_probe_k: k });
+    let index_join = IndexJoin::new(IndexJoinConfig {
+        params: test_params(),
+        range_probe_k: k,
+    });
     let index = index_join.build_index(&inner).unwrap();
     let approx = index_join
         .probe_join(&outer, &index, SimilarityPredicate::TopK(k), None, None)
@@ -33,7 +42,11 @@ fn index_join_recall_against_exact_tensor_join() {
 
     let exact_set: std::collections::HashSet<(usize, usize)> =
         exact.pair_indices().into_iter().collect();
-    let hits = approx.pair_indices().iter().filter(|p| exact_set.contains(p)).count();
+    let hits = approx
+        .pair_indices()
+        .iter()
+        .filter(|p| exact_set.contains(p))
+        .count();
     let recall = hits as f64 / exact.len() as f64;
     assert!(recall > 0.8, "index join recall {recall} below expectation");
     // Approximate: it is allowed to miss pairs, but it must never return more
@@ -55,17 +68,40 @@ fn higher_recall_parameters_do_not_hurt_recall() {
         exact.pair_indices().into_iter().collect();
 
     let recall_of = |params: HnswParams| {
-        let join = IndexJoin::new(IndexJoinConfig { params, range_probe_k: k });
+        let join = IndexJoin::new(IndexJoinConfig {
+            params,
+            range_probe_k: k,
+        });
         let index = join.build_index(&inner).unwrap();
-        let approx =
-            join.probe_join(&outer, &index, SimilarityPredicate::TopK(k), None, None).unwrap();
-        approx.pair_indices().iter().filter(|p| exact_set.contains(p)).count() as f64
+        let approx = join
+            .probe_join(&outer, &index, SimilarityPredicate::TopK(k), None, None)
+            .unwrap();
+        approx
+            .pair_indices()
+            .iter()
+            .filter(|p| exact_set.contains(p))
+            .count() as f64
             / exact.len() as f64
     };
 
-    let lo = recall_of(HnswParams { m: 6, m0: 12, ef_construction: 24, ef_search: 12, ..HnswParams::tiny() });
-    let hi = recall_of(HnswParams { m: 16, m0: 32, ef_construction: 128, ef_search: 96, ..HnswParams::tiny() });
-    assert!(hi >= lo - 0.05, "high-recall config ({hi}) should not lose to low-recall ({lo})");
+    let lo = recall_of(HnswParams {
+        m: 6,
+        m0: 12,
+        ef_construction: 24,
+        ef_search: 12,
+        ..HnswParams::tiny()
+    });
+    let hi = recall_of(HnswParams {
+        m: 16,
+        m0: 32,
+        ef_construction: 128,
+        ef_search: 96,
+        ..HnswParams::tiny()
+    });
+    assert!(
+        hi >= lo - 0.05,
+        "high-recall config ({hi}) should not lose to low-recall ({lo})"
+    );
     assert!(hi > 0.9);
 }
 
@@ -80,18 +116,29 @@ fn prefiltering_affects_results_not_probe_cost() {
     let mut rng = StdRng::seed_from_u64(7);
     let selectivity = 0.2;
     let bitmap = SelectionBitmap::from_bools(
-        (0..inner.rows()).map(|_| rng.gen_bool(selectivity)).collect(),
+        (0..inner.rows())
+            .map(|_| rng.gen_bool(selectivity))
+            .collect(),
     );
 
     let k = 3;
-    let index_join = IndexJoin::new(IndexJoinConfig { params: test_params(), range_probe_k: k });
+    let index_join = IndexJoin::new(IndexJoinConfig {
+        params: test_params(),
+        range_probe_k: k,
+    });
     let index = index_join.build_index(&inner).unwrap();
 
     let unfiltered = index_join
         .probe_join(&outer, &index, SimilarityPredicate::TopK(k), None, None)
         .unwrap();
     let filtered = index_join
-        .probe_join(&outer, &index, SimilarityPredicate::TopK(k), None, Some(&bitmap))
+        .probe_join(
+            &outer,
+            &index,
+            SimilarityPredicate::TopK(k),
+            None,
+            Some(&bitmap),
+        )
         .unwrap();
 
     // results respect the filter
@@ -104,7 +151,13 @@ fn prefiltering_affects_results_not_probe_cost() {
     );
 
     let scan_filtered = TensorJoin::new(TensorJoinConfig::default())
-        .join_matrices_filtered(&outer, &inner, SimilarityPredicate::TopK(k), None, Some(&bitmap))
+        .join_matrices_filtered(
+            &outer,
+            &inner,
+            SimilarityPredicate::TopK(k),
+            None,
+            Some(&bitmap),
+        )
         .unwrap();
     let scan_unfiltered = TensorJoin::new(TensorJoinConfig::default())
         .join_matrices(&outer, &inner, SimilarityPredicate::TopK(k))
@@ -129,10 +182,14 @@ fn range_predicate_on_index_misses_matches_that_scan_finds() {
     let scan = TensorJoin::new(TensorJoinConfig::default())
         .join_matrices(&outer, &inner, threshold)
         .unwrap();
-    let index_join =
-        IndexJoin::new(IndexJoinConfig { params: test_params(), range_probe_k: 8 });
+    let index_join = IndexJoin::new(IndexJoinConfig {
+        params: test_params(),
+        range_probe_k: 8,
+    });
     let index = index_join.build_index(&inner).unwrap();
-    let probed = index_join.probe_join(&outer, &index, threshold, None, None).unwrap();
+    let probed = index_join
+        .probe_join(&outer, &index, threshold, None, None)
+        .unwrap();
 
     // With only 2 clusters and 500 points, far more than 8 tuples exceed the
     // threshold for every probe: the index join is capped at 8 per probe.
@@ -148,11 +205,20 @@ fn range_predicate_on_index_misses_matches_that_scan_finds() {
 fn outer_prefilter_reduces_probe_count() {
     let (inner, _) = clustered_matrix(1_000, 16, 10, 0.05, 11);
     let (outer, _) = clustered_matrix(40, 16, 10, 0.05, 12);
-    let index_join = IndexJoin::new(IndexJoinConfig { params: test_params(), range_probe_k: 2 });
+    let index_join = IndexJoin::new(IndexJoinConfig {
+        params: test_params(),
+        range_probe_k: 2,
+    });
     let index = index_join.build_index(&inner).unwrap();
     let filter = SelectionBitmap::from_indices(40, &(0..10).collect::<Vec<_>>());
     let filtered = index_join
-        .probe_join(&outer, &index, SimilarityPredicate::TopK(2), Some(&filter), None)
+        .probe_join(
+            &outer,
+            &index,
+            SimilarityPredicate::TopK(2),
+            Some(&filter),
+            None,
+        )
         .unwrap();
     let unfiltered = index_join
         .probe_join(&outer, &index, SimilarityPredicate::TopK(2), None, None)

@@ -11,18 +11,42 @@ use cej_vector::{BufferBudget, Kernel};
 use cej_workload::{uniform_matrix, JoinWorkload, RelationSpec};
 
 fn model() -> FastTextModel {
-    FastTextModel::new(FastTextConfig { dim: 24, buckets: 5_000, ..FastTextConfig::default() })
-        .unwrap()
+    FastTextModel::new(FastTextConfig {
+        dim: 24,
+        buckets: 5_000,
+        ..FastTextConfig::default()
+    })
+    .unwrap()
 }
 
 fn workload_strings() -> (Vec<String>, Vec<String>) {
     let w = JoinWorkload::generate(
-        RelationSpec { rows: 15, clusters: 6, variants_per_cluster: 4 },
-        RelationSpec { rows: 25, clusters: 6, variants_per_cluster: 4 },
+        RelationSpec {
+            rows: 15,
+            clusters: 6,
+            variants_per_cluster: 4,
+        },
+        RelationSpec {
+            rows: 25,
+            clusters: 6,
+            variants_per_cluster: 4,
+        },
         11,
     );
-    let left = w.outer.column_by_name("word").unwrap().as_utf8().unwrap().to_vec();
-    let right = w.inner.column_by_name("word").unwrap().as_utf8().unwrap().to_vec();
+    let left = w
+        .outer
+        .column_by_name("word")
+        .unwrap()
+        .as_utf8()
+        .unwrap()
+        .to_vec();
+    let right = w
+        .inner
+        .column_by_name("word")
+        .unwrap()
+        .as_utf8()
+        .unwrap()
+        .to_vec();
     (left, right)
 }
 
@@ -32,15 +56,22 @@ fn naive_prefetch_and_tensor_agree_on_strings() {
     let m = model();
     let predicate = SimilarityPredicate::Threshold(0.75);
 
-    let naive = NaiveNlJoin::new().join(&m, &left, &right, predicate).unwrap();
-    let prefetch =
-        PrefetchNlJoin::new(NljConfig::default()).join(&m, &left, &right, predicate).unwrap();
-    let tensor =
-        TensorJoin::new(TensorJoinConfig::default()).join(&m, &left, &right, predicate).unwrap();
+    let naive = NaiveNlJoin::new()
+        .join(&m, &left, &right, predicate)
+        .unwrap();
+    let prefetch = PrefetchNlJoin::new(NljConfig::default())
+        .join(&m, &left, &right, predicate)
+        .unwrap();
+    let tensor = TensorJoin::new(TensorJoinConfig::default())
+        .join(&m, &left, &right, predicate)
+        .unwrap();
 
     assert_eq!(naive.pair_indices(), prefetch.pair_indices());
     assert_eq!(naive.pair_indices(), tensor.pair_indices());
-    assert!(!naive.is_empty(), "workload should produce at least one semantic match");
+    assert!(
+        !naive.is_empty(),
+        "workload should produce at least one semantic match"
+    );
 }
 
 #[test]
@@ -48,15 +79,20 @@ fn scores_agree_across_operators_within_float_tolerance() {
     let (left, right) = workload_strings();
     let m = model();
     let predicate = SimilarityPredicate::Threshold(0.75);
-    let prefetch =
-        PrefetchNlJoin::new(NljConfig::default()).join(&m, &left, &right, predicate).unwrap();
-    let tensor =
-        TensorJoin::new(TensorJoinConfig::default()).join(&m, &left, &right, predicate).unwrap();
+    let prefetch = PrefetchNlJoin::new(NljConfig::default())
+        .join(&m, &left, &right, predicate)
+        .unwrap();
+    let tensor = TensorJoin::new(TensorJoinConfig::default())
+        .join(&m, &left, &right, predicate)
+        .unwrap();
     let ps = prefetch.sorted_pairs();
     let ts = tensor.sorted_pairs();
     assert_eq!(ps.len(), ts.len());
     for (a, b) in ps.iter().zip(ts.iter()) {
-        assert!((a.score - b.score).abs() < 1e-4, "score mismatch: {a:?} vs {b:?}");
+        assert!(
+            (a.score - b.score).abs() < 1e-4,
+            "score mismatch: {a:?} vs {b:?}"
+        );
     }
 }
 
@@ -120,12 +156,11 @@ fn topk_variants_agree_on_matrices() {
         .join_matrices(&left, &right, predicate)
         .unwrap()
         .pair_indices();
-    let tensor_mini = TensorJoin::new(
-        TensorJoinConfig::default().with_budget(BufferBudget::from_bytes(4 * 200)),
-    )
-    .join_matrices(&left, &right, predicate)
-    .unwrap()
-    .pair_indices();
+    let tensor_mini =
+        TensorJoin::new(TensorJoinConfig::default().with_budget(BufferBudget::from_bytes(4 * 200)))
+            .join_matrices(&left, &right, predicate)
+            .unwrap()
+            .pair_indices();
 
     assert_eq!(reference, tensor_batched);
     assert_eq!(reference, tensor_mini);

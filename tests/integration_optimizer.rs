@@ -10,8 +10,12 @@ use cej_relational::{
 use cej_storage::TableBuilder;
 
 fn model() -> FastTextModel {
-    FastTextModel::new(FastTextConfig { dim: 24, buckets: 5_000, ..FastTextConfig::default() })
-        .unwrap()
+    FastTextModel::new(FastTextConfig {
+        dim: 24,
+        buckets: 5_000,
+        ..FastTextConfig::default()
+    })
+    .unwrap()
 }
 
 fn tables() -> (cej_storage::Table, cej_storage::Table) {
@@ -121,7 +125,14 @@ fn optimized_and_unoptimized_plans_give_identical_results() {
             .unwrap()
             .iter()
             .copied()
-            .zip(t.column_by_name("r_id").unwrap().as_int64().unwrap().iter().copied())
+            .zip(
+                t.column_by_name("r_id")
+                    .unwrap()
+                    .as_int64()
+                    .unwrap()
+                    .iter()
+                    .copied(),
+            )
             .collect();
         v.sort();
         v
