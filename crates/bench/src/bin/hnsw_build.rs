@@ -1,0 +1,65 @@
+//! Times HNSW index construction on the `near_duplicate_detection` workload
+//! (20k clustered 64-D vectors at `CEJ_SCALE=1`), the ROADMAP's build-speed
+//! yardstick.  Builds the index twice — sequentially and through the shared
+//! worker pool — and reports build times plus probe recall against the exact
+//! scan, so construction-speed work is validated in one command:
+//!
+//! ```sh
+//! CEJ_SCALE=0.25 cargo run --release -p cej-bench --bin hnsw_build
+//! ```
+//!
+//! With `CEJ_REPORT=<path>` the numbers are also written as JSON (used by
+//! the CI bench-smoke job).
+
+use std::time::{Duration, Instant};
+
+use cej_bench::harness::{header, scaled};
+use cej_bench::report::Report;
+use cej_exec::ExecPool;
+use cej_index::{probe_recall, HnswIndex, HnswParams};
+use cej_workload::clustered_matrix;
+
+fn main() {
+    header("HNSW-build", "index construction speed and probe recall");
+    let n = scaled(20_000);
+    let probes = scaled(200);
+    let dim = 64;
+    let k = 3;
+    let params = HnswParams::low_recall();
+    let (reference, _) = clustered_matrix(n, dim, 50, 0.05, 1);
+    let (incoming, _) = clustered_matrix(probes, dim, 50, 0.05, 2);
+
+    let build = |pool: &ExecPool| -> (Duration, f64) {
+        let start = Instant::now();
+        let index = HnswIndex::build_with_pool(reference.clone(), params, pool).unwrap();
+        let elapsed = start.elapsed();
+        let recall = probe_recall(&index, &reference, &incoming, k).unwrap();
+        (elapsed, recall)
+    };
+
+    let (seq_time, seq_recall) = build(&ExecPool::new(1));
+    let pool = ExecPool::global();
+    let (pool_time, pool_recall) = build(pool);
+
+    println!(
+        "n={n} dim={dim} M={} efC={}: sequential build {:.2?} (recall@{k} {:.4}), \
+         pool({} threads) build {:.2?} (recall@{k} {:.4}, speedup {:.2}x)",
+        params.m,
+        params.ef_construction,
+        seq_time,
+        seq_recall,
+        pool.threads(),
+        pool_time,
+        pool_recall,
+        seq_time.as_secs_f64() / pool_time.as_secs_f64().max(1e-9),
+    );
+
+    let mut report = Report::new("hnsw_build");
+    report.push_value("n", n as f64);
+    report.push_value("threads", pool.threads() as f64);
+    report.push_value("sequential_build_ms", seq_time.as_secs_f64() * 1e3);
+    report.push_value("pool_build_ms", pool_time.as_secs_f64() * 1e3);
+    report.push_value("sequential_recall", seq_recall);
+    report.push_value("pool_recall", pool_recall);
+    report.write_if_requested();
+}

@@ -1,9 +1,16 @@
 //! Runs every experiment binary's body in sequence (scaled down further), so
 //! a single `cargo run --release -p cej-bench --bin run_all` regenerates the
 //! whole evaluation section in one go.
+//!
+//! With `CEJ_REPORT=<path>` a JSON summary of per-section wall-clock times
+//! is written as well — the artifact the CI bench-smoke job archives on
+//! every run.
+
+use std::time::Instant;
 
 use cej_bench::experiments::{self, DIM};
 use cej_bench::harness::{fmt_ms, header, print_table, scaled};
+use cej_bench::report::Report;
 use cej_relational::SimilarityPredicate;
 
 fn main() {
@@ -11,121 +18,150 @@ fn main() {
         "Run-all",
         "every table and figure of the evaluation, small scale",
     );
+    let mut report = Report::new("run_all");
+    report.push_value("threads", cej_exec::default_threads() as f64);
+    let section = |report: &mut Report, name: &str, body: &mut dyn FnMut()| {
+        let start = Instant::now();
+        body();
+        report.push_elapsed(name, start.elapsed());
+    };
 
-    println!("\n--- Table II ---");
-    for (query, matches) in experiments::table02_semantic_matches(15) {
-        println!("{query:<12} {}", matches.join(", "));
-    }
+    section(&mut report, "table02", &mut || {
+        println!("\n--- Table II ---");
+        for (query, matches) in experiments::table02_semantic_matches(15) {
+            println!("{query:<12} {}", matches.join(", "));
+        }
+    });
 
-    println!("\n--- Figure 8 ---");
-    let rows = experiments::fig08_nlj_logical_physical(&[(scaled(100), scaled(100))], DIM);
-    for r in rows {
-        println!(
-            "{}: naive {} / {} ms, prefetch {} / {} ms (model calls {} vs {})",
-            r.sizes,
-            fmt_ms(r.naive_no_simd),
-            fmt_ms(r.naive_simd),
-            fmt_ms(r.prefetch_no_simd),
-            fmt_ms(r.prefetch_simd),
-            r.naive_model_calls,
-            r.prefetch_model_calls
-        );
-    }
+    section(&mut report, "fig08", &mut || {
+        println!("\n--- Figure 8 ---");
+        let rows = experiments::fig08_nlj_logical_physical(&[(scaled(100), scaled(100))], DIM);
+        for r in rows {
+            println!(
+                "{}: naive {} / {} ms, prefetch {} / {} ms (model calls {} vs {})",
+                r.sizes,
+                fmt_ms(r.naive_no_simd),
+                fmt_ms(r.naive_simd),
+                fmt_ms(r.prefetch_no_simd),
+                fmt_ms(r.prefetch_simd),
+                r.naive_model_calls,
+                r.prefetch_model_calls
+            );
+        }
+    });
 
-    println!("\n--- Figure 9 ---");
-    for (t, simd, no_simd) in experiments::fig09_thread_scalability(scaled(800), DIM, &[1, 2, 4]) {
-        println!(
-            "threads {t}: SIMD {} ms, NO-SIMD {} ms",
-            fmt_ms(simd),
-            fmt_ms(no_simd)
-        );
-    }
+    section(&mut report, "fig09", &mut || {
+        println!("\n--- Figure 9 ---");
+        for (t, simd, no_simd) in
+            experiments::fig09_thread_scalability(scaled(800), DIM, &[1, 2, 4])
+        {
+            println!(
+                "threads {t}: SIMD {} ms, NO-SIMD {} ms",
+                fmt_ms(simd),
+                fmt_ms(no_simd)
+            );
+        }
+    });
 
-    println!("\n--- Figure 10 ---");
-    for (label, ops, ordered, unordered) in experiments::fig10_input_sizes(
-        &[(scaled(1_000), scaled(500)), (scaled(500), scaled(1_000))],
-        DIM,
-        1,
-    ) {
-        println!(
-            "{label} ({ops} comparisons): heuristic {} ms, as-given {} ms",
-            fmt_ms(ordered),
-            fmt_ms(unordered)
-        );
-    }
-
-    println!("\n--- Figures 11 & 12 ---");
-    for r in experiments::fig11_nlj_vs_tensor(&[scaled(2_560_000)], &[4, 64, 256]) {
-        println!(
-            "ops {} dim {:>3}: NLJ {} ns/elem, tensor {} ns/elem",
-            r.fp32_ops, r.dim, r.first_ns, r.second_ns
-        );
-    }
-    for r in experiments::fig12_batched_vs_non_batched(&[scaled(2_560_000)], &[64]) {
-        println!(
-            "ops {} dim {:>3}: batched {} ns/elem, non-batched {} ns/elem",
-            r.fp32_ops, r.dim, r.first_ns, r.second_ns
-        );
-    }
-
-    println!("\n--- Figure 13 ---");
-    let n = scaled(2_000);
-    for r in experiments::fig13_batch_size_impact(n, DIM, &[(n / 2, n / 2), (n / 10, n / 10)]) {
-        println!(
-            "{:<24} slowdown {:.2}x, RAM reduction {:.1}x",
-            r.batch, r.relative_slowdown, r.ram_reduction
-        );
-    }
-
-    println!("\n--- Figure 14 ---");
-    for (label, tensor, nlj) in experiments::fig14_tensor_vs_nlj(
-        &[
-            (scaled(1_000), scaled(1_000)),
-            (scaled(2_000), scaled(1_000)),
-        ],
-        DIM,
-        1,
-    ) {
-        println!(
-            "{label}: tensor {} ms, NLJ {} ms",
-            fmt_ms(tensor),
-            fmt_ms(nlj)
-        );
-    }
-
-    println!("\n--- Figures 15-17 ---");
-    for (name, predicate) in [
-        ("Fig 15 (top-1)", SimilarityPredicate::TopK(1)),
-        ("Fig 16 (top-32)", SimilarityPredicate::TopK(32)),
-        ("Fig 17 (sim>0.9)", SimilarityPredicate::Threshold(0.9)),
-    ] {
-        println!("{name}");
-        let rows = experiments::scan_vs_probe(
-            scaled(100),
-            scaled(10_000),
+    section(&mut report, "fig10", &mut || {
+        println!("\n--- Figure 10 ---");
+        for (label, ops, ordered, unordered) in experiments::fig10_input_sizes(
+            &[(scaled(1_000), scaled(500)), (scaled(500), scaled(1_000))],
             DIM,
-            predicate,
-            &[10, 50, 100],
-            true,
-        );
-        print_table(
-            &[
-                "selectivity",
-                "Tensor",
-                "Tensor -filter",
-                "Index Lo",
-                "Index Hi",
-            ],
-            &experiments::scan_vs_probe_rows(&rows),
-        );
-    }
+            1,
+        ) {
+            println!(
+                "{label} ({ops} comparisons): heuristic {} ms, as-given {} ms",
+                fmt_ms(ordered),
+                fmt_ms(unordered)
+            );
+        }
+    });
 
-    println!("\n--- Cost model ---");
-    for (label, naive, prefetch, cn, cp) in
-        experiments::costmodel_validation(&[(scaled(20), scaled(20))])
-    {
-        println!(
-            "{label}: naive calls {naive}, prefetch calls {prefetch}, predicted {cn:.2e} vs {cp:.2e}"
-        );
-    }
+    section(&mut report, "fig11_fig12", &mut || {
+        println!("\n--- Figures 11 & 12 ---");
+        for r in experiments::fig11_nlj_vs_tensor(&[scaled(2_560_000)], &[4, 64, 256]) {
+            println!(
+                "ops {} dim {:>3}: NLJ {} ns/elem, tensor {} ns/elem",
+                r.fp32_ops, r.dim, r.first_ns, r.second_ns
+            );
+        }
+        for r in experiments::fig12_batched_vs_non_batched(&[scaled(2_560_000)], &[64]) {
+            println!(
+                "ops {} dim {:>3}: batched {} ns/elem, non-batched {} ns/elem",
+                r.fp32_ops, r.dim, r.first_ns, r.second_ns
+            );
+        }
+    });
+
+    section(&mut report, "fig13", &mut || {
+        println!("\n--- Figure 13 ---");
+        let n = scaled(2_000);
+        for r in experiments::fig13_batch_size_impact(n, DIM, &[(n / 2, n / 2), (n / 10, n / 10)]) {
+            println!(
+                "{:<24} slowdown {:.2}x, RAM reduction {:.1}x",
+                r.batch, r.relative_slowdown, r.ram_reduction
+            );
+        }
+    });
+
+    section(&mut report, "fig14", &mut || {
+        println!("\n--- Figure 14 ---");
+        for (label, tensor, nlj) in experiments::fig14_tensor_vs_nlj(
+            &[
+                (scaled(1_000), scaled(1_000)),
+                (scaled(2_000), scaled(1_000)),
+            ],
+            DIM,
+            1,
+        ) {
+            println!(
+                "{label}: tensor {} ms, NLJ {} ms",
+                fmt_ms(tensor),
+                fmt_ms(nlj)
+            );
+        }
+    });
+
+    section(&mut report, "fig15_fig17", &mut || {
+        println!("\n--- Figures 15-17 ---");
+        for (name, predicate) in [
+            ("Fig 15 (top-1)", SimilarityPredicate::TopK(1)),
+            ("Fig 16 (top-32)", SimilarityPredicate::TopK(32)),
+            ("Fig 17 (sim>0.9)", SimilarityPredicate::Threshold(0.9)),
+        ] {
+            println!("{name}");
+            let rows = experiments::scan_vs_probe(
+                scaled(100),
+                scaled(10_000),
+                DIM,
+                predicate,
+                &[10, 50, 100],
+                true,
+            );
+            print_table(
+                &[
+                    "selectivity",
+                    "Tensor",
+                    "Tensor -filter",
+                    "Index Lo",
+                    "Index Hi",
+                ],
+                &experiments::scan_vs_probe_rows(&rows),
+            );
+        }
+    });
+
+    section(&mut report, "costmodel", &mut || {
+        println!("\n--- Cost model ---");
+        for (label, naive, prefetch, cn, cp) in
+            experiments::costmodel_validation(&[(scaled(20), scaled(20))])
+        {
+            println!(
+                "{label}: naive calls {naive}, prefetch calls {prefetch}, predicted {cn:.2e} vs {cp:.2e}"
+            );
+        }
+    });
+
+    report.write_if_requested();
 }

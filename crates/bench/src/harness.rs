@@ -2,19 +2,10 @@
 
 use std::time::{Duration, Instant};
 
-/// Returns the global size-scale factor (`CEJ_SCALE` environment variable,
-/// default `1.0`).  All experiment cardinalities are multiplied by it.
-pub fn scale() -> f64 {
-    std::env::var("CEJ_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
-}
-
-/// Scales a cardinality by the global factor, keeping at least 1.
-pub fn scaled(n: usize) -> usize {
-    ((n as f64) * scale()).round().max(1.0) as usize
-}
+// The scale knob lives in `cej-workload` (so runnable examples share it);
+// re-exported here because every experiment binary imports it from the
+// harness.
+pub use cej_workload::{scale, scaled};
 
 /// Times one invocation of `f`, returning its result and the elapsed time.
 pub fn time_once<T>(mut f: impl FnMut() -> T) -> (T, Duration) {

@@ -17,10 +17,12 @@
 //! The [`harness`] module provides the shared timing and reporting helpers;
 //! [`experiments`] provides the parameterised experiment bodies shared by
 //! related figures (e.g. Figures 15-17 all call
-//! [`experiments::scan_vs_probe`]).
+//! [`experiments::scan_vs_probe`]); [`report`] emits the machine-readable
+//! JSON summaries the CI bench-smoke job archives (`CEJ_REPORT=<path>`).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod experiments;
 pub mod harness;
+pub mod report;

@@ -13,6 +13,7 @@
 use std::time::Instant;
 
 use cej_embedding::Embedder;
+use cej_exec::ExecPool;
 use cej_relational::SimilarityPredicate;
 use cej_vector::{norm::normalize_matrix_rows_with, Kernel, Matrix, TopK};
 
@@ -29,7 +30,9 @@ pub use cej_vector::kernels::UNROLL_LANES;
 pub struct NljConfig {
     /// Compute kernel (SIMD-style unrolled or scalar).
     pub kernel: Kernel,
-    /// Number of worker threads over the outer relation.
+    /// Number of worker threads over the outer relation.  Defaults to the
+    /// shared execution layer's thread budget (`CEJ_THREADS`, or the
+    /// machine's available parallelism).
     pub threads: usize,
     /// Whether to apply the "smaller relation as inner loop" heuristic
     /// automatically (Figure 10's ordering effect).
@@ -40,7 +43,7 @@ impl Default for NljConfig {
     fn default() -> Self {
         Self {
             kernel: Kernel::Unrolled,
-            threads: 1,
+            threads: cej_exec::default_threads(),
             auto_loop_order: true,
         }
     }
@@ -166,6 +169,10 @@ impl PrefetchNlJoin {
 
     /// The parallel pair-wise loop.  For top-k predicates the loop order is
     /// never swapped (see `join_matrices`), so `outer` rows are left rows.
+    ///
+    /// Outer rows are chunked onto the shared worker pool; chunk results are
+    /// concatenated in row order, so the produced pair order is identical
+    /// for every thread count.
     fn pairwise_loop(
         &self,
         outer: &Matrix,
@@ -173,27 +180,13 @@ impl PrefetchNlJoin {
         predicate: SimilarityPredicate,
         kernel: Kernel,
     ) -> Vec<JoinPair> {
-        let threads = self.config.threads.max(1).min(outer.rows().max(1));
-        if threads <= 1 {
-            return Self::pairwise_range(outer, inner, 0, outer.rows(), predicate, kernel);
-        }
-        let rows_per_thread = outer.rows().div_ceil(threads);
-        let mut partial: Vec<Vec<JoinPair>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            let mut start = 0;
-            while start < outer.rows() {
-                let end = (start + rows_per_thread).min(outer.rows());
-                handles.push(scope.spawn(move || {
-                    Self::pairwise_range(outer, inner, start, end, predicate, kernel)
-                }));
-                start = end;
-            }
-            for h in handles {
-                partial.push(h.join().expect("NLJ worker panicked"));
-            }
-        });
-        partial.into_iter().flatten().collect()
+        let pool = ExecPool::new(self.config.threads);
+        pool.parallel_chunks(outer.rows(), |rows| {
+            Self::pairwise_range(outer, inner, rows.start, rows.end, predicate, kernel)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     fn pairwise_range(

@@ -15,11 +15,13 @@
 use std::time::Instant;
 
 use cej_embedding::Embedder;
+use cej_exec::ExecPool;
 use cej_relational::SimilarityPredicate;
 use cej_storage::SelectionBitmap;
 use cej_vector::{
-    gemm::block_into, norm::normalize_matrix_rows_with, BufferBudget, GemmConfig, Kernel, Matrix,
-    TopK,
+    gemm::{block_into, block_into_with_pool},
+    norm::normalize_matrix_rows_with,
+    BufferBudget, GemmConfig, Kernel, Matrix, TopK,
 };
 
 use crate::error::CoreError;
@@ -33,7 +35,9 @@ use super::{check_joinable, check_predicate, embed_all};
 pub struct TensorJoinConfig {
     /// Compute kernel for the tiled GEMM.
     pub kernel: Kernel,
-    /// Worker threads (parallel over outer-row blocks).
+    /// Worker threads (parallel over outer-row blocks).  Defaults to the
+    /// shared execution layer's thread budget (`CEJ_THREADS`, or the
+    /// machine's available parallelism).
     pub threads: usize,
     /// Buffer budget for the intermediate score block.
     pub budget: BufferBudget,
@@ -51,7 +55,7 @@ impl Default for TensorJoinConfig {
     fn default() -> Self {
         Self {
             kernel: Kernel::Unrolled,
-            threads: 1,
+            threads: cej_exec::default_threads(),
             budget: BufferBudget::from_mib(64),
             tile_rows: 64,
             tile_cols: 64,
@@ -252,7 +256,7 @@ impl TensorJoin {
         let block_cells = outer_batch * inner_batch;
         stats.peak_buffer_bytes = BufferBudget::block_bytes(outer_batch, inner_batch);
 
-        let threads = self.config.threads.max(1);
+        let pool = ExecPool::new(self.config.threads);
         let mut scores = vec![0.0f32; block_cells];
 
         let mut l_start = 0usize;
@@ -271,13 +275,7 @@ impl TensorJoin {
                     .expect("right block in range");
                 let out = &mut scores[..l_rows * r_rows];
 
-                if threads <= 1 || l_rows < threads {
-                    block_into(l_block, r_block, l_rows, r_rows, dim, &gemm, out);
-                } else {
-                    Self::parallel_block(
-                        l_block, r_block, l_rows, r_rows, dim, &gemm, threads, out,
-                    );
-                }
+                block_into_with_pool(l_block, r_block, l_rows, r_rows, dim, &gemm, &pool, out);
                 stats.blocks_computed += 1;
 
                 // Harvest the block: either threshold pairs or top-k updates.
@@ -316,36 +314,6 @@ impl TensorJoin {
             }
         }
         Ok(pairs)
-    }
-
-    /// Splits one score block across threads by outer rows.
-    #[allow(clippy::too_many_arguments)]
-    fn parallel_block(
-        l_block: &[f32],
-        r_block: &[f32],
-        l_rows: usize,
-        r_rows: usize,
-        dim: usize,
-        gemm: &GemmConfig,
-        threads: usize,
-        out: &mut [f32],
-    ) {
-        let rows_per_thread = l_rows.div_ceil(threads);
-        std::thread::scope(|scope| {
-            let mut remaining = out;
-            let mut start = 0usize;
-            while start < l_rows {
-                let end = (start + rows_per_thread).min(l_rows);
-                let rows = end - start;
-                let (chunk, rest) = remaining.split_at_mut(rows * r_rows);
-                remaining = rest;
-                let l_chunk = &l_block[start * dim..end * dim];
-                scope.spawn(move || {
-                    block_into(l_chunk, r_block, rows, r_rows, dim, gemm, chunk);
-                });
-                start = end;
-            }
-        });
     }
 
     /// The non-batched variant of Figure 12: the inner relation is processed

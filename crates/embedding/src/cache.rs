@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use cej_vector::Vector;
+use cej_vector::{Matrix, Vector};
 use parking_lot::RwLock;
 
 use crate::cost::ModelCostProfile;
@@ -134,6 +134,56 @@ impl<E: Embedder> Embedder for CachedEmbedder<E> {
                 v
             }
         }
+    }
+
+    /// Batch path with exact accounting: the misses are computed first (in
+    /// parallel, one model call per *distinct* uncached input), then the
+    /// batch is assembled from the cache.  The per-input racy fallback of
+    /// [`CachedEmbedder::embed`] — where two threads can both miss on the
+    /// same string and double-count a model call — never happens here, so
+    /// `model_calls` stays exact even under a multi-threaded pool.
+    fn embed_batch(&self, inputs: &[String]) -> Matrix {
+        let Some(cache) = &self.cache else {
+            // Uncached wrappers count every request; run the shared
+            // (parallel, order-preserving) per-input fan-out.
+            return crate::model::embed_batch_with(self.dim(), inputs, |s| self.embed(s));
+        };
+        if inputs.is_empty() {
+            return Matrix::zeros(0, self.dim());
+        }
+        let mut misses: Vec<&String> = Vec::new();
+        {
+            let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+            let read = cache.read();
+            for input in inputs {
+                if !read.contains_key(input.as_str()) && seen.insert(input.as_str()) {
+                    misses.push(input);
+                }
+            }
+        }
+        let fresh =
+            cej_exec::ExecPool::global().parallel_map(&misses, |input| self.invoke_model(input));
+        {
+            let mut write = cache.write();
+            for (input, vector) in misses.iter().zip(fresh) {
+                write.insert((*input).clone(), vector);
+            }
+        }
+        // Assemble in input order.  The first occurrence of each miss is
+        // already accounted as a model call; everything else is a hit,
+        // matching what the serial per-input loop would have counted.
+        let mut first_use: std::collections::HashSet<&str> =
+            misses.iter().map(|s| s.as_str()).collect();
+        let read = cache.read();
+        let mut m = Matrix::zeros(0, 0);
+        for input in inputs {
+            let v = read.get(input.as_str()).expect("filled above");
+            if !first_use.remove(input.as_str()) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            m.push_row(v.as_slice()).expect("consistent dimensions");
+        }
+        m
     }
 }
 

@@ -37,21 +37,34 @@ pub trait Embedder: Send + Sync {
 
     /// Embeds a batch of strings into a row-per-input matrix.
     ///
-    /// The default implementation simply loops; models with real batched
+    /// The default implementation fans the inputs out over the shared
+    /// worker pool ([`cej_exec::ExecPool::global`], sized by `CEJ_THREADS`)
+    /// and reassembles rows in input order, so the result is identical to
+    /// the serial loop for every thread count.  Models with real batched
     /// inference can override it.
     fn embed_batch(&self, inputs: &[String]) -> Matrix {
-        let mut m = Matrix::zeros(0, 0);
-        for input in inputs {
-            let v = self.embed(input);
-            m.push_row(v.as_slice())
-                .expect("embedder produced inconsistent dimensions");
-        }
-        if inputs.is_empty() {
-            Matrix::zeros(0, self.dim())
-        } else {
-            m
-        }
+        embed_batch_with(self.dim(), inputs, |input| self.embed(input))
     }
+}
+
+/// The shared batch-embedding fan-out: maps `embed` over `inputs` on the
+/// global worker pool and reassembles one matrix row per input, in input
+/// order.  Used by the [`Embedder::embed_batch`] default and by wrappers
+/// (e.g. the counting cache) whose per-input closure differs.
+pub(crate) fn embed_batch_with<F>(dim: usize, inputs: &[String], embed: F) -> Matrix
+where
+    F: Fn(&String) -> Vector + Sync,
+{
+    if inputs.is_empty() {
+        return Matrix::zeros(0, dim);
+    }
+    let rows = cej_exec::ExecPool::global().parallel_map(inputs, embed);
+    let mut m = Matrix::zeros(0, 0);
+    for v in rows {
+        m.push_row(v.as_slice())
+            .expect("embedder produced inconsistent dimensions");
+    }
+    m
 }
 
 /// Configuration of [`FastTextModel`].

@@ -31,11 +31,13 @@ pub mod brute_force;
 pub mod error;
 pub mod hnsw;
 pub mod params;
+pub mod recall;
 
 pub use brute_force::BruteForce;
 pub use error::IndexError;
 pub use hnsw::{HnswIndex, ProbeStats, SearchResult};
 pub use params::HnswParams;
+pub use recall::{probe_recall, self_probe_recall};
 
 /// Result alias for the index substrate.
 pub type Result<T> = std::result::Result<T, IndexError>;

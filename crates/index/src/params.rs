@@ -15,6 +15,11 @@ pub struct HnswParams {
     pub ef_construction: usize,
     /// Candidate list size during search (`efSearch`).
     pub ef_search: usize,
+    /// Width of the multi-entry descent beam kept per upper layer during
+    /// search.  `0` (the default) selects the adaptive heuristic
+    /// `(efSearch / 8)` clamped to `1..=16` and widened to cover `k`; any
+    /// positive value is used as-is.
+    pub beam_width: usize,
     /// Similarity metric (the paper builds cosine-distance indexes).
     pub metric: Metric,
     /// Seed for the level generator, fixed for reproducibility.
@@ -36,6 +41,7 @@ impl HnswParams {
             m0: 128,
             ef_construction: 512,
             ef_search: 128,
+            beam_width: 0,
             metric: Metric::Cosine,
             seed: 42,
         }
@@ -49,6 +55,7 @@ impl HnswParams {
             m0: 64,
             ef_construction: 256,
             ef_search: 64,
+            beam_width: 0,
             metric: Metric::Cosine,
             seed: 42,
         }
@@ -61,6 +68,7 @@ impl HnswParams {
             m0: 16,
             ef_construction: 32,
             ef_search: 32,
+            beam_width: 0,
             metric: Metric::Cosine,
             seed: 42,
         }
@@ -76,6 +84,26 @@ impl HnswParams {
     pub fn with_metric(mut self, metric: Metric) -> Self {
         self.metric = metric;
         self
+    }
+
+    /// Sets an explicit multi-entry descent beam width (`0` restores the
+    /// adaptive heuristic).
+    pub fn with_beam_width(mut self, beam_width: usize) -> Self {
+        self.beam_width = beam_width;
+        self
+    }
+
+    /// The descent beam width used by a top-`k` probe: the explicit
+    /// [`HnswParams::beam_width`] when set, otherwise the adaptive
+    /// heuristic `(efSearch / 8).clamp(1, 16)` widened to cover `k` (with
+    /// `efSearch` itself widened to at least `k`, matching the search's
+    /// effective `ef`).
+    pub fn beam_for(&self, k: usize) -> usize {
+        if self.beam_width > 0 {
+            return self.beam_width;
+        }
+        let ef = self.ef_search.max(k);
+        (ef / 8).clamp(1, 16).max(k.min(16))
     }
 
     /// The level-generation normalisation factor `mL = 1 / ln(M)`.
@@ -141,5 +169,45 @@ mod tests {
         assert_eq!(p.ef_search, 7);
         assert_eq!(p.metric, Metric::InnerProduct);
         assert!(p.label().contains("M=8"));
+    }
+
+    #[test]
+    fn default_beam_width_pins_the_original_heuristic() {
+        // The adaptive default must reproduce the hard-coded heuristic the
+        // beam descent shipped with: `(ef / 8).clamp(1, 16).max(k.min(16))`
+        // where `ef = ef_search.max(k)`.
+        for params in [
+            HnswParams::tiny(),
+            HnswParams::low_recall(),
+            HnswParams::high_recall(),
+            HnswParams::tiny().with_ef_search(96),
+        ] {
+            assert_eq!(params.beam_width, 0, "heuristic must be the default");
+            for k in [1, 3, 10, 32, 100] {
+                let ef = params.ef_search.max(k);
+                let expected = (ef / 8).clamp(1, 16).max(k.min(16));
+                assert_eq!(
+                    params.beam_for(k),
+                    expected,
+                    "ef_search={} k={k}",
+                    params.ef_search
+                );
+            }
+        }
+        // Pin two concrete values so a formula change cannot slip through.
+        assert_eq!(HnswParams::low_recall().beam_for(1), 8);
+        assert_eq!(HnswParams::low_recall().with_ef_search(96).beam_for(1), 12);
+    }
+
+    #[test]
+    fn explicit_beam_width_overrides_heuristic() {
+        let p = HnswParams::tiny().with_beam_width(5);
+        assert_eq!(p.beam_for(1), 5);
+        assert_eq!(p.beam_for(100), 5);
+        // zero restores the adaptive behaviour
+        let back = p.with_beam_width(0);
+        assert_eq!(back.beam_for(1), HnswParams::tiny().beam_for(1));
+        // label distinguishes customised params from the presets
+        assert_ne!(HnswParams::low_recall().with_beam_width(4).label(), "Lo");
     }
 }

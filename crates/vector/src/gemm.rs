@@ -12,9 +12,11 @@
 //!   makes for preferring the tensor formulation over per-pair NLJ.
 //! * **kernel selection**: the innermost dot product dispatches through
 //!   [`Kernel`], reproducing the SIMD / NO-SIMD axis.
-//! * **optional multi-threading**: rows of `A` are split across scoped
-//!   threads writing disjoint slices of the output.
+//! * **optional multi-threading**: rows of `A` are split across the shared
+//!   [`cej_exec::ExecPool`] worker pool, each worker writing a disjoint
+//!   slice of the output.
 
+use cej_exec::ExecPool;
 use serde::{Deserialize, Serialize};
 
 use crate::error::VectorError;
@@ -152,19 +154,16 @@ pub fn similarity_matrix(a: &Matrix, b: &Matrix, config: &GemmConfig) -> Result<
             scores,
         });
     }
-    if config.threads <= 1 || a.rows() < config.threads {
-        block_into(
-            a.as_slice(),
-            b.as_slice(),
-            a.rows(),
-            b.rows(),
-            a.cols(),
-            config,
-            &mut scores,
-        );
-    } else {
-        parallel_block_into(a, b, config, &mut scores);
-    }
+    block_into_with_pool(
+        a.as_slice(),
+        b.as_slice(),
+        a.rows(),
+        b.rows(),
+        a.cols(),
+        config,
+        &ExecPool::new(config.threads),
+        &mut scores,
+    );
     Ok(SimilarityMatrix {
         a_rows: a.rows(),
         b_rows: b.rows(),
@@ -215,32 +214,30 @@ pub fn block_into(
     }
 }
 
-/// Multi-threaded variant of [`block_into`] over the rows of `A`.
-fn parallel_block_into(a: &Matrix, b: &Matrix, config: &GemmConfig, out: &mut [f32]) {
-    let threads = config.threads.max(1);
-    let a_rows = a.rows();
-    let b_rows = b.rows();
-    let dim = a.cols();
-    let rows_per_thread = a_rows.div_ceil(threads);
-    let b_slice = b.as_slice();
-    let a_slice = a.as_slice();
-
-    // std's scoped threads (stable since 1.63) propagate worker panics on
-    // join, which is all the crossbeam::scope version relied on.
-    std::thread::scope(|scope| {
-        let mut remaining = out;
-        let mut start = 0usize;
-        while start < a_rows {
-            let end = (start + rows_per_thread).min(a_rows);
-            let rows = end - start;
-            let (chunk, rest) = remaining.split_at_mut(rows * b_rows);
-            remaining = rest;
-            let a_chunk = &a_slice[start * dim..end * dim];
-            scope.spawn(move || {
-                block_into(a_chunk, b_slice, rows, b_rows, dim, config, chunk);
-            });
-            start = end;
-        }
+/// Multi-threaded variant of [`block_into`]: rows of `A` are split into
+/// chunks scheduled on `pool`, each worker filling a disjoint row-aligned
+/// slice of `out` in place (so the caller's memory budget still holds).
+///
+/// With a single-thread pool (or a single row of `A`) this degrades to a
+/// plain [`block_into`] call on the current thread.
+#[allow(clippy::too_many_arguments)]
+pub fn block_into_with_pool(
+    a: &[f32],
+    b: &[f32],
+    a_rows: usize,
+    b_rows: usize,
+    dim: usize,
+    config: &GemmConfig,
+    pool: &ExecPool,
+    out: &mut [f32],
+) {
+    if pool.threads() <= 1 || a_rows < 2 {
+        block_into(a, b, a_rows, b_rows, dim, config, out);
+        return;
+    }
+    pool.parallel_fill(out, a_rows, b_rows, |rows, chunk| {
+        let a_chunk = &a[rows.start * dim..rows.end * dim];
+        block_into(a_chunk, b, rows.len(), b_rows, dim, config, chunk);
     });
 }
 

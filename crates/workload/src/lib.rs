@@ -16,7 +16,9 @@
 //!   scan-vs-index experiments, Figures 15-17),
 //! * [`vectors`] — clustered or uniform random embedding matrices for
 //!   benchmarks that bypass the model (Figures 8-14),
-//! * [`zipf`] — Zipfian frequency skew.
+//! * [`zipf`] — Zipfian frequency skew,
+//! * [`scale`] — the global `CEJ_SCALE` size knob shared by the benchmark
+//!   binaries and the runnable examples.
 //!
 //! Every generator is deterministic given a seed, mirroring the paper's
 //! "same random number generator seed for reproducibility".
@@ -26,12 +28,14 @@
 
 pub mod corpus;
 pub mod relations;
+pub mod scale;
 pub mod vectors;
 pub mod words;
 pub mod zipf;
 
 pub use corpus::CorpusGenerator;
 pub use relations::{JoinWorkload, RelationSpec};
+pub use scale::{scale, scaled};
 pub use vectors::{clustered_matrix, uniform_matrix};
 pub use words::{WordCluster, WordGenerator};
 pub use zipf::Zipf;

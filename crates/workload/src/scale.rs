@@ -1,0 +1,40 @@
+//! The global workload-size knob.
+//!
+//! Every experiment binary and runnable example multiplies its hard-coded
+//! cardinalities by the `CEJ_SCALE` environment variable (default `1.0`), so
+//! the same code serves full-size local runs (`CEJ_SCALE=1`), quick smoke
+//! tests (`CEJ_SCALE=0.01`), and scaled-up stress runs (`CEJ_SCALE=4`).
+
+/// Returns the global size-scale factor (`CEJ_SCALE` environment variable,
+/// default `1.0`).  Non-finite or non-positive values fall back to `1.0`.
+pub fn scale() -> f64 {
+    std::env::var("CEJ_SCALE")
+        .ok()
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Scales a cardinality by the global factor, keeping at least 1.
+pub fn scaled(n: usize) -> usize {
+    ((n as f64) * scale()).round().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_respects_minimum() {
+        // CEJ_SCALE is unset (or sane) in the test environment; whatever its
+        // value, the floor of 1 must hold.
+        assert!(scaled(0) >= 1);
+        assert!(scaled(1) >= 1);
+    }
+
+    #[test]
+    fn scale_is_positive_and_finite() {
+        let s = scale();
+        assert!(s.is_finite() && s > 0.0);
+    }
+}

@@ -11,6 +11,9 @@
 //! ```sh
 //! cargo run --release --example access_path_selection
 //! ```
+//!
+//! Cardinalities honour the global `CEJ_SCALE` knob (e.g. `CEJ_SCALE=0.01`
+//! for a fast smoke run).
 
 use std::time::Instant;
 
@@ -20,15 +23,16 @@ use cej_core::{
 use cej_index::HnswParams;
 use cej_relational::SimilarityPredicate;
 use cej_storage::SelectionBitmap;
-use cej_workload::{clustered_matrix, uniform_matrix};
+use cej_workload::{clustered_matrix, scaled, uniform_matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let inner_rows = 20_000;
-    let outer_rows = 100;
+    let inner_rows = scaled(20_000);
+    let outer_rows = scaled(100);
     let dim = 64;
     let k = 1;
+    println!("inner {inner_rows} x outer {outer_rows} (CEJ_SCALE-adjusted)");
 
     let (inner, _) = clustered_matrix(inner_rows, dim, 64, 0.05, 3);
     let outer = uniform_matrix(outer_rows, dim, 4, true);

@@ -11,6 +11,9 @@
 //! ```sh
 //! cargo run --release --example near_duplicate_detection
 //! ```
+//!
+//! Cardinalities honour the global `CEJ_SCALE` knob (e.g. `CEJ_SCALE=0.01`
+//! for a fast smoke run).
 
 use std::time::Instant;
 
@@ -20,15 +23,18 @@ use cej_core::{
 };
 use cej_index::HnswParams;
 use cej_relational::SimilarityPredicate;
-use cej_workload::clustered_matrix;
+use cej_workload::{clustered_matrix, scaled};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Reference collection: 20k vectors in 64-D, 50 clusters (e.g. known
     // documents); incoming batch: 200 unlabeled items drawn from the same
     // distribution.
-    let (reference, _) = clustered_matrix(20_000, 64, 50, 0.05, 1);
-    let (incoming, _) = clustered_matrix(200, 64, 50, 0.05, 2);
+    let reference_rows = scaled(20_000);
+    let incoming_rows = scaled(200);
+    let (reference, _) = clustered_matrix(reference_rows, 64, 50, 0.05, 1);
+    let (incoming, _) = clustered_matrix(incoming_rows, 64, 50, 0.05, 2);
     let k = 3;
+    println!("reference {reference_rows} x incoming {incoming_rows} (CEJ_SCALE-adjusted)");
 
     // 1. Ask the cost-based advisor which access path it would pick.
     let advisor = AccessPathAdvisor::default();

@@ -7,6 +7,7 @@
 //!
 //! The substrates, bottom-up:
 //!
+//! * [`exec`] — the shared worker-pool execution layer (`CEJ_THREADS`).
 //! * [`vector`] — dense vectors, kernels, tiled GEMM, top-k, partitioning.
 //! * [`storage`] — columnar tables, schemas, selection bitmaps.
 //! * [`embedding`] — FastText-style model, tokenizer, counting cache.
@@ -20,6 +21,7 @@
 
 pub use cej_core as core;
 pub use cej_embedding as embedding;
+pub use cej_exec as exec;
 pub use cej_index as index;
 pub use cej_relational as relational;
 pub use cej_storage as storage;

@@ -2,12 +2,12 @@
 //!
 //! `cargo test` compiles every example alongside the test targets, so compile
 //! rot is always caught.  This test goes one step further and *executes* the
-//! fast examples, asserting on their output so a silent behavioural
-//! regression (e.g. the quickstart matching zero pairs again) fails the
-//! suite.  The two scan-vs-probe examples build multi-thousand-vector HNSW
-//! indexes and are far too slow without optimisations, so they are only
-//! checked for a successfully compiled binary here; CI additionally builds
-//! them in release mode.
+//! examples, asserting on their output so a silent behavioural regression
+//! (e.g. the quickstart matching zero pairs again) fails the suite.  The two
+//! scan-vs-probe examples honour the `CEJ_SCALE` knob, so they are executed
+//! at a drastically reduced scale (they build multi-thousand-vector HNSW
+//! indexes at full size, far too slow without optimisations); CI
+//! additionally runs them in release mode through the bench-smoke job.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -24,10 +24,14 @@ fn examples_dir() -> PathBuf {
     dir.join("examples")
 }
 
-fn run_example(name: &str) -> String {
+fn run_example_with_env(name: &str, env: &[(&str, &str)]) -> String {
     let bin = examples_dir().join(name);
     assert!(bin.exists(), "example binary missing: {}", bin.display());
-    let output = Command::new(&bin).output().expect("example should spawn");
+    let mut cmd = Command::new(&bin);
+    for (key, value) in env {
+        cmd.env(key, value);
+    }
+    let output = cmd.output().expect("example should spawn");
     assert!(
         output.status.success(),
         "example {name} exited with {:?}\nstderr:\n{}",
@@ -35,6 +39,10 @@ fn run_example(name: &str) -> String {
         String::from_utf8_lossy(&output.stderr)
     );
     String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn run_example(name: &str) -> String {
+    run_example_with_env(name, &[])
 }
 
 #[test]
@@ -71,12 +79,34 @@ fn data_cleaning_runs_with_high_accuracy() {
 }
 
 #[test]
-fn slow_examples_compiled() {
-    // Too slow to execute unoptimised (HNSW build over thousands of vectors);
-    // their continued compilation is still asserted so they cannot rot out of
-    // the build graph unnoticed.
-    for name in ["near_duplicate_detection", "access_path_selection"] {
-        let bin = examples_dir().join(name);
-        assert!(bin.exists(), "example binary missing: {}", bin.display());
+fn near_duplicate_detection_runs_at_reduced_scale() {
+    let stdout = run_example_with_env("near_duplicate_detection", &[("CEJ_SCALE", "0.01")]);
+    assert!(
+        stdout.contains("reference 200 x incoming 2"),
+        "CEJ_SCALE was not honoured:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("advisor:"),
+        "missing advisor line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("index build time"),
+        "missing index build report:\n{stdout}"
+    );
+}
+
+#[test]
+fn access_path_selection_runs_at_reduced_scale() {
+    let stdout = run_example_with_env("access_path_selection", &[("CEJ_SCALE", "0.01")]);
+    assert!(
+        stdout.contains("inner 200 x outer 1"),
+        "CEJ_SCALE was not honoured:\n{stdout}"
+    );
+    // One row per selectivity point of the sweep.
+    for selectivity in ["10%", "25%", "50%", "75%", "100%"] {
+        assert!(
+            stdout.contains(selectivity),
+            "missing {selectivity} row:\n{stdout}"
+        );
     }
 }
