@@ -1,0 +1,101 @@
+//! Maps the `beam_width × efSearch` cost/recall surface of the HNSW probe
+//! on the cross-distribution workload (reference and probe vectors drawn
+//! from *different* clustered distributions, as in `hnsw_build`) — the
+//! ROADMAP follow-up to the beam-width knob introduced with the execution
+//! layer.
+//!
+//! One graph is built once (construction parameters are independent of the
+//! sweep); each `(efSearch, beam)` cell then re-probes it via
+//! [`HnswIndex::set_search_params`], reporting top-k recall against the
+//! exact scan, distance computations per probe (the cost model's currency),
+//! and wall-clock per probe.
+//!
+//! ```sh
+//! CEJ_SCALE=0.25 cargo run --release -p cej-bench --bin beam_sweep
+//! ```
+//!
+//! With `CEJ_REPORT=<path>` every cell is also written as JSON
+//! (`ef{E}_beam{B}_recall` / `_dist` / `_us`).
+
+use std::time::Instant;
+
+use cej_bench::harness::{header, print_table, scaled};
+use cej_bench::report::Report;
+use cej_index::{BruteForce, HnswIndex, HnswParams};
+use cej_workload::clustered_matrix;
+
+const EF_SEARCH: [usize; 4] = [16, 32, 64, 128];
+const BEAM: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn main() {
+    header(
+        "Beam-sweep",
+        "beam_width x efSearch cost/recall curve on the cross-distribution probe workload",
+    );
+    let n = scaled(20_000);
+    let probes = scaled(200);
+    let dim = 64;
+    let k = 3;
+    let (reference, _) = clustered_matrix(n, dim, 50, 0.05, 1);
+    let (incoming, _) = clustered_matrix(probes, dim, 50, 0.05, 2);
+
+    let mut index = HnswIndex::build(reference.clone(), HnswParams::low_recall()).unwrap();
+    let exact = BruteForce::new(reference.clone(), index.params().metric);
+    // ground truth once per probe, reused by every sweep cell
+    let truth: Vec<Vec<usize>> = (0..incoming.rows())
+        .map(|row| {
+            exact
+                .search(incoming.row(row).unwrap(), k, None)
+                .unwrap()
+                .iter()
+                .map(|e| e.id)
+                .collect()
+        })
+        .collect();
+
+    let mut report = Report::new("beam_sweep");
+    report.push_value("n", n as f64);
+    report.push_value("probes", probes as f64);
+    report.push_value("k", k as f64);
+
+    let mut rows = Vec::new();
+    for ef in EF_SEARCH {
+        for beam in BEAM {
+            index.set_search_params(ef, beam);
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            let mut distances = 0u64;
+            let start = Instant::now();
+            for (row, expected) in truth.iter().enumerate() {
+                let result = index.search(incoming.row(row).unwrap(), k, None).unwrap();
+                distances += result.stats.distance_computations;
+                hits += result
+                    .neighbors
+                    .iter()
+                    .filter(|e| expected.contains(&e.id))
+                    .count();
+                total += expected.len();
+            }
+            let elapsed = start.elapsed();
+            let recall = hits as f64 / total.max(1) as f64;
+            let dist_per_probe = distances as f64 / incoming.rows().max(1) as f64;
+            let us_per_probe = elapsed.as_secs_f64() * 1e6 / incoming.rows().max(1) as f64;
+            rows.push(vec![
+                format!("{ef}"),
+                format!("{beam}"),
+                format!("{recall:.4}"),
+                format!("{dist_per_probe:.0}"),
+                format!("{us_per_probe:.1}"),
+            ]);
+            report.push_value(&format!("ef{ef}_beam{beam}_recall"), recall);
+            report.push_value(&format!("ef{ef}_beam{beam}_dist"), dist_per_probe);
+            report.push_value(&format!("ef{ef}_beam{beam}_us"), us_per_probe);
+        }
+    }
+    println!("n={n} dim={dim} probes={probes} k={k} (graph: M=32, efC=256, built once)");
+    print_table(
+        &["efSearch", "beam", "recall@3", "dist/probe", "us/probe"],
+        &rows,
+    );
+    report.write_if_requested();
+}

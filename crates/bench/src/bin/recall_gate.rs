@@ -1,0 +1,80 @@
+//! CI recall-regression gate.
+//!
+//! Compares the probe-recall entries of a freshly produced `hnsw_build.json`
+//! report against a checked-in baseline and exits non-zero when recall
+//! dropped by more than the tolerance (default 0.02).  Build *times* are
+//! deliberately ignored — they are too noisy on shared runners — but recall
+//! of the seeded, thread-count-deterministic construction is stable, so a
+//! drop means the graph quality actually regressed.
+//!
+//! ```sh
+//! recall_gate <current.json> <baseline.json> [max_drop]
+//! ```
+//!
+//! The baseline lives at `ci/hnsw_recall_baseline.json`; refresh it by
+//! running the `hnsw_build` bench at the CI scale and copying the report:
+//! `CEJ_SCALE=0.05 CEJ_REPORT=ci/hnsw_recall_baseline.json cargo run
+//! --release -p cej-bench --bin hnsw_build`.
+
+use std::process::ExitCode;
+
+const RECALL_KEYS: [&str; 2] = ["sequential_recall", "pool_recall"];
+const DEFAULT_MAX_DROP: f64 = 0.02;
+
+/// Extracts `"key":<number>` from the flat JSON the bench reports emit.
+/// Returns `None` when the key is absent or its value is not a number.
+fn extract(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (current_path, baseline_path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(b)) => (c, b),
+        _ => {
+            eprintln!("usage: recall_gate <current.json> <baseline.json> [max_drop]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let max_drop: f64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_MAX_DROP);
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("recall_gate: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(current), Some(baseline)) = (read(current_path), read(baseline_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let mut failed = false;
+    for key in RECALL_KEYS {
+        let (Some(new), Some(old)) = (extract(&current, key), extract(&baseline, key)) else {
+            eprintln!("recall_gate: key {key} missing from one of the reports");
+            failed = true;
+            continue;
+        };
+        let drop = old - new;
+        let verdict = if drop > max_drop { "FAIL" } else { "ok" };
+        println!("{key}: baseline {old:.4}, current {new:.4}, drop {drop:+.4} [{verdict}]");
+        if drop > max_drop {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("recall_gate: recall regressed by more than {max_drop} — failing");
+        ExitCode::FAILURE
+    } else {
+        println!("recall_gate: within tolerance ({max_drop})");
+        ExitCode::SUCCESS
+    }
+}

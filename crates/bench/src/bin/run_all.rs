@@ -6,12 +6,16 @@
 //! is written as well — the artifact the CI bench-smoke job archives on
 //! every run.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cej_bench::experiments::{self, DIM};
 use cej_bench::harness::{fmt_ms, header, print_table, scaled};
 use cej_bench::report::Report;
-use cej_relational::SimilarityPredicate;
+use cej_core::{ContextJoinSession, IndexJoinConfig, JoinStrategy};
+use cej_embedding::{FastTextConfig, FastTextModel};
+use cej_index::HnswParams;
+use cej_relational::{LogicalPlan, SimilarityPredicate};
+use cej_workload::{JoinWorkload, RelationSpec};
 
 fn main() {
     header(
@@ -163,5 +167,87 @@ fn main() {
         }
     });
 
+    let mut prepared_values: Vec<(&'static str, f64)> = Vec::new();
+    section(&mut report, "prepared_repeat", &mut || {
+        println!("\n--- Prepared queries: cold vs warm (same join executed 10x) ---");
+        prepared_values = prepared_repeat(scaled(200), scaled(2_000), 10);
+    });
+    for (name, value) in prepared_values {
+        report.push_value(name, value);
+    }
+
     report.write_if_requested();
+}
+
+/// The plan-once / execute-many experiment: the same index join runs
+/// `runs` times through one [`cej_core::PreparedQuery`].  The first (cold)
+/// execution pays embedding prefetch and the HNSW build; every warm
+/// execution reuses the session's embedding cache and the persistent index,
+/// so the cold/warm gap is exactly the amortised per-query planning and
+/// build cost.
+fn prepared_repeat(outer_rows: usize, inner_rows: usize, runs: usize) -> Vec<(&'static str, f64)> {
+    let workload = JoinWorkload::generate(
+        RelationSpec::with_rows(outer_rows.max(2)),
+        RelationSpec::with_rows(inner_rows.max(2)),
+        77,
+    );
+    let model = FastTextModel::new(FastTextConfig {
+        dim: DIM,
+        ..FastTextConfig::default()
+    })
+    .expect("model construction");
+    let mut session = ContextJoinSession::new();
+    session.register_table("r", workload.outer.clone());
+    session.register_table("s", workload.inner.clone());
+    session.register_model("ft", model);
+    session.with_strategy(JoinStrategy::Index(IndexJoinConfig {
+        params: HnswParams::tiny(),
+        range_probe_k: 8,
+    }));
+
+    let plan = LogicalPlan::e_join(
+        LogicalPlan::scan("r"),
+        LogicalPlan::scan("s"),
+        "word",
+        "word",
+        "ft",
+        SimilarityPredicate::TopK(1),
+    );
+    let prepared = session.prepare(&plan).expect("plan");
+
+    let start = Instant::now();
+    let cold_report = prepared.run().expect("cold run");
+    let cold = start.elapsed();
+    assert_eq!(cold_report.index_builds, 1, "cold run must build the index");
+
+    let mut warm_total = Duration::ZERO;
+    let mut warm_min = Duration::MAX;
+    for _ in 1..runs.max(2) {
+        let start = Instant::now();
+        let warm_report = prepared.run().expect("warm run");
+        let elapsed = start.elapsed();
+        assert_eq!(warm_report.index_builds, 0, "warm runs must not build");
+        warm_total += elapsed;
+        warm_min = warm_min.min(elapsed);
+    }
+    let warm_runs = (runs.max(2) - 1) as u32;
+    let warm_avg = warm_total / warm_runs;
+    let speedup = cold.as_secs_f64() / warm_avg.as_secs_f64().max(1e-9);
+    println!(
+        "index join {}x{} (top-1): cold {} (1 HNSW build, {} model calls), \
+         warm avg {} / min {} over {warm_runs} runs (speedup {speedup:.1}x, \
+         0 model calls, 0 HNSW builds)",
+        outer_rows,
+        inner_rows,
+        fmt_ms(cold),
+        cold_report.embedding_stats.model_calls,
+        fmt_ms(warm_avg),
+        fmt_ms(warm_min),
+    );
+    vec![
+        ("prepared_cold_ms", cold.as_secs_f64() * 1e3),
+        ("prepared_warm_avg_ms", warm_avg.as_secs_f64() * 1e3),
+        ("prepared_warm_min_ms", warm_min.as_secs_f64() * 1e3),
+        ("prepared_speedup", speedup),
+    ]
 }

@@ -1,0 +1,543 @@
+//! Execution of [`PhysicalPlan`] trees against session-owned shared state.
+//!
+//! The executor is deliberately dumb: every decision (operator choice, access
+//! path, persistent-vs-ephemeral index) was already made by the
+//! [`crate::planner::Planner`] and is recorded in the plan, so executing the
+//! same [`PhysicalPlan`] twice performs the same physical work — minus
+//! whatever the shared state already holds:
+//!
+//! * [`EmbeddingCachePool`] — one counting [`CachedEmbedder`] per model,
+//!   owned by the session and shared by every query, so repeated executions
+//!   re-pay zero model calls for already-embedded strings;
+//! * [`crate::index_manager::IndexManager`] — persistent HNSW indexes keyed
+//!   by `(table, column, model, params)`, so warm index-join runs perform no
+//!   HNSW construction at all.
+//!
+//! Per-run statistics ([`RunStats`]) are reported as *deltas* over the shared
+//! counters, so `ExecutionReport::embedding_stats` keeps its familiar
+//! meaning: model calls paid by *this* execution.
+
+use cej_embedding::{CachedEmbedder, Embedder, EmbeddingStats};
+use cej_relational::{eval::evaluate_predicate, physical::ModelRegistry, Catalog};
+use cej_storage::{Column, Field, Schema, SelectionBitmap, Table};
+use cej_vector::Vector;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::access_path::AccessPath;
+use crate::error::CoreError;
+use crate::join::embed_all;
+use crate::join::index_join::IndexJoin;
+use crate::join::naive_nlj::NaiveNlJoin;
+use crate::join::prefetch_nlj::PrefetchNlJoin;
+use crate::join::tensor_join::TensorJoin;
+use crate::physical_plan::{InnerInput, JoinNode, PhysicalJoinOp, PhysicalPlan};
+use crate::result::{JoinResult, JoinStats};
+use crate::Result;
+
+/// Adapter so a shared `Arc<dyn Embedder>` can be wrapped by
+/// [`CachedEmbedder`] (which needs an owned `Embedder`).
+pub struct SharedEmbedder(Arc<dyn Embedder>);
+
+impl Embedder for SharedEmbedder {
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+    fn embed(&self, input: &str) -> Vector {
+        self.0.embed(input)
+    }
+}
+
+/// The concrete cache type the pool hands out: a counting, memoising wrapper
+/// around a registry model.
+pub type SharedCache = CachedEmbedder<SharedEmbedder>;
+
+/// Session-owned pool of per-model embedding caches.
+///
+/// The cache for a model survives across queries (and is shared with every
+/// prepared query), which is what makes warm executions free of model calls;
+/// it is dropped when the model is re-registered.
+#[derive(Default)]
+pub struct EmbeddingCachePool {
+    caches: RwLock<HashMap<String, Arc<SharedCache>>>,
+}
+
+impl std::fmt::Debug for EmbeddingCachePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbeddingCachePool")
+            .field("models", &self.caches.read().keys().len())
+            .finish()
+    }
+}
+
+impl EmbeddingCachePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared cache for `model`, creating it from the registry on first
+    /// use.
+    ///
+    /// # Errors
+    /// Returns [`cej_relational::RelationalError::UnknownModel`] (wrapped)
+    /// when the registry has no such model.
+    pub fn cache(&self, model: &str, registry: &ModelRegistry) -> Result<Arc<SharedCache>> {
+        if let Some(cache) = self.caches.read().get(model) {
+            return Ok(cache.clone());
+        }
+        let resolved = registry.model(model).map_err(CoreError::from)?;
+        let cache = Arc::new(CachedEmbedder::new(SharedEmbedder(resolved)));
+        let mut write = self.caches.write();
+        Ok(write.entry(model.to_string()).or_insert(cache).clone())
+    }
+
+    /// Drops the cache of one model (used when the model is re-registered,
+    /// because memoised vectors came from the old model).
+    pub fn invalidate(&self, model: &str) {
+        self.caches.write().remove(model);
+    }
+
+    /// Drops every cache.
+    pub fn clear(&self) {
+        self.caches.write().clear();
+    }
+
+    /// Aggregate counters over every per-model cache.
+    pub fn stats(&self) -> EmbeddingStats {
+        let read = self.caches.read();
+        let mut total = EmbeddingStats::default();
+        for cache in read.values() {
+            let s = cache.stats();
+            total.model_calls += s.model_calls;
+            total.cache_hits += s.cache_hits;
+        }
+        total
+    }
+
+    /// Total number of memoised embeddings across all models.
+    pub fn cached_entries(&self) -> usize {
+        self.caches
+            .read()
+            .values()
+            .map(|c| c.cached_entries())
+            .sum()
+    }
+}
+
+/// Everything a [`PhysicalPlan`] needs to execute: the catalog, the model
+/// registry, and the session-owned shared caches.  All references — a
+/// context is cheap to construct per run and holds no per-query state.
+pub struct ExecContext<'s> {
+    /// Table catalog to scan from.
+    pub catalog: &'s Catalog,
+    /// Model registry plans resolve model names against.
+    pub registry: &'s ModelRegistry,
+    /// Shared per-model embedding caches.
+    pub embeddings: &'s EmbeddingCachePool,
+    /// Shared persistent HNSW indexes.
+    pub indexes: &'s crate::index_manager::IndexManager,
+}
+
+/// Statistics of one plan execution (deltas over the shared caches).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Operator-level statistics of the (outermost) join.
+    pub join_stats: JoinStats,
+    /// Model access performed by this run (cache deltas, summed over joins).
+    pub embedding_stats: EmbeddingStats,
+    /// The access path executed (None when the plan had no join).
+    pub access_path: Option<AccessPath>,
+    /// Number of joined pairs of the (outermost) join.
+    pub matched_pairs: usize,
+    /// HNSW indexes built during this run (cold index joins).
+    pub index_builds: u64,
+    /// Persistent HNSW indexes reused during this run (warm index joins).
+    pub index_reuses: u64,
+}
+
+/// The outcome of executing a physical plan.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// The materialised output table.
+    pub table: Table,
+    /// Execution statistics.
+    pub stats: RunStats,
+}
+
+impl PhysicalPlan {
+    /// Executes the plan against the given context.
+    ///
+    /// # Errors
+    /// Propagates catalog, evaluation, embedding, index, and join errors.
+    pub fn execute(&self, ctx: &ExecContext<'_>) -> Result<ExecOutcome> {
+        let mut stats = RunStats::default();
+        let table = execute_node(self, ctx, &mut stats)?;
+        Ok(ExecOutcome { table, stats })
+    }
+}
+
+fn execute_node(plan: &PhysicalPlan, ctx: &ExecContext<'_>, stats: &mut RunStats) -> Result<Table> {
+    match plan {
+        PhysicalPlan::TableScan { table, .. } => Ok(ctx
+            .catalog
+            .table(table)
+            .map_err(CoreError::from)?
+            .as_ref()
+            .clone()),
+        PhysicalPlan::Filter {
+            predicate, input, ..
+        } => {
+            let table = execute_node(input, ctx, stats)?;
+            let selection = evaluate_predicate(predicate, &table).map_err(CoreError::from)?;
+            table.filter(&selection).map_err(CoreError::from)
+        }
+        PhysicalPlan::Project { columns, input, .. } => {
+            let table = execute_node(input, ctx, stats)?;
+            let names: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+            table.project(&names).map_err(CoreError::from)
+        }
+        PhysicalPlan::Embed { spec, input, .. } => {
+            let table = execute_node(input, ctx, stats)?;
+            // Route `E_µ` through the shared per-model cache (not the raw
+            // registry model) so warm prepared runs re-pay nothing and the
+            // calls show up in the run's embedding stats.
+            let cache = ctx.embeddings.cache(&spec.model, ctx.registry)?;
+            let before = cache.stats();
+            let strings = table
+                .column_by_name(&spec.input_column)
+                .map_err(CoreError::from)?
+                .as_utf8()?;
+            let matrix = embed_all(cache.as_ref(), strings)?;
+            let after = cache.stats();
+            stats.embedding_stats.model_calls += after.model_calls - before.model_calls;
+            stats.embedding_stats.cache_hits += after.cache_hits - before.cache_hits;
+            table
+                .with_column(&spec.output_column, Column::Vector(matrix))
+                .map_err(CoreError::from)
+        }
+        PhysicalPlan::Join(node) => execute_join(node, ctx, stats),
+    }
+}
+
+fn execute_join(node: &JoinNode, ctx: &ExecContext<'_>, stats: &mut RunStats) -> Result<Table> {
+    let outer_table = execute_node(&node.outer, ctx, stats)?;
+    let left_strings = outer_table
+        .column_by_name(&node.left_column)
+        .map_err(CoreError::from)?
+        .as_utf8()?;
+
+    // Materialise the inner subplan (if any) *before* snapshotting the cache
+    // counters: a nested join or embed inside it accounts for its own model
+    // calls, and this join's delta must not double-count them.
+    let materialized_inner = match &node.inner {
+        InnerInput::Plan(inner) => Some(execute_node(inner, ctx, stats)?),
+        InnerInput::Indexed(_) => None,
+    };
+
+    let cache = ctx.embeddings.cache(&node.model, ctx.registry)?;
+    let before = cache.stats();
+
+    let (result, right_view) = match (&node.op, &node.inner) {
+        (PhysicalJoinOp::Index(config), InnerInput::Indexed(indexed)) => {
+            let base = ctx
+                .catalog
+                .table(&indexed.key.table)
+                .map_err(CoreError::from)?;
+            let inner_strings = base
+                .column_by_name(&indexed.key.column)
+                .map_err(CoreError::from)?
+                .as_utf8()?;
+            let join = IndexJoin::new(*config);
+            let (index, built) = ctx.indexes.get_or_build(&indexed.key, || {
+                let matrix = embed_all(cache.as_ref(), inner_strings)?;
+                join.build_index(&matrix)
+            })?;
+            if built {
+                stats.index_builds += 1;
+            } else {
+                stats.index_reuses += 1;
+            }
+
+            let mut inner_filter: Option<SelectionBitmap> = None;
+            for expr in &indexed.filters {
+                let bitmap = evaluate_predicate(expr, &base).map_err(CoreError::from)?;
+                inner_filter = Some(match inner_filter {
+                    None => bitmap,
+                    Some(acc) => acc.and(&bitmap).map_err(CoreError::from)?,
+                });
+            }
+
+            let outer_matrix = embed_all(cache.as_ref(), left_strings)?;
+            let result = join.probe_join(
+                &outer_matrix,
+                &index,
+                node.predicate,
+                None,
+                inner_filter.as_ref(),
+            )?;
+            let right_view = match &indexed.projection {
+                Some(columns) => {
+                    let names: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+                    base.project(&names).map_err(CoreError::from)?
+                }
+                None => base.as_ref().clone(),
+            };
+            (result, right_view)
+        }
+        (op, InnerInput::Plan(_)) => {
+            let inner_table = materialized_inner.expect("materialised above");
+            let right_strings = inner_table
+                .column_by_name(&node.right_column)
+                .map_err(CoreError::from)?
+                .as_utf8()?;
+            let model: &dyn Embedder = cache.as_ref();
+            let result = match op {
+                PhysicalJoinOp::NaiveNlj => {
+                    NaiveNlJoin::new().join(model, left_strings, right_strings, node.predicate)?
+                }
+                PhysicalJoinOp::PrefetchNlj(config) => PrefetchNlJoin::new(*config).join(
+                    model,
+                    left_strings,
+                    right_strings,
+                    node.predicate,
+                )?,
+                PhysicalJoinOp::Tensor(config) => TensorJoin::new(*config).join(
+                    model,
+                    left_strings,
+                    right_strings,
+                    node.predicate,
+                )?,
+                PhysicalJoinOp::Index(config) => {
+                    stats.index_builds += 1;
+                    IndexJoin::new(*config).join(
+                        model,
+                        left_strings,
+                        right_strings,
+                        node.predicate,
+                    )?
+                }
+            };
+            (result, inner_table)
+        }
+        (op, InnerInput::Indexed(_)) => {
+            return Err(CoreError::InvalidInput(format!(
+                "planner bug: {} cannot consume a persistent-index inner input",
+                op.name()
+            )))
+        }
+    };
+
+    let after = cache.stats();
+    let delta = EmbeddingStats {
+        model_calls: after.model_calls - before.model_calls,
+        cache_hits: after.cache_hits - before.cache_hits,
+    };
+    stats.embedding_stats.model_calls += delta.model_calls;
+    stats.embedding_stats.cache_hits += delta.cache_hits;
+
+    let mut join_stats = result.stats;
+    join_stats.model_calls = delta.model_calls;
+    stats.join_stats = join_stats;
+    stats.access_path = Some(node.access_path);
+    stats.matched_pairs = result.len();
+
+    materialize_output(&outer_table, &right_view, &result)
+}
+
+/// Builds the join output table: `l_*` columns, `r_*` columns, `similarity`.
+pub(crate) fn materialize_output(
+    left: &Table,
+    right: &Table,
+    result: &JoinResult,
+) -> Result<Table> {
+    let pairs = result.sorted_pairs();
+    let left_indices: Vec<usize> = pairs.iter().map(|p| p.left).collect();
+    let right_indices: Vec<usize> = pairs.iter().map(|p| p.right).collect();
+    let scores: Vec<f64> = pairs.iter().map(|p| p.score as f64).collect();
+
+    let left_taken = left.take(&left_indices).map_err(CoreError::from)?;
+    let right_taken = right.take(&right_indices).map_err(CoreError::from)?;
+
+    let mut fields: Vec<Field> = Vec::new();
+    let mut columns: Vec<Column> = Vec::new();
+    for (field, column) in left_taken
+        .schema()
+        .fields()
+        .iter()
+        .zip(left_taken.columns())
+    {
+        fields.push(Field::new(format!("l_{}", field.name), field.data_type));
+        columns.push(column.clone());
+    }
+    for (field, column) in right_taken
+        .schema()
+        .fields()
+        .iter()
+        .zip(right_taken.columns())
+    {
+        fields.push(Field::new(format!("r_{}", field.name), field.data_type));
+        columns.push(column.clone());
+    }
+    fields.push(Field::new("similarity", cej_storage::DataType::Float64));
+    columns.push(Column::Float64(scores));
+
+    let schema = Schema::new(fields).map_err(CoreError::from)?;
+    Table::new(schema, columns).map_err(CoreError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access_path::AccessPathAdvisor;
+    use crate::index_manager::IndexManager;
+    use crate::planner::Planner;
+    use crate::session::JoinStrategy;
+    use cej_embedding::{FastTextConfig, FastTextModel};
+    use cej_relational::{col, lit_i64, EmbedSpec, LogicalPlan};
+    use cej_storage::TableBuilder;
+
+    struct Fixture {
+        catalog: Catalog,
+        registry: ModelRegistry,
+        embeddings: EmbeddingCachePool,
+        indexes: IndexManager,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let mut catalog = Catalog::new();
+            catalog.register(
+                "photos",
+                TableBuilder::new()
+                    .int64("id", vec![1, 2, 3])
+                    .utf8(
+                        "caption",
+                        vec!["bbq party".into(), "database talk".into(), "grill".into()],
+                    )
+                    .build()
+                    .unwrap(),
+            );
+            let mut registry = ModelRegistry::new();
+            let model = FastTextModel::new(FastTextConfig {
+                dim: 16,
+                buckets: 1000,
+                ..FastTextConfig::default()
+            })
+            .unwrap();
+            registry.register("fasttext", Arc::new(model));
+            Self {
+                catalog,
+                registry,
+                embeddings: EmbeddingCachePool::new(),
+                indexes: IndexManager::new(),
+            }
+        }
+
+        fn ctx(&self) -> ExecContext<'_> {
+            ExecContext {
+                catalog: &self.catalog,
+                registry: &self.registry,
+                embeddings: &self.embeddings,
+                indexes: &self.indexes,
+            }
+        }
+
+        fn run(&self, plan: &LogicalPlan) -> Result<ExecOutcome> {
+            let planner = Planner::new(AccessPathAdvisor::default(), JoinStrategy::Auto);
+            let physical = planner.plan(plan, &self.catalog, &self.registry, &self.indexes)?;
+            physical.execute(&self.ctx())
+        }
+    }
+
+    #[test]
+    fn scan_filter_project_execute() {
+        let f = Fixture::new();
+        let plan = LogicalPlan::scan("photos")
+            .select(col("id").gt(lit_i64(1)))
+            .project(&["caption"]);
+        let out = f.run(&plan).unwrap();
+        assert_eq!(out.table.num_rows(), 2);
+        assert_eq!(out.table.num_columns(), 1);
+        assert!(out.stats.access_path.is_none());
+    }
+
+    #[test]
+    fn embed_node_appends_vector_column_through_the_shared_cache() {
+        let f = Fixture::new();
+        let plan = LogicalPlan::scan("photos").embed(EmbedSpec::new("caption", "fasttext"));
+        let out = f.run(&plan).unwrap();
+        assert_eq!(out.table.num_columns(), 3);
+        assert!(out.table.schema().field("caption_emb").is_ok());
+        // the embed operator pays one model call per distinct string...
+        assert_eq!(out.stats.embedding_stats.model_calls, 3);
+        // ...and a warm re-run of the same plan pays none
+        let warm = f.run(&plan).unwrap();
+        assert_eq!(warm.stats.embedding_stats.model_calls, 0);
+        assert_eq!(warm.table.num_columns(), 3);
+    }
+
+    #[test]
+    fn nested_join_model_calls_are_not_double_counted() {
+        let f = Fixture::new();
+        // inner side is itself an EJoin; its model calls must be counted once
+        let inner = LogicalPlan::e_join(
+            LogicalPlan::scan("photos"),
+            LogicalPlan::scan("photos"),
+            "caption",
+            "caption",
+            "fasttext",
+            cej_relational::SimilarityPredicate::TopK(1),
+        );
+        let plan = LogicalPlan::e_join(
+            LogicalPlan::scan("photos"),
+            inner,
+            "caption",
+            "l_caption",
+            "fasttext",
+            cej_relational::SimilarityPredicate::TopK(1),
+        );
+        let out = f.run(&plan).unwrap();
+        // 3 distinct captions across every side: exactly 3 real model calls
+        assert_eq!(out.stats.embedding_stats.model_calls, 3);
+    }
+
+    #[test]
+    fn cache_pool_shares_and_invalidates() {
+        let f = Fixture::new();
+        let a = f.embeddings.cache("fasttext", &f.registry).unwrap();
+        let b = f.embeddings.cache("fasttext", &f.registry).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(f.embeddings.cache("missing", &f.registry).is_err());
+        a.embed("hello");
+        assert_eq!(f.embeddings.stats().model_calls, 1);
+        assert_eq!(f.embeddings.cached_entries(), 1);
+        f.embeddings.invalidate("fasttext");
+        let c = f.embeddings.cache("fasttext", &f.registry).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(f.embeddings.cached_entries(), 0);
+        f.embeddings.clear();
+        assert_eq!(f.embeddings.stats().model_calls, 0);
+        assert!(format!("{:?}", f.embeddings).contains("EmbeddingCachePool"));
+    }
+
+    #[test]
+    fn self_join_via_planner_reports_delta_stats() {
+        let f = Fixture::new();
+        let plan = LogicalPlan::e_join(
+            LogicalPlan::scan("photos"),
+            LogicalPlan::scan("photos"),
+            "caption",
+            "caption",
+            "fasttext",
+            cej_relational::SimilarityPredicate::TopK(1),
+        );
+        let cold = f.run(&plan).unwrap();
+        assert_eq!(cold.stats.embedding_stats.model_calls, 3);
+        assert_eq!(cold.stats.matched_pairs, 3);
+        let warm = f.run(&plan).unwrap();
+        assert_eq!(warm.stats.embedding_stats.model_calls, 0);
+        assert!(warm.stats.embedding_stats.cache_hits > 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Session-owned registry of persistent HNSW indexes.
+//!
+//! The paper's index-join analysis (Section IV-B) charges the HNSW build
+//! cost against the probe path only "when no index exists" — which assumes an
+//! engine that can *keep* an index across queries.  [`IndexManager`] is that
+//! piece: it caches built [`HnswIndex`] handles keyed by
+//! [`IndexKey`] `(table, column, model, params)` so a prepared query probes
+//! the same graph on every execution instead of rebuilding it, and it
+//! invalidates all indexes of a table when the table is re-registered.
+//!
+//! All methods take `&self` (interior mutability) so the cache can be shared
+//! between a session and any number of live
+//! [`crate::prepared::PreparedQuery`] handles.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cej_index::{HnswIndex, HnswParams};
+use parking_lot::RwLock;
+
+use crate::Result;
+
+/// Identity of a persistent index: which base-table column it covers, under
+/// which embedding model, built with which HNSW parameters.
+///
+/// Two queries share an index handle exactly when all four components agree;
+/// [`HnswParams`] is part of the key because both the graph structure
+/// (`M`, `efConstruction`, metric, seed) and the probe behaviour
+/// (`efSearch`, beam width) are baked into a built [`HnswIndex`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IndexKey {
+    /// Catalog name of the indexed base table.
+    pub table: String,
+    /// The context-rich string column the embeddings were derived from.
+    pub column: String,
+    /// Name of the embedding model in the session's registry.
+    pub model: String,
+    /// HNSW build/search parameters.
+    pub params: HnswParams,
+}
+
+impl IndexKey {
+    /// Creates a key.
+    pub fn new(table: &str, column: &str, model: &str, params: HnswParams) -> Self {
+        Self {
+            table: table.to_string(),
+            column: column.to_string(),
+            model: model.to_string(),
+            params,
+        }
+    }
+
+    /// Short `table.column/model` label for plan rendering.
+    pub fn label(&self) -> String {
+        format!("{}.{}/{}", self.table, self.column, self.model)
+    }
+}
+
+/// Cumulative counters of the manager's activity, observable by tests and
+/// benchmarks (the "zero HNSW inserts on a warm run" guarantee is asserted
+/// through [`IndexManagerStats::builds`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexManagerStats {
+    /// Number of indexes built (cache misses).
+    pub builds: u64,
+    /// Number of lookups served by an already-built index.
+    pub hits: u64,
+    /// Number of indexes dropped by table re-registration.
+    pub invalidations: u64,
+    /// Number of indexes currently resident.
+    pub resident: usize,
+}
+
+/// The session-owned cache of built [`HnswIndex`] handles.
+#[derive(Default)]
+pub struct IndexManager {
+    indexes: RwLock<HashMap<IndexKey, Arc<HnswIndex>>>,
+    builds: AtomicU64,
+    hits: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl std::fmt::Debug for IndexManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("IndexManager")
+            .field("resident", &stats.resident)
+            .field("builds", &stats.builds)
+            .field("hits", &stats.hits)
+            .field("invalidations", &stats.invalidations)
+            .finish()
+    }
+}
+
+impl IndexManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether an index for `key` is resident.
+    pub fn contains(&self, key: &IndexKey) -> bool {
+        self.indexes.read().contains_key(key)
+    }
+
+    /// The resident index for `key`, if any (does not count as a hit).
+    pub fn get(&self, key: &IndexKey) -> Option<Arc<HnswIndex>> {
+        self.indexes.read().get(key).cloned()
+    }
+
+    /// Returns the resident index for `key`, building (and caching) it with
+    /// `build` on a miss.  The boolean is `true` when the index was built by
+    /// this call.
+    ///
+    /// The build runs outside the lock; if two threads race on the same key
+    /// the first inserted handle wins and both callers observe it.
+    ///
+    /// # Errors
+    /// Propagates errors from `build`.
+    pub fn get_or_build(
+        &self,
+        key: &IndexKey,
+        build: impl FnOnce() -> Result<HnswIndex>,
+    ) -> Result<(Arc<HnswIndex>, bool)> {
+        if let Some(index) = self.indexes.read().get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((index.clone(), false));
+        }
+        let built = Arc::new(build()?);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let mut write = self.indexes.write();
+        let resident = write.entry(key.clone()).or_insert_with(|| built.clone());
+        Ok((resident.clone(), true))
+    }
+
+    /// Drops every index over `table` (called when the table is
+    /// re-registered, because resident graphs embed the old rows).  Returns
+    /// the number of indexes dropped.
+    pub fn invalidate_table(&self, table: &str) -> usize {
+        self.invalidate_where(|key| key.table == table)
+    }
+
+    /// Drops every index built with `model` (called when the model is
+    /// re-registered, because resident graphs hold the old model's vectors).
+    /// Returns the number of indexes dropped.
+    pub fn invalidate_model(&self, model: &str) -> usize {
+        self.invalidate_where(|key| key.model == model)
+    }
+
+    fn invalidate_where(&self, stale: impl Fn(&IndexKey) -> bool) -> usize {
+        let mut write = self.indexes.write();
+        let before = write.len();
+        write.retain(|key, _| !stale(key));
+        let dropped = before - write.len();
+        self.invalidations
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Drops every resident index (counters are retained).
+    pub fn clear(&self) {
+        self.indexes.write().clear();
+    }
+
+    /// Current counters plus the resident index count.
+    pub fn stats(&self) -> IndexManagerStats {
+        IndexManagerStats {
+            builds: self.builds.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            resident: self.indexes.read().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cej_workload::clustered_matrix;
+
+    fn key(table: &str) -> IndexKey {
+        IndexKey::new(table, "word", "ft", HnswParams::tiny())
+    }
+
+    fn build_small() -> Result<HnswIndex> {
+        let (vectors, _) = clustered_matrix(40, 8, 4, 0.05, 3);
+        HnswIndex::build(vectors, HnswParams::tiny()).map_err(crate::CoreError::from)
+    }
+
+    #[test]
+    fn build_once_then_hit() {
+        let manager = IndexManager::new();
+        assert!(!manager.contains(&key("t")));
+        let (first, built) = manager.get_or_build(&key("t"), build_small).unwrap();
+        assert!(built);
+        let (second, built_again) = manager.get_or_build(&key("t"), build_small).unwrap();
+        assert!(!built_again);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = manager.stats();
+        assert_eq!((stats.builds, stats.hits, stats.resident), (1, 1, 1));
+        assert!(manager.get(&key("t")).is_some());
+    }
+
+    #[test]
+    fn distinct_keys_build_distinct_indexes() {
+        let manager = IndexManager::new();
+        manager.get_or_build(&key("a"), build_small).unwrap();
+        manager.get_or_build(&key("b"), build_small).unwrap();
+        let other_params = IndexKey::new("a", "word", "ft", HnswParams::tiny().with_ef_search(99));
+        manager.get_or_build(&other_params, build_small).unwrap();
+        assert_eq!(manager.stats().resident, 3);
+        assert_eq!(manager.stats().builds, 3);
+    }
+
+    #[test]
+    fn invalidation_is_per_table() {
+        let manager = IndexManager::new();
+        manager.get_or_build(&key("a"), build_small).unwrap();
+        manager.get_or_build(&key("b"), build_small).unwrap();
+        assert_eq!(manager.invalidate_table("a"), 1);
+        assert!(!manager.contains(&key("a")));
+        assert!(manager.contains(&key("b")));
+        assert_eq!(manager.stats().invalidations, 1);
+        // rebuilding after invalidation is a fresh build
+        let (_, built) = manager.get_or_build(&key("a"), build_small).unwrap();
+        assert!(built);
+        assert_eq!(manager.stats().builds, 3);
+        manager.clear();
+        assert_eq!(manager.stats().resident, 0);
+        assert_eq!(manager.stats().builds, 3, "clear keeps counters");
+    }
+
+    #[test]
+    fn build_errors_are_not_cached() {
+        let manager = IndexManager::new();
+        let err = manager.get_or_build(&key("t"), || {
+            Err(crate::CoreError::InvalidInput("boom".into()))
+        });
+        assert!(err.is_err());
+        assert!(!manager.contains(&key("t")));
+        assert_eq!(manager.stats().builds, 0);
+    }
+}

@@ -17,36 +17,59 @@
 //! ## Cost model and access-path selection
 //!
 //! [`cost::CostModel`] implements the four closed-form costs of Section IV
-//! and [`access_path::AccessPathAdvisor`] uses them (plus the observed
+//! and [`access_path::AccessPathAdvisor`] uses them (plus the estimated
 //! selectivity) to choose between the scan-based tensor join and the
 //! index-probe join, reproducing the paper's scan-vs-probe analysis.
 //!
-//! ## End-to-end API
+//! ## The physical layer: plan once, execute many
 //!
-//! [`session::ContextJoinSession`] accepts a declarative
-//! [`cej_relational::LogicalPlan`] containing an `EJoin` node, optimises it
-//! (relational predicate pushdown below the embedding), executes the
-//! relational inputs, prefetches embeddings through a counting cache, picks a
-//! physical join operator, and returns the joined table together with
-//! detailed execution statistics.
+//! Planning and execution are separate stages:
+//!
+//! * [`planner::Planner`] lowers an optimised
+//!   [`cej_relational::LogicalPlan`] to a [`physical_plan::PhysicalPlan`],
+//!   consulting the advisor *at plan time*; the decision (operator, access
+//!   path, cost estimates) is rendered by
+//!   [`physical_plan::PhysicalPlan::explain`] before execution.
+//! * [`prepared::PreparedQuery`] executes one physical plan many times
+//!   against session-shared state: the `Arc`-shared model registry, the
+//!   per-model embedding caches ([`executor::EmbeddingCachePool`]), and the
+//!   persistent HNSW indexes of [`index_manager::IndexManager`] — so warm
+//!   index-join runs perform zero model calls and zero HNSW construction.
+//! * [`session::ContextJoinSession::execute`] is a thin `prepare().run()`
+//!   wrapper and [`session::ContextJoinSession::query`] offers a fluent
+//!   [`builder::QueryBuilder`] so plans need not be hand-assembled.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod access_path;
+pub mod builder;
 pub mod cost;
 pub mod error;
+pub mod executor;
+pub mod index_manager;
 pub mod join;
+pub mod physical_plan;
+pub mod planner;
+pub mod prepared;
 pub mod result;
 pub mod session;
 
 pub use access_path::{AccessPath, AccessPathAdvisor, AccessPathQuery};
+pub use builder::{sim_gte, top_k, QueryBuilder};
 pub use cost::{CostModel, CostParameters};
 pub use error::CoreError;
+pub use executor::{EmbeddingCachePool, ExecContext, ExecOutcome, RunStats};
+pub use index_manager::{IndexKey, IndexManager, IndexManagerStats};
 pub use join::index_join::{IndexJoin, IndexJoinConfig};
 pub use join::naive_nlj::NaiveNlJoin;
 pub use join::prefetch_nlj::{NljConfig, PrefetchNlJoin};
 pub use join::tensor_join::{TensorJoin, TensorJoinConfig};
+pub use physical_plan::{
+    IndexedInner, InnerInput, JoinNode, PhysicalJoinOp, PhysicalPlan, PlanEstimate,
+};
+pub use planner::Planner;
+pub use prepared::PreparedQuery;
 pub use result::{JoinPair, JoinResult, JoinStats};
 pub use session::{ContextJoinSession, ExecutionReport, JoinStrategy};
 

@@ -1,0 +1,531 @@
+//! Lowering from the optimised [`LogicalPlan`] to a [`PhysicalPlan`].
+//!
+//! The planner is where the paper's Section V cost-based decision happens —
+//! *at plan time*, before anything executes:
+//!
+//! 1. cardinalities are estimated bottom-up from catalog row counts (scans
+//!    are exact; filters apply a default selectivity);
+//! 2. for every `EJoin` the [`AccessPathAdvisor`] is consulted with the
+//!    estimated query shape, producing the scan-vs-probe cost pair that
+//!    [`PhysicalPlan::explain`] renders;
+//! 3. when the index path is chosen *and* the inner side reduces to a
+//!    base-table column (scan plus filters/projections), the join is lowered
+//!    onto a persistent index handle ([`crate::physical_plan::IndexedInner`])
+//!    shared through the session's `IndexManager`, with the relational
+//!    predicates turned into probe-time filter bitmaps — the paper's
+//!    pre-filtering semantics.
+//!
+//! The produced plan is immutable: executing it twice performs the same
+//! physical operators, which is what makes prepared queries meaningful.
+
+use cej_relational::{Catalog, Expr, LogicalPlan, SimilarityPredicate};
+
+use cej_relational::physical::ModelRegistry;
+
+use crate::access_path::{AccessPath, AccessPathAdvisor, AccessPathQuery};
+use crate::error::CoreError;
+use crate::index_manager::{IndexKey, IndexManager};
+use crate::join::index_join::IndexJoinConfig;
+use crate::join::tensor_join::TensorJoinConfig;
+use crate::physical_plan::{
+    IndexedInner, InnerInput, JoinNode, PhysicalJoinOp, PhysicalPlan, PlanEstimate,
+};
+use crate::session::JoinStrategy;
+use crate::Result;
+
+/// Default selectivity assumed for a relational filter when no statistics
+/// are available (the classic System-R style constant).
+const DEFAULT_FILTER_SELECTIVITY: f64 = 0.5;
+
+/// Estimated fraction of scanned pairs that satisfy a threshold predicate
+/// (used only for output-cardinality estimates, not for path selection).
+const THRESHOLD_MATCH_SELECTIVITY: f64 = 0.05;
+
+/// Lowers optimised logical plans into physical plans, consulting the
+/// [`AccessPathAdvisor`] for every context-enhanced join.
+#[derive(Debug, Clone, Copy)]
+pub struct Planner {
+    advisor: AccessPathAdvisor,
+    strategy: JoinStrategy,
+    filter_selectivity: f64,
+}
+
+impl Planner {
+    /// Creates a planner with the given advisor and (session) strategy.
+    pub fn new(advisor: AccessPathAdvisor, strategy: JoinStrategy) -> Self {
+        Self {
+            advisor,
+            strategy,
+            filter_selectivity: DEFAULT_FILTER_SELECTIVITY,
+        }
+    }
+
+    /// Overrides the default per-filter selectivity estimate.
+    pub fn with_filter_selectivity(mut self, selectivity: f64) -> Self {
+        self.filter_selectivity = selectivity.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Lowers `plan` to a physical plan.
+    ///
+    /// # Errors
+    /// Returns unknown-table / unknown-model errors (surfaced at plan time —
+    /// the executor can then assume resolvable names).
+    pub fn plan(
+        &self,
+        plan: &LogicalPlan,
+        catalog: &Catalog,
+        registry: &ModelRegistry,
+        indexes: &IndexManager,
+    ) -> Result<PhysicalPlan> {
+        self.lower(plan, catalog, registry, indexes)
+    }
+
+    fn lower(
+        &self,
+        plan: &LogicalPlan,
+        catalog: &Catalog,
+        registry: &ModelRegistry,
+        indexes: &IndexManager,
+    ) -> Result<PhysicalPlan> {
+        let access = self.advisor.cost_model.params.access_cost;
+        match plan {
+            LogicalPlan::Scan { table } => {
+                let rows = catalog.table(table).map_err(CoreError::from)?.num_rows() as f64;
+                Ok(PhysicalPlan::TableScan {
+                    table: table.clone(),
+                    est: PlanEstimate::new(rows, rows * access),
+                })
+            }
+            LogicalPlan::Selection { predicate, input } => {
+                let child = self.lower(input, catalog, registry, indexes)?;
+                let in_est = child.estimate();
+                let est = PlanEstimate::new(
+                    in_est.rows * self.filter_selectivity,
+                    in_est.cost + in_est.rows * access,
+                );
+                Ok(PhysicalPlan::Filter {
+                    predicate: predicate.clone(),
+                    input: Box::new(child),
+                    est,
+                })
+            }
+            LogicalPlan::Projection { columns, input } => {
+                let child = self.lower(input, catalog, registry, indexes)?;
+                let in_est = child.estimate();
+                let est = PlanEstimate::new(in_est.rows, in_est.cost + in_est.rows * access);
+                Ok(PhysicalPlan::Project {
+                    columns: columns.clone(),
+                    input: Box::new(child),
+                    est,
+                })
+            }
+            LogicalPlan::Embed { spec, input } => {
+                if !registry.contains(&spec.model) {
+                    return Err(CoreError::Relational(
+                        cej_relational::RelationalError::UnknownModel(spec.model.clone()),
+                    ));
+                }
+                let child = self.lower(input, catalog, registry, indexes)?;
+                let in_est = child.estimate();
+                let est = PlanEstimate::new(
+                    in_est.rows,
+                    in_est.cost + in_est.rows * self.advisor.cost_model.params.model_cost,
+                );
+                Ok(PhysicalPlan::Embed {
+                    spec: spec.clone(),
+                    input: Box::new(child),
+                    est,
+                })
+            }
+            LogicalPlan::EJoin {
+                left,
+                right,
+                left_column,
+                right_column,
+                model,
+                predicate,
+            } => self.lower_join(
+                left,
+                right,
+                left_column,
+                right_column,
+                model,
+                *predicate,
+                catalog,
+                registry,
+                indexes,
+            ),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_join(
+        &self,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        left_column: &str,
+        right_column: &str,
+        model: &str,
+        predicate: SimilarityPredicate,
+        catalog: &Catalog,
+        registry: &ModelRegistry,
+        indexes: &IndexManager,
+    ) -> Result<PhysicalPlan> {
+        if !registry.contains(model) {
+            return Err(CoreError::Relational(
+                cej_relational::RelationalError::UnknownModel(model.to_string()),
+            ));
+        }
+        let outer = self.lower(left, catalog, registry, indexes)?;
+        let inner_plan = self.lower(right, catalog, registry, indexes)?;
+        let outer_est = outer.estimate();
+        let inner_est = inner_plan.estimate();
+
+        // Can the inner side be served by a persistent index over a base
+        // table column?
+        let indexable = analyze_indexable_inner(right, right_column, catalog);
+
+        // The query shape the advisor reasons about: for an indexable inner
+        // the index covers the *full* base table and the filters act as
+        // selectivity; otherwise the materialised inner relation is scanned
+        // (and an ephemeral index would cover exactly its rows).
+        let (inner_rows, inner_selectivity) = match &indexable {
+            Some(ix) if ix.base_rows > 0 => (
+                ix.base_rows,
+                (inner_est.rows / ix.base_rows as f64).clamp(0.0, 1.0),
+            ),
+            _ => (inner_est.rows.round().max(0.0) as usize, 1.0),
+        };
+        let candidate_config = match self.strategy {
+            JoinStrategy::Index(config) => config,
+            _ => IndexJoinConfig::default(),
+        };
+        let index_available = indexable
+            .as_ref()
+            .map(|ix| {
+                indexes.contains(&IndexKey::new(
+                    &ix.table,
+                    right_column,
+                    model,
+                    candidate_config.params,
+                ))
+            })
+            .unwrap_or(false);
+        let query = AccessPathQuery {
+            outer_rows: outer_est.rows.round().max(0.0) as usize,
+            inner_rows,
+            inner_selectivity,
+            predicate,
+            index_available,
+        };
+        let scan_cost = self.advisor.scan_cost(&query);
+        let probe_cost = self.advisor.probe_cost(&query);
+
+        let (op, access_path) = match self.strategy {
+            JoinStrategy::Auto => match self.advisor.choose(&query) {
+                AccessPath::TensorScan => (
+                    PhysicalJoinOp::Tensor(TensorJoinConfig::default()),
+                    AccessPath::TensorScan,
+                ),
+                AccessPath::IndexProbe => (
+                    PhysicalJoinOp::Index(candidate_config),
+                    AccessPath::IndexProbe,
+                ),
+            },
+            JoinStrategy::NaiveNlj => (PhysicalJoinOp::NaiveNlj, AccessPath::TensorScan),
+            JoinStrategy::PrefetchNlj(config) => {
+                (PhysicalJoinOp::PrefetchNlj(config), AccessPath::TensorScan)
+            }
+            JoinStrategy::Tensor(config) => {
+                (PhysicalJoinOp::Tensor(config), AccessPath::TensorScan)
+            }
+            JoinStrategy::Index(config) => (PhysicalJoinOp::Index(config), AccessPath::IndexProbe),
+        };
+
+        let inner = match (&op, indexable) {
+            (PhysicalJoinOp::Index(config), Some(ix)) => InnerInput::Indexed(IndexedInner {
+                key: IndexKey::new(&ix.table, right_column, model, config.params),
+                filters: ix.filters,
+                projection: ix.projection,
+                est_rows: inner_est.rows,
+            }),
+            _ => InnerInput::Plan(inner_plan),
+        };
+
+        // Output-cardinality estimate plus total cost: inputs, the linear
+        // (|R| + |S|) · M prefetch term, and the chosen path's join cost.
+        let est_rows = match predicate {
+            SimilarityPredicate::TopK(k) => outer_est.rows * k as f64,
+            SimilarityPredicate::Threshold(_) => {
+                outer_est.rows * inner_est.rows * THRESHOLD_MATCH_SELECTIVITY
+            }
+        };
+        let prefetch_cost =
+            (outer_est.rows + inner_est.rows) * self.advisor.cost_model.params.model_cost;
+        let path_cost = match access_path {
+            AccessPath::TensorScan => scan_cost,
+            AccessPath::IndexProbe => probe_cost,
+        };
+        let est = PlanEstimate::new(
+            est_rows,
+            outer_est.cost + inner_est.cost + prefetch_cost + path_cost,
+        );
+
+        Ok(PhysicalPlan::Join(Box::new(JoinNode {
+            outer,
+            inner,
+            left_column: left_column.to_string(),
+            right_column: right_column.to_string(),
+            model: model.to_string(),
+            predicate,
+            op,
+            access_path,
+            scan_cost,
+            probe_cost,
+            est,
+        })))
+    }
+}
+
+/// Result of checking whether a join's inner subtree reduces to a
+/// (filtered, projected) base-table column that a persistent index can cover.
+struct IndexableInner {
+    table: String,
+    filters: Vec<Expr>,
+    projection: Option<Vec<String>>,
+    base_rows: usize,
+}
+
+/// Walks the inner subtree accepting only `Scan` / `Selection` / `Projection`
+/// nodes.  Filters become probe-time bitmaps; the outermost projection (if
+/// any) defines the inner side's output columns and must retain the join
+/// column.  Anything else (nested joins, embeddings, unknown tables) makes
+/// the inner side non-indexable and falls back to a materialised subplan.
+fn analyze_indexable_inner(
+    plan: &LogicalPlan,
+    right_column: &str,
+    catalog: &Catalog,
+) -> Option<IndexableInner> {
+    let mut filters = Vec::new();
+    let mut projection: Option<Vec<String>> = None;
+    let mut current = plan;
+    loop {
+        match current {
+            LogicalPlan::Selection { predicate, input } => {
+                filters.push(predicate.clone());
+                current = input;
+            }
+            LogicalPlan::Projection { columns, input } => {
+                if projection.is_none() {
+                    projection = Some(columns.clone());
+                }
+                current = input;
+            }
+            LogicalPlan::Scan { table } => {
+                if let Some(columns) = &projection {
+                    if !columns.iter().any(|c| c == right_column) {
+                        return None;
+                    }
+                }
+                let base_rows = catalog.table(table).ok()?.num_rows();
+                return Some(IndexableInner {
+                    table: table.clone(),
+                    filters,
+                    projection,
+                    base_rows,
+                });
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access_path::AccessPathAdvisor;
+    use cej_relational::{col, lit_i64};
+    use cej_storage::TableBuilder;
+    use std::sync::Arc;
+
+    fn setup() -> (Catalog, ModelRegistry, IndexManager) {
+        let mut catalog = Catalog::new();
+        catalog.register(
+            "r",
+            TableBuilder::new()
+                .int64("id", (0..50).collect())
+                .utf8("word", (0..50).map(|i| format!("w{i}")).collect())
+                .build()
+                .unwrap(),
+        );
+        catalog.register(
+            "s",
+            TableBuilder::new()
+                .int64("id", (0..200).collect())
+                .utf8("word", (0..200).map(|i| format!("v{i}")).collect())
+                .build()
+                .unwrap(),
+        );
+        let mut registry = ModelRegistry::new();
+        let model = cej_embedding::FastTextModel::new(cej_embedding::FastTextConfig {
+            dim: 8,
+            buckets: 500,
+            ..cej_embedding::FastTextConfig::default()
+        })
+        .unwrap();
+        registry.register("m", Arc::new(model));
+        (catalog, registry, IndexManager::new())
+    }
+
+    fn join_plan() -> LogicalPlan {
+        LogicalPlan::e_join(
+            LogicalPlan::scan("r"),
+            LogicalPlan::scan("s"),
+            "word",
+            "word",
+            "m",
+            SimilarityPredicate::TopK(1),
+        )
+    }
+
+    #[test]
+    fn scan_cardinalities_are_exact_and_filters_apply_selectivity() {
+        let (catalog, registry, indexes) = setup();
+        let planner = Planner::new(AccessPathAdvisor::default(), JoinStrategy::Auto);
+        let plan = LogicalPlan::scan("s").select(col("id").gt(lit_i64(10)));
+        let physical = planner.plan(&plan, &catalog, &registry, &indexes).unwrap();
+        assert_eq!(physical.estimate().rows, 100.0);
+        match physical {
+            PhysicalPlan::Filter { input, .. } => assert_eq!(input.estimate().rows, 200.0),
+            other => panic!("expected Filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_small_join_lowers_to_tensor_with_both_costs() {
+        let (catalog, registry, indexes) = setup();
+        let planner = Planner::new(AccessPathAdvisor::default(), JoinStrategy::Auto);
+        let physical = planner
+            .plan(&join_plan(), &catalog, &registry, &indexes)
+            .unwrap();
+        let joins = physical.join_nodes();
+        assert_eq!(joins.len(), 1);
+        let node = joins[0];
+        assert!(matches!(node.op, PhysicalJoinOp::Tensor(_)));
+        assert_eq!(node.access_path, AccessPath::TensorScan);
+        assert!(node.scan_cost > 0.0 && node.probe_cost > 0.0);
+        assert!(node.scan_cost < node.probe_cost);
+    }
+
+    #[test]
+    fn forced_index_strategy_uses_persistent_inner_for_base_scans() {
+        let (catalog, registry, indexes) = setup();
+        let planner = Planner::new(
+            AccessPathAdvisor::default(),
+            JoinStrategy::Index(IndexJoinConfig::default()),
+        );
+        let physical = planner
+            .plan(&join_plan(), &catalog, &registry, &indexes)
+            .unwrap();
+        let node = physical.join_nodes()[0];
+        assert_eq!(node.access_path, AccessPath::IndexProbe);
+        match &node.inner {
+            InnerInput::Indexed(ii) => {
+                assert_eq!(ii.key.table, "s");
+                assert_eq!(ii.key.column, "word");
+                assert!(ii.filters.is_empty());
+            }
+            other => panic!("expected persistent index inner, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inner_filters_become_probe_bitmaps() {
+        let (catalog, registry, indexes) = setup();
+        let planner = Planner::new(
+            AccessPathAdvisor::default(),
+            JoinStrategy::Index(IndexJoinConfig::default()),
+        );
+        let plan = LogicalPlan::e_join(
+            LogicalPlan::scan("r"),
+            LogicalPlan::scan("s").select(col("id").lt(lit_i64(50))),
+            "word",
+            "word",
+            "m",
+            SimilarityPredicate::TopK(1),
+        );
+        let physical = planner.plan(&plan, &catalog, &registry, &indexes).unwrap();
+        match &physical.join_nodes()[0].inner {
+            InnerInput::Indexed(ii) => assert_eq!(ii.filters.len(), 1),
+            other => panic!("expected persistent index inner, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn projection_dropping_join_column_disables_persistent_index() {
+        let (catalog, registry, indexes) = setup();
+        let planner = Planner::new(
+            AccessPathAdvisor::default(),
+            JoinStrategy::Index(IndexJoinConfig::default()),
+        );
+        let plan = LogicalPlan::e_join(
+            LogicalPlan::scan("r"),
+            LogicalPlan::scan("s").project(&["id"]),
+            "word",
+            "word",
+            "m",
+            SimilarityPredicate::TopK(1),
+        );
+        let physical = planner.plan(&plan, &catalog, &registry, &indexes).unwrap();
+        assert!(matches!(
+            physical.join_nodes()[0].inner,
+            InnerInput::Plan(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_table_and_model_error_at_plan_time() {
+        let (catalog, registry, indexes) = setup();
+        let planner = Planner::new(AccessPathAdvisor::default(), JoinStrategy::Auto);
+        assert!(planner
+            .plan(&LogicalPlan::scan("nope"), &catalog, &registry, &indexes)
+            .is_err());
+        let bad_model = LogicalPlan::e_join(
+            LogicalPlan::scan("r"),
+            LogicalPlan::scan("s"),
+            "word",
+            "word",
+            "missing",
+            SimilarityPredicate::TopK(1),
+        );
+        assert!(planner
+            .plan(&bad_model, &catalog, &registry, &indexes)
+            .is_err());
+    }
+
+    #[test]
+    fn existing_index_lowers_auto_cost() {
+        let (catalog, registry, indexes) = setup();
+        let planner = Planner::new(AccessPathAdvisor::default(), JoinStrategy::Auto);
+        let cold = planner
+            .plan(&join_plan(), &catalog, &registry, &indexes)
+            .unwrap();
+        // simulate a resident index for the candidate key
+        let key = IndexKey::new("s", "word", "m", IndexJoinConfig::default().params);
+        let (vectors, _) = cej_workload::clustered_matrix(20, 8, 2, 0.05, 5);
+        indexes
+            .get_or_build(&key, || {
+                cej_index::HnswIndex::build(vectors.clone(), cej_index::HnswParams::tiny())
+                    .map_err(CoreError::from)
+            })
+            .unwrap();
+        let warm = planner
+            .plan(&join_plan(), &catalog, &registry, &indexes)
+            .unwrap();
+        assert!(
+            warm.join_nodes()[0].probe_cost < cold.join_nodes()[0].probe_cost,
+            "a resident index must remove the build term from the probe cost"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Prepared queries: plan once, execute many.
+//!
+//! [`PreparedQuery`] is the product of
+//! [`crate::session::ContextJoinSession::prepare`]: the logical plan has been
+//! optimised and lowered to a [`PhysicalPlan`] exactly once, and every
+//! [`PreparedQuery::run`] re-executes that same physical plan against the
+//! session's shared state — the `Arc`-shared
+//! [`cej_relational::physical::ModelRegistry`], the per-model embedding
+//! caches, and the persistent HNSW indexes of the
+//! [`crate::index_manager::IndexManager`].  A warm run of an index join
+//! therefore performs **zero model calls** (for unchanged inputs) and **zero
+//! HNSW construction**, which is the "plan-once / execute-many" contract a
+//! server workload issuing many small joins needs.
+
+use std::sync::Arc;
+
+use cej_relational::physical::ModelRegistry;
+use cej_relational::LogicalPlan;
+
+use crate::executor::ExecContext;
+use crate::physical_plan::PhysicalPlan;
+use crate::session::{ContextJoinSession, ExecutionReport};
+use crate::Result;
+
+/// A query that has been optimised and physically planned once and can be
+/// executed any number of times.
+///
+/// Holds a shared (`Arc`) handle on the session's model registry and borrows
+/// the session for its catalog and caches; dropping the prepared query
+/// releases the borrow (e.g. before re-registering tables).
+pub struct PreparedQuery<'s> {
+    session: &'s ContextJoinSession,
+    registry: Arc<ModelRegistry>,
+    optimized: LogicalPlan,
+    physical: PhysicalPlan,
+}
+
+impl<'s> PreparedQuery<'s> {
+    pub(crate) fn new(
+        session: &'s ContextJoinSession,
+        registry: Arc<ModelRegistry>,
+        optimized: LogicalPlan,
+        physical: PhysicalPlan,
+    ) -> Self {
+        Self {
+            session,
+            registry,
+            optimized,
+            physical,
+        }
+    }
+
+    /// The optimised logical plan this query was planned from.
+    pub fn optimized_plan(&self) -> &LogicalPlan {
+        &self.optimized
+    }
+
+    /// The physical plan executed by every [`PreparedQuery::run`].
+    pub fn physical_plan(&self) -> &PhysicalPlan {
+        &self.physical
+    }
+
+    /// Renders the physical operator tree with the planner's access-path
+    /// choice and cost estimates — available before (and unchanged by)
+    /// execution.
+    pub fn explain(&self) -> String {
+        self.physical.explain()
+    }
+
+    /// Executes the plan.  Repeated calls reuse the optimised plan, the
+    /// shared model registry, memoised embeddings, and persistent indexes.
+    ///
+    /// # Errors
+    /// Propagates catalog, evaluation, embedding, index, and join errors.
+    pub fn run(&self) -> Result<ExecutionReport> {
+        let ctx = ExecContext {
+            catalog: self.session.catalog(),
+            registry: &self.registry,
+            embeddings: self.session.embedding_caches(),
+            indexes: self.session.index_manager(),
+        };
+        let outcome = self.physical.execute(&ctx)?;
+        Ok(ExecutionReport {
+            table: outcome.table,
+            optimized_plan: self.optimized.clone(),
+            join_stats: outcome.stats.join_stats,
+            embedding_stats: outcome.stats.embedding_stats,
+            access_path: outcome.stats.access_path,
+            matched_pairs: outcome.stats.matched_pairs,
+            index_builds: outcome.stats.index_builds,
+            index_reuses: outcome.stats.index_reuses,
+        })
+    }
+}
+
+impl std::fmt::Debug for PreparedQuery<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("physical", &self.physical)
+            .finish_non_exhaustive()
+    }
+}

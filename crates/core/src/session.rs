@@ -2,38 +2,44 @@
 //! joined table.
 //!
 //! [`ContextJoinSession`] is the "hybrid vector-relational engine" of the
-//! paper in miniature: the user registers tables and embedding models, writes
-//! a declarative plan (scan / filter / context-enhanced join), and the
-//! session
+//! paper in miniature.  The user registers tables and embedding models,
+//! writes a declarative plan (by hand or through
+//! [`ContextJoinSession::query`]'s fluent builder), and the session splits
+//! the work into two explicit stages:
 //!
-//! 1. optimises the plan (relational predicate pushdown below the embedding,
-//!    Section III-C / IV),
-//! 2. executes the relational inputs of the join,
-//! 3. prefetches embeddings through a counting cache (`(|R| + |S|)` model
-//!    calls — the logical optimisation of Section IV-A),
-//! 4. picks a physical join operator via cost-based access-path selection
-//!    (or an explicitly requested strategy), and
-//! 5. materialises the joined table (left columns prefixed `l_`, right
-//!    columns prefixed `r_`, plus a `similarity` score column).
+//! * **Plan** ([`ContextJoinSession::prepare`]): the optimizer pushes
+//!   relational predicates below the embedding (Section III-C / IV), then
+//!   the [`crate::planner::Planner`] lowers the result to a
+//!   [`crate::physical_plan::PhysicalPlan`], consulting the
+//!   [`AccessPathAdvisor`] *at plan time* — the Section V cost-based choice,
+//!   inspectable via `explain()` before anything runs.
+//! * **Execute** ([`crate::prepared::PreparedQuery::run`]): the physical
+//!   plan runs against session-owned shared state — one `Arc`-shared
+//!   [`ModelRegistry`], per-model embedding caches, and persistent HNSW
+//!   indexes in the [`IndexManager`] — so repeated executions pay no model
+//!   calls for cached strings and no HNSW construction for resident indexes.
+//!
+//! [`ContextJoinSession::execute`] is a thin `prepare().run()` wrapper, so
+//! the original one-shot `execute(&LogicalPlan)` path keeps working
+//! unchanged.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use cej_embedding::{CachedEmbedder, Embedder, EmbeddingStats};
-use cej_relational::{
-    physical::{apply_embedding, execute_relational},
-    Catalog, LogicalPlan, ModelRegistry, Optimizer, SimilarityPredicate,
-};
-use cej_storage::{Column, Field, Schema, Table};
-use cej_vector::Vector;
+use cej_embedding::{Embedder, EmbeddingStats};
+use cej_relational::{physical::ModelRegistry, Catalog, LogicalPlan, Optimizer};
+use cej_storage::Table;
 
-use crate::access_path::{AccessPath, AccessPathAdvisor, AccessPathQuery};
+use crate::access_path::{AccessPath, AccessPathAdvisor};
+use crate::builder::QueryBuilder;
 use crate::error::CoreError;
-use crate::join::index_join::{IndexJoin, IndexJoinConfig};
-use crate::join::naive_nlj::NaiveNlJoin;
-use crate::join::prefetch_nlj::{NljConfig, PrefetchNlJoin};
-use crate::join::tensor_join::{TensorJoin, TensorJoinConfig};
-use crate::result::{JoinResult, JoinStats};
+use crate::executor::EmbeddingCachePool;
+use crate::index_manager::IndexManager;
+use crate::join::index_join::IndexJoinConfig;
+use crate::join::prefetch_nlj::NljConfig;
+use crate::join::tensor_join::TensorJoinConfig;
+use crate::planner::Planner;
+use crate::prepared::PreparedQuery;
+use crate::result::JoinStats;
 use crate::Result;
 
 /// Which physical join operator the session should use.
@@ -62,34 +68,28 @@ pub struct ExecutionReport {
     pub optimized_plan: LogicalPlan,
     /// Operator-level statistics of the join.
     pub join_stats: JoinStats,
-    /// Model access counters observed during the query.
+    /// Model access counters observed during the query (deltas over the
+    /// session's shared embedding cache — a warm prepared run reports 0).
     pub embedding_stats: EmbeddingStats,
     /// The access path that was chosen (None when the plan had no join).
     pub access_path: Option<AccessPath>,
     /// Number of joined pairs.
     pub matched_pairs: usize,
-}
-
-/// Adapter so a shared `Arc<dyn Embedder>` can be wrapped by
-/// [`CachedEmbedder`] (which needs an owned `Embedder`).
-struct SharedEmbedder(Arc<dyn Embedder>);
-
-impl Embedder for SharedEmbedder {
-    fn dim(&self) -> usize {
-        self.0.dim()
-    }
-    fn embed(&self, input: &str) -> Vector {
-        self.0.embed(input)
-    }
+    /// HNSW indexes built during this execution (cold index joins).
+    pub index_builds: u64,
+    /// Persistent HNSW indexes reused during this execution (warm runs).
+    pub index_reuses: u64,
 }
 
 /// The end-to-end hybrid vector-relational session.
 pub struct ContextJoinSession {
     catalog: Catalog,
-    models: HashMap<String, Arc<dyn Embedder>>,
+    registry: Arc<ModelRegistry>,
     strategy: JoinStrategy,
     advisor: AccessPathAdvisor,
     optimizer: Optimizer,
+    embeddings: EmbeddingCachePool,
+    indexes: IndexManager,
 }
 
 impl Default for ContextJoinSession {
@@ -103,22 +103,31 @@ impl ContextJoinSession {
     pub fn new() -> Self {
         Self {
             catalog: Catalog::new(),
-            models: HashMap::new(),
+            registry: Arc::new(ModelRegistry::new()),
             strategy: JoinStrategy::Auto,
             advisor: AccessPathAdvisor::default(),
             optimizer: Optimizer::with_default_rules(),
+            embeddings: EmbeddingCachePool::new(),
+            indexes: IndexManager::new(),
         }
     }
 
-    /// Registers a base table.
+    /// Registers (or replaces) a base table.  Replacing a table invalidates
+    /// every persistent index built over it.
     pub fn register_table(&mut self, name: &str, table: Table) -> &mut Self {
+        self.indexes.invalidate_table(name);
         self.catalog.register(name, table);
         self
     }
 
-    /// Registers an embedding model.
+    /// Registers (or replaces) an embedding model.  Replacing a model drops
+    /// its memoised embedding cache *and* every persistent index built from
+    /// its vectors (a resident graph would otherwise be probed with the new
+    /// model's embeddings).
     pub fn register_model<E: Embedder + 'static>(&mut self, name: &str, model: E) -> &mut Self {
-        self.models.insert(name.to_string(), Arc::new(model));
+        Arc::make_mut(&mut self.registry).register(name, Arc::new(model));
+        self.embeddings.invalidate(name);
+        self.indexes.invalidate_model(name);
         self
     }
 
@@ -133,241 +142,84 @@ impl ContextJoinSession {
         &self.catalog
     }
 
-    fn model_registry(&self) -> ModelRegistry {
-        let mut registry = ModelRegistry::new();
-        for (name, model) in &self.models {
-            registry.register(name, model.clone());
-        }
-        registry
+    /// The session's shared model registry (held once, `Arc`-shared with
+    /// prepared queries — never rebuilt per execution).
+    pub fn model_registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
     }
 
-    fn shared_model(&self, name: &str) -> Result<Arc<dyn Embedder>> {
-        self.models.get(name).cloned().ok_or_else(|| {
-            CoreError::Relational(cej_relational::RelationalError::UnknownModel(
-                name.to_string(),
-            ))
-        })
+    /// The session's persistent HNSW index cache.
+    pub fn index_manager(&self) -> &IndexManager {
+        &self.indexes
     }
 
-    /// Optimises and executes a logical plan.
+    /// The session's per-model embedding caches.
+    pub fn embedding_caches(&self) -> &EmbeddingCachePool {
+        &self.embeddings
+    }
+
+    /// The access-path advisor consulted at plan time.
+    pub fn advisor(&self) -> &AccessPathAdvisor {
+        &self.advisor
+    }
+
+    /// Starts a fluent query against a registered table.
+    pub fn query(&self, table: &str) -> QueryBuilder<'_> {
+        QueryBuilder::new(self, table)
+    }
+
+    /// Optimises and physically plans a query once; the returned
+    /// [`PreparedQuery`] can be executed any number of times.
     ///
     /// # Errors
-    /// Propagates optimisation, relational execution, embedding, and join
-    /// errors.
-    pub fn execute(&self, plan: &LogicalPlan) -> Result<ExecutionReport> {
+    /// Propagates optimisation and planning errors (unknown tables or models
+    /// surface here, before execution).
+    pub fn prepare(&self, plan: &LogicalPlan) -> Result<PreparedQuery<'_>> {
         let optimized = self.optimizer.optimize(plan.clone(), &self.catalog)?;
-        let registry = self.model_registry();
-        let mut context = QueryContext::default();
-        let table = self.execute_node(&optimized, &registry, &mut context)?;
-        Ok(ExecutionReport {
-            table,
-            optimized_plan: optimized,
-            join_stats: context.join_stats,
-            embedding_stats: context.embedding_stats,
-            access_path: context.access_path,
-            matched_pairs: context.matched_pairs,
-        })
+        let planner = Planner::new(self.advisor, self.strategy);
+        let physical = planner.plan(&optimized, &self.catalog, &self.registry, &self.indexes)?;
+        Ok(PreparedQuery::new(
+            self,
+            self.registry.clone(),
+            optimized,
+            physical,
+        ))
     }
 
-    fn execute_node(
-        &self,
-        plan: &LogicalPlan,
-        registry: &ModelRegistry,
-        context: &mut QueryContext,
-    ) -> Result<Table> {
-        if plan.embed_count() == 0 && !contains_join(plan) {
-            // Purely relational subtree.
-            return execute_relational(plan, &self.catalog, registry).map_err(CoreError::from);
-        }
-        match plan {
-            LogicalPlan::EJoin {
-                left,
-                right,
-                left_column,
-                right_column,
-                model,
-                predicate,
-            } => {
-                let left_table = self.execute_node(left, registry, context)?;
-                let right_table = self.execute_node(right, registry, context)?;
-                self.execute_join(
-                    &left_table,
-                    &right_table,
-                    left_column,
-                    right_column,
-                    model,
-                    *predicate,
-                    context,
-                )
-            }
-            LogicalPlan::Selection { predicate, input } => {
-                let table = self.execute_node(input, registry, context)?;
-                let selection = cej_relational::eval::evaluate_predicate(predicate, &table)
-                    .map_err(CoreError::from)?;
-                table.filter(&selection).map_err(CoreError::from)
-            }
-            LogicalPlan::Projection { columns, input } => {
-                let table = self.execute_node(input, registry, context)?;
-                let names: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
-                table.project(&names).map_err(CoreError::from)
-            }
-            LogicalPlan::Embed { spec, input } => {
-                let table = self.execute_node(input, registry, context)?;
-                apply_embedding(&table, spec, registry).map_err(CoreError::from)
-            }
-            LogicalPlan::Scan { .. } => {
-                execute_relational(plan, &self.catalog, registry).map_err(CoreError::from)
-            }
-        }
+    /// Renders the physical plan for `plan` — operator tree, selected access
+    /// path, and per-operator cost estimates — without executing it.
+    ///
+    /// # Errors
+    /// Propagates optimisation and planning errors.
+    pub fn explain(&self, plan: &LogicalPlan) -> Result<String> {
+        Ok(self.prepare(plan)?.explain())
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn execute_join(
-        &self,
-        left: &Table,
-        right: &Table,
-        left_column: &str,
-        right_column: &str,
-        model_name: &str,
-        predicate: SimilarityPredicate,
-        context: &mut QueryContext,
-    ) -> Result<Table> {
-        let left_strings = left
-            .column_by_name(left_column)
-            .map_err(CoreError::from)?
-            .as_utf8()?;
-        let right_strings = right
-            .column_by_name(right_column)
-            .map_err(CoreError::from)?
-            .as_utf8()?;
-
-        let model = self.shared_model(model_name)?;
-        let counted = CachedEmbedder::new(SharedEmbedder(model));
-
-        let (result, path) = self.run_strategy(
-            &counted,
-            left_strings,
-            right_strings,
-            predicate,
-            left.num_rows(),
-            right.num_rows(),
-        )?;
-        context.embedding_stats = counted.stats();
-        context.join_stats = result.stats;
-        context.join_stats.model_calls = counted.stats().model_calls;
-        context.access_path = Some(path);
-        context.matched_pairs = result.len();
-
-        self.materialize_output(left, right, &result)
+    /// Optimises, plans, and executes a logical plan once — a thin
+    /// `prepare().run()` wrapper kept for the original one-shot API.
+    ///
+    /// # Errors
+    /// Propagates optimisation, planning, relational execution, embedding,
+    /// and join errors.
+    pub fn execute(&self, plan: &LogicalPlan) -> Result<ExecutionReport> {
+        self.prepare(plan)?.run()
     }
 
-    fn run_strategy(
-        &self,
-        model: &dyn Embedder,
-        left: &[String],
-        right: &[String],
-        predicate: SimilarityPredicate,
-        left_rows: usize,
-        right_rows: usize,
-    ) -> Result<(JoinResult, AccessPath)> {
-        match self.strategy {
-            JoinStrategy::NaiveNlj => Ok((
-                NaiveNlJoin::new().join(model, left, right, predicate)?,
-                AccessPath::TensorScan,
-            )),
-            JoinStrategy::PrefetchNlj(config) => Ok((
-                PrefetchNlJoin::new(config).join(model, left, right, predicate)?,
-                AccessPath::TensorScan,
-            )),
-            JoinStrategy::Tensor(config) => Ok((
-                TensorJoin::new(config).join(model, left, right, predicate)?,
-                AccessPath::TensorScan,
-            )),
-            JoinStrategy::Index(config) => Ok((
-                IndexJoin::new(config).join(model, left, right, predicate)?,
-                AccessPath::IndexProbe,
-            )),
-            JoinStrategy::Auto => {
-                let query = AccessPathQuery {
-                    outer_rows: left_rows,
-                    inner_rows: right_rows,
-                    inner_selectivity: 1.0,
-                    predicate,
-                    index_available: false,
-                };
-                let path = self.advisor.choose(&query);
-                let result = match path {
-                    AccessPath::TensorScan => TensorJoin::new(TensorJoinConfig::default())
-                        .join(model, left, right, predicate)?,
-                    AccessPath::IndexProbe => IndexJoin::new(IndexJoinConfig::default())
-                        .join(model, left, right, predicate)?,
-                };
-                Ok((result, path))
-            }
-        }
+    /// Resolves a model by name from the shared registry.
+    ///
+    /// # Errors
+    /// Returns an unknown-model error when absent.
+    pub fn shared_model(&self, name: &str) -> Result<Arc<dyn Embedder>> {
+        self.registry.model(name).map_err(CoreError::from)
     }
-
-    /// Builds the output table: `l_*` columns, `r_*` columns, `similarity`.
-    fn materialize_output(
-        &self,
-        left: &Table,
-        right: &Table,
-        result: &JoinResult,
-    ) -> Result<Table> {
-        let pairs = result.sorted_pairs();
-        let left_indices: Vec<usize> = pairs.iter().map(|p| p.left).collect();
-        let right_indices: Vec<usize> = pairs.iter().map(|p| p.right).collect();
-        let scores: Vec<f64> = pairs.iter().map(|p| p.score as f64).collect();
-
-        let left_taken = left.take(&left_indices).map_err(CoreError::from)?;
-        let right_taken = right.take(&right_indices).map_err(CoreError::from)?;
-
-        let mut fields: Vec<Field> = Vec::new();
-        let mut columns: Vec<Column> = Vec::new();
-        for (field, column) in left_taken
-            .schema()
-            .fields()
-            .iter()
-            .zip(left_taken.columns())
-        {
-            fields.push(Field::new(format!("l_{}", field.name), field.data_type));
-            columns.push(column.clone());
-        }
-        for (field, column) in right_taken
-            .schema()
-            .fields()
-            .iter()
-            .zip(right_taken.columns())
-        {
-            fields.push(Field::new(format!("r_{}", field.name), field.data_type));
-            columns.push(column.clone());
-        }
-        fields.push(Field::new("similarity", cej_storage::DataType::Float64));
-        columns.push(Column::Float64(scores));
-
-        let schema = Schema::new(fields).map_err(CoreError::from)?;
-        Table::new(schema, columns).map_err(CoreError::from)
-    }
-}
-
-/// Whether a plan tree contains an `EJoin` node.
-fn contains_join(plan: &LogicalPlan) -> bool {
-    matches!(plan, LogicalPlan::EJoin { .. }) || plan.children().iter().any(|c| contains_join(c))
-}
-
-#[derive(Debug, Default)]
-struct QueryContext {
-    join_stats: JoinStats,
-    embedding_stats: EmbeddingStats,
-    access_path: Option<AccessPath>,
-    matched_pairs: usize,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::{sim_gte, top_k};
     use cej_embedding::{FastTextConfig, FastTextModel};
-    use cej_relational::{col, lit_i64};
+    use cej_relational::{col, lit_i64, SimilarityPredicate};
     use cej_storage::TableBuilder;
 
     fn model() -> FastTextModel {
@@ -464,6 +316,18 @@ mod tests {
     }
 
     #[test]
+    fn repeated_execute_reuses_the_session_embedding_cache() {
+        let s = session();
+        let plan = join_plan(SimilarityPredicate::Threshold(0.5));
+        let cold = s.execute(&plan).unwrap();
+        assert_eq!(cold.embedding_stats.model_calls, 7);
+        let warm = s.execute(&plan).unwrap();
+        // same strings, same session: everything is memoised
+        assert_eq!(warm.embedding_stats.model_calls, 0);
+        assert_eq!(warm.table.num_rows(), cold.table.num_rows());
+    }
+
+    #[test]
     fn topk_join_returns_k_rows_per_left_tuple() {
         let mut s = session();
         s.with_strategy(JoinStrategy::Tensor(TensorJoinConfig::default()));
@@ -528,7 +392,7 @@ mod tests {
     }
 
     #[test]
-    fn index_strategy_executes() {
+    fn index_strategy_executes_and_caches_the_index() {
         let mut s = session();
         s.with_strategy(JoinStrategy::Index(IndexJoinConfig {
             params: cej_index::HnswParams::tiny(),
@@ -538,6 +402,12 @@ mod tests {
         assert_eq!(report.access_path, Some(AccessPath::IndexProbe));
         assert_eq!(report.table.num_rows(), 4);
         assert!(report.join_stats.probe_stats.distance_computations > 0);
+        assert_eq!(report.index_builds, 1);
+        // a second one-shot execute reuses the persistent index
+        let warm = s.execute(&join_plan(SimilarityPredicate::TopK(1))).unwrap();
+        assert_eq!(warm.index_builds, 0);
+        assert_eq!(warm.index_reuses, 1);
+        assert_eq!(s.index_manager().stats().builds, 1);
     }
 
     #[test]
@@ -596,6 +466,9 @@ mod tests {
             SimilarityPredicate::TopK(1),
         );
         assert!(s2.execute(&bad_table).is_err());
+        // both surface at plan time already
+        assert!(s.prepare(&plan).is_err());
+        assert!(s2.prepare(&bad_table).is_err());
     }
 
     #[test]
@@ -610,5 +483,106 @@ mod tests {
             SimilarityPredicate::TopK(1),
         );
         assert!(s.execute(&plan).is_err());
+    }
+
+    #[test]
+    fn explain_matches_executed_access_path() {
+        let s = session();
+        let plan = join_plan(SimilarityPredicate::TopK(1));
+        let prepared = s.prepare(&plan).unwrap();
+        let text = prepared.explain();
+        assert!(text.contains("scan cost") && text.contains("probe cost"));
+        let report = prepared.run().unwrap();
+        let path = report.access_path.unwrap();
+        assert!(
+            text.contains(&format!("access path: {}", path.label())),
+            "explain `{text}` must name the executed path {path:?}"
+        );
+    }
+
+    #[test]
+    fn query_builder_matches_hand_built_plan() {
+        let s = session();
+        let built = s
+            .query("photos")
+            .select(col("year").gt_eq(lit_i64(2023)))
+            .ejoin("products", ("caption", "title"), "fasttext", sim_gte(0.5))
+            .build();
+        let hand = LogicalPlan::e_join(
+            LogicalPlan::scan("photos").select(col("year").gt_eq(lit_i64(2023))),
+            LogicalPlan::scan("products"),
+            "caption",
+            "title",
+            "fasttext",
+            SimilarityPredicate::Threshold(0.5),
+        );
+        assert_eq!(built, hand);
+        let report = s
+            .query("photos")
+            .ejoin("products", ("caption", "title"), "fasttext", top_k(1))
+            .run()
+            .unwrap();
+        assert_eq!(report.table.num_rows(), 4);
+    }
+
+    #[test]
+    fn model_registry_is_shared_not_rebuilt() {
+        let s = session();
+        let before = Arc::as_ptr(s.model_registry());
+        let _ = s.execute(&join_plan(SimilarityPredicate::TopK(1))).unwrap();
+        let _ = s.execute(&join_plan(SimilarityPredicate::TopK(1))).unwrap();
+        assert_eq!(
+            before,
+            Arc::as_ptr(s.model_registry()),
+            "execute must not rebuild the registry"
+        );
+        assert!(s.shared_model("fasttext").is_ok());
+        assert!(s.shared_model("bert").is_err());
+    }
+
+    #[test]
+    fn reregistering_a_model_invalidates_its_indexes_and_cache() {
+        let mut s = session();
+        s.with_strategy(JoinStrategy::Index(IndexJoinConfig {
+            params: cej_index::HnswParams::tiny(),
+            range_probe_k: 3,
+        }));
+        let plan = join_plan(SimilarityPredicate::TopK(1));
+        s.execute(&plan).unwrap();
+        assert_eq!(s.index_manager().stats().resident, 1);
+        // replacing the model drops both the memoised vectors and the graph
+        // built from them — probing the old graph with new-model embeddings
+        // would silently return wrong pairs
+        s.register_model("fasttext", model());
+        assert_eq!(s.index_manager().stats().resident, 0);
+        assert_eq!(s.embedding_caches().cached_entries(), 0);
+        let report = s.execute(&plan).unwrap();
+        assert_eq!(report.index_builds, 1);
+        assert_eq!(report.embedding_stats.model_calls, 7);
+    }
+
+    #[test]
+    fn reregistering_a_table_invalidates_its_indexes() {
+        let mut s = session();
+        s.with_strategy(JoinStrategy::Index(IndexJoinConfig {
+            params: cej_index::HnswParams::tiny(),
+            range_probe_k: 3,
+        }));
+        let plan = join_plan(SimilarityPredicate::TopK(1));
+        s.execute(&plan).unwrap();
+        assert_eq!(s.index_manager().stats().resident, 1);
+        s.register_table(
+            "products",
+            TableBuilder::new()
+                .int64("product_id", vec![1])
+                .utf8("title", vec!["grill".into()])
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(s.index_manager().stats().resident, 0);
+        assert_eq!(s.index_manager().stats().invalidations, 1);
+        let report = s.execute(&plan).unwrap();
+        assert_eq!(report.index_builds, 1, "index must be rebuilt");
+        assert_eq!(report.table.num_rows(), 4);
     }
 }

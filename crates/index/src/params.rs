@@ -5,7 +5,11 @@ use serde::{Deserialize, Serialize};
 
 /// Parameters of the HNSW graph (Malkov & Yashunin, TPAMI 2020), the index
 /// the paper benchmarks against (built inside Milvus, Section VI-E).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// All fields are integral (plus the [`Metric`] enum), so parameter sets are
+/// `Eq + Hash` and can key persistent-index caches such as the session's
+/// `IndexManager` in `cej-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct HnswParams {
     /// Maximum out-degree per node on the upper layers (`M`).
     pub m: usize,

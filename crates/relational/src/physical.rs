@@ -1,9 +1,14 @@
-//! Physical execution of the relational and embedding operators.
+//! Execution-facing pieces of the relational layer: the model registry and
+//! the embedding operator kernel.
 //!
-//! Scans, selections, projections, and the embedding operator are executed
-//! here; the context-enhanced join itself — the paper's contribution — has
-//! several physical implementations that live in `cej-core` and consume the
-//! tables produced by this executor for the two join inputs.
+//! Physical *lowering* does not live here.  Plans — including the purely
+//! relational operators (scan, selection, projection) — are lowered to an
+//! explicit physical operator tree by `cej-core`'s `Planner` and executed by
+//! its `PhysicalPlan` executor, which consults the
+//! [`ModelRegistry`] defined here to resolve model names and calls
+//! [`apply_embedding`] for `Embed` nodes.  This module keeps only what the
+//! algebra itself owes the execution layer: name resolution and the `E_µ`
+//! kernel.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -11,17 +16,17 @@ use std::sync::Arc;
 use cej_embedding::Embedder;
 use cej_storage::{Column, Table};
 
-use crate::algebra::{EmbedSpec, LogicalPlan};
-use crate::catalog::Catalog;
+use crate::algebra::EmbedSpec;
 use crate::error::RelationalError;
-use crate::eval::evaluate_predicate;
 use crate::Result;
 
 /// A named registry of embedding models available to plans.
 ///
 /// Plans refer to models by name (the declarative interface of the paper:
 /// "the user should only specify the embedding model and a threshold"); the
-/// registry resolves the name at execution time.
+/// registry resolves the name at plan and execution time.  The registry is
+/// cheap to clone (models are `Arc`-shared) and is itself held in an `Arc`
+/// by the session so prepared queries share one instance.
 #[derive(Clone, Default)]
 pub struct ModelRegistry {
     models: HashMap<String, Arc<dyn Embedder>>,
@@ -68,41 +73,6 @@ impl ModelRegistry {
     }
 }
 
-/// Executes the relational portion of a plan (everything except `EJoin`),
-/// returning the materialised table.
-///
-/// # Errors
-/// Returns [`RelationalError::InvalidPlan`] when the plan contains an
-/// `EJoin` node (joins are executed by `cej-core`), plus any catalog, model,
-/// or evaluation errors.
-pub fn execute_relational(
-    plan: &LogicalPlan,
-    catalog: &Catalog,
-    models: &ModelRegistry,
-) -> Result<Table> {
-    match plan {
-        LogicalPlan::Scan { table } => Ok(catalog.table(table)?.as_ref().clone()),
-        LogicalPlan::Selection { predicate, input } => {
-            let table = execute_relational(input, catalog, models)?;
-            let selection = evaluate_predicate(predicate, &table)?;
-            table.filter(&selection).map_err(RelationalError::from)
-        }
-        LogicalPlan::Projection { columns, input } => {
-            let table = execute_relational(input, catalog, models)?;
-            let names: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
-            table.project(&names).map_err(RelationalError::from)
-        }
-        LogicalPlan::Embed { spec, input } => {
-            let table = execute_relational(input, catalog, models)?;
-            apply_embedding(&table, spec, models)
-        }
-        LogicalPlan::EJoin { .. } => Err(RelationalError::InvalidPlan(
-            "EJoin nodes are executed by the cej-core join operators, not the relational executor"
-                .into(),
-        )),
-    }
-}
-
 /// Applies the embedding operator `E_µ` to one column of a table, appending
 /// the embedding column named by the spec.
 ///
@@ -124,25 +94,19 @@ pub fn apply_embedding(table: &Table, spec: &EmbedSpec, models: &ModelRegistry) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algebra::SimilarityPredicate;
-    use crate::expr::{col, lit_i64};
     use cej_embedding::{FastTextConfig, FastTextModel};
     use cej_storage::{DataType, TableBuilder};
 
-    fn setup() -> (Catalog, ModelRegistry) {
-        let mut catalog = Catalog::new();
-        catalog.register(
-            "photos",
-            TableBuilder::new()
-                .int64("id", vec![1, 2, 3])
-                .utf8(
-                    "caption",
-                    vec!["bbq party".into(), "database talk".into(), "grill".into()],
-                )
-                .date("taken", vec![10, 20, 30])
-                .build()
-                .unwrap(),
-        );
+    fn setup() -> (Table, ModelRegistry) {
+        let table = TableBuilder::new()
+            .int64("id", vec![1, 2, 3])
+            .utf8(
+                "caption",
+                vec!["bbq party".into(), "database talk".into(), "grill".into()],
+            )
+            .date("taken", vec![10, 20, 30])
+            .build()
+            .unwrap();
         let mut models = ModelRegistry::new();
         let model = FastTextModel::new(FastTextConfig {
             dim: 16,
@@ -151,7 +115,7 @@ mod tests {
         })
         .unwrap();
         models.register("fasttext", Arc::new(model));
-        (catalog, models)
+        (table, models)
     }
 
     #[test]
@@ -168,27 +132,9 @@ mod tests {
     }
 
     #[test]
-    fn scan_and_selection_execute() {
-        let (catalog, models) = setup();
-        let plan = LogicalPlan::scan("photos").select(col("id").gt(lit_i64(1)));
-        let out = execute_relational(&plan, &catalog, &models).unwrap();
-        assert_eq!(out.num_rows(), 2);
-    }
-
-    #[test]
-    fn projection_executes() {
-        let (catalog, models) = setup();
-        let plan = LogicalPlan::scan("photos").project(&["caption"]);
-        let out = execute_relational(&plan, &catalog, &models).unwrap();
-        assert_eq!(out.num_columns(), 1);
-        assert_eq!(out.num_rows(), 3);
-    }
-
-    #[test]
     fn embedding_appends_vector_column() {
-        let (catalog, models) = setup();
-        let plan = LogicalPlan::scan("photos").embed(EmbedSpec::new("caption", "fasttext"));
-        let out = execute_relational(&plan, &catalog, &models).unwrap();
+        let (table, models) = setup();
+        let out = apply_embedding(&table, &EmbedSpec::new("caption", "fasttext"), &models).unwrap();
         assert_eq!(out.num_columns(), 4);
         let field = out.schema().field("caption_emb").unwrap();
         assert_eq!(field.data_type, DataType::Vector(16));
@@ -202,49 +148,17 @@ mod tests {
     }
 
     #[test]
-    fn selection_below_embedding_reduces_model_work() {
-        let (catalog, models) = setup();
-        let plan = LogicalPlan::scan("photos")
-            .select(col("id").gt(lit_i64(2)))
-            .embed(EmbedSpec::new("caption", "fasttext"));
-        let out = execute_relational(&plan, &catalog, &models).unwrap();
-        assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.value(0, "caption").unwrap().as_str(), Some("grill"));
-    }
-
-    #[test]
-    fn ejoin_rejected_by_relational_executor() {
-        let (catalog, models) = setup();
-        let plan = LogicalPlan::e_join(
-            LogicalPlan::scan("photos"),
-            LogicalPlan::scan("photos"),
-            "caption",
-            "caption",
-            "fasttext",
-            SimilarityPredicate::TopK(1),
-        );
+    fn unknown_model_column_and_type_errors() {
+        let (table, models) = setup();
         assert!(matches!(
-            execute_relational(&plan, &catalog, &models),
-            Err(RelationalError::InvalidPlan(_))
-        ));
-    }
-
-    #[test]
-    fn unknown_table_model_and_column_errors() {
-        let (catalog, models) = setup();
-        assert!(execute_relational(&LogicalPlan::scan("nope"), &catalog, &models).is_err());
-        let bad_model = LogicalPlan::scan("photos").embed(EmbedSpec::new("caption", "bert"));
-        assert!(matches!(
-            execute_relational(&bad_model, &catalog, &models),
+            apply_embedding(&table, &EmbedSpec::new("caption", "bert"), &models),
             Err(RelationalError::UnknownModel(_))
         ));
-        let bad_column = LogicalPlan::scan("photos").embed(EmbedSpec::new("nope", "fasttext"));
         assert!(matches!(
-            execute_relational(&bad_column, &catalog, &models),
+            apply_embedding(&table, &EmbedSpec::new("nope", "fasttext"), &models),
             Err(RelationalError::UnknownColumn(_))
         ));
         // embedding a non-string column is a type error
-        let bad_type = LogicalPlan::scan("photos").embed(EmbedSpec::new("id", "fasttext"));
-        assert!(execute_relational(&bad_type, &catalog, &models).is_err());
+        assert!(apply_embedding(&table, &EmbedSpec::new("id", "fasttext"), &models).is_err());
     }
 }

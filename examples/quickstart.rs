@@ -11,9 +11,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cej_core::{ContextJoinSession, JoinStrategy, TensorJoinConfig};
+use cej_core::{sim_gte, ContextJoinSession, JoinStrategy, TensorJoinConfig};
 use cej_embedding::{FastTextConfig, FastTextModel};
-use cej_relational::{col, lit_date, LogicalPlan, SimilarityPredicate};
+use cej_relational::{col, lit_date};
 use cej_storage::{scalar::date, TableBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -68,31 +68,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     session.register_model("fasttext", model);
     session.with_strategy(JoinStrategy::Tensor(TensorJoinConfig::default()));
 
-    // 4. A declarative plan: filter photos taken after Dec 2, join captions
-    //    against product titles on cosine similarity >= 0.2.  The bundled
-    //    model is untrained (seeded hash n-gram vectors), so absolute cosines
-    //    run much lower than a corpus-trained FastText: related sentence
-    //    pairs here score 0.23-0.38 while unrelated pairs stay below 0.18.
-    //    A trained model (see the data_cleaning example) supports the
-    //    paper-style 0.5+ thresholds.
-    let plan = LogicalPlan::e_join(
-        LogicalPlan::scan("photos"),
-        LogicalPlan::scan("products"),
-        "caption",
-        "title",
-        "fasttext",
-        SimilarityPredicate::Threshold(0.2),
-    )
-    .select(col("taken").gt(lit_date("2023-12-02")?));
+    // 4. A declarative query through the fluent builder: filter photos taken
+    //    after Dec 2, join captions against product titles on cosine
+    //    similarity >= 0.2.  The bundled model is untrained (seeded hash
+    //    n-gram vectors), so absolute cosines run much lower than a
+    //    corpus-trained FastText: related sentence pairs here score 0.23-0.38
+    //    while unrelated pairs stay below 0.18.  A trained model (see the
+    //    data_cleaning example) supports the paper-style 0.5+ thresholds.
+    let plan = session
+        .query("photos")
+        .select(col("taken").gt(lit_date("2023-12-02")?))
+        .ejoin("products", ("caption", "title"), "fasttext", sim_gte(0.2))
+        .build();
 
     println!("== Logical plan (as written) ==\n{plan}");
-    let report = session.execute(&plan)?;
+
+    // 5. Plan once (optimise + lower to a physical plan), inspect the
+    //    decision with explain(), then execute.  `prepared.run()` can be
+    //    called again and again — warm runs reuse the optimised plan, the
+    //    memoised embeddings, and (for index joins) the persistent HNSW
+    //    index.  `session.execute(&plan)` is the one-shot equivalent.
+    let prepared = session.prepare(&plan)?;
+    println!(
+        "== Physical plan (chosen before execution) ==\n{}",
+        prepared.explain()
+    );
+    let report = prepared.run()?;
     println!(
         "== Optimised plan (date filter pushed below the join) ==\n{}",
         report.optimized_plan
     );
 
-    // 5. Inspect the result.
+    // 6. Inspect the result.
     println!(
         "== Result: {} matched pairs, {} model calls, access path {:?} ==",
         report.matched_pairs, report.embedding_stats.model_calls, report.access_path

@@ -12,8 +12,10 @@
 //! * [`storage`] — columnar tables, schemas, selection bitmaps.
 //! * [`embedding`] — FastText-style model, tokenizer, counting cache.
 //! * [`index`] — from-scratch HNSW with probe statistics.
-//! * [`relational`] — the extended algebra `E_µ`, optimizer, executor.
-//! * [`core`] — the join operators, cost model, access paths, session API.
+//! * [`relational`] — the extended algebra `E_µ`, optimizer, model registry.
+//! * [`core`] — the join operators, cost model, access paths, physical
+//!   planner/executor (EXPLAIN, prepared queries, persistent indexes), and
+//!   the session API.
 //! * [`workload`] — deterministic synthetic data generators.
 
 #![deny(missing_docs)]
