@@ -1,0 +1,114 @@
+//! CI planner-accuracy regression gate.
+//!
+//! Compares the `scan_qerr_median` of a freshly produced
+//! `planner_accuracy.json` report against the checked-in baseline and exits
+//! non-zero when it exceeds `min(baseline · max_ratio, 2.0)` — the ratio
+//! (default 1.5) catches regressions relative to the baseline, and the
+//! absolute 2.0 ceiling is the acceptance bar on filtered scans; both must
+//! hold.  `advisor_agreement` must also not drop below the baseline by
+//! more than 0.25 (one decision on the four-point smoke workload).
+//!
+//! ```sh
+//! accuracy_gate <current.json> <baseline.json> [max_ratio]
+//! ```
+//!
+//! The baseline lives at `ci/planner_accuracy_baseline.json`; refresh it
+//! with `CEJ_SCALE=0.05 CEJ_REPORT=ci/planner_accuracy_baseline.json cargo
+//! run --release -p cej-bench --bin planner_accuracy`.
+
+use std::process::ExitCode;
+
+const DEFAULT_MAX_RATIO: f64 = 1.5;
+const ABSOLUTE_QERR_CEILING: f64 = 2.0;
+const MAX_AGREEMENT_DROP: f64 = 0.25;
+
+/// Extracts `"key":<number>` from the flat JSON the bench reports emit.
+fn extract(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (current_path, baseline_path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(b)) => (c, b),
+        _ => {
+            eprintln!("usage: accuracy_gate <current.json> <baseline.json> [max_ratio]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let max_ratio: f64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_MAX_RATIO);
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("accuracy_gate: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(current), Some(baseline)) = (read(current_path), read(baseline_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let mut failed = false;
+
+    match (
+        extract(&current, "scan_qerr_median"),
+        extract(&baseline, "scan_qerr_median"),
+    ) {
+        (Some(new), Some(old)) => {
+            // the ratio guards against relative regressions, the ceiling is
+            // the absolute acceptance bar — the stricter of the two applies
+            let limit = (old * max_ratio).min(ABSOLUTE_QERR_CEILING);
+            let verdict = if new > limit { "FAIL" } else { "ok" };
+            println!(
+                "scan_qerr_median: baseline {old:.4}, current {new:.4}, limit {limit:.4} [{verdict}]"
+            );
+            if new > limit {
+                failed = true;
+            }
+        }
+        _ => {
+            eprintln!("accuracy_gate: scan_qerr_median missing from one of the reports");
+            failed = true;
+        }
+    }
+
+    match (
+        extract(&current, "advisor_agreement"),
+        extract(&baseline, "advisor_agreement"),
+    ) {
+        (Some(new), Some(old)) => {
+            let drop = old - new;
+            let verdict = if drop > MAX_AGREEMENT_DROP {
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!(
+                "advisor_agreement: baseline {old:.2}, current {new:.2}, drop {drop:+.2} [{verdict}]"
+            );
+            if drop > MAX_AGREEMENT_DROP {
+                failed = true;
+            }
+        }
+        _ => {
+            eprintln!("accuracy_gate: advisor_agreement missing from one of the reports");
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("accuracy_gate: planner accuracy regressed — failing");
+        ExitCode::FAILURE
+    } else {
+        println!("accuracy_gate: within tolerance (ratio {max_ratio})");
+        ExitCode::SUCCESS
+    }
+}

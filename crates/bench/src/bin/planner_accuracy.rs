@@ -1,0 +1,62 @@
+//! Planner-accuracy report: cardinality q-errors and advisor agreement.
+//!
+//! Measures, on the cross-distribution workload (uniform + Zipf filter
+//! columns), how well the statistics-driven planner estimates filtered-scan
+//! and join cardinalities (q-error = `max(est/actual, actual/est)`), and how
+//! often the plan-time scan-vs-probe choice agrees with the choice the
+//! advisor would make given the *measured* inner selectivity.
+//!
+//! ```sh
+//! CEJ_REPORT=planner_accuracy.json cargo run --release -p cej-bench --bin planner_accuracy
+//! ```
+//!
+//! The CI bench-smoke job archives the JSON and gates on it via
+//! `accuracy_gate` against `ci/planner_accuracy_baseline.json` (refresh:
+//! `CEJ_SCALE=0.05 CEJ_REPORT=ci/planner_accuracy_baseline.json cargo run
+//! --release -p cej-bench --bin planner_accuracy`).
+
+use cej_bench::accuracy::{accuracy_table, planner_accuracy};
+use cej_bench::harness::{header, print_table, scaled};
+use cej_bench::report::Report;
+
+fn main() {
+    header(
+        "Planner-accuracy",
+        "q-error of statistics-driven cardinality estimates + advisor agreement",
+    );
+    let summary = planner_accuracy(scaled(400), scaled(4_000));
+
+    println!("\nFiltered scans (est vs actual rows):");
+    print_table(
+        &["predicate", "est", "actual", "q-error"],
+        &accuracy_table(&summary.scan_rows),
+    );
+    println!("\nEJoins (output rows, inner selectivity controlled):");
+    print_table(
+        &["join", "est", "actual", "q-error"],
+        &accuracy_table(&summary.join_rows),
+    );
+    println!(
+        "\nscan q-error median {:.3} / max {:.3}; join q-error median {:.3}; \
+         advisor agreement {:.0}%",
+        summary.scan_qerr_median,
+        summary.scan_qerr_max,
+        summary.join_qerr_median,
+        summary.advisor_agreement * 100.0
+    );
+
+    let mut report = Report::new("planner_accuracy");
+    report.push_value("scan_qerr_median", summary.scan_qerr_median);
+    report.push_value("scan_qerr_max", summary.scan_qerr_max);
+    report.push_value("join_qerr_median", summary.join_qerr_median);
+    report.push_value("advisor_agreement", summary.advisor_agreement);
+    for row in summary.scan_rows.iter().chain(summary.join_rows.iter()) {
+        let key: String = row
+            .query
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        report.push_value(&format!("qerr_{key}"), row.q_error);
+    }
+    report.write_if_requested();
+}

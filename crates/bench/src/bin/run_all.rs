@@ -176,6 +176,33 @@ fn main() {
         report.push_value(name, value);
     }
 
+    let mut accuracy_values: Vec<(&'static str, f64)> = Vec::new();
+    section(&mut report, "planner_accuracy", &mut || {
+        println!("\n--- Planner accuracy: q-error + advisor agreement ---");
+        let summary = cej_bench::accuracy::planner_accuracy(scaled(400), scaled(4_000));
+        cej_bench::harness::print_table(
+            &["predicate", "est", "actual", "q-error"],
+            &cej_bench::accuracy::accuracy_table(&summary.scan_rows),
+        );
+        println!(
+            "scan q-error median {:.3} / max {:.3}; join q-error median {:.3}; \
+             advisor agreement {:.0}%",
+            summary.scan_qerr_median,
+            summary.scan_qerr_max,
+            summary.join_qerr_median,
+            summary.advisor_agreement * 100.0
+        );
+        accuracy_values = vec![
+            ("scan_qerr_median", summary.scan_qerr_median),
+            ("scan_qerr_max", summary.scan_qerr_max),
+            ("join_qerr_median", summary.join_qerr_median),
+            ("advisor_agreement", summary.advisor_agreement),
+        ];
+    });
+    for (name, value) in accuracy_values {
+        report.push_value(name, value);
+    }
+
     report.write_if_requested();
 }
 

@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod accuracy;
 pub mod experiments;
 pub mod harness;
 pub mod report;

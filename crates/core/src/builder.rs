@@ -117,6 +117,15 @@ impl<'s> QueryBuilder<'s> {
         Ok(self.prepare()?.explain())
     }
 
+    /// Plans and executes the query, rendering estimated-vs-actual rows per
+    /// operator (`EXPLAIN ANALYZE`).
+    ///
+    /// # Errors
+    /// Propagates planning and execution errors.
+    pub fn explain_analyze(self) -> Result<crate::prepared::ExplainAnalyze> {
+        self.prepare()?.explain_analyze()
+    }
+
     /// Prepares and executes the query once.
     ///
     /// # Errors

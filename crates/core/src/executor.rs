@@ -155,6 +155,8 @@ pub struct RunStats {
     pub index_builds: u64,
     /// Persistent HNSW indexes reused during this run (warm index joins).
     pub index_reuses: u64,
+    /// Persistent HNSW indexes evicted by the memory budget during this run.
+    pub index_evictions: u64,
 }
 
 /// The outcome of executing a physical plan.
@@ -164,42 +166,62 @@ pub struct ExecOutcome {
     pub table: Table,
     /// Execution statistics.
     pub stats: RunStats,
+    /// Actual output rows of every operator, in the pre-order the plan
+    /// renders in — the "actual" side of
+    /// [`PhysicalPlan::explain_analyze`].  Length equals
+    /// [`PhysicalPlan::operator_count`].
+    pub operator_rows: Vec<u64>,
 }
 
 impl PhysicalPlan {
-    /// Executes the plan against the given context.
+    /// Executes the plan against the given context, recording the actual
+    /// output rows of every operator alongside the usual run statistics.
     ///
     /// # Errors
     /// Propagates catalog, evaluation, embedding, index, and join errors.
     pub fn execute(&self, ctx: &ExecContext<'_>) -> Result<ExecOutcome> {
         let mut stats = RunStats::default();
-        let table = execute_node(self, ctx, &mut stats)?;
-        Ok(ExecOutcome { table, stats })
+        let mut operator_rows = Vec::with_capacity(self.operator_count());
+        let table = execute_node(self, ctx, &mut stats, &mut operator_rows)?;
+        Ok(ExecOutcome {
+            table,
+            stats,
+            operator_rows,
+        })
     }
 }
 
-fn execute_node(plan: &PhysicalPlan, ctx: &ExecContext<'_>, stats: &mut RunStats) -> Result<Table> {
-    match plan {
-        PhysicalPlan::TableScan { table, .. } => Ok(ctx
+fn execute_node(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext<'_>,
+    stats: &mut RunStats,
+    operator_rows: &mut Vec<u64>,
+) -> Result<Table> {
+    // Claim this operator's pre-order slot before recursing, so the recorded
+    // vector lines up with the order `explain_analyze` renders operators in.
+    let slot = operator_rows.len();
+    operator_rows.push(0);
+    let table = match plan {
+        PhysicalPlan::TableScan { table, .. } => ctx
             .catalog
             .table(table)
             .map_err(CoreError::from)?
             .as_ref()
-            .clone()),
+            .clone(),
         PhysicalPlan::Filter {
             predicate, input, ..
         } => {
-            let table = execute_node(input, ctx, stats)?;
+            let table = execute_node(input, ctx, stats, operator_rows)?;
             let selection = evaluate_predicate(predicate, &table).map_err(CoreError::from)?;
-            table.filter(&selection).map_err(CoreError::from)
+            table.filter(&selection).map_err(CoreError::from)?
         }
         PhysicalPlan::Project { columns, input, .. } => {
-            let table = execute_node(input, ctx, stats)?;
+            let table = execute_node(input, ctx, stats, operator_rows)?;
             let names: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
-            table.project(&names).map_err(CoreError::from)
+            table.project(&names).map_err(CoreError::from)?
         }
         PhysicalPlan::Embed { spec, input, .. } => {
-            let table = execute_node(input, ctx, stats)?;
+            let table = execute_node(input, ctx, stats, operator_rows)?;
             // Route `E_µ` through the shared per-model cache (not the raw
             // registry model) so warm prepared runs re-pay nothing and the
             // calls show up in the run's embedding stats.
@@ -215,14 +237,21 @@ fn execute_node(plan: &PhysicalPlan, ctx: &ExecContext<'_>, stats: &mut RunStats
             stats.embedding_stats.cache_hits += after.cache_hits - before.cache_hits;
             table
                 .with_column(&spec.output_column, Column::Vector(matrix))
-                .map_err(CoreError::from)
+                .map_err(CoreError::from)?
         }
-        PhysicalPlan::Join(node) => execute_join(node, ctx, stats),
-    }
+        PhysicalPlan::Join(node) => execute_join(node, ctx, stats, operator_rows)?,
+    };
+    operator_rows[slot] = table.num_rows() as u64;
+    Ok(table)
 }
 
-fn execute_join(node: &JoinNode, ctx: &ExecContext<'_>, stats: &mut RunStats) -> Result<Table> {
-    let outer_table = execute_node(&node.outer, ctx, stats)?;
+fn execute_join(
+    node: &JoinNode,
+    ctx: &ExecContext<'_>,
+    stats: &mut RunStats,
+    operator_rows: &mut Vec<u64>,
+) -> Result<Table> {
+    let outer_table = execute_node(&node.outer, ctx, stats, operator_rows)?;
     let left_strings = outer_table
         .column_by_name(&node.left_column)
         .map_err(CoreError::from)?
@@ -232,7 +261,7 @@ fn execute_join(node: &JoinNode, ctx: &ExecContext<'_>, stats: &mut RunStats) ->
     // counters: a nested join or embed inside it accounts for its own model
     // calls, and this join's delta must not double-count them.
     let materialized_inner = match &node.inner {
-        InnerInput::Plan(inner) => Some(execute_node(inner, ctx, stats)?),
+        InnerInput::Plan(inner) => Some(execute_node(inner, ctx, stats, operator_rows)?),
         InnerInput::Indexed(_) => None,
     };
 
@@ -250,7 +279,9 @@ fn execute_join(node: &JoinNode, ctx: &ExecContext<'_>, stats: &mut RunStats) ->
                 .map_err(CoreError::from)?
                 .as_utf8()?;
             let join = IndexJoin::new(*config);
-            let (index, built) = ctx.indexes.get_or_build(&indexed.key, || {
+            // tracked variant: evictions this call performed are attributed
+            // to this run, not diffed off the shared manager's global counter
+            let (index, built, evicted) = ctx.indexes.get_or_build_tracked(&indexed.key, || {
                 let matrix = embed_all(cache.as_ref(), inner_strings)?;
                 join.build_index(&matrix)
             })?;
@@ -259,6 +290,7 @@ fn execute_join(node: &JoinNode, ctx: &ExecContext<'_>, stats: &mut RunStats) ->
             } else {
                 stats.index_reuses += 1;
             }
+            stats.index_evictions += evicted;
 
             let mut inner_filter: Option<SelectionBitmap> = None;
             for expr in &indexed.filters {

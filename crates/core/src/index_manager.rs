@@ -8,6 +8,12 @@
 //! the same graph on every execution instead of rebuilding it, and it
 //! invalidates all indexes of a table when the table is re-registered.
 //!
+//! A server holding many `(table, column, model, params)` combinations also
+//! needs bounded memory: the manager enforces an optional byte budget with
+//! least-recently-used eviction (sized by [`HnswIndex::memory_bytes`]),
+//! configured through the session builder or the `CEJ_INDEX_BUDGET`
+//! environment variable (`bytes`, with optional `k`/`m`/`g` suffix).
+//!
 //! All methods take `&self` (interior mutability) so the cache can be shared
 //! between a session and any number of live
 //! [`crate::prepared::PreparedQuery`] handles.
@@ -68,17 +74,33 @@ pub struct IndexManagerStats {
     pub hits: u64,
     /// Number of indexes dropped by table re-registration.
     pub invalidations: u64,
+    /// Number of indexes evicted by the memory budget (LRU).
+    pub evictions: u64,
     /// Number of indexes currently resident.
     pub resident: usize,
+    /// Total bytes held by resident indexes.
+    pub memory_bytes: usize,
+}
+
+/// One resident index plus its LRU clock stamp and (immutable) size,
+/// computed once at insert so budget enforcement and stats never re-walk
+/// the graph.
+struct CachedIndex {
+    index: Arc<HnswIndex>,
+    bytes: usize,
+    last_used: AtomicU64,
 }
 
 /// The session-owned cache of built [`HnswIndex`] handles.
 #[derive(Default)]
 pub struct IndexManager {
-    indexes: RwLock<HashMap<IndexKey, Arc<HnswIndex>>>,
+    indexes: RwLock<HashMap<IndexKey, CachedIndex>>,
+    budget: RwLock<Option<usize>>,
     builds: AtomicU64,
     hits: AtomicU64,
     invalidations: AtomicU64,
+    evictions: AtomicU64,
+    clock: AtomicU64,
 }
 
 impl std::fmt::Debug for IndexManager {
@@ -86,17 +108,65 @@ impl std::fmt::Debug for IndexManager {
         let stats = self.stats();
         f.debug_struct("IndexManager")
             .field("resident", &stats.resident)
+            .field("memory_bytes", &stats.memory_bytes)
             .field("builds", &stats.builds)
             .field("hits", &stats.hits)
             .field("invalidations", &stats.invalidations)
+            .field("evictions", &stats.evictions)
             .finish()
     }
 }
 
+/// Parses a human-friendly byte budget: plain bytes, with an optional
+/// trailing `b` and an optional `k` / `m` / `g` binary multiplier
+/// (`"64m"`, `"512kb"`, `"2g"`, `"1048576"`).
+pub fn parse_budget(s: &str) -> Option<usize> {
+    let t = s.trim().to_ascii_lowercase();
+    let t = t.strip_suffix('b').unwrap_or(&t);
+    let (digits, multiplier) = match t.strip_suffix(['k', 'm', 'g']) {
+        Some(prefix) => {
+            let mult = match t.chars().last() {
+                Some('k') => 1usize << 10,
+                Some('m') => 1usize << 20,
+                _ => 1usize << 30,
+            };
+            (prefix, mult)
+        }
+        None => (t, 1usize),
+    };
+    digits
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .map(|n| n.saturating_mul(multiplier))
+}
+
 impl IndexManager {
-    /// Creates an empty manager.
+    /// Creates an empty manager.  The memory budget defaults to unlimited,
+    /// or to `CEJ_INDEX_BUDGET` when the environment variable is set.
     pub fn new() -> Self {
-        Self::default()
+        let manager = Self::default();
+        if let Some(budget) = std::env::var("CEJ_INDEX_BUDGET")
+            .ok()
+            .and_then(|s| parse_budget(&s))
+        {
+            *manager.budget.write() = Some(budget);
+        }
+        manager
+    }
+
+    /// Sets (or clears) the resident-memory budget in bytes and immediately
+    /// evicts down to it.  A single index larger than the budget stays
+    /// resident while in use — evicting it would only force a rebuild loop.
+    pub fn set_budget(&self, bytes: Option<usize>) {
+        *self.budget.write() = bytes;
+        let mut write = self.indexes.write();
+        self.enforce_budget(&mut write, None);
+    }
+
+    /// The configured resident-memory budget, if any.
+    pub fn budget(&self) -> Option<usize> {
+        *self.budget.read()
     }
 
     /// Whether an index for `key` is resident.
@@ -104,14 +174,24 @@ impl IndexManager {
         self.indexes.read().contains_key(key)
     }
 
-    /// The resident index for `key`, if any (does not count as a hit).
+    /// The resident index for `key`, if any (does not count as a hit, but
+    /// refreshes the entry's LRU position).
     pub fn get(&self, key: &IndexKey) -> Option<Arc<HnswIndex>> {
-        self.indexes.read().get(key).cloned()
+        let read = self.indexes.read();
+        read.get(key).map(|entry| {
+            entry.last_used.store(self.tick(), Ordering::Relaxed);
+            entry.index.clone()
+        })
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Returns the resident index for `key`, building (and caching) it with
     /// `build` on a miss.  The boolean is `true` when the index was built by
-    /// this call.
+    /// this call.  Inserting over budget evicts least-recently-used entries
+    /// (never the one being returned).
     ///
     /// The build runs outside the lock; if two threads race on the same key
     /// the first inserted handle wins and both callers observe it.
@@ -123,15 +203,73 @@ impl IndexManager {
         key: &IndexKey,
         build: impl FnOnce() -> Result<HnswIndex>,
     ) -> Result<(Arc<HnswIndex>, bool)> {
-        if let Some(index) = self.indexes.read().get(key) {
+        let (index, built, _) = self.get_or_build_tracked(key, build)?;
+        Ok((index, built))
+    }
+
+    /// [`IndexManager::get_or_build`] plus the number of LRU evictions this
+    /// very call performed, so executions on a shared manager can attribute
+    /// evictions run-locally instead of diffing the global counter (which
+    /// would blame one run for a concurrent run's evictions).
+    ///
+    /// # Errors
+    /// Propagates errors from `build`.
+    pub fn get_or_build_tracked(
+        &self,
+        key: &IndexKey,
+        build: impl FnOnce() -> Result<HnswIndex>,
+    ) -> Result<(Arc<HnswIndex>, bool, u64)> {
+        if let Some(entry) = self.indexes.read().get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((index.clone(), false));
+            entry.last_used.store(self.tick(), Ordering::Relaxed);
+            return Ok((entry.index.clone(), false, 0));
         }
         let built = Arc::new(build()?);
         self.builds.fetch_add(1, Ordering::Relaxed);
+        let tick = self.tick();
         let mut write = self.indexes.write();
-        let resident = write.entry(key.clone()).or_insert_with(|| built.clone());
-        Ok((resident.clone(), true))
+        let entry = write.entry(key.clone()).or_insert_with(|| CachedIndex {
+            bytes: built.memory_bytes(),
+            index: built.clone(),
+            last_used: AtomicU64::new(0),
+        });
+        entry.last_used.store(tick, Ordering::Relaxed);
+        let resident = entry.index.clone();
+        let evicted = self.enforce_budget(&mut write, Some(key));
+        Ok((resident, true, evicted))
+    }
+
+    /// Evicts least-recently-used entries until the resident set fits the
+    /// budget, returning how many were evicted.  `protect` (the entry being
+    /// handed out right now) is never evicted, so a single over-budget index
+    /// still serves its query.
+    fn enforce_budget(
+        &self,
+        write: &mut HashMap<IndexKey, CachedIndex>,
+        protect: Option<&IndexKey>,
+    ) -> u64 {
+        let Some(budget) = *self.budget.read() else {
+            return 0;
+        };
+        let mut total: usize = write.values().map(|e| e.bytes).sum();
+        let mut evicted = 0u64;
+        while total > budget {
+            let victim = write
+                .iter()
+                .filter(|(key, _)| Some(*key) != protect)
+                .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                .map(|(key, entry)| (key.clone(), entry.bytes));
+            match victim {
+                Some((key, bytes)) => {
+                    write.remove(&key);
+                    total -= bytes;
+                    evicted += 1;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break, // only the protected entry remains
+            }
+        }
+        evicted
     }
 
     /// Drops every index over `table` (called when the table is
@@ -163,13 +301,17 @@ impl IndexManager {
         self.indexes.write().clear();
     }
 
-    /// Current counters plus the resident index count.
+    /// Current counters plus the resident index count and memory footprint
+    /// (an O(residents) integer sum — per-index sizes are cached at insert).
     pub fn stats(&self) -> IndexManagerStats {
+        let read = self.indexes.read();
         IndexManagerStats {
             builds: self.builds.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            resident: self.indexes.read().len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident: read.len(),
+            memory_bytes: read.values().map(|e| e.bytes).sum(),
         }
     }
 }
@@ -199,6 +341,7 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &second));
         let stats = manager.stats();
         assert_eq!((stats.builds, stats.hits, stats.resident), (1, 1, 1));
+        assert!(stats.memory_bytes > 0);
         assert!(manager.get(&key("t")).is_some());
     }
 
@@ -240,5 +383,70 @@ mod tests {
         assert!(err.is_err());
         assert!(!manager.contains(&key("t")));
         assert_eq!(manager.stats().builds, 0);
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used() {
+        let manager = IndexManager::new();
+        manager.get_or_build(&key("a"), build_small).unwrap();
+        let one_index = manager.stats().memory_bytes;
+        assert!(one_index > 0);
+        // room for two indexes but not three
+        manager.set_budget(Some(one_index * 2 + one_index / 2));
+        manager.get_or_build(&key("b"), build_small).unwrap();
+        assert_eq!(manager.stats().resident, 2);
+        // touch "a" so "b" becomes the LRU victim
+        assert!(manager.get(&key("a")).is_some());
+        manager.get_or_build(&key("c"), build_small).unwrap();
+        let stats = manager.stats();
+        assert_eq!(stats.resident, 2, "third build must evict one");
+        assert_eq!(stats.evictions, 1);
+        assert!(manager.contains(&key("a")), "recently used survives");
+        assert!(!manager.contains(&key("b")), "LRU entry evicted");
+        assert!(manager.contains(&key("c")), "new entry resident");
+        assert!(stats.memory_bytes <= manager.budget().unwrap());
+    }
+
+    #[test]
+    fn over_budget_single_index_stays_resident() {
+        let manager = IndexManager::new();
+        manager.set_budget(Some(1));
+        let (_, built) = manager.get_or_build(&key("t"), build_small).unwrap();
+        assert!(built);
+        // the only (protected) index survives even though it exceeds the budget
+        assert_eq!(manager.stats().resident, 1);
+        // the next build for a different key evicts the now-unprotected one
+        manager.get_or_build(&key("u"), build_small).unwrap();
+        let stats = manager.stats();
+        assert_eq!(stats.resident, 1);
+        assert!(manager.contains(&key("u")));
+        assert!(stats.evictions >= 1);
+    }
+
+    #[test]
+    fn shrinking_budget_evicts_immediately() {
+        let manager = IndexManager::new();
+        manager.get_or_build(&key("a"), build_small).unwrap();
+        manager.get_or_build(&key("b"), build_small).unwrap();
+        assert_eq!(manager.stats().resident, 2);
+        manager.set_budget(Some(1));
+        assert_eq!(manager.stats().resident, 0, "no protected entry here");
+        manager.set_budget(None);
+        manager.get_or_build(&key("a"), build_small).unwrap();
+        manager.get_or_build(&key("b"), build_small).unwrap();
+        assert_eq!(manager.stats().resident, 2, "unlimited again");
+    }
+
+    #[test]
+    fn budget_parsing() {
+        assert_eq!(parse_budget("1024"), Some(1024));
+        assert_eq!(parse_budget("64k"), Some(64 << 10));
+        assert_eq!(parse_budget("64kb"), Some(64 << 10));
+        assert_eq!(parse_budget(" 2M "), Some(2 << 20));
+        assert_eq!(parse_budget("1g"), Some(1 << 30));
+        assert_eq!(parse_budget("1GB"), Some(1 << 30));
+        assert_eq!(parse_budget("nope"), None);
+        assert_eq!(parse_budget(""), None);
+        assert_eq!(parse_budget("k"), None);
     }
 }

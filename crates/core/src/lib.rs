@@ -66,10 +66,10 @@ pub use join::naive_nlj::NaiveNlJoin;
 pub use join::prefetch_nlj::{NljConfig, PrefetchNlJoin};
 pub use join::tensor_join::{TensorJoin, TensorJoinConfig};
 pub use physical_plan::{
-    IndexedInner, InnerInput, JoinNode, PhysicalJoinOp, PhysicalPlan, PlanEstimate,
+    q_error, IndexedInner, InnerInput, JoinNode, PhysicalJoinOp, PhysicalPlan, PlanEstimate,
 };
 pub use planner::Planner;
-pub use prepared::PreparedQuery;
+pub use prepared::{ExplainAnalyze, PreparedQuery};
 pub use result::{JoinPair, JoinResult, JoinStats};
 pub use session::{ContextJoinSession, ExecutionReport, JoinStrategy};
 

@@ -8,7 +8,9 @@
 //! [`crate::index_manager::IndexManager`] or builds one per execution.
 //! Every node carries the planner's cardinality/cost annotations so
 //! [`PhysicalPlan::explain`] can render the decision *before* anything runs —
-//! the paper's Section V cost-based choice, made visible.
+//! the paper's Section V cost-based choice, made visible — and
+//! [`PhysicalPlan::explain_analyze`] can render estimated-vs-actual rows
+//! side by side after a run recorded per-operator actuals.
 
 use std::fmt;
 
@@ -35,6 +37,16 @@ impl PlanEstimate {
     pub fn new(rows: f64, cost: f64) -> Self {
         Self { rows, cost }
     }
+}
+
+/// The q-error of a cardinality estimate: `max(est/actual, actual/est)`,
+/// the standard plan-quality metric (1.0 = exact; symmetric in over- and
+/// under-estimation).  Zero-row sides are smoothed to one row so a perfect
+/// "no rows expected, no rows seen" scores 1.0 instead of dividing by zero.
+pub fn q_error(estimated: f64, actual: f64) -> f64 {
+    let est = estimated.max(1.0);
+    let act = actual.max(1.0);
+    (est / act).max(act / est)
 }
 
 /// Which physical operator executes a context-enhanced join node.
@@ -112,6 +124,9 @@ pub struct JoinNode {
     pub op: PhysicalJoinOp,
     /// The access path the planner selected (what the executor will report).
     pub access_path: AccessPath,
+    /// The statistics-estimated fraction of the inner relation surviving its
+    /// relational predicates — the selectivity axis the advisor decided on.
+    pub est_inner_selectivity: f64,
     /// Advisor estimate for the scan (tensor) path.
     pub scan_cost: f64,
     /// Advisor estimate for the probe (index) path.
@@ -134,6 +149,8 @@ pub enum PhysicalPlan {
     Filter {
         /// The predicate.
         predicate: Expr,
+        /// The statistics-estimated fraction of input rows kept.
+        selectivity: f64,
         /// The input operator.
         input: Box<PhysicalPlan>,
         /// Output estimate.
@@ -173,6 +190,25 @@ impl PhysicalPlan {
         }
     }
 
+    /// Number of operators in the tree (each executes exactly once per run;
+    /// this is the length of the executor's per-operator actual-row vector).
+    pub fn operator_count(&self) -> usize {
+        let own = 1;
+        own + match self {
+            PhysicalPlan::TableScan { .. } => 0,
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Embed { input, .. } => input.operator_count(),
+            PhysicalPlan::Join(node) => {
+                node.outer.operator_count()
+                    + match &node.inner {
+                        InnerInput::Plan(inner) => inner.operator_count(),
+                        InnerInput::Indexed(_) => 0,
+                    }
+            }
+        }
+    }
+
     /// The join nodes of this plan, outermost first.
     pub fn join_nodes(&self) -> Vec<&JoinNode> {
         let mut out = Vec::new();
@@ -202,24 +238,46 @@ impl PhysicalPlan {
     /// *before* execution; the executor follows exactly what is printed.
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        self.render(&mut out, 0);
+        let mut cursor = 0usize;
+        self.render(&mut out, 0, None, &mut cursor);
         out
     }
 
-    fn render(&self, out: &mut String, indent: usize) {
+    /// Renders the operator tree with estimated *and* actual rows side by
+    /// side.  `actual_rows` is the per-operator output-row vector recorded by
+    /// the executor, in the same pre-order the plan is rendered in (see
+    /// [`crate::executor::ExecOutcome::operator_rows`]); operators past the
+    /// end of the slice render without an actual (defensive — a full run
+    /// records every operator).
+    pub fn explain_analyze(&self, actual_rows: &[u64]) -> String {
+        let mut out = String::new();
+        let mut cursor = 0usize;
+        self.render(&mut out, 0, Some(actual_rows), &mut cursor);
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: usize, actuals: Option<&[u64]>, cursor: &mut usize) {
         use std::fmt::Write as _;
         let pad = "  ".repeat(indent);
+        let actual = actuals.and_then(|rows| rows.get(*cursor).copied());
+        *cursor += 1;
         match self {
             PhysicalPlan::TableScan { table, est } => {
-                let _ = writeln!(out, "{pad}TableScan: {table} {}", fmt_est(est));
+                let _ = writeln!(out, "{pad}TableScan: {table} {}", fmt_est(est, actual));
             }
             PhysicalPlan::Filter {
                 predicate,
+                selectivity,
                 input,
                 est,
             } => {
-                let _ = writeln!(out, "{pad}Filter: {predicate} {}", fmt_est(est));
-                input.render(out, indent + 1);
+                let _ = writeln!(
+                    out,
+                    "{pad}Filter: {predicate} (sel {:.3}) {}",
+                    selectivity,
+                    fmt_est(est, actual)
+                );
+                input.render(out, indent + 1, actuals, cursor);
             }
             PhysicalPlan::Project {
                 columns,
@@ -230,9 +288,9 @@ impl PhysicalPlan {
                     out,
                     "{pad}Project: [{}] {}",
                     columns.join(", "),
-                    fmt_est(est)
+                    fmt_est(est, actual)
                 );
-                input.render(out, indent + 1);
+                input.render(out, indent + 1, actuals, cursor);
             }
             PhysicalPlan::Embed { spec, input, est } => {
                 let _ = writeln!(
@@ -241,26 +299,28 @@ impl PhysicalPlan {
                     spec.input_column,
                     spec.output_column,
                     spec.model,
-                    fmt_est(est)
+                    fmt_est(est, actual)
                 );
-                input.render(out, indent + 1);
+                input.render(out, indent + 1, actuals, cursor);
             }
             PhysicalPlan::Join(node) => {
                 let _ = writeln!(
                     out,
-                    "{pad}{}: {} ~ {} ({}, model {}) [access path: {}; est rows {}; \
-                     scan cost {} vs probe cost {}]",
+                    "{pad}{}: {} ~ {} ({}, model {}) [access path: {}; inner sel {:.2}; \
+                     est rows {}{}; scan cost {} vs probe cost {}]",
                     node.op.name(),
                     node.left_column,
                     node.right_column,
                     node.predicate.label(),
                     node.model,
                     node.access_path.label(),
+                    node.est_inner_selectivity,
                     fmt_rows(node.est.rows),
+                    fmt_actual(node.est.rows, actual),
                     fmt_cost(node.scan_cost),
                     fmt_cost(node.probe_cost),
                 );
-                node.outer.render(out, indent + 1);
+                node.outer.render(out, indent + 1, actuals, cursor);
                 match &node.inner {
                     InnerInput::Plan(plan) => {
                         if matches!(node.op, PhysicalJoinOp::Index(_)) {
@@ -268,9 +328,9 @@ impl PhysicalPlan {
                                 out,
                                 "{pad}  IndexBuild: per-execution (inner not a base-table column)"
                             );
-                            plan.render(out, indent + 2);
+                            plan.render(out, indent + 2, actuals, cursor);
                         } else {
-                            plan.render(out, indent + 1);
+                            plan.render(out, indent + 1, actuals, cursor);
                         }
                     }
                     InnerInput::Indexed(ii) => {
@@ -310,8 +370,22 @@ impl fmt::Display for PhysicalPlan {
     }
 }
 
-fn fmt_est(est: &PlanEstimate) -> String {
-    format!("[rows {}; cost {}]", fmt_rows(est.rows), fmt_cost(est.cost))
+fn fmt_est(est: &PlanEstimate, actual: Option<u64>) -> String {
+    format!(
+        "[rows {}{}; cost {}]",
+        fmt_rows(est.rows),
+        fmt_actual(est.rows, actual),
+        fmt_cost(est.cost)
+    )
+}
+
+/// Renders the actual-row annotation of EXPLAIN ANALYZE: the measured count
+/// plus the q-error of the estimate against it.
+fn fmt_actual(est_rows: f64, actual: Option<u64>) -> String {
+    match actual {
+        Some(act) => format!("; actual {act}; q-err {:.2}", q_error(est_rows, act as f64)),
+        None => String::new(),
+    }
 }
 
 fn fmt_rows(rows: f64) -> String {
@@ -349,6 +423,7 @@ mod tests {
             predicate: SimilarityPredicate::TopK(1),
             op,
             access_path: path,
+            est_inner_selectivity: 0.25,
             scan_cost: 12_000.0,
             probe_cost: 3_400.0,
             est: PlanEstimate::new(100.0, 20_000.0),
@@ -365,11 +440,34 @@ mod tests {
         let text = plan.explain();
         assert!(text.contains("TensorJoin"));
         assert!(text.contains("access path: tensor-scan"));
+        assert!(text.contains("inner sel 0.25"));
         assert!(text.contains("scan cost 1.20e4 vs probe cost 3.40e3"));
         assert!(text.contains("TableScan: r"));
         assert!(text.contains("TableScan: s"));
         assert_eq!(plan.estimate().rows, 100.0);
         assert_eq!(plan.join_nodes().len(), 1);
+        assert_eq!(plan.operator_count(), 3);
+    }
+
+    #[test]
+    fn explain_analyze_renders_estimates_against_actuals() {
+        let plan = join_node(
+            PhysicalJoinOp::Tensor(TensorJoinConfig::default()),
+            AccessPath::TensorScan,
+            InnerInput::Plan(scan("s", 500.0)),
+        );
+        // pre-order: join, outer scan, inner scan
+        let text = plan.explain_analyze(&[80, 100, 450]);
+        assert!(
+            text.contains("est rows 100; actual 80"),
+            "join line: {text}"
+        );
+        assert!(text.contains("[rows 100; actual 100; q-err 1.00"));
+        assert!(text.contains("[rows 500; actual 450; q-err 1.11"));
+        // a short actuals vector leaves trailing operators un-annotated
+        let partial = plan.explain_analyze(&[80]);
+        assert!(partial.contains("actual 80"));
+        assert!(partial.contains("[rows 500; cost"));
     }
 
     #[test]
@@ -391,6 +489,7 @@ mod tests {
         assert!(text.contains("persistent index s.title/ft"));
         assert!(text.contains("probe filters: (year >= 2023)") || text.contains("probe filters"));
         assert!(text.contains("project [title]"));
+        assert_eq!(plan.operator_count(), 2, "indexed inner has no operator");
     }
 
     #[test]
@@ -412,6 +511,7 @@ mod tests {
                 columns: vec!["word".into()],
                 input: Box::new(PhysicalPlan::Filter {
                     predicate: col("x").gt(lit_i64(0)),
+                    selectivity: 0.5,
                     input: Box::new(scan("t", 10.0)),
                     est: PlanEstimate::new(5.0, 20.0),
                 }),
@@ -423,8 +523,19 @@ mod tests {
         assert!(text.contains("Embed: word -> word_emb"));
         assert!(text.contains("Project: [word]"));
         assert!(text.contains("Filter:"));
+        assert!(text.contains("(sel 0.500)"));
         assert!(text.contains("[rows 5; cost"));
         assert!(format!("{plan}").contains("TableScan: t"));
         assert!(plan.join_nodes().is_empty());
+        assert_eq!(plan.operator_count(), 4);
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_smoothed() {
+        assert_eq!(q_error(100.0, 100.0), 1.0);
+        assert_eq!(q_error(200.0, 100.0), 2.0);
+        assert_eq!(q_error(100.0, 200.0), 2.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+        assert_eq!(q_error(0.0, 10.0), 10.0);
     }
 }

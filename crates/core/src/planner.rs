@@ -3,22 +3,33 @@
 //! The planner is where the paper's Section V cost-based decision happens —
 //! *at plan time*, before anything executes:
 //!
-//! 1. cardinalities are estimated bottom-up from catalog row counts (scans
-//!    are exact; filters apply a default selectivity);
-//! 2. for every `EJoin` the [`AccessPathAdvisor`] is consulted with the
-//!    estimated query shape, producing the scan-vs-probe cost pair that
+//! 1. output schemas are resolved bottom-up, so unknown columns, non-string
+//!    ejoin columns, and ill-typed predicates fail at `prepare()` with a
+//!    typed error instead of mid-execution;
+//! 2. cardinalities are estimated bottom-up from the catalog's *statistics
+//!    view* ([`cej_storage::TableStats`], computed by the `ANALYZE` pass at
+//!    registration): scans are exact, filters apply histogram/ndv-based
+//!    selectivities ([`cej_relational::selectivity`]) instead of a constant;
+//! 3. for every `EJoin` the [`AccessPathAdvisor`] is consulted with the
+//!    estimated query shape — including the estimated *inner selectivity*,
+//!    the axis of Figures 15-17 — producing the scan-vs-probe cost pair that
 //!    [`PhysicalPlan::explain`] renders;
-//! 3. when the index path is chosen *and* the inner side reduces to a
+//! 4. when the index path is chosen *and* the inner side reduces to a
 //!    base-table column (scan plus filters/projections), the join is lowered
 //!    onto a persistent index handle ([`crate::physical_plan::IndexedInner`])
 //!    shared through the session's `IndexManager`, with the relational
 //!    predicates turned into probe-time filter bitmaps — the paper's
 //!    pre-filtering semantics.
 //!
-//! The produced plan is immutable: executing it twice performs the same
-//! physical operators, which is what makes prepared queries meaningful.
+//! The produced plan is immutable and snapshots the statistics it was costed
+//! with: executing it twice performs the same physical operators, which is
+//! what makes prepared queries meaningful.
 
-use cej_relational::{Catalog, Expr, LogicalPlan, SimilarityPredicate};
+use std::sync::Arc;
+
+use cej_relational::selectivity::{check_predicate, estimate_selectivity, DEFAULT_SELECTIVITY};
+use cej_relational::{Catalog, Expr, LogicalPlan, RelationalError, SimilarityPredicate};
+use cej_storage::{DataType, Field, Schema, TableStats};
 
 use cej_relational::physical::ModelRegistry;
 
@@ -33,13 +44,23 @@ use crate::physical_plan::{
 use crate::session::JoinStrategy;
 use crate::Result;
 
-/// Default selectivity assumed for a relational filter when no statistics
-/// are available (the classic System-R style constant).
-const DEFAULT_FILTER_SELECTIVITY: f64 = 0.5;
+/// Estimated fraction of scanned pairs that satisfy `sim >= t`, assuming
+/// cosine scores spread over `[-1, 1]`.  Used for output-cardinality
+/// estimates (not for path selection), and re-evaluated when a prepared
+/// query re-binds its threshold.
+pub(crate) fn threshold_selectivity(threshold: f32) -> f64 {
+    ((1.0 - threshold as f64) / 2.0).clamp(0.0, 1.0)
+}
 
-/// Estimated fraction of scanned pairs that satisfy a threshold predicate
-/// (used only for output-cardinality estimates, not for path selection).
-const THRESHOLD_MATCH_SELECTIVITY: f64 = 0.05;
+/// The output of lowering one subtree: the physical operator, its resolved
+/// output schema (for plan-time type checking), and the base-table
+/// statistics its columns derive from (`None` once a join or another
+/// stats-less boundary is crossed).
+struct Lowered {
+    plan: PhysicalPlan,
+    schema: Schema,
+    stats: Option<Arc<TableStats>>,
+}
 
 /// Lowers optimised logical plans into physical plans, consulting the
 /// [`AccessPathAdvisor`] for every context-enhanced join.
@@ -47,7 +68,7 @@ const THRESHOLD_MATCH_SELECTIVITY: f64 = 0.05;
 pub struct Planner {
     advisor: AccessPathAdvisor,
     strategy: JoinStrategy,
-    filter_selectivity: f64,
+    filter_selectivity_override: Option<f64>,
 }
 
 impl Planner {
@@ -56,21 +77,30 @@ impl Planner {
         Self {
             advisor,
             strategy,
-            filter_selectivity: DEFAULT_FILTER_SELECTIVITY,
+            filter_selectivity_override: None,
         }
     }
 
-    /// Overrides the default per-filter selectivity estimate.
+    /// Forces every relational filter to the given selectivity, bypassing
+    /// the statistics-driven estimator.
+    #[deprecated(
+        since = "0.1.0",
+        note = "testing-only override; filters are estimated from column \
+                statistics (histograms / distinct counts) since the ANALYZE \
+                pipeline landed"
+    )]
     pub fn with_filter_selectivity(mut self, selectivity: f64) -> Self {
-        self.filter_selectivity = selectivity.clamp(0.0, 1.0);
+        self.filter_selectivity_override = Some(selectivity.clamp(0.0, 1.0));
         self
     }
 
     /// Lowers `plan` to a physical plan.
     ///
     /// # Errors
-    /// Returns unknown-table / unknown-model errors (surfaced at plan time —
-    /// the executor can then assume resolvable names).
+    /// Returns unknown-table / unknown-model / unknown-column errors and
+    /// type errors (non-string ejoin columns, ill-typed predicates) — all
+    /// surfaced at plan time, so the executor can assume a resolvable,
+    /// well-typed plan.
     pub fn plan(
         &self,
         plan: &LogicalPlan,
@@ -78,7 +108,7 @@ impl Planner {
         registry: &ModelRegistry,
         indexes: &IndexManager,
     ) -> Result<PhysicalPlan> {
-        self.lower(plan, catalog, registry, indexes)
+        Ok(self.lower(plan, catalog, registry, indexes)?.plan)
     }
 
     fn lower(
@@ -87,55 +117,92 @@ impl Planner {
         catalog: &Catalog,
         registry: &ModelRegistry,
         indexes: &IndexManager,
-    ) -> Result<PhysicalPlan> {
+    ) -> Result<Lowered> {
         let access = self.advisor.cost_model.params.access_cost;
         match plan {
             LogicalPlan::Scan { table } => {
-                let rows = catalog.table(table).map_err(CoreError::from)?.num_rows() as f64;
-                Ok(PhysicalPlan::TableScan {
-                    table: table.clone(),
-                    est: PlanEstimate::new(rows, rows * access),
+                let schema = catalog
+                    .table(table)
+                    .map_err(CoreError::from)?
+                    .schema()
+                    .clone();
+                let stats = catalog.stats(table).map_err(CoreError::from)?;
+                let rows = stats.row_count as f64;
+                Ok(Lowered {
+                    plan: PhysicalPlan::TableScan {
+                        table: table.clone(),
+                        est: PlanEstimate::new(rows, rows * access),
+                    },
+                    schema,
+                    stats: Some(stats),
                 })
             }
             LogicalPlan::Selection { predicate, input } => {
                 let child = self.lower(input, catalog, registry, indexes)?;
-                let in_est = child.estimate();
+                check_predicate(predicate, &child.schema).map_err(CoreError::from)?;
+                let selectivity = match self.filter_selectivity_override {
+                    Some(s) => s,
+                    None => child
+                        .stats
+                        .as_deref()
+                        .map(|stats| estimate_selectivity(predicate, stats))
+                        .unwrap_or(DEFAULT_SELECTIVITY),
+                };
+                let in_est = child.plan.estimate();
                 let est = PlanEstimate::new(
-                    in_est.rows * self.filter_selectivity,
+                    in_est.rows * selectivity,
                     in_est.cost + in_est.rows * access,
                 );
-                Ok(PhysicalPlan::Filter {
-                    predicate: predicate.clone(),
-                    input: Box::new(child),
-                    est,
+                Ok(Lowered {
+                    plan: PhysicalPlan::Filter {
+                        predicate: predicate.clone(),
+                        selectivity,
+                        input: Box::new(child.plan),
+                        est,
+                    },
+                    schema: child.schema,
+                    stats: child.stats,
                 })
             }
             LogicalPlan::Projection { columns, input } => {
                 let child = self.lower(input, catalog, registry, indexes)?;
-                let in_est = child.estimate();
+                let names: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+                let schema = child.schema.project(&names).map_err(CoreError::from)?;
+                let in_est = child.plan.estimate();
                 let est = PlanEstimate::new(in_est.rows, in_est.cost + in_est.rows * access);
-                Ok(PhysicalPlan::Project {
-                    columns: columns.clone(),
-                    input: Box::new(child),
-                    est,
+                Ok(Lowered {
+                    plan: PhysicalPlan::Project {
+                        columns: columns.clone(),
+                        input: Box::new(child.plan),
+                        est,
+                    },
+                    schema,
+                    stats: child.stats,
                 })
             }
             LogicalPlan::Embed { spec, input } => {
-                if !registry.contains(&spec.model) {
-                    return Err(CoreError::Relational(
-                        cej_relational::RelationalError::UnknownModel(spec.model.clone()),
-                    ));
-                }
+                let model = registry.model(&spec.model).map_err(CoreError::from)?;
                 let child = self.lower(input, catalog, registry, indexes)?;
-                let in_est = child.estimate();
+                require_utf8(&child.schema, &spec.input_column, "embedding input")?;
+                let mut fields = child.schema.fields().to_vec();
+                fields.push(Field::new(
+                    &spec.output_column,
+                    DataType::Vector(model.dim()),
+                ));
+                let schema = Schema::new(fields).map_err(CoreError::from)?;
+                let in_est = child.plan.estimate();
                 let est = PlanEstimate::new(
                     in_est.rows,
                     in_est.cost + in_est.rows * self.advisor.cost_model.params.model_cost,
                 );
-                Ok(PhysicalPlan::Embed {
-                    spec: spec.clone(),
-                    input: Box::new(child),
-                    est,
+                Ok(Lowered {
+                    plan: PhysicalPlan::Embed {
+                        spec: spec.clone(),
+                        input: Box::new(child.plan),
+                        est,
+                    },
+                    schema,
+                    stats: child.stats,
                 })
             }
             LogicalPlan::EJoin {
@@ -171,24 +238,27 @@ impl Planner {
         catalog: &Catalog,
         registry: &ModelRegistry,
         indexes: &IndexManager,
-    ) -> Result<PhysicalPlan> {
+    ) -> Result<Lowered> {
         if !registry.contains(model) {
             return Err(CoreError::Relational(
                 cej_relational::RelationalError::UnknownModel(model.to_string()),
             ));
         }
         let outer = self.lower(left, catalog, registry, indexes)?;
-        let inner_plan = self.lower(right, catalog, registry, indexes)?;
-        let outer_est = outer.estimate();
-        let inner_est = inner_plan.estimate();
+        let inner = self.lower(right, catalog, registry, indexes)?;
+        require_utf8(&outer.schema, left_column, "ejoin left column")?;
+        require_utf8(&inner.schema, right_column, "ejoin right column")?;
+        let outer_est = outer.plan.estimate();
+        let inner_est = inner.plan.estimate();
 
         // Can the inner side be served by a persistent index over a base
         // table column?
         let indexable = analyze_indexable_inner(right, right_column, catalog);
 
         // The query shape the advisor reasons about: for an indexable inner
-        // the index covers the *full* base table and the filters act as
-        // selectivity; otherwise the materialised inner relation is scanned
+        // the index covers the *full* base table and the statistics-estimated
+        // filtered cardinality acts as the inner selectivity — the axis of
+        // Figures 15-17; otherwise the materialised inner relation is scanned
         // (and an ephemeral index would cover exactly its rows).
         let (inner_rows, inner_selectivity) = match &indexable {
             Some(ix) if ix.base_rows > 0 => (
@@ -243,22 +313,23 @@ impl Planner {
             JoinStrategy::Index(config) => (PhysicalJoinOp::Index(config), AccessPath::IndexProbe),
         };
 
-        let inner = match (&op, indexable) {
+        let schema = join_schema(&outer.schema, &inner.schema)?;
+        let physical_inner = match (&op, indexable) {
             (PhysicalJoinOp::Index(config), Some(ix)) => InnerInput::Indexed(IndexedInner {
                 key: IndexKey::new(&ix.table, right_column, model, config.params),
                 filters: ix.filters,
                 projection: ix.projection,
                 est_rows: inner_est.rows,
             }),
-            _ => InnerInput::Plan(inner_plan),
+            _ => InnerInput::Plan(inner.plan),
         };
 
         // Output-cardinality estimate plus total cost: inputs, the linear
         // (|R| + |S|) · M prefetch term, and the chosen path's join cost.
         let est_rows = match predicate {
             SimilarityPredicate::TopK(k) => outer_est.rows * k as f64,
-            SimilarityPredicate::Threshold(_) => {
-                outer_est.rows * inner_est.rows * THRESHOLD_MATCH_SELECTIVITY
+            SimilarityPredicate::Threshold(t) => {
+                outer_est.rows * inner_est.rows * threshold_selectivity(t)
             }
         };
         let prefetch_cost =
@@ -272,20 +343,55 @@ impl Planner {
             outer_est.cost + inner_est.cost + prefetch_cost + path_cost,
         );
 
-        Ok(PhysicalPlan::Join(Box::new(JoinNode {
-            outer,
-            inner,
-            left_column: left_column.to_string(),
-            right_column: right_column.to_string(),
-            model: model.to_string(),
-            predicate,
-            op,
-            access_path,
-            scan_cost,
-            probe_cost,
-            est,
-        })))
+        Ok(Lowered {
+            plan: PhysicalPlan::Join(Box::new(JoinNode {
+                outer: outer.plan,
+                inner: physical_inner,
+                left_column: left_column.to_string(),
+                right_column: right_column.to_string(),
+                model: model.to_string(),
+                predicate,
+                op,
+                access_path,
+                est_inner_selectivity: inner_selectivity,
+                scan_cost,
+                probe_cost,
+                est,
+            })),
+            schema,
+            // join outputs have re-labelled columns and no base-table stats
+            stats: None,
+        })
     }
+}
+
+/// Requires `column` to exist in `schema` with type `Utf8`; the typed
+/// plan-time error for context columns.
+fn require_utf8(schema: &Schema, column: &str, role: &str) -> Result<()> {
+    let field = schema
+        .field(column)
+        .map_err(|_| CoreError::Relational(RelationalError::UnknownColumn(column.to_string())))?;
+    if field.data_type != DataType::Utf8 {
+        return Err(CoreError::Relational(RelationalError::TypeError(format!(
+            "{role} {column} must be a Utf8 string column, found {}",
+            field.data_type
+        ))));
+    }
+    Ok(())
+}
+
+/// The output schema of a context-enhanced join: `l_*` columns, `r_*`
+/// columns, `similarity` — exactly what the executor materialises.
+fn join_schema(outer: &Schema, inner: &Schema) -> Result<Schema> {
+    let mut fields = Vec::with_capacity(outer.len() + inner.len() + 1);
+    for f in outer.fields() {
+        fields.push(Field::new(format!("l_{}", f.name), f.data_type));
+    }
+    for f in inner.fields() {
+        fields.push(Field::new(format!("r_{}", f.name), f.data_type));
+    }
+    fields.push(Field::new("similarity", DataType::Float64));
+    Schema::new(fields).map_err(CoreError::from)
 }
 
 /// Result of checking whether a join's inner subtree reduces to a
@@ -328,7 +434,9 @@ fn analyze_indexable_inner(
                         return None;
                     }
                 }
-                let base_rows = catalog.table(table).ok()?.num_rows();
+                // row count from the statistics view, like every other
+                // plan-time cardinality
+                let base_rows = catalog.stats(table).ok()?.row_count;
                 return Some(IndexableInner {
                     table: table.clone(),
                     filters,
@@ -345,7 +453,8 @@ fn analyze_indexable_inner(
 mod tests {
     use super::*;
     use crate::access_path::AccessPathAdvisor;
-    use cej_relational::{col, lit_i64};
+    use crate::cost::{CostModel, CostParameters};
+    use cej_relational::{col, lit_i64, EmbedSpec};
     use cej_storage::TableBuilder;
     use std::sync::Arc;
 
@@ -390,16 +499,38 @@ mod tests {
     }
 
     #[test]
-    fn scan_cardinalities_are_exact_and_filters_apply_selectivity() {
+    fn scan_cardinalities_are_exact_and_filters_use_statistics() {
         let (catalog, registry, indexes) = setup();
         let planner = Planner::new(AccessPathAdvisor::default(), JoinStrategy::Auto);
+        // ids are uniform 0..200, so `id > 10` keeps ~189/200 rows — the
+        // histogram estimate must land near that, not at the old 0.5 constant
+        let plan = LogicalPlan::scan("s").select(col("id").gt(lit_i64(10)));
+        let physical = planner.plan(&plan, &catalog, &registry, &indexes).unwrap();
+        let est = physical.estimate().rows;
+        assert!(
+            (est - 189.0).abs() < 8.0,
+            "statistics-driven estimate {est} should be ~189, not 100"
+        );
+        match physical {
+            PhysicalPlan::Filter {
+                input, selectivity, ..
+            } => {
+                assert_eq!(input.estimate().rows, 200.0);
+                assert!((selectivity - 0.945).abs() < 0.05);
+            }
+            other => panic!("expected Filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selectivity_override_is_testing_only_but_still_wins() {
+        let (catalog, registry, indexes) = setup();
+        #[allow(deprecated)]
+        let planner = Planner::new(AccessPathAdvisor::default(), JoinStrategy::Auto)
+            .with_filter_selectivity(0.5);
         let plan = LogicalPlan::scan("s").select(col("id").gt(lit_i64(10)));
         let physical = planner.plan(&plan, &catalog, &registry, &indexes).unwrap();
         assert_eq!(physical.estimate().rows, 100.0);
-        match physical {
-            PhysicalPlan::Filter { input, .. } => assert_eq!(input.estimate().rows, 200.0),
-            other => panic!("expected Filter, got {other:?}"),
-        }
     }
 
     #[test]
@@ -416,6 +547,7 @@ mod tests {
         assert_eq!(node.access_path, AccessPath::TensorScan);
         assert!(node.scan_cost > 0.0 && node.probe_cost > 0.0);
         assert!(node.scan_cost < node.probe_cost);
+        assert_eq!(node.est_inner_selectivity, 1.0);
     }
 
     #[test]
@@ -441,7 +573,7 @@ mod tests {
     }
 
     #[test]
-    fn inner_filters_become_probe_bitmaps() {
+    fn inner_filters_become_probe_bitmaps_with_estimated_selectivity() {
         let (catalog, registry, indexes) = setup();
         let planner = Planner::new(
             AccessPathAdvisor::default(),
@@ -456,14 +588,81 @@ mod tests {
             SimilarityPredicate::TopK(1),
         );
         let physical = planner.plan(&plan, &catalog, &registry, &indexes).unwrap();
-        match &physical.join_nodes()[0].inner {
-            InnerInput::Indexed(ii) => assert_eq!(ii.filters.len(), 1),
+        let node = physical.join_nodes()[0];
+        match &node.inner {
+            InnerInput::Indexed(ii) => {
+                assert_eq!(ii.filters.len(), 1);
+                // `id < 50` over uniform 0..200 keeps ~25% of the base table
+                assert!(
+                    (ii.est_rows - 50.0).abs() < 8.0,
+                    "est_rows {} should be ~50",
+                    ii.est_rows
+                );
+            }
             other => panic!("expected persistent index inner, got {other:?}"),
         }
+        assert!(
+            (node.est_inner_selectivity - 0.25).abs() < 0.05,
+            "inner selectivity {} should track the histogram (~0.25)",
+            node.est_inner_selectivity
+        );
     }
 
     #[test]
-    fn projection_dropping_join_column_disables_persistent_index() {
+    fn advisor_choice_tracks_estimated_inner_selectivity() {
+        // A probe-friendly cost model (cheap index traversal) so the
+        // crossover happens inside a small test relation: the *only*
+        // difference between the two plans is the inner filter cutoff, so a
+        // flipped access path proves the advisor consumed the estimated
+        // selectivity — with no with_filter_selectivity override anywhere.
+        let (mut catalog, registry, indexes) = setup();
+        catalog.register(
+            "big",
+            TableBuilder::new()
+                .int64("filter", (0..2000).map(|i| i % 100).collect())
+                .utf8("word", (0..2000).map(|i| format!("w{i}")).collect())
+                .build()
+                .unwrap(),
+        );
+        let advisor = AccessPathAdvisor::new(CostModel::new(CostParameters {
+            index_probe_cost: 20.0,
+            ..CostParameters::default()
+        }));
+        let planner = Planner::new(advisor, JoinStrategy::Auto);
+        let plan_at = |cut: i64| {
+            LogicalPlan::e_join(
+                LogicalPlan::scan("r"),
+                LogicalPlan::scan("big").select(col("filter").lt(lit_i64(cut))),
+                "word",
+                "word",
+                "m",
+                SimilarityPredicate::TopK(1),
+            )
+        };
+        let low = planner
+            .plan(&plan_at(5), &catalog, &registry, &indexes)
+            .unwrap();
+        let high = planner
+            .plan(&plan_at(95), &catalog, &registry, &indexes)
+            .unwrap();
+        let low_node = low.join_nodes()[0];
+        let high_node = high.join_nodes()[0];
+        assert!(low_node.est_inner_selectivity < 0.1);
+        assert!(high_node.est_inner_selectivity > 0.85);
+        assert_eq!(
+            low_node.access_path,
+            AccessPath::TensorScan,
+            "low selectivity: pre-filtered scan must win"
+        );
+        assert_eq!(
+            high_node.access_path,
+            AccessPath::IndexProbe,
+            "high selectivity: the probe must win"
+        );
+    }
+
+    #[test]
+    fn embedded_inner_disables_persistent_index() {
         let (catalog, registry, indexes) = setup();
         let planner = Planner::new(
             AccessPathAdvisor::default(),
@@ -471,7 +670,7 @@ mod tests {
         );
         let plan = LogicalPlan::e_join(
             LogicalPlan::scan("r"),
-            LogicalPlan::scan("s").project(&["id"]),
+            LogicalPlan::scan("s").embed(EmbedSpec::new("word", "m")),
             "word",
             "word",
             "m",
@@ -482,6 +681,74 @@ mod tests {
             physical.join_nodes()[0].inner,
             InnerInput::Plan(_)
         ));
+    }
+
+    #[test]
+    fn plan_time_schema_and_type_errors() {
+        let (catalog, registry, indexes) = setup();
+        let planner = Planner::new(AccessPathAdvisor::default(), JoinStrategy::Auto);
+        // ejoin on a non-string column: typed error at plan time
+        let non_string = LogicalPlan::e_join(
+            LogicalPlan::scan("r"),
+            LogicalPlan::scan("s"),
+            "id",
+            "word",
+            "m",
+            SimilarityPredicate::TopK(1),
+        );
+        assert!(matches!(
+            planner.plan(&non_string, &catalog, &registry, &indexes),
+            Err(CoreError::Relational(RelationalError::TypeError(_)))
+        ));
+        // ejoin on an unknown column
+        let unknown_col = LogicalPlan::e_join(
+            LogicalPlan::scan("r"),
+            LogicalPlan::scan("s"),
+            "word",
+            "nope",
+            "m",
+            SimilarityPredicate::TopK(1),
+        );
+        assert!(matches!(
+            planner.plan(&unknown_col, &catalog, &registry, &indexes),
+            Err(CoreError::Relational(RelationalError::UnknownColumn(_)))
+        ));
+        // projecting away the join column is caught at plan time too
+        let dropped = LogicalPlan::e_join(
+            LogicalPlan::scan("r"),
+            LogicalPlan::scan("s").project(&["id"]),
+            "word",
+            "word",
+            "m",
+            SimilarityPredicate::TopK(1),
+        );
+        assert!(planner
+            .plan(&dropped, &catalog, &registry, &indexes)
+            .is_err());
+        // filter on an unknown column
+        let bad_filter = LogicalPlan::scan("s").select(col("ghost").gt(lit_i64(1)));
+        assert!(matches!(
+            planner.plan(&bad_filter, &catalog, &registry, &indexes),
+            Err(CoreError::Relational(RelationalError::UnknownColumn(_)))
+        ));
+        // ill-typed predicate (string column vs integer literal)
+        let bad_type = LogicalPlan::scan("s").select(col("word").gt(lit_i64(1)));
+        assert!(matches!(
+            planner.plan(&bad_type, &catalog, &registry, &indexes),
+            Err(CoreError::Relational(RelationalError::TypeError(_)))
+        ));
+        // embedding a non-string column
+        let bad_embed = LogicalPlan::scan("s").embed(EmbedSpec::new("id", "m"));
+        assert!(planner
+            .plan(&bad_embed, &catalog, &registry, &indexes)
+            .is_err());
+        // selections above the join may reference l_/r_ columns + similarity
+        let above = join_plan().select(col("similarity").gt_eq(cej_relational::lit_f64(0.5)));
+        assert!(planner.plan(&above, &catalog, &registry, &indexes).is_ok());
+        let above_l = join_plan().select(col("l_id").gt(lit_i64(3)));
+        assert!(planner
+            .plan(&above_l, &catalog, &registry, &indexes)
+            .is_ok());
     }
 
     #[test]
@@ -527,5 +794,14 @@ mod tests {
             warm.join_nodes()[0].probe_cost < cold.join_nodes()[0].probe_cost,
             "a resident index must remove the build term from the probe cost"
         );
+    }
+
+    #[test]
+    fn threshold_selectivity_model() {
+        // calibrated so sim >= 0.9 keeps 5% of pairs (the old constant)
+        assert!((threshold_selectivity(0.9) - 0.05).abs() < 1e-6);
+        assert!(threshold_selectivity(0.5) > threshold_selectivity(0.9));
+        assert_eq!(threshold_selectivity(1.0), 0.0);
+        assert_eq!(threshold_selectivity(-1.0), 1.0);
     }
 }

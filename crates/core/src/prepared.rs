@@ -1,4 +1,4 @@
-//! Prepared queries: plan once, execute many.
+//! Prepared queries: plan once, execute many (and bind many).
 //!
 //! [`PreparedQuery`] is the product of
 //! [`crate::session::ContextJoinSession::prepare`]: the logical plan has been
@@ -11,16 +11,48 @@
 //! therefore performs **zero model calls** (for unchanged inputs) and **zero
 //! HNSW construction**, which is the "plan-once / execute-many" contract a
 //! server workload issuing many small joins needs.
+//!
+//! Two observability/parameterisation extensions ride on that contract:
+//!
+//! * [`PreparedQuery::explain_analyze`] executes the plan and renders the
+//!   planner's estimated rows next to the recorded actual rows of every
+//!   operator (with per-operator q-errors) — the feedback loop that shows
+//!   whether the statistics the plan was costed with still hold;
+//! * [`PreparedQuery::bind_threshold`] is the `sim_gte(?)`-style bind
+//!   parameter: it re-binds every similarity threshold in the *already
+//!   planned* operator tree and re-estimates the affected output
+//!   cardinalities, so one prepared query serves a whole family of
+//!   thresholds without re-running the optimizer, planner, or advisor.
 
 use std::sync::Arc;
 
 use cej_relational::physical::ModelRegistry;
-use cej_relational::LogicalPlan;
+use cej_relational::{LogicalPlan, SimilarityPredicate};
 
+use crate::error::CoreError;
 use crate::executor::ExecContext;
-use crate::physical_plan::PhysicalPlan;
+use crate::physical_plan::{InnerInput, PhysicalPlan};
+use crate::planner::threshold_selectivity;
 use crate::session::{ContextJoinSession, ExecutionReport};
 use crate::Result;
+
+/// The outcome of [`PreparedQuery::explain_analyze`]: the rendered
+/// estimated-vs-actual operator tree plus the full execution report it was
+/// measured from.
+#[derive(Debug, Clone)]
+pub struct ExplainAnalyze {
+    /// The operator tree with per-operator estimated rows, actual rows, and
+    /// q-errors.
+    pub text: String,
+    /// The execution report of the run that produced the actuals.
+    pub report: ExecutionReport,
+}
+
+impl std::fmt::Display for ExplainAnalyze {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
 
 /// A query that has been optimised and physically planned once and can be
 /// executed any number of times.
@@ -89,7 +121,124 @@ impl<'s> PreparedQuery<'s> {
             matched_pairs: outcome.stats.matched_pairs,
             index_builds: outcome.stats.index_builds,
             index_reuses: outcome.stats.index_reuses,
+            index_evictions: outcome.stats.index_evictions,
+            operator_rows: outcome.operator_rows,
         })
+    }
+
+    /// Executes the plan and renders the operator tree with estimated and
+    /// *actual* rows side by side — `EXPLAIN ANALYZE`.  The actual counts are
+    /// the per-operator outputs recorded by the executor during this very
+    /// run ([`ExecutionReport::operator_rows`]).
+    ///
+    /// # Errors
+    /// Propagates the same errors as [`PreparedQuery::run`].
+    pub fn explain_analyze(&self) -> Result<ExplainAnalyze> {
+        let report = self.run()?;
+        let text = self.physical.explain_analyze(&report.operator_rows);
+        Ok(ExplainAnalyze { text, report })
+    }
+
+    /// Re-binds every similarity threshold in the plan to `threshold`,
+    /// returning a new prepared query that shares this one's session state.
+    /// No optimisation, lowering, or access-path selection is repeated —
+    /// only the affected output-cardinality estimates are recomputed from
+    /// the new threshold (the advisor's scan-vs-probe costs are invariant in
+    /// the threshold *value*, so the planned access path stays correct).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidInput`] when the plan has no threshold
+    /// predicate to bind (e.g. a pure top-k join or a join-less plan).
+    pub fn bind_threshold(&self, threshold: f32) -> Result<PreparedQuery<'s>> {
+        let mut physical = self.physical.clone();
+        let bound = rebind_physical(&mut physical, threshold);
+        if bound == 0 {
+            return Err(CoreError::InvalidInput(
+                "no sim_gte threshold predicate to bind in this plan".into(),
+            ));
+        }
+        let mut optimized = self.optimized.clone();
+        rebind_logical(&mut optimized, threshold);
+        Ok(PreparedQuery::new(
+            self.session,
+            self.registry.clone(),
+            optimized,
+            physical,
+        ))
+    }
+}
+
+/// Rewrites every `Threshold` join predicate in the physical tree and
+/// re-estimates output cardinalities bottom-up, so operators *above* a
+/// re-bound join (filters on `similarity`, projections, enclosing joins)
+/// also reflect the new threshold.  Estimated costs keep their plan-time
+/// values — binding never re-runs the advisor.  Returns the number of
+/// predicates re-bound.
+fn rebind_physical(plan: &mut PhysicalPlan, threshold: f32) -> usize {
+    match plan {
+        PhysicalPlan::TableScan { .. } => 0,
+        PhysicalPlan::Filter {
+            input,
+            selectivity,
+            est,
+            ..
+        } => {
+            let bound = rebind_physical(input, threshold);
+            est.rows = input.estimate().rows * *selectivity;
+            bound
+        }
+        PhysicalPlan::Project { input, est, .. } | PhysicalPlan::Embed { input, est, .. } => {
+            let bound = rebind_physical(input, threshold);
+            est.rows = input.estimate().rows;
+            bound
+        }
+        PhysicalPlan::Join(node) => {
+            let mut bound = rebind_physical(&mut node.outer, threshold);
+            let inner_rows = match &mut node.inner {
+                InnerInput::Plan(inner) => {
+                    bound += rebind_physical(inner, threshold);
+                    inner.estimate().rows
+                }
+                InnerInput::Indexed(ii) => ii.est_rows,
+            };
+            if let SimilarityPredicate::Threshold(_) = node.predicate {
+                node.predicate = SimilarityPredicate::Threshold(threshold);
+                bound += 1;
+            }
+            // re-estimate at bind time with the planner's own formulas: the
+            // (possibly re-bound) threshold model, or top-k over the
+            // (possibly re-estimated) outer side
+            node.est.rows = match node.predicate {
+                SimilarityPredicate::TopK(k) => node.outer.estimate().rows * k as f64,
+                SimilarityPredicate::Threshold(t) => {
+                    node.outer.estimate().rows * inner_rows * threshold_selectivity(t)
+                }
+            };
+            bound
+        }
+    }
+}
+
+/// Mirrors the threshold rebinding on the optimised logical plan (kept for
+/// reporting consistency — `ExecutionReport::optimized_plan`).
+fn rebind_logical(plan: &mut LogicalPlan, threshold: f32) {
+    match plan {
+        LogicalPlan::Scan { .. } => {}
+        LogicalPlan::Selection { input, .. }
+        | LogicalPlan::Projection { input, .. }
+        | LogicalPlan::Embed { input, .. } => rebind_logical(input, threshold),
+        LogicalPlan::EJoin {
+            left,
+            right,
+            predicate,
+            ..
+        } => {
+            rebind_logical(left, threshold);
+            rebind_logical(right, threshold);
+            if let SimilarityPredicate::Threshold(_) = predicate {
+                *predicate = SimilarityPredicate::Threshold(threshold);
+            }
+        }
     }
 }
 

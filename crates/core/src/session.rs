@@ -79,6 +79,12 @@ pub struct ExecutionReport {
     pub index_builds: u64,
     /// Persistent HNSW indexes reused during this execution (warm runs).
     pub index_reuses: u64,
+    /// Persistent HNSW indexes evicted by the memory budget during this
+    /// execution.
+    pub index_evictions: u64,
+    /// Actual output rows of every physical operator, in the pre-order the
+    /// plan renders in — the "actual" column of `explain_analyze()`.
+    pub operator_rows: Vec<u64>,
 }
 
 /// The end-to-end hybrid vector-relational session.
@@ -134,6 +140,22 @@ impl ContextJoinSession {
     /// Forces a particular physical join strategy (default: cost-based).
     pub fn with_strategy(&mut self, strategy: JoinStrategy) -> &mut Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the access-path advisor (e.g. with a recalibrated cost
+    /// model) consulted at plan time.
+    pub fn with_advisor(&mut self, advisor: AccessPathAdvisor) -> &mut Self {
+        self.advisor = advisor;
+        self
+    }
+
+    /// Caps the resident memory of persistent HNSW indexes at `bytes`,
+    /// evicting least-recently-used indexes beyond it.  Also configurable
+    /// via the `CEJ_INDEX_BUDGET` environment variable at session creation
+    /// (plain bytes with optional `k`/`m`/`g` suffix).
+    pub fn with_index_budget(&mut self, bytes: usize) -> &mut Self {
+        self.indexes.set_budget(Some(bytes));
         self
     }
 
@@ -193,6 +215,15 @@ impl ContextJoinSession {
     /// Propagates optimisation and planning errors.
     pub fn explain(&self, plan: &LogicalPlan) -> Result<String> {
         Ok(self.prepare(plan)?.explain())
+    }
+
+    /// Plans and executes `plan`, rendering the operator tree with estimated
+    /// and actual rows side by side (`EXPLAIN ANALYZE`).
+    ///
+    /// # Errors
+    /// Propagates planning and execution errors.
+    pub fn explain_analyze(&self, plan: &LogicalPlan) -> Result<crate::prepared::ExplainAnalyze> {
+        self.prepare(plan)?.explain_analyze()
     }
 
     /// Optimises, plans, and executes a logical plan once — a thin

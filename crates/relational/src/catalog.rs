@@ -1,17 +1,27 @@
-//! In-memory table catalog.
+//! In-memory table catalog with per-table statistics.
+//!
+//! Registration doubles as the `ANALYZE` pipeline: every `register` (and
+//! re-register) recomputes the table's [`TableStats`], so planners always see
+//! statistics consistent with the resident data — the stats analogue of how
+//! the session's `IndexManager` invalidates indexes on re-registration.
+//! Plans snapshot these statistics at plan time (the `Arc` is cloned into
+//! the planner's estimates), so a prepared query keeps the cardinalities it
+//! was costed with even while new registrations refresh the catalog.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use cej_storage::Table;
+use cej_storage::{Table, TableStats};
 
 use crate::error::RelationalError;
 use crate::Result;
 
-/// A named collection of in-memory tables that plans can scan.
+/// A named collection of in-memory tables that plans can scan, plus the
+/// per-table statistics the planner estimates cardinalities from.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, Arc<Table>>,
+    stats: HashMap<String, Arc<TableStats>>,
 }
 
 impl Catalog {
@@ -20,14 +30,44 @@ impl Catalog {
         Self::default()
     }
 
-    /// Registers (or replaces) a table under `name`.
+    /// Registers (or replaces) a table under `name`, running the `ANALYZE`
+    /// pass over its columns.
     pub fn register(&mut self, name: &str, table: Table) {
-        self.tables.insert(name.to_string(), Arc::new(table));
+        self.register_shared(name, Arc::new(table));
     }
 
-    /// Registers a shared table under `name`.
+    /// Registers a shared table under `name`, running the `ANALYZE` pass
+    /// over its columns.
     pub fn register_shared(&mut self, name: &str, table: Arc<Table>) {
+        self.stats
+            .insert(name.to_string(), Arc::new(table.analyze()));
         self.tables.insert(name.to_string(), table);
+    }
+
+    /// The statistics view of a table — what plan-time consumers of row
+    /// counts read instead of the raw table.
+    ///
+    /// # Errors
+    /// Returns [`RelationalError::UnknownTable`] when absent.
+    pub fn stats(&self, name: &str) -> Result<Arc<TableStats>> {
+        self.stats
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RelationalError::UnknownTable(name.to_string()))
+    }
+
+    /// Recomputes (and returns) the statistics of one table — the explicit
+    /// `ANALYZE <table>` entry point.  Registration already analyzes, so this
+    /// is only needed to refresh a snapshot taken by `register_shared` when
+    /// the shared table was mutated elsewhere.
+    ///
+    /// # Errors
+    /// Returns [`RelationalError::UnknownTable`] when absent.
+    pub fn analyze(&mut self, name: &str) -> Result<Arc<TableStats>> {
+        let table = self.table(name)?;
+        let stats = Arc::new(table.analyze());
+        self.stats.insert(name.to_string(), stats.clone());
+        Ok(stats)
     }
 
     /// Looks up a table.
@@ -98,5 +138,32 @@ mod tests {
         );
         assert_eq!(c.table("t").unwrap().num_rows(), 1);
         assert_eq!(c.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn registration_analyzes_and_reregistration_refreshes() {
+        let mut c = Catalog::new();
+        c.register("t", table());
+        let stats = c.stats("t").unwrap();
+        assert_eq!(stats.row_count, 2);
+        assert_eq!(stats.column("id").unwrap().distinct_count, 2);
+        assert!(c.stats("missing").is_err());
+        // re-registration recomputes the statistics
+        c.register(
+            "t",
+            TableBuilder::new()
+                .int64("id", vec![5, 5, 5])
+                .build()
+                .unwrap(),
+        );
+        let refreshed = c.stats("t").unwrap();
+        assert_eq!(refreshed.row_count, 3);
+        assert_eq!(refreshed.column("id").unwrap().distinct_count, 1);
+        // the old snapshot is unaffected (plans keep what they were costed with)
+        assert_eq!(stats.row_count, 2);
+        // explicit ANALYZE returns a fresh snapshot
+        let explicit = c.analyze("t").unwrap();
+        assert_eq!(explicit.row_count, 3);
+        assert!(c.analyze("missing").is_err());
     }
 }

@@ -32,6 +32,7 @@ pub mod eval;
 pub mod expr;
 pub mod optimizer;
 pub mod physical;
+pub mod selectivity;
 
 pub use algebra::{EmbedSpec, JoinSide, LogicalPlan, SimilarityPredicate};
 pub use catalog::Catalog;
@@ -39,6 +40,7 @@ pub use error::RelationalError;
 pub use expr::{col, lit, lit_date, lit_f64, lit_i64, lit_str, CompareOp, Expr};
 pub use optimizer::{Optimizer, OptimizerRule};
 pub use physical::ModelRegistry;
+pub use selectivity::{check_predicate, estimate_selectivity};
 
 /// Result alias for the relational layer.
 pub type Result<T> = std::result::Result<T, RelationalError>;

@@ -30,6 +30,7 @@ pub mod datatype;
 pub mod error;
 pub mod scalar;
 pub mod schema;
+pub mod stats;
 pub mod table;
 
 pub use bitmap::SelectionBitmap;
@@ -39,6 +40,7 @@ pub use datatype::DataType;
 pub use error::StorageError;
 pub use scalar::ScalarValue;
 pub use schema::{Field, Schema};
+pub use stats::{ColumnStats, Histogram, TableStats};
 pub use table::Table;
 
 /// Result alias for the storage substrate.

@@ -150,6 +150,15 @@ impl Table {
         Table::new(schema, columns)
     }
 
+    /// Runs the `ANALYZE` pass: per-column row/null counts, distinct counts,
+    /// min/max, equi-depth histograms, and average string lengths (see
+    /// [`crate::stats`]).  The result is a point-in-time snapshot — callers
+    /// that keep tables mutable-by-replacement (the catalog) recompute it on
+    /// re-registration.
+    pub fn analyze(&self) -> crate::stats::TableStats {
+        crate::stats::TableStats::analyze(self)
+    }
+
     /// Returns a new table with an extra column appended.
     ///
     /// This is how the embedding operator `E_µ` materialises its output: the

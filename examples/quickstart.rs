@@ -84,22 +84,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Logical plan (as written) ==\n{plan}");
 
     // 5. Plan once (optimise + lower to a physical plan), inspect the
-    //    decision with explain(), then execute.  `prepared.run()` can be
-    //    called again and again — warm runs reuse the optimised plan, the
-    //    memoised embeddings, and (for index joins) the persistent HNSW
+    //    decision with explain(), then execute.  Registration ran an ANALYZE
+    //    pass, so the date filter's cardinality comes from a histogram (2 of
+    //    5 photos are after Dec 2 — sel 0.400), not a guessed constant.
+    //    `prepared.run()`
+    //    can be called again and again — warm runs reuse the optimised plan,
+    //    the memoised embeddings, and (for index joins) the persistent HNSW
     //    index.  `session.execute(&plan)` is the one-shot equivalent.
     let prepared = session.prepare(&plan)?;
     println!(
         "== Physical plan (chosen before execution) ==\n{}",
         prepared.explain()
     );
-    let report = prepared.run()?;
+
+    // 6. EXPLAIN ANALYZE: execute and render estimated vs actual rows per
+    //    operator, with q-errors — the feedback loop showing whether the
+    //    statistics the plan was costed with still hold.
+    let analyzed = prepared.explain_analyze()?;
+    println!("== EXPLAIN ANALYZE (estimated vs actual rows) ==\n{analyzed}");
+    let report = analyzed.report;
     println!(
         "== Optimised plan (date filter pushed below the join) ==\n{}",
         report.optimized_plan
     );
 
-    // 6. Inspect the result.
+    // 7. Inspect the result.
     println!(
         "== Result: {} matched pairs, {} model calls, access path {:?} ==",
         report.matched_pairs, report.embedding_stats.model_calls, report.access_path

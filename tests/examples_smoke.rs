@@ -58,6 +58,16 @@ fn quickstart_runs_and_matches_pairs() {
     );
     assert!(stdout.contains("lightweight notebooks and laptops"));
     assert!(stdout.contains("charcoal barbecues and grills"));
+    // the quickstart demonstrates EXPLAIN ANALYZE: per-operator actuals and
+    // the histogram-estimated date-filter selectivity must both render
+    assert!(
+        stdout.contains("EXPLAIN ANALYZE") && stdout.contains("actual "),
+        "quickstart must render estimated-vs-actual rows:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("(sel 0.400)"),
+        "date-filter selectivity:\n{stdout}"
+    );
 }
 
 #[test]

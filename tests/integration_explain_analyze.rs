@@ -1,0 +1,277 @@
+//! Integration tests for the statistics-driven planner: EXPLAIN ANALYZE
+//! estimated-vs-actual reporting, threshold bind parameters, the index
+//! memory budget, and plan-time schema/type errors — all through the public
+//! session API.
+
+use cej_core::{
+    q_error, sim_gte, AccessPath, AccessPathAdvisor, ContextJoinSession, CoreError, CostModel,
+    CostParameters, IndexJoinConfig, JoinStrategy,
+};
+use cej_embedding::{FastTextConfig, FastTextModel};
+use cej_index::HnswParams;
+use cej_relational::{col, lit_i64, LogicalPlan, RelationalError, SimilarityPredicate};
+use cej_workload::{JoinWorkload, RelationSpec};
+
+fn model(dim: usize) -> FastTextModel {
+    FastTextModel::new(FastTextConfig {
+        dim,
+        buckets: 5_000,
+        ..FastTextConfig::default()
+    })
+    .expect("model construction")
+}
+
+fn session(outer_rows: usize, inner_rows: usize) -> ContextJoinSession {
+    let workload = JoinWorkload::generate(
+        RelationSpec::with_rows(outer_rows),
+        RelationSpec::with_rows(inner_rows),
+        7,
+    );
+    let mut s = ContextJoinSession::new();
+    s.register_table("r", workload.outer.clone());
+    s.register_table("s", workload.inner.clone());
+    s.register_model("ft", model(16));
+    s
+}
+
+fn filtered_join(cut: i64, predicate: SimilarityPredicate) -> LogicalPlan {
+    LogicalPlan::e_join(
+        LogicalPlan::scan("r"),
+        LogicalPlan::scan("s").select(col("filter").lt(lit_i64(cut))),
+        "word",
+        "word",
+        "ft",
+        predicate,
+    )
+}
+
+#[test]
+fn explain_analyze_reports_actuals_matching_the_execution_report() {
+    let s = session(30, 300);
+    let prepared = s
+        .prepare(&filtered_join(40, SimilarityPredicate::TopK(1)))
+        .expect("prepare");
+    let analyzed = prepared.explain_analyze().expect("explain analyze");
+
+    // every operator of the plan carries an actual-row annotation
+    let operator_count = prepared.physical_plan().operator_count();
+    assert_eq!(analyzed.report.operator_rows.len(), operator_count);
+    assert_eq!(
+        analyzed.text.matches("actual ").count(),
+        operator_count,
+        "every operator line must carry an actual count:\n{}",
+        analyzed.text
+    );
+    assert!(analyzed.text.contains("q-err"), "{}", analyzed.text);
+
+    // the root operator's actual equals the report's output table
+    assert_eq!(
+        analyzed.report.operator_rows[0],
+        analyzed.report.table.num_rows() as u64
+    );
+    assert_eq!(
+        analyzed.report.matched_pairs,
+        analyzed.report.table.num_rows()
+    );
+
+    // top-1 join: one output row per outer row, estimated exactly
+    let est = prepared.physical_plan().estimate().rows;
+    assert_eq!(q_error(est, analyzed.report.operator_rows[0] as f64), 1.0);
+}
+
+#[test]
+fn filtered_scan_estimates_meet_the_q_error_bar() {
+    let s = session(20, 500);
+    for cut in [10, 30, 60, 90] {
+        let plan = LogicalPlan::scan("s").select(col("filter").lt(lit_i64(cut)));
+        let prepared = s.prepare(&plan).expect("prepare");
+        let est = prepared.physical_plan().estimate().rows;
+        let actual = prepared.run().expect("run").table.num_rows() as f64;
+        let q = q_error(est, actual);
+        assert!(
+            q <= 2.0,
+            "filter<{cut}: q-error {q:.3} (est {est:.1}, actual {actual}) exceeds 2.0"
+        );
+    }
+}
+
+#[test]
+fn session_explain_analyze_convenience_and_builder() {
+    let s = session(10, 60);
+    let via_session = s
+        .explain_analyze(&filtered_join(50, SimilarityPredicate::TopK(1)))
+        .expect("session explain_analyze");
+    assert!(via_session.text.contains("actual "));
+    assert!(format!("{via_session}").contains("TableScan"));
+    let via_builder = s
+        .query("r")
+        .ejoin("s", ("word", "word"), "ft", cej_core::top_k(1))
+        .explain_analyze()
+        .expect("builder explain_analyze");
+    assert!(via_builder.text.contains("actual "));
+}
+
+#[test]
+fn bind_threshold_serves_a_family_without_replanning() {
+    let s = session(25, 120);
+    let prepared = s
+        .prepare(&filtered_join(100, sim_gte(0.5)))
+        .expect("prepare");
+
+    let strict = prepared.bind_threshold(0.95).expect("bind strict");
+    let loose = prepared.bind_threshold(-1.0).expect("bind loose");
+
+    // no replanning: operator shape and access path are untouched
+    assert_eq!(
+        prepared.physical_plan().join_nodes()[0].access_path,
+        strict.physical_plan().join_nodes()[0].access_path
+    );
+    assert_eq!(
+        prepared.physical_plan().operator_count(),
+        strict.physical_plan().operator_count()
+    );
+
+    // bind-time re-estimation: a looser threshold estimates more rows
+    let est_strict = strict.physical_plan().join_nodes()[0].est.rows;
+    let est_loose = loose.physical_plan().join_nodes()[0].est.rows;
+    assert!(
+        est_loose > est_strict,
+        "loose {est_loose} must exceed strict {est_strict}"
+    );
+
+    // execution respects the bound threshold: results are nested subsets
+    let rows_strict = strict.run().expect("strict run").table.num_rows();
+    let rows_base = prepared.run().expect("base run").table.num_rows();
+    let rows_loose = loose.run().expect("loose run").table.num_rows();
+    assert!(rows_strict <= rows_base && rows_base <= rows_loose);
+    // sim >= -1 keeps every pair of the filtered cross product
+    assert_eq!(rows_loose, 25 * 120);
+
+    // the reported optimized plan reflects the bound value
+    let report = strict.run().expect("strict rerun");
+    assert!(format!("{}", report.optimized_plan).contains("sim >= 0.95"));
+
+    // a top-k plan has no threshold to bind
+    let topk = s
+        .prepare(&filtered_join(100, SimilarityPredicate::TopK(1)))
+        .expect("prepare topk");
+    assert!(matches!(
+        topk.bind_threshold(0.5),
+        Err(CoreError::InvalidInput(_))
+    ));
+
+    // operators *above* the join re-estimate at bind time too: the root
+    // filter over `similarity` derives its cardinality from the join's
+    let above = filtered_join(100, sim_gte(0.5))
+        .select(col("similarity").gt_eq(cej_relational::lit_f64(0.0)));
+    let prepared_above = s.prepare(&above).expect("prepare filter-above-join");
+    let loose_above = prepared_above.bind_threshold(-1.0).expect("bind above");
+    assert!(
+        loose_above.physical_plan().estimate().rows
+            > prepared_above.physical_plan().estimate().rows,
+        "the root filter's estimate must track the re-bound join below it"
+    );
+}
+
+#[test]
+fn index_budget_evicts_lru_and_reports_in_execution_report() {
+    let mut s = session(10, 80);
+    s.with_strategy(JoinStrategy::Index(IndexJoinConfig {
+        params: HnswParams::tiny(),
+        range_probe_k: 3,
+    }));
+    let plan = LogicalPlan::e_join(
+        LogicalPlan::scan("r"),
+        LogicalPlan::scan("s"),
+        "word",
+        "word",
+        "ft",
+        SimilarityPredicate::TopK(1),
+    );
+    // a budget below a single index: the index being built/used is
+    // protected, so the cold run keeps it resident without evictions
+    s.with_index_budget(1);
+    let cold = s.execute(&plan).expect("cold run");
+    assert_eq!(cold.index_builds, 1);
+    assert_eq!(cold.index_evictions, 0);
+    let resident_bytes = s.index_manager().stats().memory_bytes;
+    assert!(resident_bytes > 0);
+
+    // building under a different key must evict the now-unprotected LRU one
+    s.with_strategy(JoinStrategy::Index(IndexJoinConfig {
+        params: HnswParams::tiny().with_ef_search(99),
+        range_probe_k: 3,
+    }));
+    let second = s.execute(&plan).expect("second run");
+    assert_eq!(second.index_builds, 1, "different params → different key");
+    assert!(
+        second.index_evictions >= 1,
+        "over-budget insert must evict the LRU index"
+    );
+    assert_eq!(s.index_manager().stats().resident, 1);
+    assert!(s.index_manager().stats().evictions >= 1);
+    assert_eq!(s.index_manager().budget(), Some(1));
+}
+
+#[test]
+fn plan_time_type_errors_via_the_session() {
+    let s = session(10, 20);
+    // ejoin on a non-string column fails at prepare() with a typed error
+    let non_string = LogicalPlan::e_join(
+        LogicalPlan::scan("r"),
+        LogicalPlan::scan("s"),
+        "id",
+        "word",
+        "ft",
+        SimilarityPredicate::TopK(1),
+    );
+    assert!(matches!(
+        s.prepare(&non_string).map(|_| ()),
+        Err(CoreError::Relational(RelationalError::TypeError(_)))
+    ));
+    // unknown filter column fails at prepare()
+    let bad_filter = LogicalPlan::scan("s").select(col("ghost").gt(lit_i64(1)));
+    assert!(matches!(
+        s.prepare(&bad_filter).map(|_| ()),
+        Err(CoreError::Relational(RelationalError::UnknownColumn(_)))
+    ));
+    // ill-typed predicate fails at prepare()
+    let bad_type = LogicalPlan::scan("s").select(col("word").gt(lit_i64(1)));
+    assert!(matches!(
+        s.prepare(&bad_type).map(|_| ()),
+        Err(CoreError::Relational(RelationalError::TypeError(_)))
+    ));
+}
+
+#[test]
+fn advisor_tracks_inner_selectivity_through_the_session() {
+    // A probe-friendly cost model brings the paper's selectivity crossover
+    // (Figures 15-17) inside a small test workload; the only difference
+    // between the two queries is the inner filter cutoff.
+    let mut s = session(50, 2_000);
+    s.with_advisor(AccessPathAdvisor::new(CostModel::new(CostParameters {
+        index_probe_cost: 20.0,
+        ..CostParameters::default()
+    })));
+    let low = s
+        .prepare(&filtered_join(5, SimilarityPredicate::TopK(1)))
+        .expect("low prepare");
+    let high = s
+        .prepare(&filtered_join(95, SimilarityPredicate::TopK(1)))
+        .expect("high prepare");
+    let low_node = low.physical_plan().join_nodes()[0];
+    let high_node = high.physical_plan().join_nodes()[0];
+    assert!(low_node.est_inner_selectivity < 0.12);
+    assert!(high_node.est_inner_selectivity > 0.8);
+    assert_eq!(low_node.access_path, AccessPath::TensorScan);
+    assert_eq!(high_node.access_path, AccessPath::IndexProbe);
+    // and the executed paths match the plans
+    assert_eq!(
+        low.run().expect("low run").access_path,
+        Some(AccessPath::TensorScan)
+    );
+    assert_eq!(
+        high.run().expect("high run").access_path,
+        Some(AccessPath::IndexProbe)
+    );
+}
