@@ -22,14 +22,7 @@ const DEFAULT_MAX_RATIO: f64 = 1.5;
 const ABSOLUTE_QERR_CEILING: f64 = 2.0;
 const MAX_AGREEMENT_DROP: f64 = 0.25;
 
-/// Extracts `"key":<number>` from the flat JSON the bench reports emit.
-fn extract(json: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let start = json.find(&needle)? + needle.len();
-    let rest = &json[start..];
-    let end = rest.find([',', '}']).unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
-}
+use cej_bench::report::extract_value as extract;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -176,6 +176,42 @@ fn main() {
         report.push_value(name, value);
     }
 
+    let mut serve_values: Vec<(&'static str, f64)> = Vec::new();
+    section(&mut report, "serve_throughput", &mut || {
+        println!("\n--- Serving: closed-loop clients vs a shared-session server ---");
+        let summary = cej_bench::serve::serve_throughput(
+            scaled(200).max(8),
+            scaled(2_000).max(16),
+            20,
+            1_000,
+            &[1, 4],
+        );
+        cej_bench::harness::print_table(
+            &[
+                "clients",
+                "QPS",
+                "warm p50 µs",
+                "warm p95 µs",
+                "warm p99 µs",
+            ],
+            &cej_bench::serve::serve_table(&summary),
+        );
+        println!(
+            "scaling 1→4 clients {:.2}x; checksum {:08x}; admission burst {} served / {} rejected",
+            summary.scaling_c4,
+            summary.results_checksum,
+            summary.admission_served,
+            summary.admission_rejected
+        );
+        serve_values = vec![
+            ("serve_scaling_c4", summary.scaling_c4),
+            ("serve_checksum", f64::from(summary.results_checksum)),
+        ];
+    });
+    for (name, value) in serve_values {
+        report.push_value(name, value);
+    }
+
     let mut accuracy_values: Vec<(&'static str, f64)> = Vec::new();
     section(&mut report, "planner_accuracy", &mut || {
         println!("\n--- Planner accuracy: q-error + advisor agreement ---");

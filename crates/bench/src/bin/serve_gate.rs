@@ -1,0 +1,126 @@
+//! CI serving regression gate.
+//!
+//! Compares a fresh `serve_throughput.json` against the checked-in
+//! baseline and fails (non-zero exit) when:
+//!
+//! * `results_checksum` differs — query results are no longer
+//!   byte-identical (across thread counts too: the CI matrix legs gate
+//!   against the *same* baseline);
+//! * `scaling_c4` drops below the absolute 2.0 acceptance bar — serving
+//!   must scale at least 2x from 1 to 4 concurrent clients regardless of
+//!   what the baseline achieved;
+//! * `warm_p95_us_c1` exceeds `3x baseline + 2000 µs` — warm prepared-run
+//!   latency regressed (generous margins: shared CI runners are noisy);
+//! * `qps_c1` falls below a third of the baseline;
+//! * the workload `scale` differs — the checksum is only meaningful at the
+//!   baseline's `CEJ_SCALE`.
+//!
+//! ```sh
+//! serve_gate <current.json> <baseline.json>
+//! ```
+//!
+//! Refresh the baseline with `CEJ_SCALE=0.05
+//! CEJ_REPORT=ci/serve_baseline.json cargo run --release -p cej-bench
+//! --bin serve_throughput`.
+
+use std::process::ExitCode;
+
+/// The acceptance bar on client-count scaling (1 → 4 clients).
+const MIN_SCALING_C4: f64 = 2.0;
+/// Latency regression margin: ratio and absolute headroom.
+const P95_RATIO: f64 = 3.0;
+const P95_HEADROOM_US: f64 = 2_000.0;
+/// Throughput floor relative to the baseline.
+const QPS_FLOOR_RATIO: f64 = 3.0;
+
+use cej_bench::report::extract_value as extract;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(current_path), Some(baseline_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: serve_gate <current.json> <baseline.json>");
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("serve_gate: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(current), Some(baseline)) = (read(current_path), read(baseline_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let mut failed = false;
+    let mut check = |name: &str, ok: Option<bool>, detail: String| match ok {
+        Some(true) => println!("{name}: {detail} [ok]"),
+        Some(false) => {
+            println!("{name}: {detail} [FAIL]");
+            failed = true;
+        }
+        None => {
+            eprintln!("serve_gate: {name} missing from one of the reports");
+            failed = true;
+        }
+    };
+
+    let pair = |key: &str| Some((extract(&current, key)?, extract(&baseline, key)?));
+
+    // the checksum is only comparable at the same workload scale
+    check(
+        "scale",
+        pair("scale").map(|(new, old)| (new - old).abs() < 1e-12),
+        pair("scale")
+            .map(|(new, old)| format!("baseline {old}, current {new}"))
+            .unwrap_or_default(),
+    );
+    check(
+        "results_checksum",
+        pair("results_checksum").map(|(new, old)| new == old),
+        pair("results_checksum")
+            .map(|(new, old)| format!("baseline {:08x}, current {:08x}", old as u64, new as u64))
+            .unwrap_or_default(),
+    );
+    check(
+        "scaling_c4",
+        pair("scaling_c4").map(|(new, _)| new >= MIN_SCALING_C4),
+        pair("scaling_c4")
+            .map(|(new, old)| {
+                format!("baseline {old:.2}x, current {new:.2}x, floor {MIN_SCALING_C4:.1}x")
+            })
+            .unwrap_or_default(),
+    );
+    check(
+        "warm_p95_us_c1",
+        pair("warm_p95_us_c1").map(|(new, old)| new <= old * P95_RATIO + P95_HEADROOM_US),
+        pair("warm_p95_us_c1")
+            .map(|(new, old)| {
+                format!(
+                    "baseline {old:.0} µs, current {new:.0} µs, limit {:.0} µs",
+                    old * P95_RATIO + P95_HEADROOM_US
+                )
+            })
+            .unwrap_or_default(),
+    );
+    check(
+        "qps_c1",
+        pair("qps_c1").map(|(new, old)| new >= old / QPS_FLOOR_RATIO),
+        pair("qps_c1")
+            .map(|(new, old)| {
+                format!(
+                    "baseline {old:.0}, current {new:.0}, floor {:.0}",
+                    old / QPS_FLOOR_RATIO
+                )
+            })
+            .unwrap_or_default(),
+    );
+
+    if failed {
+        eprintln!("serve_gate: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("serve_gate: all checks passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,82 @@
+//! The serving benchmark: closed-loop load generation against an
+//! in-process `cej-server` at 1/2/4/8 concurrent clients.
+//!
+//! Reports QPS per client count, warm prepared-run p50/p95/p99, the
+//! 4-vs-1-client scaling factor, admission-burst behaviour, and the folded
+//! response checksum (byte-identical-results witness; identical across
+//! `CEJ_THREADS` settings and client counts by construction).
+//!
+//! `CEJ_SCALE` scales the table cardinalities; `CEJ_REPORT=<path>` writes
+//! the JSON artifact the CI serve-smoke job gates with `serve_gate`
+//! against `ci/serve_baseline.json` (refresh: `CEJ_SCALE=0.05
+//! CEJ_REPORT=ci/serve_baseline.json cargo run --release -p cej-bench
+//! --bin serve_throughput`).
+
+use cej_bench::harness::{header, print_table, scaled};
+use cej_bench::report::Report;
+use cej_bench::serve::{serve_table, serve_throughput};
+
+/// Simulated remote-embedding round trip per *cold* model call (µs).  Ad-hoc
+/// probe text is always cold, so every probe hides this much latency behind
+/// concurrency — the serving regime of the paper's model-cost analysis.
+const REMOTE_MODEL_US: u64 = 2_000;
+
+fn main() {
+    header(
+        "Serving throughput",
+        "closed-loop clients against a shared-session cej-server",
+    );
+    let outer = scaled(400).max(8);
+    let inner = scaled(4_000).max(16);
+    let ops_per_client = 40;
+    let client_counts = [1usize, 2, 4, 8];
+    println!(
+        "tables: r={outer} rows, s={inner} rows; {ops_per_client} ops/client; \
+         mix: 50% warm prepared RUN, 50% ad-hoc PROBE (remote model {REMOTE_MODEL_US} µs); \
+         threads={}",
+        cej_exec::default_threads()
+    );
+
+    let summary = serve_throughput(
+        outer,
+        inner,
+        ops_per_client,
+        REMOTE_MODEL_US,
+        &client_counts,
+    );
+
+    print_table(
+        &[
+            "clients",
+            "QPS",
+            "warm p50 µs",
+            "warm p95 µs",
+            "warm p99 µs",
+        ],
+        &serve_table(&summary),
+    );
+    println!(
+        "scaling 1→4 clients: {:.2}x; results checksum {:08x}; \
+         admission burst: {} served / {} busy-rejected",
+        summary.scaling_c4,
+        summary.results_checksum,
+        summary.admission_served,
+        summary.admission_rejected
+    );
+
+    let mut report = Report::new("serve_throughput");
+    report.push_value("threads", cej_exec::default_threads() as f64);
+    report.push_value("remote_model_us", REMOTE_MODEL_US as f64);
+    for phase in &summary.phases {
+        let c = phase.clients;
+        report.push_value(&format!("qps_c{c}"), phase.qps);
+        report.push_value(&format!("warm_p50_us_c{c}"), phase.warm_p50_us as f64);
+        report.push_value(&format!("warm_p95_us_c{c}"), phase.warm_p95_us as f64);
+        report.push_value(&format!("warm_p99_us_c{c}"), phase.warm_p99_us as f64);
+    }
+    report.push_value("scaling_c4", summary.scaling_c4);
+    report.push_value("results_checksum", f64::from(summary.results_checksum));
+    report.push_value("admission_rejected", summary.admission_rejected as f64);
+    report.push_value("admission_served", summary.admission_served as f64);
+    report.write_if_requested();
+}

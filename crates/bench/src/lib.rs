@@ -27,3 +27,4 @@ pub mod accuracy;
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod serve;

@@ -77,6 +77,18 @@ impl Report {
     }
 }
 
+/// Extracts `"key":<number>` from the flat JSON documents this module
+/// emits — the parsing half the CI gate binaries (`recall_gate`,
+/// `accuracy_gate`, `serve_gate`) share, kept next to the emitter so the
+/// two halves cannot drift apart.
+pub fn extract_value(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
 /// Escapes a string as a JSON string literal.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

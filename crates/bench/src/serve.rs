@@ -1,0 +1,361 @@
+//! The closed-loop serving load generator behind the `serve_throughput`
+//! binary and `run_all`'s serving section.
+//!
+//! Boots a [`cej_server::Server`] over a workload session in-process, then
+//! drives it with 1/2/4/8 concurrent TCP clients, each running a fixed
+//! closed-loop operation mix:
+//!
+//! * **warm prepared runs** — `RUN` over three statements prepared once per
+//!   connection (a top-k join, a threshold join, and a `BIND`-derived
+//!   variant), all shared caches hot: the plan-once / execute-many regime;
+//! * **ad-hoc probes** — `PROBE` with fresh request text per operation, so
+//!   every probe pays one *remote-model* embedding call
+//!   ([`ModelCostProfile::remote_micros`]): the paper's
+//!   embeddings-as-a-service cost, which a concurrent server hides by
+//!   overlapping blocked calls across clients.
+//!
+//! The mix is deterministic per `(client count, client index, op index)`,
+//! and the session uses the tensor-scan join (byte-deterministic for any
+//! thread count), so the XOR-fold of all server-side response checksums is
+//! **identical across runs, client counts, and `CEJ_THREADS` settings** —
+//! the load generator is simultaneously the byte-identical-results check.
+//! QPS scaling with client count comes from overlapping the blocked remote
+//! calls (and, on multi-core hosts, from true parallelism), which is
+//! exactly the serving story the ROADMAP's north star asks for.
+
+use std::time::Instant;
+
+use cej_core::{ContextJoinSession, JoinStrategy, TensorJoinConfig};
+use cej_embedding::{CachedEmbedder, FastTextConfig, FastTextModel, ModelCostProfile};
+use cej_server::{Client, Response, Server, ServerConfig};
+use cej_workload::{JoinWorkload, RelationSpec};
+
+/// Dimensionality of the serving model (kept small: the serving benchmark
+/// measures the serving layer, not the kernels).
+const DIM: usize = 32;
+
+/// Measurements of one client-count phase.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseResult {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Operations completed across all clients (warm runs + probes).
+    pub ops: usize,
+    /// Throughput over the phase wall-clock, in queries per second.
+    pub qps: f64,
+    /// Warm prepared-run latency percentiles (client-observed, µs).
+    pub warm_p50_us: u64,
+    /// 95th percentile of warm runs (µs).
+    pub warm_p95_us: u64,
+    /// 99th percentile of warm runs (µs).
+    pub warm_p99_us: u64,
+}
+
+/// The full serving-benchmark outcome.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// One entry per client count, in the order driven.
+    pub phases: Vec<PhaseResult>,
+    /// `qps(4 clients) / qps(1 client)` — the scaling headline (0 when a
+    /// phase is missing).
+    pub scaling_c4: f64,
+    /// XOR-fold of every response checksum across all phases, folded to 32
+    /// bits (so it survives the f64 JSON report losslessly).  Identical
+    /// across thread counts and client counts by construction.
+    pub results_checksum: u32,
+    /// Rejections observed during the dedicated admission-burst phase.
+    pub admission_rejected: u64,
+    /// Operations served during the admission burst (admitted side).
+    pub admission_served: u64,
+}
+
+/// Builds the serving session: workload tables `r`/`s`, a remote-latency
+/// model `ft`, and the deterministic tensor-scan strategy.
+fn serving_session(outer_rows: usize, inner_rows: usize, remote_micros: u64) -> ContextJoinSession {
+    let workload = JoinWorkload::generate(
+        RelationSpec::with_rows(outer_rows.max(4)),
+        RelationSpec::with_rows(inner_rows.max(4)),
+        4242,
+    );
+    let model = FastTextModel::new(FastTextConfig {
+        dim: DIM,
+        ..FastTextConfig::default()
+    })
+    .expect("model construction");
+    // the uncached counting wrapper + cost profile = "every real invocation
+    // goes to the remote service"; the session's own shared cache in front
+    // of it is what makes warm strings free
+    let remote =
+        CachedEmbedder::uncached(model).with_cost(ModelCostProfile::remote_micros(remote_micros));
+    let mut session = ContextJoinSession::new();
+    session.register_table("r", workload.outer.clone());
+    session.register_table("s", workload.inner.clone());
+    session.register_model("ft", remote);
+    session.with_strategy(JoinStrategy::Tensor(TensorJoinConfig::default()));
+    session
+}
+
+/// The per-connection statement set.
+const PREPARES: [&str; 3] = [
+    "PREPARE w1 JOIN r.word s.word MODEL ft TOPK 2",
+    "PREPARE w2 JOIN r.word s.word MODEL ft SIM 0.8",
+    "PREPARE probe_t PROBE s.word MODEL ft TOPK 2",
+];
+
+/// Prepares the statement mix on a fresh connection (including the
+/// `BIND`-derived `w3`).
+fn prepare_mix(client: &mut Client) {
+    for prepare in PREPARES {
+        match client.request(prepare).expect("prepare") {
+            Response::Ok(_) => {}
+            other => panic!("prepare failed: {other:?}"),
+        }
+    }
+    match client.request("BIND w2 w3 0.6").expect("bind") {
+        Response::Ok(_) => {}
+        other => panic!("bind failed: {other:?}"),
+    }
+}
+
+/// The deterministic operation stream: even ops are warm prepared runs
+/// (rotating w1/w2/w3), odd ops are ad-hoc probes with phase-unique text.
+fn op_line(phase_clients: usize, client_idx: usize, op_idx: usize) -> String {
+    if op_idx.is_multiple_of(2) {
+        let statement = ["w1", "w2", "w3"][(op_idx / 2) % 3];
+        format!("RUN {statement}")
+    } else {
+        format!("PROBE probe_t request c{phase_clients} t{client_idx} n{op_idx}")
+    }
+}
+
+/// One client's closed loop; returns (xor of response checksums, warm-run
+/// latencies in µs).
+fn client_loop(
+    addr: std::net::SocketAddr,
+    phase_clients: usize,
+    client_idx: usize,
+    ops: usize,
+) -> (u64, Vec<u64>) {
+    let mut client = Client::connect(addr).expect("connect");
+    prepare_mix(&mut client);
+    let mut checksum_fold = 0u64;
+    let mut warm_latencies = Vec::with_capacity(ops / 2 + 1);
+    for op_idx in 0..ops {
+        let line = op_line(phase_clients, client_idx, op_idx);
+        let start = Instant::now();
+        match client.request(&line).expect("request") {
+            Response::Rows { checksum, .. } => {
+                checksum_fold ^= checksum;
+                if line.starts_with("RUN") {
+                    warm_latencies.push(start.elapsed().as_micros() as u64);
+                }
+            }
+            other => panic!("unexpected response to `{line}`: {other:?}"),
+        }
+    }
+    let _ = client.request("QUIT");
+    (checksum_fold, warm_latencies)
+}
+
+/// Nearest-rank percentile over an unsorted sample — the same formula the
+/// server's [`cej_server::latency`] reports, so bench-side (client-observed)
+/// and server-side percentiles are directly comparable.
+fn percentile(samples: &mut [u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    samples[cej_server::latency::nearest_rank(samples.len(), q)]
+}
+
+/// Runs the full serving benchmark: a warmup pass, one phase per entry in
+/// `client_counts`, and an admission burst against a 1-slot server.
+pub fn serve_throughput(
+    outer_rows: usize,
+    inner_rows: usize,
+    ops_per_client: usize,
+    remote_micros: u64,
+    client_counts: &[usize],
+) -> ServeSummary {
+    let session = serving_session(outer_rows, inner_rows, remote_micros);
+    let mut server = Server::start(
+        session.clone(),
+        ServerConfig {
+            max_inflight: 16,
+            max_queued: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind server");
+    let addr = server.local_addr();
+
+    // Warmup: embed every table string once (cold model calls, including
+    // their remote latency) so the measured phases run the warm mix.
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        prepare_mix(&mut client);
+        for statement in ["w1", "w2", "w3"] {
+            match client.request(&format!("RUN {statement}")).expect("warmup") {
+                Response::Rows { .. } => {}
+                other => panic!("warmup failed: {other:?}"),
+            }
+        }
+        let _ = client.request("QUIT");
+    }
+
+    let mut phases = Vec::new();
+    let mut checksum_fold = 0u64;
+    for &clients in client_counts {
+        server.reset_latency();
+        let started = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|client_idx| {
+                std::thread::spawn(move || client_loop(addr, clients, client_idx, ops_per_client))
+            })
+            .collect();
+        let mut warm = Vec::new();
+        for handle in handles {
+            let (fold, latencies) = handle.join().expect("client thread");
+            checksum_fold ^= fold;
+            warm.extend(latencies);
+        }
+        let wall = started.elapsed();
+        let ops = clients * ops_per_client;
+        phases.push(PhaseResult {
+            clients,
+            ops,
+            qps: ops as f64 / wall.as_secs_f64().max(1e-9),
+            warm_p50_us: percentile(&mut warm, 0.50),
+            warm_p95_us: percentile(&mut warm, 0.95),
+            warm_p99_us: percentile(&mut warm, 0.99),
+        });
+    }
+    server.shutdown();
+
+    // Admission burst: a dedicated 1-slot / 0-queue server over the same
+    // (already warm) session; overlapping clients must observe `busy`
+    // rejections while the server stays up.
+    let mut burst_server = Server::start(
+        session,
+        ServerConfig {
+            max_inflight: 1,
+            max_queued: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind burst server");
+    let burst_addr = burst_server.local_addr();
+    let mut served = 0u64;
+    let mut rejected = 0u64;
+    let burst_handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(burst_addr).expect("connect");
+                prepare_mix(&mut client);
+                let mut served = 0u64;
+                let mut rejected = 0u64;
+                for _ in 0..25 {
+                    match client.request("RUN w1").expect("burst request") {
+                        Response::Rows { .. } => served += 1,
+                        Response::Err(e) if e.starts_with("busy") => rejected += 1,
+                        other => panic!("unexpected burst response: {other:?}"),
+                    }
+                }
+                let _ = client.request("QUIT");
+                (served, rejected)
+            })
+        })
+        .collect();
+    for handle in burst_handles {
+        let (s, r) = handle.join().expect("burst client");
+        served += s;
+        rejected += r;
+    }
+    assert_eq!(
+        served + rejected,
+        100,
+        "every burst op is served or rejected"
+    );
+    burst_server.shutdown();
+
+    let qps_of = |clients: usize| {
+        phases
+            .iter()
+            .find(|p| p.clients == clients)
+            .map(|p| p.qps)
+            .unwrap_or(0.0)
+    };
+    let scaling_c4 = if qps_of(1) > 0.0 {
+        qps_of(4) / qps_of(1)
+    } else {
+        0.0
+    };
+    ServeSummary {
+        phases,
+        scaling_c4,
+        results_checksum: fold32(checksum_fold),
+        admission_rejected: rejected,
+        admission_served: served,
+    }
+}
+
+/// Folds a 64-bit checksum to 32 bits (losslessly representable in the f64
+/// JSON reports).
+fn fold32(checksum: u64) -> u32 {
+    (checksum ^ (checksum >> 32)) as u32
+}
+
+/// Human-oriented table rows for [`crate::harness::print_table`].
+pub fn serve_table(summary: &ServeSummary) -> Vec<Vec<String>> {
+    summary
+        .phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.clients.to_string(),
+                format!("{:.0}", p.qps),
+                p.warm_p50_us.to_string(),
+                p.warm_p95_us.to_string(),
+                p.warm_p99_us.to_string(),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_stream_is_deterministic_and_mixed() {
+        assert_eq!(op_line(4, 0, 0), "RUN w1");
+        assert_eq!(op_line(4, 0, 1), "PROBE probe_t request c4 t0 n1");
+        assert_eq!(op_line(4, 0, 2), "RUN w2");
+        assert_eq!(op_line(4, 0, 4), "RUN w3");
+        assert_eq!(op_line(4, 0, 6), "RUN w1");
+        // phase- and client-unique probe text (novel strings pay the
+        // remote-model latency; repeats would be cache hits)
+        assert_ne!(op_line(4, 0, 1), op_line(4, 1, 1));
+        assert_ne!(op_line(4, 0, 1), op_line(2, 0, 1));
+    }
+
+    #[test]
+    fn fold32_mixes_both_halves() {
+        assert_eq!(fold32(0), 0);
+        assert_ne!(fold32(0x1234_5678_0000_0000), 0);
+        assert_eq!(fold32(0xdead_beef_dead_beef), 0);
+    }
+
+    #[test]
+    fn smoke_serving_benchmark_end_to_end() {
+        // tiny and fast: correctness of the harness, not numbers
+        let summary = serve_throughput(12, 40, 8, 200, &[1, 2]);
+        assert_eq!(summary.phases.len(), 2);
+        assert!(summary.phases.iter().all(|p| p.qps > 0.0));
+        assert!(summary.results_checksum != 0);
+        assert_eq!(summary.admission_served + summary.admission_rejected, 100);
+        // determinism: an identical run folds to the identical checksum
+        let again = serve_throughput(12, 40, 8, 200, &[1, 2]);
+        assert_eq!(summary.results_checksum, again.results_checksum);
+    }
+}

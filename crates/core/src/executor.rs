@@ -53,6 +53,68 @@ impl Embedder for SharedEmbedder {
 /// around a registry model.
 pub type SharedCache = CachedEmbedder<SharedEmbedder>;
 
+/// A per-run counting view over a shared [`SharedCache`].
+///
+/// Join operators and the `Embed` node receive this instead of the raw
+/// cache: every request still flows through (and fills) the shared memo,
+/// but the hit/miss tally lands in run-local counters.  Under concurrent
+/// executions on one shared session this is what keeps each
+/// [`RunStats::embedding_stats`] *isolated* — diffing the shared cache's
+/// global counters around a run would blame this run for calls made by
+/// whichever queries happened to overlap with it.
+pub struct RunEmbedder<'r> {
+    cache: &'r SharedCache,
+    model_calls: std::sync::atomic::AtomicU64,
+    cache_hits: std::sync::atomic::AtomicU64,
+}
+
+impl<'r> RunEmbedder<'r> {
+    /// Wraps a shared cache with fresh run-local counters.
+    pub fn new(cache: &'r SharedCache) -> Self {
+        Self {
+            cache,
+            model_calls: std::sync::atomic::AtomicU64::new(0),
+            cache_hits: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The calls this run paid and the hits it was served so far.
+    pub fn stats(&self) -> EmbeddingStats {
+        use std::sync::atomic::Ordering;
+        EmbeddingStats {
+            model_calls: self.model_calls.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Embedder for RunEmbedder<'_> {
+    fn dim(&self) -> usize {
+        self.cache.dim()
+    }
+
+    fn embed(&self, input: &str) -> Vector {
+        use std::sync::atomic::Ordering;
+        let (vector, paid) = self.cache.embed_counted(input);
+        if paid {
+            self.model_calls.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        vector
+    }
+
+    fn embed_batch(&self, inputs: &[String]) -> cej_vector::Matrix {
+        use std::sync::atomic::Ordering;
+        let (matrix, delta) = self.cache.embed_batch_counted(inputs);
+        self.model_calls
+            .fetch_add(delta.model_calls, Ordering::Relaxed);
+        self.cache_hits
+            .fetch_add(delta.cache_hits, Ordering::Relaxed);
+        matrix
+    }
+}
+
 /// Session-owned pool of per-model embedding caches.
 ///
 /// The cache for a model survives across queries (and is shared with every
@@ -145,8 +207,14 @@ pub struct ExecContext<'s> {
 pub struct RunStats {
     /// Operator-level statistics of the (outermost) join.
     pub join_stats: JoinStats,
-    /// Model access performed by this run (cache deltas, summed over joins).
+    /// Model access performed by this run (run-local counters, exact even
+    /// under concurrent executions on a shared session).
     pub embedding_stats: EmbeddingStats,
+    /// Worker-pool activity across this run: tasks/steals/injections are
+    /// process-wide deltas over the persistent scheduler (concurrent runs
+    /// overlap in them — they are a *contention* signal, not an attribution),
+    /// `queue_depth`/`workers` are sampled at run end.
+    pub scheduler: cej_exec::PoolMetrics,
     /// The access path executed (None when the plan had no join).
     pub access_path: Option<AccessPath>,
     /// Number of joined pairs of the (outermost) join.
@@ -181,8 +249,10 @@ impl PhysicalPlan {
     /// Propagates catalog, evaluation, embedding, index, and join errors.
     pub fn execute(&self, ctx: &ExecContext<'_>) -> Result<ExecOutcome> {
         let mut stats = RunStats::default();
+        let pool_before = cej_exec::ExecPool::metrics();
         let mut operator_rows = Vec::with_capacity(self.operator_count());
         let table = execute_node(self, ctx, &mut stats, &mut operator_rows)?;
+        stats.scheduler = cej_exec::ExecPool::metrics().delta_since(&pool_before);
         Ok(ExecOutcome {
             table,
             stats,
@@ -223,18 +293,19 @@ fn execute_node(
         PhysicalPlan::Embed { spec, input, .. } => {
             let table = execute_node(input, ctx, stats, operator_rows)?;
             // Route `E_µ` through the shared per-model cache (not the raw
-            // registry model) so warm prepared runs re-pay nothing and the
-            // calls show up in the run's embedding stats.
+            // registry model) so warm prepared runs re-pay nothing, tallying
+            // through a run-local counter so concurrent executions on the
+            // shared session report isolated stats.
             let cache = ctx.embeddings.cache(&spec.model, ctx.registry)?;
-            let before = cache.stats();
+            let run = RunEmbedder::new(cache.as_ref());
             let strings = table
                 .column_by_name(&spec.input_column)
                 .map_err(CoreError::from)?
                 .as_utf8()?;
-            let matrix = embed_all(cache.as_ref(), strings)?;
-            let after = cache.stats();
-            stats.embedding_stats.model_calls += after.model_calls - before.model_calls;
-            stats.embedding_stats.cache_hits += after.cache_hits - before.cache_hits;
+            let matrix = embed_all(&run, strings)?;
+            let delta = run.stats();
+            stats.embedding_stats.model_calls += delta.model_calls;
+            stats.embedding_stats.cache_hits += delta.cache_hits;
             table
                 .with_column(&spec.output_column, Column::Vector(matrix))
                 .map_err(CoreError::from)?
@@ -266,10 +337,18 @@ fn execute_join(
     };
 
     let cache = ctx.embeddings.cache(&node.model, ctx.registry)?;
-    let before = cache.stats();
+    // All of this join's embedding goes through a run-local counting view,
+    // so the reported stats are exact per-run deltas even while other
+    // executions share (and race on) the same cache.
+    let run = RunEmbedder::new(cache.as_ref());
 
     let (result, right_view) = match (&node.op, &node.inner) {
         (PhysicalJoinOp::Index(config), InnerInput::Indexed(indexed)) => {
+            // epoch first, then the table read: a re-registration landing
+            // between the two is detected at publication time, so an index
+            // built from the rows snapshotted here can never be cached past
+            // an invalidation of its own table or model
+            let epoch = ctx.indexes.publication_epoch(&indexed.key);
             let base = ctx
                 .catalog
                 .table(&indexed.key.table)
@@ -280,11 +359,15 @@ fn execute_join(
                 .as_utf8()?;
             let join = IndexJoin::new(*config);
             // tracked variant: evictions this call performed are attributed
-            // to this run, not diffed off the shared manager's global counter
-            let (index, built, evicted) = ctx.indexes.get_or_build_tracked(&indexed.key, || {
-                let matrix = embed_all(cache.as_ref(), inner_strings)?;
-                join.build_index(&matrix)
-            })?;
+            // to this run, not diffed off the shared manager's global
+            // counter; single-flight means a losing racer pays no embedding
+            // or build cost here at all
+            let (index, built, evicted) =
+                ctx.indexes
+                    .get_or_build_tracked_from(epoch, &indexed.key, || {
+                        let matrix = embed_all(&run, inner_strings)?;
+                        join.build_index(&matrix)
+                    })?;
             if built {
                 stats.index_builds += 1;
             } else {
@@ -301,7 +384,7 @@ fn execute_join(
                 });
             }
 
-            let outer_matrix = embed_all(cache.as_ref(), left_strings)?;
+            let outer_matrix = embed_all(&run, left_strings)?;
             let result = join.probe_join(
                 &outer_matrix,
                 &index,
@@ -324,7 +407,7 @@ fn execute_join(
                 .column_by_name(&node.right_column)
                 .map_err(CoreError::from)?
                 .as_utf8()?;
-            let model: &dyn Embedder = cache.as_ref();
+            let model: &dyn Embedder = &run;
             let result = match op {
                 PhysicalJoinOp::NaiveNlj => {
                     NaiveNlJoin::new().join(model, left_strings, right_strings, node.predicate)?
@@ -361,11 +444,7 @@ fn execute_join(
         }
     };
 
-    let after = cache.stats();
-    let delta = EmbeddingStats {
-        model_calls: after.model_calls - before.model_calls,
-        cache_hits: after.cache_hits - before.cache_hits,
-    };
+    let delta = run.stats();
     stats.embedding_stats.model_calls += delta.model_calls;
     stats.embedding_stats.cache_hits += delta.cache_hits;
 
@@ -439,7 +518,7 @@ mod tests {
 
     impl Fixture {
         fn new() -> Self {
-            let mut catalog = Catalog::new();
+            let catalog = Catalog::new();
             catalog.register(
                 "photos",
                 TableBuilder::new()

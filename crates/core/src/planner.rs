@@ -292,9 +292,33 @@ impl Planner {
         let scan_cost = self.advisor.scan_cost(&query);
         let probe_cost = self.advisor.probe_cost(&query);
 
+        // Eviction-aware costing: a cold probe path is only worth planning
+        // when its index could actually *stay* resident under the session's
+        // memory budget (minus bytes pinned by in-flight queries).  An
+        // already-resident index is always usable; a doomed one would
+        // thrash build → evict → rebuild on every execution.
+        let index_can_stay_resident = index_available
+            || match &indexable {
+                Some(ix) => {
+                    let dim = registry.model(model).map_err(CoreError::from)?.dim();
+                    indexes.would_stay_resident(crate::index_manager::estimate_index_bytes(
+                        ix.base_rows,
+                        dim,
+                        &candidate_config.params,
+                    ))
+                }
+                // a non-indexable inner builds an ephemeral (per-run) index
+                // that never enters the budgeted cache
+                None => true,
+            };
+
         let (op, access_path) = match self.strategy {
             JoinStrategy::Auto => match self.advisor.choose(&query) {
                 AccessPath::TensorScan => (
+                    PhysicalJoinOp::Tensor(TensorJoinConfig::default()),
+                    AccessPath::TensorScan,
+                ),
+                AccessPath::IndexProbe if !index_can_stay_resident => (
                     PhysicalJoinOp::Tensor(TensorJoinConfig::default()),
                     AccessPath::TensorScan,
                 ),
@@ -459,7 +483,7 @@ mod tests {
     use std::sync::Arc;
 
     fn setup() -> (Catalog, ModelRegistry, IndexManager) {
-        let mut catalog = Catalog::new();
+        let catalog = Catalog::new();
         catalog.register(
             "r",
             TableBuilder::new()
@@ -615,7 +639,7 @@ mod tests {
         // difference between the two plans is the inner filter cutoff, so a
         // flipped access path proves the advisor consumed the estimated
         // selectivity — with no with_filter_selectivity override anywhere.
-        let (mut catalog, registry, indexes) = setup();
+        let (catalog, registry, indexes) = setup();
         catalog.register(
             "big",
             TableBuilder::new()
@@ -794,6 +818,71 @@ mod tests {
             warm.join_nodes()[0].probe_cost < cold.join_nodes()[0].probe_cost,
             "a resident index must remove the build term from the probe cost"
         );
+    }
+
+    #[test]
+    fn doomed_index_budget_declines_the_probe_path() {
+        // Same probe-friendly setup as the selectivity-flip test: at high
+        // inner selectivity Auto picks the index probe — unless the budget
+        // could never hold the index, in which case the advisor must fall
+        // back to the pre-filtered scan instead of planning a build → evict
+        // → rebuild loop.
+        let (catalog, registry, indexes) = setup();
+        catalog.register(
+            "big",
+            TableBuilder::new()
+                .int64("filter", (0..2000).map(|i| i % 100).collect())
+                .utf8("word", (0..2000).map(|i| format!("w{i}")).collect())
+                .build()
+                .unwrap(),
+        );
+        let advisor = AccessPathAdvisor::new(CostModel::new(CostParameters {
+            index_probe_cost: 20.0,
+            ..CostParameters::default()
+        }));
+        let planner = Planner::new(advisor, JoinStrategy::Auto);
+        let plan = LogicalPlan::e_join(
+            LogicalPlan::scan("r"),
+            LogicalPlan::scan("big").select(col("filter").lt(lit_i64(95))),
+            "word",
+            "word",
+            "m",
+            SimilarityPredicate::TopK(1),
+        );
+        let unbudgeted = planner.plan(&plan, &catalog, &registry, &indexes).unwrap();
+        assert_eq!(
+            unbudgeted.join_nodes()[0].access_path,
+            AccessPath::IndexProbe,
+            "without a budget the probe wins this shape"
+        );
+        // a budget far below the estimated index footprint dooms residency
+        indexes.set_budget(Some(64));
+        let budgeted = planner.plan(&plan, &catalog, &registry, &indexes).unwrap();
+        assert_eq!(
+            budgeted.join_nodes()[0].access_path,
+            AccessPath::TensorScan,
+            "a never-resident index must not be planned"
+        );
+        // ... but an index that is *already* resident keeps the probe path
+        indexes.set_budget(None);
+        let key = IndexKey::new("big", "word", "m", IndexJoinConfig::default().params);
+        let (vectors, _) = cej_workload::clustered_matrix(20, 8, 2, 0.05, 5);
+        let (held, _) = indexes
+            .get_or_build(&key, || {
+                cej_index::HnswIndex::build(vectors.clone(), cej_index::HnswParams::tiny())
+                    .map_err(CoreError::from)
+            })
+            .unwrap();
+        // the held handle pins the entry, so the tiny budget cannot evict it
+        indexes.set_budget(Some(64));
+        assert!(indexes.contains(&key));
+        let resident = planner.plan(&plan, &catalog, &registry, &indexes).unwrap();
+        assert_eq!(
+            resident.join_nodes()[0].access_path,
+            AccessPath::IndexProbe,
+            "an already-resident index stays usable"
+        );
+        drop(held);
     }
 
     #[test]

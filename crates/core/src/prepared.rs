@@ -55,21 +55,27 @@ impl std::fmt::Display for ExplainAnalyze {
 }
 
 /// A query that has been optimised and physically planned once and can be
-/// executed any number of times.
+/// executed any number of times — including concurrently from many threads,
+/// since `run` takes `&self` and all session state is internally
+/// synchronised.
 ///
-/// Holds a shared (`Arc`) handle on the session's model registry and borrows
-/// the session for its catalog and caches; dropping the prepared query
-/// releases the borrow (e.g. before re-registering tables).
+/// Holds its own handle onto the shared session state (catalog, caches,
+/// indexes) plus the registry snapshot it was planned against.  The
+/// lifetime parameter preserves the original borrow-scoped API (dropping
+/// the prepared query before re-registering tables); a server that needs
+/// to *store* prepared statements unbinds it with
+/// [`PreparedQuery::detach`].
 pub struct PreparedQuery<'s> {
-    session: &'s ContextJoinSession,
+    session: ContextJoinSession,
     registry: Arc<ModelRegistry>,
     optimized: LogicalPlan,
     physical: PhysicalPlan,
+    _borrow: std::marker::PhantomData<&'s ContextJoinSession>,
 }
 
 impl<'s> PreparedQuery<'s> {
     pub(crate) fn new(
-        session: &'s ContextJoinSession,
+        session: ContextJoinSession,
         registry: Arc<ModelRegistry>,
         optimized: LogicalPlan,
         physical: PhysicalPlan,
@@ -79,6 +85,21 @@ impl<'s> PreparedQuery<'s> {
             registry,
             optimized,
             physical,
+            _borrow: std::marker::PhantomData,
+        }
+    }
+
+    /// Unbinds the prepared query from the session borrow, returning an
+    /// owned (`'static`) statement that shares the same session state.
+    /// This is what a serving layer stores in its statement cache: the
+    /// session lives on in the handle inside.
+    pub fn detach(self) -> PreparedQuery<'static> {
+        PreparedQuery {
+            session: self.session,
+            registry: self.registry,
+            optimized: self.optimized,
+            physical: self.physical,
+            _borrow: std::marker::PhantomData,
         }
     }
 
@@ -123,6 +144,7 @@ impl<'s> PreparedQuery<'s> {
             index_reuses: outcome.stats.index_reuses,
             index_evictions: outcome.stats.index_evictions,
             operator_rows: outcome.operator_rows,
+            scheduler: outcome.stats.scheduler,
         })
     }
 
@@ -135,7 +157,12 @@ impl<'s> PreparedQuery<'s> {
     /// Propagates the same errors as [`PreparedQuery::run`].
     pub fn explain_analyze(&self) -> Result<ExplainAnalyze> {
         let report = self.run()?;
-        let text = self.physical.explain_analyze(&report.operator_rows);
+        let mut text = self.physical.explain_analyze(&report.operator_rows);
+        let pool = &report.scheduler;
+        text.push_str(&format!(
+            "scheduler: tasks={} steals={} injected={} queue_depth={} workers={}\n",
+            pool.tasks_executed, pool.steals, pool.injected, pool.queue_depth, pool.workers
+        ));
         Ok(ExplainAnalyze { text, report })
     }
 
@@ -160,7 +187,7 @@ impl<'s> PreparedQuery<'s> {
         let mut optimized = self.optimized.clone();
         rebind_logical(&mut optimized, threshold);
         Ok(PreparedQuery::new(
-            self.session,
+            self.session.clone(),
             self.registry.clone(),
             optimized,
             physical,

@@ -22,6 +22,19 @@
 //! [`ContextJoinSession::execute`] is a thin `prepare().run()` wrapper, so
 //! the original one-shot `execute(&LogicalPlan)` path keeps working
 //! unchanged.
+//!
+//! ## Shared sessions
+//!
+//! A session is a cheap handle over `Arc`-shared state: the (internally
+//! synchronised) catalog, the model registry, the per-model embedding
+//! caches, and the persistent index manager.  [`ContextJoinSession::clone`]
+//! returns a second handle onto the *same* state, which is how the serving
+//! layer gives every connection its own handle while all of them share one
+//! catalog, one set of caches, and one index manager.  Any number of
+//! threads may run prepared queries concurrently; registration methods
+//! keep their `&mut self` signatures (a handle is trivially made `mut`)
+//! and apply copy-on-write under the hood, so queries already in flight
+//! keep the snapshots they were planned against.
 
 use std::sync::Arc;
 
@@ -85,17 +98,28 @@ pub struct ExecutionReport {
     /// Actual output rows of every physical operator, in the pre-order the
     /// plan renders in — the "actual" column of `explain_analyze()`.
     pub operator_rows: Vec<u64>,
+    /// Persistent worker-pool activity observed across this run (tasks
+    /// executed, steals, injector submissions, queue depth) — the scheduler
+    /// side of `explain_analyze()`.  Process-wide deltas: under concurrent
+    /// serving they measure contention, not per-run attribution.
+    pub scheduler: cej_exec::PoolMetrics,
 }
 
-/// The end-to-end hybrid vector-relational session.
-pub struct ContextJoinSession {
+/// The `Arc`-shared state behind every [`ContextJoinSession`] handle.
+struct SessionState {
     catalog: Catalog,
-    registry: Arc<ModelRegistry>,
-    strategy: JoinStrategy,
-    advisor: AccessPathAdvisor,
+    registry: parking_lot::RwLock<Arc<ModelRegistry>>,
+    strategy: parking_lot::RwLock<JoinStrategy>,
+    advisor: parking_lot::RwLock<AccessPathAdvisor>,
     optimizer: Optimizer,
     embeddings: EmbeddingCachePool,
     indexes: IndexManager,
+}
+
+/// The end-to-end hybrid vector-relational session: a cheap handle over
+/// shared state (see the module docs on shared sessions).
+pub struct ContextJoinSession {
+    state: Arc<SessionState>,
 }
 
 impl Default for ContextJoinSession {
@@ -104,49 +128,84 @@ impl Default for ContextJoinSession {
     }
 }
 
+impl Clone for ContextJoinSession {
+    /// Returns another handle onto the **same** session state (catalog,
+    /// models, caches, indexes) — not a copy.  This is the sharing primitive
+    /// the serving layer hands each connection.
+    fn clone(&self) -> Self {
+        Self {
+            state: self.state.clone(),
+        }
+    }
+}
+
 impl ContextJoinSession {
     /// Creates an empty session with the default optimizer and advisor.
     pub fn new() -> Self {
         Self {
-            catalog: Catalog::new(),
-            registry: Arc::new(ModelRegistry::new()),
-            strategy: JoinStrategy::Auto,
-            advisor: AccessPathAdvisor::default(),
-            optimizer: Optimizer::with_default_rules(),
-            embeddings: EmbeddingCachePool::new(),
-            indexes: IndexManager::new(),
+            state: Arc::new(SessionState {
+                catalog: Catalog::new(),
+                registry: parking_lot::RwLock::new(Arc::new(ModelRegistry::new())),
+                strategy: parking_lot::RwLock::new(JoinStrategy::Auto),
+                advisor: parking_lot::RwLock::new(AccessPathAdvisor::default()),
+                optimizer: Optimizer::with_default_rules(),
+                embeddings: EmbeddingCachePool::new(),
+                indexes: IndexManager::new(),
+            }),
         }
     }
 
     /// Registers (or replaces) a base table.  Replacing a table invalidates
     /// every persistent index built over it.
+    ///
+    /// Order matters under concurrency: the new table is published *before*
+    /// the invalidation, so a concurrent index build either embeds the new
+    /// rows (fine) or overlaps the invalidation epoch and is discarded at
+    /// publication — a graph over the replaced rows can never be cached.
     pub fn register_table(&mut self, name: &str, table: Table) -> &mut Self {
-        self.indexes.invalidate_table(name);
-        self.catalog.register(name, table);
+        self.state.catalog.register(name, table);
+        self.state.indexes.invalidate_table(name);
         self
+    }
+
+    /// Removes a table, dropping its statistics and every persistent index
+    /// built over it.  Returns whether the table existed.  (The serving
+    /// layer reaps per-connection probe tables with this.)
+    pub fn unregister_table(&mut self, name: &str) -> bool {
+        let existed = self.state.catalog.unregister(name);
+        // reap (not just invalidate): also forget the table's invalidation
+        // epoch, so churning scratch tables never accumulate state
+        self.state.indexes.reap_table(name);
+        existed
     }
 
     /// Registers (or replaces) an embedding model.  Replacing a model drops
     /// its memoised embedding cache *and* every persistent index built from
     /// its vectors (a resident graph would otherwise be probed with the new
-    /// model's embeddings).
+    /// model's embeddings).  Copy-on-write: queries already prepared keep
+    /// the registry snapshot they were planned against.
     pub fn register_model<E: Embedder + 'static>(&mut self, name: &str, model: E) -> &mut Self {
-        Arc::make_mut(&mut self.registry).register(name, Arc::new(model));
-        self.embeddings.invalidate(name);
-        self.indexes.invalidate_model(name);
+        {
+            let mut registry = self.state.registry.write();
+            let mut next = (**registry).clone();
+            next.register(name, Arc::new(model));
+            *registry = Arc::new(next);
+        }
+        self.state.embeddings.invalidate(name);
+        self.state.indexes.invalidate_model(name);
         self
     }
 
     /// Forces a particular physical join strategy (default: cost-based).
     pub fn with_strategy(&mut self, strategy: JoinStrategy) -> &mut Self {
-        self.strategy = strategy;
+        *self.state.strategy.write() = strategy;
         self
     }
 
     /// Replaces the access-path advisor (e.g. with a recalibrated cost
     /// model) consulted at plan time.
     pub fn with_advisor(&mut self, advisor: AccessPathAdvisor) -> &mut Self {
-        self.advisor = advisor;
+        *self.state.advisor.write() = advisor;
         self
     }
 
@@ -155,34 +214,36 @@ impl ContextJoinSession {
     /// via the `CEJ_INDEX_BUDGET` environment variable at session creation
     /// (plain bytes with optional `k`/`m`/`g` suffix).
     pub fn with_index_budget(&mut self, bytes: usize) -> &mut Self {
-        self.indexes.set_budget(Some(bytes));
+        self.state.indexes.set_budget(Some(bytes));
         self
     }
 
-    /// The table catalog (e.g. for inspection in tests).
+    /// The table catalog (internally synchronised — lookups and
+    /// registrations are thread-safe through this reference).
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        &self.state.catalog
     }
 
-    /// The session's shared model registry (held once, `Arc`-shared with
-    /// prepared queries — never rebuilt per execution).
-    pub fn model_registry(&self) -> &Arc<ModelRegistry> {
-        &self.registry
+    /// The session's shared model registry snapshot (`Arc`-shared with
+    /// prepared queries — never rebuilt per execution; re-registration
+    /// swaps the `Arc` copy-on-write).
+    pub fn model_registry(&self) -> Arc<ModelRegistry> {
+        self.state.registry.read().clone()
     }
 
     /// The session's persistent HNSW index cache.
     pub fn index_manager(&self) -> &IndexManager {
-        &self.indexes
+        &self.state.indexes
     }
 
     /// The session's per-model embedding caches.
     pub fn embedding_caches(&self) -> &EmbeddingCachePool {
-        &self.embeddings
+        &self.state.embeddings
     }
 
     /// The access-path advisor consulted at plan time.
-    pub fn advisor(&self) -> &AccessPathAdvisor {
-        &self.advisor
+    pub fn advisor(&self) -> AccessPathAdvisor {
+        *self.state.advisor.read()
     }
 
     /// Starts a fluent query against a registered table.
@@ -191,18 +252,28 @@ impl ContextJoinSession {
     }
 
     /// Optimises and physically plans a query once; the returned
-    /// [`PreparedQuery`] can be executed any number of times.
+    /// [`PreparedQuery`] can be executed any number of times (and from any
+    /// number of threads — see [`crate::prepared::PreparedQuery::detach`]).
     ///
     /// # Errors
     /// Propagates optimisation and planning errors (unknown tables or models
     /// surface here, before execution).
     pub fn prepare(&self, plan: &LogicalPlan) -> Result<PreparedQuery<'_>> {
-        let optimized = self.optimizer.optimize(plan.clone(), &self.catalog)?;
-        let planner = Planner::new(self.advisor, self.strategy);
-        let physical = planner.plan(&optimized, &self.catalog, &self.registry, &self.indexes)?;
+        let registry = self.model_registry();
+        let optimized = self
+            .state
+            .optimizer
+            .optimize(plan.clone(), &self.state.catalog)?;
+        let planner = Planner::new(self.advisor(), *self.state.strategy.read());
+        let physical = planner.plan(
+            &optimized,
+            &self.state.catalog,
+            &registry,
+            &self.state.indexes,
+        )?;
         Ok(PreparedQuery::new(
-            self,
-            self.registry.clone(),
+            self.clone(),
+            registry,
             optimized,
             physical,
         ))
@@ -241,7 +312,11 @@ impl ContextJoinSession {
     /// # Errors
     /// Returns an unknown-model error when absent.
     pub fn shared_model(&self, name: &str) -> Result<Arc<dyn Embedder>> {
-        self.registry.model(name).map_err(CoreError::from)
+        self.state
+            .registry
+            .read()
+            .model(name)
+            .map_err(CoreError::from)
     }
 }
 
@@ -559,12 +634,12 @@ mod tests {
     #[test]
     fn model_registry_is_shared_not_rebuilt() {
         let s = session();
-        let before = Arc::as_ptr(s.model_registry());
+        let before = Arc::as_ptr(&s.model_registry());
         let _ = s.execute(&join_plan(SimilarityPredicate::TopK(1))).unwrap();
         let _ = s.execute(&join_plan(SimilarityPredicate::TopK(1))).unwrap();
         assert_eq!(
             before,
-            Arc::as_ptr(s.model_registry()),
+            Arc::as_ptr(&s.model_registry()),
             "execute must not rebuild the registry"
         );
         assert!(s.shared_model("fasttext").is_ok());

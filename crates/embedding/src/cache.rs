@@ -114,42 +114,63 @@ impl<E: Embedder> CachedEmbedder<E> {
         self.cost.simulate();
         self.inner.embed(input)
     }
-}
 
-impl<E: Embedder> Embedder for CachedEmbedder<E> {
-    fn dim(&self) -> usize {
-        self.inner.dim()
-    }
-
-    fn embed(&self, input: &str) -> Vector {
+    /// Embeds one input and reports whether a *real* model invocation was
+    /// paid (`true`) or the request was served from the cache (`false`).
+    ///
+    /// This is the building block of per-run accounting: a query execution
+    /// counting its own calls through this method stays exact even while
+    /// other executions hammer the same shared cache — diffing the global
+    /// [`CachedEmbedder::stats`] counters around a run would attribute
+    /// concurrent runs' calls to this one.
+    pub fn embed_counted(&self, input: &str) -> (Vector, bool) {
         match &self.cache {
-            None => self.invoke_model(input),
+            None => (self.invoke_model(input), true),
             Some(cache) => {
                 if let Some(v) = cache.read().get(input) {
                     self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    return v.clone();
+                    return (v.clone(), false);
                 }
                 let v = self.invoke_model(input);
                 cache.write().insert(input.to_string(), v.clone());
-                v
+                (v, true)
             }
         }
     }
 
-    /// Batch path with exact accounting: the misses are computed first (in
-    /// parallel, one model call per *distinct* uncached input), then the
-    /// batch is assembled from the cache.  The per-input racy fallback of
-    /// [`CachedEmbedder::embed`] — where two threads can both miss on the
-    /// same string and double-count a model call — never happens here, so
-    /// `model_calls` stays exact even under a multi-threaded pool.
-    fn embed_batch(&self, inputs: &[String]) -> Matrix {
-        let Some(cache) = &self.cache else {
-            // Uncached wrappers count every request; run the shared
-            // (parallel, order-preserving) per-input fan-out.
-            return crate::model::embed_batch_with(self.dim(), inputs, |s| self.embed(s));
-        };
+    /// [`Embedder::embed_batch`] plus the exact [`EmbeddingStats`] delta of
+    /// *this very call* (model calls paid, cache hits served) — the batch
+    /// counterpart of [`CachedEmbedder::embed_counted`].
+    pub fn embed_batch_counted(&self, inputs: &[String]) -> (Matrix, EmbeddingStats) {
+        let before_len = inputs.len() as u64;
+        match &self.cache {
+            None => (
+                crate::model::embed_batch_with(self.dim(), inputs, |s| self.embed(s)),
+                EmbeddingStats {
+                    model_calls: before_len,
+                    cache_hits: 0,
+                },
+            ),
+            Some(_) => {
+                let (matrix, misses) = self.embed_batch_dedup(inputs);
+                (
+                    matrix,
+                    EmbeddingStats {
+                        model_calls: misses as u64,
+                        cache_hits: before_len - misses as u64,
+                    },
+                )
+            }
+        }
+    }
+
+    /// The caching batch body shared by [`Embedder::embed_batch`] and
+    /// [`CachedEmbedder::embed_batch_counted`]; returns the assembled matrix
+    /// and how many distinct uncached inputs invoked the model.
+    fn embed_batch_dedup(&self, inputs: &[String]) -> (Matrix, usize) {
+        let cache = self.cache.as_ref().expect("caching wrapper");
         if inputs.is_empty() {
-            return Matrix::zeros(0, self.dim());
+            return (Matrix::zeros(0, self.dim()), 0);
         }
         let mut misses: Vec<&String> = Vec::new();
         {
@@ -172,6 +193,7 @@ impl<E: Embedder> Embedder for CachedEmbedder<E> {
         // Assemble in input order.  The first occurrence of each miss is
         // already accounted as a model call; everything else is a hit,
         // matching what the serial per-input loop would have counted.
+        let miss_count = misses.len();
         let mut first_use: std::collections::HashSet<&str> =
             misses.iter().map(|s| s.as_str()).collect();
         let read = cache.read();
@@ -183,7 +205,32 @@ impl<E: Embedder> Embedder for CachedEmbedder<E> {
             }
             m.push_row(v.as_slice()).expect("consistent dimensions");
         }
-        m
+        (m, miss_count)
+    }
+}
+
+impl<E: Embedder> Embedder for CachedEmbedder<E> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn embed(&self, input: &str) -> Vector {
+        self.embed_counted(input).0
+    }
+
+    /// Batch path with exact accounting: the misses are computed first (in
+    /// parallel, one model call per *distinct* uncached input), then the
+    /// batch is assembled from the cache.  The per-input racy fallback of
+    /// [`CachedEmbedder::embed`] — where two threads can both miss on the
+    /// same string and double-count a model call — never happens here, so
+    /// `model_calls` stays exact even under a multi-threaded pool.
+    fn embed_batch(&self, inputs: &[String]) -> Matrix {
+        match &self.cache {
+            // Uncached wrappers count every request; run the shared
+            // (parallel, order-preserving) per-input fan-out.
+            None => crate::model::embed_batch_with(self.dim(), inputs, |s| self.embed(s)),
+            Some(_) => self.embed_batch_dedup(inputs).0,
+        }
     }
 }
 
@@ -248,6 +295,25 @@ mod tests {
         assert_eq!(e.cached_entries(), 0);
         e.embed("a");
         assert_eq!(e.stats().model_calls, 1);
+    }
+
+    #[test]
+    fn counted_apis_report_per_call_deltas() {
+        let e = CachedEmbedder::new(model());
+        let (_, paid) = e.embed_counted("a");
+        assert!(paid, "first request invokes the model");
+        let (_, paid) = e.embed_counted("a");
+        assert!(!paid, "second request is a hit");
+        let (m, delta) = e.embed_batch_counted(&["a".into(), "b".into(), "b".into()]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(delta.model_calls, 1, "only the distinct uncached input");
+        assert_eq!(delta.cache_hits, 2);
+        // the per-call delta matches what the global counters moved by
+        assert_eq!(e.stats().model_calls, 2);
+        let un = CachedEmbedder::uncached(model());
+        let (_, delta) = un.embed_batch_counted(&["x".into(), "x".into()]);
+        assert_eq!(delta.model_calls, 2, "uncached wrappers pay every request");
+        assert_eq!(delta.cache_hits, 0);
     }
 
     #[test]

@@ -19,26 +19,51 @@ pub struct ModelCostProfile {
     /// Extra latency added to every *real* (non-cached) model invocation, in
     /// nanoseconds.  Zero means "no simulation" and is the default.
     pub per_call_nanos: u64,
+    /// How the latency is simulated: `false` (default) busy-waits —
+    /// the model *computes* for that long, burning a core — while `true`
+    /// sleeps — the model is a *remote service* and the calling thread
+    /// blocks on I/O.  The distinction matters for concurrency studies: a
+    /// server overlaps blocked remote calls across queries but cannot
+    /// overlap busy cores, which is exactly the regime split the serving
+    /// benchmarks measure.
+    pub blocking: bool,
 }
 
 impl ModelCostProfile {
     /// No added cost (the raw model cost only).
     pub fn free() -> Self {
-        Self { per_call_nanos: 0 }
-    }
-
-    /// Adds `nanos` nanoseconds per model call.
-    pub fn from_nanos(nanos: u64) -> Self {
         Self {
-            per_call_nanos: nanos,
+            per_call_nanos: 0,
+            blocking: false,
         }
     }
 
-    /// Adds `micros` microseconds per model call — a realistic magnitude for
-    /// a transformer encoder on CPU.
+    /// Adds `nanos` nanoseconds of busy-wait per model call.
+    pub fn from_nanos(nanos: u64) -> Self {
+        Self {
+            per_call_nanos: nanos,
+            blocking: false,
+        }
+    }
+
+    /// Adds `micros` microseconds of busy-wait per model call — a realistic
+    /// magnitude for a transformer encoder on CPU.
     pub fn from_micros(micros: u64) -> Self {
         Self {
             per_call_nanos: micros * 1_000,
+            blocking: false,
+        }
+    }
+
+    /// Simulates a *remote* embedding service with `micros` microseconds of
+    /// round-trip latency per model call: the calling thread sleeps (blocks)
+    /// instead of spinning, so concurrent queries overlap their model
+    /// latency the way real service calls do.  The paper's "embeddings
+    /// bought as a service" cost regime.
+    pub fn remote_micros(micros: u64) -> Self {
+        Self {
+            per_call_nanos: micros * 1_000,
+            blocking: true,
         }
     }
 
@@ -47,17 +72,24 @@ impl ModelCostProfile {
         self.per_call_nanos == 0
     }
 
-    /// Busy-waits for the configured duration (no-op when free).
+    /// Waits for the configured duration (no-op when free): a busy-wait for
+    /// compute-style costs, a `thread::sleep` for blocking remote-service
+    /// costs.
     ///
-    /// A busy-wait is used instead of `thread::sleep` because sleep
-    /// granularity on most systems is far coarser than the sub-microsecond
-    /// costs we simulate.
+    /// The busy-wait exists because sleep granularity on most systems is far
+    /// coarser than the sub-microsecond compute costs we simulate; remote
+    /// latencies are orders of magnitude above that granularity, so sleeping
+    /// is both accurate and faithful (the core is genuinely free).
     #[inline]
     pub fn simulate(&self) {
         if self.per_call_nanos == 0 {
             return;
         }
         let target = Duration::from_nanos(self.per_call_nanos);
+        if self.blocking {
+            std::thread::sleep(target);
+            return;
+        }
         let start = Instant::now();
         while start.elapsed() < target {
             std::hint::spin_loop();
@@ -97,5 +129,16 @@ mod tests {
     #[test]
     fn default_is_free() {
         assert!(ModelCostProfile::default().is_free());
+        assert!(!ModelCostProfile::default().blocking);
+    }
+
+    #[test]
+    fn remote_profile_sleeps_for_the_requested_time() {
+        let p = ModelCostProfile::remote_micros(500);
+        assert!(p.blocking);
+        assert!(!p.is_free());
+        let start = Instant::now();
+        p.simulate();
+        assert!(start.elapsed() >= Duration::from_micros(500));
     }
 }

@@ -7,21 +7,52 @@
 //! Plans snapshot these statistics at plan time (the `Arc` is cloned into
 //! the planner's estimates), so a prepared query keeps the cardinalities it
 //! was costed with even while new registrations refresh the catalog.
+//!
+//! ## Concurrency
+//!
+//! The catalog is internally synchronised (a `parking_lot` RwLock over the
+//! name → table map), so a server can share one catalog between many
+//! connection threads: registrations take `&self`, lookups return
+//! `Arc`-shared snapshots, and a query that resolved its tables keeps them
+//! alive regardless of concurrent re-registrations.  Each lookup is
+//! individually atomic; a multi-table query observes tables registered at
+//! possibly different instants, which matches the engine's
+//! registration-replaces-table semantics.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use cej_storage::{Table, TableStats};
+use parking_lot::RwLock;
 
 use crate::error::RelationalError;
 use crate::Result;
 
-/// A named collection of in-memory tables that plans can scan, plus the
-/// per-table statistics the planner estimates cardinalities from.
-#[derive(Debug, Clone, Default)]
-pub struct Catalog {
+/// The catalog's maps, updated together under one lock so a reader can
+/// never observe a table paired with another registration's statistics.
+#[derive(Debug, Default, Clone)]
+struct CatalogMaps {
     tables: HashMap<String, Arc<Table>>,
     stats: HashMap<String, Arc<TableStats>>,
+}
+
+/// A named collection of in-memory tables that plans can scan, plus the
+/// per-table statistics the planner estimates cardinalities from.  Shareable
+/// across threads (`&self` registration, internally locked).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    maps: RwLock<CatalogMaps>,
+}
+
+impl Clone for Catalog {
+    /// Clones the catalog *contents* (cheap: tables and stats are
+    /// `Arc`-shared).  The clone is an independent catalog; use an
+    /// `Arc<Catalog>` (as the session does) to share one catalog instead.
+    fn clone(&self) -> Self {
+        Catalog {
+            maps: RwLock::new(self.maps.read().clone()),
+        }
+    }
 }
 
 impl Catalog {
@@ -32,16 +63,19 @@ impl Catalog {
 
     /// Registers (or replaces) a table under `name`, running the `ANALYZE`
     /// pass over its columns.
-    pub fn register(&mut self, name: &str, table: Table) {
+    pub fn register(&self, name: &str, table: Table) {
         self.register_shared(name, Arc::new(table));
     }
 
     /// Registers a shared table under `name`, running the `ANALYZE` pass
     /// over its columns.
-    pub fn register_shared(&mut self, name: &str, table: Arc<Table>) {
-        self.stats
-            .insert(name.to_string(), Arc::new(table.analyze()));
-        self.tables.insert(name.to_string(), table);
+    pub fn register_shared(&self, name: &str, table: Arc<Table>) {
+        // Analyze outside the lock (it walks every column), then publish
+        // table and stats atomically.
+        let stats = Arc::new(table.analyze());
+        let mut maps = self.maps.write();
+        maps.stats.insert(name.to_string(), stats);
+        maps.tables.insert(name.to_string(), table);
     }
 
     /// The statistics view of a table — what plan-time consumers of row
@@ -50,7 +84,9 @@ impl Catalog {
     /// # Errors
     /// Returns [`RelationalError::UnknownTable`] when absent.
     pub fn stats(&self, name: &str) -> Result<Arc<TableStats>> {
-        self.stats
+        self.maps
+            .read()
+            .stats
             .get(name)
             .cloned()
             .ok_or_else(|| RelationalError::UnknownTable(name.to_string()))
@@ -63,11 +99,29 @@ impl Catalog {
     ///
     /// # Errors
     /// Returns [`RelationalError::UnknownTable`] when absent.
-    pub fn analyze(&mut self, name: &str) -> Result<Arc<TableStats>> {
+    pub fn analyze(&self, name: &str) -> Result<Arc<TableStats>> {
         let table = self.table(name)?;
         let stats = Arc::new(table.analyze());
-        self.stats.insert(name.to_string(), stats.clone());
+        let mut maps = self.maps.write();
+        // only publish if the analyzed snapshot is still the registered
+        // table — a concurrent re-registration's fresh stats must win
+        if maps
+            .tables
+            .get(name)
+            .is_some_and(|current| Arc::ptr_eq(current, &table))
+        {
+            maps.stats.insert(name.to_string(), stats.clone());
+        }
         Ok(stats)
+    }
+
+    /// Removes a table (and its statistics).  Returns whether it existed.
+    /// Used by the serving layer to reap per-connection scratch tables;
+    /// queries that already resolved the table keep their `Arc` snapshots.
+    pub fn unregister(&self, name: &str) -> bool {
+        let mut maps = self.maps.write();
+        maps.stats.remove(name);
+        maps.tables.remove(name).is_some()
     }
 
     /// Looks up a table.
@@ -75,7 +129,9 @@ impl Catalog {
     /// # Errors
     /// Returns [`RelationalError::UnknownTable`] when absent.
     pub fn table(&self, name: &str) -> Result<Arc<Table>> {
-        self.tables
+        self.maps
+            .read()
+            .tables
             .get(name)
             .cloned()
             .ok_or_else(|| RelationalError::UnknownTable(name.to_string()))
@@ -83,22 +139,22 @@ impl Catalog {
 
     /// Whether a table with this name exists.
     pub fn contains(&self, name: &str) -> bool {
-        self.tables.contains_key(name)
+        self.maps.read().tables.contains_key(name)
     }
 
     /// Names of all registered tables (unsorted).
-    pub fn table_names(&self) -> Vec<&str> {
-        self.tables.keys().map(|s| s.as_str()).collect()
+    pub fn table_names(&self) -> Vec<String> {
+        self.maps.read().tables.keys().cloned().collect()
     }
 
     /// Number of registered tables.
     pub fn len(&self) -> usize {
-        self.tables.len()
+        self.maps.read().tables.len()
     }
 
     /// `true` when no tables are registered.
     pub fn is_empty(&self) -> bool {
-        self.tables.is_empty()
+        self.maps.read().tables.is_empty()
     }
 }
 
@@ -113,7 +169,7 @@ mod tests {
 
     #[test]
     fn register_and_lookup() {
-        let mut c = Catalog::new();
+        let c = Catalog::new();
         assert!(c.is_empty());
         c.register("photos", table());
         assert!(c.contains("photos"));
@@ -127,7 +183,7 @@ mod tests {
 
     #[test]
     fn register_shared_and_replace() {
-        let mut c = Catalog::new();
+        let c = Catalog::new();
         let shared = Arc::new(table());
         c.register_shared("t", shared.clone());
         assert_eq!(c.table("t").unwrap().num_rows(), 2);
@@ -137,12 +193,12 @@ mod tests {
             TableBuilder::new().int64("id", vec![1]).build().unwrap(),
         );
         assert_eq!(c.table("t").unwrap().num_rows(), 1);
-        assert_eq!(c.table_names(), vec!["t"]);
+        assert_eq!(c.table_names(), vec!["t".to_string()]);
     }
 
     #[test]
     fn registration_analyzes_and_reregistration_refreshes() {
-        let mut c = Catalog::new();
+        let c = Catalog::new();
         c.register("t", table());
         let stats = c.stats("t").unwrap();
         assert_eq!(stats.row_count, 2);
@@ -165,5 +221,45 @@ mod tests {
         let explicit = c.analyze("t").unwrap();
         assert_eq!(explicit.row_count, 3);
         assert!(c.analyze("missing").is_err());
+    }
+
+    #[test]
+    fn concurrent_registration_and_lookup() {
+        let c = Arc::new(Catalog::new());
+        c.register("base", table());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    c.register(
+                        &format!("t{t}"),
+                        TableBuilder::new()
+                            .int64("id", (0..=i).collect())
+                            .build()
+                            .unwrap(),
+                    );
+                    let snapshot = c.table("base").expect("base stays resident");
+                    assert_eq!(snapshot.num_rows(), 2);
+                    let stats = c.stats(&format!("t{t}")).expect("own stats resident");
+                    assert!(stats.row_count >= 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn clone_snapshots_contents() {
+        let c = Catalog::new();
+        c.register("t", table());
+        let snap = c.clone();
+        c.register("u", table());
+        assert!(c.contains("u"));
+        assert!(!snap.contains("u"), "clone is independent");
+        assert!(snap.contains("t"));
     }
 }

@@ -25,7 +25,9 @@ use crate::Result;
 pub use pushdown::PredicatePushdown;
 pub use rules::{RedundantEmbedElimination, SelectionMerge};
 
-/// A rewrite rule over logical plans.
+/// A rewrite rule over logical plans.  Rules are shared by every
+/// connection of a served session, so implementations must be `Send + Sync`
+/// to be installed (they are typically stateless unit structs).
 pub trait OptimizerRule {
     /// Rule name (for plan explanations and tests).
     fn name(&self) -> &'static str;
@@ -61,7 +63,7 @@ pub fn output_columns(plan: &LogicalPlan, catalog: &Catalog) -> Result<Vec<Strin
 
 /// The rule-driven optimizer.
 pub struct Optimizer {
-    rules: Vec<Box<dyn OptimizerRule>>,
+    rules: Vec<Box<dyn OptimizerRule + Send + Sync>>,
     max_passes: usize,
 }
 
@@ -79,7 +81,7 @@ impl Optimizer {
     }
 
     /// Creates an optimizer with a custom rule set.
-    pub fn new(rules: Vec<Box<dyn OptimizerRule>>) -> Self {
+    pub fn new(rules: Vec<Box<dyn OptimizerRule + Send + Sync>>) -> Self {
         Self {
             rules,
             max_passes: 16,
@@ -196,7 +198,7 @@ mod tests {
     use cej_storage::TableBuilder;
 
     fn catalog() -> Catalog {
-        let mut c = Catalog::new();
+        let c = Catalog::new();
         c.register(
             "r",
             TableBuilder::new()

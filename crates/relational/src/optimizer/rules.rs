@@ -73,7 +73,7 @@ mod tests {
     use cej_storage::TableBuilder;
 
     fn catalog() -> Catalog {
-        let mut c = Catalog::new();
+        let c = Catalog::new();
         c.register(
             "r",
             TableBuilder::new()

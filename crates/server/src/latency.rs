@@ -1,0 +1,173 @@
+//! Per-query latency accounting.
+//!
+//! Every executed query (`RUN` / `PROBE` / `ANALYZE`) records its service
+//! time here; `STATS` and the load-generator reports read the percentile
+//! summary.  Samples are exact microseconds over a bounded sliding window
+//! (a ring of the most recent [`MAX_SAMPLES`]): exact percentiles beat
+//! sketch error bars when CI gates on p95, and the bound keeps a
+//! long-running server's memory (and `STATS` cost) constant.
+
+use std::sync::Mutex;
+
+/// Size of the sliding sample window.  512 KiB of `u64`s: far more than any
+/// percentile needs, small enough to sort on every `STATS`.
+pub const MAX_SAMPLES: usize = 65_536;
+
+/// Percentile summary over the recorded samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples in the window (total recordings may exceed this
+    /// once the sliding window wraps).
+    pub count: usize,
+    /// Median service time in microseconds.
+    pub p50_us: u64,
+    /// 95th percentile in microseconds.
+    pub p95_us: u64,
+    /// 99th percentile in microseconds.
+    pub p99_us: u64,
+    /// Worst observed service time in microseconds.
+    pub max_us: u64,
+    /// Mean service time in microseconds.
+    pub mean_us: u64,
+}
+
+/// The bounded ring of recent samples.
+#[derive(Debug, Default)]
+struct Ring {
+    samples_us: Vec<u64>,
+    /// Next write position once the ring is full.
+    cursor: usize,
+}
+
+/// A concurrent recorder of service times (see module docs).
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    ring: Mutex<Ring>,
+}
+
+/// Index of the `q`-quantile in a sorted sample of `len` values
+/// (nearest-rank, clamped).  Shared with the load generator's client-side
+/// percentiles so server- and bench-reported numbers use one formula.
+pub fn nearest_rank(len: usize, q: f64) -> usize {
+    ((len as f64 * q).ceil() as usize).clamp(1, len) - 1
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one service time in microseconds.  Once the sliding window
+    /// is full, the oldest sample is overwritten.
+    pub fn record_us(&self, micros: u64) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.samples_us.len() < MAX_SAMPLES {
+            ring.samples_us.push(micros);
+        } else {
+            let cursor = ring.cursor;
+            ring.samples_us[cursor] = micros;
+            ring.cursor = (cursor + 1) % MAX_SAMPLES;
+        }
+    }
+
+    /// Drops all samples (the load generator resets between client counts).
+    pub fn reset(&self) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.samples_us.clear();
+        ring.cursor = 0;
+    }
+
+    /// The percentile summary over the current sample window.
+    pub fn summary(&self) -> LatencySummary {
+        let mut samples = self
+            .ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .samples_us
+            .clone();
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let total: u64 = samples.iter().sum();
+        LatencySummary {
+            count,
+            p50_us: samples[nearest_rank(count, 0.50)],
+            p95_us: samples[nearest_rank(count, 0.95)],
+            p99_us: samples[nearest_rank(count, 0.99)],
+            max_us: samples[count - 1],
+            mean_us: total / count as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_summarises_to_zeros() {
+        assert_eq!(LatencyRecorder::new().summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn percentiles_over_a_known_distribution() {
+        let recorder = LatencyRecorder::new();
+        for v in 1..=100u64 {
+            recorder.record_us(v);
+        }
+        let s = recorder.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert_eq!(s.mean_us, 50);
+        recorder.reset();
+        assert_eq!(recorder.summary().count, 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let recorder = LatencyRecorder::new();
+        recorder.record_us(42);
+        let s = recorder.summary();
+        assert_eq!((s.p50_us, s.p95_us, s.p99_us, s.max_us), (42, 42, 42, 42));
+    }
+
+    #[test]
+    fn window_is_bounded_and_slides() {
+        let recorder = LatencyRecorder::new();
+        // fill the window with large values, then wrap with small ones
+        for _ in 0..MAX_SAMPLES {
+            recorder.record_us(1_000_000);
+        }
+        assert_eq!(recorder.summary().count, MAX_SAMPLES);
+        for _ in 0..MAX_SAMPLES {
+            recorder.record_us(1);
+        }
+        let s = recorder.summary();
+        assert_eq!(s.count, MAX_SAMPLES, "window never exceeds the bound");
+        assert_eq!(s.max_us, 1, "old samples must have been overwritten");
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let recorder = std::sync::Arc::new(LatencyRecorder::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let recorder = recorder.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    recorder.record_us(t * 1000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(recorder.summary().count, 1000);
+    }
+}

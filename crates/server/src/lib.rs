@@ -1,0 +1,560 @@
+//! # cej-server
+//!
+//! The multi-client serving front end of the engine: a TCP server speaking
+//! a small line-oriented text protocol ([`protocol`]) over a **shared**
+//! [`ContextJoinSession`].
+//!
+//! The paper's economics — embedding and index costs amortised across many
+//! queries — only materialise in a long-lived service, so this crate turns
+//! the per-query machinery of PR 3/4 (prepared queries, persistent indexes,
+//! statistics) into a system:
+//!
+//! * **Shared session, per-connection handles.**  Every connection thread
+//!   owns a clone of the session handle; catalog, model registry, embedding
+//!   caches, and the persistent index manager are `Arc`-shared behind it,
+//!   so one client's cold query warms every other client.
+//! * **Connection threads feed the shared scheduler.**  Queries execute on
+//!   their connection's thread; every parallel operator inside them submits
+//!   work to the persistent work-stealing scheduler's injector
+//!   ([`cej_exec::Scheduler`]), where the long-lived workers pick it up —
+//!   no thread is spawned per query.
+//! * **Admission control** ([`admission::AdmissionGate`]): a hard cap on
+//!   in-flight queries plus a bounded wait queue; beyond both, clients get
+//!   `ERR busy` immediately instead of collapsing the server.
+//! * **Latency accounting** ([`latency::LatencyRecorder`]): every query's
+//!   service time is recorded; `STATS` reports exact p50/p95/p99.
+//!
+//! ## Protocol
+//!
+//! See [`protocol`] for the grammar.  `PREPARE` stores a named statement in
+//! the connection's statement cache (plan-once); `RUN` executes it
+//! (execute-many, all shared caches warm); `BIND` derives a new statement
+//! at a different similarity threshold without replanning; `PROBE` joins
+//! ad-hoc request text against a registered table through a prepared
+//! template — the "user query string" path of a live service.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod admission;
+pub mod latency;
+pub mod protocol;
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cej_core::{ContextJoinSession, PreparedQuery};
+use cej_storage::TableBuilder;
+
+use admission::AdmissionGate;
+use latency::LatencyRecorder;
+use protocol::{render_table, render_text, Command, StatementSpec};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port — the default, made
+    /// for tests and benchmarks).
+    pub addr: String,
+    /// Maximum concurrently executing queries (admission cap).
+    pub max_inflight: usize,
+    /// Maximum queries waiting for an execution slot before `ERR busy`.
+    pub max_queued: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: 8,
+            max_queued: 32,
+        }
+    }
+}
+
+/// State shared by the acceptor and every connection thread.
+struct ServerShared {
+    session: ContextJoinSession,
+    gate: AdmissionGate,
+    latency: LatencyRecorder,
+    shutdown: AtomicBool,
+    queries: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// A running server: bound listener, acceptor thread, connection threads.
+///
+/// Dropping (or [`Server::shutdown`]) stops accepting, asks connection
+/// threads to wind down after their current request, and joins everything —
+/// the graceful-shutdown path.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds and starts serving `session` under `config`.  The session
+    /// handle is shared: callers keep their own handle to observe cache /
+    /// index state while the server runs.
+    ///
+    /// # Errors
+    /// Propagates socket errors from binding.
+    pub fn start(session: ContextJoinSession, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(ServerShared {
+            session,
+            gate: AdmissionGate::new(config.max_inflight, config.max_queued),
+            latency: LatencyRecorder::new(),
+            shutdown: AtomicBool::new(false),
+            queries: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        });
+        let connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = shared.clone();
+            let connections = connections.clone();
+            std::thread::Builder::new()
+                .name("cej-server-accept".to_string())
+                .spawn(move || accept_loop(listener, shared, connections))?
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            connections,
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The served session (a shared handle).
+    pub fn session(&self) -> ContextJoinSession {
+        self.shared.session.clone()
+    }
+
+    /// The per-query latency summary recorded so far.
+    pub fn latency(&self) -> latency::LatencySummary {
+        self.shared.latency.summary()
+    }
+
+    /// Drops all recorded latency samples (between load-generator phases).
+    pub fn reset_latency(&self) {
+        self.shared.latency.reset();
+    }
+
+    /// Admission counters.
+    pub fn admission(&self) -> admission::AdmissionStats {
+        self.shared.gate.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, let every connection finish its
+    /// current request, join all threads.  Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = {
+            let mut guard = self.connections.lock().unwrap_or_else(|e| e.into_inner());
+            guard.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+    connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_id = shared.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = shared.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("cej-server-conn-{conn_id}"))
+                    .spawn(move || connection_loop(stream, shared, conn_id))
+                    .expect("spawning a connection thread");
+                let mut guard = connections.lock().unwrap_or_else(|e| e.into_inner());
+                // reap finished connections so a long-lived server under
+                // connection churn does not accumulate dead JoinHandles
+                guard.retain(|h| !h.is_finished());
+                guard.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Per-connection statement cache entry.
+enum Statement {
+    Prepared(PreparedQuery<'static>),
+    ProbeTemplate(StatementSpec),
+}
+
+fn connection_loop(stream: TcpStream, shared: Arc<ServerShared>, conn_id: u64) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut statements: HashMap<String, Statement> = HashMap::new();
+    // one session handle per connection, all sharing the server's state
+    let mut session = shared.session.clone();
+    let probe_table = format!("__probe_{conn_id}");
+    let mut line = String::new();
+
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // a timeout mid-line leaves already-read bytes in `line`;
+                // keep them and continue accumulating (only a completed
+                // line may be cleared)
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        if line.trim().is_empty() {
+            line.clear();
+            continue;
+        }
+        let response = match Command::parse(&line) {
+            Err(message) => format!("ERR {message}\n"),
+            Ok(Command::Quit) => {
+                let _ = writer.write_all(b"OK bye\n");
+                break;
+            }
+            Ok(command) => dispatch(
+                command,
+                &shared,
+                &mut session,
+                &mut statements,
+                &probe_table,
+            ),
+        };
+        line.clear();
+        if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        // also honour shutdown between requests: a client pipelining
+        // back-to-back commands never hits the read-timeout branch
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    // reap this connection's scratch state from the shared catalog
+    session.unregister_table(&probe_table);
+}
+
+/// Executes one parsed command, returning the full response payload.
+fn dispatch(
+    command: Command,
+    shared: &ServerShared,
+    session: &mut ContextJoinSession,
+    statements: &mut HashMap<String, Statement>,
+    probe_table: &str,
+) -> String {
+    match command {
+        Command::Ping => "OK pong\n".to_string(),
+        Command::Quit => unreachable!("handled by the connection loop"),
+        Command::Stats => render_stats(shared),
+        Command::Prepare { id, spec } => match spec.as_ref() {
+            StatementSpec::ProbeTemplate { .. } => {
+                statements.insert(id.clone(), Statement::ProbeTemplate(*spec));
+                format!("OK prepared {id} (probe template)\n")
+            }
+            _ => match spec
+                .to_plan(None)
+                .map_err(cej_err)
+                .and_then(|plan| session.prepare(&plan))
+            {
+                Ok(prepared) => {
+                    statements.insert(id.clone(), Statement::Prepared(prepared.detach()));
+                    format!("OK prepared {id}\n")
+                }
+                Err(e) => format!("ERR {e}\n"),
+            },
+        },
+        Command::Bind {
+            id,
+            new_id,
+            threshold,
+        } => match statements.get(&id) {
+            Some(Statement::Prepared(prepared)) => match prepared.bind_threshold(threshold) {
+                Ok(bound) => {
+                    statements.insert(new_id.clone(), Statement::Prepared(bound));
+                    format!("OK bound {new_id} sim>={threshold}\n")
+                }
+                Err(e) => format!("ERR {e}\n"),
+            },
+            Some(Statement::ProbeTemplate(_)) => {
+                "ERR probe templates have no threshold to bind\n".to_string()
+            }
+            None => format!("ERR unknown statement `{id}`\n"),
+        },
+        Command::Explain { id } => match statements.get(&id) {
+            Some(Statement::Prepared(prepared)) => render_text(&prepared.explain()),
+            Some(Statement::ProbeTemplate(_)) => {
+                "ERR probe templates plan per request; PROBE then ANALYZE\n".to_string()
+            }
+            None => format!("ERR unknown statement `{id}`\n"),
+        },
+        Command::Run { id } => {
+            let Some(statement) = statements.get(&id) else {
+                return format!("ERR unknown statement `{id}`\n");
+            };
+            let Statement::Prepared(prepared) = statement else {
+                return "ERR probe templates execute via PROBE <id> <text>\n".to_string();
+            };
+            admit_and_time(shared, || match prepared.run() {
+                Ok(report) => render_table(&report.table),
+                Err(e) => format!("ERR {e}\n"),
+            })
+        }
+        Command::Analyze { id } => {
+            let Some(Statement::Prepared(prepared)) = statements.get(&id) else {
+                return format!("ERR unknown or non-runnable statement `{id}`\n");
+            };
+            admit_and_time(shared, || match prepared.explain_analyze() {
+                Ok(analyzed) => render_text(&analyzed.text),
+                Err(e) => format!("ERR {e}\n"),
+            })
+        }
+        Command::Probe { id, text } => {
+            let Some(Statement::ProbeTemplate(spec)) = statements.get(&id) else {
+                return format!("ERR `{id}` is not a probe template\n");
+            };
+            let spec = spec.clone();
+            admit_and_time(shared, || {
+                let table = match TableBuilder::new().utf8("text", vec![text.clone()]).build() {
+                    Ok(t) => t,
+                    Err(e) => return format!("ERR {e}\n"),
+                };
+                session.register_table(probe_table, table);
+                let outcome = spec
+                    .to_plan(Some(probe_table))
+                    .map_err(cej_err)
+                    .and_then(|plan| session.execute(&plan));
+                match outcome {
+                    Ok(report) => render_table(&report.table),
+                    Err(e) => format!("ERR {e}\n"),
+                }
+            })
+        }
+    }
+}
+
+/// Wraps a query body in admission control and latency accounting.
+fn admit_and_time(shared: &ServerShared, body: impl FnOnce() -> String) -> String {
+    let Ok(permit) = shared.gate.acquire() else {
+        return "ERR busy (admission queue full, retry)\n".to_string();
+    };
+    let start = Instant::now();
+    let response = body();
+    let elapsed_us = start.elapsed().as_micros() as u64;
+    drop(permit);
+    shared.latency.record_us(elapsed_us);
+    shared.queries.fetch_add(1, Ordering::Relaxed);
+    response
+}
+
+/// Converts protocol-level plan errors into the engine error type's display.
+fn cej_err(message: String) -> cej_core::CoreError {
+    cej_core::CoreError::InvalidInput(message)
+}
+
+/// Renders the `STATS` line: admission, latency, caches, indexes, pool.
+fn render_stats(shared: &ServerShared) -> String {
+    let admission = shared.gate.stats();
+    let latency = shared.latency.summary();
+    let indexes = shared.session.index_manager().stats();
+    let embeddings = shared.session.embedding_caches().stats();
+    let pool = cej_exec::ExecPool::metrics();
+    format!(
+        "OK queries={} inflight={} queued={} admitted={} rejected={} peak_inflight={} \
+         p50_us={} p95_us={} p99_us={} max_us={} \
+         index_builds={} index_hits={} index_evictions={} index_resident={} index_bytes={} \
+         embed_calls={} embed_hits={} \
+         pool_tasks={} pool_steals={} pool_injected={} pool_queue_depth={} pool_workers={}\n",
+        shared.queries.load(Ordering::Relaxed),
+        admission.inflight,
+        admission.queued,
+        admission.admitted,
+        admission.rejected,
+        admission.peak_inflight,
+        latency.p50_us,
+        latency.p95_us,
+        latency.p99_us,
+        latency.max_us,
+        indexes.builds,
+        indexes.hits,
+        indexes.evictions,
+        indexes.resident,
+        indexes.memory_bytes,
+        embeddings.model_calls,
+        embeddings.cache_hits,
+        pool.tasks_executed,
+        pool.steals,
+        pool.injected,
+        pool.queue_depth,
+        pool.workers,
+    )
+}
+
+/// A tiny blocking client for tests, benchmarks, and the load generator:
+/// sends one request line, reads one full response (`OK`/`ERR` line, or a
+/// framed `ROWS`/`TEXT` payload).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// One parsed server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `OK <detail>`.
+    Ok(String),
+    /// `ERR <message>`.
+    Err(String),
+    /// A `ROWS` payload: rows as raw tab-separated lines (header first) and
+    /// the server-computed checksum from the `END` line.
+    Rows {
+        /// Header + data lines.
+        lines: Vec<String>,
+        /// FNV-1a checksum the server computed over the payload.
+        checksum: u64,
+    },
+    /// A `TEXT` payload.
+    Text(Vec<String>),
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// Propagates connection errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and reads the complete response.
+    ///
+    /// # Errors
+    /// Propagates I/O errors and malformed framing.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Response> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut first = String::new();
+        self.read_line(&mut first)?;
+        let first = first.trim_end().to_string();
+        if let Some(detail) = first.strip_prefix("OK") {
+            return Ok(Response::Ok(detail.trim().to_string()));
+        }
+        if let Some(message) = first.strip_prefix("ERR ") {
+            return Ok(Response::Err(message.to_string()));
+        }
+        if let Some(counts) = first.strip_prefix("ROWS ") {
+            let rows: usize = counts
+                .split_whitespace()
+                .next()
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| bad_frame(&first))?;
+            let mut lines = Vec::with_capacity(rows + 1);
+            for _ in 0..rows + 1 {
+                let mut l = String::new();
+                self.read_line(&mut l)?;
+                lines.push(l.trim_end().to_string());
+            }
+            let mut end = String::new();
+            self.read_line(&mut end)?;
+            let checksum = end
+                .trim_end()
+                .strip_prefix("END ")
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .ok_or_else(|| bad_frame(&end))?;
+            return Ok(Response::Rows { lines, checksum });
+        }
+        if let Some(count) = first.strip_prefix("TEXT ") {
+            let n: usize = count.parse().map_err(|_| bad_frame(&first))?;
+            let mut lines = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut l = String::new();
+                self.read_line(&mut l)?;
+                lines.push(l.trim_end().to_string());
+            }
+            return Ok(Response::Text(lines));
+        }
+        Err(bad_frame(&first))
+    }
+
+    /// Reads one line, retrying through read timeouts (the server sets none
+    /// on client sockets, but loaded servers may respond slowly).
+    fn read_line(&mut self, buf: &mut String) -> std::io::Result<()> {
+        loop {
+            match self.reader.read_line(buf) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(_) => return Ok(()),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn bad_frame(line: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("malformed response frame: `{line}`"),
+    )
+}

@@ -1,0 +1,679 @@
+//! The line-oriented text protocol `cej-server` speaks.
+//!
+//! One request per line, whitespace-separated tokens, case-sensitive
+//! keywords; the full grammar (also documented in the README's Serving
+//! section):
+//!
+//! ```text
+//! PING
+//! QUIT
+//! STATS
+//! PREPARE <id> SCAN <table> [WHERE <col> <op> <value>]...
+//! PREPARE <id> JOIN <lt>.<lcol> <rt>.<rcol> MODEL <model> (TOPK <k> | SIM <t>)
+//!         [LWHERE <col> <op> <value>] [RWHERE <col> <op> <value>]
+//! PREPARE <id> PROBE <rt>.<rcol> MODEL <model> TOPK <k>
+//! BIND <id> <new-id> <threshold>
+//! RUN <id>
+//! EXPLAIN <id>
+//! ANALYZE <id>
+//! PROBE <id> <text…>
+//! ```
+//!
+//! `<op>` is one of `= != < <= > >=`; `<value>` parses as an integer, then
+//! a float, then falls back to a string token.  Responses are
+//! `OK <detail>` / `ERR <message>` single lines, except row payloads:
+//!
+//! ```text
+//! ROWS <n> <cols>
+//! <tab-separated column names>
+//! <tab-separated row> × n
+//! END <fnv1a-64-checksum-hex>
+//! ```
+//!
+//! and text payloads (`EXPLAIN` / `ANALYZE`): `TEXT <n>` followed by `n`
+//! lines.  The `END` checksum covers the header and every row in order, so
+//! clients can assert byte-identical results across servers and thread
+//! counts without hashing themselves.
+//!
+//! This module is pure (parsing and rendering only) and unit-tested
+//! without sockets.
+
+use cej_relational::{col, lit_f64, lit_i64, lit_str, Expr, LogicalPlan, SimilarityPredicate};
+use cej_storage::Table;
+
+/// One filter clause of a prepared statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhereClause {
+    /// Column the predicate applies to.
+    pub column: String,
+    /// Comparison operator token (`=`, `!=`, `<`, `<=`, `>`, `>=`).
+    pub op: String,
+    /// Raw value token (typed at plan-build time).
+    pub value: String,
+}
+
+impl WhereClause {
+    /// Lowers the clause to an [`Expr`], typing the value as int → float →
+    /// string in that order.
+    ///
+    /// # Errors
+    /// Returns a message for unknown operators.
+    pub fn to_expr(&self) -> Result<Expr, String> {
+        let value = if let Ok(i) = self.value.parse::<i64>() {
+            lit_i64(i)
+        } else if let Ok(f) = self.value.parse::<f64>() {
+            lit_f64(f)
+        } else {
+            lit_str(&self.value)
+        };
+        let lhs = col(&self.column);
+        Ok(match self.op.as_str() {
+            "=" => lhs.eq(value),
+            "!=" => lhs.not_eq(value),
+            "<" => lhs.lt(value),
+            "<=" => lhs.lt_eq(value),
+            ">" => lhs.gt(value),
+            ">=" => lhs.gt_eq(value),
+            other => return Err(format!("unknown operator `{other}`")),
+        })
+    }
+}
+
+/// A statement spec a client registered with `PREPARE`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementSpec {
+    /// `SCAN <table> [WHERE …]…` — a relational scan with optional filters.
+    Scan {
+        /// Scanned table.
+        table: String,
+        /// Conjunctive filters, applied in order.
+        filters: Vec<WhereClause>,
+    },
+    /// `JOIN …` — a context-enhanced join between two registered tables.
+    Join {
+        /// Outer table.
+        left_table: String,
+        /// Outer join column.
+        left_column: String,
+        /// Inner table.
+        right_table: String,
+        /// Inner join column.
+        right_column: String,
+        /// Embedding model name.
+        model: String,
+        /// Similarity predicate.
+        predicate: SimilarityPredicate,
+        /// Optional filter on the outer table.
+        left_where: Option<WhereClause>,
+        /// Optional filter on the inner table.
+        right_where: Option<WhereClause>,
+    },
+    /// `PROBE …` — a template joining one ad-hoc probe string (supplied per
+    /// `PROBE <id> <text>` request) against a registered table.
+    ProbeTemplate {
+        /// Inner table.
+        right_table: String,
+        /// Inner join column.
+        right_column: String,
+        /// Embedding model name.
+        model: String,
+        /// Neighbours returned per probe.
+        k: usize,
+    },
+}
+
+impl StatementSpec {
+    /// Builds the logical plan for this spec.  For probe templates,
+    /// `probe_table` names the (per-connection) one-row table holding the
+    /// ad-hoc text in column `text`.
+    ///
+    /// # Errors
+    /// Returns a message for untypable filters.
+    pub fn to_plan(&self, probe_table: Option<&str>) -> Result<LogicalPlan, String> {
+        match self {
+            StatementSpec::Scan { table, filters } => {
+                let mut plan = LogicalPlan::scan(table);
+                for clause in filters {
+                    plan = plan.select(clause.to_expr()?);
+                }
+                Ok(plan)
+            }
+            StatementSpec::Join {
+                left_table,
+                left_column,
+                right_table,
+                right_column,
+                model,
+                predicate,
+                left_where,
+                right_where,
+            } => {
+                let mut left = LogicalPlan::scan(left_table);
+                if let Some(clause) = left_where {
+                    left = left.select(clause.to_expr()?);
+                }
+                let mut right = LogicalPlan::scan(right_table);
+                if let Some(clause) = right_where {
+                    right = right.select(clause.to_expr()?);
+                }
+                Ok(LogicalPlan::e_join(
+                    left,
+                    right,
+                    left_column,
+                    right_column,
+                    model,
+                    *predicate,
+                ))
+            }
+            StatementSpec::ProbeTemplate {
+                right_table,
+                right_column,
+                model,
+                k,
+            } => {
+                let probe = probe_table.ok_or("probe template requires a probe table")?;
+                Ok(LogicalPlan::e_join(
+                    LogicalPlan::scan(probe),
+                    LogicalPlan::scan(right_table),
+                    "text",
+                    right_column,
+                    model,
+                    SimilarityPredicate::TopK(*k),
+                ))
+            }
+        }
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Liveness check.
+    Ping,
+    /// Close the connection.
+    Quit,
+    /// Server / session statistics.
+    Stats,
+    /// Register a statement under an id.
+    Prepare {
+        /// Statement id.
+        id: String,
+        /// The statement (boxed: specs dwarf the other variants).
+        spec: Box<StatementSpec>,
+    },
+    /// Re-bind a prepared threshold join to a new threshold.
+    Bind {
+        /// Source statement id.
+        id: String,
+        /// Id the re-bound statement registers under.
+        new_id: String,
+        /// New similarity threshold.
+        threshold: f32,
+    },
+    /// Execute a prepared statement.
+    Run {
+        /// Statement id.
+        id: String,
+    },
+    /// Render the physical plan of a prepared statement.
+    Explain {
+        /// Statement id.
+        id: String,
+    },
+    /// Execute and render estimated-vs-actual rows (`EXPLAIN ANALYZE`).
+    Analyze {
+        /// Statement id.
+        id: String,
+    },
+    /// Execute a probe template against ad-hoc text.
+    Probe {
+        /// Template id.
+        id: String,
+        /// The probe text (rest of the line, may contain spaces).
+        text: String,
+    },
+}
+
+/// Splits `table.column` into its parts.
+fn table_column(token: &str) -> Result<(String, String), String> {
+    match token.split_once('.') {
+        Some((t, c)) if !t.is_empty() && !c.is_empty() => Ok((t.to_string(), c.to_string())),
+        _ => Err(format!("expected <table>.<column>, got `{token}`")),
+    }
+}
+
+/// Parses trailing `WHERE`-style clauses (`keyword col op value` triples).
+fn parse_clause(tokens: &[&str]) -> Result<WhereClause, String> {
+    match tokens {
+        [column, op, value, ..] => Ok(WhereClause {
+            column: (*column).to_string(),
+            op: (*op).to_string(),
+            value: (*value).to_string(),
+        }),
+        _ => Err("filter clause needs <col> <op> <value>".to_string()),
+    }
+}
+
+impl Command {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    /// Returns a human-readable message for malformed requests; the server
+    /// relays it as `ERR <message>`.
+    pub fn parse(line: &str) -> Result<Command, String> {
+        let line = line.trim();
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let Some((&head, rest)) = tokens.split_first() else {
+            return Err("empty request".to_string());
+        };
+        match head {
+            "PING" => Ok(Command::Ping),
+            "QUIT" => Ok(Command::Quit),
+            "STATS" => Ok(Command::Stats),
+            "RUN" | "EXPLAIN" | "ANALYZE" => {
+                let [id] = rest else {
+                    return Err(format!("{head} takes exactly one statement id"));
+                };
+                let id = (*id).to_string();
+                Ok(match head {
+                    "RUN" => Command::Run { id },
+                    "EXPLAIN" => Command::Explain { id },
+                    _ => Command::Analyze { id },
+                })
+            }
+            "BIND" => {
+                let [id, new_id, threshold] = rest else {
+                    return Err("BIND takes <id> <new-id> <threshold>".to_string());
+                };
+                let threshold: f32 = threshold
+                    .parse()
+                    .map_err(|_| format!("bad threshold `{threshold}`"))?;
+                Ok(Command::Bind {
+                    id: (*id).to_string(),
+                    new_id: (*new_id).to_string(),
+                    threshold,
+                })
+            }
+            "PROBE" => {
+                // the probe text is the raw remainder of the line after the
+                // id token, spaces included
+                let after_keyword = line["PROBE".len()..].trim_start();
+                let Some((id, text)) = after_keyword.split_once(char::is_whitespace) else {
+                    return Err("PROBE takes <id> <text…>".to_string());
+                };
+                let text = text.trim();
+                if text.is_empty() {
+                    return Err("PROBE needs non-empty text".to_string());
+                }
+                Ok(Command::Probe {
+                    id: id.to_string(),
+                    text: text.to_string(),
+                })
+            }
+            "PREPARE" => Self::parse_prepare(rest),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+
+    fn parse_prepare(rest: &[&str]) -> Result<Command, String> {
+        let [id, kind, tail @ ..] = rest else {
+            return Err("PREPARE takes <id> <SCAN|JOIN|PROBE> …".to_string());
+        };
+        let id = (*id).to_string();
+        match *kind {
+            "SCAN" => {
+                let [table, clauses @ ..] = tail else {
+                    return Err("PREPARE … SCAN takes <table>".to_string());
+                };
+                let mut filters = Vec::new();
+                let mut cursor = clauses;
+                while !cursor.is_empty() {
+                    let [keyword, rest @ ..] = cursor else { break };
+                    if *keyword != "WHERE" {
+                        return Err(format!("expected WHERE, got `{keyword}`"));
+                    }
+                    filters.push(parse_clause(rest)?);
+                    cursor = &rest[3.min(rest.len())..];
+                }
+                Ok(Command::Prepare {
+                    id,
+                    spec: Box::new(StatementSpec::Scan {
+                        table: (*table).to_string(),
+                        filters,
+                    }),
+                })
+            }
+            "JOIN" => {
+                let [left, right, model_kw, model, pred_kw, pred_val, clauses @ ..] = tail else {
+                    return Err(
+                        "PREPARE … JOIN takes <lt>.<lc> <rt>.<rc> MODEL <m> (TOPK <k> | SIM <t>)"
+                            .to_string(),
+                    );
+                };
+                if *model_kw != "MODEL" {
+                    return Err(format!("expected MODEL, got `{model_kw}`"));
+                }
+                let (left_table, left_column) = table_column(left)?;
+                let (right_table, right_column) = table_column(right)?;
+                let predicate = match *pred_kw {
+                    "TOPK" => SimilarityPredicate::TopK(
+                        pred_val
+                            .parse()
+                            .map_err(|_| format!("bad k `{pred_val}`"))?,
+                    ),
+                    "SIM" => SimilarityPredicate::Threshold(
+                        pred_val
+                            .parse()
+                            .map_err(|_| format!("bad threshold `{pred_val}`"))?,
+                    ),
+                    other => return Err(format!("expected TOPK or SIM, got `{other}`")),
+                };
+                let mut left_where = None;
+                let mut right_where = None;
+                let mut cursor = clauses;
+                while !cursor.is_empty() {
+                    let [keyword, rest @ ..] = cursor else { break };
+                    let clause = parse_clause(rest)?;
+                    match *keyword {
+                        "LWHERE" => left_where = Some(clause),
+                        "RWHERE" => right_where = Some(clause),
+                        other => return Err(format!("expected LWHERE/RWHERE, got `{other}`")),
+                    }
+                    cursor = &rest[3.min(rest.len())..];
+                }
+                Ok(Command::Prepare {
+                    id,
+                    spec: Box::new(StatementSpec::Join {
+                        left_table,
+                        left_column,
+                        right_table,
+                        right_column,
+                        model: (*model).to_string(),
+                        predicate,
+                        left_where,
+                        right_where,
+                    }),
+                })
+            }
+            "PROBE" => {
+                let [target, model_kw, model, topk_kw, k] = tail else {
+                    return Err("PREPARE … PROBE takes <rt>.<rc> MODEL <m> TOPK <k>".to_string());
+                };
+                if *model_kw != "MODEL" || *topk_kw != "TOPK" {
+                    return Err("probe templates use MODEL <m> TOPK <k>".to_string());
+                }
+                let (right_table, right_column) = table_column(target)?;
+                Ok(Command::Prepare {
+                    id,
+                    spec: Box::new(StatementSpec::ProbeTemplate {
+                        right_table,
+                        right_column,
+                        model: (*model).to_string(),
+                        k: k.parse().map_err(|_| format!("bad k `{k}`"))?,
+                    }),
+                })
+            }
+            other => Err(format!("unknown statement kind `{other}`")),
+        }
+    }
+}
+
+/// FNV-1a 64-bit, the checksum clients see in `END` lines — the same
+/// implementation the embedding layer hashes n-grams with (one definition,
+/// one wire format).
+pub use cej_embedding::hasher::fnv1a;
+
+/// Renders one table cell deterministically (`{}` formatting for numbers is
+/// stable across platforms and thread counts).
+fn render_cell(table: &Table, row: usize, column: usize) -> String {
+    let col = &table.columns()[column];
+    if let Ok(values) = col.as_int64() {
+        return values[row].to_string();
+    }
+    if let Ok(values) = col.as_float64() {
+        return format!("{}", values[row]);
+    }
+    if let Ok(values) = col.as_utf8() {
+        // tabs/newlines would break the line framing; escape them
+        return values[row].replace(['\t', '\n', '\r'], " ");
+    }
+    if let Ok(values) = col.as_date() {
+        return values[row].to_string();
+    }
+    if let Ok(matrix) = col.as_vectors() {
+        return format!("<vec {}>", matrix.cols());
+    }
+    "<?>".to_string()
+}
+
+/// Renders a result table as the `ROWS … END <checksum>` payload.
+pub fn render_table(table: &Table) -> String {
+    let mut payload = String::new();
+    let names: Vec<&str> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    payload.push_str(&names.join("\t"));
+    payload.push('\n');
+    for row in 0..table.num_rows() {
+        let cells: Vec<String> = (0..table.num_columns())
+            .map(|c| render_cell(table, row, c))
+            .collect();
+        payload.push_str(&cells.join("\t"));
+        payload.push('\n');
+    }
+    let checksum = fnv1a(payload.as_bytes());
+    format!(
+        "ROWS {} {}\n{payload}END {checksum:016x}\n",
+        table.num_rows(),
+        table.num_columns()
+    )
+}
+
+/// Renders a multi-line text payload (`EXPLAIN` / `ANALYZE` output).
+pub fn render_text(text: &str) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = format!("TEXT {}\n", lines.len());
+    for line in lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(Command::parse("PING").unwrap(), Command::Ping);
+        assert_eq!(Command::parse("  QUIT  ").unwrap(), Command::Quit);
+        assert_eq!(Command::parse("STATS").unwrap(), Command::Stats);
+        assert_eq!(
+            Command::parse("RUN q1").unwrap(),
+            Command::Run { id: "q1".into() }
+        );
+        assert_eq!(
+            Command::parse("EXPLAIN q1").unwrap(),
+            Command::Explain { id: "q1".into() }
+        );
+        assert_eq!(
+            Command::parse("ANALYZE q1").unwrap(),
+            Command::Analyze { id: "q1".into() }
+        );
+        assert!(Command::parse("RUN").is_err());
+        assert!(Command::parse("").is_err());
+        assert!(Command::parse("FROBNICATE x").is_err());
+    }
+
+    #[test]
+    fn parses_prepare_scan_with_filters() {
+        let cmd =
+            Command::parse("PREPARE s1 SCAN photos WHERE year >= 2023 WHERE id < 10").unwrap();
+        let Command::Prepare { id, spec } = cmd else {
+            panic!("expected prepare");
+        };
+        assert_eq!(id, "s1");
+        let StatementSpec::Scan { table, filters } = *spec else {
+            panic!("expected scan");
+        };
+        assert_eq!(table, "photos");
+        assert_eq!(filters.len(), 2);
+        assert_eq!(filters[0].op, ">=");
+        assert_eq!(filters[1].value, "10");
+        // lowers to a plan
+        let plan = StatementSpec::Scan { table, filters }
+            .to_plan(None)
+            .unwrap();
+        assert!(matches!(
+            plan,
+            cej_relational::LogicalPlan::Selection { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_prepare_join_variants() {
+        let cmd = Command::parse(
+            "PREPARE j1 JOIN photos.caption products.title MODEL ft TOPK 3 \
+             LWHERE year >= 2023 RWHERE price < 100",
+        )
+        .unwrap();
+        let Command::Prepare { spec, .. } = cmd else {
+            panic!()
+        };
+        let StatementSpec::Join {
+            left_table,
+            right_column,
+            predicate,
+            left_where,
+            right_where,
+            ..
+        } = spec.as_ref()
+        else {
+            panic!()
+        };
+        assert_eq!(left_table, "photos");
+        assert_eq!(right_column, "title");
+        assert_eq!(*predicate, SimilarityPredicate::TopK(3));
+        assert!(left_where.is_some());
+        assert_eq!(right_where.as_ref().unwrap().column, "price");
+        assert!(spec.to_plan(None).is_ok());
+
+        let sim = Command::parse("PREPARE j2 JOIN a.x b.y MODEL m SIM 0.85").unwrap();
+        let Command::Prepare { spec, .. } = sim else {
+            panic!()
+        };
+        assert!(matches!(
+            *spec,
+            StatementSpec::Join {
+                predicate: SimilarityPredicate::Threshold(t),
+                ..
+            } if (t - 0.85).abs() < 1e-6
+        ));
+
+        assert!(Command::parse("PREPARE j3 JOIN a.x b.y MODEL m TOPK nope").is_err());
+        assert!(Command::parse("PREPARE j4 JOIN ax b.y MODEL m TOPK 1").is_err());
+        assert!(Command::parse("PREPARE j5 JOIN a.x b.y MODLE m TOPK 1").is_err());
+    }
+
+    #[test]
+    fn parses_probe_template_and_probe() {
+        let cmd = Command::parse("PREPARE p1 PROBE products.title MODEL ft TOPK 2").unwrap();
+        let Command::Prepare { spec, .. } = cmd else {
+            panic!()
+        };
+        let plan = spec.to_plan(Some("__probe_7")).unwrap();
+        assert!(matches!(plan, cej_relational::LogicalPlan::EJoin { .. }));
+        assert!(spec.to_plan(None).is_err(), "needs the probe table");
+
+        let probe = Command::parse("PROBE p1 cast iron barbecue grill").unwrap();
+        assert_eq!(
+            probe,
+            Command::Probe {
+                id: "p1".into(),
+                text: "cast iron barbecue grill".into()
+            }
+        );
+        assert!(Command::parse("PROBE p1").is_err());
+    }
+
+    #[test]
+    fn parses_bind() {
+        assert_eq!(
+            Command::parse("BIND j1 j1lo 0.7").unwrap(),
+            Command::Bind {
+                id: "j1".into(),
+                new_id: "j1lo".into(),
+                threshold: 0.7
+            }
+        );
+        assert!(Command::parse("BIND j1 j2 high").is_err());
+        assert!(Command::parse("BIND j1").is_err());
+    }
+
+    #[test]
+    fn where_clause_typing_and_operators() {
+        for op in ["=", "!=", "<", "<=", ">", ">="] {
+            let clause = WhereClause {
+                column: "c".into(),
+                op: op.into(),
+                value: "5".into(),
+            };
+            assert!(clause.to_expr().is_ok(), "op {op}");
+        }
+        let bad = WhereClause {
+            column: "c".into(),
+            op: "~".into(),
+            value: "5".into(),
+        };
+        assert!(bad.to_expr().is_err());
+        // string fallback
+        let s = WhereClause {
+            column: "c".into(),
+            op: "=".into(),
+            value: "abc".into(),
+        };
+        assert!(s.to_expr().is_ok());
+    }
+
+    #[test]
+    fn render_table_is_deterministic_and_checksummed() {
+        let table = cej_storage::TableBuilder::new()
+            .int64("id", vec![1, 2])
+            .utf8("word", vec!["a\tb".into(), "c".into()])
+            .float64("score", vec![0.5, 0.25])
+            .build()
+            .unwrap();
+        let a = render_table(&table);
+        let b = render_table(&table);
+        assert_eq!(a, b);
+        assert!(a.starts_with("ROWS 2 3\n"));
+        assert!(a.contains("id\tword\tscore"));
+        assert!(a.contains("a b"), "tab in cell must be escaped");
+        let end = a.lines().last().unwrap();
+        assert!(end.starts_with("END "));
+        assert_eq!(end.len(), 4 + 16, "16-hex-digit checksum");
+        // different content → different checksum
+        let other = cej_storage::TableBuilder::new()
+            .int64("id", vec![3])
+            .utf8("word", vec!["z".into()])
+            .float64("score", vec![1.0])
+            .build()
+            .unwrap();
+        assert_ne!(
+            render_table(&other).lines().last().unwrap(),
+            end,
+            "checksums must distinguish different payloads"
+        );
+    }
+
+    #[test]
+    fn render_text_counts_lines() {
+        let out = render_text("one\ntwo\nthree");
+        assert!(out.starts_with("TEXT 3\n"));
+        assert!(out.ends_with("three\n"));
+    }
+}

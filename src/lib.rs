@@ -26,6 +26,7 @@ pub use cej_embedding as embedding;
 pub use cej_exec as exec;
 pub use cej_index as index;
 pub use cej_relational as relational;
+pub use cej_server as server;
 pub use cej_storage as storage;
 pub use cej_vector as vector;
 pub use cej_workload as workload;

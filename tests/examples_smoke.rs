@@ -71,6 +71,28 @@ fn quickstart_runs_and_matches_pairs() {
 }
 
 #[test]
+fn serving_example_round_trips_the_protocol() {
+    let stdout = run_example("serving");
+    assert!(
+        stdout.contains("serving on 127.0.0.1:"),
+        "server must bind:\n{stdout}"
+    );
+    // three warm rounds of the same prepared statement, byte-identical
+    let checksums: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.contains("matched rows (checksum"))
+        .collect();
+    assert_eq!(checksums.len(), 3, "three RUN rounds:\n{stdout}");
+    // probe + stats + clean shutdown all happened
+    assert!(stdout.contains("probe results:"), "{stdout}");
+    assert!(
+        stdout.contains("server stats:") && stdout.contains("pool_workers="),
+        "{stdout}"
+    );
+    assert!(stdout.contains("server stopped cleanly"), "{stdout}");
+}
+
+#[test]
 fn data_cleaning_runs_with_high_accuracy() {
     let stdout = run_example("data_cleaning");
     let accuracy_line = stdout

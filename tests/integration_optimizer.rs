@@ -36,7 +36,7 @@ fn tables() -> (cej_storage::Table, cej_storage::Table) {
 
 fn catalog() -> Catalog {
     let (left, right) = tables();
-    let mut c = Catalog::new();
+    let c = Catalog::new();
     c.register("l", left);
     c.register("r", right);
     c
