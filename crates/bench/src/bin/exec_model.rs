@@ -1,0 +1,56 @@
+//! Row-at-a-time vs vectorized batch execution.
+//!
+//! Runs the same physical plans — a selective filtered scan (selectivity
+//! ~0.1) and a tensor e-join over a filtered inner — under both
+//! [`cej_core::ExecMode`]s and reports median wall-clock times, the
+//! batch-over-row speedup per section, and whether the outputs stayed
+//! byte-identical.  Exits non-zero when they did not: the speedup is a
+//! performance signal, but identity is a correctness gate.
+//!
+//! With `CEJ_REPORT=<path>` the machine-readable summary the CI
+//! `exec_model_gate` consumes is written as well.
+
+use std::process::ExitCode;
+
+use cej_bench::experiments;
+use cej_bench::harness::{fmt_ms, header, print_table, scaled};
+use cej_bench::report::Report;
+
+fn main() -> ExitCode {
+    header(
+        "Exec model",
+        "row-at-a-time vs vectorized batch execution, same plans",
+    );
+    let rows = experiments::exec_model(scaled(40_000), scaled(400), scaled(20_000));
+    let mut report = Report::new("exec_model");
+    let mut identical = true;
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let speedup = r.row_time.as_secs_f64() / r.batch_time.as_secs_f64();
+            report.push_elapsed(&format!("{}_row", r.section), r.row_time);
+            report.push_elapsed(&format!("{}_batch", r.section), r.batch_time);
+            report.push_value(&format!("{}_speedup", r.section), speedup);
+            identical &= r.identical;
+            vec![
+                r.section.clone(),
+                fmt_ms(r.row_time),
+                fmt_ms(r.batch_time),
+                format!("{speedup:.2}x"),
+                if r.identical { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    report.push_value("identical", if identical { 1.0 } else { 0.0 });
+    print_table(
+        &["section", "row", "batch", "speedup", "identical"],
+        &printable,
+    );
+    report.write_if_requested();
+    if identical {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("exec_model: batch output diverged from row output — failing");
+        ExitCode::FAILURE
+    }
+}

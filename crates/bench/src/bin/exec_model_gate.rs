@@ -1,0 +1,90 @@
+//! CI execution-model regression gate.
+//!
+//! Compares the batch-over-row speedups of a freshly produced
+//! `exec_model.json` report against a checked-in baseline and exits
+//! non-zero when either timed section shows the batch executor materially
+//! slower than the row executor (speedup below the absolute floor) or a
+//! large regression against the baseline's speedup.  Absolute times are
+//! deliberately ignored — both executors run on the same machine in the
+//! same process, so their *ratio* is what is stable on shared runners.
+//! The report's `identical` flag must also hold: byte-identical results
+//! are a correctness invariant, not a tunable.
+//!
+//! ```sh
+//! exec_model_gate <current.json> <baseline.json> [min_fraction]
+//! ```
+//!
+//! The baseline lives at `ci/exec_model_baseline.json`; refresh it by
+//! running the bench at the CI scale and copying the report:
+//! `CEJ_SCALE=0.05 CEJ_REPORT=ci/exec_model_baseline.json cargo run
+//! --release -p cej-bench --bin exec_model`.
+
+use std::process::ExitCode;
+
+use cej_bench::report::extract_value;
+
+const SPEEDUP_KEYS: [&str; 2] = ["filtered_scan_speedup", "tensor_join_speedup"];
+/// The batch executor may never be materially slower than the row executor,
+/// regardless of how permissive the baseline fraction is (0.9 leaves room
+/// for timer noise at the tiny CI scale).
+const MIN_SPEEDUP: f64 = 0.9;
+/// Default fraction of the baseline speedup the current run must retain.
+const DEFAULT_MIN_FRACTION: f64 = 0.5;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (current_path, baseline_path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(b)) => (c, b),
+        _ => {
+            eprintln!("usage: exec_model_gate <current.json> <baseline.json> [min_fraction]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let min_fraction: f64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_MIN_FRACTION);
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("exec_model_gate: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(current), Some(baseline)) = (read(current_path), read(baseline_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let mut failed = false;
+    let identical = extract_value(&current, "identical");
+    if identical == Some(1.0) {
+        println!("identical: yes [ok]");
+    } else {
+        eprintln!("exec_model_gate: batch/row outputs not identical ({identical:?}) — failing");
+        failed = true;
+    }
+    for key in SPEEDUP_KEYS {
+        let (Some(new), Some(old)) = (extract_value(&current, key), extract_value(&baseline, key))
+        else {
+            eprintln!("exec_model_gate: key {key} missing from one of the reports");
+            failed = true;
+            continue;
+        };
+        let required = MIN_SPEEDUP.max(old * min_fraction);
+        let verdict = if new < required { "FAIL" } else { "ok" };
+        println!(
+            "{key}: baseline {old:.2}x, current {new:.2}x, required >= {required:.2}x [{verdict}]"
+        );
+        if new < required {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("exec_model_gate: batch execution regressed — failing");
+        ExitCode::FAILURE
+    } else {
+        println!("exec_model_gate: within tolerance (fraction {min_fraction})");
+        ExitCode::SUCCESS
+    }
+}

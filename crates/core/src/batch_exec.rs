@@ -1,0 +1,712 @@
+//! Vectorized (batch-at-a-time) execution of [`PhysicalPlan`] trees.
+//!
+//! This is the MonetDB/X100-style pull model the row executor's
+//! materialize-everything strategy is refactored into: operators exchange
+//! fixed-size **column batches** (default [`DEFAULT_BATCH_ROWS`] rows)
+//! carrying a selection vector over a shared, immutable base table.
+//!
+//! * `TableScan` emits zero-copy windows over the catalog's `Arc<Table>` —
+//!   no per-run deep clone of the base table.
+//! * `Filter` refines the selection vector in place
+//!   ([`cej_relational::eval::evaluate_predicate_select`], with the
+//!   `filter_cmp` kernel fast path) — survivors are *marked*, never copied.
+//! * `Project` is metadata-only: it narrows the visible-column set.
+//! * `Embed` gathers only the selected lanes and embeds them in one
+//!   `embed_batch_counted` call per batch.
+//! * Joins consume batches on the probe side: the inner relation is
+//!   embedded (and for the tensor path, normalised) once, then every outer
+//!   batch is scored against it ([`TensorJoin::join_prenormalized`], HNSW
+//!   `probe_join`, or the NLJ variants) and pair offsets are remapped by the
+//!   batch's cumulative offset.
+//!
+//! The load-bearing invariant: results are **byte-identical** to the row
+//! executor for every plan shape, join strategy, and batch size — same rows,
+//! same order, same similarity bits, same per-operator row actuals.  The
+//! per-operator actual-row accounting counts *selected lanes*, never
+//! batches, so `explain_analyze` q-errors are unchanged.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cej_index::HnswIndex;
+use cej_relational::{
+    eval::{evaluate_predicate, evaluate_predicate_select},
+    EmbedSpec, Expr,
+};
+use cej_storage::{BatchView, Column, SelectionBitmap, StorageError, Table, DEFAULT_BATCH_ROWS};
+use cej_vector::norm::normalize_matrix_rows_with;
+
+use crate::error::CoreError;
+use crate::executor::{materialize_output, ExecContext, ExecOutcome, RunEmbedder, RunStats};
+use crate::join::index_join::IndexJoin;
+use crate::join::naive_nlj::NaiveNlJoin;
+use crate::join::prefetch_nlj::PrefetchNlJoin;
+use crate::join::tensor_join::TensorJoin;
+use crate::join::{check_predicate, embed_all};
+use crate::physical_plan::{InnerInput, JoinNode, PhysicalJoinOp, PhysicalPlan};
+use crate::result::{JoinPair, JoinResult, JoinStats};
+use crate::Result;
+
+/// Which executor runs a [`PhysicalPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The legacy materialize-everything row executor (kept as the reference
+    /// implementation for equivalence tests and the `exec_model` benchmark).
+    Row,
+    /// The vectorized pull executor: operators exchange `batch_rows`-sized
+    /// column batches with selection vectors.
+    Batch {
+        /// Rows per batch handed between operators (must be > 0).
+        batch_rows: usize,
+    },
+}
+
+impl Default for ExecMode {
+    /// Batch execution with [`DEFAULT_BATCH_ROWS`] rows per batch, overridable
+    /// via the `CEJ_BATCH_ROWS` environment variable.
+    fn default() -> Self {
+        let batch_rows = std::env::var("CEJ_BATCH_ROWS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_BATCH_ROWS);
+        ExecMode::Batch { batch_rows }
+    }
+}
+
+/// A batch in flight: a selection vector plus a visible-column set over a
+/// shared base table.  `sel` holds absolute row indices into `base`
+/// (ascending within a pipeline); `visible` holds base schema positions in
+/// output order.  Nothing is copied until a materialising boundary gathers
+/// the surviving lanes.
+struct ExecBatch {
+    base: Arc<Table>,
+    sel: Vec<u32>,
+    visible: Vec<usize>,
+}
+
+/// One operator of the batch pipeline.  `slot` is the operator's pre-order
+/// position in the executor's actual-row vector — the same order
+/// `explain_analyze` renders operators in.
+enum BatchOp<'p> {
+    Scan {
+        slot: usize,
+        name: &'p str,
+        table: Option<Arc<Table>>,
+        cursor: usize,
+        emitted: bool,
+    },
+    Filter {
+        slot: usize,
+        predicate: &'p Expr,
+        input: Box<BatchOp<'p>>,
+    },
+    Project {
+        slot: usize,
+        columns: &'p [String],
+        input: Box<BatchOp<'p>>,
+    },
+    Embed {
+        slot: usize,
+        spec: &'p EmbedSpec,
+        input: Box<BatchOp<'p>>,
+    },
+    /// A join is a pipeline breaker: on first pull it streams its outer
+    /// pipeline through the probe side, materialises the joined table, then
+    /// re-emits it as batches for any operators above.
+    JoinSource {
+        slot: usize,
+        node: &'p JoinNode,
+        outer: Option<Box<BatchOp<'p>>>,
+        inner: Option<Box<BatchOp<'p>>>,
+        result: Option<Arc<Table>>,
+        cursor: usize,
+        emitted: bool,
+    },
+}
+
+/// Builds the operator pipeline, assigning pre-order slots that line up with
+/// the row executor's `operator_rows` protocol (join claims its slot, then
+/// the outer subtree, then the inner subtree when it is a plan).
+fn build_pipeline<'p>(plan: &'p PhysicalPlan, next_slot: &mut usize) -> BatchOp<'p> {
+    let slot = *next_slot;
+    *next_slot += 1;
+    match plan {
+        PhysicalPlan::TableScan { table, .. } => BatchOp::Scan {
+            slot,
+            name: table,
+            table: None,
+            cursor: 0,
+            emitted: false,
+        },
+        PhysicalPlan::Filter {
+            predicate, input, ..
+        } => BatchOp::Filter {
+            slot,
+            predicate,
+            input: Box::new(build_pipeline(input, next_slot)),
+        },
+        PhysicalPlan::Project { columns, input, .. } => BatchOp::Project {
+            slot,
+            columns,
+            input: Box::new(build_pipeline(input, next_slot)),
+        },
+        PhysicalPlan::Embed { spec, input, .. } => BatchOp::Embed {
+            slot,
+            spec,
+            input: Box::new(build_pipeline(input, next_slot)),
+        },
+        PhysicalPlan::Join(node) => {
+            let outer = Box::new(build_pipeline(&node.outer, next_slot));
+            let inner = match &node.inner {
+                InnerInput::Plan(inner) => Some(Box::new(build_pipeline(inner, next_slot))),
+                InnerInput::Indexed(_) => None,
+            };
+            BatchOp::JoinSource {
+                slot,
+                node,
+                outer: Some(outer),
+                inner,
+                result: None,
+                cursor: 0,
+                emitted: false,
+            }
+        }
+    }
+}
+
+impl BatchOp<'_> {
+    /// Pulls the next batch, or `None` when the operator is exhausted.  Every
+    /// pipeline emits at least one batch (possibly empty) so schemas
+    /// propagate even for zero-row inputs.
+    fn next_batch(
+        &mut self,
+        ctx: &ExecContext<'_>,
+        batch_rows: usize,
+        stats: &mut RunStats,
+        operator_rows: &mut [u64],
+    ) -> Result<Option<ExecBatch>> {
+        match self {
+            BatchOp::Scan {
+                slot,
+                name,
+                table,
+                cursor,
+                emitted,
+            } => {
+                if table.is_none() {
+                    *table = Some(ctx.catalog.table(name).map_err(CoreError::from)?);
+                }
+                let base = table.as_ref().expect("resolved above").clone();
+                let rows = base.num_rows();
+                if *cursor >= rows {
+                    if !*emitted {
+                        *emitted = true;
+                        return Ok(Some(ExecBatch {
+                            visible: (0..base.num_columns()).collect(),
+                            sel: Vec::new(),
+                            base,
+                        }));
+                    }
+                    return Ok(None);
+                }
+                let end = (*cursor + batch_rows).min(rows);
+                let sel: Vec<u32> = (*cursor as u32..end as u32).collect();
+                *cursor = end;
+                *emitted = true;
+                operator_rows[*slot] += sel.len() as u64;
+                Ok(Some(ExecBatch {
+                    visible: (0..base.num_columns()).collect(),
+                    sel,
+                    base,
+                }))
+            }
+            BatchOp::Filter {
+                slot,
+                predicate,
+                input,
+            } => {
+                let Some(batch) = input.next_batch(ctx, batch_rows, stats, operator_rows)? else {
+                    return Ok(None);
+                };
+                let refined = filter_batch(predicate, &batch)?;
+                operator_rows[*slot] += refined.len() as u64;
+                Ok(Some(ExecBatch {
+                    base: batch.base,
+                    sel: refined,
+                    visible: batch.visible,
+                }))
+            }
+            BatchOp::Project {
+                slot,
+                columns,
+                input,
+            } => {
+                let Some(batch) = input.next_batch(ctx, batch_rows, stats, operator_rows)? else {
+                    return Ok(None);
+                };
+                let mut visible = Vec::with_capacity(columns.len());
+                for name in columns.iter() {
+                    visible.push(visible_position(&batch, name)?);
+                }
+                operator_rows[*slot] += batch.sel.len() as u64;
+                Ok(Some(ExecBatch {
+                    base: batch.base,
+                    sel: batch.sel,
+                    visible,
+                }))
+            }
+            BatchOp::Embed { slot, spec, input } => {
+                let Some(batch) = input.next_batch(ctx, batch_rows, stats, operator_rows)? else {
+                    return Ok(None);
+                };
+                let cache = ctx.embeddings.cache(&spec.model, ctx.registry)?;
+                let run = RunEmbedder::new(cache.as_ref());
+                let pos = visible_position(&batch, &spec.input_column)?;
+                let strings = batch.base.column(pos).map_err(CoreError::from)?.as_utf8()?;
+                // embed exactly the selected lanes, one batch call
+                let selected: Vec<String> = batch
+                    .sel
+                    .iter()
+                    .map(|&lane| strings[lane as usize].clone())
+                    .collect();
+                let matrix = embed_all(&run, &selected)?;
+                let delta = run.stats();
+                stats.embedding_stats.model_calls += delta.model_calls;
+                stats.embedding_stats.cache_hits += delta.cache_hits;
+                let gathered = gather_batch(&batch)?;
+                let out = gathered
+                    .with_column(&spec.output_column, Column::Vector(matrix))
+                    .map_err(CoreError::from)?;
+                let base = Arc::new(out);
+                let rows = base.num_rows();
+                operator_rows[*slot] += rows as u64;
+                Ok(Some(ExecBatch {
+                    sel: (0..rows as u32).collect(),
+                    visible: (0..base.num_columns()).collect(),
+                    base,
+                }))
+            }
+            BatchOp::JoinSource {
+                slot,
+                node,
+                outer,
+                inner,
+                result,
+                cursor,
+                emitted,
+            } => {
+                if result.is_none() {
+                    let mut outer_op = *outer.take().expect("join executes once");
+                    let inner_op = inner.take();
+                    let table = execute_join_batched(
+                        node,
+                        &mut outer_op,
+                        inner_op,
+                        ctx,
+                        batch_rows,
+                        stats,
+                        operator_rows,
+                    )?;
+                    operator_rows[*slot] += table.num_rows() as u64;
+                    *result = Some(Arc::new(table));
+                }
+                let base = result.as_ref().expect("materialised above").clone();
+                let rows = base.num_rows();
+                if *cursor >= rows {
+                    if !*emitted {
+                        *emitted = true;
+                        return Ok(Some(ExecBatch {
+                            visible: (0..base.num_columns()).collect(),
+                            sel: Vec::new(),
+                            base,
+                        }));
+                    }
+                    return Ok(None);
+                }
+                let end = (*cursor + batch_rows).min(rows);
+                let sel: Vec<u32> = (*cursor as u32..end as u32).collect();
+                *cursor = end;
+                *emitted = true;
+                Ok(Some(ExecBatch {
+                    visible: (0..base.num_columns()).collect(),
+                    sel,
+                    base,
+                }))
+            }
+        }
+    }
+}
+
+/// Resolves a column name against the batch's *visible* set (hidden base
+/// columns must not leak), mirroring the row path's `ColumnNotFound`.
+fn visible_position(batch: &ExecBatch, name: &str) -> Result<usize> {
+    let fields = batch.base.schema().fields();
+    batch
+        .visible
+        .iter()
+        .copied()
+        .find(|&i| fields[i].name == name)
+        .ok_or_else(|| CoreError::from(StorageError::ColumnNotFound(name.to_string())))
+}
+
+/// Applies a filter predicate to a batch, returning the refined selection.
+fn filter_batch(predicate: &Expr, batch: &ExecBatch) -> Result<Vec<u32>> {
+    if batch.sel.is_empty() {
+        // the row path evaluates nothing over an empty input
+        return Ok(Vec::new());
+    }
+    let mut names = Vec::new();
+    expr_columns(predicate, &mut names);
+    let fields = batch.base.schema().fields();
+    let all_visible = names
+        .iter()
+        .all(|n| batch.visible.iter().any(|&i| fields[i].name == *n));
+    if all_visible {
+        // every referenced column is visible: evaluating against the base
+        // table over the selected lanes is exactly what the row path sees
+        evaluate_predicate_select(predicate, &batch.base, &batch.sel).map_err(CoreError::from)
+    } else {
+        // a referenced column is hidden or missing: gather the visible lanes
+        // and replicate the row path bit for bit, including its short-circuit
+        // semantics (an unknown column behind a false AND arm is no error)
+        let gathered = gather_batch(batch)?;
+        let bitmap = evaluate_predicate(predicate, &gathered).map_err(CoreError::from)?;
+        Ok(bitmap
+            .selected_indices()
+            .into_iter()
+            .map(|i| batch.sel[i])
+            .collect())
+    }
+}
+
+/// Collects every column name an expression references.
+fn expr_columns<'e>(expr: &'e Expr, out: &mut Vec<&'e str>) {
+    match expr {
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            expr_columns(a, out);
+            expr_columns(b, out);
+        }
+        Expr::Not(inner) => expr_columns(inner, out),
+        Expr::Compare { left, right, .. } => {
+            expr_columns(left, out);
+            expr_columns(right, out);
+        }
+        Expr::Column(name) => out.push(name),
+        Expr::Literal(_) => {}
+    }
+}
+
+/// Materialises a batch: visible columns, selected lanes.  When the batch is
+/// the whole base table the `Arc` contents are cloned directly (the same
+/// single copy the row path pays).
+fn gather_batch(batch: &ExecBatch) -> Result<Table> {
+    let whole_table = batch
+        .visible
+        .iter()
+        .copied()
+        .eq(0..batch.base.num_columns())
+        && batch.sel.len() == batch.base.num_rows()
+        && batch
+            .sel
+            .iter()
+            .copied()
+            .eq(0..batch.base.num_rows() as u32);
+    if whole_table {
+        return Ok(batch.base.as_ref().clone());
+    }
+    let view = BatchView::new(&batch.base, &batch.sel, &batch.visible).map_err(CoreError::from)?;
+    view.gather().map_err(CoreError::from)
+}
+
+/// Reassembles drained batches into one table.  Batches that share a base
+/// and visible set collapse into a single gather; heterogeneous batches
+/// (e.g. per-batch `Embed` outputs) are gathered individually and
+/// concatenated.
+fn finalize(batches: Vec<ExecBatch>) -> Result<Table> {
+    let Some(first) = batches.first() else {
+        // every pipeline emits at least one batch; defensive only
+        return Ok(Table::empty());
+    };
+    let same_base = batches
+        .iter()
+        .all(|b| Arc::ptr_eq(&b.base, &first.base) && b.visible == first.visible);
+    if same_base {
+        let total = batches.iter().map(|b| b.sel.len()).sum();
+        let mut sel: Vec<u32> = Vec::with_capacity(total);
+        for b in &batches {
+            sel.extend_from_slice(&b.sel);
+        }
+        let merged = ExecBatch {
+            base: first.base.clone(),
+            sel,
+            visible: first.visible.clone(),
+        };
+        return gather_batch(&merged);
+    }
+    let parts: Vec<Table> = batches
+        .iter()
+        .map(gather_batch)
+        .collect::<Result<Vec<_>>>()?;
+    let refs: Vec<&Table> = parts.iter().collect();
+    Table::concat(&refs).map_err(CoreError::from)
+}
+
+/// Drains a pipeline to a materialised table (pipeline-breaker boundary).
+fn drain(
+    op: &mut BatchOp<'_>,
+    ctx: &ExecContext<'_>,
+    batch_rows: usize,
+    stats: &mut RunStats,
+    operator_rows: &mut [u64],
+) -> Result<Table> {
+    let mut batches = Vec::new();
+    while let Some(batch) = op.next_batch(ctx, batch_rows, stats, operator_rows)? {
+        batches.push(batch);
+    }
+    finalize(batches)
+}
+
+/// The per-batch probe strategy of a join: everything inner-side is prepared
+/// once, then reused by every outer batch.
+enum Probe {
+    Naive {
+        right: Vec<String>,
+    },
+    Prefetch {
+        join: PrefetchNlJoin,
+        inner: cej_vector::Matrix,
+    },
+    Tensor {
+        join: TensorJoin,
+        inner_norm: cej_vector::Matrix,
+    },
+    Hnsw {
+        join: IndexJoin,
+        index: Arc<HnswIndex>,
+        inner_filter: Option<SelectionBitmap>,
+    },
+}
+
+/// Accumulates per-batch join statistics the way a single whole-input call
+/// would have: additive counters sum, probe stats merge, peaks take the max.
+fn merge_stats(acc: &mut JoinStats, part: &JoinStats) {
+    acc.pairs_compared += part.pairs_compared;
+    acc.blocks_computed += part.blocks_computed;
+    acc.probe_stats.merge(&part.probe_stats);
+    acc.peak_buffer_bytes = acc.peak_buffer_bytes.max(part.peak_buffer_bytes);
+}
+
+/// Executes a join node batch-at-a-time: materialise the inner side once,
+/// then stream outer batches through the probe, remapping pair offsets by
+/// each batch's cumulative position.
+fn execute_join_batched(
+    node: &JoinNode,
+    outer: &mut BatchOp<'_>,
+    mut inner: Option<Box<BatchOp<'_>>>,
+    ctx: &ExecContext<'_>,
+    batch_rows: usize,
+    stats: &mut RunStats,
+    operator_rows: &mut [u64],
+) -> Result<Table> {
+    let start = Instant::now();
+
+    // Materialise the inner subplan (if any) *before* snapshotting this
+    // join's cache counters — nested joins and embeds inside it account for
+    // their own model calls (same rule as the row path).
+    let inner_table = match inner.as_mut() {
+        Some(op) => Some(drain(op, ctx, batch_rows, stats, operator_rows)?),
+        None => None,
+    };
+
+    let cache = ctx.embeddings.cache(&node.model, ctx.registry)?;
+    let run = RunEmbedder::new(cache.as_ref());
+
+    let (probe, right_view) = match (&node.op, &node.inner) {
+        (PhysicalJoinOp::Index(config), InnerInput::Indexed(indexed)) => {
+            // epoch first, then the table read (see the row path for why)
+            let epoch = ctx.indexes.publication_epoch(&indexed.key);
+            let base = ctx
+                .catalog
+                .table(&indexed.key.table)
+                .map_err(CoreError::from)?;
+            let inner_strings = base
+                .column_by_name(&indexed.key.column)
+                .map_err(CoreError::from)?
+                .as_utf8()?;
+            let join = IndexJoin::new(*config);
+            let (index, built, evicted) =
+                ctx.indexes
+                    .get_or_build_tracked_from(epoch, &indexed.key, || {
+                        let matrix = embed_all(&run, inner_strings)?;
+                        join.build_index(&matrix)
+                    })?;
+            if built {
+                stats.index_builds += 1;
+            } else {
+                stats.index_reuses += 1;
+            }
+            stats.index_evictions += evicted;
+
+            let mut inner_filter: Option<SelectionBitmap> = None;
+            for expr in &indexed.filters {
+                let bitmap = evaluate_predicate(expr, &base).map_err(CoreError::from)?;
+                inner_filter = Some(match inner_filter {
+                    None => bitmap,
+                    Some(acc) => acc.and(&bitmap).map_err(CoreError::from)?,
+                });
+            }
+            let right_view = match &indexed.projection {
+                Some(columns) => {
+                    let names: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+                    base.project(&names).map_err(CoreError::from)?
+                }
+                None => base.as_ref().clone(),
+            };
+            (
+                Probe::Hnsw {
+                    join,
+                    index,
+                    inner_filter,
+                },
+                right_view,
+            )
+        }
+        (op, InnerInput::Plan(_)) => {
+            let inner_table = inner_table.expect("materialised above");
+            let right_strings: Vec<String> = inner_table
+                .column_by_name(&node.right_column)
+                .map_err(CoreError::from)?
+                .as_utf8()?
+                .to_vec();
+            check_predicate(&node.predicate)?;
+            let probe = match op {
+                PhysicalJoinOp::NaiveNlj => Probe::Naive {
+                    right: right_strings,
+                },
+                PhysicalJoinOp::PrefetchNlj(config) => {
+                    let inner_matrix = embed_all(&run, &right_strings)?;
+                    Probe::Prefetch {
+                        join: PrefetchNlJoin::new(*config),
+                        inner: inner_matrix,
+                    }
+                }
+                PhysicalJoinOp::Tensor(config) => {
+                    // the inner side is normalised exactly once; every probe
+                    // batch reuses it through `join_prenormalized`
+                    let mut inner_norm = embed_all(&run, &right_strings)?;
+                    normalize_matrix_rows_with(&mut inner_norm, config.kernel);
+                    Probe::Tensor {
+                        join: TensorJoin::new(*config),
+                        inner_norm,
+                    }
+                }
+                PhysicalJoinOp::Index(config) => {
+                    stats.index_builds += 1;
+                    let join = IndexJoin::new(*config);
+                    let inner_matrix = embed_all(&run, &right_strings)?;
+                    let index = Arc::new(join.build_index(&inner_matrix)?);
+                    Probe::Hnsw {
+                        join,
+                        index,
+                        inner_filter: None,
+                    }
+                }
+            };
+            (probe, inner_table)
+        }
+        (op, InnerInput::Indexed(_)) => {
+            return Err(CoreError::InvalidInput(format!(
+                "planner bug: {} cannot consume a persistent-index inner input",
+                op.name()
+            )))
+        }
+    };
+
+    let mut outer_parts: Vec<Table> = Vec::new();
+    let mut pairs: Vec<JoinPair> = Vec::new();
+    let mut join_stats = JoinStats::default();
+    let mut offset = 0usize;
+    while let Some(batch) = outer.next_batch(ctx, batch_rows, stats, operator_rows)? {
+        let gathered = gather_batch(&batch)?;
+        // the column lookup happens for every batch (even empty ones) so a
+        // missing probe column errors exactly like the row path
+        let left_strings = gathered
+            .column_by_name(&node.left_column)
+            .map_err(CoreError::from)?
+            .as_utf8()?;
+        let rows = gathered.num_rows();
+        if rows > 0 {
+            let result = match &probe {
+                Probe::Naive { right } => {
+                    NaiveNlJoin::new().join(&run, left_strings, right, node.predicate)?
+                }
+                Probe::Prefetch { join, inner } => {
+                    let left = embed_all(&run, left_strings)?;
+                    join.join_matrices(&left, inner, node.predicate)?
+                }
+                Probe::Tensor { join, inner_norm } => {
+                    let mut left_norm = embed_all(&run, left_strings)?;
+                    normalize_matrix_rows_with(&mut left_norm, join.config().kernel);
+                    join.join_prenormalized(&left_norm, inner_norm, node.predicate)?
+                }
+                Probe::Hnsw {
+                    join,
+                    index,
+                    inner_filter,
+                } => {
+                    let left = embed_all(&run, left_strings)?;
+                    join.probe_join(&left, index, node.predicate, None, inner_filter.as_ref())?
+                }
+            };
+            for p in result.pairs {
+                pairs.push(JoinPair::new(offset + p.left, p.right, p.score));
+            }
+            merge_stats(&mut join_stats, &result.stats);
+        }
+        outer_parts.push(gathered);
+        offset += rows;
+    }
+
+    let delta = run.stats();
+    stats.embedding_stats.model_calls += delta.model_calls;
+    stats.embedding_stats.cache_hits += delta.cache_hits;
+
+    join_stats.model_calls = delta.model_calls;
+    join_stats.elapsed = start.elapsed();
+    stats.join_stats = join_stats;
+    stats.access_path = Some(node.access_path);
+    stats.matched_pairs = pairs.len();
+
+    let result = JoinResult {
+        pairs,
+        stats: join_stats,
+    };
+    let refs: Vec<&Table> = outer_parts.iter().collect();
+    let outer_table = Table::concat(&refs).map_err(CoreError::from)?;
+    materialize_output(&outer_table, &right_view, &result)
+}
+
+/// Executes a plan batch-at-a-time.  Same contract as the row executor:
+/// per-operator actual rows in pre-order, per-run stat deltas, and a
+/// byte-identical output table.
+pub(crate) fn execute_batched(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext<'_>,
+    batch_rows: usize,
+) -> Result<ExecOutcome> {
+    let batch_rows = batch_rows.max(1);
+    let mut stats = RunStats::default();
+    let pool_before = cej_exec::ExecPool::metrics();
+    let mut operator_rows = vec![0u64; plan.operator_count()];
+    let mut next_slot = 0usize;
+    let mut root = build_pipeline(plan, &mut next_slot);
+    debug_assert_eq!(next_slot, plan.operator_count());
+    let table = drain(&mut root, ctx, batch_rows, &mut stats, &mut operator_rows)?;
+    stats.scheduler = cej_exec::ExecPool::metrics().delta_since(&pool_before);
+    Ok(ExecOutcome {
+        table,
+        stats,
+        operator_rows,
+    })
+}

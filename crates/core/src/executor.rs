@@ -26,6 +26,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::access_path::AccessPath;
+use crate::batch_exec::ExecMode;
 use crate::error::CoreError;
 use crate::join::embed_all;
 use crate::join::index_join::IndexJoin;
@@ -245,9 +246,32 @@ impl PhysicalPlan {
     /// Executes the plan against the given context, recording the actual
     /// output rows of every operator alongside the usual run statistics.
     ///
+    /// Runs under the default [`ExecMode`] — the vectorized batch executor
+    /// (`CEJ_BATCH_ROWS` tunes the batch size).  Batch and row execution are
+    /// byte-identical; use [`PhysicalPlan::execute_with`] to pick explicitly.
+    ///
     /// # Errors
     /// Propagates catalog, evaluation, embedding, index, and join errors.
     pub fn execute(&self, ctx: &ExecContext<'_>) -> Result<ExecOutcome> {
+        self.execute_with(ctx, ExecMode::default())
+    }
+
+    /// Executes the plan under an explicit [`ExecMode`].
+    ///
+    /// # Errors
+    /// Propagates catalog, evaluation, embedding, index, and join errors.
+    pub fn execute_with(&self, ctx: &ExecContext<'_>, mode: ExecMode) -> Result<ExecOutcome> {
+        match mode {
+            ExecMode::Row => self.execute_rows(ctx),
+            ExecMode::Batch { batch_rows } => {
+                crate::batch_exec::execute_batched(self, ctx, batch_rows)
+            }
+        }
+    }
+
+    /// The materialize-everything row executor (the reference
+    /// implementation the batch executor is checked against).
+    fn execute_rows(&self, ctx: &ExecContext<'_>) -> Result<ExecOutcome> {
         let mut stats = RunStats::default();
         let pool_before = cej_exec::ExecPool::metrics();
         let mut operator_rows = Vec::with_capacity(self.operator_count());

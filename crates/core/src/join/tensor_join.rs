@@ -204,6 +204,43 @@ impl TensorJoin {
         Ok(JoinResult { pairs, stats })
     }
 
+    /// Joins two inputs that are already embedded **and row-normalised**,
+    /// skipping the compaction and normalisation passes of
+    /// [`TensorJoin::join_matrices_filtered`].
+    ///
+    /// This is the vectorised executor's per-batch entry point: the inner
+    /// side is normalised once, then every probe batch reuses it directly.
+    /// Pair offsets refer to the row numbering of the given matrices, and the
+    /// returned `peak_buffer_bytes` covers only the score block (the caller
+    /// owns the normalised inputs and accounts for them once).
+    ///
+    /// # Errors
+    /// Returns [`crate::error::CoreError::InvalidInput`] for dimension
+    /// mismatches or degenerate predicates.
+    pub fn join_prenormalized(
+        &self,
+        left_norm: &Matrix,
+        right_norm: &Matrix,
+        predicate: SimilarityPredicate,
+    ) -> Result<JoinResult> {
+        check_predicate(&predicate)?;
+        check_joinable(left_norm, right_norm)?;
+        let start = Instant::now();
+        let mut stats = JoinStats {
+            pairs_compared: left_norm.rows() as u64 * right_norm.rows() as u64,
+            ..JoinStats::default()
+        };
+        let pairs = if left_norm.rows() == 0 || right_norm.rows() == 0 {
+            Vec::new()
+        } else if self.config.batch_inner {
+            self.blocked_join(left_norm, right_norm, predicate, &mut stats)?
+        } else {
+            self.non_batched_join(left_norm, right_norm, predicate, &mut stats)
+        };
+        stats.elapsed = start.elapsed();
+        Ok(JoinResult { pairs, stats })
+    }
+
     /// Compacts the selected rows of `m`, returning the compacted matrix and
     /// the mapping from compacted offset to original row.
     fn compact(m: &Matrix, filter: Option<&SelectionBitmap>) -> Result<(Matrix, Vec<usize>)> {
@@ -217,17 +254,11 @@ impl TensorJoin {
                         m.rows()
                     )));
                 }
-                let mut out = Matrix::zeros(0, m.cols());
-                let mut map = Vec::new();
-                for i in f.iter_selected() {
-                    out.push_row(m.row(i).expect("selected row in range"))
-                        .expect("row widths agree");
-                    map.push(i);
-                }
-                if out.rows() == 0 {
-                    // keep the dimensionality for empty results
-                    out = Matrix::zeros(0, m.cols());
-                }
+                let map: Vec<usize> = f.iter_selected().collect();
+                let lanes: Vec<u32> = map.iter().map(|&i| i as u32).collect();
+                let out = m
+                    .gather_rows(&lanes)
+                    .map_err(|e| CoreError::InvalidInput(e.to_string()))?;
                 Ok((out, map))
             }
         }
@@ -559,6 +590,29 @@ mod tests {
             .join_matrices(&left, &right, SimilarityPredicate::Threshold(0.2))
             .unwrap();
         assert_eq!(a.pair_indices(), b.pair_indices());
+    }
+
+    #[test]
+    fn prenormalized_entry_point_matches_full_path_bit_for_bit() {
+        let left = uniform_matrix(23, 16, 23, true);
+        let right = uniform_matrix(31, 16, 24, true);
+        let join = TensorJoin::new(TensorJoinConfig::default());
+        for predicate in [
+            SimilarityPredicate::Threshold(0.2),
+            SimilarityPredicate::TopK(4),
+        ] {
+            let full = join.join_matrices(&left, &right, predicate).unwrap();
+            let mut left_norm = left.clone();
+            let mut right_norm = right.clone();
+            normalize_matrix_rows_with(&mut left_norm, join.config().kernel);
+            normalize_matrix_rows_with(&mut right_norm, join.config().kernel);
+            let pre = join
+                .join_prenormalized(&left_norm, &right_norm, predicate)
+                .unwrap();
+            // same pairs, same scores, bit for bit
+            assert_eq!(full.pairs, pre.pairs);
+            assert_eq!(full.stats.pairs_compared, pre.stats.pairs_compared);
+        }
     }
 
     #[test]

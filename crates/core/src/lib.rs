@@ -43,6 +43,7 @@
 #![warn(clippy::all)]
 
 pub mod access_path;
+pub mod batch_exec;
 pub mod builder;
 pub mod cost;
 pub mod error;
@@ -56,6 +57,7 @@ pub mod result;
 pub mod session;
 
 pub use access_path::{AccessPath, AccessPathAdvisor, AccessPathQuery};
+pub use batch_exec::ExecMode;
 pub use builder::{sim_gte, top_k, QueryBuilder};
 pub use cost::{CostModel, CostParameters};
 pub use error::CoreError;

@@ -160,8 +160,13 @@ impl<'s> PreparedQuery<'s> {
         let mut text = self.physical.explain_analyze(&report.operator_rows);
         let pool = &report.scheduler;
         text.push_str(&format!(
-            "scheduler: tasks={} steals={} injected={} queue_depth={} workers={}\n",
-            pool.tasks_executed, pool.steals, pool.injected, pool.queue_depth, pool.workers
+            "scheduler: tasks={} steals={} injected={} wakeups={} queue_depth={} workers={}\n",
+            pool.tasks_executed,
+            pool.steals,
+            pool.injected,
+            pool.wakeups,
+            pool.queue_depth,
+            pool.workers
         ));
         Ok(ExplainAnalyze { text, report })
     }

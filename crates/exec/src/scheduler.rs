@@ -7,7 +7,11 @@
 //! work-stealing architecture:
 //!
 //! * **Long-lived workers**, spawned lazily up to the largest thread budget
-//!   any [`crate::ExecPool`] has requested, parked on a condvar when idle.
+//!   any [`crate::ExecPool`] has requested.  An idle worker parks on its
+//!   *own* condvar and registers on an idle stack; a submitter pops one
+//!   parked worker per queued token and notifies exactly that worker, so
+//!   a submission never stampedes the whole pool awake (no thundering
+//!   herd), and each wakeup is counted in [`PoolMetrics::wakeups`].
 //! * **An injector queue** for cross-thread submission: a non-worker thread
 //!   (the main thread, a server connection handler) pushes participation
 //!   tokens there.
@@ -62,7 +66,7 @@ use crate::MAX_THREADS;
 
 /// How long an idle worker sleeps before re-checking the queues even
 /// without a wakeup — a belt-and-braces guard, not the primary wake path
-/// (submissions notify the condvar).
+/// (submissions notify one parked worker per token).
 const IDLE_PARK: Duration = Duration::from_millis(50);
 
 /// A snapshot (or delta) of the scheduler's activity counters.
@@ -81,6 +85,9 @@ pub struct PoolMetrics {
     /// Tokens submitted through the injector queue (i.e. from threads that
     /// are not scheduler workers).
     pub injected: u64,
+    /// Targeted wakeups issued to parked workers (one notified worker per
+    /// queued token, not a notify-all broadcast).
+    pub wakeups: u64,
     /// Tokens currently queued (injector + all deques) at snapshot time.
     pub queue_depth: usize,
     /// Worker threads currently alive.
@@ -95,6 +102,7 @@ impl PoolMetrics {
             tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
             steals: self.steals.saturating_sub(earlier.steals),
             injected: self.injected.saturating_sub(earlier.injected),
+            wakeups: self.wakeups.saturating_sub(earlier.wakeups),
             queue_depth: self.queue_depth,
             workers: self.workers,
         }
@@ -195,10 +203,26 @@ type Token = Arc<BatchCore>;
 
 type DequeRef = Arc<Mutex<VecDeque<Token>>>;
 
+/// One worker's private parking slot.  A worker with nothing to run parks
+/// on its own condvar; a submitter wakes exactly one chosen thief via
+/// [`Shared::notify_workers`] instead of broadcasting to every sleeper.
+struct Parker {
+    /// `true` once a submitter has targeted this worker — the condvar
+    /// predicate, so a notify that lands before the wait starts is never
+    /// lost.
+    notified: Mutex<bool>,
+    cv: Condvar,
+}
+
 /// State shared between the scheduler handle and its workers.
 struct Shared {
     injector: Mutex<VecDeque<Token>>,
     deques: RwLock<Vec<DequeRef>>,
+    /// Per-worker parking slots, index-aligned with `deques`.
+    parkers: RwLock<Vec<Arc<Parker>>>,
+    /// Indices of currently-parked workers, LIFO: the most recently parked
+    /// worker (warmest cache) is woken first.
+    idle: Mutex<Vec<usize>>,
     /// Lock-free mirror of the worker count (the `handles` vector length),
     /// so the per-parallel-call fast paths (`workers()`, the
     /// `ensure_workers` no-growth check) never touch the handles mutex.
@@ -207,11 +231,10 @@ struct Shared {
     /// lock-free `queue_depth` reading and the workers' sleep predicate.
     pending: AtomicUsize,
     shutdown: AtomicBool,
-    sleep_lock: Mutex<()>,
-    wake: Condvar,
     tasks_executed: AtomicU64,
     steals: AtomicU64,
     injected: AtomicU64,
+    wakeups: AtomicU64,
 }
 
 impl Shared {
@@ -219,20 +242,57 @@ impl Shared {
         Shared {
             injector: Mutex::new(VecDeque::new()),
             deques: RwLock::new(Vec::new()),
+            parkers: RwLock::new(Vec::new()),
+            idle: Mutex::new(Vec::new()),
             worker_count: AtomicUsize::new(0),
             pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
-            sleep_lock: Mutex::new(()),
-            wake: Condvar::new(),
             tasks_executed: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             injected: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
         }
     }
 
-    fn notify_workers(&self) {
-        drop(self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner()));
-        self.wake.notify_all();
+    /// Wakes up to `count` parked workers, one targeted notify each.
+    ///
+    /// The idle lock is released *before* the popped worker's parker lock
+    /// is taken, while a parking worker acquires them in the opposite
+    /// nesting (parker, then idle) — since this side never holds both at
+    /// once there is no lock-order cycle.  A worker that is between
+    /// "pushed onto the idle stack" and "waiting on its condvar" re-checks
+    /// `pending` under its parker lock (and `pending` is incremented
+    /// before this is called), so the wakeup cannot be lost.
+    fn notify_workers(&self, count: usize) {
+        for _ in 0..count {
+            let idx = {
+                let mut idle = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+                match idle.pop() {
+                    Some(idx) => idx,
+                    // Nobody is parked: every worker is already awake and
+                    // sweeping the queues, so the token will be found.
+                    None => return,
+                }
+            };
+            let parker = {
+                let parkers = self.parkers.read().unwrap_or_else(|e| e.into_inner());
+                parkers[idx].clone()
+            };
+            let mut notified = parker.notified.lock().unwrap_or_else(|e| e.into_inner());
+            *notified = true;
+            drop(notified);
+            self.wakeups.fetch_add(1, Ordering::Relaxed);
+            parker.cv.notify_one();
+        }
+    }
+
+    /// Removes `idx` from the idle stack unless a submitter already popped
+    /// (claimed) it.
+    fn deregister_idle(&self, idx: usize) {
+        let mut idle = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = idle.iter().rposition(|&i| i == idx) {
+            idle.swap_remove(pos);
+        }
     }
 
     /// Pops a token for worker `idx`: own deque (LIFO) → injector (FIFO) →
@@ -295,20 +355,52 @@ fn worker_main(shared: Arc<Shared>, idx: usize) {
             break;
         }
         if let Some(token) = shared.find_token(idx, &mut rng) {
+            if shared.pending.load(Ordering::Acquire) > 0 {
+                // Chain wake: more tokens remain, so recruit one more
+                // thief before starting work — wakeups propagate one hop
+                // per token instead of the submitter broadcasting.
+                shared.notify_workers(1);
+            }
             let executed = token.participate();
             shared.tasks_executed.fetch_add(executed, Ordering::Relaxed);
             continue;
         }
-        let guard = shared.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
+        // Park on this worker's own slot: arm the predicate, register on
+        // the idle stack, then re-check the sleep condition under the
+        // parker lock.  A submitter increments `pending` before popping
+        // the stack, so a concurrently queued token is either observed by
+        // the re-check or delivers a targeted notify once this lock is
+        // released by the wait.
+        let parker = {
+            let parkers = shared.parkers.read().unwrap_or_else(|e| e.into_inner());
+            parkers[idx].clone()
+        };
+        let mut notified = parker.notified.lock().unwrap_or_else(|e| e.into_inner());
+        *notified = false;
+        shared
+            .idle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(idx);
         if shared.shutdown.load(Ordering::Acquire) || shared.pending.load(Ordering::Acquire) > 0 {
+            drop(notified);
+            shared.deregister_idle(idx);
             continue;
         }
-        // Timed park: submissions notify `wake`, the timeout only guards
-        // against implementation bugs ever stranding a worker.
-        let _ = shared
-            .wake
-            .wait_timeout(guard, IDLE_PARK)
-            .unwrap_or_else(|e| e.into_inner());
+        // Timed park: the timeout only guards against implementation bugs
+        // ever stranding a worker; the targeted notify is the wake path.
+        while !*notified {
+            let (guard, timeout) = parker
+                .cv
+                .wait_timeout(notified, IDLE_PARK)
+                .unwrap_or_else(|e| e.into_inner());
+            notified = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        drop(notified);
+        shared.deregister_idle(idx);
     }
 }
 
@@ -331,6 +423,7 @@ impl std::fmt::Debug for Scheduler {
             .field("tasks_executed", &m.tasks_executed)
             .field("steals", &m.steals)
             .field("injected", &m.injected)
+            .field("wakeups", &m.wakeups)
             .field("queue_depth", &m.queue_depth)
             .finish()
     }
@@ -380,6 +473,18 @@ impl Scheduler {
                 debug_assert_eq!(deques.len(), idx);
                 deques.push(Arc::new(Mutex::new(VecDeque::new())));
             }
+            {
+                let mut parkers = self
+                    .shared
+                    .parkers
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner());
+                debug_assert_eq!(parkers.len(), idx);
+                parkers.push(Arc::new(Parker {
+                    notified: Mutex::new(false),
+                    cv: Condvar::new(),
+                }));
+            }
             let shared = self.shared.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("cej-exec-{idx}"))
@@ -400,6 +505,7 @@ impl Scheduler {
             tasks_executed: self.shared.tasks_executed.load(Ordering::Relaxed),
             steals: self.shared.steals.load(Ordering::Relaxed),
             injected: self.shared.injected.load(Ordering::Relaxed),
+            wakeups: self.shared.wakeups.load(Ordering::Relaxed),
             queue_depth: self.shared.pending.load(Ordering::Acquire),
             workers: self.workers(),
         }
@@ -490,7 +596,7 @@ impl Scheduler {
             }
         }
         self.shared.pending.fetch_add(tokens, Ordering::AcqRel);
-        self.shared.notify_workers();
+        self.shared.notify_workers(tokens);
     }
 
     /// Graceful shutdown: stops the workers after their current token and
@@ -498,7 +604,21 @@ impl Scheduler {
     /// the submitting threads themselves drain their batches.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.notify_workers();
+        // Shutdown is the one broadcast: every parker is notified directly
+        // (bypassing the idle stack) so no worker sleeps out its timeout.
+        {
+            let parkers = self
+                .shared
+                .parkers
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            for parker in parkers.iter() {
+                let mut notified = parker.notified.lock().unwrap_or_else(|e| e.into_inner());
+                *notified = true;
+                drop(notified);
+                parker.cv.notify_one();
+            }
+        }
         let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
         for handle in handles.drain(..) {
             let _ = handle.join();
@@ -639,6 +759,7 @@ mod tests {
             tasks_executed: 10,
             steals: 2,
             injected: 4,
+            wakeups: 3,
             queue_depth: 7,
             workers: 2,
         };
@@ -646,6 +767,7 @@ mod tests {
             tasks_executed: 25,
             steals: 3,
             injected: 9,
+            wakeups: 8,
             queue_depth: 1,
             workers: 3,
         };
@@ -653,7 +775,35 @@ mod tests {
         assert_eq!(d.tasks_executed, 15);
         assert_eq!(d.steals, 1);
         assert_eq!(d.injected, 5);
+        assert_eq!(d.wakeups, 5);
         assert_eq!(d.queue_depth, 1);
         assert_eq!(d.workers, 3);
+    }
+
+    #[test]
+    fn parked_workers_are_woken_individually() {
+        let scheduler = Scheduler::new(2);
+        // Both workers park once their initial queue sweep comes up empty.
+        wait_until(10, "both workers to park", || {
+            scheduler
+                .shared
+                .idle
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+                == 2
+        });
+        // A worker deregisters transiently around its park timeout, so a
+        // single submission could race past an empty idle stack; batches
+        // are cheap, so retry until a targeted wakeup is observed.
+        wait_until(10, "a targeted wakeup", || {
+            let hits = AtomicUsize::new(0);
+            scheduler.run_batch(8, 2, &|_i: usize| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 8);
+            scheduler.metrics().wakeups >= 1
+        });
+        scheduler.shutdown();
     }
 }

@@ -5,7 +5,8 @@
 //! bottleneck (the paper's bottleneck analysis is entirely about model calls
 //! and vector arithmetic).
 
-use cej_storage::{ScalarValue, SelectionBitmap, Table};
+use cej_storage::{Column, ScalarValue, SelectionBitmap, Table};
+use cej_vector::{filter_cmp, CmpOp};
 
 use crate::error::RelationalError;
 use crate::expr::{CompareOp, Expr};
@@ -24,6 +25,84 @@ pub fn evaluate_predicate(expr: &Expr, table: &Table) -> Result<SelectionBitmap>
         bits.push(evaluate_bool(expr, table, row)?);
     }
     Ok(SelectionBitmap::from_bools(bits))
+}
+
+/// Evaluates a boolean predicate over the lanes named by a selection vector,
+/// returning the surviving lanes (a refined selection vector, in order).
+///
+/// This is the vectorised executor's `Filter` path: instead of materialising
+/// the upstream rows and re-scanning them, the predicate is applied directly
+/// to the base table restricted to the still-selected lanes.  Simple
+/// `column <op> literal` comparisons over totally-ordered types are
+/// dispatched to the SIMD-friendly [`filter_cmp`] kernel; everything else
+/// (including floats, whose row-path semantics treat NaN as equal) falls back
+/// to the same row-at-a-time evaluation as [`evaluate_predicate`], so both
+/// paths agree bit-for-bit on survivors and on error behaviour.
+///
+/// # Errors
+/// Identical to [`evaluate_predicate`] over the selected lanes.
+pub fn evaluate_predicate_select(expr: &Expr, table: &Table, sel: &[u32]) -> Result<Vec<u32>> {
+    if sel.is_empty() {
+        // row path over an empty upstream table evaluates nothing
+        return Ok(Vec::new());
+    }
+    match expr {
+        // `a AND b`: evaluate `b` only on `a`'s survivors — exactly the row
+        // path's short-circuit `&&` semantics.
+        Expr::And(a, b) => {
+            let first = evaluate_predicate_select(a, table, sel)?;
+            evaluate_predicate_select(b, table, &first)
+        }
+        Expr::Compare { left, op, right } => {
+            if let (Expr::Column(name), Expr::Literal(rv)) = (left.as_ref(), right.as_ref()) {
+                if let Some(out) = compare_fast_path(name, *op, rv, table, sel) {
+                    return Ok(out);
+                }
+            }
+            evaluate_rowwise_select(expr, table, sel)
+        }
+        _ => evaluate_rowwise_select(expr, table, sel),
+    }
+}
+
+/// Vectorised `column <op> literal` comparison for totally-ordered column
+/// types.  Returns `None` when the shape or types don't qualify, so the
+/// caller falls back to row-wise evaluation (which reports the same errors
+/// as the row path).
+fn compare_fast_path(
+    name: &str,
+    op: CompareOp,
+    rhs: &ScalarValue,
+    table: &Table,
+    sel: &[u32],
+) -> Option<Vec<u32>> {
+    let column = table.column_by_name(name).ok()?;
+    let cmp = match op {
+        CompareOp::Eq => CmpOp::Eq,
+        CompareOp::NotEq => CmpOp::NotEq,
+        CompareOp::Lt => CmpOp::Lt,
+        CompareOp::LtEq => CmpOp::LtEq,
+        CompareOp::Gt => CmpOp::Gt,
+        CompareOp::GtEq => CmpOp::GtEq,
+    };
+    match (column, rhs) {
+        (Column::Int64(values), ScalarValue::Int64(x)) => Some(filter_cmp(values, sel, cmp, *x)),
+        (Column::Date(values), ScalarValue::Date(x)) => Some(filter_cmp(values, sel, cmp, *x)),
+        // floats use `unwrap_or(Equal)` NaN semantics in the row path, and
+        // other type pairings may be errors — let row-wise handle them
+        _ => None,
+    }
+}
+
+/// Row-at-a-time fallback for [`evaluate_predicate_select`].
+fn evaluate_rowwise_select(expr: &Expr, table: &Table, sel: &[u32]) -> Result<Vec<u32>> {
+    let mut out = Vec::new();
+    for &lane in sel {
+        if evaluate_bool(expr, table, lane as usize)? {
+            out.push(lane);
+        }
+    }
+    Ok(out)
 }
 
 /// Evaluates an expression to a boolean for a single row.
@@ -209,4 +288,59 @@ mod tests {
     }
 
     use cej_storage::ScalarValue;
+
+    fn all_lanes(t: &Table) -> Vec<u32> {
+        (0..t.num_rows() as u32).collect()
+    }
+
+    #[test]
+    fn select_path_agrees_with_bitmap_path() {
+        let t = table();
+        let preds = vec![
+            col("id").gt(lit_i64(2)),
+            col("id").not_eq(lit_i64(2)),
+            col("taken").gt(crate::expr::lit(ScalarValue::Date(150))),
+            col("word").eq(lit_str("dbms")),
+            col("flag").not(),
+            col("id")
+                .lt(lit_i64(3))
+                .and(col("flag").eq(crate::expr::lit(ScalarValue::Bool(true)))),
+            col("id").eq(lit_i64(1)).or(col("id").eq(lit_i64(4))),
+        ];
+        for pred in preds {
+            let bitmap = evaluate_predicate(&pred, &t).unwrap();
+            let expected: Vec<u32> = bitmap
+                .selected_indices()
+                .into_iter()
+                .map(|i| i as u32)
+                .collect();
+            let got = evaluate_predicate_select(&pred, &t, &all_lanes(&t)).unwrap();
+            assert_eq!(got, expected, "predicate {pred}");
+        }
+    }
+
+    #[test]
+    fn select_path_refines_an_existing_selection() {
+        let t = table();
+        // start from lanes {1, 2, 3}; id > 2 keeps {2, 3}
+        let got = evaluate_predicate_select(&col("id").gt(lit_i64(2)), &t, &[1, 2, 3]).unwrap();
+        assert_eq!(got, vec![2, 3]);
+        // empty input short-circuits without touching columns
+        let got = evaluate_predicate_select(&col("missing").gt(lit_i64(0)), &t, &[]).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn select_path_reports_row_path_errors() {
+        let t = table();
+        assert!(matches!(
+            evaluate_predicate_select(&col("missing").gt(lit_i64(1)), &t, &all_lanes(&t)),
+            Err(RelationalError::UnknownColumn(_))
+        ));
+        // Date vs Int64 literal is a type error on both paths (the fast path
+        // must decline rather than coerce)
+        assert!(
+            evaluate_predicate_select(&col("taken").gt(lit_i64(0)), &t, &all_lanes(&t)).is_err()
+        );
+    }
 }

@@ -409,7 +409,7 @@ fn render_stats(shared: &ServerShared) -> String {
          p50_us={} p95_us={} p99_us={} max_us={} \
          index_builds={} index_hits={} index_evictions={} index_resident={} index_bytes={} \
          embed_calls={} embed_hits={} \
-         pool_tasks={} pool_steals={} pool_injected={} pool_queue_depth={} pool_workers={}\n",
+         pool_tasks={} pool_steals={} pool_injected={} pool_wakeups={} pool_queue_depth={} pool_workers={}\n",
         shared.queries.load(Ordering::Relaxed),
         admission.inflight,
         admission.queued,
@@ -430,6 +430,7 @@ fn render_stats(shared: &ServerShared) -> String {
         pool.tasks_executed,
         pool.steals,
         pool.injected,
+        pool.wakeups,
         pool.queue_depth,
         pool.workers,
     )

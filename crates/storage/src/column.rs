@@ -148,6 +148,121 @@ impl Column {
         })
     }
 
+    /// Returns a new column containing the rows named by a selection vector
+    /// (repeats allowed) — the `u32`-lane variant of [`Column::take`] used
+    /// by the vectorised executor to compact a batch's survivors.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::RowOutOfBounds`] for any out-of-range lane.
+    pub fn gather(&self, sel: &[u32]) -> Result<Column> {
+        for &lane in sel {
+            if lane as usize >= self.len() {
+                return Err(StorageError::RowOutOfBounds {
+                    row: lane as usize,
+                    rows: self.len(),
+                });
+            }
+        }
+        Ok(match self {
+            Column::Int64(v) => Column::Int64(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Float64(v) => Column::Float64(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Utf8(v) => Column::Utf8(sel.iter().map(|&i| v[i as usize].clone()).collect()),
+            Column::Date(v) => Column::Date(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Bool(v) => Column::Bool(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Vector(m) => {
+                Column::Vector(m.gather_rows(sel).expect("lanes already validated"))
+            }
+        })
+    }
+
+    /// Vertically concatenates columns of the same type into one column.
+    ///
+    /// Used by the vectorised executor to reassemble per-batch outputs into
+    /// a materialised table.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::InvalidArgument`] for an empty input and
+    /// [`StorageError::TypeMismatch`] when the parts disagree on type
+    /// (including vector dimensionality, except that empty vector parts
+    /// adopt the established dimension).
+    pub fn concat(parts: &[&Column]) -> Result<Column> {
+        let first = parts
+            .first()
+            .ok_or_else(|| StorageError::InvalidArgument("concat of zero columns".into()))?;
+        for part in &parts[1..] {
+            let compatible = match (first, part) {
+                // empty vector parts carry a possibly-unknown dimension
+                (Column::Vector(a), Column::Vector(b)) => {
+                    a.cols() == b.cols() || a.is_empty() || b.is_empty()
+                }
+                _ => first.data_type() == part.data_type(),
+            };
+            if !compatible {
+                return Err(StorageError::TypeMismatch {
+                    expected: first.data_type().to_string(),
+                    actual: part.data_type().to_string(),
+                });
+            }
+        }
+        Ok(match first {
+            Column::Int64(_) => Column::Int64(
+                parts
+                    .iter()
+                    .flat_map(|p| p.as_int64().expect("checked").iter().copied())
+                    .collect(),
+            ),
+            Column::Float64(_) => Column::Float64(
+                parts
+                    .iter()
+                    .flat_map(|p| p.as_float64().expect("checked").iter().copied())
+                    .collect(),
+            ),
+            Column::Utf8(_) => Column::Utf8(
+                parts
+                    .iter()
+                    .flat_map(|p| p.as_utf8().expect("checked").iter().cloned())
+                    .collect(),
+            ),
+            Column::Date(_) => Column::Date(
+                parts
+                    .iter()
+                    .flat_map(|p| p.as_date().expect("checked").iter().copied())
+                    .collect(),
+            ),
+            Column::Bool(_) => {
+                let mut out = Vec::new();
+                for part in parts {
+                    if let Column::Bool(v) = part {
+                        out.extend_from_slice(v);
+                    }
+                }
+                Column::Bool(out)
+            }
+            Column::Vector(first_m) => {
+                let cols = parts
+                    .iter()
+                    .filter_map(|p| match p {
+                        Column::Vector(m) if !m.is_empty() => Some(m.cols()),
+                        _ => None,
+                    })
+                    .next()
+                    .unwrap_or(first_m.cols());
+                let mut rows = 0usize;
+                let mut data = Vec::new();
+                for part in parts {
+                    if let Column::Vector(m) = part {
+                        rows += m.rows();
+                        data.extend_from_slice(m.as_slice());
+                    }
+                }
+                Column::Vector(
+                    Matrix::from_flat(rows, cols, data)
+                        .map_err(|e| StorageError::InvalidArgument(e.to_string()))?,
+                )
+            }
+        })
+    }
+
     /// Borrows the strings of a `Utf8` column.
     ///
     /// # Errors

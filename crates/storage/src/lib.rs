@@ -18,11 +18,14 @@
 //!   slice operations.
 //! * [`SelectionBitmap`] — selection vectors used to push relational
 //!   predicates below the embedding operator (the paper's pre-filtering).
+//! * [`BatchView`] — zero-copy column batches (window + selection vector)
+//!   exchanged by the vectorised executor (MonetDB/X100 style).
 //! * [`builder`] — convenient typed table construction.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batch;
 pub mod bitmap;
 pub mod builder;
 pub mod column;
@@ -33,6 +36,7 @@ pub mod schema;
 pub mod stats;
 pub mod table;
 
+pub use batch::{BatchView, DEFAULT_BATCH_ROWS};
 pub use bitmap::SelectionBitmap;
 pub use builder::TableBuilder;
 pub use column::Column;

@@ -150,6 +150,64 @@ impl Table {
         Table::new(schema, columns)
     }
 
+    /// Returns a new table with the rows named by a `u32` selection vector
+    /// (repeats allowed) — the lane-compaction twin of [`Table::take`] used
+    /// by the vectorised executor when a batch is materialised.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::RowOutOfBounds`] for out-of-range lanes.
+    pub fn gather(&self, sel: &[u32]) -> Result<Table> {
+        let columns: Result<Vec<Column>> = self.columns.iter().map(|c| c.gather(sel)).collect();
+        let columns = columns?;
+        let rows = sel.len();
+        if columns.is_empty() {
+            // keep the schema even for zero-column tables
+            return Table::new(self.schema.clone(), columns);
+        }
+        Ok(Self {
+            schema: self.schema.clone(),
+            columns,
+            rows,
+        })
+    }
+
+    /// Vertically concatenates tables that share a schema.
+    ///
+    /// This reassembles the per-batch outputs of the vectorised executor into
+    /// one materialised result table.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::InvalidArgument`] for an empty input and
+    /// [`StorageError::TypeMismatch`] when schemas disagree; column-level
+    /// incompatibilities propagate from [`Column::concat`].
+    pub fn concat(parts: &[&Table]) -> Result<Table> {
+        let first = parts
+            .first()
+            .ok_or_else(|| StorageError::InvalidArgument("concat of zero tables".into()))?;
+        if parts.len() == 1 {
+            return Ok((*first).clone());
+        }
+        for part in &parts[1..] {
+            if part.schema != first.schema {
+                return Err(StorageError::TypeMismatch {
+                    expected: format!("{:?}", first.schema),
+                    actual: format!("{:?}", part.schema),
+                });
+            }
+        }
+        let mut columns = Vec::with_capacity(first.num_columns());
+        for i in 0..first.num_columns() {
+            let slices: Vec<&Column> = parts.iter().map(|p| &p.columns[i]).collect();
+            columns.push(Column::concat(&slices)?);
+        }
+        let rows = parts.iter().map(|p| p.rows).sum();
+        Ok(Self {
+            schema: first.schema.clone(),
+            columns,
+            rows,
+        })
+    }
+
     /// Runs the `ANALYZE` pass: per-column row/null counts, distinct counts,
     /// min/max, equi-depth histograms, and average string lengths (see
     /// [`crate::stats`]).  The result is a point-in-time snapshot — callers
@@ -285,6 +343,33 @@ mod tests {
         assert!(t
             .with_column("id", Column::Bool(vec![true, false, true]))
             .is_err());
+    }
+
+    #[test]
+    fn gather_compacts_lanes() {
+        let t = sample();
+        let g = t.gather(&[2, 0]).unwrap();
+        assert_eq!(g.num_rows(), 2);
+        assert_eq!(g.schema(), t.schema());
+        assert_eq!(g.value(0, "id").unwrap(), ScalarValue::Int64(3));
+        assert_eq!(g.value(1, "word").unwrap(), ScalarValue::Utf8("bbq".into()));
+        assert_eq!(t.gather(&[]).unwrap().num_rows(), 0);
+        assert!(t.gather(&[3]).is_err());
+    }
+
+    #[test]
+    fn concat_stacks_batches() {
+        let t = sample();
+        let a = t.gather(&[0]).unwrap();
+        let b = t.gather(&[]).unwrap();
+        let c = t.gather(&[1, 2]).unwrap();
+        let whole = Table::concat(&[&a, &b, &c]).unwrap();
+        assert_eq!(whole, t);
+        assert!(Table::concat(&[]).is_err());
+        let other = t.project(&["id"]).unwrap();
+        assert!(Table::concat(&[&t, &other]).is_err());
+        // single part is a plain clone
+        assert_eq!(Table::concat(&[&t]).unwrap(), t);
     }
 
     #[test]

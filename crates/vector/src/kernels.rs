@@ -79,23 +79,30 @@ pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Unrolled dot product with [`UNROLL_LANES`] independent accumulators.
+///
+/// The inner loop iterates `chunks_exact` slices, so the bounds of every
+/// lane access are known to LLVM and the body compiles to packed FMA /
+/// mul-add instructions without bounds checks.  The accumulation order
+/// (per-lane partials, lane sum, then the sequential remainder) is exactly
+/// the order the previous index-based loop used, so results are
+/// bit-identical across the rewrite.
 #[inline]
 pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let n = a.len().min(b.len());
-    let chunks = n / UNROLL_LANES;
+    let mut ca = a[..n].chunks_exact(UNROLL_LANES);
+    let mut cb = b[..n].chunks_exact(UNROLL_LANES);
     let mut acc = [0.0f32; UNROLL_LANES];
-    for c in 0..chunks {
-        let base = c * UNROLL_LANES;
+    for (xs, ys) in (&mut ca).zip(&mut cb) {
         // Independent accumulators break the reduction dependency chain so
         // the loop auto-vectorises into packed FMA/mul-add instructions.
         for lane in 0..UNROLL_LANES {
-            acc[lane] += a[base + lane] * b[base + lane];
+            acc[lane] += xs[lane] * ys[lane];
         }
     }
     let mut total: f32 = acc.iter().sum();
-    for i in (chunks * UNROLL_LANES)..n {
-        total += a[i] * b[i];
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        total += x * y;
     }
     total
 }
@@ -125,22 +132,106 @@ pub fn axpy(alpha: f32, x: &[f32], out: &mut [f32]) {
     }
 }
 
-/// Sum of a slice (unrolled partial accumulators).
+/// Sum of a slice (unrolled partial accumulators, `chunks_exact` inner
+/// loop; same accumulation order as the index-based predecessor).
 #[inline]
 pub fn sum(a: &[f32]) -> f32 {
-    let chunks = a.len() / UNROLL_LANES;
+    let mut chunks = a.chunks_exact(UNROLL_LANES);
     let mut acc = [0.0f32; UNROLL_LANES];
-    for c in 0..chunks {
-        let base = c * UNROLL_LANES;
+    for xs in &mut chunks {
         for lane in 0..UNROLL_LANES {
-            acc[lane] += a[base + lane];
+            acc[lane] += xs[lane];
         }
     }
     let mut total: f32 = acc.iter().sum();
-    for v in &a[chunks * UNROLL_LANES..] {
+    for v in chunks.remainder() {
         total += *v;
     }
     total
+}
+
+/// Comparison operator for the selection-vector filter kernel
+/// [`filter_cmp`].  Mirrors the relational layer's comparison semantics so
+/// batch predicate evaluation can dispatch simple `column <op> literal`
+/// filters straight to a tight, auto-vectorisable loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+impl CmpOp {
+    /// Whether `lhs <op> rhs` holds.  `None` orderings (NaN) compare false
+    /// for every operator except `NotEq`, matching IEEE semantics.
+    #[inline]
+    pub fn holds<T: PartialOrd>(&self, lhs: &T, rhs: &T) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::NotEq => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::LtEq => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::GtEq => lhs >= rhs,
+        }
+    }
+}
+
+/// Selection-vector filter: compacts the lanes of `sel` whose value passes
+/// `value <op> rhs` into a fresh selection vector.
+///
+/// `sel` holds row offsets into `values`; only selected lanes are compared,
+/// so a filter above a filter touches survivors only — the vectorised
+/// executor's "mark, don't copy" contract.
+///
+/// # Panics
+/// Debug-asserts that every selected lane is in bounds; release builds
+/// panic on out-of-bounds lanes via the slice index.
+#[inline]
+pub fn filter_cmp<T: PartialOrd + Copy>(values: &[T], sel: &[u32], op: CmpOp, rhs: T) -> Vec<u32> {
+    let mut out = Vec::with_capacity(sel.len());
+    for &lane in sel {
+        if op.holds(&values[lane as usize], &rhs) {
+            out.push(lane);
+        }
+    }
+    out
+}
+
+/// Selection-vector dot product: scores `query` against only the selected
+/// rows of a row-major `rows × dim` buffer, producing one score per
+/// selected lane (in lane order).
+///
+/// This is the batched probe-side primitive: a join operator consuming a
+/// column batch scores exactly the survivors of the batch's selection
+/// vector, skipping filtered lanes entirely.
+///
+/// # Panics
+/// Panics (via slice indexing) when a selected lane is out of bounds for
+/// the buffer.
+#[inline]
+pub fn dot_select(
+    kernel: Kernel,
+    query: &[f32],
+    data: &[f32],
+    dim: usize,
+    sel: &[u32],
+) -> Vec<f32> {
+    let mut out = Vec::with_capacity(sel.len());
+    for &lane in sel {
+        let start = lane as usize * dim;
+        out.push(kernel.dot(query, &data[start..start + dim]));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -207,5 +298,65 @@ mod tests {
         let a: Vec<f32> = (0..29).map(|i| i as f32).collect();
         let expected: f32 = a.iter().sum();
         assert!(approx(sum(&a), expected));
+    }
+
+    #[test]
+    fn filter_cmp_matches_scalar_reference() {
+        let values: Vec<i64> = (0..100).map(|i| (i * 37 + 11) % 100).collect();
+        let sel: Vec<u32> = (0..100).step_by(3).collect();
+        for op in [
+            CmpOp::Eq,
+            CmpOp::NotEq,
+            CmpOp::Lt,
+            CmpOp::LtEq,
+            CmpOp::Gt,
+            CmpOp::GtEq,
+        ] {
+            let fast = filter_cmp(&values, &sel, op, 50i64);
+            let reference: Vec<u32> = sel
+                .iter()
+                .copied()
+                .filter(|&lane| op.holds(&values[lane as usize], &50i64))
+                .collect();
+            assert_eq!(fast, reference, "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn filter_cmp_float_nan_lanes_fail_ordered_comparisons() {
+        let values = [1.0f64, f64::NAN, 3.0];
+        let sel = [0u32, 1, 2];
+        assert_eq!(filter_cmp(&values, &sel, CmpOp::Gt, 0.0), vec![0, 2]);
+        assert_eq!(filter_cmp(&values, &sel, CmpOp::NotEq, 1.0), vec![1, 2]);
+    }
+
+    #[test]
+    fn dot_select_matches_per_row_dot_for_both_kernels() {
+        let dim = 24;
+        let rows = 17;
+        let data: Vec<f32> = (0..rows * dim).map(|i| (i as f32 * 0.13).sin()).collect();
+        let query: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.7).cos()).collect();
+        let sel: Vec<u32> = vec![0, 3, 3, 9, 16];
+        for kernel in [Kernel::Scalar, Kernel::Unrolled] {
+            let scores = dot_select(kernel, &query, &data, dim, &sel);
+            assert_eq!(scores.len(), sel.len());
+            for (score, &lane) in scores.iter().zip(sel.iter()) {
+                let start = lane as usize * dim;
+                let reference = kernel.dot(&query, &data[start..start + dim]);
+                assert_eq!(*score, reference, "lane {lane}");
+            }
+        }
+        assert!(dot_select(Kernel::Unrolled, &query, &data, dim, &[]).is_empty());
+    }
+
+    #[test]
+    fn cmp_op_holds_all_operators() {
+        assert!(CmpOp::Eq.holds(&1, &1));
+        assert!(CmpOp::NotEq.holds(&1, &2));
+        assert!(CmpOp::Lt.holds(&1, &2));
+        assert!(CmpOp::LtEq.holds(&2, &2));
+        assert!(CmpOp::Gt.holds(&3, &2));
+        assert!(CmpOp::GtEq.holds(&2, &2));
+        assert!(!CmpOp::Eq.holds(&1, &2));
     }
 }

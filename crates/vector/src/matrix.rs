@@ -197,6 +197,36 @@ impl Matrix {
         out
     }
 
+    /// Gathers the rows named by a selection vector into a new compact
+    /// matrix (one output row per selected lane, in lane order; repeats are
+    /// allowed).
+    ///
+    /// This is the columnar compaction step of the vectorised executor: a
+    /// batch's surviving lanes are materialised in one pass instead of
+    /// row-at-a-time `push_row` calls.
+    ///
+    /// # Errors
+    /// Returns [`VectorError::IndexOutOfBounds`] when a lane exceeds the row
+    /// count.
+    pub fn gather_rows(&self, sel: &[u32]) -> Result<Matrix> {
+        let mut data = Vec::with_capacity(sel.len() * self.cols);
+        for &lane in sel {
+            let row = lane as usize;
+            if row >= self.rows {
+                return Err(VectorError::IndexOutOfBounds {
+                    index: row,
+                    len: self.rows,
+                });
+            }
+            data.extend_from_slice(&self.data[row * self.cols..(row + 1) * self.cols]);
+        }
+        Ok(Matrix {
+            rows: sel.len(),
+            cols: self.cols,
+            data,
+        })
+    }
+
     /// Memory footprint of the value buffer, in bytes.
     ///
     /// Used by Figure 13's memory-requirement accounting.
@@ -307,6 +337,19 @@ mod tests {
     #[test]
     fn bytes_accounts_buffer() {
         assert_eq!(sample().bytes(), 6 * 4);
+    }
+
+    #[test]
+    fn gather_rows_compacts_selected_lanes() {
+        let m = sample();
+        let g = m.gather_rows(&[2, 0, 0]).unwrap();
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 2);
+        assert_eq!(g.as_slice(), &[5.0, 6.0, 1.0, 2.0, 1.0, 2.0]);
+        let empty = m.gather_rows(&[]).unwrap();
+        assert_eq!(empty.rows(), 0);
+        assert_eq!(empty.cols(), 2);
+        assert!(m.gather_rows(&[3]).is_err());
     }
 
     #[test]

@@ -96,6 +96,26 @@ fn filtered_scan_estimates_meet_the_q_error_bar() {
 }
 
 #[test]
+fn filter_actuals_count_selected_lanes_not_batches() {
+    // 5 000 rows span five 1 024-row execution batches; a filter keeping a
+    // single row must report `actual 1` — a batch-granular accounting bug
+    // would report per-batch counts (multiples of the batch size or the
+    // batch count) instead of selected lanes.
+    let s = session(10, 5_000);
+    let plan = LogicalPlan::scan("s").select(col("id").eq(lit_i64(4_321)));
+    let prepared = s.prepare(&plan).expect("prepare");
+    let analyzed = prepared.explain_analyze().expect("explain analyze");
+    assert_eq!(analyzed.report.table.num_rows(), 1);
+    assert_eq!(analyzed.report.operator_rows, vec![1, 5_000]);
+    assert!(
+        analyzed.text.contains("actual 1;"),
+        "the filter line must carry the selected-lane actual:\n{}",
+        analyzed.text
+    );
+    assert!(analyzed.text.contains("actual 5000;"), "{}", analyzed.text);
+}
+
+#[test]
 fn session_explain_analyze_convenience_and_builder() {
     let s = session(10, 60);
     let via_session = s
