@@ -1,0 +1,358 @@
+//! CI join-ordering regression gate.
+//!
+//! Builds a star-schema workload — a fact table with foreign keys into two
+//! dimension tables plus a text column joined to a products table by
+//! similarity — and times two executions of the *same* logical query:
+//!
+//! * **DP-chosen** — `session.prepare` runs the Selinger-style join-order
+//!   pass, which hash-joins the (filter-reduced) dimensions into the fact
+//!   table first, so the expensive similarity join sees a fraction of the
+//!   rows;
+//! * **worst left-deep** — the similarity join applied to the full fact
+//!   table first, dimensions joined above it, lowered directly through the
+//!   [`cej_core::Planner`] with the ordering pass bypassed.
+//!
+//! Both orders must produce the same canonicalised result set (column order,
+//! row order, and the ejoin's `l_` renaming erased before hashing), and the
+//! DP-chosen plan must be at least [`MIN_SPEEDUP`]x faster wall-clock —
+//! ordering is measured as a ratio on one machine, so it is stable where
+//! absolute times are not.  The DP plan's per-operator q-errors (from
+//! `EXPLAIN ANALYZE`) must stay within bounds: the ordering decision is only
+//! as good as the estimates it prices.
+//!
+//! ```sh
+//! ordering_gate [baseline.json]
+//! ```
+//!
+//! With `CEJ_REPORT=<path>` the machine-readable summary is written as
+//! well.  The baseline lives at `ci/ordering_baseline.json`; refresh it
+//! with `CEJ_SCALE=0.05 CEJ_REPORT=ci/ordering_baseline.json cargo run
+//! --release -p cej-bench --bin ordering_gate`.
+
+use std::process::ExitCode;
+
+use cej_bench::harness::{fmt_ms, header, scaled, time_median};
+use cej_bench::report::{extract_value, Report};
+use cej_core::{ContextJoinSession, ExecContext, JoinStrategy, Planner, TensorJoinConfig};
+use cej_embedding::{FastTextConfig, FastTextModel};
+use cej_relational::{col, lit_i64, LogicalPlan, SimilarityPredicate};
+use cej_storage::{Table, TableBuilder};
+
+/// The DP-chosen plan must beat the worst left-deep order by at least this
+/// factor (the acceptance criterion; timer noise at CI scale is absorbed by
+/// the gap being much larger in practice).
+const MIN_SPEEDUP: f64 = 2.0;
+/// Absolute ceiling on the DP plan's worst per-operator q-error.
+const MAX_QERROR: f64 = 8.0;
+/// Fraction of the baseline speedup the current run must retain.
+const MIN_FRACTION: f64 = 0.5;
+/// Median-of runs per timed plan.
+const RUNS: usize = 3;
+
+/// Deterministic word pool shared by fact notes and product titles, so the
+/// similarity join has real matches at the gate's threshold.
+const POOL: [&str; 12] = [
+    "barbecue", "grill", "database", "server", "laptop", "garden", "vector", "index", "tensor",
+    "storage", "network", "kernel",
+];
+
+fn star_session(fact_rows: usize, dim_rows: usize, product_rows: usize) -> ContextJoinSession {
+    let mut fact_store = Vec::with_capacity(fact_rows);
+    let mut fact_courier = Vec::with_capacity(fact_rows);
+    let mut fact_note = Vec::with_capacity(fact_rows);
+    for i in 0..fact_rows {
+        fact_store.push((i % dim_rows) as i64);
+        fact_courier.push(((i * 7 + 1) % dim_rows) as i64);
+        fact_note.push(format!(
+            "{} {}",
+            POOL[i % POOL.len()],
+            POOL[(i * 5 + 3) % POOL.len()]
+        ));
+    }
+    let mut s = ContextJoinSession::new();
+    s.register_table(
+        "fact",
+        TableBuilder::new()
+            .int64("order_id", (0..fact_rows as i64).collect())
+            .int64("store_fk", fact_store)
+            .int64("courier_fk", fact_courier)
+            .utf8("note", fact_note)
+            .build()
+            .unwrap(),
+    );
+    s.register_table(
+        "stores",
+        TableBuilder::new()
+            .int64("store_id", (0..dim_rows as i64).collect())
+            .int64(
+                "store_kind",
+                (0..dim_rows).map(|i| (i % 10) as i64).collect(),
+            )
+            .build()
+            .unwrap(),
+    );
+    s.register_table(
+        "couriers",
+        TableBuilder::new()
+            .int64("courier_id", (0..dim_rows as i64).collect())
+            .int64(
+                "courier_tier",
+                (0..dim_rows).map(|i| (i % 3) as i64).collect(),
+            )
+            .build()
+            .unwrap(),
+    );
+    s.register_table(
+        "products",
+        TableBuilder::new()
+            .int64("product_id", (0..product_rows as i64).collect())
+            .utf8(
+                "title",
+                (0..product_rows)
+                    .map(|j| {
+                        format!(
+                            "{} {}",
+                            POOL[j % POOL.len()],
+                            POOL[(j * 7 + 2) % POOL.len()]
+                        )
+                    })
+                    .collect(),
+            )
+            .build()
+            .unwrap(),
+    );
+    let model = FastTextModel::new(FastTextConfig {
+        dim: 32,
+        ..FastTextConfig::default()
+    })
+    .expect("model construction");
+    s.register_model("ft", model);
+    // deterministic kernel: byte-identical results for any thread count
+    s.with_strategy(JoinStrategy::Tensor(TensorJoinConfig::default()));
+    for table in ["fact", "stores", "couriers", "products"] {
+        s.catalog().analyze(table).expect("analyze");
+    }
+    s
+}
+
+const THRESHOLD: f32 = 0.6;
+
+/// The user-facing query: fact ⋈ filtered stores ⋈ couriers, then the
+/// similarity join against products.  `prepare` runs the DP ordering pass
+/// over this shape.
+fn query(s: &ContextJoinSession) -> LogicalPlan {
+    s.query("fact")
+        .join_plan(
+            LogicalPlan::scan("stores").select(col("store_kind").eq(lit_i64(0))),
+            ("store_fk", "store_id"),
+        )
+        .join("couriers", ("courier_fk", "courier_id"))
+        .ejoin(
+            "products",
+            ("note", "title"),
+            "ft",
+            cej_core::sim_gte(THRESHOLD),
+        )
+        .build()
+}
+
+/// The worst left-deep order of the same query: the similarity join runs
+/// over the *full* fact table first, both dimension joins stacked above it.
+fn worst_left_deep() -> LogicalPlan {
+    let ejoin_first = LogicalPlan::e_join(
+        LogicalPlan::scan("fact"),
+        LogicalPlan::scan("products"),
+        "note",
+        "title",
+        "ft",
+        SimilarityPredicate::Threshold(THRESHOLD),
+    );
+    let with_stores = LogicalPlan::join(
+        ejoin_first,
+        LogicalPlan::scan("stores").select(col("store_kind").eq(lit_i64(0))),
+        "l_store_fk",
+        "store_id",
+    );
+    LogicalPlan::join(
+        with_stores,
+        LogicalPlan::scan("couriers"),
+        "l_courier_fk",
+        "courier_id",
+    )
+}
+
+/// Canonicalises a result for cross-order comparison: strips the ejoin's
+/// `l_` rename (the only naming difference between orders), sorts columns
+/// by name and rows lexicographically, and hashes the rendering.
+fn canonical_checksum(table: &Table) -> u64 {
+    let mut columns: Vec<(String, usize)> = table
+        .schema()
+        .fields()
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let name = f.name.strip_prefix("l_").unwrap_or(&f.name).to_string();
+            (name, i)
+        })
+        .collect();
+    columns.sort();
+    let mut rows = Vec::with_capacity(table.num_rows());
+    for row in 0..table.num_rows() {
+        let cells: Vec<String> = columns
+            .iter()
+            .map(|(name, i)| {
+                let column = &table.columns()[*i];
+                let cell = if let Ok(v) = column.as_int64() {
+                    v[row].to_string()
+                } else if let Ok(v) = column.as_utf8() {
+                    v[row].clone()
+                } else if let Ok(v) = column.as_float64() {
+                    format!("{}", v[row])
+                } else {
+                    panic!("unexpected column type for {name}");
+                };
+                format!("{name}={cell}")
+            })
+            .collect();
+        rows.push(cells.join("\t"));
+    }
+    rows.sort();
+    let mut payload = String::new();
+    for (name, _) in &columns {
+        payload.push_str(name);
+        payload.push('\t');
+    }
+    payload.push('\n');
+    for row in &rows {
+        payload.push_str(row);
+        payload.push('\n');
+    }
+    cej_server::protocol::fnv1a(payload.as_bytes())
+}
+
+/// Largest `q-err <x>` annotation in an `EXPLAIN ANALYZE` rendering.
+fn max_qerror(analyze_text: &str) -> f64 {
+    let mut worst = 1.0f64;
+    for part in analyze_text.split("q-err ").skip(1) {
+        let number: String = part
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(value) = number.parse::<f64>() {
+            worst = worst.max(value);
+        }
+    }
+    worst
+}
+
+fn main() -> ExitCode {
+    header(
+        "Join ordering",
+        "DP-chosen join order vs worst left-deep order, same star query",
+    );
+    let baseline_path = std::env::args().nth(1);
+    let session = star_session(scaled(40_000), scaled(400), scaled(400));
+
+    let prepared = session.prepare(&query(&session)).expect("prepare DP plan");
+    let registry = session.model_registry();
+    let ctx = ExecContext {
+        catalog: session.catalog(),
+        registry: &registry,
+        embeddings: session.embedding_caches(),
+        indexes: session.index_manager(),
+    };
+    // the worst order bypasses `prepare` (which would re-order it): rewrite
+    // pushdowns don't apply — filters are already on the scans — so lowering
+    // the raw tree prices exactly this order
+    let planner = Planner::new(
+        session.advisor(),
+        JoinStrategy::Tensor(TensorJoinConfig::default()),
+    );
+    let worst_physical = planner
+        .plan(
+            &worst_left_deep(),
+            session.catalog(),
+            &registry,
+            session.index_manager(),
+        )
+        .expect("plan worst order");
+
+    // warm both paths once: embeddings memoise in the shared session cache,
+    // so the timed runs compare join work, not model calls
+    let dp_table = prepared.run().expect("dp run").table;
+    let worst_table = worst_physical.execute(&ctx).expect("worst run").table;
+    let dp_checksum = canonical_checksum(&dp_table);
+    let worst_checksum = canonical_checksum(&worst_table);
+    let identical = dp_checksum == worst_checksum && dp_table.num_rows() > 0;
+
+    let dp_time = time_median(RUNS, || prepared.run().expect("dp run"));
+    let worst_time = time_median(RUNS, || worst_physical.execute(&ctx).expect("worst run"));
+    let speedup = worst_time.as_secs_f64() / dp_time.as_secs_f64();
+    let analyzed = prepared.explain_analyze().expect("explain analyze");
+    let qerror = max_qerror(&analyzed.text);
+
+    println!("dp plan:\n{}", prepared.explain());
+    println!(
+        "rows {} | dp {} | worst {} | speedup {speedup:.2}x | max q-err {qerror:.2} | identical {}",
+        dp_table.num_rows(),
+        fmt_ms(dp_time),
+        fmt_ms(worst_time),
+        if identical { "yes" } else { "NO" },
+    );
+
+    let mut report = Report::new("ordering");
+    report.push_elapsed("dp", dp_time);
+    report.push_elapsed("worst_left_deep", worst_time);
+    report.push_value("dp_speedup", speedup);
+    report.push_value("dp_max_qerror", qerror);
+    report.push_value("result_rows", dp_table.num_rows() as f64);
+    report.push_value("identical", if identical { 1.0 } else { 0.0 });
+    report.write_if_requested();
+
+    let mut failed = false;
+    if !identical {
+        eprintln!(
+            "ordering_gate: join orders disagree (dp {dp_checksum:016x} vs worst \
+             {worst_checksum:016x}, {} rows) — failing",
+            dp_table.num_rows()
+        );
+        failed = true;
+    }
+    let mut required = MIN_SPEEDUP;
+    let mut qerror_bound = MAX_QERROR;
+    if let Some(path) = baseline_path {
+        match std::fs::read_to_string(&path) {
+            Ok(baseline) => {
+                if let Some(old) = extract_value(&baseline, "dp_speedup") {
+                    required = required.max(old * MIN_FRACTION);
+                }
+                if let Some(old) = extract_value(&baseline, "dp_max_qerror") {
+                    // estimates may not degrade materially vs the baseline
+                    qerror_bound = qerror_bound.min((old * 1.5).max(2.0));
+                }
+            }
+            Err(e) => {
+                eprintln!("ordering_gate: cannot read {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if speedup < required {
+        eprintln!("ordering_gate: speedup {speedup:.2}x below required {required:.2}x — failing");
+        failed = true;
+    } else {
+        println!("speedup {speedup:.2}x >= {required:.2}x [ok]");
+    }
+    if qerror > qerror_bound {
+        eprintln!("ordering_gate: max q-error {qerror:.2} above {qerror_bound:.2} — failing");
+        failed = true;
+    } else {
+        println!("max q-error {qerror:.2} <= {qerror_bound:.2} [ok]");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("ordering_gate: DP ordering holds");
+        ExitCode::SUCCESS
+    }
+}

@@ -38,12 +38,13 @@ use cej_vector::norm::normalize_matrix_rows_with;
 
 use crate::error::CoreError;
 use crate::executor::{materialize_output, ExecContext, ExecOutcome, RunEmbedder, RunStats};
+use crate::join::hash_join::{rename_columns, HashSide};
 use crate::join::index_join::IndexJoin;
 use crate::join::naive_nlj::NaiveNlJoin;
 use crate::join::prefetch_nlj::PrefetchNlJoin;
 use crate::join::tensor_join::TensorJoin;
 use crate::join::{check_predicate, embed_all};
-use crate::physical_plan::{InnerInput, JoinNode, PhysicalJoinOp, PhysicalPlan};
+use crate::physical_plan::{HashJoinNode, InnerInput, JoinNode, PhysicalJoinOp, PhysicalPlan};
 use crate::result::{JoinPair, JoinResult, JoinStats};
 use crate::Result;
 
@@ -123,6 +124,25 @@ enum BatchOp<'p> {
         cursor: usize,
         emitted: bool,
     },
+    /// The relational hash equi-join: the right pipeline is drained once into
+    /// a built hash side, then left (probe) batches stream against it; the
+    /// accumulated output re-emits as batches for the operators above.
+    HashJoinSource {
+        slot: usize,
+        node: &'p HashJoinNode,
+        left: Option<Box<BatchOp<'p>>>,
+        right: Option<Box<BatchOp<'p>>>,
+        result: Option<Arc<Table>>,
+        cursor: usize,
+        emitted: bool,
+    },
+    /// Generalised projection: gathers each batch and re-emits it with
+    /// columns selected, renamed, and reordered.
+    Rename {
+        slot: usize,
+        columns: &'p [(String, String)],
+        input: Box<BatchOp<'p>>,
+    },
 }
 
 /// Builds the operator pipeline, assigning pre-order slots that line up with
@@ -172,6 +192,24 @@ fn build_pipeline<'p>(plan: &'p PhysicalPlan, next_slot: &mut usize) -> BatchOp<
                 emitted: false,
             }
         }
+        PhysicalPlan::HashJoin(node) => {
+            let left = Box::new(build_pipeline(&node.left, next_slot));
+            let right = Box::new(build_pipeline(&node.right, next_slot));
+            BatchOp::HashJoinSource {
+                slot,
+                node,
+                left: Some(left),
+                right: Some(right),
+                result: None,
+                cursor: 0,
+                emitted: false,
+            }
+        }
+        PhysicalPlan::Rename { columns, input, .. } => BatchOp::Rename {
+            slot,
+            columns,
+            input: Box::new(build_pipeline(input, next_slot)),
+        },
     }
 }
 
@@ -331,6 +369,77 @@ impl BatchOp<'_> {
                 Ok(Some(ExecBatch {
                     visible: (0..base.num_columns()).collect(),
                     sel,
+                    base,
+                }))
+            }
+            BatchOp::HashJoinSource {
+                slot,
+                node,
+                left,
+                right,
+                result,
+                cursor,
+                emitted,
+            } => {
+                if result.is_none() {
+                    let mut left_op = *left.take().expect("join executes once");
+                    let mut right_op = *right.take().expect("join executes once");
+                    // Build once from the drained right pipeline...
+                    let build_table = drain(&mut right_op, ctx, batch_rows, stats, operator_rows)?;
+                    let side = HashSide::build(build_table, &node.right_column)?;
+                    // ...then stream probe batches against it.  Matches stay
+                    // in probe-row order because batches arrive in row order.
+                    let mut parts: Vec<Table> = Vec::new();
+                    while let Some(batch) =
+                        left_op.next_batch(ctx, batch_rows, stats, operator_rows)?
+                    {
+                        let gathered = gather_batch(&batch)?;
+                        parts.push(side.probe(&gathered, &node.left_column)?);
+                    }
+                    let refs: Vec<&Table> = parts.iter().collect();
+                    let table = Table::concat(&refs).map_err(CoreError::from)?;
+                    operator_rows[*slot] += table.num_rows() as u64;
+                    *result = Some(Arc::new(table));
+                }
+                let base = result.as_ref().expect("materialised above").clone();
+                let rows = base.num_rows();
+                if *cursor >= rows {
+                    if !*emitted {
+                        *emitted = true;
+                        return Ok(Some(ExecBatch {
+                            visible: (0..base.num_columns()).collect(),
+                            sel: Vec::new(),
+                            base,
+                        }));
+                    }
+                    return Ok(None);
+                }
+                let end = (*cursor + batch_rows).min(rows);
+                let sel: Vec<u32> = (*cursor as u32..end as u32).collect();
+                *cursor = end;
+                *emitted = true;
+                Ok(Some(ExecBatch {
+                    visible: (0..base.num_columns()).collect(),
+                    sel,
+                    base,
+                }))
+            }
+            BatchOp::Rename {
+                slot,
+                columns,
+                input,
+            } => {
+                let Some(batch) = input.next_batch(ctx, batch_rows, stats, operator_rows)? else {
+                    return Ok(None);
+                };
+                let gathered = gather_batch(&batch)?;
+                let out = rename_columns(&gathered, columns)?;
+                let base = Arc::new(out);
+                let rows = base.num_rows();
+                operator_rows[*slot] += rows as u64;
+                Ok(Some(ExecBatch {
+                    sel: (0..rows as u32).collect(),
+                    visible: (0..base.num_columns()).collect(),
                     base,
                 }))
             }

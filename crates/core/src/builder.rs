@@ -67,8 +67,29 @@ impl<'s> QueryBuilder<'s> {
         self
     }
 
+    /// Hash equi-join against a base table: `on = (left_column,
+    /// right_column)`.  Column names are preserved on both sides (the two
+    /// tables must not share a column name), and chained `join`/`ejoin`
+    /// calls compose into an N-table query whose join order is chosen by the
+    /// optimizer's DP pass — the chain order is *not* the execution order.
+    #[must_use]
+    pub fn join(mut self, table: &str, on: (&str, &str)) -> Self {
+        self.plan = LogicalPlan::join(self.plan, LogicalPlan::scan(table), on.0, on.1);
+        self
+    }
+
+    /// Hash equi-join against an arbitrary right-hand plan (e.g. a filtered
+    /// subquery built with another [`QueryBuilder::build`]).
+    #[must_use]
+    pub fn join_plan(mut self, right: LogicalPlan, on: (&str, &str)) -> Self {
+        self.plan = LogicalPlan::join(self.plan, right, on.0, on.1);
+        self
+    }
+
     /// Context-enhanced join against a base table:
-    /// `on = (left_column, right_column)`.
+    /// `on = (left_column, right_column)`.  May be chained — each `ejoin`
+    /// prefixes the accumulated left side's columns with `l_` and the new
+    /// table's with `r_`, and appends a `similarity` column.
     #[must_use]
     pub fn ejoin(
         self,
@@ -77,13 +98,13 @@ impl<'s> QueryBuilder<'s> {
         model: &str,
         predicate: SimilarityPredicate,
     ) -> Self {
-        self.ejoin_plan(LogicalPlan::scan(table), on, model, predicate)
+        self.ejoin_with(LogicalPlan::scan(table), on, model, predicate)
     }
 
     /// Context-enhanced join against an arbitrary right-hand plan (e.g. a
     /// filtered subquery built with another [`QueryBuilder::build`]).
     #[must_use]
-    pub fn ejoin_plan(
+    pub fn ejoin_with(
         mut self,
         right: LogicalPlan,
         on: (&str, &str),
@@ -92,6 +113,20 @@ impl<'s> QueryBuilder<'s> {
     ) -> Self {
         self.plan = LogicalPlan::e_join(self.plan, right, on.0, on.1, model, predicate);
         self
+    }
+
+    /// Deprecated alias of [`QueryBuilder::ejoin_with`], kept so pre-N-table
+    /// programs compile unchanged.
+    #[deprecated(since = "0.2.0", note = "renamed to `ejoin_with`")]
+    #[must_use]
+    pub fn ejoin_plan(
+        self,
+        right: LogicalPlan,
+        on: (&str, &str),
+        model: &str,
+        predicate: SimilarityPredicate,
+    ) -> Self {
+        self.ejoin_with(right, on, model, predicate)
     }
 
     /// Finishes the chain, returning the logical plan (the old

@@ -26,6 +26,10 @@ pub enum CoreError {
     InvalidInput(String),
     /// The requested plan or operator configuration is unsupported.
     Unsupported(String),
+    /// A threshold re-bind on a multi-join plan did not name which of the
+    /// plan's several `sim_gte` ejoins to target.  Carries the number of
+    /// candidate joins; target one with `bind_threshold_at`.
+    AmbiguousThresholdBind(usize),
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +42,11 @@ impl fmt::Display for CoreError {
             CoreError::Index(e) => write!(f, "index error: {e}"),
             CoreError::InvalidInput(msg) => write!(f, "invalid join input: {msg}"),
             CoreError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            CoreError::AmbiguousThresholdBind(n) => write!(
+                f,
+                "ambiguous threshold bind: plan has {n} sim_gte ejoins; \
+                 target one with bind_threshold_at(index, threshold)"
+            ),
         }
     }
 }

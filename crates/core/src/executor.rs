@@ -29,6 +29,7 @@ use crate::access_path::AccessPath;
 use crate::batch_exec::ExecMode;
 use crate::error::CoreError;
 use crate::join::embed_all;
+use crate::join::hash_join::{rename_columns, HashSide};
 use crate::join::index_join::IndexJoin;
 use crate::join::naive_nlj::NaiveNlJoin;
 use crate::join::prefetch_nlj::PrefetchNlJoin;
@@ -335,6 +336,16 @@ fn execute_node(
                 .map_err(CoreError::from)?
         }
         PhysicalPlan::Join(node) => execute_join(node, ctx, stats, operator_rows)?,
+        PhysicalPlan::HashJoin(node) => {
+            let left = execute_node(&node.left, ctx, stats, operator_rows)?;
+            let right = execute_node(&node.right, ctx, stats, operator_rows)?;
+            let side = HashSide::build(right, &node.right_column)?;
+            side.probe(&left, &node.left_column)?
+        }
+        PhysicalPlan::Rename { columns, input, .. } => {
+            let table = execute_node(input, ctx, stats, operator_rows)?;
+            rename_columns(&table, columns)?
+        }
     };
     operator_rows[slot] = table.num_rows() as u64;
     Ok(table)

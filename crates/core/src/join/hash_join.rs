@@ -1,0 +1,195 @@
+//! The relational hash equi-join: the N-table glue operator.
+//!
+//! Unlike the four context-enhanced join operators, this join has no model
+//! in the loop — it connects tables on ordinary key equality so that
+//! multi-way queries (fact/dimension schemas, chained ejoins) can be
+//! expressed and *reordered* by the Selinger-style join-order optimizer in
+//! `cej-relational`.
+//!
+//! Both executors share this implementation: the right input is drained once
+//! into a [`HashSide`] (key → row indices, in right-row order), then the left
+//! input probes it — all rows at once in the row executor, batch-at-a-time in
+//! the vectorized executor.  Matches are emitted ordered by probe row first
+//! and build row second, which is what makes the output deterministic and
+//! byte-identical across executors, batch sizes, and join orders (after the
+//! compensating `Rename` restores the written column order).
+
+use std::collections::HashMap;
+
+use cej_storage::{Column, Field, Schema, Table};
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// A join-key value with exact equality semantics.  `Float64` and `Vector`
+/// keys are rejected at plan time, so execution only ever sees these.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Int(i64),
+    Date(i32),
+    Bool(bool),
+    Str(String),
+}
+
+/// Extracts the key column of `table` as hashable values.
+fn key_column(table: &Table, column: &str) -> Result<Vec<Key>> {
+    let col = table.column_by_name(column).map_err(CoreError::from)?;
+    Ok(match col {
+        Column::Int64(v) => v.iter().map(|&x| Key::Int(x)).collect(),
+        Column::Date(v) => v.iter().map(|&x| Key::Date(x)).collect(),
+        Column::Bool(v) => v.iter().map(|&x| Key::Bool(x)).collect(),
+        Column::Utf8(v) => v.iter().map(|s| Key::Str(s.clone())).collect(),
+        other => {
+            return Err(CoreError::InvalidInput(format!(
+                "join key column {column} has unhashable type {}",
+                other.data_type()
+            )))
+        }
+    })
+}
+
+/// The built (right) side of a hash equi-join: the materialised build table
+/// plus a key → row-indices map, match lists in right-row order.
+pub struct HashSide {
+    table: Table,
+    map: HashMap<Key, Vec<usize>>,
+}
+
+impl HashSide {
+    /// Drains `table` into the hash map, keyed on `column`.
+    pub fn build(table: Table, column: &str) -> Result<Self> {
+        let keys = key_column(&table, column)?;
+        let mut map: HashMap<Key, Vec<usize>> = HashMap::with_capacity(keys.len());
+        for (i, k) in keys.into_iter().enumerate() {
+            map.entry(k).or_default().push(i);
+        }
+        Ok(Self { table, map })
+    }
+
+    /// Rows of the build side.
+    pub fn build_rows(&self) -> usize {
+        self.table.num_rows()
+    }
+
+    /// Probes with `left` (in row order) and materialises the joined output:
+    /// left columns then right columns, names preserved, matches ordered by
+    /// probe row first and build row second.
+    pub fn probe(&self, left: &Table, column: &str) -> Result<Table> {
+        let keys = key_column(left, column)?;
+        let mut left_indices = Vec::new();
+        let mut right_indices = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(matches) = self.map.get(key) {
+                for &j in matches {
+                    left_indices.push(i);
+                    right_indices.push(j);
+                }
+            }
+        }
+        let left_taken = left.take(&left_indices).map_err(CoreError::from)?;
+        let right_taken = self.table.take(&right_indices).map_err(CoreError::from)?;
+        concat_sides(&left_taken, &right_taken)
+    }
+}
+
+/// Concatenates two equally-long tables side by side, preserving names.
+/// The planner already rejected shared names ([`cej_relational::RelationalError::AmbiguousColumn`]).
+pub(crate) fn concat_sides(left: &Table, right: &Table) -> Result<Table> {
+    let mut fields = left.schema().fields().to_vec();
+    fields.extend(right.schema().fields().iter().cloned());
+    let mut columns: Vec<Column> = left.columns().to_vec();
+    columns.extend(right.columns().iter().cloned());
+    let schema = Schema::new(fields).map_err(CoreError::from)?;
+    Table::new(schema, columns).map_err(CoreError::from)
+}
+
+/// Executes a `Rename` operator: selects `from` columns in order and emits
+/// them under their `to` names — projection, renaming, and reordering in one
+/// column-copying step.
+pub(crate) fn rename_columns(table: &Table, columns: &[(String, String)]) -> Result<Table> {
+    let mut fields = Vec::with_capacity(columns.len());
+    let mut cols = Vec::with_capacity(columns.len());
+    for (from, to) in columns {
+        let field = table.schema().field(from).map_err(CoreError::from)?;
+        fields.push(Field::new(to, field.data_type));
+        cols.push(table.column_by_name(from).map_err(CoreError::from)?.clone());
+    }
+    let schema = Schema::new(fields).map_err(CoreError::from)?;
+    Table::new(schema, cols).map_err(CoreError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cej_storage::TableBuilder;
+
+    fn fact() -> Table {
+        TableBuilder::new()
+            .int64("fk", vec![1, 2, 1, 3])
+            .utf8(
+                "caption",
+                vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn dim() -> Table {
+        TableBuilder::new()
+            .int64("id", vec![1, 1, 2])
+            .utf8("tag", vec!["x".into(), "y".into(), "z".into()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn probe_order_is_probe_row_then_build_row() {
+        let side = HashSide::build(dim(), "id").unwrap();
+        assert_eq!(side.build_rows(), 3);
+        let out = side.probe(&fact(), "fk").unwrap();
+        // fk=1 matches build rows 0,1; fk=2 matches 2; fk=1 again; fk=3 none
+        assert_eq!(out.num_rows(), 5);
+        let fks = out.column_by_name("fk").unwrap().as_int64().unwrap();
+        assert_eq!(fks, &[1, 1, 2, 1, 1]);
+        let tags = out.column_by_name("tag").unwrap().as_utf8().unwrap();
+        assert_eq!(tags, &["x", "y", "z", "x", "y"]);
+        // names preserved from both sides, left first
+        let names: Vec<&str> = out
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["fk", "caption", "id", "tag"]);
+    }
+
+    #[test]
+    fn unhashable_key_is_rejected() {
+        let t = TableBuilder::new()
+            .float64("score", vec![1.0, 2.0])
+            .build()
+            .unwrap();
+        assert!(HashSide::build(t, "score").is_err());
+    }
+
+    #[test]
+    fn rename_selects_reorders_and_renames() {
+        let out = rename_columns(
+            &fact(),
+            &[
+                ("caption".to_string(), "text".to_string()),
+                ("fk".to_string(), "fk".to_string()),
+            ],
+        )
+        .unwrap();
+        let names: Vec<&str> = out
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["text", "fk"]);
+        assert_eq!(out.num_rows(), 4);
+        assert!(rename_columns(&fact(), &[("ghost".to_string(), "g".to_string())]).is_err());
+    }
+}

@@ -15,7 +15,12 @@
 //! 4. [`index_join::IndexJoin`] — the vector-database alternative: build an
 //!    HNSW index on the inner relation and answer the join with top-k probes
 //!    under relational pre-filtering.
+//!
+//! [`hash_join`] is deliberately *not* on that list: it is the ordinary
+//! relational hash equi-join that glues N-table queries together around the
+//! context-enhanced joins (no model in its loop).
 
+pub mod hash_join;
 pub mod index_join;
 pub mod naive_nlj;
 pub mod prefetch_nlj;

@@ -50,6 +50,8 @@ pub mod error;
 pub mod executor;
 pub mod index_manager;
 pub mod join;
+#[cfg(test)]
+mod multi_join_tests;
 pub mod physical_plan;
 pub mod planner;
 pub mod prepared;

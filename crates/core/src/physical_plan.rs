@@ -135,6 +135,28 @@ pub struct JoinNode {
     pub est: PlanEstimate,
 }
 
+/// A relational hash equi-join node: the N-table glue operator.
+///
+/// The *right* input is drained into an in-memory hash table (the build
+/// side); the *left* input probes it.  Output columns are the concatenation
+/// of both inputs' columns with their names preserved (the planner rejects
+/// plans where the two sides share a column name), and matches are emitted
+/// in probe-row-then-build-row order — deterministic and identical across
+/// the row and batch executors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashJoinNode {
+    /// The left (probe) input.
+    pub left: PhysicalPlan,
+    /// The right (build) input.
+    pub right: PhysicalPlan,
+    /// Join key column of the left input.
+    pub left_column: String,
+    /// Join key column of the right input.
+    pub right_column: String,
+    /// Output estimate.
+    pub est: PlanEstimate,
+}
+
 /// A node of the physical operator tree.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalPlan {
@@ -176,6 +198,19 @@ pub enum PhysicalPlan {
     },
     /// A context-enhanced join (one of the four physical operators).
     Join(Box<JoinNode>),
+    /// A relational hash equi-join (build right, probe left).
+    HashJoin(Box<HashJoinNode>),
+    /// Generalised projection: selects, renames, and reorders columns in one
+    /// zero-copy step — the compensation operator the join-order optimizer
+    /// inserts to keep reordered plans schema-identical to the written query.
+    Rename {
+        /// `(from, to)` pairs, in output order.
+        columns: Vec<(String, String)>,
+        /// The input operator.
+        input: Box<PhysicalPlan>,
+        /// Output estimate.
+        est: PlanEstimate,
+    },
 }
 
 impl PhysicalPlan {
@@ -185,8 +220,10 @@ impl PhysicalPlan {
             PhysicalPlan::TableScan { est, .. }
             | PhysicalPlan::Filter { est, .. }
             | PhysicalPlan::Project { est, .. }
-            | PhysicalPlan::Embed { est, .. } => *est,
+            | PhysicalPlan::Embed { est, .. }
+            | PhysicalPlan::Rename { est, .. } => *est,
             PhysicalPlan::Join(node) => node.est,
+            PhysicalPlan::HashJoin(node) => node.est,
         }
     }
 
@@ -198,13 +235,17 @@ impl PhysicalPlan {
             PhysicalPlan::TableScan { .. } => 0,
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
-            | PhysicalPlan::Embed { input, .. } => input.operator_count(),
+            | PhysicalPlan::Embed { input, .. }
+            | PhysicalPlan::Rename { input, .. } => input.operator_count(),
             PhysicalPlan::Join(node) => {
                 node.outer.operator_count()
                     + match &node.inner {
                         InnerInput::Plan(inner) => inner.operator_count(),
                         InnerInput::Indexed(_) => 0,
                     }
+            }
+            PhysicalPlan::HashJoin(node) => {
+                node.left.operator_count() + node.right.operator_count()
             }
         }
     }
@@ -221,13 +262,18 @@ impl PhysicalPlan {
             PhysicalPlan::TableScan { .. } => {}
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
-            | PhysicalPlan::Embed { input, .. } => input.collect_joins(out),
+            | PhysicalPlan::Embed { input, .. }
+            | PhysicalPlan::Rename { input, .. } => input.collect_joins(out),
             PhysicalPlan::Join(node) => {
                 out.push(node);
                 node.outer.collect_joins(out);
                 if let InnerInput::Plan(inner) = &node.inner {
                     inner.collect_joins(out);
                 }
+            }
+            PhysicalPlan::HashJoin(node) => {
+                node.left.collect_joins(out);
+                node.right.collect_joins(out);
             }
         }
     }
@@ -302,6 +348,40 @@ impl PhysicalPlan {
                     fmt_est(est, actual)
                 );
                 input.render(out, indent + 1, actuals, cursor);
+            }
+            PhysicalPlan::Rename {
+                columns,
+                input,
+                est,
+            } => {
+                let rendered: Vec<String> = columns
+                    .iter()
+                    .map(|(from, to)| {
+                        if from == to {
+                            from.clone()
+                        } else {
+                            format!("{from} as {to}")
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}Rename: [{}] {}",
+                    rendered.join(", "),
+                    fmt_est(est, actual)
+                );
+                input.render(out, indent + 1, actuals, cursor);
+            }
+            PhysicalPlan::HashJoin(node) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}HashJoin: {} = {} (build right) {}",
+                    node.left_column,
+                    node.right_column,
+                    fmt_est(&node.est, actual)
+                );
+                node.left.render(out, indent + 1, actuals, cursor);
+                node.right.render(out, indent + 1, actuals, cursor);
             }
             PhysicalPlan::Join(node) => {
                 let _ = writeln!(

@@ -27,9 +27,11 @@
 
 use std::sync::Arc;
 
+use std::collections::HashMap;
+
 use cej_relational::selectivity::{check_predicate, estimate_selectivity, DEFAULT_SELECTIVITY};
 use cej_relational::{Catalog, Expr, LogicalPlan, RelationalError, SimilarityPredicate};
-use cej_storage::{DataType, Field, Schema, TableStats};
+use cej_storage::{ColumnStats, DataType, Field, Schema, TableStats};
 
 use cej_relational::physical::ModelRegistry;
 
@@ -39,7 +41,7 @@ use crate::index_manager::{IndexKey, IndexManager};
 use crate::join::index_join::IndexJoinConfig;
 use crate::join::tensor_join::TensorJoinConfig;
 use crate::physical_plan::{
-    IndexedInner, InnerInput, JoinNode, PhysicalJoinOp, PhysicalPlan, PlanEstimate,
+    HashJoinNode, IndexedInner, InnerInput, JoinNode, PhysicalJoinOp, PhysicalPlan, PlanEstimate,
 };
 use crate::session::JoinStrategy;
 use crate::Result;
@@ -53,9 +55,10 @@ pub(crate) fn threshold_selectivity(threshold: f32) -> f64 {
 }
 
 /// The output of lowering one subtree: the physical operator, its resolved
-/// output schema (for plan-time type checking), and the base-table
-/// statistics its columns derive from (`None` once a join or another
-/// stats-less boundary is crossed).
+/// output schema (for plan-time type checking), and the statistics view of
+/// its output — base-table statistics for scans, and *derived* statistics
+/// (scaled histograms, renamed columns) above filters and joins, so that
+/// estimation keeps working across join boundaries.
 struct Lowered {
     plan: PhysicalPlan,
     schema: Schema,
@@ -153,6 +156,13 @@ impl Planner {
                     in_est.rows * selectivity,
                     in_est.cost + in_est.rows * access,
                 );
+                // The filter output keeps every column's value *distribution*
+                // (to first order) but shrinks the row count — scale the
+                // statistics view so estimators above the filter see it.
+                let stats = child
+                    .stats
+                    .as_deref()
+                    .map(|s| Arc::new(scaled_stats(s, est.rows.round().max(0.0) as usize)));
                 Ok(Lowered {
                     plan: PhysicalPlan::Filter {
                         predicate: predicate.clone(),
@@ -161,7 +171,7 @@ impl Planner {
                         est,
                     },
                     schema: child.schema,
-                    stats: child.stats,
+                    stats,
                 })
             }
             LogicalPlan::Projection { columns, input } => {
@@ -205,6 +215,51 @@ impl Planner {
                     stats: child.stats,
                 })
             }
+            LogicalPlan::Rename { columns, input } => {
+                let child = self.lower(input, catalog, registry, indexes)?;
+                let mut fields = Vec::with_capacity(columns.len());
+                for (from, to) in columns {
+                    let field = child.schema.field(from).map_err(|_| {
+                        CoreError::Relational(RelationalError::UnknownColumn(from.clone()))
+                    })?;
+                    fields.push(Field::new(to, field.data_type));
+                }
+                let schema = Schema::new(fields).map_err(CoreError::from)?;
+                // Zero-copy column shuffle: same rows, no added cost.
+                let est = child.plan.estimate();
+                let stats = child.stats.as_deref().map(|s| {
+                    let mut renamed = HashMap::new();
+                    for (from, to) in columns {
+                        if let Some(cs) = s.column(from) {
+                            renamed.insert(to.clone(), cs.clone());
+                        }
+                    }
+                    Arc::new(TableStats::from_columns(s.row_count, renamed))
+                });
+                Ok(Lowered {
+                    plan: PhysicalPlan::Rename {
+                        columns: columns.clone(),
+                        input: Box::new(child.plan),
+                        est,
+                    },
+                    schema,
+                    stats,
+                })
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_column,
+                right_column,
+            } => self.lower_hash_join(
+                left,
+                right,
+                left_column,
+                right_column,
+                catalog,
+                registry,
+                indexes,
+            ),
             LogicalPlan::EJoin {
                 left,
                 right,
@@ -224,6 +279,115 @@ impl Planner {
                 indexes,
             ),
         }
+    }
+
+    /// Lowers the relational hash equi-join: build right, probe left.
+    ///
+    /// Plan-time checks: both key columns must exist, share one hashable
+    /// (equality-meaningful) type — `Float64` and `Vector` keys are rejected —
+    /// and the two inputs must not share any output column name (the N-table
+    /// ambiguity rule; use `Rename` to disambiguate before joining).
+    #[allow(clippy::too_many_arguments)]
+    fn lower_hash_join(
+        &self,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        left_column: &str,
+        right_column: &str,
+        catalog: &Catalog,
+        registry: &ModelRegistry,
+        indexes: &IndexManager,
+    ) -> Result<Lowered> {
+        let access = self.advisor.cost_model.params.access_cost;
+        let l = self.lower(left, catalog, registry, indexes)?;
+        let r = self.lower(right, catalog, registry, indexes)?;
+        let lf = l.schema.field(left_column).map_err(|_| {
+            CoreError::Relational(RelationalError::UnknownColumn(left_column.to_string()))
+        })?;
+        let rf = r.schema.field(right_column).map_err(|_| {
+            CoreError::Relational(RelationalError::UnknownColumn(right_column.to_string()))
+        })?;
+        for (field, role) in [(lf, "left"), (rf, "right")] {
+            if matches!(field.data_type, DataType::Float64 | DataType::Vector(_)) {
+                return Err(CoreError::Relational(RelationalError::TypeError(format!(
+                    "join {role} key {} has type {}, which has no meaningful \
+                     equality (hashable keys: Int64, Utf8, Date, Bool)",
+                    field.name, field.data_type
+                ))));
+            }
+        }
+        if lf.data_type != rf.data_type {
+            return Err(CoreError::Relational(RelationalError::TypeError(format!(
+                "join keys {left_column} ({}) and {right_column} ({}) have \
+                 different types",
+                lf.data_type, rf.data_type
+            ))));
+        }
+        // Join output preserves names, so shared names would be ambiguous.
+        for field in r.schema.fields() {
+            if l.schema.field(&field.name).is_ok() {
+                return Err(CoreError::Relational(RelationalError::AmbiguousColumn(
+                    field.name.clone(),
+                )));
+            }
+        }
+        let mut fields = l.schema.fields().to_vec();
+        fields.extend(r.schema.fields().iter().cloned());
+        let schema = Schema::new(fields).map_err(CoreError::from)?;
+
+        let l_est = l.plan.estimate();
+        let r_est = r.plan.estimate();
+        // |L ⋈ R| = |L|·|R| / max(ndv_l, ndv_r); without key statistics, fall
+        // back to the foreign-key assumption (the larger side's cardinality
+        // as the key domain).
+        let ndv = [
+            l.stats
+                .as_deref()
+                .and_then(|s| s.column(left_column))
+                .map(|c| c.distinct_count as f64),
+            r.stats
+                .as_deref()
+                .and_then(|s| s.column(right_column))
+                .map(|c| c.distinct_count as f64),
+        ]
+        .into_iter()
+        .flatten()
+        .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a| a.max(x))))
+        .unwrap_or_else(|| l_est.rows.max(r_est.rows))
+        .max(1.0);
+        let est_rows = l_est.rows * r_est.rows / ndv;
+        let est = PlanEstimate::new(
+            est_rows,
+            l_est.cost + r_est.cost + (l_est.rows + r_est.rows + est_rows) * access,
+        );
+
+        // Propagate statistics across the join boundary: both sides keep
+        // their names, every column's distribution survives (scaled to the
+        // join cardinality), so filters above the join stay estimable.
+        let out_rows = est_rows.round().max(0.0) as usize;
+        let mut columns = HashMap::new();
+        for side in [&l, &r] {
+            if let Some(s) = side.stats.as_deref() {
+                for name in s.column_names() {
+                    if let Some(cs) = s.column(name) {
+                        columns.insert(name.to_string(), cs.scaled(out_rows));
+                    }
+                }
+            }
+        }
+        let stats = Some(Arc::new(TableStats::from_columns(out_rows, columns)));
+
+        Ok(Lowered {
+            plan: PhysicalPlan::HashJoin(Box::new(HashJoinNode {
+                left: l.plan,
+                right: r.plan,
+                left_column: left_column.to_string(),
+                right_column: right_column.to_string(),
+                est,
+            })),
+            schema,
+            stats,
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -338,6 +502,8 @@ impl Planner {
         };
 
         let schema = join_schema(&outer.schema, &inner.schema)?;
+        let outer_stats = outer.stats.clone();
+        let inner_stats = inner.stats.clone();
         let physical_inner = match (&op, indexable) {
             (PhysicalJoinOp::Index(config), Some(ix)) => InnerInput::Indexed(IndexedInner {
                 key: IndexKey::new(&ix.table, right_column, model, config.params),
@@ -367,6 +533,35 @@ impl Planner {
             outer_est.cost + inner_est.cost + prefetch_cost + path_cost,
         );
 
+        // Propagate statistics across the ejoin boundary under the output's
+        // `l_*` / `r_*` re-labelling: each side's distributions survive
+        // (scaled to the join cardinality), and the synthesised `similarity`
+        // column is opaque (no plan-time score distribution).
+        let out_rows = est_rows.round().max(0.0) as usize;
+        let mut columns = HashMap::new();
+        for (side, prefix) in [(&outer_stats, "l_"), (&inner_stats, "r_")] {
+            if let Some(s) = side.as_deref() {
+                for name in s.column_names() {
+                    if let Some(cs) = s.column(name) {
+                        columns.insert(format!("{prefix}{name}"), cs.scaled(out_rows));
+                    }
+                }
+            }
+        }
+        columns.insert(
+            "similarity".to_string(),
+            ColumnStats {
+                row_count: out_rows,
+                null_count: 0,
+                distinct_count: out_rows.max(1),
+                min: None,
+                max: None,
+                histogram: None,
+                avg_utf8_len: None,
+            },
+        );
+        let stats = Some(Arc::new(TableStats::from_columns(out_rows, columns)));
+
         Ok(Lowered {
             plan: PhysicalPlan::Join(Box::new(JoinNode {
                 outer: outer.plan,
@@ -383,10 +578,25 @@ impl Planner {
                 est,
             })),
             schema,
-            // join outputs have re-labelled columns and no base-table stats
-            stats: None,
+            stats,
         })
     }
+}
+
+/// Re-derives a statistics view at a new cardinality: every column's
+/// distribution shape is kept, masses and counts scale (see
+/// [`ColumnStats::scaled`]).
+fn scaled_stats(stats: &TableStats, new_rows: usize) -> TableStats {
+    let columns = stats
+        .column_names()
+        .into_iter()
+        .filter_map(|name| {
+            stats
+                .column(name)
+                .map(|cs| (name.to_string(), cs.scaled(new_rows)))
+        })
+        .collect();
+    TableStats::from_columns(new_rows, columns)
 }
 
 /// Requires `column` to exist in `schema` with type `Utf8`; the typed

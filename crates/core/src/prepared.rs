@@ -171,26 +171,68 @@ impl<'s> PreparedQuery<'s> {
         Ok(ExplainAnalyze { text, report })
     }
 
-    /// Re-binds every similarity threshold in the plan to `threshold`,
-    /// returning a new prepared query that shares this one's session state.
-    /// No optimisation, lowering, or access-path selection is repeated —
-    /// only the affected output-cardinality estimates are recomputed from
-    /// the new threshold (the advisor's scan-vs-probe costs are invariant in
+    /// Re-binds the plan's similarity threshold to `threshold`, returning a
+    /// new prepared query that shares this one's session state.  No
+    /// optimisation, lowering, or access-path selection is repeated — the
+    /// affected output-cardinality estimates are recomputed bottom-up from
+    /// the new threshold, through every operator of the (possibly
+    /// DP-reordered) tree (the advisor's scan-vs-probe costs are invariant in
     /// the threshold *value*, so the planned access path stays correct).
     ///
     /// # Errors
     /// Returns [`CoreError::InvalidInput`] when the plan has no threshold
-    /// predicate to bind (e.g. a pure top-k join or a join-less plan).
+    /// predicate to bind (e.g. a pure top-k join or a join-less plan), and
+    /// [`CoreError::AmbiguousThresholdBind`] on a multi-ejoin plan with more
+    /// than one `sim_gte` join — use [`PreparedQuery::bind_threshold_at`] to
+    /// name the target.
     pub fn bind_threshold(&self, threshold: f32) -> Result<PreparedQuery<'s>> {
+        let candidates = self.threshold_join_count();
+        if candidates > 1 {
+            return Err(CoreError::AmbiguousThresholdBind(candidates));
+        }
+        self.bind(threshold, None)
+    }
+
+    /// Re-binds the threshold of one specific `sim_gte` ejoin: `index` counts
+    /// the plan's threshold joins in the order [`PreparedQuery::explain`]
+    /// renders them (outermost first), starting at 0.  Top-k joins are not
+    /// counted.  Cardinality estimates re-derive through the whole tree, so
+    /// enclosing hash joins and ejoins above the re-bound one reflect it.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidInput`] when `index` is out of range.
+    pub fn bind_threshold_at(&self, index: usize, threshold: f32) -> Result<PreparedQuery<'s>> {
+        let candidates = self.threshold_join_count();
+        if index >= candidates {
+            return Err(CoreError::InvalidInput(format!(
+                "threshold join index {index} out of range: plan has \
+                 {candidates} sim_gte ejoin(s)"
+            )));
+        }
+        self.bind(threshold, Some(index))
+    }
+
+    /// Number of `sim_gte` (threshold) ejoins in the plan, in explain order.
+    pub fn threshold_join_count(&self) -> usize {
+        self.physical
+            .join_nodes()
+            .iter()
+            .filter(|n| matches!(n.predicate, SimilarityPredicate::Threshold(_)))
+            .count()
+    }
+
+    fn bind(&self, threshold: f32, target: Option<usize>) -> Result<PreparedQuery<'s>> {
         let mut physical = self.physical.clone();
-        let bound = rebind_physical(&mut physical, threshold);
+        let mut next = 0usize;
+        let bound = rebind_physical(&mut physical, threshold, target, &mut next);
         if bound == 0 {
             return Err(CoreError::InvalidInput(
                 "no sim_gte threshold predicate to bind in this plan".into(),
             ));
         }
         let mut optimized = self.optimized.clone();
-        rebind_logical(&mut optimized, threshold);
+        let mut next = 0usize;
+        rebind_logical(&mut optimized, threshold, target, &mut next);
         Ok(PreparedQuery::new(
             self.session.clone(),
             self.registry.clone(),
@@ -200,13 +242,21 @@ impl<'s> PreparedQuery<'s> {
     }
 }
 
-/// Rewrites every `Threshold` join predicate in the physical tree and
-/// re-estimates output cardinalities bottom-up, so operators *above* a
-/// re-bound join (filters on `similarity`, projections, enclosing joins)
-/// also reflect the new threshold.  Estimated costs keep their plan-time
-/// values — binding never re-runs the advisor.  Returns the number of
-/// predicates re-bound.
-fn rebind_physical(plan: &mut PhysicalPlan, threshold: f32) -> usize {
+/// Rewrites `Threshold` join predicates in the physical tree and re-estimates
+/// output cardinalities bottom-up, so operators *above* a re-bound join
+/// (filters on `similarity`, projections, enclosing joins) also reflect the
+/// new threshold.  Estimated costs keep their plan-time values — binding
+/// never re-runs the advisor.
+///
+/// `target` selects which threshold ejoin to rebind, counted pre-order (the
+/// order `explain` renders them) via `next`; `None` rebinds all of them.
+/// Returns the number of predicates re-bound.
+fn rebind_physical(
+    plan: &mut PhysicalPlan,
+    threshold: f32,
+    target: Option<usize>,
+    next: &mut usize,
+) -> usize {
     match plan {
         PhysicalPlan::TableScan { .. } => 0,
         PhysicalPlan::Filter {
@@ -215,25 +265,45 @@ fn rebind_physical(plan: &mut PhysicalPlan, threshold: f32) -> usize {
             est,
             ..
         } => {
-            let bound = rebind_physical(input, threshold);
+            let bound = rebind_physical(input, threshold, target, next);
             est.rows = input.estimate().rows * *selectivity;
             bound
         }
-        PhysicalPlan::Project { input, est, .. } | PhysicalPlan::Embed { input, est, .. } => {
-            let bound = rebind_physical(input, threshold);
+        PhysicalPlan::Project { input, est, .. }
+        | PhysicalPlan::Embed { input, est, .. }
+        | PhysicalPlan::Rename { input, est, .. } => {
+            let bound = rebind_physical(input, threshold, target, next);
             est.rows = input.estimate().rows;
             bound
         }
+        PhysicalPlan::HashJoin(node) => {
+            // A hash join's output estimate is (input product) / key-domain;
+            // the key domain is threshold-invariant, so scale the plan-time
+            // estimate by the change in the input-cardinality product.
+            let old = node.left.estimate().rows.max(1.0) * node.right.estimate().rows.max(1.0);
+            let mut bound = rebind_physical(&mut node.left, threshold, target, next);
+            bound += rebind_physical(&mut node.right, threshold, target, next);
+            let new = node.left.estimate().rows.max(1.0) * node.right.estimate().rows.max(1.0);
+            node.est.rows *= new / old;
+            bound
+        }
         PhysicalPlan::Join(node) => {
-            let mut bound = rebind_physical(&mut node.outer, threshold);
+            let targeted = if matches!(node.predicate, SimilarityPredicate::Threshold(_)) {
+                let index = *next;
+                *next += 1;
+                target.is_none() || target == Some(index)
+            } else {
+                false
+            };
+            let mut bound = rebind_physical(&mut node.outer, threshold, target, next);
             let inner_rows = match &mut node.inner {
                 InnerInput::Plan(inner) => {
-                    bound += rebind_physical(inner, threshold);
+                    bound += rebind_physical(inner, threshold, target, next);
                     inner.estimate().rows
                 }
                 InnerInput::Indexed(ii) => ii.est_rows,
             };
-            if let SimilarityPredicate::Threshold(_) = node.predicate {
+            if targeted {
                 node.predicate = SimilarityPredicate::Threshold(threshold);
                 bound += 1;
             }
@@ -252,22 +322,37 @@ fn rebind_physical(plan: &mut PhysicalPlan, threshold: f32) -> usize {
 }
 
 /// Mirrors the threshold rebinding on the optimised logical plan (kept for
-/// reporting consistency — `ExecutionReport::optimized_plan`).
-fn rebind_logical(plan: &mut LogicalPlan, threshold: f32) {
+/// reporting consistency — `ExecutionReport::optimized_plan`).  The same
+/// pre-order counter as [`rebind_physical`] keeps the logical and physical
+/// target indexes aligned: lowering is structural, so the N-th threshold
+/// ejoin pre-order is the same join in both trees.
+fn rebind_logical(plan: &mut LogicalPlan, threshold: f32, target: Option<usize>, next: &mut usize) {
     match plan {
         LogicalPlan::Scan { .. } => {}
         LogicalPlan::Selection { input, .. }
         | LogicalPlan::Projection { input, .. }
-        | LogicalPlan::Embed { input, .. } => rebind_logical(input, threshold),
+        | LogicalPlan::Embed { input, .. }
+        | LogicalPlan::Rename { input, .. } => rebind_logical(input, threshold, target, next),
+        LogicalPlan::Join { left, right, .. } => {
+            rebind_logical(left, threshold, target, next);
+            rebind_logical(right, threshold, target, next);
+        }
         LogicalPlan::EJoin {
             left,
             right,
             predicate,
             ..
         } => {
-            rebind_logical(left, threshold);
-            rebind_logical(right, threshold);
-            if let SimilarityPredicate::Threshold(_) = predicate {
+            let targeted = if matches!(predicate, SimilarityPredicate::Threshold(_)) {
+                let index = *next;
+                *next += 1;
+                target.is_none() || target == Some(index)
+            } else {
+                false
+            };
+            rebind_logical(left, threshold, target, next);
+            rebind_logical(right, threshold, target, next);
+            if targeted {
                 *predicate = SimilarityPredicate::Threshold(threshold);
             }
         }

@@ -39,7 +39,7 @@
 use std::sync::Arc;
 
 use cej_embedding::{Embedder, EmbeddingStats};
-use cej_relational::{physical::ModelRegistry, Catalog, LogicalPlan, Optimizer};
+use cej_relational::{physical::ModelRegistry, reorder_joins, Catalog, LogicalPlan, Optimizer};
 use cej_storage::Table;
 
 use crate::access_path::{AccessPath, AccessPathAdvisor};
@@ -264,6 +264,10 @@ impl ContextJoinSession {
             .state
             .optimizer
             .optimize(plan.clone(), &self.state.catalog)?;
+        // Join-order selection runs between the rewrite optimizer (whose
+        // pushdowns shape the per-relation inputs the DP costs) and physical
+        // lowering (which prices the access paths of the chosen tree).
+        let optimized = reorder_joins(&optimized, &self.state.catalog)?;
         let planner = Planner::new(self.advisor(), *self.state.strategy.read());
         let physical = planner.plan(
             &optimized,

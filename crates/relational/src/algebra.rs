@@ -93,6 +93,31 @@ pub enum LogicalPlan {
         /// The input plan.
         input: Box<LogicalPlan>,
     },
+    /// Relational hash equi-join `left ⋈_{l=r} right`.
+    ///
+    /// The output schema is the concatenation of both input schemas with
+    /// column names preserved — which is why planning *rejects* joins whose
+    /// inputs share a column name (see the README's "Query API" section for
+    /// the N-table naming rules).  Use [`LogicalPlan::rename`] to disambiguate
+    /// before joining.
+    Join {
+        /// Left (probe) input plan.
+        left: Box<LogicalPlan>,
+        /// Right (build) input plan.
+        right: Box<LogicalPlan>,
+        /// Equi-join column of the left input.
+        left_column: String,
+        /// Equi-join column of the right input.
+        right_column: String,
+    },
+    /// Projection with renaming: keeps the listed input columns, in order,
+    /// under new names.  Pure metadata at execution time (zero-copy).
+    Rename {
+        /// `(input_column, output_column)` pairs, in output order.
+        columns: Vec<(String, String)>,
+        /// The input plan.
+        input: Box<LogicalPlan>,
+    },
     /// The context-enhanced join `left ⋈_{E,µ,θ} right`.
     EJoin {
         /// Left (outer) input plan.
@@ -142,6 +167,32 @@ impl LogicalPlan {
         }
     }
 
+    /// Wraps this plan in a renaming projection.
+    pub fn rename(self, columns: &[(&str, &str)]) -> Self {
+        LogicalPlan::Rename {
+            columns: columns
+                .iter()
+                .map(|(from, to)| (from.to_string(), to.to_string()))
+                .collect(),
+            input: Box::new(self),
+        }
+    }
+
+    /// Builds a relational hash equi-join of two plans.
+    pub fn join(
+        left: LogicalPlan,
+        right: LogicalPlan,
+        left_column: &str,
+        right_column: &str,
+    ) -> Self {
+        LogicalPlan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_column: left_column.to_string(),
+            right_column: right_column.to_string(),
+        }
+    }
+
     /// Builds a context-enhanced join of two plans.
     pub fn e_join(
         left: LogicalPlan,
@@ -167,8 +218,11 @@ impl LogicalPlan {
             LogicalPlan::Scan { .. } => vec![],
             LogicalPlan::Selection { input, .. }
             | LogicalPlan::Projection { input, .. }
+            | LogicalPlan::Rename { input, .. }
             | LogicalPlan::Embed { input, .. } => vec![input],
-            LogicalPlan::EJoin { left, right, .. } => vec![left, right],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::EJoin { left, right, .. } => {
+                vec![left, right]
+            }
         }
     }
 
@@ -209,7 +263,13 @@ impl LogicalPlan {
                     walk(left, true, acc);
                     walk(right, true, acc);
                 }
-                LogicalPlan::Projection { input, .. } => walk(input, below, acc),
+                LogicalPlan::Projection { input, .. } | LogicalPlan::Rename { input, .. } => {
+                    walk(input, below, acc)
+                }
+                LogicalPlan::Join { left, right, .. } => {
+                    walk(left, below, acc);
+                    walk(right, below, acc);
+                }
                 LogicalPlan::Scan { .. } => {}
             }
         }
@@ -236,6 +296,30 @@ impl LogicalPlan {
                     "{pad}Embed: {} -> {} (model {})",
                     spec.input_column, spec.output_column, spec.model
                 )?;
+                input.fmt_indented(f, indent + 1)
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_column,
+                right_column,
+            } => {
+                writeln!(f, "{pad}Join: {left_column} = {right_column}")?;
+                left.fmt_indented(f, indent + 1)?;
+                right.fmt_indented(f, indent + 1)
+            }
+            LogicalPlan::Rename { columns, input } => {
+                let pairs: Vec<String> = columns
+                    .iter()
+                    .map(|(from, to)| {
+                        if from == to {
+                            from.clone()
+                        } else {
+                            format!("{from} as {to}")
+                        }
+                    })
+                    .collect();
+                writeln!(f, "{pad}Rename: [{}]", pairs.join(", "))?;
                 input.fmt_indented(f, indent + 1)
             }
             LogicalPlan::EJoin {

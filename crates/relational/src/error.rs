@@ -11,6 +11,9 @@ pub enum RelationalError {
     Storage(StorageError),
     /// An expression referenced a column that does not exist.
     UnknownColumn(String),
+    /// An unqualified column reference (or a join output) is ambiguous
+    /// because two joined inputs produce the same column name.
+    AmbiguousColumn(String),
     /// An expression combined incompatible types.
     TypeError(String),
     /// A plan referenced a table missing from the catalog.
@@ -26,6 +29,7 @@ impl fmt::Display for RelationalError {
         match self {
             RelationalError::Storage(e) => write!(f, "storage error: {e}"),
             RelationalError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            RelationalError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
             RelationalError::TypeError(msg) => write!(f, "type error: {msg}"),
             RelationalError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             RelationalError::UnknownModel(m) => write!(f, "unknown embedding model: {m}"),

@@ -38,7 +38,7 @@ pub use algebra::{EmbedSpec, JoinSide, LogicalPlan, SimilarityPredicate};
 pub use catalog::Catalog;
 pub use error::RelationalError;
 pub use expr::{col, lit, lit_date, lit_f64, lit_i64, lit_str, CompareOp, Expr};
-pub use optimizer::{Optimizer, OptimizerRule};
+pub use optimizer::{physical_output_columns, reorder_joins, Optimizer, OptimizerRule};
 pub use physical::ModelRegistry;
 pub use selectivity::{check_predicate, estimate_selectivity};
 

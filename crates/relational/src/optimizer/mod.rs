@@ -14,6 +14,7 @@
 //!   operators in `cej-core`, this realises the `(|R| + |S|) · M` model cost
 //!   of the optimised cost model rather than the naive `|R| · |S| · M`.
 
+pub mod join_order;
 pub mod pushdown;
 pub mod rules;
 
@@ -22,6 +23,7 @@ use crate::catalog::Catalog;
 use crate::error::RelationalError;
 use crate::Result;
 
+pub use join_order::{physical_output_columns, reorder_joins, MAX_DP_RELATIONS};
 pub use pushdown::PredicatePushdown;
 pub use rules::{RedundantEmbedElimination, SelectionMerge};
 
@@ -53,7 +55,10 @@ pub fn output_columns(plan: &LogicalPlan, catalog: &Catalog) -> Result<Vec<Strin
             cols.push(spec.output_column.clone());
             Ok(cols)
         }
-        LogicalPlan::EJoin { left, right, .. } => {
+        LogicalPlan::Rename { columns, .. } => {
+            Ok(columns.iter().map(|(_, to)| to.clone()).collect())
+        }
+        LogicalPlan::Join { left, right, .. } | LogicalPlan::EJoin { left, right, .. } => {
             let mut cols = output_columns(left, catalog)?;
             cols.extend(output_columns(right, catalog)?);
             Ok(cols)
@@ -157,6 +162,34 @@ where
                     input: Box::new(child),
                 },
                 ch,
+            )
+        }
+        LogicalPlan::Rename { columns, input } => {
+            let (child, ch) = transform_up(input, f);
+            (
+                LogicalPlan::Rename {
+                    columns: columns.clone(),
+                    input: Box::new(child),
+                },
+                ch,
+            )
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_column,
+            right_column,
+        } => {
+            let (l, cl) = transform_up(left, f);
+            let (r, cr) = transform_up(right, f);
+            (
+                LogicalPlan::Join {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    left_column: left_column.clone(),
+                    right_column: right_column.clone(),
+                },
+                cl || cr,
             )
         }
         LogicalPlan::EJoin {

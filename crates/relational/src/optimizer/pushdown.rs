@@ -84,6 +84,43 @@ impl PredicatePushdown {
                     Ok(None)
                 }
             }
+            // σ_p(R ⋈ S) → (σ_p R) ⋈ S (or the mirror) for the relational
+            // hash equi-join — the same one-side rule as for EJoin.
+            LogicalPlan::Join {
+                left,
+                right,
+                left_column,
+                right_column,
+            } => {
+                let left_cols = output_columns(left, catalog)?;
+                let right_cols = output_columns(right, catalog)?;
+                let referenced = predicate.referenced_columns();
+                let all_in =
+                    |cols: &[String]| referenced.iter().all(|c| cols.iter().any(|col| col == c));
+                if all_in(&left_cols) {
+                    Ok(Some(LogicalPlan::Join {
+                        left: Box::new(LogicalPlan::Selection {
+                            predicate: predicate.clone(),
+                            input: left.clone(),
+                        }),
+                        right: right.clone(),
+                        left_column: left_column.clone(),
+                        right_column: right_column.clone(),
+                    }))
+                } else if all_in(&right_cols) {
+                    Ok(Some(LogicalPlan::Join {
+                        left: left.clone(),
+                        right: Box::new(LogicalPlan::Selection {
+                            predicate: predicate.clone(),
+                            input: right.clone(),
+                        }),
+                        left_column: left_column.clone(),
+                        right_column: right_column.clone(),
+                    }))
+                } else {
+                    Ok(None)
+                }
+            }
             _ => Ok(None),
         }
     }

@@ -313,14 +313,21 @@ fn dispatch(
             id,
             new_id,
             threshold,
+            at,
         } => match statements.get(&id) {
-            Some(Statement::Prepared(prepared)) => match prepared.bind_threshold(threshold) {
-                Ok(bound) => {
-                    statements.insert(new_id.clone(), Statement::Prepared(bound));
-                    format!("OK bound {new_id} sim>={threshold}\n")
+            Some(Statement::Prepared(prepared)) => {
+                let bound = match at {
+                    Some(index) => prepared.bind_threshold_at(index, threshold),
+                    None => prepared.bind_threshold(threshold),
+                };
+                match bound {
+                    Ok(bound) => {
+                        statements.insert(new_id.clone(), Statement::Prepared(bound));
+                        format!("OK bound {new_id} sim>={threshold}\n")
+                    }
+                    Err(e) => format!("ERR {e}\n"),
                 }
-                Err(e) => format!("ERR {e}\n"),
-            },
+            }
             Some(Statement::ProbeTemplate(_)) => {
                 "ERR probe templates have no threshold to bind\n".to_string()
             }
@@ -558,4 +565,217 @@ fn bad_frame(line: &str) -> std::io::Error {
         std::io::ErrorKind::InvalidData,
         format!("malformed response frame: `{line}`"),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cej_embedding::{FastTextConfig, FastTextModel};
+
+    /// Star-schema session: orders → customers → regions by hash joins,
+    /// products by similarity on the order note.
+    fn star_session() -> ContextJoinSession {
+        let mut s = ContextJoinSession::new();
+        s.register_table(
+            "orders",
+            TableBuilder::new()
+                .int64("order_id", vec![1, 2, 3, 4, 5, 6])
+                .int64("cust_fk", vec![10, 10, 20, 20, 30, 30])
+                .int64("total", vec![50, 150, 250, 80, 120, 300])
+                .utf8(
+                    "note",
+                    vec![
+                        "barbecue grill".into(),
+                        "database server".into(),
+                        "barbecue tongs".into(),
+                        "laptop sleeve".into(),
+                        "database book".into(),
+                        "garden barbecue".into(),
+                    ],
+                )
+                .build()
+                .unwrap(),
+        );
+        s.register_table(
+            "customers",
+            TableBuilder::new()
+                .int64("cust_id", vec![10, 20, 30])
+                .int64("region_fk", vec![100, 100, 200])
+                .utf8(
+                    "cust_name",
+                    vec!["ada".into(), "grace".into(), "edsger".into()],
+                )
+                .build()
+                .unwrap(),
+        );
+        s.register_table(
+            "regions",
+            TableBuilder::new()
+                .int64("region_id", vec![100, 200])
+                .utf8("region_name", vec!["west".into(), "east".into()])
+                .build()
+                .unwrap(),
+        );
+        s.register_table(
+            "products",
+            TableBuilder::new()
+                .int64("product_id", vec![1000, 2000, 3000])
+                .utf8(
+                    "title",
+                    vec![
+                        "barbecues and grills".into(),
+                        "database systems".into(),
+                        "notebook computers".into(),
+                    ],
+                )
+                .build()
+                .unwrap(),
+        );
+        let model = FastTextModel::new(FastTextConfig {
+            dim: 16,
+            buckets: 1000,
+            ..FastTextConfig::default()
+        })
+        .unwrap();
+        s.register_model("ft", model);
+        for table in ["orders", "customers", "regions", "products"] {
+            s.catalog().analyze(table).unwrap();
+        }
+        s
+    }
+
+    const FOUR_TABLE_QUERY: &str = "PREPARE q QUERY orders \
+         JOIN customers ON orders.cust_fk=customers.cust_id \
+         JOIN regions ON customers.region_fk=regions.region_id \
+         EJOIN products ON note~title MODEL ft SIM 0.4 \
+         WHERE orders.total >= 100";
+
+    #[test]
+    fn four_table_query_round_trips_with_verified_checksum() {
+        let mut server = Server::start(star_session(), ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            client.request(FOUR_TABLE_QUERY).unwrap(),
+            Response::Ok(_)
+        ));
+        let Response::Rows { lines, checksum } = client.request("RUN q").unwrap() else {
+            panic!("expected rows");
+        };
+        // re-derive the checksum client-side from the framed payload: the
+        // server's END line must cover exactly the header and rows it sent
+        let mut payload = String::new();
+        for line in &lines {
+            payload.push_str(line);
+            payload.push('\n');
+        }
+        assert_eq!(checksum, protocol::fnv1a(payload.as_bytes()));
+        // header carries the 4-table output schema
+        let header = &lines[0];
+        for column in ["l_order_id", "l_cust_name", "l_region_name", "r_title"] {
+            assert!(header.contains(column), "header missing {column}: {header}");
+        }
+        // the >=100 filter keeps the 300-total garden-barbecue order, whose
+        // customer sits in the east region
+        assert!(
+            lines[1..]
+                .iter()
+                .any(|l| l.contains("garden barbecue") && l.contains("east")),
+            "expected east-region barbecue row in {lines:?}"
+        );
+        assert!(
+            lines[1..].iter().all(|l| !l.contains("\t50\t")),
+            "filtered-out total leaked into {lines:?}"
+        );
+        // repeat runs are byte-identical (prepared-statement contract)
+        let Response::Rows {
+            checksum: again, ..
+        } = client.request("RUN q").unwrap()
+        else {
+            panic!("expected rows");
+        };
+        assert_eq!(checksum, again);
+        // the plan and its estimates render
+        let Response::Text(explain) = client.request("EXPLAIN q").unwrap() else {
+            panic!("expected text");
+        };
+        assert!(
+            explain.iter().any(|l| l.contains("HashJoin")),
+            "{explain:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn legacy_and_query_forms_of_a_two_table_join_agree() {
+        let mut server = Server::start(star_session(), ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // legacy two-table form …
+        assert!(matches!(
+            client
+                .request("PREPARE legacy JOIN orders.note products.title MODEL ft SIM 0.4 LWHERE total >= 100")
+                .unwrap(),
+            Response::Ok(_)
+        ));
+        // … and its documented QUERY equivalent
+        assert!(matches!(
+            client
+                .request(
+                    "PREPARE new QUERY orders EJOIN products ON note~title MODEL ft SIM 0.4 \
+                     WHERE orders.total >= 100"
+                )
+                .unwrap(),
+            Response::Ok(_)
+        ));
+        let Response::Rows { checksum: a, lines } = client.request("RUN legacy").unwrap() else {
+            panic!("expected rows");
+        };
+        let Response::Rows { checksum: b, .. } = client.request("RUN new").unwrap() else {
+            panic!("expected rows");
+        };
+        assert!(lines.len() > 1, "legacy form returned no rows");
+        assert_eq!(a, b, "legacy and QUERY forms must serve identical bytes");
+        server.shutdown();
+    }
+
+    #[test]
+    fn bind_at_targets_one_of_two_thresholds_over_the_wire() {
+        let mut session = star_session();
+        session.register_table(
+            "slogans",
+            TableBuilder::new()
+                .utf8(
+                    "slogan",
+                    vec!["grills for barbecue fans".into(), "fast databases".into()],
+                )
+                .build()
+                .unwrap(),
+        );
+        session.catalog().analyze("slogans").unwrap();
+        let mut server = Server::start(session, ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            client
+                .request(
+                    "PREPARE q2 QUERY orders EJOIN products ON note~title MODEL ft SIM 0.4 \
+                     EJOIN slogans ON l_note~slogan MODEL ft SIM 0.4"
+                )
+                .unwrap(),
+            Response::Ok(_)
+        ));
+        // untargeted BIND on a two-threshold plan is ambiguous
+        let Response::Err(message) = client.request("BIND q2 q2hi 0.9").unwrap() else {
+            panic!("expected ERR");
+        };
+        assert!(message.contains("ambiguous threshold bind"), "{message}");
+        // targeted BIND succeeds and the statement runs
+        assert!(matches!(
+            client.request("BIND q2 q2hi 0.99 AT 0").unwrap(),
+            Response::Ok(_)
+        ));
+        assert!(matches!(
+            client.request("RUN q2hi").unwrap(),
+            Response::Rows { .. }
+        ));
+        server.shutdown();
+    }
 }

@@ -8,16 +8,36 @@
 //! PING
 //! QUIT
 //! STATS
-//! PREPARE <id> SCAN <table> [WHERE <col> <op> <value>]...
-//! PREPARE <id> JOIN <lt>.<lcol> <rt>.<rcol> MODEL <model> (TOPK <k> | SIM <t>)
-//!         [LWHERE <col> <op> <value>] [RWHERE <col> <op> <value>]
-//! PREPARE <id> PROBE <rt>.<rcol> MODEL <model> TOPK <k>
-//! BIND <id> <new-id> <threshold>
+//! PREPARE <id> QUERY <table>
+//!         [JOIN <table> ON <ta>.<ca>=<tb>.<cb>]...
+//!         [EJOIN <table> ON <lcol>~<rcol> MODEL <model> (TOPK <k> | SIM <t>)]...
+//!         [WHERE <table>.<col> <op> <value>]...
+//! BIND <id> <new-id> <threshold> [AT <index>]
 //! RUN <id>
 //! EXPLAIN <id>
 //! ANALYZE <id>
 //! PROBE <id> <text…>
 //! ```
+//!
+//! plus the legacy statement kinds, kept for pre-N-table clients (each is a
+//! special case of `QUERY` — the README's "Query API" section documents the
+//! mapping):
+//!
+//! ```text
+//! PREPARE <id> SCAN <table> [WHERE <col> <op> <value>]...
+//! PREPARE <id> JOIN <lt>.<lcol> <rt>.<rcol> MODEL <model> (TOPK <k> | SIM <t>)
+//!         [LWHERE <col> <op> <value>] [RWHERE <col> <op> <value>]
+//! PREPARE <id> PROBE <rt>.<rcol> MODEL <model> TOPK <k>
+//! ```
+//!
+//! `QUERY` composes any number of hash equi-joins (`JOIN … ON a.x=b.y`,
+//! column names preserved, one side must name the table being added) and
+//! context-enhanced joins (`EJOIN … ON lcol~rcol`, output renamed `l_*` /
+//! `r_*` plus `similarity`) over filtered scans; the optimizer's DP pass
+//! picks the execution order, so clause order only affects naming, not cost.
+//! `WHERE <table>.<col>` clauses attach to that table's scan before any
+//! join.  `BIND … AT <index>` targets the index-th `SIM` ejoin (explain
+//! order, 0-based) when a plan has several.
 //!
 //! `<op>` is one of `= != < <= > >=`; `<value>` parses as an integer, then
 //! a float, then falls back to a string token.  Responses are
@@ -79,17 +99,65 @@ impl WhereClause {
     }
 }
 
+/// One `JOIN <table> ON <ta>.<ca>=<tb>.<cb>` step of a `QUERY` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinStep {
+    /// The table this step adds to the query.
+    pub table: String,
+    /// Join column on the accumulated left side (a column of an
+    /// already-added table; names are preserved by hash joins).
+    pub left_column: String,
+    /// Join column on the added table.
+    pub right_column: String,
+}
+
+/// One `EJOIN <table> ON <lcol>~<rcol> MODEL <m> …` step of a `QUERY`
+/// statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EjoinStep {
+    /// The table this step adds to the query.
+    pub table: String,
+    /// Text column on the accumulated left side (post-rename name if a
+    /// previous `EJOIN` already prefixed it).
+    pub left_column: String,
+    /// Text column on the added table.
+    pub right_column: String,
+    /// Embedding model name.
+    pub model: String,
+    /// Similarity predicate.
+    pub predicate: SimilarityPredicate,
+}
+
 /// A statement spec a client registered with `PREPARE`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StatementSpec {
-    /// `SCAN <table> [WHERE …]…` — a relational scan with optional filters.
+    /// `QUERY <table> [JOIN …]… [EJOIN …]… [WHERE …]…` — the N-table query
+    /// form: filtered scans composed by hash equi-joins and context-enhanced
+    /// joins, join order chosen by the optimizer.
+    Query {
+        /// First table of the query.
+        base: String,
+        /// Hash equi-join steps, in clause order.
+        joins: Vec<JoinStep>,
+        /// Context-enhanced join steps, applied after the equi-joins (the
+        /// DP pass may sink equi-joins below them).
+        ejoins: Vec<EjoinStep>,
+        /// Per-table filters: `(table, clause)`, attached to that table's
+        /// scan.
+        filters: Vec<(String, WhereClause)>,
+    },
+    /// Legacy `SCAN <table> [WHERE …]…` — equivalent to
+    /// `QUERY <table> [WHERE <table>.<col> …]…`; kept for pre-N-table
+    /// clients.
     Scan {
         /// Scanned table.
         table: String,
         /// Conjunctive filters, applied in order.
         filters: Vec<WhereClause>,
     },
-    /// `JOIN …` — a context-enhanced join between two registered tables.
+    /// Legacy `JOIN …` — a context-enhanced join between two registered
+    /// tables; equivalent to `QUERY <lt> EJOIN <rt> ON <lc>~<rc> MODEL …`
+    /// with per-table `WHERE` clauses.  Kept for pre-N-table clients.
     Join {
         /// Outer table.
         left_table: String,
@@ -131,6 +199,42 @@ impl StatementSpec {
     /// Returns a message for untypable filters.
     pub fn to_plan(&self, probe_table: Option<&str>) -> Result<LogicalPlan, String> {
         match self {
+            StatementSpec::Query {
+                base,
+                joins,
+                ejoins,
+                filters,
+            } => {
+                let filtered_scan = |table: &str| -> Result<LogicalPlan, String> {
+                    let mut plan = LogicalPlan::scan(table);
+                    for (t, clause) in filters {
+                        if t == table {
+                            plan = plan.select(clause.to_expr()?);
+                        }
+                    }
+                    Ok(plan)
+                };
+                let mut plan = filtered_scan(base)?;
+                for step in joins {
+                    plan = LogicalPlan::join(
+                        plan,
+                        filtered_scan(&step.table)?,
+                        &step.left_column,
+                        &step.right_column,
+                    );
+                }
+                for step in ejoins {
+                    plan = LogicalPlan::e_join(
+                        plan,
+                        filtered_scan(&step.table)?,
+                        &step.left_column,
+                        &step.right_column,
+                        &step.model,
+                        step.predicate,
+                    );
+                }
+                Ok(plan)
+            }
             StatementSpec::Scan { table, filters } => {
                 let mut plan = LogicalPlan::scan(table);
                 for clause in filters {
@@ -209,6 +313,9 @@ pub enum Command {
         new_id: String,
         /// New similarity threshold.
         threshold: f32,
+        /// Which `SIM` ejoin to rebind (explain order, 0-based) when the
+        /// plan has several; `None` requires an unambiguous single target.
+        at: Option<usize>,
     },
     /// Execute a prepared statement.
     Run {
@@ -282,8 +389,16 @@ impl Command {
                 })
             }
             "BIND" => {
-                let [id, new_id, threshold] = rest else {
-                    return Err("BIND takes <id> <new-id> <threshold>".to_string());
+                let (core, at) = match rest {
+                    [core @ .., at_kw, index] if *at_kw == "AT" => {
+                        let index: usize =
+                            index.parse().map_err(|_| format!("bad index `{index}`"))?;
+                        (core, Some(index))
+                    }
+                    _ => (rest, None),
+                };
+                let [id, new_id, threshold] = core else {
+                    return Err("BIND takes <id> <new-id> <threshold> [AT <index>]".to_string());
                 };
                 let threshold: f32 = threshold
                     .parse()
@@ -292,6 +407,7 @@ impl Command {
                     id: (*id).to_string(),
                     new_id: (*new_id).to_string(),
                     threshold,
+                    at,
                 })
             }
             "PROBE" => {
@@ -317,10 +433,20 @@ impl Command {
 
     fn parse_prepare(rest: &[&str]) -> Result<Command, String> {
         let [id, kind, tail @ ..] = rest else {
-            return Err("PREPARE takes <id> <SCAN|JOIN|PROBE> …".to_string());
+            return Err("PREPARE takes <id> <QUERY|SCAN|JOIN|PROBE> …".to_string());
         };
         let id = (*id).to_string();
         match *kind {
+            "QUERY" => {
+                let [base, clauses @ ..] = tail else {
+                    return Err("PREPARE … QUERY takes <table>".to_string());
+                };
+                let spec = Self::parse_query((*base).to_string(), clauses)?;
+                Ok(Command::Prepare {
+                    id,
+                    spec: Box::new(spec),
+                })
+            }
             "SCAN" => {
                 let [table, clauses @ ..] = tail else {
                     return Err("PREPARE … SCAN takes <table>".to_string());
@@ -415,6 +541,121 @@ impl Command {
             }
             other => Err(format!("unknown statement kind `{other}`")),
         }
+    }
+
+    /// Parses the clause list of a `QUERY` statement (everything after the
+    /// base table).
+    fn parse_query(base: String, mut cursor: &[&str]) -> Result<StatementSpec, String> {
+        let mut joins = Vec::new();
+        let mut ejoins = Vec::new();
+        let mut filters = Vec::new();
+        let mut known: Vec<String> = vec![base.clone()];
+        while let Some((&keyword, rest)) = cursor.split_first() {
+            match keyword {
+                "JOIN" => {
+                    let [table, on_kw, cond, tail @ ..] = rest else {
+                        return Err("JOIN takes <table> ON <ta>.<ca>=<tb>.<cb>".to_string());
+                    };
+                    if *on_kw != "ON" {
+                        return Err(format!("expected ON, got `{on_kw}`"));
+                    }
+                    let Some((a, b)) = cond.split_once('=') else {
+                        return Err(format!("expected <ta>.<ca>=<tb>.<cb>, got `{cond}`"));
+                    };
+                    let (ta, ca) = table_column(a)?;
+                    let (tb, cb) = table_column(b)?;
+                    // exactly one side names the table being added; the
+                    // other must already be part of the query
+                    let (left_column, right_column) = if tb == *table && known.contains(&ta) {
+                        (ca, cb)
+                    } else if ta == *table && known.contains(&tb) {
+                        (cb, ca)
+                    } else {
+                        return Err(format!(
+                            "JOIN ON must equate a column of `{table}` with a column of an \
+                             already-joined table, got `{cond}`"
+                        ));
+                    };
+                    known.push((*table).to_string());
+                    joins.push(JoinStep {
+                        table: (*table).to_string(),
+                        left_column,
+                        right_column,
+                    });
+                    cursor = tail;
+                }
+                "EJOIN" => {
+                    let [table, on_kw, cond, model_kw, model, pred_kw, pred_val, tail @ ..] = rest
+                    else {
+                        return Err("EJOIN takes <table> ON <lc>~<rc> MODEL <m> \
+                                    (TOPK <k> | SIM <t>)"
+                            .to_string());
+                    };
+                    if *on_kw != "ON" {
+                        return Err(format!("expected ON, got `{on_kw}`"));
+                    }
+                    if *model_kw != "MODEL" {
+                        return Err(format!("expected MODEL, got `{model_kw}`"));
+                    }
+                    let Some((lc, rc)) = cond.split_once('~') else {
+                        return Err(format!("expected <lcol>~<rcol>, got `{cond}`"));
+                    };
+                    if lc.is_empty() || rc.is_empty() {
+                        return Err(format!("expected <lcol>~<rcol>, got `{cond}`"));
+                    }
+                    let predicate = parse_predicate(pred_kw, pred_val)?;
+                    known.push((*table).to_string());
+                    ejoins.push(EjoinStep {
+                        table: (*table).to_string(),
+                        left_column: lc.to_string(),
+                        right_column: rc.to_string(),
+                        model: (*model).to_string(),
+                        predicate,
+                    });
+                    cursor = tail;
+                }
+                "WHERE" => {
+                    let [target, op, value, tail @ ..] = rest else {
+                        return Err("WHERE takes <table>.<col> <op> <value>".to_string());
+                    };
+                    let (table, column) = table_column(target)?;
+                    if !known.contains(&table) {
+                        return Err(format!("WHERE references unjoined table `{table}`"));
+                    }
+                    filters.push((
+                        table,
+                        WhereClause {
+                            column,
+                            op: (*op).to_string(),
+                            value: (*value).to_string(),
+                        },
+                    ));
+                    cursor = tail;
+                }
+                other => return Err(format!("expected JOIN/EJOIN/WHERE, got `{other}`")),
+            }
+        }
+        Ok(StatementSpec::Query {
+            base,
+            joins,
+            ejoins,
+            filters,
+        })
+    }
+}
+
+/// Parses a `TOPK <k>` / `SIM <t>` predicate pair.
+fn parse_predicate(keyword: &str, value: &str) -> Result<SimilarityPredicate, String> {
+    match keyword {
+        "TOPK" => Ok(SimilarityPredicate::TopK(
+            value.parse().map_err(|_| format!("bad k `{value}`"))?,
+        )),
+        "SIM" => Ok(SimilarityPredicate::Threshold(
+            value
+                .parse()
+                .map_err(|_| format!("bad threshold `{value}`"))?,
+        )),
+        other => Err(format!("expected TOPK or SIM, got `{other}`")),
     }
 }
 
@@ -607,11 +848,85 @@ mod tests {
             Command::Bind {
                 id: "j1".into(),
                 new_id: "j1lo".into(),
-                threshold: 0.7
+                threshold: 0.7,
+                at: None
+            }
+        );
+        assert_eq!(
+            Command::parse("BIND j1 j1lo 0.7 AT 1").unwrap(),
+            Command::Bind {
+                id: "j1".into(),
+                new_id: "j1lo".into(),
+                threshold: 0.7,
+                at: Some(1)
             }
         );
         assert!(Command::parse("BIND j1 j2 high").is_err());
+        assert!(Command::parse("BIND j1 j2 0.7 AT x").is_err());
         assert!(Command::parse("BIND j1").is_err());
+    }
+
+    #[test]
+    fn parses_query_statement() {
+        let cmd = Command::parse(
+            "PREPARE q1 QUERY orders \
+             JOIN customers ON orders.customer_id=customers.id \
+             JOIN regions ON customers.region_id=regions.id \
+             EJOIN products ON note~title MODEL ft SIM 0.8 \
+             WHERE orders.total >= 100 WHERE regions.name = west",
+        )
+        .unwrap();
+        let Command::Prepare { id, spec } = cmd else {
+            panic!("expected prepare");
+        };
+        assert_eq!(id, "q1");
+        let StatementSpec::Query {
+            base,
+            joins,
+            ejoins,
+            filters,
+        } = spec.as_ref()
+        else {
+            panic!("expected query spec");
+        };
+        assert_eq!(base, "orders");
+        assert_eq!(joins.len(), 2);
+        assert_eq!(joins[0].table, "customers");
+        assert_eq!(joins[0].left_column, "customer_id");
+        assert_eq!(joins[0].right_column, "id");
+        assert_eq!(joins[1].left_column, "region_id");
+        assert_eq!(ejoins.len(), 1);
+        assert_eq!(ejoins[0].left_column, "note");
+        assert_eq!(ejoins[0].right_column, "title");
+        assert!(matches!(
+            ejoins[0].predicate,
+            SimilarityPredicate::Threshold(t) if (t - 0.8).abs() < 1e-6
+        ));
+        assert_eq!(filters.len(), 2);
+        assert_eq!(filters[1].0, "regions");
+        assert_eq!(filters[1].1.value, "west");
+        let plan = spec.to_plan(None).unwrap();
+        assert!(matches!(plan, cej_relational::LogicalPlan::EJoin { .. }));
+
+        // reversed ON sides normalise to the same step
+        let flipped =
+            Command::parse("PREPARE q2 QUERY orders JOIN customers ON customers.id=orders.cid")
+                .unwrap();
+        let Command::Prepare { spec, .. } = flipped else {
+            panic!()
+        };
+        let StatementSpec::Query { joins, .. } = spec.as_ref() else {
+            panic!()
+        };
+        assert_eq!(joins[0].left_column, "cid");
+        assert_eq!(joins[0].right_column, "id");
+
+        // ON must connect to an already-joined table
+        assert!(Command::parse("PREPARE q3 QUERY a JOIN b ON c.x=b.y").is_err());
+        // WHERE on an unjoined table is rejected
+        assert!(Command::parse("PREPARE q4 QUERY a WHERE b.x = 1").is_err());
+        assert!(Command::parse("PREPARE q5 QUERY a FROB b").is_err());
+        assert!(Command::parse("PREPARE q6 QUERY a EJOIN b ON xy MODEL m SIM 0.5").is_err());
     }
 
     #[test]

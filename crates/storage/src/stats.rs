@@ -113,6 +113,38 @@ impl Histogram {
         (rows / self.total as f64).clamp(0.0, 1.0)
     }
 
+    /// Re-scales the histogram to summarise `new_total` rows, preserving the
+    /// bucket boundaries and the relative mass distribution.
+    ///
+    /// This is the cross-join-boundary propagation primitive: an equi-join
+    /// neither reorders a column's value distribution nor (under the
+    /// uniform-matching assumption) skews it, it only multiplies the row
+    /// count — so the shape survives and only the per-bucket masses scale.
+    /// Returns `None` when `new_total` is zero (no rows, no histogram).
+    pub fn scaled(&self, new_total: usize) -> Option<Self> {
+        if new_total == 0 || self.total == 0 {
+            return None;
+        }
+        let factor = new_total as f64 / self.total as f64;
+        // Cumulative rounding keeps the scaled counts summing to exactly
+        // `new_total` (bucket-local rounding would drift by up to b/2 rows).
+        let mut counts = Vec::with_capacity(self.counts.len());
+        let mut acc = 0.0f64;
+        let mut emitted = 0usize;
+        for &c in &self.counts {
+            acc += c as f64 * factor;
+            let upto = acc.round() as usize;
+            counts.push(upto.saturating_sub(emitted));
+            emitted = upto;
+        }
+        Some(Self {
+            lows: self.lows.clone(),
+            highs: self.highs.clone(),
+            counts,
+            total: new_total,
+        })
+    }
+
     /// Exact mass of `x` when it occupies degenerate (single-value) buckets —
     /// the heavy-hitter refinement over the `1/ndv` equality estimate.
     /// `None` when no degenerate bucket holds `x`.
@@ -233,6 +265,31 @@ impl ColumnStats {
         }
     }
 
+    /// Derives the statistics this column would have after an operator that
+    /// keeps the value distribution but changes the row count to `new_rows`
+    /// (equi-join fan-out / fan-in, uniform filters).
+    ///
+    /// Min/max and the histogram *shape* are preserved; per-bucket masses,
+    /// null count, and the distinct count (capped at the new row count) scale.
+    pub fn scaled(&self, new_rows: usize) -> Self {
+        let factor = if self.row_count == 0 {
+            0.0
+        } else {
+            new_rows as f64 / self.row_count as f64
+        };
+        Self {
+            row_count: new_rows,
+            null_count: ((self.null_count as f64 * factor).round() as usize).min(new_rows),
+            // A join never invents values: ndv is bounded by both the old ndv
+            // and the new cardinality.
+            distinct_count: self.distinct_count.min(new_rows.max(1)),
+            min: self.min.clone(),
+            max: self.max.clone(),
+            histogram: self.histogram.as_ref().and_then(|h| h.scaled(new_rows)),
+            avg_utf8_len: self.avg_utf8_len,
+        }
+    }
+
     /// Estimated fraction of rows with value `< v` (`None` when the column
     /// has no histogram or `v` is not in its domain).
     pub fn fraction_lt(&self, v: &ScalarValue) -> Option<f64> {
@@ -293,6 +350,13 @@ impl TableStats {
             row_count: table.num_rows(),
             columns,
         }
+    }
+
+    /// Builds a statistics view from already-derived column stats — how the
+    /// planner synthesises statistics for join *outputs* (where no base table
+    /// exists to `ANALYZE`).
+    pub fn from_columns(row_count: usize, columns: HashMap<String, ColumnStats>) -> Self {
+        Self { row_count, columns }
     }
 
     /// The statistics of one column, if analyzed.

@@ -183,7 +183,7 @@ fn explain_shows_persistent_index_and_probe_filters() {
     session.with_strategy(index_strategy());
     let text = session
         .query("outer_rel")
-        .ejoin_plan(
+        .ejoin_with(
             LogicalPlan::scan("inner_rel").select(col("filter").lt(lit_i64(50))),
             ("word", "word"),
             "fasttext",
