@@ -502,6 +502,59 @@ impl IndexManager {
         dropped
     }
 
+    /// Atomically replaces `table`'s resident indexes with `replacements`
+    /// (graphs extended over the table's new rows) and bumps the table's
+    /// invalidation epoch in the same critical section.
+    ///
+    /// This is the index half of applying a delta: the catalog publishes the
+    /// new table version, the caller extends each resident graph with the
+    /// appended vectors, and this method swaps them in so that (a) queries
+    /// that snapshot the table *after* the swap hit the extended graph
+    /// directly, (b) stragglers holding the pre-delta snapshot observe the
+    /// epoch bump and fall back to a private build over their own snapshot,
+    /// and (c) an in-flight build against the old rows can never publish
+    /// over the replacement.  Entries of `table` not named in `replacements`
+    /// are dropped (their graphs cover the old rows).
+    pub fn publish_replacements(&self, table: &str, replacements: Vec<(IndexKey, Arc<HnswIndex>)>) {
+        let mut write = self.indexes.write();
+        // Same discipline as `invalidate_where`: the epoch bump happens under
+        // the `indexes` write lock so publication/read checks see the bump
+        // and the swap as one atomic event.
+        {
+            let mut epochs = self.epochs.lock().unwrap_or_else(|e| e.into_inner());
+            *epochs.tables.entry(table.to_string()).or_insert(0) += 1;
+        }
+        let before = write.len();
+        write.retain(|key, _| key.table != table);
+        self.invalidations
+            .fetch_add((before - write.len()) as u64, Ordering::Relaxed);
+        let tick = self.tick();
+        for (key, index) in replacements {
+            debug_assert_eq!(key.table, table, "replacement key must match the table");
+            write.insert(
+                key,
+                CachedIndex {
+                    bytes: index.memory_bytes(),
+                    index,
+                    last_used: AtomicU64::new(tick),
+                },
+            );
+        }
+        self.enforce_budget(&mut write, None);
+    }
+
+    /// The keys of every resident index over `table`, so a delta applier can
+    /// enumerate which graphs need extending before calling
+    /// [`IndexManager::publish_replacements`].
+    pub fn keys_for_table(&self, table: &str) -> Vec<IndexKey> {
+        self.indexes
+            .read()
+            .keys()
+            .filter(|key| key.table == table)
+            .cloned()
+            .collect()
+    }
+
     /// Drops every index built with `model` (called when the model is
     /// re-registered, because resident graphs hold the old model's vectors).
     /// Returns the number of indexes dropped.
@@ -846,6 +899,30 @@ mod tests {
         assert!(!manager.contains(&key("hot")));
         manager.set_budget(None);
         assert!(manager.would_stay_resident(usize::MAX));
+    }
+
+    #[test]
+    fn publish_replacements_swaps_graphs_and_fences_stale_readers() {
+        let manager = IndexManager::new();
+        let (old, _) = manager.get_or_build(&key("t"), build_small).unwrap();
+        manager.get_or_build(&key("other"), build_small).unwrap();
+        let stale_epoch = manager.publication_epoch(&key("t"));
+        assert_eq!(manager.keys_for_table("t"), vec![key("t")]);
+        let replacement = Arc::new(build_small().unwrap());
+        manager.publish_replacements("t", vec![(key("t"), replacement.clone())]);
+        // a fresh reader hits the replacement without building
+        let (served, built) = manager.get_or_build(&key("t"), build_small).unwrap();
+        assert!(!built, "replacement must be a cache hit");
+        assert!(Arc::ptr_eq(&served, &replacement));
+        assert!(!Arc::ptr_eq(&served, &old));
+        // a reader holding the pre-delta snapshot must not see the new graph
+        let (private, built, _) = manager
+            .get_or_build_tracked_from(stale_epoch, &key("t"), build_small)
+            .unwrap();
+        assert!(built, "stale snapshot pays a private build");
+        assert!(!Arc::ptr_eq(&private, &replacement));
+        // unrelated tables are untouched
+        assert!(manager.contains(&key("other")));
     }
 
     #[test]

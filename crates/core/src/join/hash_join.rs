@@ -71,6 +71,26 @@ impl HashSide {
         self.table.num_rows()
     }
 
+    /// The materialised build-side table.
+    #[cfg(test)]
+    pub(crate) fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Appends `rows` to the build side in place, hashing the new rows under
+    /// the same key `column`.  Row indices of existing entries are unchanged
+    /// (appends go at the end), so a standing query's maintained join state
+    /// stays aligned with the table version the delta produced.
+    pub(crate) fn extend_build(&mut self, rows: &Table, column: &str) -> Result<()> {
+        let keys = key_column(rows, column)?;
+        let base = self.table.num_rows();
+        for (i, k) in keys.into_iter().enumerate() {
+            self.map.entry(k).or_default().push(base + i);
+        }
+        self.table = Table::concat(&[&self.table, rows]).map_err(CoreError::from)?;
+        Ok(())
+    }
+
     /// Probes with `left` (in row order) and materialises the joined output:
     /// left columns then right columns, names preserved, matches ordered by
     /// probe row first and build row second.
@@ -161,6 +181,27 @@ mod tests {
             .map(|f| f.name.as_str())
             .collect();
         assert_eq!(names, vec!["fk", "caption", "id", "tag"]);
+    }
+
+    #[test]
+    fn extend_build_matches_a_fresh_build() {
+        let mut grown = HashSide::build(dim(), "id").unwrap();
+        let added = TableBuilder::new()
+            .int64("id", vec![3, 1])
+            .utf8("tag", vec!["w".into(), "v".into()])
+            .build()
+            .unwrap();
+        grown.extend_build(&added, "id").unwrap();
+        assert_eq!(grown.build_rows(), 5);
+        let fresh = HashSide::build(Table::concat(&[&dim(), &added]).unwrap(), "id").unwrap();
+        let via_grown = grown.probe(&fact(), "fk").unwrap();
+        let via_fresh = fresh.probe(&fact(), "fk").unwrap();
+        assert_eq!(via_grown.num_rows(), via_fresh.num_rows());
+        assert_eq!(
+            via_grown.column_by_name("tag").unwrap().as_utf8().unwrap(),
+            via_fresh.column_by_name("tag").unwrap().as_utf8().unwrap()
+        );
+        assert_eq!(grown.table().num_rows(), 5);
     }
 
     #[test]

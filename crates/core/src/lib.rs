@@ -49,6 +49,7 @@ pub mod cost;
 pub mod error;
 pub mod executor;
 pub mod index_manager;
+pub mod ivm;
 pub mod join;
 #[cfg(test)]
 mod multi_join_tests;
@@ -65,6 +66,10 @@ pub use cost::{CostModel, CostParameters};
 pub use error::CoreError;
 pub use executor::{EmbeddingCachePool, ExecContext, ExecOutcome, RunStats};
 pub use index_manager::{IndexKey, IndexManager, IndexManagerStats};
+pub use ivm::{
+    DeltaBatch, DeltaEngine, IvmPolicy, IvmStats, MaintainedResult, Propagation, ResultDelta,
+    StandingQuery, StandingStats, TableChange,
+};
 pub use join::index_join::{IndexJoin, IndexJoinConfig};
 pub use join::naive_nlj::NaiveNlJoin;
 pub use join::prefetch_nlj::{NljConfig, PrefetchNlJoin};
@@ -75,7 +80,11 @@ pub use physical_plan::{
 pub use planner::Planner;
 pub use prepared::{ExplainAnalyze, PreparedQuery};
 pub use result::{JoinPair, JoinResult, JoinStats};
-pub use session::{ContextJoinSession, ExecutionReport, JoinStrategy};
+pub use session::{ContextJoinSession, DeltaReport, ExecutionReport, JoinStrategy};
+
+// The delta vocabulary of [`ContextJoinSession::apply_delta`], re-exported so
+// API users need not depend on `cej-storage` directly.
+pub use cej_storage::{Delta, ScalarValue};
 
 /// Result alias for the core layer.
 pub type Result<T> = std::result::Result<T, CoreError>;

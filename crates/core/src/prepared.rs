@@ -31,6 +31,7 @@ use cej_relational::{LogicalPlan, SimilarityPredicate};
 
 use crate::error::CoreError;
 use crate::executor::ExecContext;
+use crate::ivm::IvmPolicy;
 use crate::physical_plan::{InnerInput, PhysicalPlan};
 use crate::planner::threshold_selectivity;
 use crate::session::{ContextJoinSession, ExecutionReport};
@@ -101,6 +102,38 @@ impl<'s> PreparedQuery<'s> {
             physical: self.physical,
             _borrow: std::marker::PhantomData,
         }
+    }
+
+    /// The session handle this query executes against (shared state).
+    pub(crate) fn exec_session(&self) -> &ContextJoinSession {
+        &self.session
+    }
+
+    /// The registry snapshot this query was planned against.
+    pub(crate) fn exec_registry(&self) -> Arc<ModelRegistry> {
+        self.registry.clone()
+    }
+
+    /// Turns this prepared query into a delta-maintained
+    /// [`crate::ivm::StandingQuery`] with the default [`IvmPolicy`]: one
+    /// seeding run now, then every
+    /// [`crate::session::ContextJoinSession::apply_delta`] that touches one
+    /// of its tables updates the maintained result incrementally (or by a
+    /// full re-run when propagation would not be exact) and queues a
+    /// [`crate::ivm::ResultDelta`] frame.
+    ///
+    /// # Errors
+    /// Propagates execution errors from the seeding run.
+    pub fn subscribe(self) -> Result<crate::ivm::StandingQuery> {
+        self.subscribe_with(IvmPolicy::default())
+    }
+
+    /// [`PreparedQuery::subscribe`] with explicit maintenance tunables.
+    ///
+    /// # Errors
+    /// Propagates execution errors from the seeding run.
+    pub fn subscribe_with(self, policy: IvmPolicy) -> Result<crate::ivm::StandingQuery> {
+        crate::ivm::subscribe(self.detach(), policy)
     }
 
     /// The optimised logical plan this query was planned from.
@@ -355,6 +388,18 @@ fn rebind_logical(plan: &mut LogicalPlan, threshold: f32, target: Option<usize>,
             if targeted {
                 *predicate = SimilarityPredicate::Threshold(threshold);
             }
+        }
+    }
+}
+
+impl Clone for PreparedQuery<'_> {
+    fn clone(&self) -> Self {
+        Self {
+            session: self.session.clone(),
+            registry: self.registry.clone(),
+            optimized: self.optimized.clone(),
+            physical: self.physical.clone(),
+            _borrow: std::marker::PhantomData,
         }
     }
 }

@@ -40,13 +40,15 @@ use std::sync::Arc;
 
 use cej_embedding::{Embedder, EmbeddingStats};
 use cej_relational::{physical::ModelRegistry, reorder_joins, Catalog, LogicalPlan, Optimizer};
-use cej_storage::Table;
+use cej_storage::{Delta, Table};
 
 use crate::access_path::{AccessPath, AccessPathAdvisor};
 use crate::builder::QueryBuilder;
 use crate::error::CoreError;
-use crate::executor::EmbeddingCachePool;
+use crate::executor::{EmbeddingCachePool, RunEmbedder};
 use crate::index_manager::IndexManager;
+use crate::ivm::{ChangeOutcome, IvmRuntime, IvmStats, StandingQuery, TableChange};
+use crate::join::embed_all;
 use crate::join::index_join::IndexJoinConfig;
 use crate::join::prefetch_nlj::NljConfig;
 use crate::join::tensor_join::TensorJoinConfig;
@@ -105,6 +107,25 @@ pub struct ExecutionReport {
     pub scheduler: cej_exec::PoolMetrics,
 }
 
+/// What one [`ContextJoinSession::apply_delta`] did: the published table
+/// version plus how the session's standing queries absorbed the change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Version number of the table after this delta.
+    pub version: u64,
+    /// Base rows the delta appended.
+    pub added_rows: usize,
+    /// Base rows the delta removed.
+    pub removed_rows: usize,
+    /// Standing queries that read the table (propagated + refreshed).
+    pub standing_updated: usize,
+    /// Standing queries updated by exact delta propagation.
+    pub propagated: usize,
+    /// Standing queries updated by a full re-run (non-linear operator,
+    /// oversized delta, or divergence recovery).
+    pub refreshed: usize,
+}
+
 /// The `Arc`-shared state behind every [`ContextJoinSession`] handle.
 struct SessionState {
     catalog: Catalog,
@@ -114,6 +135,7 @@ struct SessionState {
     optimizer: Optimizer,
     embeddings: EmbeddingCachePool,
     indexes: IndexManager,
+    ivm: IvmRuntime,
 }
 
 /// The end-to-end hybrid vector-relational session: a cheap handle over
@@ -151,6 +173,7 @@ impl ContextJoinSession {
                 optimizer: Optimizer::with_default_rules(),
                 embeddings: EmbeddingCachePool::new(),
                 indexes: IndexManager::new(),
+                ivm: IvmRuntime::default(),
             }),
         }
     }
@@ -309,6 +332,126 @@ impl ContextJoinSession {
     /// and join errors.
     pub fn execute(&self, plan: &LogicalPlan) -> Result<ExecutionReport> {
         self.prepare(plan)?.run()
+    }
+
+    /// The session's IVM runtime (standing-query registry plus delta
+    /// bookkeeping).
+    pub(crate) fn ivm_runtime(&self) -> &IvmRuntime {
+        &self.state.ivm
+    }
+
+    /// Aggregate IVM counters: registered standing queries, applied deltas,
+    /// propagation/refresh split, and propagation-latency percentiles.
+    pub fn ivm_stats(&self) -> IvmStats {
+        self.state.ivm.stats()
+    }
+
+    /// Looks up a registered standing query by id (a second handle onto the
+    /// same mailbox — what the serving layer's `SUBSCRIBE <id>` resolves).
+    pub fn standing_query(&self, id: u64) -> Option<StandingQuery> {
+        self.state.ivm.get(id)
+    }
+
+    /// Deregisters a standing query: later deltas no longer maintain it.
+    /// Outstanding handles keep their (now frozen) state.  Returns whether
+    /// the id was registered.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        self.state.ivm.unregister(id)
+    }
+
+    /// Applies a batch mutation to a registered table and drives the whole
+    /// incremental-maintenance pipeline:
+    ///
+    /// 1. the catalog publishes a new [`cej_storage::TableVersion`] (and
+    ///    folds the change into the table's statistics incrementally);
+    /// 2. resident HNSW indexes over the table are **extended in place**
+    ///    for append-only deltas (new vectors inserted into a clone of the
+    ///    persistent graph, atomically swapped in) or invalidated when rows
+    ///    were removed (row ids shift);
+    /// 3. every standing query that reads the table absorbs the change —
+    ///    by exact delta propagation where linear, by a full re-run where
+    ///    not — and queues a [`crate::ivm::ResultDelta`] frame.
+    ///
+    /// Whole applications are serialised on an internal gate, so every
+    /// standing query observes table changes in one global order.
+    ///
+    /// # Errors
+    /// Propagates schema/key-type mismatches from the delta check, and
+    /// catalog, embedding, index, and execution errors from maintenance.
+    pub fn apply_delta(&self, table: &str, delta: &Delta) -> Result<DeltaReport> {
+        let _gate = self.state.ivm.apply_gate.lock();
+        let (head, applied) = self
+            .state
+            .catalog
+            .apply_delta(table, delta)
+            .map_err(CoreError::from)?;
+        if applied.removed.num_rows() == 0 {
+            self.extend_table_indexes(table, &applied.added)?;
+        } else {
+            self.state.indexes.invalidate_table(table);
+        }
+        let version = head.version();
+        let change = TableChange {
+            table: table.to_string(),
+            added: applied.added,
+            removed: applied.removed,
+        };
+        let start = std::time::Instant::now();
+        let queries = self.state.ivm.queries();
+        let mut outcomes = Vec::with_capacity(queries.len());
+        for query in &queries {
+            outcomes.push(query.on_table_change(&change, version)?);
+        }
+        self.state.ivm.record_apply(&outcomes, start.elapsed());
+        let propagated = outcomes
+            .iter()
+            .filter(|o| **o == ChangeOutcome::Propagated)
+            .count();
+        let refreshed = outcomes
+            .iter()
+            .filter(|o| **o == ChangeOutcome::Refreshed)
+            .count();
+        Ok(DeltaReport {
+            version,
+            added_rows: change.added.num_rows(),
+            removed_rows: change.removed.num_rows(),
+            standing_updated: propagated + refreshed,
+            propagated,
+            refreshed,
+        })
+    }
+
+    /// Append-only index maintenance: embeds the appended rows' strings for
+    /// every resident index over `table` and publishes extended graphs in
+    /// one atomic swap.  Indexes whose extension fails (e.g. a replaced
+    /// column) are simply dropped and rebuilt on next use.  Always bumps the
+    /// table's publication epoch, fencing in-flight builds over the old
+    /// snapshot.
+    fn extend_table_indexes(&self, table: &str, added: &Table) -> Result<()> {
+        let keys = self.state.indexes.keys_for_table(table);
+        let registry = self.model_registry();
+        let mut replacements = Vec::new();
+        for key in keys {
+            let Some(index) = self.state.indexes.get(&key) else {
+                continue;
+            };
+            let Ok(column) = added.column_by_name(&key.column) else {
+                continue;
+            };
+            let Ok(strings) = column.as_utf8() else {
+                continue;
+            };
+            let Ok(cache) = self.state.embeddings.cache(&key.model, &registry) else {
+                continue;
+            };
+            let run = RunEmbedder::new(cache.as_ref());
+            let matrix = embed_all(&run, strings)?;
+            if let Ok(extended) = index.extend(&matrix) {
+                replacements.push((key, Arc::new(extended)));
+            }
+        }
+        self.state.indexes.publish_replacements(table, replacements);
+        Ok(())
     }
 
     /// Resolves a model by name from the shared registry.

@@ -826,6 +826,102 @@ impl HnswIndex {
         })
     }
 
+    /// Extends the index with additional vectors, returning a new index
+    /// that contains the old graph plus the new nodes — the incremental
+    /// insert path for delta maintenance, where rebuilding the whole graph
+    /// per append would cost O(table) instead of O(delta).
+    ///
+    /// New nodes are inserted sequentially with the classic algorithm: each
+    /// is planned against the full existing graph, so graph quality matches
+    /// a sequential build's tail inserts.  Node levels are drawn from the
+    /// same seeded RNG stream as construction, skipping the draws the
+    /// existing nodes consumed — an index extended in two steps assigns the
+    /// same levels as one extended in a single step.  Existing node ids are
+    /// stable: new rows take ids `old_len..old_len + added.rows()`, matching
+    /// their row offsets in the concatenated base table.
+    ///
+    /// `self` is untouched (live probes keep their snapshot); the returned
+    /// index is the replacement to publish.
+    ///
+    /// # Errors
+    /// Returns [`IndexError::DimensionMismatch`] when `added`'s width
+    /// differs from the indexed vectors.
+    pub fn extend(&self, added: &Matrix) -> Result<Self> {
+        if added.rows() == 0 {
+            return Ok(self.clone());
+        }
+        if added.cols() != self.dim() {
+            return Err(IndexError::DimensionMismatch {
+                indexed: self.dim(),
+                query: added.cols(),
+            });
+        }
+        let old_n = self.len();
+        let n = old_n + added.rows();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let lambda = self.params.level_lambda();
+        for _ in 0..old_n {
+            let _: f64 = rng.gen_range(f64::EPSILON..1.0);
+        }
+        let mut levels = self.levels.clone();
+        levels.extend((0..added.rows()).map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            (-u.ln() * lambda).floor() as usize
+        }));
+
+        let mut vectors = self.vectors.clone();
+        for r in 0..added.rows() {
+            vectors
+                .push_row(added.row(r).expect("row in range"))
+                .expect("dimensions checked above");
+        }
+
+        // Re-materialise the committed graph behind per-node locks so the
+        // shared build machinery (plan / commit / connect / prune) applies.
+        let adj = LockedAdjacency::new(&levels);
+        for (id, per_layer) in self.neighbors.iter().enumerate() {
+            let mut guard = adj.lists[id].lock();
+            for (layer, list) in per_layer.iter().enumerate() {
+                guard[layer] = list.clone();
+            }
+        }
+        let builder = GraphBuilder {
+            vectors: &vectors,
+            params: &self.params,
+            levels: &levels,
+            adj: &adj,
+        };
+        let mut entry = self.entry_point;
+        let mut max_level = self.max_level;
+        let mut scratch = SearchScratch::new(n);
+        for (id, &level) in levels.iter().enumerate().take(n).skip(old_n) {
+            let plan = builder.plan_insert(id, entry, max_level, &mut scratch);
+            builder.commit_own_links(&plan);
+            for (layer, selected) in plan.selected.iter().enumerate() {
+                for &nb in selected {
+                    builder.connect(nb as usize, id, layer);
+                }
+            }
+            if level > max_level {
+                max_level = level;
+                entry = id;
+            }
+        }
+        // Amortised pruning may leave lists overshot; restore the bounds.
+        // Per-node pruning is independent, so the pool split cannot affect
+        // the result.
+        builder.final_prune(ExecPool::global());
+
+        Ok(HnswIndex {
+            params: self.params,
+            vectors,
+            neighbors: adj.into_lists(),
+            levels,
+            entry_point: entry,
+            max_level,
+        })
+    }
+
     /// Number of indexed vectors.
     pub fn len(&self) -> usize {
         self.vectors.rows()
@@ -1263,5 +1359,73 @@ mod tests {
             assert_eq!(wide_res.neighbors.len(), 5);
             assert_eq!(narrow_res.neighbors.len(), 5);
         }
+    }
+
+    /// Split a matrix into `[0, at)` and `[at, rows)` halves.
+    fn split_rows(m: &Matrix, at: usize) -> (Matrix, Matrix) {
+        let mut head = Matrix::zeros(0, m.cols());
+        let mut tail = Matrix::zeros(0, m.cols());
+        for r in 0..m.rows() {
+            let row = m.row(r).unwrap();
+            if r < at {
+                head.push_row(row).unwrap();
+            } else {
+                tail.push_row(row).unwrap();
+            }
+        }
+        (head, tail)
+    }
+
+    #[test]
+    fn extend_appends_searchable_rows() {
+        let vectors = clustered(5, 40, 12, 43);
+        let (head, tail) = split_rows(&vectors, 150);
+        let base = HnswIndex::build(head, HnswParams::tiny().with_ef_search(64)).unwrap();
+        let grown = base.extend(&tail).unwrap();
+        assert_eq!(grown.len(), vectors.rows());
+        assert_eq!(base.len(), 150, "extend must not mutate the original");
+        for probe in [0usize, 149, 150, 175, 199] {
+            let res = grown.search(vectors.row(probe).unwrap(), 1, None).unwrap();
+            assert_eq!(res.neighbors[0].id, probe, "self-query after extend");
+        }
+        let recall = self_probe_recall(&grown, &vectors, 10, 17).unwrap();
+        assert!(recall > 0.8, "recall {recall} too low after extend");
+    }
+
+    #[test]
+    fn extend_preserves_degree_bounds_and_level_schedule() {
+        let vectors = clustered(4, 50, 8, 9);
+        let params = HnswParams::tiny();
+        let (head, tail) = split_rows(&vectors, 120);
+        let grown = HnswIndex::build(head, params)
+            .unwrap()
+            .extend(&tail)
+            .unwrap();
+        let full = HnswIndex::build(vectors, params).unwrap();
+        // The level draws are replayed from the shared seed, so an extended
+        // index assigns exactly the levels a from-scratch build would.
+        assert_eq!(grown.levels, full.levels);
+        assert_eq!(grown.max_level, full.max_level);
+        for (node, per_layer) in grown.neighbors.iter().enumerate() {
+            for (layer, list) in per_layer.iter().enumerate() {
+                assert!(
+                    list.len() <= params.max_neighbors(layer),
+                    "node {node} layer {layer} exceeds bound after extend"
+                );
+                assert!(!list.contains(&(node as u32)), "self-link at node {node}");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_edge_cases() {
+        let vectors = clustered(3, 20, 8, 51);
+        let idx = HnswIndex::build(vectors.clone(), HnswParams::tiny()).unwrap();
+        let same = idx.extend(&Matrix::zeros(0, 8)).unwrap();
+        assert_eq!(same.len(), idx.len());
+        assert!(matches!(
+            idx.extend(&Matrix::zeros(2, 4)),
+            Err(IndexError::DimensionMismatch { .. })
+        ));
     }
 }

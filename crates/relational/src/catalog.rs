@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use cej_storage::{Table, TableStats};
+use cej_storage::{AppliedDelta, Delta, Table, TableStats, TableVersion};
 use parking_lot::RwLock;
 
 use crate::error::RelationalError;
@@ -34,6 +34,7 @@ use crate::Result;
 struct CatalogMaps {
     tables: HashMap<String, Arc<Table>>,
     stats: HashMap<String, Arc<TableStats>>,
+    versions: HashMap<String, Arc<TableVersion>>,
 }
 
 /// A named collection of in-memory tables that plans can scan, plus the
@@ -75,7 +76,86 @@ impl Catalog {
         let stats = Arc::new(table.analyze());
         let mut maps = self.maps.write();
         maps.stats.insert(name.to_string(), stats);
+        maps.versions
+            .insert(name.to_string(), TableVersion::initial(table.clone()));
         maps.tables.insert(name.to_string(), table);
+    }
+
+    /// Applies a [`Delta`] to a registered table, atomically publishing the
+    /// new snapshot, an incrementally maintained statistics view, and the
+    /// advanced [`TableVersion`] head.  Returns the new head and the exact
+    /// added/removed row multisets for delta propagation.
+    ///
+    /// The delta is computed outside the lock against a version snapshot and
+    /// published only if the head has not moved (compare-and-swap with
+    /// retry), so concurrent appliers serialise without holding the write
+    /// lock during row movement.  Statistics are maintained in O(delta):
+    /// appends merge the analyzed delta batch into the existing view
+    /// ([`TableStats::merged_append`]), deletes scale the view down
+    /// ([`TableStats::scaled`]), upserts do both; an explicit
+    /// [`Catalog::analyze`] resets the accumulated approximation.
+    ///
+    /// # Errors
+    /// [`RelationalError::UnknownTable`] when absent; storage errors on
+    /// schema/key mismatch.
+    pub fn apply_delta(
+        &self,
+        name: &str,
+        delta: &Delta,
+    ) -> Result<(Arc<TableVersion>, AppliedDelta)> {
+        loop {
+            let (head, stats) = {
+                let maps = self.maps.read();
+                let head = maps
+                    .versions
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| RelationalError::UnknownTable(name.to_string()))?;
+                let stats = maps.stats.get(name).cloned();
+                (head, stats)
+            };
+            let (new_head, applied) = head.apply(delta).map_err(RelationalError::from)?;
+            let new_stats = stats.map(|s| Arc::new(incremental_stats(&s, &applied)));
+            let mut maps = self.maps.write();
+            let current = maps
+                .versions
+                .get(name)
+                .ok_or_else(|| RelationalError::UnknownTable(name.to_string()))?;
+            if !Arc::ptr_eq(current, &head) {
+                // another applier (or a re-registration) advanced the table
+                // while we were computing — redo against the new head
+                continue;
+            }
+            maps.tables
+                .insert(name.to_string(), new_head.table().clone());
+            if let Some(s) = new_stats {
+                maps.stats.insert(name.to_string(), s);
+            }
+            maps.versions.insert(name.to_string(), new_head.clone());
+            return Ok((new_head, applied));
+        }
+    }
+
+    /// The current version number of a table's delta chain (0 at
+    /// registration, +1 per applied delta).
+    ///
+    /// # Errors
+    /// Returns [`RelationalError::UnknownTable`] when absent.
+    pub fn version(&self, name: &str) -> Result<u64> {
+        Ok(self.table_version(name)?.version())
+    }
+
+    /// The head of a table's [`TableVersion`] chain.
+    ///
+    /// # Errors
+    /// Returns [`RelationalError::UnknownTable`] when absent.
+    pub fn table_version(&self, name: &str) -> Result<Arc<TableVersion>> {
+        self.maps
+            .read()
+            .versions
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RelationalError::UnknownTable(name.to_string()))
     }
 
     /// The statistics view of a table — what plan-time consumers of row
@@ -121,6 +201,7 @@ impl Catalog {
     pub fn unregister(&self, name: &str) -> bool {
         let mut maps = self.maps.write();
         maps.stats.remove(name);
+        maps.versions.remove(name);
         maps.tables.remove(name).is_some()
     }
 
@@ -156,6 +237,21 @@ impl Catalog {
     pub fn is_empty(&self) -> bool {
         self.maps.read().tables.is_empty()
     }
+}
+
+/// Maintains a table's statistics view across an applied delta in O(delta):
+/// removals scale the view down, additions merge the analyzed delta batch.
+fn incremental_stats(old: &TableStats, applied: &AppliedDelta) -> TableStats {
+    let after_delete = old.row_count.saturating_sub(applied.removed.num_rows());
+    let mut stats = if applied.removed.num_rows() > 0 {
+        old.scaled(after_delete)
+    } else {
+        old.clone()
+    };
+    if applied.added.num_rows() > 0 {
+        stats = stats.merged_append(&applied.added.analyze());
+    }
+    stats
 }
 
 #[cfg(test)]
@@ -250,6 +346,92 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn apply_delta_advances_version_and_maintains_stats() {
+        use cej_storage::{Delta, ScalarValue};
+        let c = Catalog::new();
+        c.register(
+            "t",
+            TableBuilder::new()
+                .int64("id", (0..100).collect())
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(c.version("t").unwrap(), 0);
+        let snapshot = c.table("t").unwrap();
+
+        let add = TableBuilder::new()
+            .int64("id", (100..110).collect())
+            .build()
+            .unwrap();
+        let (head, applied) = c.apply_delta("t", &Delta::Append(add)).unwrap();
+        assert_eq!(head.version(), 1);
+        assert_eq!(applied.added.num_rows(), 10);
+        assert_eq!(c.version("t").unwrap(), 1);
+        assert_eq!(c.table("t").unwrap().num_rows(), 110);
+        // stats were maintained incrementally, not re-analyzed
+        let stats = c.stats("t").unwrap();
+        assert_eq!(stats.row_count, 110);
+        assert_eq!(stats.column("id").unwrap().distinct_count, 110);
+        // live plans keep their snapshot
+        assert_eq!(snapshot.num_rows(), 100);
+
+        let (_, applied) = c
+            .apply_delta(
+                "t",
+                &Delta::DeleteByKey {
+                    key_column: "id".into(),
+                    keys: (0..55).map(ScalarValue::Int64).collect(),
+                },
+            )
+            .unwrap();
+        assert_eq!(applied.removed.num_rows(), 55);
+        assert_eq!(c.table("t").unwrap().num_rows(), 55);
+        assert_eq!(c.stats("t").unwrap().row_count, 55);
+        assert_eq!(c.version("t").unwrap(), 2);
+
+        assert!(c.apply_delta("missing", &Delta::Append(table())).is_err());
+        // re-registration resets the chain
+        c.register("t", table());
+        assert_eq!(c.version("t").unwrap(), 0);
+        assert!(!c.unregister("gone"));
+        assert!(c.unregister("t"));
+        assert!(c.version("t").is_err());
+    }
+
+    #[test]
+    fn concurrent_appliers_serialise() {
+        use cej_storage::Delta;
+        let c = Arc::new(Catalog::new());
+        c.register(
+            "t",
+            TableBuilder::new().int64("id", vec![]).build().unwrap(),
+        );
+        let mut handles = Vec::new();
+        for t in 0..4i64 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    let rows = TableBuilder::new()
+                        .int64("id", vec![t * 1000 + i])
+                        .build()
+                        .unwrap();
+                    c.apply_delta("t", &Delta::Append(rows)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            c.version("t").unwrap(),
+            100,
+            "every delta landed exactly once"
+        );
+        assert_eq!(c.table("t").unwrap().num_rows(), 100);
+        assert_eq!(c.stats("t").unwrap().row_count, 100);
     }
 
     #[test]

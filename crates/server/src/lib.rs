@@ -32,6 +32,18 @@
 //! at a different similarity threshold without replanning; `PROBE` joins
 //! ad-hoc request text against a registered table through a prepared
 //! template — the "user query string" path of a live service.
+//!
+//! ## Live incremental views
+//!
+//! `SUBSCRIBE <id>` turns a prepared statement into a standing query
+//! ([`cej_core::StandingQuery`]): from then on, any connection's
+//! `APPLY <table> …` mutation that changes its result pushes a checksummed
+//! `DELTA` frame to the subscribing connection.  Frames are flushed between
+//! requests and whenever the connection is idle (the read-timeout tick), so
+//! they never interleave with a response payload; [`Client::wait_delta`]
+//! receives them.  Maintenance is incremental where the delta-propagation
+//! engine is exact and a transparent full re-run otherwise — either way the
+//! frame is an exact result diff.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -40,19 +52,19 @@ pub mod admission;
 pub mod latency;
 pub mod protocol;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use cej_core::{ContextJoinSession, PreparedQuery};
+use cej_core::{ContextJoinSession, PreparedQuery, StandingQuery};
 use cej_storage::TableBuilder;
 
 use admission::AdmissionGate;
 use latency::LatencyRecorder;
-use protocol::{render_table, render_text, Command, StatementSpec};
+use protocol::{build_delta, render_delta, render_table, render_text, Command, StatementSpec};
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -225,6 +237,7 @@ fn connection_loop(stream: TcpStream, shared: Arc<ServerShared>, conn_id: u64) {
     };
     let mut reader = BufReader::new(stream);
     let mut statements: HashMap<String, Statement> = HashMap::new();
+    let mut subscriptions: HashMap<u64, StandingQuery> = HashMap::new();
     // one session handle per connection, all sharing the server's state
     let mut session = shared.session.clone();
     let probe_table = format!("__probe_{conn_id}");
@@ -242,6 +255,12 @@ fn connection_loop(stream: TcpStream, shared: Arc<ServerShared>, conn_id: u64) {
                 // keep them and continue accumulating (only a completed
                 // line may be cleared)
                 if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                // the idle tick: stream pending standing-query frames —
+                // between requests, so they never interleave with a
+                // response payload
+                if flush_deltas(&mut writer, &subscriptions).is_err() {
                     break;
                 }
                 continue;
@@ -263,11 +282,17 @@ fn connection_loop(stream: TcpStream, shared: Arc<ServerShared>, conn_id: u64) {
                 &shared,
                 &mut session,
                 &mut statements,
+                &mut subscriptions,
                 &probe_table,
             ),
         };
         line.clear();
         if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        // frames triggered by this connection's own APPLY (or queued while
+        // a request was being served) go out right behind the response
+        if flush_deltas(&mut writer, &subscriptions).is_err() {
             break;
         }
         // also honour shutdown between requests: a client pipelining
@@ -276,8 +301,34 @@ fn connection_loop(stream: TcpStream, shared: Arc<ServerShared>, conn_id: u64) {
             break;
         }
     }
-    // reap this connection's scratch state from the shared catalog
+    // reap this connection's scratch state from the shared catalog and
+    // deregister its standing queries so they stop accumulating frames
+    for sub in subscriptions.keys() {
+        session.unsubscribe(*sub);
+    }
     session.unregister_table(&probe_table);
+}
+
+/// Writes every pending frame of this connection's standing queries, in
+/// subscription order (frames within one subscription are already ordered
+/// by the mailbox).
+fn flush_deltas(
+    writer: &mut TcpStream,
+    subscriptions: &HashMap<u64, StandingQuery>,
+) -> std::io::Result<()> {
+    let mut flushed = false;
+    let mut subs: Vec<(&u64, &StandingQuery)> = subscriptions.iter().collect();
+    subs.sort_by_key(|(sub, _)| **sub);
+    for (sub, query) in subs {
+        while let Some(frame) = query.poll() {
+            writer.write_all(render_delta(*sub, &frame).as_bytes())?;
+            flushed = true;
+        }
+    }
+    if flushed {
+        writer.flush()?;
+    }
+    Ok(())
 }
 
 /// Executes one parsed command, returning the full response payload.
@@ -286,6 +337,7 @@ fn dispatch(
     shared: &ServerShared,
     session: &mut ContextJoinSession,
     statements: &mut HashMap<String, Statement>,
+    subscriptions: &mut HashMap<u64, StandingQuery>,
     probe_table: &str,
 ) -> String {
     match command {
@@ -382,6 +434,49 @@ fn dispatch(
                 }
             })
         }
+        Command::Subscribe { id } => match statements.get(&id) {
+            Some(Statement::Prepared(prepared)) => match prepared.clone().subscribe() {
+                Ok(query) => {
+                    let sub = query.id();
+                    subscriptions.insert(sub, query);
+                    format!("OK subscribed {sub}\n")
+                }
+                Err(e) => format!("ERR {e}\n"),
+            },
+            Some(Statement::ProbeTemplate(_)) => {
+                "ERR probe templates cannot be subscribed\n".to_string()
+            }
+            None => format!("ERR unknown statement `{id}`\n"),
+        },
+        Command::Unsubscribe { sub } => {
+            if subscriptions.remove(&sub).is_none() {
+                return format!("ERR unknown subscription `{sub}`\n");
+            }
+            session.unsubscribe(sub);
+            format!("OK unsubscribed {sub}\n")
+        }
+        Command::Apply { table, spec } => admit_and_time(shared, || {
+            let schema = match session.catalog().table(&table) {
+                Ok(t) => t.schema().clone(),
+                Err(e) => return format!("ERR {e}\n"),
+            };
+            let delta = match build_delta(&spec, &schema) {
+                Ok(d) => d,
+                Err(message) => return format!("ERR {message}\n"),
+            };
+            match session.apply_delta(&table, &delta) {
+                Ok(report) => format!(
+                    "OK applied {table} v{} +{} -{} standing={} propagated={} refreshed={}\n",
+                    report.version,
+                    report.added_rows,
+                    report.removed_rows,
+                    report.standing_updated,
+                    report.propagated,
+                    report.refreshed,
+                ),
+                Err(e) => format!("ERR {e}\n"),
+            }
+        }),
     }
 }
 
@@ -404,19 +499,23 @@ fn cej_err(message: String) -> cej_core::CoreError {
     cej_core::CoreError::InvalidInput(message)
 }
 
-/// Renders the `STATS` line: admission, latency, caches, indexes, pool.
+/// Renders the `STATS` line: admission, latency, caches, indexes, pool,
+/// and incremental-view maintenance counters.
 fn render_stats(shared: &ServerShared) -> String {
     let admission = shared.gate.stats();
     let latency = shared.latency.summary();
     let indexes = shared.session.index_manager().stats();
     let embeddings = shared.session.embedding_caches().stats();
     let pool = cej_exec::ExecPool::metrics();
+    let ivm = shared.session.ivm_stats();
     format!(
         "OK queries={} inflight={} queued={} admitted={} rejected={} peak_inflight={} \
          p50_us={} p95_us={} p99_us={} max_us={} \
          index_builds={} index_hits={} index_evictions={} index_resident={} index_bytes={} \
          embed_calls={} embed_hits={} \
-         pool_tasks={} pool_steals={} pool_injected={} pool_wakeups={} pool_queue_depth={} pool_workers={}\n",
+         pool_tasks={} pool_steals={} pool_injected={} pool_wakeups={} pool_queue_depth={} pool_workers={} \
+         standing={} deltas_applied={} ivm_propagations={} ivm_refreshes={} \
+         ivm_p50_us={} ivm_p95_us={} ivm_p99_us={}\n",
         shared.queries.load(Ordering::Relaxed),
         admission.inflight,
         admission.queued,
@@ -440,15 +539,45 @@ fn render_stats(shared: &ServerShared) -> String {
         pool.wakeups,
         pool.queue_depth,
         pool.workers,
+        ivm.standing,
+        ivm.deltas_applied,
+        ivm.propagations,
+        ivm.refreshes,
+        ivm.latency_us.0,
+        ivm.latency_us.1,
+        ivm.latency_us.2,
     )
 }
 
 /// A tiny blocking client for tests, benchmarks, and the load generator:
 /// sends one request line, reads one full response (`OK`/`ERR` line, or a
-/// framed `ROWS`/`TEXT` payload).
+/// framed `ROWS`/`TEXT` payload), and collects asynchronous `DELTA` frames
+/// ([`Client::wait_delta`]).
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// `DELTA` frames that arrived while a response was being read.
+    pending: VecDeque<DeltaFrame>,
+}
+
+/// One streamed standing-query frame, as parsed off the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaFrame {
+    /// Subscription id the frame belongs to.
+    pub subscription: u64,
+    /// Base-table version after the delta that produced this frame (0 for
+    /// overflow snapshot frames).
+    pub version: u64,
+    /// Result rows added.
+    pub added: usize,
+    /// Result rows removed.
+    pub removed: usize,
+    /// `delta`, `refresh`, or `snapshot`.
+    pub kind: String,
+    /// Header + signed (`+`/`-` prefixed) rows, as sent.
+    pub lines: Vec<String>,
+    /// FNV-1a checksum the server computed over the payload.
+    pub checksum: u64,
 }
 
 /// One parsed server response.
@@ -482,10 +611,13 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            pending: VecDeque::new(),
         })
     }
 
-    /// Sends one request line and reads the complete response.
+    /// Sends one request line and reads the complete response.  `DELTA`
+    /// frames the server flushed before the response are stashed for
+    /// [`Client::wait_delta`], never lost.
     ///
     /// # Errors
     /// Propagates I/O errors and malformed framing.
@@ -493,9 +625,17 @@ impl Client {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
-        let mut first = String::new();
-        self.read_line(&mut first)?;
-        let first = first.trim_end().to_string();
+        let first = loop {
+            let mut first = String::new();
+            self.read_line(&mut first)?;
+            let first = first.trim_end().to_string();
+            if first.starts_with("DELTA ") {
+                let frame = self.read_delta_body(&first)?;
+                self.pending.push_back(frame);
+                continue;
+            }
+            break first;
+        };
         if let Some(detail) = first.strip_prefix("OK") {
             return Ok(Response::Ok(detail.trim().to_string()));
         }
@@ -534,6 +674,91 @@ impl Client {
             return Ok(Response::Text(lines));
         }
         Err(bad_frame(&first))
+    }
+
+    /// Waits up to `timeout` for the next asynchronous `DELTA` frame —
+    /// stashed ones first, then the wire.  Returns `None` on timeout.
+    ///
+    /// # Errors
+    /// Propagates I/O errors and malformed framing.
+    pub fn wait_delta(&mut self, timeout: Duration) -> std::io::Result<Option<DeltaFrame>> {
+        if let Some(frame) = self.pending.pop_front() {
+            return Ok(Some(frame));
+        }
+        let deadline = Instant::now() + timeout;
+        self.reader
+            .get_ref()
+            .set_read_timeout(Some(Duration::from_millis(50)))?;
+        let mut buf = String::new();
+        let frame = loop {
+            match self.reader.read_line(&mut buf) {
+                Ok(0) => break None, // server closed: no more frames
+                Ok(_) => {
+                    let line = buf.trim_end().to_string();
+                    buf.clear();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    if !line.starts_with("DELTA ") {
+                        self.reader.get_ref().set_read_timeout(None)?;
+                        return Err(bad_frame(&line));
+                    }
+                    // the header is in: the body follows immediately, read
+                    // it blocking
+                    self.reader.get_ref().set_read_timeout(None)?;
+                    break Some(self.read_delta_body(&line)?);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // a timeout mid-line keeps the partial bytes in `buf`
+                    if Instant::now() >= deadline && buf.is_empty() {
+                        break None;
+                    }
+                }
+                Err(e) => {
+                    self.reader.get_ref().set_read_timeout(None)?;
+                    return Err(e);
+                }
+            }
+        };
+        self.reader.get_ref().set_read_timeout(None)?;
+        Ok(frame)
+    }
+
+    /// Reads the body of a `DELTA` frame whose header line was just read.
+    fn read_delta_body(&mut self, header: &str) -> std::io::Result<DeltaFrame> {
+        let fields: Vec<&str> = header.split_whitespace().collect();
+        let ["DELTA", sub, version, added, removed, _cols, kind] = fields.as_slice() else {
+            return Err(bad_frame(header));
+        };
+        let parse =
+            |token: &str| -> std::io::Result<u64> { token.parse().map_err(|_| bad_frame(header)) };
+        let (subscription, version) = (parse(sub)?, parse(version)?);
+        let (added, removed) = (parse(added)? as usize, parse(removed)? as usize);
+        let mut lines = Vec::with_capacity(1 + added + removed);
+        for _ in 0..1 + added + removed {
+            let mut l = String::new();
+            self.read_line(&mut l)?;
+            lines.push(l.trim_end().to_string());
+        }
+        let mut end = String::new();
+        self.read_line(&mut end)?;
+        let checksum = end
+            .trim_end()
+            .strip_prefix("END ")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| bad_frame(&end))?;
+        Ok(DeltaFrame {
+            subscription,
+            version,
+            added,
+            removed,
+            kind: (*kind).to_string(),
+            lines,
+            checksum,
+        })
     }
 
     /// Reads one line, retrying through read timeouts (the server sets none
@@ -734,6 +959,164 @@ mod tests {
         };
         assert!(lines.len() > 1, "legacy form returned no rows");
         assert_eq!(a, b, "legacy and QUERY forms must serve identical bytes");
+        server.shutdown();
+    }
+
+    /// Extracts `<sub>` from an `OK subscribed <sub>` detail.
+    fn sub_id(response: Response) -> u64 {
+        let Response::Ok(detail) = response else {
+            panic!("expected OK subscribed, got {response:?}");
+        };
+        detail
+            .strip_prefix("subscribed ")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("malformed subscribe detail `{detail}`"))
+    }
+
+    /// Re-derives a frame's checksum from its framed payload.
+    fn frame_checksum(frame: &DeltaFrame) -> u64 {
+        let mut payload = String::new();
+        for line in &frame.lines {
+            payload.push_str(line);
+            payload.push('\n');
+        }
+        protocol::fnv1a(payload.as_bytes())
+    }
+
+    #[test]
+    fn apply_streams_delta_frames_to_standing_subscriptions() {
+        let mut server = Server::start(star_session(), ServerConfig::default()).unwrap();
+        let wait = Duration::from_secs(10);
+
+        // subscriber 1: the multi-way four-table query
+        let mut multi = Client::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            multi.request(FOUR_TABLE_QUERY).unwrap(),
+            Response::Ok(_)
+        ));
+        let multi_sub = sub_id(multi.request("SUBSCRIBE q").unwrap());
+
+        // subscriber 2: a top-k ejoin over the same fact table
+        let mut topk = Client::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            topk.request("PREPARE t QUERY orders EJOIN products ON note~title MODEL ft TOPK 1")
+                .unwrap(),
+            Response::Ok(_)
+        ));
+        let topk_sub = sub_id(topk.request("SUBSCRIBE t").unwrap());
+
+        // a third connection mutates the fact table: both subscribers get
+        // exact checksummed frames
+        let mut applier = Client::connect(server.local_addr()).unwrap();
+        let Response::Ok(detail) = applier
+            .request("APPLY orders APPEND 7|30|500|garden barbecue")
+            .unwrap()
+        else {
+            panic!("expected OK applied");
+        };
+        assert!(detail.starts_with("applied orders v1 +1 -0"), "{detail}");
+        assert!(detail.contains("standing=2"), "{detail}");
+
+        let frame = multi.wait_delta(wait).unwrap().expect("multi-way frame");
+        assert_eq!(frame.subscription, multi_sub);
+        assert_eq!(frame.version, 1);
+        assert_eq!(frame.kind, "delta", "append must propagate incrementally");
+        assert_eq!(frame.removed, 0);
+        assert!(
+            frame.added >= 1,
+            "appended order must join through: {frame:?}"
+        );
+        assert_eq!(frame.checksum, frame_checksum(&frame));
+        // the new order (cust 30 → east region) rides every added row
+        assert!(
+            frame.lines[1..]
+                .iter()
+                .all(|l| l.starts_with('+') && l.contains("garden barbecue") && l.contains("east")),
+            "{frame:?}"
+        );
+
+        let frame = topk.wait_delta(wait).unwrap().expect("top-k frame");
+        assert_eq!(frame.subscription, topk_sub);
+        assert_eq!((frame.added, frame.removed), (1, 0), "{frame:?}");
+        assert_eq!(frame.kind, "delta");
+        assert_eq!(frame.checksum, frame_checksum(&frame));
+
+        // deleting the row streams the inverse diff to both subscribers
+        let Response::Ok(detail) = applier.request("APPLY orders DELETE order_id 7").unwrap()
+        else {
+            panic!("expected OK applied");
+        };
+        assert!(detail.starts_with("applied orders v2 +0 -1"), "{detail}");
+
+        let frame = multi
+            .wait_delta(wait)
+            .unwrap()
+            .expect("multi-way delete frame");
+        assert_eq!(frame.version, 2);
+        assert_eq!(frame.added, 0);
+        assert!(frame.removed >= 1, "{frame:?}");
+        assert!(
+            frame.lines[1..].iter().all(|l| l.starts_with('-')),
+            "{frame:?}"
+        );
+        let frame = topk.wait_delta(wait).unwrap().expect("top-k delete frame");
+        assert_eq!((frame.added, frame.removed), (0, 1), "{frame:?}");
+
+        // the maintained results drained back to the seed state: a fresh
+        // RUN of the same statement is byte-identical to before the churn
+        let Response::Rows { lines, .. } = multi.request("RUN q").unwrap() else {
+            panic!("expected rows");
+        };
+        assert!(
+            lines[1..].iter().all(|l| !l.contains("\t500\t")),
+            "{lines:?}"
+        );
+
+        // UNSUBSCRIBE stops the stream for that subscriber only
+        assert!(matches!(
+            topk.request(&format!("UNSUBSCRIBE {topk_sub}")).unwrap(),
+            Response::Ok(_)
+        ));
+        assert!(matches!(
+            applier
+                .request("APPLY orders UPSERT order_id 2|10|175|garden barbecue")
+                .unwrap(),
+            Response::Ok(_)
+        ));
+        let frame = multi.wait_delta(wait).unwrap().expect("upsert frame");
+        assert_eq!(frame.version, 3);
+        assert!(
+            topk.wait_delta(Duration::from_millis(300))
+                .unwrap()
+                .is_none(),
+            "unsubscribed connection must not receive frames"
+        );
+
+        // server stats expose the maintenance counters
+        let Response::Ok(stats) = applier.request("STATS").unwrap() else {
+            panic!("expected stats");
+        };
+        assert!(stats.contains("standing=1"), "{stats}");
+        assert!(stats.contains("deltas_applied=3"), "{stats}");
+        assert!(stats.contains("ivm_p50_us="), "{stats}");
+
+        // unknown ids and malformed payloads answer ERR, never disconnect
+        assert!(matches!(
+            applier.request("SUBSCRIBE ghost").unwrap(),
+            Response::Err(_)
+        ));
+        assert!(matches!(
+            applier.request("UNSUBSCRIBE 9999").unwrap(),
+            Response::Err(_)
+        ));
+        assert!(matches!(
+            applier.request("APPLY orders APPEND 1|2").unwrap(),
+            Response::Err(_)
+        ));
+        assert!(matches!(
+            applier.request("APPLY ghost APPEND 1|2|3|x").unwrap(),
+            Response::Err(_)
+        ));
         server.shutdown();
     }
 

@@ -17,6 +17,11 @@
 //! EXPLAIN <id>
 //! ANALYZE <id>
 //! PROBE <id> <text…>
+//! SUBSCRIBE <id>
+//! UNSUBSCRIBE <sub>
+//! APPLY <table> APPEND <row>[;<row>]…
+//! APPLY <table> DELETE <key-column> <key>[;<key>]…
+//! APPLY <table> UPSERT <key-column> <row>[;<row>]…
 //! ```
 //!
 //! plus the legacy statement kinds, kept for pre-N-table clients (each is a
@@ -55,11 +60,38 @@
 //! clients can assert byte-identical results across servers and thread
 //! counts without hashing themselves.
 //!
+//! ## Incremental views on the wire
+//!
+//! `APPLY` mutates a registered table (rows are `|`-separated cells in
+//! schema column order, `;` separates rows; cells may contain spaces but
+//! not `|`, `;`, tabs, or newlines; each cell parses as the column's
+//! declared type, so the payload stays untyped like `WHERE` values).
+//! `SUBSCRIBE <id>` turns the prepared statement `<id>` into a standing
+//! query and answers `OK subscribed <sub>`; from then on every `APPLY`
+//! that changes its result pushes one asynchronous frame to the
+//! subscribing connection (flushed between requests, never inside a
+//! response):
+//!
+//! ```text
+//! DELTA <sub> <version> <n-added> <n-removed> <cols> <delta|refresh|snapshot>
+//! <tab-separated column names>
+//! +<tab-separated row> × n-added
+//! -<tab-separated row> × n-removed
+//! END <fnv1a-64-checksum-hex>
+//! ```
+//!
+//! `version` is the mutated base table's version after the delta,
+//! `refresh` marks a frame produced by a full re-run (still an exact
+//! diff), and `snapshot` marks a mailbox-overflow recovery frame whose
+//! `+` rows are the complete current result (replace, don't patch).  The
+//! `END` checksum covers the header and signed rows like `ROWS`.
+//!
 //! This module is pure (parsing and rendering only) and unit-tested
 //! without sockets.
 
+use cej_core::ResultDelta;
 use cej_relational::{col, lit_f64, lit_i64, lit_str, Expr, LogicalPlan, SimilarityPredicate};
-use cej_storage::Table;
+use cej_storage::{Column, DataType, Delta, Field, ScalarValue, Schema, Table};
 
 /// One filter clause of a prepared statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -289,6 +321,33 @@ impl StatementSpec {
     }
 }
 
+/// The mutation payload of an `APPLY` request.  Row and key payloads stay
+/// raw strings at parse time — the protocol layer has no schema access —
+/// and are typed against the target table's schema by [`build_delta`] at
+/// dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApplySpec {
+    /// `APPEND <row>[;<row>]…` — rows in schema column order.
+    Append {
+        /// Raw `;`-separated rows of `|`-separated cells.
+        rows: String,
+    },
+    /// `DELETE <key-column> <key>[;<key>]…` — multiset delete by key.
+    Delete {
+        /// Column the keys are matched against.
+        key_column: String,
+        /// Raw `;`-separated key values.
+        keys: String,
+    },
+    /// `UPSERT <key-column> <row>[;<row>]…` — insert-or-replace by key.
+    Upsert {
+        /// Column upsert keys are matched against.
+        key_column: String,
+        /// Raw `;`-separated replacement rows of `|`-separated cells.
+        rows: String,
+    },
+}
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -338,6 +397,24 @@ pub enum Command {
         id: String,
         /// The probe text (rest of the line, may contain spaces).
         text: String,
+    },
+    /// Mutate a registered table and propagate to standing queries.
+    Apply {
+        /// Target table.
+        table: String,
+        /// The mutation payload.
+        spec: ApplySpec,
+    },
+    /// Turn a prepared statement into a standing query streaming `DELTA`
+    /// frames to this connection.
+    Subscribe {
+        /// Statement id.
+        id: String,
+    },
+    /// Cancel a standing query by its subscription id.
+    Unsubscribe {
+        /// Subscription id (as returned by `OK subscribed <sub>`).
+        sub: u64,
     },
 }
 
@@ -426,9 +503,78 @@ impl Command {
                     text: text.to_string(),
                 })
             }
+            "SUBSCRIBE" => {
+                let [id] = rest else {
+                    return Err("SUBSCRIBE takes exactly one statement id".to_string());
+                };
+                Ok(Command::Subscribe {
+                    id: (*id).to_string(),
+                })
+            }
+            "UNSUBSCRIBE" => {
+                let [sub] = rest else {
+                    return Err("UNSUBSCRIBE takes exactly one subscription id".to_string());
+                };
+                let sub = sub
+                    .parse()
+                    .map_err(|_| format!("bad subscription id `{sub}`"))?;
+                Ok(Command::Unsubscribe { sub })
+            }
+            "APPLY" => Self::parse_apply(line),
             "PREPARE" => Self::parse_prepare(rest),
             other => Err(format!("unknown command `{other}`")),
         }
+    }
+
+    /// Parses `APPLY <table> <verb> …` from the raw line — payload cells may
+    /// contain spaces, so token-wise parsing stops at the verb.
+    fn parse_apply(line: &str) -> Result<Command, String> {
+        const USAGE: &str =
+            "APPLY takes <table> (APPEND <rows> | DELETE <key-col> <keys> | UPSERT <key-col> <rows>)";
+        let after = line["APPLY".len()..].trim_start();
+        let Some((table, after)) = after.split_once(char::is_whitespace) else {
+            return Err(USAGE.to_string());
+        };
+        let (verb, tail) = match after.trim_start().split_once(char::is_whitespace) {
+            Some((verb, tail)) => (verb, tail.trim()),
+            None => (after.trim(), ""),
+        };
+        let spec = match verb {
+            "APPEND" => {
+                if tail.is_empty() {
+                    return Err("APPEND needs at least one row".to_string());
+                }
+                ApplySpec::Append {
+                    rows: tail.to_string(),
+                }
+            }
+            "DELETE" | "UPSERT" => {
+                let Some((key_column, payload)) = tail.split_once(char::is_whitespace) else {
+                    return Err(format!("{verb} takes <key-column> and a payload"));
+                };
+                let payload = payload.trim();
+                if payload.is_empty() {
+                    return Err(format!("{verb} takes <key-column> and a payload"));
+                }
+                let key_column = key_column.to_string();
+                if verb == "DELETE" {
+                    ApplySpec::Delete {
+                        key_column,
+                        keys: payload.to_string(),
+                    }
+                } else {
+                    ApplySpec::Upsert {
+                        key_column,
+                        rows: payload.to_string(),
+                    }
+                }
+            }
+            other => return Err(format!("expected APPEND/DELETE/UPSERT, got `{other}`")),
+        };
+        Ok(Command::Apply {
+            table: table.to_string(),
+            spec,
+        })
     }
 
     fn parse_prepare(rest: &[&str]) -> Result<Command, String> {
@@ -713,6 +859,177 @@ pub fn render_table(table: &Table) -> String {
     )
 }
 
+/// Types an `APPLY` payload against the target table's schema, producing
+/// the storage-layer [`Delta`].  Each cell parses as its column's declared
+/// type — the wire format carries no type tags, exactly like `WHERE`
+/// values, but nothing is ever guessed because the schema decides.
+///
+/// # Errors
+/// Returns a message for unknown key columns, arity mismatches, cells that
+/// do not parse as the column type, and vector columns (not writable over
+/// the wire).
+pub fn build_delta(spec: &ApplySpec, schema: &Schema) -> Result<Delta, String> {
+    match spec {
+        ApplySpec::Append { rows } => Ok(Delta::Append(parse_rows(schema, rows)?)),
+        ApplySpec::Delete { key_column, keys } => {
+            let field = schema.field(key_column).map_err(|e| e.to_string())?;
+            let keys = keys
+                .split(';')
+                .map(|key| parse_scalar(field.data_type, key.trim(), key_column))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Delta::DeleteByKey {
+                key_column: key_column.clone(),
+                keys,
+            })
+        }
+        ApplySpec::Upsert { key_column, rows } => {
+            schema.field(key_column).map_err(|e| e.to_string())?;
+            Ok(Delta::Upsert {
+                key_column: key_column.clone(),
+                rows: parse_rows(schema, rows)?,
+            })
+        }
+    }
+}
+
+/// Parses a `;`-separated row payload into a table of `schema`.
+fn parse_rows(schema: &Schema, raw: &str) -> Result<Table, String> {
+    let fields = schema.fields();
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); fields.len()];
+    for row in raw.split(';') {
+        let row_cells: Vec<&str> = row.split('|').map(str::trim).collect();
+        if row_cells.len() != fields.len() {
+            return Err(format!(
+                "row `{}` has {} cell(s), table has {} column(s)",
+                row.trim(),
+                row_cells.len(),
+                fields.len()
+            ));
+        }
+        for (column, cell) in row_cells.into_iter().enumerate() {
+            cells[column].push(cell.to_string());
+        }
+    }
+    let columns = fields
+        .iter()
+        .zip(cells)
+        .map(|(field, cells)| parse_column(field, cells))
+        .collect::<Result<Vec<_>, _>>()?;
+    Table::new(schema.clone(), columns).map_err(|e| e.to_string())
+}
+
+/// Parses one column's cells as the field's declared type.
+fn parse_column(field: &Field, cells: Vec<String>) -> Result<Column, String> {
+    let parse_err = |cell: &str| {
+        format!(
+            "cell `{cell}` does not parse as {} for column `{}`",
+            field.data_type, field.name
+        )
+    };
+    Ok(match field.data_type {
+        DataType::Int64 => Column::Int64(
+            cells
+                .iter()
+                .map(|c| c.parse().map_err(|_| parse_err(c)))
+                .collect::<Result<_, _>>()?,
+        ),
+        DataType::Float64 => Column::Float64(
+            cells
+                .iter()
+                .map(|c| c.parse().map_err(|_| parse_err(c)))
+                .collect::<Result<_, _>>()?,
+        ),
+        DataType::Utf8 => Column::Utf8(cells),
+        DataType::Date => Column::Date(
+            cells
+                .iter()
+                .map(|c| c.parse().map_err(|_| parse_err(c)))
+                .collect::<Result<_, _>>()?,
+        ),
+        DataType::Bool => Column::Bool(
+            cells
+                .iter()
+                .map(|c| match c.as_str() {
+                    "true" => Ok(true),
+                    "false" => Ok(false),
+                    other => Err(parse_err(other)),
+                })
+                .collect::<Result<_, _>>()?,
+        ),
+        DataType::Vector(_) => {
+            return Err(format!(
+                "column `{}` is a vector; vectors cannot be written over the wire",
+                field.name
+            ))
+        }
+    })
+}
+
+/// Parses one `DELETE` key as the key column's declared type.
+fn parse_scalar(data_type: DataType, cell: &str, column: &str) -> Result<ScalarValue, String> {
+    let parse_err = || format!("key `{cell}` does not parse as {data_type} for column `{column}`");
+    Ok(match data_type {
+        DataType::Int64 => ScalarValue::Int64(cell.parse().map_err(|_| parse_err())?),
+        DataType::Float64 => ScalarValue::Float64(cell.parse().map_err(|_| parse_err())?),
+        DataType::Utf8 => ScalarValue::Utf8(cell.to_string()),
+        DataType::Date => ScalarValue::Date(cell.parse().map_err(|_| parse_err())?),
+        DataType::Bool => match cell {
+            "true" => ScalarValue::Bool(true),
+            "false" => ScalarValue::Bool(false),
+            _ => return Err(parse_err()),
+        },
+        DataType::Vector(_) => {
+            return Err(format!(
+                "column `{column}` is a vector; vector keys are not supported"
+            ))
+        }
+    })
+}
+
+/// Renders one streamed standing-query frame as the
+/// `DELTA … END <checksum>` payload: header line, column names, `+` rows,
+/// `-` rows.  The checksum covers the names and signed rows exactly like
+/// [`render_table`]'s does.
+pub fn render_delta(subscription: u64, frame: &ResultDelta) -> String {
+    let kind = if frame.snapshot {
+        "snapshot"
+    } else if frame.refreshed {
+        "refresh"
+    } else {
+        "delta"
+    };
+    let mut payload = String::new();
+    let names: Vec<&str> = frame
+        .added
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    payload.push_str(&names.join("\t"));
+    payload.push('\n');
+    let mut signed_rows = |table: &Table, sign: char| {
+        for row in 0..table.num_rows() {
+            payload.push(sign);
+            let cells: Vec<String> = (0..table.num_columns())
+                .map(|c| render_cell(table, row, c))
+                .collect();
+            payload.push_str(&cells.join("\t"));
+            payload.push('\n');
+        }
+    };
+    signed_rows(&frame.added, '+');
+    signed_rows(&frame.removed, '-');
+    let checksum = fnv1a(payload.as_bytes());
+    format!(
+        "DELTA {subscription} {} {} {} {} {kind}\n{payload}END {checksum:016x}\n",
+        frame.version,
+        frame.added.num_rows(),
+        frame.removed.num_rows(),
+        frame.added.num_columns()
+    )
+}
+
 /// Renders a multi-line text payload (`EXPLAIN` / `ANALYZE` output).
 pub fn render_text(text: &str) -> String {
     let lines: Vec<&str> = text.lines().collect();
@@ -983,6 +1300,178 @@ mod tests {
             end,
             "checksums must distinguish different payloads"
         );
+    }
+
+    #[test]
+    fn parses_apply_subscribe_unsubscribe() {
+        assert_eq!(
+            Command::parse("APPLY orders APPEND 7|30|500|barbecue party; 8|10|50|tent").unwrap(),
+            Command::Apply {
+                table: "orders".into(),
+                spec: ApplySpec::Append {
+                    rows: "7|30|500|barbecue party; 8|10|50|tent".into()
+                }
+            }
+        );
+        assert_eq!(
+            Command::parse("APPLY orders DELETE order_id 7;8").unwrap(),
+            Command::Apply {
+                table: "orders".into(),
+                spec: ApplySpec::Delete {
+                    key_column: "order_id".into(),
+                    keys: "7;8".into()
+                }
+            }
+        );
+        assert_eq!(
+            Command::parse("APPLY orders UPSERT order_id 7|30|600|new note").unwrap(),
+            Command::Apply {
+                table: "orders".into(),
+                spec: ApplySpec::Upsert {
+                    key_column: "order_id".into(),
+                    rows: "7|30|600|new note".into()
+                }
+            }
+        );
+        assert_eq!(
+            Command::parse("SUBSCRIBE q1").unwrap(),
+            Command::Subscribe { id: "q1".into() }
+        );
+        assert_eq!(
+            Command::parse("UNSUBSCRIBE 3").unwrap(),
+            Command::Unsubscribe { sub: 3 }
+        );
+        assert!(Command::parse("APPLY orders").is_err());
+        assert!(Command::parse("APPLY orders APPEND").is_err());
+        assert!(Command::parse("APPLY orders DELETE order_id").is_err());
+        assert!(Command::parse("APPLY orders FROB 1|2").is_err());
+        assert!(Command::parse("SUBSCRIBE").is_err());
+        assert!(Command::parse("UNSUBSCRIBE q1").is_err());
+    }
+
+    #[test]
+    fn build_delta_types_cells_by_schema() {
+        let table = cej_storage::TableBuilder::new()
+            .int64("id", vec![1])
+            .float64("price", vec![2.5])
+            .utf8("note", vec!["x".into()])
+            .build()
+            .unwrap();
+        let schema = table.schema();
+
+        let delta = build_delta(
+            &ApplySpec::Append {
+                rows: "7|19.5|cast iron grill; 8|3.25|tent pole".into(),
+            },
+            schema,
+        )
+        .unwrap();
+        let Delta::Append(rows) = delta else {
+            panic!("expected append");
+        };
+        assert_eq!(rows.num_rows(), 2);
+        assert_eq!(
+            rows.column_by_name("id").unwrap().as_int64().unwrap(),
+            &[7, 8]
+        );
+        assert_eq!(
+            rows.column_by_name("note").unwrap().as_utf8().unwrap(),
+            &["cast iron grill", "tent pole"]
+        );
+
+        let delta = build_delta(
+            &ApplySpec::Delete {
+                key_column: "id".into(),
+                keys: "7; 8".into(),
+            },
+            schema,
+        )
+        .unwrap();
+        let Delta::DeleteByKey { key_column, keys } = delta else {
+            panic!("expected delete");
+        };
+        assert_eq!(key_column, "id");
+        assert_eq!(keys, vec![ScalarValue::Int64(7), ScalarValue::Int64(8)]);
+
+        let delta = build_delta(
+            &ApplySpec::Upsert {
+                key_column: "id".into(),
+                rows: "7|1.0|replacement".into(),
+            },
+            schema,
+        )
+        .unwrap();
+        assert!(matches!(delta, Delta::Upsert { .. }));
+
+        // arity, typing, and unknown-column errors
+        assert!(build_delta(
+            &ApplySpec::Append {
+                rows: "7|19.5".into()
+            },
+            schema
+        )
+        .is_err());
+        assert!(build_delta(
+            &ApplySpec::Append {
+                rows: "seven|1.0|x".into()
+            },
+            schema
+        )
+        .is_err());
+        assert!(build_delta(
+            &ApplySpec::Delete {
+                key_column: "ghost".into(),
+                keys: "1".into()
+            },
+            schema
+        )
+        .is_err());
+        assert!(build_delta(
+            &ApplySpec::Delete {
+                key_column: "id".into(),
+                keys: "seven".into()
+            },
+            schema
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn render_delta_frames_signed_rows_with_checksum() {
+        let added = cej_storage::TableBuilder::new()
+            .int64("id", vec![7])
+            .utf8("note", vec!["grill".into()])
+            .build()
+            .unwrap();
+        let removed = added.take(&[]).unwrap();
+        let frame = ResultDelta {
+            version: 3,
+            added,
+            removed,
+            refreshed: false,
+            snapshot: false,
+        };
+        let out = render_delta(12, &frame);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "DELTA 12 3 1 0 2 delta");
+        assert_eq!(lines[1], "id\tnote");
+        assert_eq!(lines[2], "+7\tgrill");
+        assert!(lines[3].starts_with("END "));
+        assert_eq!(lines[3].len(), 4 + 16);
+        // checksum covers header + signed rows
+        let payload = "id\tnote\n+7\tgrill\n";
+        assert_eq!(lines[3], format!("END {:016x}", fnv1a(payload.as_bytes())));
+        // refresh / snapshot kinds are flagged on the header line
+        let refresh = ResultDelta {
+            refreshed: true,
+            ..frame.clone()
+        };
+        assert!(render_delta(12, &refresh).starts_with("DELTA 12 3 1 0 2 refresh\n"));
+        let snapshot = ResultDelta {
+            snapshot: true,
+            ..frame
+        };
+        assert!(render_delta(12, &snapshot).starts_with("DELTA 12 3 1 0 2 snapshot\n"));
     }
 
     #[test]

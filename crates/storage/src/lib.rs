@@ -30,6 +30,7 @@ pub mod bitmap;
 pub mod builder;
 pub mod column;
 pub mod datatype;
+pub mod delta;
 pub mod error;
 pub mod scalar;
 pub mod schema;
@@ -41,6 +42,7 @@ pub use bitmap::SelectionBitmap;
 pub use builder::TableBuilder;
 pub use column::Column;
 pub use datatype::DataType;
+pub use delta::{AppliedDelta, Delta, TableVersion, MAX_VERSION_CHAIN};
 pub use error::StorageError;
 pub use scalar::ScalarValue;
 pub use schema::{Field, Schema};

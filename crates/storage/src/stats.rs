@@ -145,6 +145,150 @@ impl Histogram {
         })
     }
 
+    /// Merges two histograms summarising disjoint row sets into one
+    /// summarising their union.
+    ///
+    /// Because [`Histogram::fraction_lt`]/[`eq_mass`](Histogram::eq_mass) sum
+    /// per-bucket contributions independently, a histogram whose buckets
+    /// overlap is still a valid *mixture* model — so the merge is simply the
+    /// concatenation of both bucket lists (sorted by lower bound) with the
+    /// totals added.  When the combined list exceeds
+    /// `2 × DEFAULT_HISTOGRAM_BUCKETS`, adjacent bucket pairs are fused
+    /// (union of bounds, sum of counts) so repeated delta merges cannot grow
+    /// the summary without bound; fusion loses per-pair resolution but keeps
+    /// every estimate within the usual one-bucket error bound.
+    pub fn merge(&self, other: &Histogram) -> Histogram {
+        let mut buckets: Vec<(f64, f64, usize)> =
+            Vec::with_capacity(self.buckets() + other.buckets());
+        for h in [self, other] {
+            for i in 0..h.counts.len() {
+                buckets.push((h.lows[i], h.highs[i], h.counts[i]));
+            }
+        }
+        buckets.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        while buckets.len() > 2 * DEFAULT_HISTOGRAM_BUCKETS {
+            let mut fused = Vec::with_capacity(buckets.len() / 2 + 1);
+            let mut iter = buckets.chunks(2);
+            for chunk in &mut iter {
+                match chunk {
+                    [a, b] => {
+                        // Never fuse a degenerate (single-value) bucket into a
+                        // wider one — that would destroy exact heavy-hitter
+                        // masses, the property the skew tests rely on.
+                        if (a.0 == a.1 || b.0 == b.1) && !(a.0 == a.1 && a.1 == b.0 && b.0 == b.1) {
+                            fused.push(*a);
+                            fused.push(*b);
+                        } else {
+                            fused.push((a.0, b.1.max(a.1), a.2 + b.2));
+                        }
+                    }
+                    [a] => fused.push(*a),
+                    _ => unreachable!(),
+                }
+            }
+            if fused.len() == buckets.len() {
+                break; // nothing fusible (all degenerate) — stop growing-proofing
+            }
+            buckets = fused;
+        }
+        Histogram {
+            lows: buckets.iter().map(|b| b.0).collect(),
+            highs: buckets.iter().map(|b| b.1).collect(),
+            counts: buckets.iter().map(|b| b.2).collect(),
+            total: self.total + other.total,
+        }
+    }
+
+    /// Estimates equi-join output rows by bucket-wise intersection of the
+    /// two key-domain histograms — the refinement over the classic
+    /// `|L|·|R| / max(ndv)` formula, which silently assumes the key domains
+    /// coincide and over-counts whenever one side references only part of
+    /// the other's domain (e.g. a fact table that only points at old
+    /// dimension keys).
+    ///
+    /// `self` summarises the left key column (`self_rows` rows, `self_ndv`
+    /// distinct keys), `other` the right.  For each right bucket, the left
+    /// mass falling inside its bounds is read off this histogram's CDF and
+    /// the classic per-key matching formula is applied *locally*, with
+    /// per-bucket ndvs apportioned by mass (degenerate single-value buckets
+    /// pin ndv to 1, keeping heavy-hitter joins exact).  Buckets outside the
+    /// left domain contribute nothing.
+    pub fn join_rows(
+        &self,
+        other: &Histogram,
+        self_rows: f64,
+        self_ndv: f64,
+        other_rows: f64,
+        other_ndv: f64,
+    ) -> f64 {
+        // Each directed pass handles the *other* side's heavy hitters
+        // exactly (degenerate buckets carry their true key mass) but
+        // apportions its own skewed mass uniformly — so run both directions
+        // and keep the larger estimate, which is the one whose hitters were
+        // resolved exactly.
+        let a = self.join_rows_directed(other, self_rows, self_ndv, other_rows, other_ndv);
+        let b = other.join_rows_directed(self, other_rows, other_ndv, self_rows, self_ndv);
+        a.max(b)
+    }
+
+    /// One direction of [`Histogram::join_rows`]: walk `other`'s buckets,
+    /// reading the matching `self` mass off this histogram's CDF.
+    fn join_rows_directed(
+        &self,
+        other: &Histogram,
+        self_rows: f64,
+        self_ndv: f64,
+        other_rows: f64,
+        other_ndv: f64,
+    ) -> f64 {
+        if other.total == 0 || self.total == 0 {
+            return 0.0;
+        }
+        let mut est = 0.0;
+        for i in 0..other.counts.len() {
+            let (lo, hi) = (other.lows[i], other.highs[i]);
+            let frac_other = other.counts[i] as f64 / other.total as f64;
+            if frac_other <= 0.0 {
+                continue;
+            }
+            if lo == hi {
+                // Single-value bucket: every self row with this exact key
+                // matches every row of the bucket — no ndv division.
+                est += self_rows * self.eq_frac(lo, self_ndv) * other_rows * frac_other;
+                continue;
+            }
+            let frac_self = (self.fraction_leq(hi) - self.fraction_lt(lo)).max(0.0);
+            if frac_self <= 0.0 {
+                continue;
+            }
+            // Apportion each side's keys to the bucket by mass (uniform
+            // mass-per-key within the range), then match per key.
+            let ndv_self = (self_ndv * frac_self).max(1.0);
+            let ndv_other = (other_ndv * frac_other).max(1.0);
+            est += (self_rows * frac_self) * (other_rows * frac_other) / ndv_self.max(ndv_other);
+        }
+        est.max(0.0)
+    }
+
+    /// Fraction of rows exactly equal to `x`: the degenerate-bucket mass
+    /// when present, `1/ndv` when `x` falls inside a bucket, `0` outside
+    /// the domain.
+    fn eq_frac(&self, x: f64, ndv: f64) -> f64 {
+        if let Some(mass) = self.eq_mass(x) {
+            return mass;
+        }
+        let in_domain = (0..self.counts.len()).any(|i| self.lows[i] <= x && x <= self.highs[i]);
+        if in_domain {
+            1.0 / ndv.max(1.0)
+        } else {
+            0.0
+        }
+    }
+
     /// Exact mass of `x` when it occupies degenerate (single-value) buckets —
     /// the heavy-hitter refinement over the `1/ndv` equality estimate.
     /// `None` when no degenerate bucket holds `x`.
@@ -290,6 +434,77 @@ impl ColumnStats {
         }
     }
 
+    /// Merges statistics of two disjoint row sets of the same column — the
+    /// incremental-maintenance path for appended delta batches.
+    ///
+    /// Counts and string-length averages merge exactly; histograms merge as
+    /// mixtures ([`Histogram::merge`]); the distinct count is approximate:
+    /// when the two value ranges are disjoint the ndvs add, otherwise the
+    /// merge takes the larger one (a lower bound, since overlap may still
+    /// contribute new values), always capped by the merged row count.  An
+    /// explicit `ANALYZE` stays exact and resets the approximation.
+    pub fn merged(&self, other: &ColumnStats) -> ColumnStats {
+        let row_count = self.row_count + other.row_count;
+        let disjoint = match (&self.min, &self.max, &other.min, &other.max) {
+            (Some(_), Some(a_max), Some(b_min), Some(_)) => {
+                matches!(
+                    a_max.partial_cmp_same_type(b_min),
+                    Ok(std::cmp::Ordering::Less)
+                ) || matches!(
+                    other
+                        .max
+                        .as_ref()
+                        .unwrap()
+                        .partial_cmp_same_type(self.min.as_ref().unwrap()),
+                    Ok(std::cmp::Ordering::Less)
+                )
+            }
+            _ => false,
+        };
+        let distinct_count = if disjoint {
+            self.distinct_count + other.distinct_count
+        } else {
+            self.distinct_count.max(other.distinct_count)
+        }
+        .min(row_count.max(1));
+        let pick =
+            |a: &Option<ScalarValue>, b: &Option<ScalarValue>, want: std::cmp::Ordering| match (
+                a, b,
+            ) {
+                (Some(x), Some(y)) => match x.partial_cmp_same_type(y) {
+                    Ok(o) if o == want => Some(x.clone()),
+                    Ok(_) => Some(y.clone()),
+                    Err(_) => Some(x.clone()),
+                },
+                (Some(x), None) => Some(x.clone()),
+                (None, Some(y)) => Some(y.clone()),
+                (None, None) => None,
+            };
+        let histogram = match (&self.histogram, &other.histogram) {
+            (Some(a), Some(b)) => Some(a.merge(b)),
+            (Some(a), None) if other.row_count == 0 => Some(a.clone()),
+            (None, Some(b)) if self.row_count == 0 => Some(b.clone()),
+            _ => None,
+        };
+        let avg_utf8_len = match (self.avg_utf8_len, other.avg_utf8_len) {
+            (Some(a), Some(b)) if row_count > 0 => {
+                Some((a * self.row_count as f64 + b * other.row_count as f64) / row_count as f64)
+            }
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            _ => None,
+        };
+        ColumnStats {
+            row_count,
+            null_count: self.null_count + other.null_count,
+            distinct_count,
+            min: pick(&self.min, &other.min, std::cmp::Ordering::Less),
+            max: pick(&self.max, &other.max, std::cmp::Ordering::Greater),
+            histogram,
+            avg_utf8_len,
+        }
+    }
+
     /// Estimated fraction of rows with value `< v` (`None` when the column
     /// has no histogram or `v` is not in its domain).
     pub fn fraction_lt(&self, v: &ScalarValue) -> Option<f64> {
@@ -367,6 +582,40 @@ impl TableStats {
     /// Names of analyzed columns (unsorted).
     pub fn column_names(&self) -> Vec<&str> {
         self.columns.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Merges in the statistics of an appended row batch (computed by
+    /// analyzing just the delta) — the incremental alternative to a full
+    /// re-`ANALYZE` after an append.  Columns present in only one side keep
+    /// that side's stats.
+    pub fn merged_append(&self, added: &TableStats) -> TableStats {
+        let mut columns = self.columns.clone();
+        for (name, stats) in &added.columns {
+            columns
+                .entry(name.clone())
+                .and_modify(|existing| *existing = existing.merged(stats))
+                .or_insert_with(|| stats.clone());
+        }
+        TableStats {
+            row_count: self.row_count + added.row_count,
+            columns,
+        }
+    }
+
+    /// Derives the statistics view after uniformly removing rows down to
+    /// `new_rows` — the incremental path for deletes, where re-scanning the
+    /// table would defeat O(delta) maintenance.  Distribution shape is
+    /// assumed preserved ([`ColumnStats::scaled`]); skewed deletes drift
+    /// until the next explicit `ANALYZE`.
+    pub fn scaled(&self, new_rows: usize) -> TableStats {
+        TableStats {
+            row_count: new_rows,
+            columns: self
+                .columns
+                .iter()
+                .map(|(name, stats)| (name.clone(), stats.scaled(new_rows)))
+                .collect(),
+        }
     }
 }
 
@@ -460,6 +709,111 @@ mod tests {
         let v = ColumnStats::analyze(&Column::Vector(cej_vector::Matrix::zeros(3, 4)));
         assert_eq!(v.row_count, 3);
         assert!(v.histogram.is_none() && v.min.is_none());
+    }
+
+    #[test]
+    fn histogram_merge_is_a_mixture() {
+        let a = Histogram::equi_depth((0..500).map(|i| i as f64).collect(), 32).unwrap();
+        let b = Histogram::equi_depth((500..1000).map(|i| i as f64).collect(), 32).unwrap();
+        let m = a.merge(&b);
+        assert_eq!(m.total(), 1000);
+        assert!((m.fraction_lt(500.0) - 0.5).abs() < 0.05);
+        assert!((m.fraction_lt(250.0) - 0.25).abs() < 0.05);
+        // repeated merges stay bounded
+        let mut acc = a.clone();
+        for _ in 0..20 {
+            acc = acc.merge(&b);
+        }
+        assert!(acc.buckets() <= 2 * DEFAULT_HISTOGRAM_BUCKETS + 1);
+    }
+
+    #[test]
+    fn histogram_merge_keeps_heavy_hitters_exact() {
+        let a = Histogram::equi_depth(vec![5.0; 700], 32).unwrap();
+        let b = Histogram::equi_depth((0..300).map(|i| 100.0 + i as f64).collect(), 32).unwrap();
+        let m = a.merge(&b);
+        let mass = m.eq_mass(5.0).unwrap();
+        assert!((mass - 0.7).abs() < 0.05, "hitter mass {mass}");
+    }
+
+    #[test]
+    fn join_rows_partial_domain_overlap() {
+        // fact keys uniform over 0..100, dim unique over 50..150: only half
+        // the fact rows find a partner.  The classic |L|·|R|/max(ndv)
+        // formula says 1000; the intersection must say ~500.
+        let fact =
+            Histogram::equi_depth((0..1000).map(|i| (i % 100) as f64).collect(), 64).unwrap();
+        let dim = Histogram::equi_depth((50..150).map(|i| i as f64).collect(), 64).unwrap();
+        let est = fact.join_rows(&dim, 1000.0, 100.0, 100.0, 100.0);
+        assert!((400.0..=620.0).contains(&est), "partial overlap est {est}");
+        // fully disjoint domains join to nothing
+        let far = Histogram::equi_depth((500..600).map(|i| i as f64).collect(), 64).unwrap();
+        assert!(fact.join_rows(&far, 1000.0, 100.0, 100.0, 100.0) < 1.0);
+    }
+
+    #[test]
+    fn join_rows_heavy_hitter_is_exact() {
+        // 500 fact rows share key 75 (inside the dim domain): those alone
+        // contribute 500 output rows, which mass-uniform ndv apportionment
+        // would miss — the degenerate-bucket direction must recover it.
+        let mut keys: Vec<f64> = vec![75.0; 500];
+        keys.extend((0..500).map(|i| (i % 100) as f64));
+        let fact = Histogram::equi_depth(keys, 64).unwrap();
+        let dim = Histogram::equi_depth((50..150).map(|i| i as f64).collect(), 64).unwrap();
+        let est = fact.join_rows(&dim, 1000.0, 100.0, 100.0, 100.0);
+        // true output: 500 (hitter) + 250 (uniform half in overlap) = 750
+        assert!((600.0..=900.0).contains(&est), "hitter est {est}");
+    }
+
+    #[test]
+    fn column_stats_merged_append() {
+        let a = ColumnStats::analyze(&Column::Int64((0..100).collect()));
+        let b = ColumnStats::analyze(&Column::Int64((100..150).collect()));
+        let m = a.merged(&b);
+        assert_eq!(m.row_count, 150);
+        assert_eq!(m.distinct_count, 150, "disjoint ranges: ndvs add");
+        assert_eq!(m.min, Some(ScalarValue::Int64(0)));
+        assert_eq!(m.max, Some(ScalarValue::Int64(149)));
+        let lt75 = m.fraction_lt(&ScalarValue::Int64(75)).unwrap();
+        assert!((lt75 - 0.5).abs() < 0.05, "lt75 = {lt75}");
+
+        // overlapping ranges: ndv is max of the two (lower bound)
+        let c = ColumnStats::analyze(&Column::Int64((50..120).collect()));
+        let o = a.merged(&c);
+        assert_eq!(o.distinct_count, 100);
+
+        let u1 = ColumnStats::analyze(&Column::Utf8(vec!["aa".into(), "bb".into()]));
+        let u2 = ColumnStats::analyze(&Column::Utf8(vec!["cccc".into(), "dddd".into()]));
+        let um = u1.merged(&u2);
+        assert_eq!(um.row_count, 4);
+        assert!((um.avg_utf8_len.unwrap() - 3.0).abs() < 1e-9);
+        assert_eq!(um.max, Some(ScalarValue::Utf8("dddd".into())));
+    }
+
+    #[test]
+    fn table_stats_incremental_paths() {
+        let base = TableBuilder::new()
+            .int64("id", (0..100).collect())
+            .utf8("word", (0..100).map(|i| format!("w{}", i % 5)).collect())
+            .build()
+            .unwrap();
+        let delta = TableBuilder::new()
+            .int64("id", (100..110).collect())
+            .utf8("word", (0..10).map(|i| format!("w{i}")).collect())
+            .build()
+            .unwrap();
+        let merged = TableStats::analyze(&base).merged_append(&TableStats::analyze(&delta));
+        assert_eq!(merged.row_count, 110);
+        assert_eq!(merged.column("id").unwrap().distinct_count, 110);
+        assert_eq!(
+            merged.column("id").unwrap().max,
+            Some(ScalarValue::Int64(109))
+        );
+
+        let shrunk = merged.scaled(55);
+        assert_eq!(shrunk.row_count, 55);
+        assert_eq!(shrunk.column("id").unwrap().row_count, 55);
+        assert!(shrunk.column("id").unwrap().distinct_count <= 55);
     }
 
     #[test]
