@@ -260,6 +260,7 @@ fn main() -> ExitCode {
         registry: &registry,
         embeddings: session.embedding_caches(),
         indexes: session.index_manager(),
+        pool: *cej_exec::ExecPool::global(),
     };
     // the worst order bypasses `prepare` (which would re-order it): rewrite
     // pushdowns don't apply — filters are already on the scans — so lowering

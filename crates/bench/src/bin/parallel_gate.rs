@@ -1,0 +1,311 @@
+//! CI morsel-parallelism regression gate.
+//!
+//! Measures the *single-query* speedup of morsel-driven parallel execution:
+//! the same physical plan is executed cold (fresh session, empty embedding
+//! cache) under an explicit 1-thread pool and an explicit
+//! [`THREADS`]-thread pool, on two legs:
+//!
+//! * **filtered scan** — `σ(r) ⋈_sim s` through the tensor path: the outer
+//!   scan+filter chain is morselised and every probe morsel embeds its
+//!   rows concurrently;
+//! * **hash join** — `(photos ⋈ owners) ⋈_sim products`: the relational
+//!   hash join radix-partitions its build across workers and the
+//!   similarity probe morsels run in parallel on top of it.
+//!
+//! The embedding model carries a simulated remote-service latency
+//! ([`ModelCostProfile::remote_micros`]), the dominant cost of the
+//! context-enhanced join the paper optimises — so the measured ratio is
+//! the latency-hiding win of overlapping model calls across morsels, which
+//! holds even on a single-core CI runner (run this gate with
+//! `CEJ_THREADS=1` so the process-global pool does not parallelise the
+//! serial leg's batch embeds underneath the measurement).
+//!
+//! Both legs must (a) produce **byte-identical** results at both thread
+//! budgets (checksum equality — parallelism is pure speed) and (b) keep a
+//! parallel speedup of at least [`MIN_SPEEDUP`]x, and at least
+//! [`MIN_FRACTION`] of the checked-in baseline's speedup.
+//!
+//! ```sh
+//! parallel_gate [baseline.json]
+//! ```
+//!
+//! With `CEJ_REPORT=<path>` the machine-readable summary is written as
+//! well.  The baseline lives at `ci/parallel_baseline.json`; refresh it
+//! with `CEJ_SCALE=0.05 CEJ_THREADS=1 CEJ_REPORT=ci/parallel_baseline.json
+//! cargo run --release -p cej-bench --bin parallel_gate`.
+
+use std::process::ExitCode;
+
+use cej_bench::harness::{fmt_ms, header, scaled, time_once};
+use cej_bench::report::{extract_value, Report};
+use cej_core::{
+    ContextJoinSession, ExecContext, ExecMode, JoinStrategy, MaintainedResult, TensorJoinConfig,
+};
+use cej_embedding::{CachedEmbedder, FastTextConfig, FastTextModel, ModelCostProfile};
+use cej_relational::{col, lit_i64, LogicalPlan, SimilarityPredicate};
+
+/// Parallel thread budget measured against the serial budget.
+const THREADS: usize = 4;
+/// Required single-query speedup of the parallel leg (acceptance floor).
+const MIN_SPEEDUP: f64 = 2.0;
+/// Fraction of the baseline speedup the current run must retain.
+const MIN_FRACTION: f64 = 0.5;
+/// Simulated remote model latency per real invocation.
+const REMOTE_MICROS: u64 = 800;
+/// Inner (build/indexed) side rows — small, so the serial once-per-query
+/// inner embed does not dilute the morsel-parallel outer side.
+const INNER_ROWS: usize = 4;
+
+/// Distinct caption per row: every row is a cold model call.
+fn caption(i: usize) -> String {
+    format!("caption number {i} about topic {}", i % 97)
+}
+
+fn model() -> CachedEmbedder<FastTextModel> {
+    let inner = FastTextModel::new(FastTextConfig {
+        dim: 32,
+        ..FastTextConfig::default()
+    })
+    .expect("model construction");
+    // uncached + cost profile = every session-cache miss pays the remote
+    // round trip; the fresh session per measurement keeps every run cold
+    CachedEmbedder::uncached(inner).with_cost(ModelCostProfile::remote_micros(REMOTE_MICROS))
+}
+
+fn products() -> cej_storage::Table {
+    cej_storage::TableBuilder::new()
+        .int64("product_id", (0..INNER_ROWS as i64).collect())
+        .utf8(
+            "title",
+            (0..INNER_ROWS)
+                .map(|i| format!("product topic {i}"))
+                .collect(),
+        )
+        .build()
+        .expect("products table")
+}
+
+/// Filtered-scan leg session: one wide outer table, a tiny inner table.
+fn scan_session(outer_rows: usize) -> ContextJoinSession {
+    let mut s = ContextJoinSession::new();
+    s.register_table(
+        "r",
+        cej_storage::TableBuilder::new()
+            .int64("id", (0..outer_rows as i64).collect())
+            .int64("filter", (0..outer_rows as i64).map(|i| i % 100).collect())
+            .utf8("caption", (0..outer_rows).map(caption).collect())
+            .build()
+            .expect("outer table"),
+    );
+    s.register_table("s", products());
+    s.register_model("ft", model());
+    // deterministic scan kernel: byte-identical output at any thread budget
+    s.with_strategy(JoinStrategy::Tensor(TensorJoinConfig::default()));
+    s
+}
+
+/// Filtered-scan leg plan: `σ(filter < 90)(r) ⋈_sim s`, top-1.
+fn scan_plan() -> LogicalPlan {
+    LogicalPlan::e_join(
+        LogicalPlan::scan("r").select(col("filter").lt(lit_i64(90))),
+        LogicalPlan::scan("s"),
+        "caption",
+        "title",
+        "ft",
+        SimilarityPredicate::TopK(1),
+    )
+}
+
+/// Hash-join leg session: fact ⋈ dimension feeding the similarity join.
+fn hash_session(outer_rows: usize) -> ContextJoinSession {
+    let mut s = ContextJoinSession::new();
+    s.register_table(
+        "photos",
+        cej_storage::TableBuilder::new()
+            .int64("id", (0..outer_rows as i64).collect())
+            .int64(
+                "owner_fk",
+                (0..outer_rows as i64).map(|i| (i % 3 + 1) * 100).collect(),
+            )
+            .utf8("caption", (0..outer_rows).map(caption).collect())
+            .build()
+            .expect("photos table"),
+    );
+    s.register_table(
+        "owners",
+        cej_storage::TableBuilder::new()
+            .int64("owner_id", vec![100, 200, 300])
+            .utf8("region", vec!["west".into(), "east".into(), "north".into()])
+            .build()
+            .expect("owners table"),
+    );
+    s.register_table("products", products());
+    s.register_model("ft", model());
+    s.with_strategy(JoinStrategy::Tensor(TensorJoinConfig::default()));
+    s
+}
+
+/// Hash-join leg plan: `(photos ⋈ owners) ⋈_sim products`, top-1.
+fn hash_plan() -> LogicalPlan {
+    LogicalPlan::e_join(
+        LogicalPlan::join(
+            LogicalPlan::scan("photos"),
+            LogicalPlan::scan("owners"),
+            "owner_fk",
+            "owner_id",
+        ),
+        LogicalPlan::scan("products"),
+        "caption",
+        "title",
+        "ft",
+        SimilarityPredicate::TopK(1),
+    )
+}
+
+/// One cold measurement: fresh session, explicit pool budget, fixed morsel
+/// size.  Returns the wall time and a 32-bit fold of the result checksum.
+fn measure(
+    make_session: &dyn Fn() -> ContextJoinSession,
+    plan: &LogicalPlan,
+    threads: usize,
+    batch_rows: usize,
+) -> (std::time::Duration, u32, usize) {
+    let s = make_session();
+    let prepared = s.prepare(plan).expect("prepare");
+    let registry = s.model_registry();
+    let ctx = ExecContext {
+        catalog: s.catalog(),
+        registry: &registry,
+        embeddings: s.embedding_caches(),
+        indexes: s.index_manager(),
+        pool: cej_exec::ExecPool::new(threads),
+    };
+    let (outcome, elapsed) = time_once(|| {
+        prepared
+            .physical_plan()
+            .execute_with(&ctx, ExecMode::Batch { batch_rows })
+            .expect("execute")
+    });
+    let checksum = MaintainedResult::new(outcome.table.clone()).checksum();
+    let folded = (checksum >> 32) as u32 ^ (checksum & 0xffff_ffff) as u32;
+    (elapsed, folded, outcome.table.num_rows())
+}
+
+struct Leg {
+    name: &'static str,
+    t1: std::time::Duration,
+    tn: std::time::Duration,
+    speedup: f64,
+    identical: bool,
+    rows: usize,
+}
+
+fn run_leg(
+    name: &'static str,
+    make_session: &dyn Fn() -> ContextJoinSession,
+    plan: &LogicalPlan,
+    outer_rows: usize,
+) -> Leg {
+    // enough morsels per worker that the claim queue stays busy
+    let batch_rows = (outer_rows / (THREADS * 4)).max(1);
+    let (t1, sum1, rows1) = measure(make_session, plan, 1, batch_rows);
+    let (tn, sumn, rowsn) = measure(make_session, plan, THREADS, batch_rows);
+    Leg {
+        name,
+        t1,
+        tn,
+        speedup: t1.as_secs_f64() / tn.as_secs_f64(),
+        identical: sum1 == sumn && rows1 == rowsn && rows1 > 0,
+        rows: rows1,
+    }
+}
+
+fn main() -> ExitCode {
+    header(
+        "Morsel parallelism",
+        "cold single-query speedup at 4 threads vs 1, byte-identical results",
+    );
+    let baseline_path = std::env::args().nth(1);
+    let outer_rows = scaled(600).max(THREADS * 8);
+
+    let legs = [
+        run_leg(
+            "filtered_scan",
+            &|| scan_session(outer_rows),
+            &scan_plan(),
+            outer_rows,
+        ),
+        run_leg(
+            "hash_join",
+            &|| hash_session(outer_rows),
+            &hash_plan(),
+            outer_rows,
+        ),
+    ];
+
+    let mut report = Report::new("parallel");
+    report.push_value("threads", THREADS as f64);
+    report.push_value("outer_rows", outer_rows as f64);
+    let baseline = baseline_path.map(|path| match std::fs::read_to_string(&path) {
+        Ok(contents) => contents,
+        Err(e) => {
+            eprintln!("parallel_gate: cannot read {path}: {e}");
+            String::new()
+        }
+    });
+    let mut failed = baseline.as_deref() == Some("");
+
+    for leg in &legs {
+        println!(
+            "{}: 1 thread {} | {} threads {} | speedup {:.2}x | {} rows | identical {}",
+            leg.name,
+            fmt_ms(leg.t1),
+            THREADS,
+            fmt_ms(leg.tn),
+            leg.speedup,
+            leg.rows,
+            if leg.identical { "yes" } else { "NO" },
+        );
+        report.push_elapsed(&format!("{}_serial", leg.name), leg.t1);
+        report.push_elapsed(&format!("{}_parallel", leg.name), leg.tn);
+        report.push_value(&format!("{}_speedup", leg.name), leg.speedup);
+        report.push_value(
+            &format!("{}_identical", leg.name),
+            if leg.identical { 1.0 } else { 0.0 },
+        );
+
+        if !leg.identical {
+            eprintln!(
+                "parallel_gate: {} results differ across thread budgets — failing",
+                leg.name
+            );
+            failed = true;
+        }
+        let mut required = MIN_SPEEDUP;
+        if let Some(contents) = &baseline {
+            if let Some(old) = extract_value(contents, &format!("{}_speedup", leg.name)) {
+                required = required.max(old * MIN_FRACTION);
+            }
+        }
+        if leg.speedup < required {
+            eprintln!(
+                "parallel_gate: {} speedup {:.2}x below required {required:.2}x — failing",
+                leg.name, leg.speedup
+            );
+            failed = true;
+        } else {
+            println!(
+                "{} speedup {:.2}x >= {required:.2}x [ok]",
+                leg.name, leg.speedup
+            );
+        }
+    }
+    report.write_if_requested();
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("parallel_gate: morsel parallelism holds");
+        ExitCode::SUCCESS
+    }
+}

@@ -24,6 +24,18 @@ fn main() {
     );
     let mut report = Report::new("run_all");
     report.push_value("threads", cej_exec::default_threads() as f64);
+    report.push_value(
+        "pool_workers",
+        cej_exec::ExecPool::global().threads() as f64,
+    );
+    // the runtime-dispatched SIMD lane width (CEJ_SIMD; 1 = scalar)
+    report.push_value("simd_lanes", cej_vector::dispatched_width().lanes() as f64);
+    println!(
+        "simd width: {} ({} lanes); pool workers: {}",
+        cej_vector::dispatched_width().label(),
+        cej_vector::dispatched_width().lanes(),
+        cej_exec::ExecPool::global().threads()
+    );
     let section = |report: &mut Report, name: &str, body: &mut dyn FnMut()| {
         let start = Instant::now();
         body();

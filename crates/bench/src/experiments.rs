@@ -677,6 +677,7 @@ pub fn exec_model(scan_rows: usize, outer_rows: usize, inner_rows: usize) -> Vec
         registry: &registry,
         embeddings: session.embedding_caches(),
         indexes: session.index_manager(),
+        pool: *cej_exec::ExecPool::global(),
     };
     let runs = 5;
     [("filtered_scan", scan_plan), ("tensor_join", join_plan)]

@@ -19,15 +19,34 @@
 //!   `probe_join`, or the NLJ variants) and pair offsets are remapped by the
 //!   batch's cumulative offset.
 //!
-//! The load-bearing invariant: results are **byte-identical** to the row
-//! executor for every plan shape, join strategy, and batch size — same rows,
-//! same order, same similarity bits, same per-operator row actuals.  The
-//! per-operator actual-row accounting counts *selected lanes*, never
-//! batches, so `explain_analyze` q-errors are unchanged.
+//! ## Morsel-driven parallelism
+//!
+//! When the context's [`cej_exec::ExecPool`] budget exceeds one thread,
+//! linear `Scan → (Filter|Project|Embed|Rename)*` chains do not pull
+//! batches one at a time: the scan range is split into **morsels** (one
+//! selection-vector batch each) and dispatched onto the shared
+//! work-stealing pool, each worker running the whole operator chain over
+//! its morsel ([`run_chain_parallel`]).  Join probe sides follow the same
+//! pattern — outer morsels are gathered and probed concurrently against
+//! the once-prepared inner side, and the relational hash join builds its
+//! partitioned hash table across workers
+//! ([`HashSide::build_with_pool`]).
+//!
+//! The load-bearing invariant survives parallelism: results are
+//! **byte-identical** to the row executor — and to any thread budget and
+//! any morsel size — for every plan shape and join strategy.  Per-morsel
+//! outputs are reassembled in morsel-index order (ascending scan ranges),
+//! so rows, row order, similarity bits, and per-operator row actuals are
+//! exactly what the serial pull loop produces.  The per-operator actual-row
+//! accounting counts *selected lanes*, never batches, so `explain_analyze`
+//! q-errors are unchanged.  Only timing (`operator_micros`) and scheduler
+//! counters vary across budgets.
 
+use std::ops::Range;
 use std::sync::Arc;
 use std::time::Instant;
 
+use cej_embedding::EmbeddingStats;
 use cej_index::HnswIndex;
 use cej_relational::{
     eval::{evaluate_predicate, evaluate_predicate_select},
@@ -37,7 +56,9 @@ use cej_storage::{BatchView, Column, SelectionBitmap, StorageError, Table, DEFAU
 use cej_vector::norm::normalize_matrix_rows_with;
 
 use crate::error::CoreError;
-use crate::executor::{materialize_output, ExecContext, ExecOutcome, RunEmbedder, RunStats};
+use crate::executor::{
+    materialize_output, ExecContext, ExecOutcome, OpMetrics, RunEmbedder, RunStats,
+};
 use crate::join::hash_join::{rename_columns, HashSide};
 use crate::join::index_join::IndexJoin;
 use crate::join::naive_nlj::NaiveNlJoin;
@@ -213,16 +234,47 @@ fn build_pipeline<'p>(plan: &'p PhysicalPlan, next_slot: &mut usize) -> BatchOp<
     }
 }
 
-impl BatchOp<'_> {
+impl<'p> BatchOp<'p> {
+    /// This operator's pre-order metrics slot.
+    fn slot(&self) -> usize {
+        match self {
+            BatchOp::Scan { slot, .. }
+            | BatchOp::Filter { slot, .. }
+            | BatchOp::Project { slot, .. }
+            | BatchOp::Embed { slot, .. }
+            | BatchOp::JoinSource { slot, .. }
+            | BatchOp::HashJoinSource { slot, .. }
+            | BatchOp::Rename { slot, .. } => *slot,
+        }
+    }
+
     /// Pulls the next batch, or `None` when the operator is exhausted.  Every
     /// pipeline emits at least one batch (possibly empty) so schemas
-    /// propagate even for zero-row inputs.
+    /// propagate even for zero-row inputs.  Wall time of the pull (inclusive
+    /// of input pulls) and the morsel count accrue to this operator's slot.
     fn next_batch(
         &mut self,
         ctx: &ExecContext<'_>,
         batch_rows: usize,
         stats: &mut RunStats,
-        operator_rows: &mut [u64],
+        metrics: &mut OpMetrics,
+    ) -> Result<Option<ExecBatch>> {
+        let slot = self.slot();
+        let start = Instant::now();
+        let result = self.next_batch_inner(ctx, batch_rows, stats, metrics);
+        metrics.add_time(slot, start.elapsed());
+        if let Ok(Some(_)) = &result {
+            metrics.morsels[slot] += 1;
+        }
+        result
+    }
+
+    fn next_batch_inner(
+        &mut self,
+        ctx: &ExecContext<'_>,
+        batch_rows: usize,
+        stats: &mut RunStats,
+        metrics: &mut OpMetrics,
     ) -> Result<Option<ExecBatch>> {
         match self {
             BatchOp::Scan {
@@ -252,7 +304,7 @@ impl BatchOp<'_> {
                 let sel: Vec<u32> = (*cursor as u32..end as u32).collect();
                 *cursor = end;
                 *emitted = true;
-                operator_rows[*slot] += sel.len() as u64;
+                metrics.rows[*slot] += sel.len() as u64;
                 Ok(Some(ExecBatch {
                     visible: (0..base.num_columns()).collect(),
                     sel,
@@ -264,11 +316,11 @@ impl BatchOp<'_> {
                 predicate,
                 input,
             } => {
-                let Some(batch) = input.next_batch(ctx, batch_rows, stats, operator_rows)? else {
+                let Some(batch) = input.next_batch(ctx, batch_rows, stats, metrics)? else {
                     return Ok(None);
                 };
                 let refined = filter_batch(predicate, &batch)?;
-                operator_rows[*slot] += refined.len() as u64;
+                metrics.rows[*slot] += refined.len() as u64;
                 Ok(Some(ExecBatch {
                     base: batch.base,
                     sel: refined,
@@ -280,14 +332,14 @@ impl BatchOp<'_> {
                 columns,
                 input,
             } => {
-                let Some(batch) = input.next_batch(ctx, batch_rows, stats, operator_rows)? else {
+                let Some(batch) = input.next_batch(ctx, batch_rows, stats, metrics)? else {
                     return Ok(None);
                 };
                 let mut visible = Vec::with_capacity(columns.len());
                 for name in columns.iter() {
                     visible.push(visible_position(&batch, name)?);
                 }
-                operator_rows[*slot] += batch.sel.len() as u64;
+                metrics.rows[*slot] += batch.sel.len() as u64;
                 Ok(Some(ExecBatch {
                     base: batch.base,
                     sel: batch.sel,
@@ -295,35 +347,14 @@ impl BatchOp<'_> {
                 }))
             }
             BatchOp::Embed { slot, spec, input } => {
-                let Some(batch) = input.next_batch(ctx, batch_rows, stats, operator_rows)? else {
+                let Some(batch) = input.next_batch(ctx, batch_rows, stats, metrics)? else {
                     return Ok(None);
                 };
-                let cache = ctx.embeddings.cache(&spec.model, ctx.registry)?;
-                let run = RunEmbedder::new(cache.as_ref());
-                let pos = visible_position(&batch, &spec.input_column)?;
-                let strings = batch.base.column(pos).map_err(CoreError::from)?.as_utf8()?;
-                // embed exactly the selected lanes, one batch call
-                let selected: Vec<String> = batch
-                    .sel
-                    .iter()
-                    .map(|&lane| strings[lane as usize].clone())
-                    .collect();
-                let matrix = embed_all(&run, &selected)?;
-                let delta = run.stats();
+                let (out, delta) = embed_one_batch(&batch, spec, ctx)?;
                 stats.embedding_stats.model_calls += delta.model_calls;
                 stats.embedding_stats.cache_hits += delta.cache_hits;
-                let gathered = gather_batch(&batch)?;
-                let out = gathered
-                    .with_column(&spec.output_column, Column::Vector(matrix))
-                    .map_err(CoreError::from)?;
-                let base = Arc::new(out);
-                let rows = base.num_rows();
-                operator_rows[*slot] += rows as u64;
-                Ok(Some(ExecBatch {
-                    sel: (0..rows as u32).collect(),
-                    visible: (0..base.num_columns()).collect(),
-                    base,
-                }))
+                metrics.rows[*slot] += out.sel.len() as u64;
+                Ok(Some(out))
             }
             BatchOp::JoinSource {
                 slot,
@@ -344,9 +375,9 @@ impl BatchOp<'_> {
                         ctx,
                         batch_rows,
                         stats,
-                        operator_rows,
+                        metrics,
                     )?;
-                    operator_rows[*slot] += table.num_rows() as u64;
+                    metrics.rows[*slot] += table.num_rows() as u64;
                     *result = Some(Arc::new(table));
                 }
                 let base = result.as_ref().expect("materialised above").clone();
@@ -384,21 +415,24 @@ impl BatchOp<'_> {
                 if result.is_none() {
                     let mut left_op = *left.take().expect("join executes once");
                     let mut right_op = *right.take().expect("join executes once");
-                    // Build once from the drained right pipeline...
-                    let build_table = drain(&mut right_op, ctx, batch_rows, stats, operator_rows)?;
-                    let side = HashSide::build(build_table, &node.right_column)?;
-                    // ...then stream probe batches against it.  Matches stay
-                    // in probe-row order because batches arrive in row order.
-                    let mut parts: Vec<Table> = Vec::new();
-                    while let Some(batch) =
-                        left_op.next_batch(ctx, batch_rows, stats, operator_rows)?
-                    {
-                        let gathered = gather_batch(&batch)?;
-                        parts.push(side.probe(&gathered, &node.left_column)?);
-                    }
+                    // Build once from the drained right pipeline, radix-
+                    // partitioned across the pool's workers...
+                    let build_table = drain(&mut right_op, ctx, batch_rows, stats, metrics)?;
+                    let side =
+                        HashSide::build_with_pool(build_table, &node.right_column, &ctx.pool)?;
+                    // ...then probe morsels against it.  The side is read-
+                    // only, so probe batches run concurrently; concatenating
+                    // per-morsel outputs in morsel order keeps matches in
+                    // probe-row order.
+                    let batches = collect_batches(&mut left_op, ctx, batch_rows, stats, metrics)?;
+                    let probed = ctx.pool.parallel_map(&batches, |batch| -> Result<Table> {
+                        let gathered = gather_batch(batch)?;
+                        side.probe(&gathered, &node.left_column)
+                    });
+                    let parts = probed.into_iter().collect::<Result<Vec<_>>>()?;
                     let refs: Vec<&Table> = parts.iter().collect();
                     let table = Table::concat(&refs).map_err(CoreError::from)?;
-                    operator_rows[*slot] += table.num_rows() as u64;
+                    metrics.rows[*slot] += table.num_rows() as u64;
                     *result = Some(Arc::new(table));
                 }
                 let base = result.as_ref().expect("materialised above").clone();
@@ -429,19 +463,12 @@ impl BatchOp<'_> {
                 columns,
                 input,
             } => {
-                let Some(batch) = input.next_batch(ctx, batch_rows, stats, operator_rows)? else {
+                let Some(batch) = input.next_batch(ctx, batch_rows, stats, metrics)? else {
                     return Ok(None);
                 };
-                let gathered = gather_batch(&batch)?;
-                let out = rename_columns(&gathered, columns)?;
-                let base = Arc::new(out);
-                let rows = base.num_rows();
-                operator_rows[*slot] += rows as u64;
-                Ok(Some(ExecBatch {
-                    sel: (0..rows as u32).collect(),
-                    visible: (0..base.num_columns()).collect(),
-                    base,
-                }))
+                let out = rename_one_batch(&batch, columns)?;
+                metrics.rows[*slot] += out.sel.len() as u64;
+                Ok(Some(out))
             }
         }
     }
@@ -487,6 +514,57 @@ fn filter_batch(predicate: &Expr, batch: &ExecBatch) -> Result<Vec<u32>> {
             .map(|i| batch.sel[i])
             .collect())
     }
+}
+
+/// The `Embed` operator's per-batch body: gathers the selected lanes, embeds
+/// the input column in one batch call, and rebases the batch onto the
+/// embedded output table.  Returns the run-local embedding delta so callers
+/// on any thread can fold it into the run stats.
+fn embed_one_batch(
+    batch: &ExecBatch,
+    spec: &EmbedSpec,
+    ctx: &ExecContext<'_>,
+) -> Result<(ExecBatch, EmbeddingStats)> {
+    let cache = ctx.embeddings.cache(&spec.model, ctx.registry)?;
+    let run = RunEmbedder::new(cache.as_ref());
+    let pos = visible_position(batch, &spec.input_column)?;
+    let strings = batch.base.column(pos).map_err(CoreError::from)?.as_utf8()?;
+    // embed exactly the selected lanes, one batch call
+    let selected: Vec<String> = batch
+        .sel
+        .iter()
+        .map(|&lane| strings[lane as usize].clone())
+        .collect();
+    let matrix = embed_all(&run, &selected)?;
+    let delta = run.stats();
+    let gathered = gather_batch(batch)?;
+    let out = gathered
+        .with_column(&spec.output_column, Column::Vector(matrix))
+        .map_err(CoreError::from)?;
+    let base = Arc::new(out);
+    let rows = base.num_rows();
+    Ok((
+        ExecBatch {
+            sel: (0..rows as u32).collect(),
+            visible: (0..base.num_columns()).collect(),
+            base,
+        },
+        delta,
+    ))
+}
+
+/// The `Rename` operator's per-batch body: gather, select/rename/reorder,
+/// rebase.
+fn rename_one_batch(batch: &ExecBatch, columns: &[(String, String)]) -> Result<ExecBatch> {
+    let gathered = gather_batch(batch)?;
+    let out = rename_columns(&gathered, columns)?;
+    let base = Arc::new(out);
+    let rows = base.num_rows();
+    Ok(ExecBatch {
+        sel: (0..rows as u32).collect(),
+        visible: (0..base.num_columns()).collect(),
+        base,
+    })
 }
 
 /// Collects every column name an expression references.
@@ -561,19 +639,239 @@ fn finalize(batches: Vec<ExecBatch>) -> Result<Table> {
     Table::concat(&refs).map_err(CoreError::from)
 }
 
+/// One stage of an extracted linear chain (everything above the scan).
+enum MorselStage<'p> {
+    Filter {
+        slot: usize,
+        predicate: &'p Expr,
+    },
+    Project {
+        slot: usize,
+        columns: &'p [String],
+    },
+    Embed {
+        slot: usize,
+        spec: &'p EmbedSpec,
+    },
+    Rename {
+        slot: usize,
+        columns: &'p [(String, String)],
+    },
+}
+
+impl MorselStage<'_> {
+    fn slot(&self) -> usize {
+        match self {
+            MorselStage::Filter { slot, .. }
+            | MorselStage::Project { slot, .. }
+            | MorselStage::Embed { slot, .. }
+            | MorselStage::Rename { slot, .. } => *slot,
+        }
+    }
+}
+
+/// A linear `Scan → (Filter|Project|Embed|Rename)*` pipeline extracted from
+/// a fresh [`BatchOp`] tree — the unit of morsel-driven parallelism.
+/// `stages` is in application (bottom-up) order.
+struct MorselChain<'p> {
+    scan_slot: usize,
+    scan_name: &'p str,
+    stages: Vec<MorselStage<'p>>,
+}
+
+/// Extracts a linear chain from a *fresh* (never-pulled) pipeline, or `None`
+/// when the pipeline contains a pipeline breaker (a join source) and must be
+/// pulled serially.
+fn extract_chain<'p>(op: &BatchOp<'p>) -> Option<MorselChain<'p>> {
+    let mut stages_top_down: Vec<MorselStage<'p>> = Vec::new();
+    let mut cursor = op;
+    loop {
+        match cursor {
+            BatchOp::Scan { slot, name, .. } => {
+                stages_top_down.reverse();
+                return Some(MorselChain {
+                    scan_slot: *slot,
+                    scan_name: name,
+                    stages: stages_top_down,
+                });
+            }
+            BatchOp::Filter {
+                slot,
+                predicate,
+                input,
+            } => {
+                stages_top_down.push(MorselStage::Filter {
+                    slot: *slot,
+                    predicate,
+                });
+                cursor = input;
+            }
+            BatchOp::Project {
+                slot,
+                columns,
+                input,
+            } => {
+                stages_top_down.push(MorselStage::Project {
+                    slot: *slot,
+                    columns,
+                });
+                cursor = input;
+            }
+            BatchOp::Embed { slot, spec, input } => {
+                stages_top_down.push(MorselStage::Embed { slot: *slot, spec });
+                cursor = input;
+            }
+            BatchOp::Rename {
+                slot,
+                columns,
+                input,
+            } => {
+                stages_top_down.push(MorselStage::Rename {
+                    slot: *slot,
+                    columns,
+                });
+                cursor = input;
+            }
+            BatchOp::JoinSource { .. } | BatchOp::HashJoinSource { .. } => return None,
+        }
+    }
+}
+
+/// Runs one morsel (a contiguous scan range) through every stage of a chain.
+/// Returns the surviving batch, the per-stage output-lane counts (scan
+/// first, then `stages` in order), and the embedding delta this morsel paid.
+fn process_morsel(
+    base: &Arc<Table>,
+    range: Range<u32>,
+    chain: &MorselChain<'_>,
+    ctx: &ExecContext<'_>,
+) -> Result<(ExecBatch, Vec<u64>, EmbeddingStats)> {
+    let mut lane_counts = Vec::with_capacity(1 + chain.stages.len());
+    let sel: Vec<u32> = range.collect();
+    lane_counts.push(sel.len() as u64);
+    let mut batch = ExecBatch {
+        visible: (0..base.num_columns()).collect(),
+        sel,
+        base: base.clone(),
+    };
+    let mut embed_delta = EmbeddingStats::default();
+    for stage in &chain.stages {
+        match stage {
+            MorselStage::Filter { predicate, .. } => {
+                batch.sel = filter_batch(predicate, &batch)?;
+                lane_counts.push(batch.sel.len() as u64);
+            }
+            MorselStage::Project { columns, .. } => {
+                let mut visible = Vec::with_capacity(columns.len());
+                for name in columns.iter() {
+                    visible.push(visible_position(&batch, name)?);
+                }
+                batch.visible = visible;
+                lane_counts.push(batch.sel.len() as u64);
+            }
+            MorselStage::Embed { spec, .. } => {
+                let (out, delta) = embed_one_batch(&batch, spec, ctx)?;
+                embed_delta.model_calls += delta.model_calls;
+                embed_delta.cache_hits += delta.cache_hits;
+                lane_counts.push(out.sel.len() as u64);
+                batch = out;
+            }
+            MorselStage::Rename { columns, .. } => {
+                batch = rename_one_batch(&batch, columns)?;
+                lane_counts.push(batch.sel.len() as u64);
+            }
+        }
+    }
+    Ok((batch, lane_counts, embed_delta))
+}
+
+/// Morsel-driven parallel execution of a linear chain: the scan range is
+/// split into `batch_rows`-sized morsels dispatched onto the context's
+/// worker pool, each worker running the full stage chain over its morsel.
+/// Outputs come back in morsel-index order, so the returned batch sequence
+/// — and everything downstream — is byte-identical to the serial pull loop.
+///
+/// All fused operators accrue the pipeline's wall-clock time (per-stage
+/// timing inside interleaved morsels would sum worker CPU time instead).
+fn run_chain_parallel(
+    chain: &MorselChain<'_>,
+    ctx: &ExecContext<'_>,
+    batch_rows: usize,
+    stats: &mut RunStats,
+    metrics: &mut OpMetrics,
+) -> Result<Vec<ExecBatch>> {
+    let start = Instant::now();
+    let base = ctx
+        .catalog
+        .table(chain.scan_name)
+        .map_err(CoreError::from)?;
+    let rows = base.num_rows();
+    // the serial scan emits exactly one empty batch for an empty table (so
+    // schemas propagate) and no trailing empty batch otherwise
+    let morsels: Vec<Range<u32>> = if rows == 0 {
+        std::iter::once(0..0).collect()
+    } else {
+        (0..rows)
+            .step_by(batch_rows)
+            .map(|s| s as u32..((s + batch_rows).min(rows)) as u32)
+            .collect()
+    };
+    let results = ctx.pool.parallel_map(&morsels, |range| {
+        process_morsel(&base, range.clone(), chain, ctx)
+    });
+    let mut batches = Vec::with_capacity(results.len());
+    for result in results {
+        let (batch, lane_counts, embed_delta) = result?;
+        metrics.rows[chain.scan_slot] += lane_counts[0];
+        metrics.morsels[chain.scan_slot] += 1;
+        for (stage, lanes) in chain.stages.iter().zip(&lane_counts[1..]) {
+            metrics.rows[stage.slot()] += *lanes;
+            metrics.morsels[stage.slot()] += 1;
+        }
+        stats.embedding_stats.model_calls += embed_delta.model_calls;
+        stats.embedding_stats.cache_hits += embed_delta.cache_hits;
+        batches.push(batch);
+    }
+    let elapsed = start.elapsed();
+    metrics.add_time(chain.scan_slot, elapsed);
+    for stage in &chain.stages {
+        metrics.add_time(stage.slot(), elapsed);
+    }
+    Ok(batches)
+}
+
+/// Collects every batch a pipeline produces.  Linear chains go down the
+/// morsel-parallel path when the pool budget allows; pipelines containing a
+/// join source are pulled serially (their heavy probe work is parallelised
+/// inside the join instead).
+fn collect_batches(
+    op: &mut BatchOp<'_>,
+    ctx: &ExecContext<'_>,
+    batch_rows: usize,
+    stats: &mut RunStats,
+    metrics: &mut OpMetrics,
+) -> Result<Vec<ExecBatch>> {
+    if ctx.pool.threads() > 1 {
+        if let Some(chain) = extract_chain(op) {
+            return run_chain_parallel(&chain, ctx, batch_rows, stats, metrics);
+        }
+    }
+    let mut batches = Vec::new();
+    while let Some(batch) = op.next_batch(ctx, batch_rows, stats, metrics)? {
+        batches.push(batch);
+    }
+    Ok(batches)
+}
+
 /// Drains a pipeline to a materialised table (pipeline-breaker boundary).
 fn drain(
     op: &mut BatchOp<'_>,
     ctx: &ExecContext<'_>,
     batch_rows: usize,
     stats: &mut RunStats,
-    operator_rows: &mut [u64],
+    metrics: &mut OpMetrics,
 ) -> Result<Table> {
-    let mut batches = Vec::new();
-    while let Some(batch) = op.next_batch(ctx, batch_rows, stats, operator_rows)? {
-        batches.push(batch);
-    }
-    finalize(batches)
+    finalize(collect_batches(op, ctx, batch_rows, stats, metrics)?)
 }
 
 /// The per-batch probe strategy of a join: everything inner-side is prepared
@@ -607,8 +905,10 @@ fn merge_stats(acc: &mut JoinStats, part: &JoinStats) {
 }
 
 /// Executes a join node batch-at-a-time: materialise the inner side once,
-/// then stream outer batches through the probe, remapping pair offsets by
-/// each batch's cumulative position.
+/// then stream outer morsels through the probe — concurrently on the
+/// context's pool, since the prepared probe state is read-only — remapping
+/// pair offsets by each morsel's cumulative position (in morsel order, so
+/// output order matches the serial loop exactly).
 fn execute_join_batched(
     node: &JoinNode,
     outer: &mut BatchOp<'_>,
@@ -616,7 +916,7 @@ fn execute_join_batched(
     ctx: &ExecContext<'_>,
     batch_rows: usize,
     stats: &mut RunStats,
-    operator_rows: &mut [u64],
+    metrics: &mut OpMetrics,
 ) -> Result<Table> {
     let start = Instant::now();
 
@@ -624,7 +924,7 @@ fn execute_join_batched(
     // join's cache counters — nested joins and embeds inside it account for
     // their own model calls (same rule as the row path).
     let inner_table = match inner.as_mut() {
-        Some(op) => Some(drain(op, ctx, batch_rows, stats, operator_rows)?),
+        Some(op) => Some(drain(op, ctx, batch_rows, stats, metrics)?),
         None => None,
     };
 
@@ -732,20 +1032,24 @@ fn execute_join_batched(
         }
     };
 
-    let mut outer_parts: Vec<Table> = Vec::new();
-    let mut pairs: Vec<JoinPair> = Vec::new();
-    let mut join_stats = JoinStats::default();
-    let mut offset = 0usize;
-    while let Some(batch) = outer.next_batch(ctx, batch_rows, stats, operator_rows)? {
-        let gathered = gather_batch(&batch)?;
-        // the column lookup happens for every batch (even empty ones) so a
-        // missing probe column errors exactly like the row path
-        let left_strings = gathered
-            .column_by_name(&node.left_column)
-            .map_err(CoreError::from)?
-            .as_utf8()?;
-        let rows = gathered.num_rows();
-        if rows > 0 {
+    // Collect the outer morsels (parallel when the outer pipeline is a
+    // linear chain), then gather + probe every morsel concurrently: the
+    // probe state above is read-only and the run-local embedding counters
+    // are atomic.
+    let batches = collect_batches(outer, ctx, batch_rows, stats, metrics)?;
+    let probed = ctx
+        .pool
+        .parallel_map(&batches, |batch| -> Result<(Table, Option<JoinResult>)> {
+            let gathered = gather_batch(batch)?;
+            // the column lookup happens for every morsel (even empty ones)
+            // so a missing probe column errors exactly like the row path
+            let left_strings = gathered
+                .column_by_name(&node.left_column)
+                .map_err(CoreError::from)?
+                .as_utf8()?;
+            if gathered.num_rows() == 0 {
+                return Ok((gathered, None));
+            }
             let result = match &probe {
                 Probe::Naive { right } => {
                     NaiveNlJoin::new().join(&run, left_strings, right, node.predicate)?
@@ -768,13 +1072,26 @@ fn execute_join_batched(
                     join.probe_join(&left, index, node.predicate, None, inner_filter.as_ref())?
                 }
             };
+            Ok((gathered, Some(result)))
+        });
+
+    // Fold per-morsel results in morsel order: pair offsets are remapped by
+    // the cumulative outer position, so the pair list is exactly the serial
+    // loop's.
+    let mut outer_parts: Vec<Table> = Vec::with_capacity(probed.len());
+    let mut pairs: Vec<JoinPair> = Vec::new();
+    let mut join_stats = JoinStats::default();
+    let mut offset = 0usize;
+    for item in probed {
+        let (gathered, result) = item?;
+        if let Some(result) = result {
             for p in result.pairs {
                 pairs.push(JoinPair::new(offset + p.left, p.right, p.score));
             }
             merge_stats(&mut join_stats, &result.stats);
         }
+        offset += gathered.num_rows();
         outer_parts.push(gathered);
-        offset += rows;
     }
 
     let delta = run.stats();
@@ -807,15 +1124,17 @@ pub(crate) fn execute_batched(
     let batch_rows = batch_rows.max(1);
     let mut stats = RunStats::default();
     let pool_before = cej_exec::ExecPool::metrics();
-    let mut operator_rows = vec![0u64; plan.operator_count()];
+    let mut metrics = OpMetrics::with_slots(plan.operator_count());
     let mut next_slot = 0usize;
     let mut root = build_pipeline(plan, &mut next_slot);
     debug_assert_eq!(next_slot, plan.operator_count());
-    let table = drain(&mut root, ctx, batch_rows, &mut stats, &mut operator_rows)?;
+    let table = drain(&mut root, ctx, batch_rows, &mut stats, &mut metrics)?;
     stats.scheduler = cej_exec::ExecPool::metrics().delta_since(&pool_before);
     Ok(ExecOutcome {
         table,
         stats,
-        operator_rows,
+        operator_rows: metrics.rows,
+        operator_micros: metrics.micros,
+        operator_morsels: metrics.morsels,
     })
 }

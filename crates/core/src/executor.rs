@@ -202,6 +202,11 @@ pub struct ExecContext<'s> {
     pub embeddings: &'s EmbeddingCachePool,
     /// Shared persistent HNSW indexes.
     pub indexes: &'s crate::index_manager::IndexManager,
+    /// Worker-pool budget for intra-query parallelism (morsel-driven batch
+    /// pipelines, partitioned hash joins, parallel GEMM).  Defaults to the
+    /// process-wide `CEJ_THREADS` budget; tests override it to sweep thread
+    /// counts in-process.
+    pub pool: cej_exec::ExecPool,
 }
 
 /// Statistics of one plan execution (deltas over the shared caches).
@@ -229,6 +234,51 @@ pub struct RunStats {
     pub index_evictions: u64,
 }
 
+/// Per-operator execution metrics, indexed by the operator's pre-order slot
+/// (the order `explain_analyze` renders in).  All three vectors share that
+/// slot space.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OpMetrics {
+    /// Actual output rows (selected lanes, never batches).
+    pub rows: Vec<u64>,
+    /// Inclusive wall time in microseconds: an operator's time includes its
+    /// inputs'.  Operators fused into one morsel-parallel pipeline all
+    /// report the pipeline's wall-clock time (they execute interleaved per
+    /// morsel, so per-stage attribution would report summed CPU time, not
+    /// elapsed time).
+    pub micros: Vec<u64>,
+    /// Morsels (selection-vector batches) the operator processed — the
+    /// parallelism-granularity counter: `1` per operator under the row
+    /// executor, `ceil(rows / batch_rows)` under the batch executor.
+    pub morsels: Vec<u64>,
+}
+
+impl OpMetrics {
+    /// Metrics sized for `operators` pre-order slots, all zero.
+    pub fn with_slots(operators: usize) -> Self {
+        Self {
+            rows: vec![0; operators],
+            micros: vec![0; operators],
+            morsels: vec![0; operators],
+        }
+    }
+
+    /// Claims the next pre-order slot (row-executor protocol: claim before
+    /// recursing into inputs).
+    pub fn claim(&mut self) -> usize {
+        let slot = self.rows.len();
+        self.rows.push(0);
+        self.micros.push(0);
+        self.morsels.push(0);
+        slot
+    }
+
+    /// Adds inclusive wall time to a slot.
+    pub fn add_time(&mut self, slot: usize, elapsed: std::time::Duration) {
+        self.micros[slot] += elapsed.as_micros() as u64;
+    }
+}
+
 /// The outcome of executing a physical plan.
 #[derive(Debug, Clone)]
 pub struct ExecOutcome {
@@ -241,6 +291,13 @@ pub struct ExecOutcome {
     /// [`PhysicalPlan::explain_analyze`].  Length equals
     /// [`PhysicalPlan::operator_count`].
     pub operator_rows: Vec<u64>,
+    /// Inclusive per-operator wall time in microseconds, same slot order as
+    /// `operator_rows`.  Timing, not semantics: excluded from byte-identity
+    /// contracts.
+    pub operator_micros: Vec<u64>,
+    /// Morsels processed per operator, same slot order — how finely the
+    /// operator's work was split for the worker pool.
+    pub operator_morsels: Vec<u64>,
 }
 
 impl PhysicalPlan {
@@ -275,13 +332,15 @@ impl PhysicalPlan {
     fn execute_rows(&self, ctx: &ExecContext<'_>) -> Result<ExecOutcome> {
         let mut stats = RunStats::default();
         let pool_before = cej_exec::ExecPool::metrics();
-        let mut operator_rows = Vec::with_capacity(self.operator_count());
-        let table = execute_node(self, ctx, &mut stats, &mut operator_rows)?;
+        let mut metrics = OpMetrics::default();
+        let table = execute_node(self, ctx, &mut stats, &mut metrics)?;
         stats.scheduler = cej_exec::ExecPool::metrics().delta_since(&pool_before);
         Ok(ExecOutcome {
             table,
             stats,
-            operator_rows,
+            operator_rows: metrics.rows,
+            operator_micros: metrics.micros,
+            operator_morsels: metrics.morsels,
         })
     }
 }
@@ -290,12 +349,12 @@ fn execute_node(
     plan: &PhysicalPlan,
     ctx: &ExecContext<'_>,
     stats: &mut RunStats,
-    operator_rows: &mut Vec<u64>,
+    metrics: &mut OpMetrics,
 ) -> Result<Table> {
     // Claim this operator's pre-order slot before recursing, so the recorded
     // vector lines up with the order `explain_analyze` renders operators in.
-    let slot = operator_rows.len();
-    operator_rows.push(0);
+    let slot = metrics.claim();
+    let start = std::time::Instant::now();
     let table = match plan {
         PhysicalPlan::TableScan { table, .. } => ctx
             .catalog
@@ -306,17 +365,17 @@ fn execute_node(
         PhysicalPlan::Filter {
             predicate, input, ..
         } => {
-            let table = execute_node(input, ctx, stats, operator_rows)?;
+            let table = execute_node(input, ctx, stats, metrics)?;
             let selection = evaluate_predicate(predicate, &table).map_err(CoreError::from)?;
             table.filter(&selection).map_err(CoreError::from)?
         }
         PhysicalPlan::Project { columns, input, .. } => {
-            let table = execute_node(input, ctx, stats, operator_rows)?;
+            let table = execute_node(input, ctx, stats, metrics)?;
             let names: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
             table.project(&names).map_err(CoreError::from)?
         }
         PhysicalPlan::Embed { spec, input, .. } => {
-            let table = execute_node(input, ctx, stats, operator_rows)?;
+            let table = execute_node(input, ctx, stats, metrics)?;
             // Route `E_µ` through the shared per-model cache (not the raw
             // registry model) so warm prepared runs re-pay nothing, tallying
             // through a run-local counter so concurrent executions on the
@@ -335,19 +394,21 @@ fn execute_node(
                 .with_column(&spec.output_column, Column::Vector(matrix))
                 .map_err(CoreError::from)?
         }
-        PhysicalPlan::Join(node) => execute_join(node, ctx, stats, operator_rows)?,
+        PhysicalPlan::Join(node) => execute_join(node, ctx, stats, metrics)?,
         PhysicalPlan::HashJoin(node) => {
-            let left = execute_node(&node.left, ctx, stats, operator_rows)?;
-            let right = execute_node(&node.right, ctx, stats, operator_rows)?;
-            let side = HashSide::build(right, &node.right_column)?;
+            let left = execute_node(&node.left, ctx, stats, metrics)?;
+            let right = execute_node(&node.right, ctx, stats, metrics)?;
+            let side = HashSide::build_with_pool(right, &node.right_column, &ctx.pool)?;
             side.probe(&left, &node.left_column)?
         }
         PhysicalPlan::Rename { columns, input, .. } => {
-            let table = execute_node(input, ctx, stats, operator_rows)?;
+            let table = execute_node(input, ctx, stats, metrics)?;
             rename_columns(&table, columns)?
         }
     };
-    operator_rows[slot] = table.num_rows() as u64;
+    metrics.rows[slot] = table.num_rows() as u64;
+    metrics.morsels[slot] = 1;
+    metrics.add_time(slot, start.elapsed());
     Ok(table)
 }
 
@@ -355,9 +416,9 @@ fn execute_join(
     node: &JoinNode,
     ctx: &ExecContext<'_>,
     stats: &mut RunStats,
-    operator_rows: &mut Vec<u64>,
+    metrics: &mut OpMetrics,
 ) -> Result<Table> {
-    let outer_table = execute_node(&node.outer, ctx, stats, operator_rows)?;
+    let outer_table = execute_node(&node.outer, ctx, stats, metrics)?;
     let left_strings = outer_table
         .column_by_name(&node.left_column)
         .map_err(CoreError::from)?
@@ -367,7 +428,7 @@ fn execute_join(
     // counters: a nested join or embed inside it accounts for its own model
     // calls, and this join's delta must not double-count them.
     let materialized_inner = match &node.inner {
-        InnerInput::Plan(inner) => Some(execute_node(inner, ctx, stats, operator_rows)?),
+        InnerInput::Plan(inner) => Some(execute_node(inner, ctx, stats, metrics)?),
         InnerInput::Indexed(_) => None,
     };
 
@@ -587,6 +648,7 @@ mod tests {
                 registry: &self.registry,
                 embeddings: &self.embeddings,
                 indexes: &self.indexes,
+                pool: *cej_exec::ExecPool::global(),
             }
         }
 

@@ -776,6 +776,13 @@ pub struct ResultDelta {
     /// Version of the mutated base table after the delta that produced
     /// this frame (0 for overflow snapshot frames).
     pub version: u64,
+    /// Process-wide sequence number of the `apply_delta` call that produced
+    /// this frame (0 for overflow snapshot frames, which depend on
+    /// per-subscriber mailbox state).  Two standing queries over the same
+    /// plan absorbing the same table change emit frames with the same `seq`
+    /// and identical content — the key a serving layer uses to render a
+    /// frame body once and fan it out to every subscriber.
+    pub seq: u64,
     /// Result rows added.
     pub added: Table,
     /// Result rows removed.
@@ -853,6 +860,7 @@ impl StandingInner {
         &self,
         change: &TableChange,
         version: u64,
+        seq: u64,
     ) -> Result<ChangeOutcome> {
         let plan = self.prepared.physical_plan();
         if !touches(plan, &change.table) {
@@ -875,6 +883,7 @@ impl StandingInner {
             registry: &registry,
             embeddings: session.embedding_caches(),
             indexes: session.index_manager(),
+            pool: *cej_exec::ExecPool::global(),
         };
         let propagation = if oversized {
             Propagation::Refresh("delta exceeds the refresh-fraction cost threshold")
@@ -899,6 +908,7 @@ impl StandingInner {
                 &mut state,
                 ResultDelta {
                     version,
+                    seq,
                     added: delta.added,
                     removed: delta.removed,
                     refreshed,
@@ -933,6 +943,15 @@ impl StandingQuery {
         self.inner.id
     }
 
+    /// Fingerprint of the maintained physical plan
+    /// ([`PreparedQuery::fingerprint`]): standing queries with equal
+    /// fingerprints produce identical frame content for the same
+    /// [`ResultDelta::seq`], so a serving layer can share one rendered
+    /// frame body across all of them.
+    pub fn fingerprint(&self) -> u64 {
+        self.inner.prepared.fingerprint()
+    }
+
     /// The next queued result frame, if any.  After a mailbox overflow this
     /// returns a single snapshot frame carrying the complete current result.
     pub fn poll(&self) -> Option<ResultDelta> {
@@ -947,6 +966,7 @@ impl StandingQuery {
             let empty = snapshot.take(&[]).ok()?;
             return Some(ResultDelta {
                 version: 0,
+                seq: 0,
                 added: snapshot,
                 removed: empty,
                 refreshed: true,

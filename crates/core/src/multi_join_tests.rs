@@ -127,6 +127,7 @@ fn run_mode(s: &ContextJoinSession, plan: &LogicalPlan, mode: ExecMode) -> Table
         registry: &s.model_registry(),
         embeddings: s.embedding_caches(),
         indexes: s.index_manager(),
+        pool: *cej_exec::ExecPool::global(),
     };
     prepared
         .physical_plan()

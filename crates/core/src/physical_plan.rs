@@ -285,7 +285,7 @@ impl PhysicalPlan {
     pub fn explain(&self) -> String {
         let mut out = String::new();
         let mut cursor = 0usize;
-        self.render(&mut out, 0, None, &mut cursor);
+        self.render(&mut out, 0, None, None, &mut cursor);
         out
     }
 
@@ -298,18 +298,40 @@ impl PhysicalPlan {
     pub fn explain_analyze(&self, actual_rows: &[u64]) -> String {
         let mut out = String::new();
         let mut cursor = 0usize;
-        self.render(&mut out, 0, Some(actual_rows), &mut cursor);
+        self.render(&mut out, 0, Some(actual_rows), None, &mut cursor);
         out
     }
 
-    fn render(&self, out: &mut String, indent: usize, actuals: Option<&[u64]>, cursor: &mut usize) {
+    /// [`PhysicalPlan::explain_analyze`] with measured per-operator wall
+    /// times (microseconds, same pre-order, inclusive of input pulls)
+    /// rendered next to each actual-row count.
+    pub fn explain_analyze_timed(&self, actual_rows: &[u64], micros: &[u64]) -> String {
+        let mut out = String::new();
+        let mut cursor = 0usize;
+        self.render(&mut out, 0, Some(actual_rows), Some(micros), &mut cursor);
+        out
+    }
+
+    fn render(
+        &self,
+        out: &mut String,
+        indent: usize,
+        actuals: Option<&[u64]>,
+        micros: Option<&[u64]>,
+        cursor: &mut usize,
+    ) {
         use std::fmt::Write as _;
         let pad = "  ".repeat(indent);
         let actual = actuals.and_then(|rows| rows.get(*cursor).copied());
+        let micro = micros.and_then(|m| m.get(*cursor).copied());
         *cursor += 1;
         match self {
             PhysicalPlan::TableScan { table, est } => {
-                let _ = writeln!(out, "{pad}TableScan: {table} {}", fmt_est(est, actual));
+                let _ = writeln!(
+                    out,
+                    "{pad}TableScan: {table} {}",
+                    fmt_est(est, actual, micro)
+                );
             }
             PhysicalPlan::Filter {
                 predicate,
@@ -321,9 +343,9 @@ impl PhysicalPlan {
                     out,
                     "{pad}Filter: {predicate} (sel {:.3}) {}",
                     selectivity,
-                    fmt_est(est, actual)
+                    fmt_est(est, actual, micro)
                 );
-                input.render(out, indent + 1, actuals, cursor);
+                input.render(out, indent + 1, actuals, micros, cursor);
             }
             PhysicalPlan::Project {
                 columns,
@@ -334,9 +356,9 @@ impl PhysicalPlan {
                     out,
                     "{pad}Project: [{}] {}",
                     columns.join(", "),
-                    fmt_est(est, actual)
+                    fmt_est(est, actual, micro)
                 );
-                input.render(out, indent + 1, actuals, cursor);
+                input.render(out, indent + 1, actuals, micros, cursor);
             }
             PhysicalPlan::Embed { spec, input, est } => {
                 let _ = writeln!(
@@ -345,9 +367,9 @@ impl PhysicalPlan {
                     spec.input_column,
                     spec.output_column,
                     spec.model,
-                    fmt_est(est, actual)
+                    fmt_est(est, actual, micro)
                 );
-                input.render(out, indent + 1, actuals, cursor);
+                input.render(out, indent + 1, actuals, micros, cursor);
             }
             PhysicalPlan::Rename {
                 columns,
@@ -368,9 +390,9 @@ impl PhysicalPlan {
                     out,
                     "{pad}Rename: [{}] {}",
                     rendered.join(", "),
-                    fmt_est(est, actual)
+                    fmt_est(est, actual, micro)
                 );
-                input.render(out, indent + 1, actuals, cursor);
+                input.render(out, indent + 1, actuals, micros, cursor);
             }
             PhysicalPlan::HashJoin(node) => {
                 let _ = writeln!(
@@ -378,10 +400,10 @@ impl PhysicalPlan {
                     "{pad}HashJoin: {} = {} (build right) {}",
                     node.left_column,
                     node.right_column,
-                    fmt_est(&node.est, actual)
+                    fmt_est(&node.est, actual, micro)
                 );
-                node.left.render(out, indent + 1, actuals, cursor);
-                node.right.render(out, indent + 1, actuals, cursor);
+                node.left.render(out, indent + 1, actuals, micros, cursor);
+                node.right.render(out, indent + 1, actuals, micros, cursor);
             }
             PhysicalPlan::Join(node) => {
                 let _ = writeln!(
@@ -396,11 +418,11 @@ impl PhysicalPlan {
                     node.access_path.label(),
                     node.est_inner_selectivity,
                     fmt_rows(node.est.rows),
-                    fmt_actual(node.est.rows, actual),
+                    fmt_actual(node.est.rows, actual, micro),
                     fmt_cost(node.scan_cost),
                     fmt_cost(node.probe_cost),
                 );
-                node.outer.render(out, indent + 1, actuals, cursor);
+                node.outer.render(out, indent + 1, actuals, micros, cursor);
                 match &node.inner {
                     InnerInput::Plan(plan) => {
                         if matches!(node.op, PhysicalJoinOp::Index(_)) {
@@ -408,9 +430,9 @@ impl PhysicalPlan {
                                 out,
                                 "{pad}  IndexBuild: per-execution (inner not a base-table column)"
                             );
-                            plan.render(out, indent + 2, actuals, cursor);
+                            plan.render(out, indent + 2, actuals, micros, cursor);
                         } else {
-                            plan.render(out, indent + 1, actuals, cursor);
+                            plan.render(out, indent + 1, actuals, micros, cursor);
                         }
                     }
                     InnerInput::Indexed(ii) => {
@@ -450,20 +472,30 @@ impl fmt::Display for PhysicalPlan {
     }
 }
 
-fn fmt_est(est: &PlanEstimate, actual: Option<u64>) -> String {
+fn fmt_est(est: &PlanEstimate, actual: Option<u64>, micro: Option<u64>) -> String {
     format!(
         "[rows {}{}; cost {}]",
         fmt_rows(est.rows),
-        fmt_actual(est.rows, actual),
+        fmt_actual(est.rows, actual, micro),
         fmt_cost(est.cost)
     )
 }
 
-/// Renders the actual-row annotation of EXPLAIN ANALYZE: the measured count
-/// plus the q-error of the estimate against it.
-fn fmt_actual(est_rows: f64, actual: Option<u64>) -> String {
+/// Renders the actual-row annotation of EXPLAIN ANALYZE: the measured count,
+/// the q-error of the estimate against it, and (when timing was recorded)
+/// the operator's measured wall time in microseconds.
+fn fmt_actual(est_rows: f64, actual: Option<u64>, micro: Option<u64>) -> String {
     match actual {
-        Some(act) => format!("; actual {act}; q-err {:.2}", q_error(est_rows, act as f64)),
+        Some(act) => {
+            let time = match micro {
+                Some(us) => format!("; time {us}us"),
+                None => String::new(),
+            };
+            format!(
+                "; actual {act}; q-err {:.2}{time}",
+                q_error(est_rows, act as f64)
+            )
+        }
         None => String::new(),
     }
 }

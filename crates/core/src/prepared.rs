@@ -146,6 +146,21 @@ impl<'s> PreparedQuery<'s> {
         &self.physical
     }
 
+    /// FNV-1a fingerprint of the physical operator tree.  Two prepared
+    /// queries with the same fingerprint execute the same plan, so standing
+    /// queries over them emit identical frame content for the same table
+    /// change — the property the serving layer's DELTA fan-out cache keys
+    /// on (together with [`crate::ivm::ResultDelta::seq`]).
+    pub fn fingerprint(&self) -> u64 {
+        let rendered = format!("{:?}", self.physical);
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in rendered.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// Renders the physical operator tree with the planner's access-path
     /// choice and cost estimates — available before (and unchanged by)
     /// execution.
@@ -159,11 +174,23 @@ impl<'s> PreparedQuery<'s> {
     /// # Errors
     /// Propagates catalog, evaluation, embedding, index, and join errors.
     pub fn run(&self) -> Result<ExecutionReport> {
+        self.run_with_pool(*cej_exec::ExecPool::global())
+    }
+
+    /// [`PreparedQuery::run`] with an explicit worker-pool budget, instead of
+    /// the process-wide `CEJ_THREADS` default.  Results are byte-identical
+    /// across budgets (only timing and scheduler counters differ) — this is
+    /// how equivalence tests sweep thread counts inside one process.
+    ///
+    /// # Errors
+    /// Propagates the same errors as [`PreparedQuery::run`].
+    pub fn run_with_pool(&self, pool: cej_exec::ExecPool) -> Result<ExecutionReport> {
         let ctx = ExecContext {
             catalog: self.session.catalog(),
             registry: &self.registry,
             embeddings: self.session.embedding_caches(),
             indexes: self.session.index_manager(),
+            pool,
         };
         let outcome = self.physical.execute(&ctx)?;
         Ok(ExecutionReport {
@@ -177,6 +204,8 @@ impl<'s> PreparedQuery<'s> {
             index_reuses: outcome.stats.index_reuses,
             index_evictions: outcome.stats.index_evictions,
             operator_rows: outcome.operator_rows,
+            operator_micros: outcome.operator_micros,
+            operator_morsels: outcome.operator_morsels,
             scheduler: outcome.stats.scheduler,
         })
     }
@@ -184,13 +213,18 @@ impl<'s> PreparedQuery<'s> {
     /// Executes the plan and renders the operator tree with estimated and
     /// *actual* rows side by side — `EXPLAIN ANALYZE`.  The actual counts are
     /// the per-operator outputs recorded by the executor during this very
-    /// run ([`ExecutionReport::operator_rows`]).
+    /// run ([`ExecutionReport::operator_rows`]), and each operator carries
+    /// its measured wall time in microseconds (inclusive of its inputs;
+    /// morsel-parallel fused chains report the chain's wall time on every
+    /// fused operator).
     ///
     /// # Errors
     /// Propagates the same errors as [`PreparedQuery::run`].
     pub fn explain_analyze(&self) -> Result<ExplainAnalyze> {
         let report = self.run()?;
-        let mut text = self.physical.explain_analyze(&report.operator_rows);
+        let mut text = self
+            .physical
+            .explain_analyze_timed(&report.operator_rows, &report.operator_micros);
         let pool = &report.scheduler;
         text.push_str(&format!(
             "scheduler: tasks={} steals={} injected={} wakeups={} queue_depth={} workers={}\n",

@@ -100,6 +100,17 @@ pub struct ExecutionReport {
     /// Actual output rows of every physical operator, in the pre-order the
     /// plan renders in — the "actual" column of `explain_analyze()`.
     pub operator_rows: Vec<u64>,
+    /// Measured wall time of every physical operator in microseconds, same
+    /// pre-order as `operator_rows`.  Times are *inclusive* of input pulls,
+    /// and operators fused into one morsel-parallel chain all report the
+    /// chain's wall time.  Timing only — excluded from the byte-identity
+    /// contract across executors, thread budgets, and batch sizes.
+    pub operator_micros: Vec<u64>,
+    /// Morsels (selection-vector batches) each physical operator processed,
+    /// same pre-order as `operator_rows`.  The row executor reports 1 per
+    /// operator; the batch executor reports the batch/morsel count.  Like
+    /// timing, excluded from the byte-identity contract.
+    pub operator_morsels: Vec<u64>,
     /// Persistent worker-pool activity observed across this run (tasks
     /// executed, steals, injector submissions, queue depth) — the scheduler
     /// side of `explain_analyze()`.  Process-wide deltas: under concurrent
@@ -396,11 +407,18 @@ impl ContextJoinSession {
             added: applied.added,
             removed: applied.removed,
         };
+        // Process-wide apply sequence: every frame produced by this call
+        // carries the same `seq`, so a serving layer can recognise that two
+        // standing queries over the same plan just rendered the same body
+        // (the fan-out cache key is `(plan fingerprint, seq)`).  Starts at 1
+        // so 0 stays reserved for snapshot frames.
+        static APPLY_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        let seq = APPLY_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let start = std::time::Instant::now();
         let queries = self.state.ivm.queries();
         let mut outcomes = Vec::with_capacity(queries.len());
         for query in &queries {
-            outcomes.push(query.on_table_change(&change, version)?);
+            outcomes.push(query.on_table_change(&change, version, seq)?);
         }
         self.state.ivm.record_apply(&outcomes, start.elapsed());
         let propagated = outcomes

@@ -215,6 +215,7 @@ fn rerun(s: &ContextJoinSession, query: &LogicalPlan, mode: ExecMode) -> Table {
         registry: &s.model_registry(),
         embeddings: s.embedding_caches(),
         indexes: s.index_manager(),
+        pool: *cej_exec::ExecPool::global(),
     };
     prepared
         .physical_plan()

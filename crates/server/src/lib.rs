@@ -64,7 +64,10 @@ use cej_storage::TableBuilder;
 
 use admission::AdmissionGate;
 use latency::LatencyRecorder;
-use protocol::{build_delta, render_delta, render_table, render_text, Command, StatementSpec};
+use protocol::{
+    build_delta, render_delta, render_delta_body, render_delta_header, render_table, render_text,
+    Command, StatementSpec,
+};
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -96,6 +99,90 @@ struct ServerShared {
     shutdown: AtomicBool,
     queries: AtomicU64,
     connections: AtomicU64,
+    frames: DeltaFrameCache,
+}
+
+/// Bounded entries kept in the [`DeltaFrameCache`] (FIFO eviction).  Each
+/// entry is one rendered frame body; old applies are flushed to every
+/// subscriber almost immediately, so a small window is plenty.
+const DELTA_CACHE_CAPACITY: usize = 256;
+
+/// Shared rendered DELTA-frame bodies, keyed by
+/// `(plan fingerprint, apply seq, refreshed)`.
+///
+/// Standing queries over the same physical plan emit frames with identical
+/// bodies for the same [`cej_core::ResultDelta::seq`] (the body carries no
+/// subscription id — see [`render_delta_body`]), so when N connections
+/// subscribe to the same statement each table change is rendered **once**
+/// and written N times with per-subscriber headers.  The `refreshed` flag
+/// is part of the key because per-subscription maintenance policies may
+/// propagate exactly for one query and fall back to a full re-run for
+/// another.  Snapshot frames (`seq == 0`) depend on per-subscriber mailbox
+/// state and bypass the cache.
+struct DeltaFrameCache {
+    inner: Mutex<DeltaFrameCacheInner>,
+    /// Bodies served from cache (frames fanned out without re-rendering).
+    hits: AtomicU64,
+    /// Bodies rendered because no subscriber had produced them yet.
+    misses: AtomicU64,
+}
+
+#[derive(Default)]
+struct DeltaFrameCacheInner {
+    bodies: HashMap<(u64, u64, bool), Arc<String>>,
+    order: VecDeque<(u64, u64, bool)>,
+}
+
+impl DeltaFrameCache {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(DeltaFrameCacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached body for `(fingerprint, seq, refreshed)`, or
+    /// renders it via `render` and publishes it.  Rendering happens outside
+    /// the lock; when two connections race, the first publication wins and
+    /// both writes share one allocation.
+    fn body(
+        &self,
+        fingerprint: u64,
+        seq: u64,
+        refreshed: bool,
+        render: impl FnOnce() -> String,
+    ) -> Arc<String> {
+        let key = (fingerprint, seq, refreshed);
+        {
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(body) = inner.bodies.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(body);
+            }
+        }
+        let rendered = Arc::new(render());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // first publication wins the race; a loser's render is discarded
+        let body = Arc::clone(inner.bodies.entry(key).or_insert_with(|| rendered));
+        if !inner.order.contains(&key) {
+            inner.order.push_back(key);
+        }
+        while inner.order.len() > DELTA_CACHE_CAPACITY {
+            if let Some(evicted) = inner.order.pop_front() {
+                inner.bodies.remove(&evicted);
+            }
+        }
+        body
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// A running server: bound listener, acceptor thread, connection threads.
@@ -128,6 +215,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             queries: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            frames: DeltaFrameCache::new(),
         });
         let connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
@@ -260,7 +348,7 @@ fn connection_loop(stream: TcpStream, shared: Arc<ServerShared>, conn_id: u64) {
                 // the idle tick: stream pending standing-query frames —
                 // between requests, so they never interleave with a
                 // response payload
-                if flush_deltas(&mut writer, &subscriptions).is_err() {
+                if flush_deltas(&mut writer, &subscriptions, &shared.frames).is_err() {
                     break;
                 }
                 continue;
@@ -292,7 +380,7 @@ fn connection_loop(stream: TcpStream, shared: Arc<ServerShared>, conn_id: u64) {
         }
         // frames triggered by this connection's own APPLY (or queued while
         // a request was being served) go out right behind the response
-        if flush_deltas(&mut writer, &subscriptions).is_err() {
+        if flush_deltas(&mut writer, &subscriptions, &shared.frames).is_err() {
             break;
         }
         // also honour shutdown between requests: a client pipelining
@@ -312,16 +400,32 @@ fn connection_loop(stream: TcpStream, shared: Arc<ServerShared>, conn_id: u64) {
 /// Writes every pending frame of this connection's standing queries, in
 /// subscription order (frames within one subscription are already ordered
 /// by the mailbox).
+///
+/// Change-driven frames (`seq != 0`) go through the server-wide
+/// [`DeltaFrameCache`]: the body is rendered once per
+/// `(plan fingerprint, apply seq)` and every subscriber — on this
+/// connection or any other — writes the shared allocation behind its own
+/// header line.  Snapshot frames are rendered directly.
 fn flush_deltas(
     writer: &mut TcpStream,
     subscriptions: &HashMap<u64, StandingQuery>,
+    frames: &DeltaFrameCache,
 ) -> std::io::Result<()> {
     let mut flushed = false;
     let mut subs: Vec<(&u64, &StandingQuery)> = subscriptions.iter().collect();
     subs.sort_by_key(|(sub, _)| **sub);
     for (sub, query) in subs {
+        let fingerprint = query.fingerprint();
         while let Some(frame) = query.poll() {
-            writer.write_all(render_delta(*sub, &frame).as_bytes())?;
+            if frame.seq == 0 {
+                writer.write_all(render_delta(*sub, &frame).as_bytes())?;
+            } else {
+                let body = frames.body(fingerprint, frame.seq, frame.refreshed, || {
+                    render_delta_body(&frame)
+                });
+                writer.write_all(render_delta_header(*sub, &frame).as_bytes())?;
+                writer.write_all(body.as_bytes())?;
+            }
             flushed = true;
         }
     }
@@ -508,6 +612,7 @@ fn render_stats(shared: &ServerShared) -> String {
     let embeddings = shared.session.embedding_caches().stats();
     let pool = cej_exec::ExecPool::metrics();
     let ivm = shared.session.ivm_stats();
+    let (frame_hits, frame_renders) = shared.frames.stats();
     format!(
         "OK queries={} inflight={} queued={} admitted={} rejected={} peak_inflight={} \
          p50_us={} p95_us={} p99_us={} max_us={} \
@@ -515,7 +620,8 @@ fn render_stats(shared: &ServerShared) -> String {
          embed_calls={} embed_hits={} \
          pool_tasks={} pool_steals={} pool_injected={} pool_wakeups={} pool_queue_depth={} pool_workers={} \
          standing={} deltas_applied={} ivm_propagations={} ivm_refreshes={} \
-         ivm_p50_us={} ivm_p95_us={} ivm_p99_us={}\n",
+         ivm_p50_us={} ivm_p95_us={} ivm_p99_us={} \
+         frame_renders={} frame_shares={}\n",
         shared.queries.load(Ordering::Relaxed),
         admission.inflight,
         admission.queued,
@@ -546,6 +652,8 @@ fn render_stats(shared: &ServerShared) -> String {
         ivm.latency_us.0,
         ivm.latency_us.1,
         ivm.latency_us.2,
+        frame_renders,
+        frame_hits,
     )
 }
 
@@ -1117,6 +1225,71 @@ mod tests {
             applier.request("APPLY ghost APPEND 1|2|3|x").unwrap(),
             Response::Err(_)
         ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn same_statement_fanout_renders_each_frame_body_once() {
+        let mut server = Server::start(star_session(), ServerConfig::default()).unwrap();
+        let wait = Duration::from_secs(10);
+
+        // two subscriptions over the SAME prepared statement on one
+        // connection: flush order within a connection is deterministic
+        // (ascending subscription id), so the first write renders the frame
+        // body and the second must be served from the shared cache
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            client
+                .request("PREPARE t QUERY orders EJOIN products ON note~title MODEL ft TOPK 1")
+                .unwrap(),
+            Response::Ok(_)
+        ));
+        let sub_a = sub_id(client.request("SUBSCRIBE t").unwrap());
+        let sub_b = sub_id(client.request("SUBSCRIBE t").unwrap());
+        assert_ne!(sub_a, sub_b);
+
+        let mut applier = Client::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            applier
+                .request("APPLY orders APPEND 7|30|500|garden barbecue")
+                .unwrap(),
+            Response::Ok(_)
+        ));
+
+        // both subscriptions stream the change; everything but the header's
+        // subscription id is byte-identical (same body allocation)
+        let first = client.wait_delta(wait).unwrap().expect("first frame");
+        let second = client.wait_delta(wait).unwrap().expect("second frame");
+        assert_eq!(
+            (first.subscription, second.subscription),
+            (sub_a.min(sub_b), sub_a.max(sub_b))
+        );
+        assert_eq!(first.version, second.version);
+        assert_eq!(first.kind, second.kind);
+        assert_eq!(first.lines, second.lines);
+        assert_eq!(first.checksum, second.checksum);
+        assert_eq!(first.checksum, frame_checksum(&first));
+
+        // the cache proves the fan-out: one render, one shared write
+        let Response::Ok(stats) = applier.request("STATS").unwrap() else {
+            panic!("expected stats");
+        };
+        assert!(stats.contains("frame_renders=1"), "{stats}");
+        assert!(stats.contains("frame_shares=1"), "{stats}");
+
+        // a second apply reuses nothing across versions: render counts grow
+        assert!(matches!(
+            applier.request("APPLY orders DELETE order_id 7").unwrap(),
+            Response::Ok(_)
+        ));
+        let d1 = client.wait_delta(wait).unwrap().expect("delete frame a");
+        let d2 = client.wait_delta(wait).unwrap().expect("delete frame b");
+        assert_eq!(d1.lines, d2.lines);
+        let Response::Ok(stats) = applier.request("STATS").unwrap() else {
+            panic!("expected stats");
+        };
+        assert!(stats.contains("frame_renders=2"), "{stats}");
+        assert!(stats.contains("frame_shares=2"), "{stats}");
         server.shutdown();
     }
 

@@ -991,6 +991,15 @@ fn parse_scalar(data_type: DataType, cell: &str, column: &str) -> Result<ScalarV
 /// `-` rows.  The checksum covers the names and signed rows exactly like
 /// [`render_table`]'s does.
 pub fn render_delta(subscription: u64, frame: &ResultDelta) -> String {
+    let mut out = render_delta_header(subscription, frame);
+    out.push_str(&render_delta_body(frame));
+    out
+}
+
+/// The per-subscriber header line of a DELTA frame — the only part that
+/// mentions the subscription id, so the serving layer can pair one header
+/// per subscriber with a shared [`render_delta_body`].
+pub fn render_delta_header(subscription: u64, frame: &ResultDelta) -> String {
     let kind = if frame.snapshot {
         "snapshot"
     } else if frame.refreshed {
@@ -998,6 +1007,22 @@ pub fn render_delta(subscription: u64, frame: &ResultDelta) -> String {
     } else {
         "delta"
     };
+    format!(
+        "DELTA {subscription} {} {} {} {} {kind}\n",
+        frame.version,
+        frame.added.num_rows(),
+        frame.removed.num_rows(),
+        frame.added.num_columns()
+    )
+}
+
+/// The subscription-independent remainder of a DELTA frame: column names,
+/// signed rows, and the `END <checksum>` trailer.  Frames produced by
+/// same-fingerprint standing queries for the same
+/// [`ResultDelta::seq`] have identical bodies, which is what lets the
+/// server render a frame once per table change and fan it out to every
+/// subscriber.
+pub fn render_delta_body(frame: &ResultDelta) -> String {
     let mut payload = String::new();
     let names: Vec<&str> = frame
         .added
@@ -1021,13 +1046,8 @@ pub fn render_delta(subscription: u64, frame: &ResultDelta) -> String {
     signed_rows(&frame.added, '+');
     signed_rows(&frame.removed, '-');
     let checksum = fnv1a(payload.as_bytes());
-    format!(
-        "DELTA {subscription} {} {} {} {} {kind}\n{payload}END {checksum:016x}\n",
-        frame.version,
-        frame.added.num_rows(),
-        frame.removed.num_rows(),
-        frame.added.num_columns()
-    )
+    payload.push_str(&format!("END {checksum:016x}\n"));
+    payload
 }
 
 /// Renders a multi-line text payload (`EXPLAIN` / `ANALYZE` output).
@@ -1446,6 +1466,7 @@ mod tests {
         let removed = added.take(&[]).unwrap();
         let frame = ResultDelta {
             version: 3,
+            seq: 5,
             added,
             removed,
             refreshed: false,

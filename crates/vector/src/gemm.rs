@@ -11,7 +11,10 @@
 //!   across many rows of `A` — exactly the cache-locality argument the paper
 //!   makes for preferring the tensor formulation over per-pair NLJ.
 //! * **kernel selection**: the innermost dot product dispatches through
-//!   [`Kernel`], reproducing the SIMD / NO-SIMD axis.
+//!   [`Kernel`], reproducing the SIMD / NO-SIMD axis; the vectorised family
+//!   additionally routes through the process-wide runtime-dispatched lane
+//!   width (`CEJ_SIMD`, see [`crate::kernels::dispatched_width`]), so one
+//!   binary serves scalar, 4-lane, and 8-lane width classes.
 //! * **optional multi-threading**: rows of `A` are split across the shared
 //!   [`cej_exec::ExecPool`] worker pool, each worker writing a disjoint
 //!   slice of the output.

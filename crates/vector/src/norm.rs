@@ -6,13 +6,15 @@
 //! into a plain dot product, which is what lets the join be expressed as a
 //! dense matrix multiplication.
 
-use crate::kernels::{l2_norm_unrolled, Kernel};
+use crate::kernels::Kernel;
 use crate::matrix::Matrix;
 
-/// L2 norm of a slice using the default (unrolled) kernel.
+/// L2 norm of a slice using the default vectorised kernel (routed through
+/// the runtime-dispatched lane width, see
+/// [`crate::kernels::dispatched_width`]).
 #[inline]
 pub fn l2_norm(a: &[f32]) -> f32 {
-    l2_norm_unrolled(a)
+    Kernel::Unrolled.l2_norm(a)
 }
 
 /// Normalises a slice in place; zero vectors are left untouched.
@@ -64,7 +66,7 @@ pub fn normalize_matrix_rows_with(m: &mut Matrix, kernel: Kernel) -> Vec<f32> {
 /// or is the zero vector.  Used by debug assertions in the tensor join.
 pub fn rows_are_normalized(m: &Matrix, tolerance: f32) -> bool {
     (0..m.rows()).all(|r| {
-        let n = l2_norm_unrolled(m.row(r).expect("row in range"));
+        let n = l2_norm(m.row(r).expect("row in range"));
         n == 0.0 || (n - 1.0).abs() <= tolerance
     })
 }

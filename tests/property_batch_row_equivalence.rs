@@ -1,5 +1,5 @@
 //! Property test: the vectorized batch executor is byte-identical to the
-//! row-at-a-time reference executor.
+//! row-at-a-time reference executor — at every thread budget.
 //!
 //! For randomly sized workloads, random relational filter predicates, all
 //! four join strategies, and batch sizes straddling the table sizes
@@ -7,6 +7,12 @@
 //! [`ExecMode::Row`] and [`ExecMode::Batch`] must produce the same output
 //! table (rows, order, and similarity scores bit-for-bit), the same
 //! per-operator row actuals, and the same matched-pair count.
+//!
+//! The sweep runs every batch configuration under worker-pool budgets of
+//! 1, 2, and 4 threads (explicit [`cej_exec::ExecPool`]s, so one process
+//! covers all budgets regardless of `CEJ_THREADS`): morsel-driven parallel
+//! execution must not change a single byte relative to the serial pull
+//! loop, only timing.
 
 use cej_core::{
     ContextJoinSession, ExecContext, ExecMode, IndexJoinConfig, JoinStrategy, NljConfig,
@@ -53,12 +59,14 @@ fn strategy_for(idx: usize) -> JoinStrategy {
     }
 }
 
-/// Executes the session's physical plan for `plan` under `mode`, returning
-/// everything the equivalence property compares.
+/// Executes the session's physical plan for `plan` under `mode` with an
+/// explicit worker-pool budget, returning everything the equivalence
+/// property compares.
 fn run_mode(
     s: &ContextJoinSession,
     plan: &LogicalPlan,
     mode: ExecMode,
+    threads: usize,
 ) -> (Table, Vec<u64>, usize) {
     let prepared = s.prepare(plan).expect("prepare");
     let registry = s.model_registry();
@@ -67,6 +75,7 @@ fn run_mode(
         registry: &registry,
         embeddings: s.embedding_caches(),
         indexes: s.index_manager(),
+        pool: cej_exec::ExecPool::new(threads),
     };
     let out = prepared
         .physical_plan()
@@ -79,7 +88,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     #[test]
-    fn batch_executor_matches_row_executor(
+    fn batch_executor_matches_row_executor_at_every_thread_budget(
         outer_rows in 1usize..10,
         inner_rows in 1usize..40,
         strategy_idx in 0usize..4,
@@ -105,14 +114,65 @@ proptest! {
         );
         let batch_rows = [1usize, 7, 1024][batch_idx];
 
-        let (row_table, row_actuals, row_pairs) = run_mode(&s, &plan, ExecMode::Row);
-        let (batch_table, batch_actuals, batch_pairs) =
-            run_mode(&s, &plan, ExecMode::Batch { batch_rows });
+        let (row_table, row_actuals, row_pairs) = run_mode(&s, &plan, ExecMode::Row, 1);
 
-        // Bitwise table equality: same rows in the same order, similarity
-        // scores (Float64 column) identical to the last bit.
-        prop_assert_eq!(row_table, batch_table);
-        prop_assert_eq!(row_actuals, batch_actuals);
-        prop_assert_eq!(row_pairs, batch_pairs);
+        // every (thread budget × morsel size) combination must reproduce the
+        // row executor bit for bit — morsel parallelism is pure speed
+        for threads in [1usize, 2, 4] {
+            let (batch_table, batch_actuals, batch_pairs) =
+                run_mode(&s, &plan, ExecMode::Batch { batch_rows }, threads);
+
+            // Bitwise table equality: same rows in the same order, similarity
+            // scores (Float64 column) identical to the last bit.
+            prop_assert_eq!(&row_table, &batch_table);
+            prop_assert_eq!(&row_actuals, &batch_actuals);
+            prop_assert_eq!(row_pairs, batch_pairs);
+        }
+    }
+
+    /// The relational hash join under the same contract: partitioned
+    /// parallel builds and parallel probe morsels match the serial build at
+    /// every thread budget and morsel size — including fully skewed keys
+    /// (a single hot key puts the entire build side in one partition).
+    #[test]
+    fn parallel_hash_join_matches_serial_including_skew(
+        rows in 1usize..30,
+        skewed in any::<bool>(),
+        batch_idx in 0usize..3,
+    ) {
+        let key = |i: usize| if skewed { 7 } else { (i % 5) as i64 };
+        let outer = cej_storage::TableBuilder::new()
+            .int64("filter", (0..rows).map(key).collect::<Vec<i64>>())
+            .utf8("word", (0..rows).map(|i| format!("w{i}")).collect::<Vec<String>>())
+            .build()
+            .expect("outer table");
+        let inner_rows = rows.max(2);
+        let inner = cej_storage::TableBuilder::new()
+            .int64("rfilter", (0..inner_rows).map(key).collect::<Vec<i64>>())
+            .utf8(
+                "rword",
+                (0..inner_rows).map(|i| format!("v{i}")).collect::<Vec<String>>(),
+            )
+            .build()
+            .expect("inner table");
+        let mut s = ContextJoinSession::new();
+        s.register_table("r", outer);
+        s.register_table("s", inner);
+        let plan = LogicalPlan::join(
+            LogicalPlan::scan("r"),
+            LogicalPlan::scan("s"),
+            "filter",
+            "rfilter",
+        );
+        let batch_rows = [1usize, 7, 1024][batch_idx];
+
+        let (row_table, row_actuals, row_pairs) = run_mode(&s, &plan, ExecMode::Row, 1);
+        for threads in [1usize, 2, 4] {
+            let (batch_table, batch_actuals, batch_pairs) =
+                run_mode(&s, &plan, ExecMode::Batch { batch_rows }, threads);
+            prop_assert_eq!(&row_table, &batch_table);
+            prop_assert_eq!(&row_actuals, &batch_actuals);
+            prop_assert_eq!(row_pairs, batch_pairs);
+        }
     }
 }
