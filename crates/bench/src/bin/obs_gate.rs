@@ -1,0 +1,393 @@
+//! CI observability regression gate.
+//!
+//! Guards the two hard promises of the tracing substrate:
+//!
+//! 1. **Near-zero disabled cost.**  The same cold query (fresh session,
+//!    simulated remote embedding model) is executed once with tracing
+//!    disabled and once under a forced trace, on a filtered-scan leg and a
+//!    hash-join leg.  The traced run may cost at most [`MAX_OVERHEAD`]x the
+//!    untraced run (plus [`ABS_HEADROOM_US`] of absolute headroom for
+//!    timer noise on scaled-down CI runs) — and the untraced path only
+//!    branches on a sampled flag, so its own overhead is strictly below
+//!    that bound.
+//! 2. **Byte-identical results.**  Traced and untraced runs must produce
+//!    the same result checksum — tracing is pure observation.
+//!
+//! It also boots a [`cej_server::Server`], drives one query and one delta
+//! through it, and verifies the `METRICS` exposition covers every stat
+//! family (latency, indexes, embedding cache, pool, IVM, frame cache).
+//! With `CEJ_METRICS_DUMP=<path>` the scraped exposition is written out —
+//! the artifact CI archives.
+//!
+//! ```sh
+//! obs_gate [baseline.json]
+//! ```
+//!
+//! The baseline lives at `ci/obs_baseline.json`; refresh it with
+//! `CEJ_SCALE=0.05 CEJ_REPORT=ci/obs_baseline.json
+//! cargo run --release -p cej-bench --bin obs_gate`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cej_bench::harness::{fmt_ms, header, scaled, time_once};
+use cej_bench::report::{extract_value, Report};
+use cej_core::{ContextJoinSession, ExecMode, JoinStrategy, MaintainedResult, TensorJoinConfig};
+use cej_embedding::{CachedEmbedder, FastTextConfig, FastTextModel, ModelCostProfile};
+use cej_obs::Trace;
+use cej_relational::{col, lit_i64, LogicalPlan, SimilarityPredicate};
+use cej_server::{Client, Response, Server, ServerConfig};
+
+/// Maximum traced-over-untraced wall-time ratio.
+const MAX_OVERHEAD: f64 = 1.05;
+/// Absolute headroom on top of the ratio, for timer noise at tiny scales.
+const ABS_HEADROOM_US: u64 = 2_000;
+/// Pool threads for the measured executions.
+const THREADS: usize = 2;
+/// Simulated remote model latency per real invocation — the dominant cost,
+/// which keeps the overhead ratio stable across runner speeds.
+const REMOTE_MICROS: u64 = 800;
+/// Inner (build) side rows.
+const INNER_ROWS: usize = 4;
+
+/// Distinct caption per row: every row is a cold model call.
+fn caption(i: usize) -> String {
+    format!("caption number {i} about topic {}", i % 97)
+}
+
+fn model() -> CachedEmbedder<FastTextModel> {
+    let inner = FastTextModel::new(FastTextConfig {
+        dim: 32,
+        ..FastTextConfig::default()
+    })
+    .expect("model construction");
+    CachedEmbedder::uncached(inner).with_cost(ModelCostProfile::remote_micros(REMOTE_MICROS))
+}
+
+fn products() -> cej_storage::Table {
+    cej_storage::TableBuilder::new()
+        .int64("product_id", (0..INNER_ROWS as i64).collect())
+        .utf8(
+            "title",
+            (0..INNER_ROWS)
+                .map(|i| format!("product topic {i}"))
+                .collect(),
+        )
+        .build()
+        .expect("products table")
+}
+
+/// Filtered-scan leg session: one wide outer table, a tiny inner table.
+fn scan_session(outer_rows: usize) -> ContextJoinSession {
+    let mut s = ContextJoinSession::new();
+    s.register_table(
+        "r",
+        cej_storage::TableBuilder::new()
+            .int64("id", (0..outer_rows as i64).collect())
+            .int64("filter", (0..outer_rows as i64).map(|i| i % 100).collect())
+            .utf8("caption", (0..outer_rows).map(caption).collect())
+            .build()
+            .expect("outer table"),
+    );
+    s.register_table("s", products());
+    s.register_model("ft", model());
+    s.with_strategy(JoinStrategy::Tensor(TensorJoinConfig::default()));
+    s
+}
+
+/// Filtered-scan leg plan: `σ(filter < 90)(r) ⋈_sim s`, top-1.
+fn scan_plan() -> LogicalPlan {
+    LogicalPlan::e_join(
+        LogicalPlan::scan("r").select(col("filter").lt(lit_i64(90))),
+        LogicalPlan::scan("s"),
+        "caption",
+        "title",
+        "ft",
+        SimilarityPredicate::TopK(1),
+    )
+}
+
+/// Hash-join leg session: fact ⋈ dimension feeding the similarity join.
+fn hash_session(outer_rows: usize) -> ContextJoinSession {
+    let mut s = ContextJoinSession::new();
+    s.register_table(
+        "photos",
+        cej_storage::TableBuilder::new()
+            .int64("id", (0..outer_rows as i64).collect())
+            .int64(
+                "owner_fk",
+                (0..outer_rows as i64).map(|i| (i % 3 + 1) * 100).collect(),
+            )
+            .utf8("caption", (0..outer_rows).map(caption).collect())
+            .build()
+            .expect("photos table"),
+    );
+    s.register_table(
+        "owners",
+        cej_storage::TableBuilder::new()
+            .int64("owner_id", vec![100, 200, 300])
+            .utf8("region", vec!["west".into(), "east".into(), "north".into()])
+            .build()
+            .expect("owners table"),
+    );
+    s.register_table("products", products());
+    s.register_model("ft", model());
+    s.with_strategy(JoinStrategy::Tensor(TensorJoinConfig::default()));
+    s
+}
+
+/// Hash-join leg plan: `(photos ⋈ owners) ⋈_sim products`, top-1.
+fn hash_plan() -> LogicalPlan {
+    LogicalPlan::e_join(
+        LogicalPlan::join(
+            LogicalPlan::scan("photos"),
+            LogicalPlan::scan("owners"),
+            "owner_fk",
+            "owner_id",
+        ),
+        LogicalPlan::scan("products"),
+        "caption",
+        "title",
+        "ft",
+        SimilarityPredicate::TopK(1),
+    )
+}
+
+/// One cold measurement under `trace`: fresh session, explicit pool.
+/// Returns the wall time and a 32-bit fold of the result checksum.
+fn measure(
+    make_session: &dyn Fn() -> ContextJoinSession,
+    plan: &LogicalPlan,
+    trace: &Trace,
+) -> (Duration, u32, usize) {
+    let s = make_session();
+    let prepared = s.prepare(plan).expect("prepare");
+    let (report, elapsed) = time_once(|| {
+        prepared
+            .run_traced_with(trace, cej_exec::ExecPool::new(THREADS), ExecMode::default())
+            .expect("execute")
+    });
+    let checksum = MaintainedResult::new(report.table.clone()).checksum();
+    let folded = (checksum >> 32) as u32 ^ (checksum & 0xffff_ffff) as u32;
+    (elapsed, folded, report.table.num_rows())
+}
+
+struct Leg {
+    name: &'static str,
+    untraced: Duration,
+    traced: Duration,
+    overhead: f64,
+    identical: bool,
+    rows: usize,
+    /// Rendered span tree of the traced run.
+    rendered: String,
+}
+
+fn run_leg(
+    name: &'static str,
+    make_session: &dyn Fn() -> ContextJoinSession,
+    plan: &LogicalPlan,
+) -> Leg {
+    // untimed warmup absorbs one-time global initialisation (pool spinup,
+    // lazy statics) so neither measured leg pays it
+    let _ = measure(make_session, plan, &Trace::disabled());
+    let (untraced, sum_off, rows_off) = measure(make_session, plan, &Trace::disabled());
+    let trace = Trace::forced(&format!("obs_gate {name}"));
+    let (traced, sum_on, rows_on) = measure(make_session, plan, &trace);
+    let rendered = trace
+        .finish()
+        .and_then(cej_obs::trace_by_id)
+        .map(|t| t.render())
+        .unwrap_or_default();
+    Leg {
+        name,
+        untraced,
+        traced,
+        overhead: traced.as_secs_f64() / untraced.as_secs_f64(),
+        identical: sum_off == sum_on && rows_off == rows_on && rows_off > 0,
+        rows: rows_off,
+        rendered,
+    }
+}
+
+/// Boots a server, drives one prepared query plus one streamed delta
+/// through it, and returns the scraped `METRICS` exposition.
+fn scrape_metrics() -> Result<String, String> {
+    let mut s = ContextJoinSession::new();
+    s.register_table(
+        "orders",
+        cej_storage::TableBuilder::new()
+            .int64("order_id", vec![1, 2, 3])
+            .utf8(
+                "note",
+                vec![
+                    "barbecue grill".into(),
+                    "database server".into(),
+                    "laptop sleeve".into(),
+                ],
+            )
+            .build()
+            .map_err(|e| e.to_string())?,
+    );
+    s.register_table("products", products());
+    let ft = FastTextModel::new(FastTextConfig {
+        dim: 16,
+        buckets: 1000,
+        ..FastTextConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    s.register_model("ft", ft);
+    s.catalog().analyze("orders").map_err(|e| e.to_string())?;
+    s.catalog().analyze("products").map_err(|e| e.to_string())?;
+
+    let mut server =
+        Server::start(s, ServerConfig::default()).map_err(|e| format!("server start: {e}"))?;
+    let mut client =
+        Client::connect(server.local_addr()).map_err(|e| format!("client connect: {e}"))?;
+    let mut expect_ok = |line: &str| -> Result<(), String> {
+        match client.request(line).map_err(|e| e.to_string())? {
+            Response::Err(message) => Err(format!("`{line}` answered ERR {message}")),
+            _ => Ok(()),
+        }
+    };
+    expect_ok("PREPARE q QUERY orders EJOIN products ON note~title MODEL ft TOPK 1")?;
+    expect_ok("SUBSCRIBE q")?;
+    expect_ok("RUN q")?;
+    expect_ok("APPLY orders APPEND 9|barbecue tongs")?;
+    client
+        .wait_delta(Duration::from_secs(10))
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| "no DELTA frame after APPLY".to_string())?;
+    let exposition = match client.request("METRICS").map_err(|e| e.to_string())? {
+        Response::Text(lines) => lines.join("\n"),
+        other => return Err(format!("METRICS answered {other:?}")),
+    };
+    server.shutdown();
+    Ok(exposition)
+}
+
+fn main() -> ExitCode {
+    header(
+        "Observability",
+        "tracing overhead, byte-identity, and METRICS coverage",
+    );
+    let baseline_path = std::env::args().nth(1);
+    let outer_rows = scaled(600).max(THREADS * 8);
+
+    let legs = [
+        run_leg("scan", &|| scan_session(outer_rows), &scan_plan()),
+        run_leg("hash", &|| hash_session(outer_rows), &hash_plan()),
+    ];
+
+    let mut report = Report::new("obs");
+    report.push_value("threads", THREADS as f64);
+    report.push_value("outer_rows", outer_rows as f64);
+    let baseline = baseline_path.map(|path| match std::fs::read_to_string(&path) {
+        Ok(contents) => contents,
+        Err(e) => {
+            eprintln!("obs_gate: cannot read {path}: {e}");
+            String::new()
+        }
+    });
+    let mut failed = baseline.as_deref() == Some("");
+
+    for leg in &legs {
+        println!(
+            "{}: untraced {} | traced {} | overhead {:.3}x | {} rows | identical {}",
+            leg.name,
+            fmt_ms(leg.untraced),
+            fmt_ms(leg.traced),
+            leg.overhead,
+            leg.rows,
+            if leg.identical { "yes" } else { "NO" },
+        );
+        report.push_elapsed(&format!("{}_untraced", leg.name), leg.untraced);
+        report.push_elapsed(&format!("{}_traced", leg.name), leg.traced);
+        report.push_value(&format!("{}_overhead", leg.name), leg.overhead);
+        report.push_value(
+            &format!("{}_identical", leg.name),
+            if leg.identical { 1.0 } else { 0.0 },
+        );
+        if let Some(contents) = &baseline {
+            if let Some(old) = extract_value(contents, &format!("{}_overhead", leg.name)) {
+                println!("{} baseline overhead {old:.3}x", leg.name);
+            }
+        }
+
+        if !leg.identical {
+            eprintln!(
+                "obs_gate: {} traced and untraced results differ — failing",
+                leg.name
+            );
+            failed = true;
+        }
+        // ratio bound with absolute headroom: at bench scale the remote-
+        // model latency dominates, so a real regression shows up clearly
+        if leg.traced > leg.untraced.mul_f64(MAX_OVERHEAD) + Duration::from_micros(ABS_HEADROOM_US)
+        {
+            eprintln!(
+                "obs_gate: {} tracing overhead {:.3}x exceeds {MAX_OVERHEAD}x (+{ABS_HEADROOM_US}us) — failing",
+                leg.name, leg.overhead
+            );
+            failed = true;
+        } else {
+            println!("{} overhead within {MAX_OVERHEAD}x [ok]", leg.name);
+        }
+
+        // the traced run must have produced a complete span tree
+        for span in [
+            "phase.rewrite",
+            "phase.order",
+            "phase.lower",
+            "phase.execute",
+        ] {
+            if !leg.rendered.contains(span) {
+                eprintln!("obs_gate: {} trace missing span {span} — failing", leg.name);
+                failed = true;
+            }
+        }
+    }
+
+    match scrape_metrics() {
+        Err(message) => {
+            eprintln!("obs_gate: METRICS scrape failed: {message}");
+            failed = true;
+        }
+        Ok(exposition) => {
+            for family in [
+                "cej_query_latency_us",
+                "cej_index_builds_total",
+                "cej_embed_model_calls_total",
+                "cej_pool_tasks_total",
+                "cej_ivm_deltas_applied_total",
+                "cej_frame_renders_total",
+            ] {
+                if !exposition.contains(family) {
+                    eprintln!("obs_gate: METRICS missing family {family} — failing");
+                    failed = true;
+                }
+            }
+            report.push_value("metrics_lines", exposition.lines().count() as f64);
+            if let Ok(path) = std::env::var("CEJ_METRICS_DUMP") {
+                if let Err(e) = std::fs::write(&path, format!("{exposition}\n")) {
+                    eprintln!("obs_gate: cannot write {path}: {e}");
+                    failed = true;
+                } else {
+                    println!("metrics exposition written to {path}");
+                }
+            }
+            println!(
+                "METRICS: {} lines, all six stat families present",
+                exposition.lines().count()
+            );
+        }
+    }
+    report.write_if_requested();
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("obs_gate: observability contract holds");
+        ExitCode::SUCCESS
+    }
+}

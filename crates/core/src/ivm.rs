@@ -1072,13 +1072,12 @@ pub struct IvmStats {
     pub propagations: u64,
     /// Standing-query updates handled by a full re-run.
     pub refreshes: u64,
-    /// Delta-propagation latency percentiles over the recent window, in
-    /// microseconds (p50, p95, p99) — zero until the first delta.
+    /// Delta-propagation latency percentiles in microseconds (p50, p95,
+    /// p99) — zero until the first delta.  Sourced from a log-bucketed
+    /// [`cej_obs::Histogram`] over the full history: bounded memory, ≈4.4%
+    /// bucket resolution, no window-recency bias.
     pub latency_us: (u64, u64, u64),
 }
-
-/// Maximum retained latency samples (a sliding window, not a full history).
-const LATENCY_WINDOW: usize = 4096;
 
 /// Session-owned registry of standing queries plus delta bookkeeping.
 #[derive(Default)]
@@ -1088,7 +1087,7 @@ pub struct IvmRuntime {
     deltas_applied: AtomicU64,
     propagations: AtomicU64,
     refreshes: AtomicU64,
-    latencies_us: Mutex<VecDeque<u64>>,
+    latencies_us: cej_obs::Histogram,
     /// Serialises whole delta applications (catalog publish + index
     /// maintenance + standing-query notification), so every standing query
     /// observes table changes in one global order.
@@ -1128,28 +1127,26 @@ impl IvmRuntime {
                 ChangeOutcome::Unaffected => {}
             }
         }
-        let mut window = self.latencies_us.lock();
-        if window.len() >= LATENCY_WINDOW {
-            window.pop_front();
-        }
-        window.push_back(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+        self.latencies_us
+            .observe(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
-    /// Aggregate counters plus latency percentiles over the recent window.
+    /// The propagation-latency histogram handle — what the serving layer
+    /// registers into its metrics registry (shares the cells, no copying).
+    pub fn latency_histogram(&self) -> cej_obs::Histogram {
+        self.latencies_us.clone()
+    }
+
+    /// Aggregate counters plus propagation-latency percentiles.
     pub fn stats(&self) -> IvmStats {
-        let latency_us = {
-            let window = self.latencies_us.lock();
-            if window.is_empty() {
-                (0, 0, 0)
-            } else {
-                let mut sorted: Vec<u64> = window.iter().copied().collect();
-                sorted.sort_unstable();
-                let at = |p: f64| {
-                    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-                    sorted[idx.min(sorted.len() - 1)]
-                };
-                (at(0.50), at(0.95), at(0.99))
-            }
+        let latency_us = if self.latencies_us.count() == 0 {
+            (0, 0, 0)
+        } else {
+            (
+                self.latencies_us.quantile(0.50),
+                self.latencies_us.quantile(0.95),
+                self.latencies_us.quantile(0.99),
+            )
         };
         IvmStats {
             standing: self.standing.read().len(),

@@ -26,11 +26,13 @@
 
 use std::sync::Arc;
 
+use cej_obs::{AttrValue, SpanId, Trace};
 use cej_relational::physical::ModelRegistry;
 use cej_relational::{LogicalPlan, SimilarityPredicate};
 
+use crate::batch_exec::ExecMode;
 use crate::error::CoreError;
-use crate::executor::ExecContext;
+use crate::executor::{ExecContext, ExecOutcome};
 use crate::ivm::IvmPolicy;
 use crate::physical_plan::{InnerInput, PhysicalPlan};
 use crate::planner::threshold_selectivity;
@@ -71,6 +73,10 @@ pub struct PreparedQuery<'s> {
     registry: Arc<ModelRegistry>,
     optimized: LogicalPlan,
     physical: PhysicalPlan,
+    /// Wall time of the three planning phases (rewrite, join ordering,
+    /// physical lowering) in microseconds, measured once at `prepare` time
+    /// and replayed as `phase.*` spans on every traced run.
+    plan_micros: [u64; 3],
     _borrow: std::marker::PhantomData<&'s ContextJoinSession>,
 }
 
@@ -80,12 +86,14 @@ impl<'s> PreparedQuery<'s> {
         registry: Arc<ModelRegistry>,
         optimized: LogicalPlan,
         physical: PhysicalPlan,
+        plan_micros: [u64; 3],
     ) -> Self {
         Self {
             session,
             registry,
             optimized,
             physical,
+            plan_micros,
             _borrow: std::marker::PhantomData,
         }
     }
@@ -100,6 +108,7 @@ impl<'s> PreparedQuery<'s> {
             registry: self.registry,
             optimized: self.optimized,
             physical: self.physical,
+            plan_micros: self.plan_micros,
             _borrow: std::marker::PhantomData,
         }
     }
@@ -185,6 +194,37 @@ impl<'s> PreparedQuery<'s> {
     /// # Errors
     /// Propagates the same errors as [`PreparedQuery::run`].
     pub fn run_with_pool(&self, pool: cej_exec::ExecPool) -> Result<ExecutionReport> {
+        self.run_traced_with(&Trace::disabled(), pool, ExecMode::default())
+    }
+
+    /// [`PreparedQuery::run`] recording into a caller-provided
+    /// [`cej_obs::Trace`].  On a sampled trace this attaches the plan
+    /// fingerprint, the `phase.rewrite`/`phase.order`/`phase.lower` planning
+    /// spans (measured at `prepare` time), a `phase.execute` span carrying
+    /// run statistics, and one span per physical operator with its actual
+    /// rows, morsels, and inclusive wall time.  Results are byte-identical
+    /// with tracing on or off: spans are synthesised *after* the run from
+    /// the per-operator metrics the executor records unconditionally, so
+    /// the execution path itself never branches on the trace.
+    ///
+    /// # Errors
+    /// Propagates the same errors as [`PreparedQuery::run`].
+    pub fn run_traced(&self, trace: &Trace) -> Result<ExecutionReport> {
+        self.run_traced_with(trace, *cej_exec::ExecPool::global(), ExecMode::default())
+    }
+
+    /// [`PreparedQuery::run_traced`] with an explicit pool budget and
+    /// [`ExecMode`] — how tests assert span-tree shape under both the row
+    /// and the batch executor.
+    ///
+    /// # Errors
+    /// Propagates the same errors as [`PreparedQuery::run`].
+    pub fn run_traced_with(
+        &self,
+        trace: &Trace,
+        pool: cej_exec::ExecPool,
+        mode: ExecMode,
+    ) -> Result<ExecutionReport> {
         let ctx = ExecContext {
             catalog: self.session.catalog(),
             registry: &self.registry,
@@ -192,7 +232,23 @@ impl<'s> PreparedQuery<'s> {
             indexes: self.session.index_manager(),
             pool,
         };
-        let outcome = self.physical.execute(&ctx)?;
+        let started = std::time::Instant::now();
+        let outcome = self.physical.execute_with(&ctx, mode)?;
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let trace_id = if trace.is_sampled() {
+            self.annotate_trace(trace, &outcome, elapsed_us);
+            trace.id()
+        } else if cej_obs::slow_query_us().is_some_and(|limit| elapsed_us >= limit) {
+            // Slow queries are captured even when sampling skipped them:
+            // the per-operator metrics were recorded unconditionally, so
+            // the full trace is reconstructed post-hoc at zero cost to the
+            // fast path (one `Instant` and this comparison).
+            let forced = Trace::forced("slow query");
+            self.annotate_trace(&forced, &outcome, elapsed_us);
+            forced.finish()
+        } else {
+            None
+        };
         Ok(ExecutionReport {
             table: outcome.table,
             optimized_plan: self.optimized.clone(),
@@ -207,7 +263,46 @@ impl<'s> PreparedQuery<'s> {
             operator_micros: outcome.operator_micros,
             operator_morsels: outcome.operator_morsels,
             scheduler: outcome.stats.scheduler,
+            trace_id,
         })
+    }
+
+    /// Converts a finished run's unconditionally-recorded metrics into
+    /// spans: planning phases, the execute phase with run-level attributes,
+    /// and the per-operator tree.
+    fn annotate_trace(&self, trace: &Trace, outcome: &ExecOutcome, elapsed_us: u64) {
+        trace.set_fingerprint(self.fingerprint());
+        let root = trace.root();
+        let [rewrite_us, order_us, lower_us] = self.plan_micros;
+        trace.add_span(root, "phase.rewrite", 0, rewrite_us, Vec::new());
+        trace.add_span(root, "phase.order", 0, order_us, Vec::new());
+        trace.add_span(root, "phase.lower", 0, lower_us, Vec::new());
+        let stats = &outcome.stats;
+        let mut attrs: Vec<(&'static str, AttrValue)> = vec![
+            ("rows", outcome.table.num_rows().into()),
+            ("matched_pairs", stats.matched_pairs.into()),
+            ("index_builds", stats.index_builds.into()),
+            ("index_reuses", stats.index_reuses.into()),
+            ("index_evictions", stats.index_evictions.into()),
+            ("embed_calls", stats.embedding_stats.model_calls.into()),
+            ("embed_hits", stats.embedding_stats.cache_hits.into()),
+            ("pool_tasks", stats.scheduler.tasks_executed.into()),
+            ("pool_steals", stats.scheduler.steals.into()),
+        ];
+        if let Some(path) = stats.access_path {
+            attrs.push(("access_path", format!("{path:?}").into()));
+        }
+        let execute = trace.add_span(root, "phase.execute", 0, elapsed_us, attrs);
+        let mut cursor = 0usize;
+        add_operator_spans(
+            trace,
+            execute,
+            &self.physical,
+            &outcome.operator_rows,
+            &outcome.operator_micros,
+            &outcome.operator_morsels,
+            &mut cursor,
+        );
     }
 
     /// Executes the plan and renders the operator tree with estimated and
@@ -221,7 +316,17 @@ impl<'s> PreparedQuery<'s> {
     /// # Errors
     /// Propagates the same errors as [`PreparedQuery::run`].
     pub fn explain_analyze(&self) -> Result<ExplainAnalyze> {
-        let report = self.run()?;
+        self.explain_analyze_traced(&Trace::disabled())
+    }
+
+    /// [`PreparedQuery::explain_analyze`] recording the measuring run into
+    /// a caller-provided [`cej_obs::Trace`] — the serving layer's `ANALYZE`
+    /// path, so an analysed query also shows up under `TRACE LAST`.
+    ///
+    /// # Errors
+    /// Propagates the same errors as [`PreparedQuery::run`].
+    pub fn explain_analyze_traced(&self, trace: &Trace) -> Result<ExplainAnalyze> {
+        let report = self.run_traced(trace)?;
         let mut text = self
             .physical
             .explain_analyze_timed(&report.operator_rows, &report.operator_micros);
@@ -305,7 +410,84 @@ impl<'s> PreparedQuery<'s> {
             self.registry.clone(),
             optimized,
             physical,
+            self.plan_micros,
         ))
+    }
+}
+
+/// Synthesises one span per physical operator under `parent`, consuming
+/// pre-order slots from the executor's metric vectors (the same slot order
+/// `explain_analyze` renders in).  A persistent-index inner side executes
+/// no operator slot; it is rendered as a zero-duration `IndexProbe` span.
+fn add_operator_spans(
+    trace: &Trace,
+    parent: SpanId,
+    plan: &PhysicalPlan,
+    rows: &[u64],
+    micros: &[u64],
+    morsels: &[u64],
+    cursor: &mut usize,
+) {
+    let slot = *cursor;
+    *cursor += 1;
+    let mut attrs: Vec<(&'static str, AttrValue)> = Vec::new();
+    if let Some(r) = rows.get(slot) {
+        attrs.push(("rows", (*r).into()));
+    }
+    if let Some(m) = morsels.get(slot) {
+        attrs.push(("morsels", (*m).into()));
+    }
+    let dur_us = micros.get(slot).copied().unwrap_or(0);
+    let id = trace.add_span(parent, &operator_span_name(plan), 0, dur_us, attrs);
+    match plan {
+        PhysicalPlan::TableScan { .. } => {}
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Embed { input, .. }
+        | PhysicalPlan::Rename { input, .. } => {
+            add_operator_spans(trace, id, input, rows, micros, morsels, cursor);
+        }
+        PhysicalPlan::Join(node) => {
+            add_operator_spans(trace, id, &node.outer, rows, micros, morsels, cursor);
+            match &node.inner {
+                InnerInput::Plan(inner) => {
+                    add_operator_spans(trace, id, inner, rows, micros, morsels, cursor);
+                }
+                InnerInput::Indexed(indexed) => {
+                    trace.add_span(
+                        id,
+                        &format!("IndexProbe {}.{}", indexed.key.table, indexed.key.column),
+                        0,
+                        0,
+                        vec![("model", indexed.key.model.clone().into())],
+                    );
+                }
+            }
+        }
+        PhysicalPlan::HashJoin(node) => {
+            add_operator_spans(trace, id, &node.left, rows, micros, morsels, cursor);
+            add_operator_spans(trace, id, &node.right, rows, micros, morsels, cursor);
+        }
+    }
+}
+
+/// Short operator label for a synthesised span.
+fn operator_span_name(plan: &PhysicalPlan) -> String {
+    match plan {
+        PhysicalPlan::TableScan { table, .. } => format!("TableScan {table}"),
+        PhysicalPlan::Filter { .. } => "Filter".to_string(),
+        PhysicalPlan::Project { .. } => "Project".to_string(),
+        PhysicalPlan::Embed { .. } => "Embed".to_string(),
+        PhysicalPlan::Rename { .. } => "Rename".to_string(),
+        PhysicalPlan::HashJoin(node) => {
+            format!("HashJoin {}={}", node.left_column, node.right_column)
+        }
+        PhysicalPlan::Join(node) => format!(
+            "{} {}~{}",
+            node.op.name(),
+            node.left_column,
+            node.right_column
+        ),
     }
 }
 
@@ -433,6 +615,7 @@ impl Clone for PreparedQuery<'_> {
             registry: self.registry.clone(),
             optimized: self.optimized.clone(),
             physical: self.physical.clone(),
+            plan_micros: self.plan_micros,
             _borrow: std::marker::PhantomData,
         }
     }

@@ -116,6 +116,10 @@ pub struct ExecutionReport {
     /// side of `explain_analyze()`.  Process-wide deltas: under concurrent
     /// serving they measure contention, not per-run attribution.
     pub scheduler: cej_exec::PoolMetrics,
+    /// Id of the [`cej_obs::Trace`] that captured this run — set when the
+    /// run was traced (sampled, forced, or slow-query captured), `None`
+    /// otherwise.  Look the trace up with [`cej_obs::trace_by_id`].
+    pub trace_id: Option<u64>,
 }
 
 /// What one [`ContextJoinSession::apply_delta`] did: the published table
@@ -294,26 +298,37 @@ impl ContextJoinSession {
     /// surface here, before execution).
     pub fn prepare(&self, plan: &LogicalPlan) -> Result<PreparedQuery<'_>> {
         let registry = self.model_registry();
+        // Each planning phase is timed so traced runs can report
+        // plan/order/lower wall times next to execution (the phase spans of
+        // `TRACE`); timing two Instants per phase is negligible against the
+        // optimizer work itself.
+        let start = std::time::Instant::now();
         let optimized = self
             .state
             .optimizer
             .optimize(plan.clone(), &self.state.catalog)?;
+        let rewrite_us = start.elapsed().as_micros() as u64;
         // Join-order selection runs between the rewrite optimizer (whose
         // pushdowns shape the per-relation inputs the DP costs) and physical
         // lowering (which prices the access paths of the chosen tree).
+        let start = std::time::Instant::now();
         let optimized = reorder_joins(&optimized, &self.state.catalog)?;
+        let order_us = start.elapsed().as_micros() as u64;
         let planner = Planner::new(self.advisor(), *self.state.strategy.read());
+        let start = std::time::Instant::now();
         let physical = planner.plan(
             &optimized,
             &self.state.catalog,
             &registry,
             &self.state.indexes,
         )?;
+        let lower_us = start.elapsed().as_micros() as u64;
         Ok(PreparedQuery::new(
             self.clone(),
             registry,
             optimized,
             physical,
+            [rewrite_us, order_us, lower_us],
         ))
     }
 
@@ -345,6 +360,25 @@ impl ContextJoinSession {
         self.prepare(plan)?.run()
     }
 
+    /// [`ContextJoinSession::execute`] recording into a caller-provided
+    /// [`cej_obs::Trace`]: planning runs under a `prepare` span and the run
+    /// itself via [`crate::prepared::PreparedQuery::run_traced`] (phase and
+    /// per-operator spans).  A disabled trace costs nothing extra beyond
+    /// slow-query wall-time measurement.
+    ///
+    /// # Errors
+    /// Propagates the same errors as [`ContextJoinSession::execute`].
+    pub fn execute_traced(
+        &self,
+        plan: &LogicalPlan,
+        trace: &cej_obs::Trace,
+    ) -> Result<ExecutionReport> {
+        let span = trace.span("prepare");
+        let prepared = self.prepare(plan)?;
+        drop(span);
+        prepared.run_traced(trace)
+    }
+
     /// The session's IVM runtime (standing-query registry plus delta
     /// bookkeeping).
     pub(crate) fn ivm_runtime(&self) -> &IvmRuntime {
@@ -355,6 +389,12 @@ impl ContextJoinSession {
     /// propagation/refresh split, and propagation-latency percentiles.
     pub fn ivm_stats(&self) -> IvmStats {
         self.state.ivm.stats()
+    }
+
+    /// The delta-propagation latency histogram (a shared handle onto the
+    /// live cells) — what the serving layer registers under `METRICS`.
+    pub fn ivm_latency_histogram(&self) -> cej_obs::Histogram {
+        self.state.ivm.latency_histogram()
     }
 
     /// Looks up a registered standing query by id (a second handle onto the
@@ -390,17 +430,24 @@ impl ContextJoinSession {
     /// Propagates schema/key-type mismatches from the delta check, and
     /// catalog, embedding, index, and execution errors from maintenance.
     pub fn apply_delta(&self, table: &str, delta: &Delta) -> Result<DeltaReport> {
+        let trace = cej_obs::Trace::start(&format!("apply {table}"));
         let _gate = self.state.ivm.apply_gate.lock();
+        let span = trace.span("catalog.apply");
         let (head, applied) = self
             .state
             .catalog
             .apply_delta(table, delta)
             .map_err(CoreError::from)?;
+        drop(span);
+        let span = trace.span("index.maintain");
         if applied.removed.num_rows() == 0 {
+            span.attr("mode", "extend");
             self.extend_table_indexes(table, &applied.added)?;
         } else {
+            span.attr("mode", "invalidate");
             self.state.indexes.invalidate_table(table);
         }
+        drop(span);
         let version = head.version();
         let change = TableChange {
             table: table.to_string(),
@@ -415,11 +462,13 @@ impl ContextJoinSession {
         static APPLY_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         let seq = APPLY_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let start = std::time::Instant::now();
+        let span = trace.span("ivm.propagate");
         let queries = self.state.ivm.queries();
         let mut outcomes = Vec::with_capacity(queries.len());
         for query in &queries {
             outcomes.push(query.on_table_change(&change, version, seq)?);
         }
+        drop(span);
         self.state.ivm.record_apply(&outcomes, start.elapsed());
         let propagated = outcomes
             .iter()
@@ -429,6 +478,13 @@ impl ContextJoinSession {
             .iter()
             .filter(|o| **o == ChangeOutcome::Refreshed)
             .count();
+        trace.attr("version", version);
+        trace.attr("seq", seq);
+        trace.attr("added_rows", change.added.num_rows());
+        trace.attr("removed_rows", change.removed.num_rows());
+        trace.attr("propagated", propagated);
+        trace.attr("refreshed", refreshed);
+        trace.finish();
         Ok(DeltaReport {
             version,
             added_rows: change.added.num_rows(),

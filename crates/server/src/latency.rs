@@ -2,22 +2,21 @@
 //!
 //! Every executed query (`RUN` / `PROBE` / `ANALYZE`) records its service
 //! time here; `STATS` and the load-generator reports read the percentile
-//! summary.  Samples are exact microseconds over a bounded sliding window
-//! (a ring of the most recent [`MAX_SAMPLES`]): exact percentiles beat
-//! sketch error bars when CI gates on p95, and the bound keeps a
-//! long-running server's memory (and `STATS` cost) constant.
+//! summary.  Samples land in a log-bucketed [`cej_obs::Histogram`]
+//! (16 sub-buckets per octave): memory is bounded by the fixed bucket
+//! table no matter how long the server runs, a summary is one array walk
+//! instead of a 65k-sample sort, and — unlike the sliding ring this
+//! replaced — percentiles cover the full recorded history with no
+//! recency bias.  Reported quantiles are *exact-enough*: the bucket lower
+//! bound, at most one bucket width (≈4.4%) below the true sample, exact
+//! for sub-32µs samples and for the tracked maximum.
 
-use std::sync::Mutex;
-
-/// Size of the sliding sample window.  512 KiB of `u64`s: far more than any
-/// percentile needs, small enough to sort on every `STATS`.
-pub const MAX_SAMPLES: usize = 65_536;
+use cej_obs::Histogram;
 
 /// Percentile summary over the recorded samples.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencySummary {
-    /// Number of samples in the window (total recordings may exceed this
-    /// once the sliding window wraps).
+    /// Number of samples recorded since the last reset.
     pub count: usize,
     /// Median service time in microseconds.
     pub p50_us: u64,
@@ -31,18 +30,12 @@ pub struct LatencySummary {
     pub mean_us: u64,
 }
 
-/// The bounded ring of recent samples.
-#[derive(Debug, Default)]
-struct Ring {
-    samples_us: Vec<u64>,
-    /// Next write position once the ring is full.
-    cursor: usize,
-}
-
-/// A concurrent recorder of service times (see module docs).
-#[derive(Debug, Default)]
+/// A concurrent recorder of service times (see module docs).  Cloning
+/// shares the underlying histogram cells — how the serving layer registers
+/// the same data under `METRICS`.
+#[derive(Clone, Debug, Default)]
 pub struct LatencyRecorder {
-    ring: Mutex<Ring>,
+    histogram: Histogram,
 }
 
 /// Index of the `q`-quantile in a sorted sample of `len` values
@@ -58,47 +51,36 @@ impl LatencyRecorder {
         Self::default()
     }
 
-    /// Records one service time in microseconds.  Once the sliding window
-    /// is full, the oldest sample is overwritten.
+    /// The underlying histogram handle (shares the cells) — what the
+    /// serving layer registers into its metrics registry.
+    pub fn histogram(&self) -> Histogram {
+        self.histogram.clone()
+    }
+
+    /// Records one service time in microseconds.  Lock-free.
     pub fn record_us(&self, micros: u64) {
-        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
-        if ring.samples_us.len() < MAX_SAMPLES {
-            ring.samples_us.push(micros);
-        } else {
-            let cursor = ring.cursor;
-            ring.samples_us[cursor] = micros;
-            ring.cursor = (cursor + 1) % MAX_SAMPLES;
-        }
+        self.histogram.observe(micros);
     }
 
     /// Drops all samples (the load generator resets between client counts).
     pub fn reset(&self) {
-        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
-        ring.samples_us.clear();
-        ring.cursor = 0;
+        self.histogram.reset();
     }
 
-    /// The percentile summary over the current sample window.
+    /// The percentile summary over everything recorded since the last
+    /// reset.
     pub fn summary(&self) -> LatencySummary {
-        let mut samples = self
-            .ring
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .samples_us
-            .clone();
-        if samples.is_empty() {
+        let count = self.histogram.count();
+        if count == 0 {
             return LatencySummary::default();
         }
-        samples.sort_unstable();
-        let count = samples.len();
-        let total: u64 = samples.iter().sum();
         LatencySummary {
-            count,
-            p50_us: samples[nearest_rank(count, 0.50)],
-            p95_us: samples[nearest_rank(count, 0.95)],
-            p99_us: samples[nearest_rank(count, 0.99)],
-            max_us: samples[count - 1],
-            mean_us: total / count as u64,
+            count: count as usize,
+            p50_us: self.histogram.quantile(0.50),
+            p95_us: self.histogram.quantile(0.95),
+            p99_us: self.histogram.quantile(0.99),
+            max_us: self.histogram.max(),
+            mean_us: self.histogram.mean(),
         }
     }
 }
@@ -120,9 +102,11 @@ mod tests {
         }
         let s = recorder.summary();
         assert_eq!(s.count, 100);
+        // 50 sits exactly on a bucket boundary; 95 and 99 report their
+        // bucket's lower bound, within one ≈4.4% bucket width below
         assert_eq!(s.p50_us, 50);
-        assert_eq!(s.p95_us, 95);
-        assert_eq!(s.p99_us, 99);
+        assert!((91..=95).contains(&s.p95_us), "p95={}", s.p95_us);
+        assert!((95..=99).contains(&s.p99_us), "p99={}", s.p99_us);
         assert_eq!(s.max_us, 100);
         assert_eq!(s.mean_us, 50);
         recorder.reset();
@@ -138,19 +122,19 @@ mod tests {
     }
 
     #[test]
-    fn window_is_bounded_and_slides() {
+    fn quantiles_never_exceed_the_tracked_maximum() {
         let recorder = LatencyRecorder::new();
-        // fill the window with large values, then wrap with small ones
-        for _ in 0..MAX_SAMPLES {
+        for _ in 0..10_000 {
             recorder.record_us(1_000_000);
         }
-        assert_eq!(recorder.summary().count, MAX_SAMPLES);
-        for _ in 0..MAX_SAMPLES {
+        for _ in 0..10_000 {
             recorder.record_us(1);
         }
         let s = recorder.summary();
-        assert_eq!(s.count, MAX_SAMPLES, "window never exceeds the bound");
-        assert_eq!(s.max_us, 1, "old samples must have been overwritten");
+        assert_eq!(s.count, 20_000, "full history, no sliding window");
+        assert!(s.p99_us <= s.max_us);
+        assert_eq!(s.max_us, 1_000_000);
+        assert_eq!(s.p50_us, 1, "half the samples are 1µs");
     }
 
     #[test]

@@ -38,12 +38,27 @@
 //! `SUBSCRIBE <id>` turns a prepared statement into a standing query
 //! ([`cej_core::StandingQuery`]): from then on, any connection's
 //! `APPLY <table> …` mutation that changes its result pushes a checksummed
-//! `DELTA` frame to the subscribing connection.  Frames are flushed between
-//! requests and whenever the connection is idle (the read-timeout tick), so
-//! they never interleave with a response payload; [`Client::wait_delta`]
-//! receives them.  Maintenance is incremental where the delta-propagation
-//! engine is exact and a transparent full re-run otherwise — either way the
-//! frame is an exact result diff.
+//! `DELTA` frame to the subscribing connection.  Every connection owns a
+//! dedicated flusher thread parked on the server-wide [`FrameNudge`]: a
+//! successful `APPLY` bumps its generation and wakes every flusher, so
+//! frames go out the moment they are queued instead of waiting for a
+//! 100ms idle tick.  A per-connection writer mutex keeps frames from
+//! interleaving with response payloads; [`Client::wait_delta`] receives
+//! them.  Maintenance is incremental where the delta-propagation engine is
+//! exact and a transparent full re-run otherwise — either way the frame is
+//! an exact result diff.
+//!
+//! ## Observability
+//!
+//! Each server owns a [`cej_obs::Registry`] aggregating every stat family —
+//! admission, query latency, persistent indexes, embedding caches, the
+//! work-stealing pool, incremental-view maintenance, the DELTA fan-out
+//! cache, and trace capture.  `METRICS` renders it in Prometheus text
+//! exposition format; `STATS` stays the legacy single-line view over the
+//! same registry.  `RUN`/`ANALYZE`/`PROBE` execute under a
+//! [`cej_obs::Trace`] (sampled by `CEJ_TRACE_SAMPLE`, forced for queries
+//! crossing `CEJ_SLOW_QUERY_MS`); `TRACE LAST`, `TRACE <id>`, and
+//! `TRACE SLOW` render captured span trees over the wire.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -56,17 +71,18 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use cej_core::{ContextJoinSession, PreparedQuery, StandingQuery};
+use cej_obs::Trace;
 use cej_storage::TableBuilder;
 
 use admission::AdmissionGate;
 use latency::LatencyRecorder;
 use protocol::{
     build_delta, render_delta, render_delta_body, render_delta_header, render_table, render_text,
-    Command, StatementSpec,
+    Command, StatementSpec, TraceTarget,
 };
 
 /// Configuration of a [`Server`].
@@ -94,12 +110,62 @@ impl Default for ServerConfig {
 /// State shared by the acceptor and every connection thread.
 struct ServerShared {
     session: ContextJoinSession,
-    gate: AdmissionGate,
+    gate: Arc<AdmissionGate>,
     latency: LatencyRecorder,
     shutdown: AtomicBool,
-    queries: AtomicU64,
     connections: AtomicU64,
-    frames: DeltaFrameCache,
+    frames: Arc<DeltaFrameCache>,
+    /// Per-server metrics registry (every stat family registers here; see
+    /// [`Server::metrics`]).  Collector closures capture their own `Arc` /
+    /// shared-cell handles, never `ServerShared` itself, so no reference
+    /// cycle forms.
+    registry: cej_obs::Registry,
+    /// Queries executed (`RUN` / `ANALYZE` / `PROBE` / `APPLY`), registered
+    /// as `cej_queries_total`.
+    queries: cej_obs::Counter,
+    /// Flusher rounds that wrote at least one `DELTA` frame, registered as
+    /// `cej_frame_wakeups_total`.
+    frame_wakeups: cej_obs::Counter,
+    /// Wakes every connection's frame flusher after an `APPLY` queues
+    /// standing-query frames.
+    nudge: FrameNudge,
+}
+
+/// A generation-counting condvar that replaces the old 100ms idle-tick
+/// frame flush: `APPLY` bumps the generation ([`FrameNudge::notify`]) and
+/// every per-connection flusher parked in [`FrameNudge::wait`] drains its
+/// subscription mailboxes immediately.
+struct FrameNudge {
+    generation: Mutex<u64>,
+    frames_ready: Condvar,
+}
+
+impl FrameNudge {
+    fn new() -> Self {
+        Self {
+            generation: Mutex::new(0),
+            frames_ready: Condvar::new(),
+        }
+    }
+
+    /// Bumps the generation and wakes every waiting flusher.
+    fn notify(&self) {
+        let mut generation = self.generation.lock().unwrap_or_else(|e| e.into_inner());
+        *generation += 1;
+        self.frames_ready.notify_all();
+    }
+
+    /// Waits until the generation moves past `seen` or `fallback` elapses
+    /// (the safety net for shutdown and frames queued outside `APPLY`);
+    /// returns the generation observed on wake.
+    fn wait(&self, seen: u64, fallback: Duration) -> u64 {
+        let guard = self.generation.lock().unwrap_or_else(|e| e.into_inner());
+        let (guard, _timeout) = self
+            .frames_ready
+            .wait_timeout_while(guard, fallback, |generation| *generation == seen)
+            .unwrap_or_else(|e| e.into_inner());
+        *guard
+    }
 }
 
 /// Bounded entries kept in the [`DeltaFrameCache`] (FIFO eviction).  Each
@@ -208,14 +274,30 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let gate = Arc::new(AdmissionGate::new(config.max_inflight, config.max_queued));
+        let latency = LatencyRecorder::new();
+        let frames = Arc::new(DeltaFrameCache::new());
+        let registry = cej_obs::Registry::new();
+        let queries = registry.counter(
+            "cej_queries_total",
+            "Queries executed (RUN, ANALYZE, PROBE, APPLY)",
+        );
+        let frame_wakeups = registry.counter(
+            "cej_frame_wakeups_total",
+            "Flusher rounds that wrote at least one DELTA frame",
+        );
+        register_collectors(&registry, &session, &gate, &latency, &frames);
         let shared = Arc::new(ServerShared {
             session,
-            gate: AdmissionGate::new(config.max_inflight, config.max_queued),
-            latency: LatencyRecorder::new(),
+            gate,
+            latency,
             shutdown: AtomicBool::new(false),
-            queries: AtomicU64::new(0),
             connections: AtomicU64::new(0),
-            frames: DeltaFrameCache::new(),
+            frames,
+            registry,
+            queries,
+            frame_wakeups,
+            nudge: FrameNudge::new(),
         });
         let connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
@@ -259,6 +341,12 @@ impl Server {
         self.shared.gate.stats()
     }
 
+    /// The full metrics registry in Prometheus text exposition format —
+    /// exactly what the `METRICS` verb serves over the wire.
+    pub fn metrics(&self) -> String {
+        self.shared.registry.render()
+    }
+
     /// Graceful shutdown: stop accepting, let every connection finish its
     /// current request, join all threads.  Idempotent.
     pub fn shutdown(&mut self) {
@@ -280,6 +368,190 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Registers every stat family as scrape-time collectors: admission,
+/// latency, persistent indexes, embedding caches, the work-stealing pool,
+/// incremental-view maintenance, the DELTA fan-out cache, and trace
+/// capture.  `STATS` re-sources its legacy line from these same entries
+/// ([`render_stats`]), so the two surfaces can never drift.
+fn register_collectors(
+    registry: &cej_obs::Registry,
+    session: &ContextJoinSession,
+    gate: &Arc<AdmissionGate>,
+    latency: &LatencyRecorder,
+    frames: &Arc<DeltaFrameCache>,
+) {
+    let g = Arc::clone(gate);
+    registry.counter_fn(
+        "cej_admission_admitted_total",
+        "Queries granted an execution slot",
+        move || g.stats().admitted,
+    );
+    let g = Arc::clone(gate);
+    registry.counter_fn(
+        "cej_admission_rejected_total",
+        "Queries answered ERR busy (inflight cap and wait queue both full)",
+        move || g.stats().rejected,
+    );
+    let g = Arc::clone(gate);
+    registry.gauge_fn(
+        "cej_admission_inflight",
+        "Queries currently holding an execution slot",
+        move || g.stats().inflight as u64,
+    );
+    let g = Arc::clone(gate);
+    registry.gauge_fn(
+        "cej_admission_queued",
+        "Queries currently waiting for an execution slot",
+        move || g.stats().queued as u64,
+    );
+    let g = Arc::clone(gate);
+    registry.gauge_fn(
+        "cej_admission_peak_inflight",
+        "Highest concurrent in-flight count observed",
+        move || g.stats().peak_inflight as u64,
+    );
+    registry.histogram_handle(
+        "cej_query_latency_us",
+        "Per-query service time in microseconds",
+        latency.histogram(),
+    );
+
+    let s = session.clone();
+    registry.counter_fn(
+        "cej_index_builds_total",
+        "Persistent vector indexes built (cache misses)",
+        move || s.index_manager().stats().builds,
+    );
+    let s = session.clone();
+    registry.counter_fn(
+        "cej_index_hits_total",
+        "Lookups served by an already-built persistent index",
+        move || s.index_manager().stats().hits,
+    );
+    let s = session.clone();
+    registry.counter_fn(
+        "cej_index_invalidations_total",
+        "Persistent indexes dropped by table re-registration",
+        move || s.index_manager().stats().invalidations,
+    );
+    let s = session.clone();
+    registry.counter_fn(
+        "cej_index_evictions_total",
+        "Persistent indexes evicted by the memory budget (LRU)",
+        move || s.index_manager().stats().evictions,
+    );
+    let s = session.clone();
+    registry.gauge_fn(
+        "cej_index_resident",
+        "Persistent indexes currently resident",
+        move || s.index_manager().stats().resident as u64,
+    );
+    let s = session.clone();
+    registry.gauge_fn(
+        "cej_index_memory_bytes",
+        "Bytes held by resident persistent indexes",
+        move || s.index_manager().stats().memory_bytes as u64,
+    );
+
+    let s = session.clone();
+    registry.counter_fn(
+        "cej_embed_model_calls_total",
+        "Real embedding-model invocations (cache misses and uncached calls)",
+        move || s.embedding_caches().stats().model_calls,
+    );
+    let s = session.clone();
+    registry.counter_fn(
+        "cej_embed_cache_hits_total",
+        "Embedding calls served from the shared cache",
+        move || s.embedding_caches().stats().cache_hits,
+    );
+
+    registry.counter_fn(
+        "cej_pool_tasks_total",
+        "Task indices executed through the work-stealing scheduler",
+        || cej_exec::ExecPool::metrics().tasks_executed,
+    );
+    registry.counter_fn(
+        "cej_pool_steals_total",
+        "Tokens taken from another worker's deque",
+        || cej_exec::ExecPool::metrics().steals,
+    );
+    registry.counter_fn(
+        "cej_pool_injected_total",
+        "Tokens submitted through the scheduler's injector queue",
+        || cej_exec::ExecPool::metrics().injected,
+    );
+    registry.counter_fn(
+        "cej_pool_wakeups_total",
+        "Targeted wakeups issued to parked scheduler workers",
+        || cej_exec::ExecPool::metrics().wakeups,
+    );
+    registry.gauge_fn(
+        "cej_pool_queue_depth",
+        "Tokens currently queued across the injector and all deques",
+        || cej_exec::ExecPool::metrics().queue_depth as u64,
+    );
+    registry.gauge_fn(
+        "cej_pool_workers",
+        "Scheduler worker threads currently alive",
+        || cej_exec::ExecPool::metrics().workers as u64,
+    );
+
+    let s = session.clone();
+    registry.gauge_fn(
+        "cej_ivm_standing",
+        "Standing queries currently registered",
+        move || s.ivm_stats().standing as u64,
+    );
+    let s = session.clone();
+    registry.counter_fn(
+        "cej_ivm_deltas_applied_total",
+        "Table deltas applied through the session",
+        move || s.ivm_stats().deltas_applied,
+    );
+    let s = session.clone();
+    registry.counter_fn(
+        "cej_ivm_propagations_total",
+        "Standing-query updates handled by exact delta propagation",
+        move || s.ivm_stats().propagations,
+    );
+    let s = session.clone();
+    registry.counter_fn(
+        "cej_ivm_refreshes_total",
+        "Standing-query updates handled by a full re-run",
+        move || s.ivm_stats().refreshes,
+    );
+    registry.histogram_handle(
+        "cej_ivm_propagation_latency_us",
+        "Delta-propagation latency per standing-query update, microseconds",
+        session.ivm_latency_histogram(),
+    );
+
+    let f = Arc::clone(frames);
+    registry.counter_fn(
+        "cej_frame_renders_total",
+        "DELTA frame bodies rendered (fan-out cache misses)",
+        move || f.stats().1,
+    );
+    let f = Arc::clone(frames);
+    registry.counter_fn(
+        "cej_frame_shares_total",
+        "DELTA frame bodies served from the fan-out cache",
+        move || f.stats().0,
+    );
+
+    registry.counter_fn(
+        "cej_traces_captured_total",
+        "Query traces captured into the in-memory ring",
+        cej_obs::traces_captured,
+    );
+    registry.counter_fn(
+        "cej_slow_queries_total",
+        "Queries that crossed the slow-query threshold",
+        cej_obs::slow_query_count,
+    );
 }
 
 fn accept_loop(
@@ -319,16 +591,34 @@ enum Statement {
 fn connection_loop(stream: TcpStream, shared: Arc<ServerShared>, conn_id: u64) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
     let mut statements: HashMap<String, Statement> = HashMap::new();
-    let mut subscriptions: HashMap<u64, StandingQuery> = HashMap::new();
+    let subscriptions: Arc<Mutex<HashMap<u64, StandingQuery>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let alive = Arc::new(AtomicBool::new(true));
+    // the flusher thread owns every standing-query frame write for this
+    // connection: it parks on the server's frame nudge and drains the
+    // subscription mailboxes the moment an APPLY queues frames, instead of
+    // waiting out the old 100ms idle tick.  The writer mutex keeps frames
+    // and response payloads from interleaving.
+    let flusher = {
+        let writer = Arc::clone(&writer);
+        let subscriptions = Arc::clone(&subscriptions);
+        let shared = Arc::clone(&shared);
+        let alive = Arc::clone(&alive);
+        std::thread::Builder::new()
+            .name(format!("cej-server-flush-{conn_id}"))
+            .spawn(move || flusher_loop(&writer, &subscriptions, &shared, &alive))
+            .ok()
+    };
     // one session handle per connection, all sharing the server's state
     let mut session = shared.session.clone();
     let probe_table = format!("__probe_{conn_id}");
+    let mut last_trace: Option<u64> = None;
     let mut line = String::new();
 
     loop {
@@ -341,14 +631,9 @@ fn connection_loop(stream: TcpStream, shared: Arc<ServerShared>, conn_id: u64) {
             {
                 // a timeout mid-line leaves already-read bytes in `line`;
                 // keep them and continue accumulating (only a completed
-                // line may be cleared)
+                // line may be cleared).  The read timeout survives purely
+                // as a shutdown poll — frames are the flusher's job now.
                 if shared.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                // the idle tick: stream pending standing-query frames —
-                // between requests, so they never interleave with a
-                // response payload
-                if flush_deltas(&mut writer, &subscriptions, &shared.frames).is_err() {
                     break;
                 }
                 continue;
@@ -362,7 +647,8 @@ fn connection_loop(stream: TcpStream, shared: Arc<ServerShared>, conn_id: u64) {
         let response = match Command::parse(&line) {
             Err(message) => format!("ERR {message}\n"),
             Ok(Command::Quit) => {
-                let _ = writer.write_all(b"OK bye\n");
+                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                let _ = w.write_all(b"OK bye\n");
                 break;
             }
             Ok(command) => dispatch(
@@ -370,31 +656,58 @@ fn connection_loop(stream: TcpStream, shared: Arc<ServerShared>, conn_id: u64) {
                 &shared,
                 &mut session,
                 &mut statements,
-                &mut subscriptions,
+                &subscriptions,
                 &probe_table,
+                &mut last_trace,
             ),
         };
         line.clear();
-        if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
-            break;
+        {
+            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+            if w.write_all(response.as_bytes()).is_err() || w.flush().is_err() {
+                break;
+            }
         }
-        // frames triggered by this connection's own APPLY (or queued while
-        // a request was being served) go out right behind the response
-        if flush_deltas(&mut writer, &subscriptions, &shared.frames).is_err() {
-            break;
-        }
-        // also honour shutdown between requests: a client pipelining
+        // honour shutdown between requests: a client pipelining
         // back-to-back commands never hits the read-timeout branch
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
     }
+    // wind the flusher down before reaping state it reads
+    alive.store(false, Ordering::Release);
+    shared.nudge.notify();
+    if let Some(handle) = flusher {
+        let _ = handle.join();
+    }
     // reap this connection's scratch state from the shared catalog and
     // deregister its standing queries so they stop accumulating frames
-    for sub in subscriptions.keys() {
-        session.unsubscribe(*sub);
+    let subs: Vec<u64> = {
+        let guard = subscriptions.lock().unwrap_or_else(|e| e.into_inner());
+        guard.keys().copied().collect()
+    };
+    for sub in subs {
+        session.unsubscribe(sub);
     }
     session.unregister_table(&probe_table);
+}
+
+/// One connection's frame-flusher thread: parks on the server-wide
+/// [`FrameNudge`] (with a 100ms fallback so shutdown and raced edges are
+/// never missed) and drains the subscription mailboxes each wake.
+fn flusher_loop(
+    writer: &Mutex<TcpStream>,
+    subscriptions: &Mutex<HashMap<u64, StandingQuery>>,
+    shared: &ServerShared,
+    alive: &AtomicBool,
+) {
+    let mut seen = 0u64;
+    while alive.load(Ordering::Acquire) && !shared.shutdown.load(Ordering::Acquire) {
+        seen = shared.nudge.wait(seen, Duration::from_millis(100));
+        if flush_deltas(writer, subscriptions, shared).is_err() {
+            break; // client gone; the reader loop notices on its side
+        }
+    }
 }
 
 /// Writes every pending frame of this connection's standing queries, in
@@ -405,49 +718,72 @@ fn connection_loop(stream: TcpStream, shared: Arc<ServerShared>, conn_id: u64) {
 /// [`DeltaFrameCache`]: the body is rendered once per
 /// `(plan fingerprint, apply seq)` and every subscriber — on this
 /// connection or any other — writes the shared allocation behind its own
-/// header line.  Snapshot frames are rendered directly.
+/// header line.  Snapshot frames are rendered directly.  Mailbox draining
+/// and body rendering happen before the writer lock is taken, so a flush
+/// round never blocks a response write on render work; rounds that found
+/// at least one frame count into `cej_frame_wakeups_total`.
 fn flush_deltas(
-    writer: &mut TcpStream,
-    subscriptions: &HashMap<u64, StandingQuery>,
-    frames: &DeltaFrameCache,
+    writer: &Mutex<TcpStream>,
+    subscriptions: &Mutex<HashMap<u64, StandingQuery>>,
+    shared: &ServerShared,
 ) -> std::io::Result<()> {
-    let mut flushed = false;
-    let mut subs: Vec<(&u64, &StandingQuery)> = subscriptions.iter().collect();
-    subs.sort_by_key(|(sub, _)| **sub);
-    for (sub, query) in subs {
+    let mut subs: Vec<(u64, StandingQuery)> = {
+        let guard = subscriptions.lock().unwrap_or_else(|e| e.into_inner());
+        guard
+            .iter()
+            .map(|(sub, query)| (*sub, query.clone()))
+            .collect()
+    };
+    subs.sort_by_key(|(sub, _)| *sub);
+    let mut pending: Vec<(String, Option<Arc<String>>)> = Vec::new();
+    for (sub, query) in &subs {
         let fingerprint = query.fingerprint();
         while let Some(frame) = query.poll() {
             if frame.seq == 0 {
-                writer.write_all(render_delta(*sub, &frame).as_bytes())?;
+                pending.push((render_delta(*sub, &frame), None));
             } else {
-                let body = frames.body(fingerprint, frame.seq, frame.refreshed, || {
-                    render_delta_body(&frame)
-                });
-                writer.write_all(render_delta_header(*sub, &frame).as_bytes())?;
-                writer.write_all(body.as_bytes())?;
+                let body = shared
+                    .frames
+                    .body(fingerprint, frame.seq, frame.refreshed, || {
+                        render_delta_body(&frame)
+                    });
+                pending.push((render_delta_header(*sub, &frame), Some(body)));
             }
-            flushed = true;
         }
     }
-    if flushed {
-        writer.flush()?;
+    if pending.is_empty() {
+        return Ok(());
     }
-    Ok(())
+    shared.frame_wakeups.inc();
+    let mut writer = writer.lock().unwrap_or_else(|e| e.into_inner());
+    for (header, body) in pending {
+        writer.write_all(header.as_bytes())?;
+        if let Some(body) = body {
+            writer.write_all(body.as_bytes())?;
+        }
+    }
+    writer.flush()
 }
 
 /// Executes one parsed command, returning the full response payload.
+/// `last_trace` remembers the most recent trace id this connection's
+/// queries captured — what `TRACE LAST` resolves first, so concurrent
+/// connections don't read each other's traces.
 fn dispatch(
     command: Command,
     shared: &ServerShared,
     session: &mut ContextJoinSession,
     statements: &mut HashMap<String, Statement>,
-    subscriptions: &mut HashMap<u64, StandingQuery>,
+    subscriptions: &Mutex<HashMap<u64, StandingQuery>>,
     probe_table: &str,
+    last_trace: &mut Option<u64>,
 ) -> String {
     match command {
         Command::Ping => "OK pong\n".to_string(),
         Command::Quit => unreachable!("handled by the connection loop"),
         Command::Stats => render_stats(shared),
+        Command::Metrics => render_text(&shared.registry.render()),
+        Command::Trace { target } => render_trace(target, *last_trace),
         Command::Prepare { id, spec } => match spec.as_ref() {
             StatementSpec::ProbeTemplate { .. } => {
                 statements.insert(id.clone(), Statement::ProbeTemplate(*spec));
@@ -503,26 +839,39 @@ fn dispatch(
             let Statement::Prepared(prepared) = statement else {
                 return "ERR probe templates execute via PROBE <id> <text>\n".to_string();
             };
-            admit_and_time(shared, || match prepared.run() {
+            let trace = Trace::start(&format!("RUN {id}"));
+            let response = admit_and_time(shared, &trace, || match prepared.run_traced(&trace) {
                 Ok(report) => render_table(&report.table),
                 Err(e) => format!("ERR {e}\n"),
-            })
+            });
+            if let Some(trace_id) = trace.finish() {
+                *last_trace = Some(trace_id);
+            }
+            response
         }
         Command::Analyze { id } => {
             let Some(Statement::Prepared(prepared)) = statements.get(&id) else {
                 return format!("ERR unknown or non-runnable statement `{id}`\n");
             };
-            admit_and_time(shared, || match prepared.explain_analyze() {
-                Ok(analyzed) => render_text(&analyzed.text),
-                Err(e) => format!("ERR {e}\n"),
-            })
+            let trace = Trace::start(&format!("ANALYZE {id}"));
+            let response = admit_and_time(shared, &trace, || {
+                match prepared.explain_analyze_traced(&trace) {
+                    Ok(analyzed) => render_text(&analyzed.text),
+                    Err(e) => format!("ERR {e}\n"),
+                }
+            });
+            if let Some(trace_id) = trace.finish() {
+                *last_trace = Some(trace_id);
+            }
+            response
         }
         Command::Probe { id, text } => {
             let Some(Statement::ProbeTemplate(spec)) = statements.get(&id) else {
                 return format!("ERR `{id}` is not a probe template\n");
             };
             let spec = spec.clone();
-            admit_and_time(shared, || {
+            let trace = Trace::start(&format!("PROBE {id}"));
+            let response = admit_and_time(shared, &trace, || {
                 let table = match TableBuilder::new().utf8("text", vec![text.clone()]).build() {
                     Ok(t) => t,
                     Err(e) => return format!("ERR {e}\n"),
@@ -531,18 +880,27 @@ fn dispatch(
                 let outcome = spec
                     .to_plan(Some(probe_table))
                     .map_err(cej_err)
-                    .and_then(|plan| session.execute(&plan));
+                    .and_then(|plan| session.execute_traced(&plan, &trace));
                 match outcome {
                     Ok(report) => render_table(&report.table),
                     Err(e) => format!("ERR {e}\n"),
                 }
-            })
+            });
+            if let Some(trace_id) = trace.finish() {
+                *last_trace = Some(trace_id);
+            }
+            response
         }
         Command::Subscribe { id } => match statements.get(&id) {
             Some(Statement::Prepared(prepared)) => match prepared.clone().subscribe() {
                 Ok(query) => {
                     let sub = query.id();
-                    subscriptions.insert(sub, query);
+                    subscriptions
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(sub, query);
+                    // let the flusher pick up any seed frame promptly
+                    shared.nudge.notify();
                     format!("OK subscribed {sub}\n")
                 }
                 Err(e) => format!("ERR {e}\n"),
@@ -553,48 +911,100 @@ fn dispatch(
             None => format!("ERR unknown statement `{id}`\n"),
         },
         Command::Unsubscribe { sub } => {
-            if subscriptions.remove(&sub).is_none() {
+            let removed = subscriptions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&sub);
+            if removed.is_none() {
                 return format!("ERR unknown subscription `{sub}`\n");
             }
             session.unsubscribe(sub);
             format!("OK unsubscribed {sub}\n")
         }
-        Command::Apply { table, spec } => admit_and_time(shared, || {
-            let schema = match session.catalog().table(&table) {
-                Ok(t) => t.schema().clone(),
-                Err(e) => return format!("ERR {e}\n"),
-            };
-            let delta = match build_delta(&spec, &schema) {
-                Ok(d) => d,
-                Err(message) => return format!("ERR {message}\n"),
-            };
-            match session.apply_delta(&table, &delta) {
-                Ok(report) => format!(
-                    "OK applied {table} v{} +{} -{} standing={} propagated={} refreshed={}\n",
-                    report.version,
-                    report.added_rows,
-                    report.removed_rows,
-                    report.standing_updated,
-                    report.propagated,
-                    report.refreshed,
-                ),
-                Err(e) => format!("ERR {e}\n"),
-            }
-        }),
+        Command::Apply { table, spec } => {
+            // apply_delta opens its own trace internally; the admission
+            // span has nowhere to land, so the wrapper gets a disabled one
+            let trace = Trace::disabled();
+            admit_and_time(shared, &trace, || {
+                let schema = match session.catalog().table(&table) {
+                    Ok(t) => t.schema().clone(),
+                    Err(e) => return format!("ERR {e}\n"),
+                };
+                let delta = match build_delta(&spec, &schema) {
+                    Ok(d) => d,
+                    Err(message) => return format!("ERR {message}\n"),
+                };
+                match session.apply_delta(&table, &delta) {
+                    Ok(report) => {
+                        // frames are queued: wake every connection's flusher
+                        shared.nudge.notify();
+                        format!(
+                            "OK applied {table} v{} +{} -{} standing={} propagated={} refreshed={}\n",
+                            report.version,
+                            report.added_rows,
+                            report.removed_rows,
+                            report.standing_updated,
+                            report.propagated,
+                            report.refreshed,
+                        )
+                    }
+                    Err(e) => format!("ERR {e}\n"),
+                }
+            })
+        }
     }
 }
 
-/// Wraps a query body in admission control and latency accounting.
-fn admit_and_time(shared: &ServerShared, body: impl FnOnce() -> String) -> String {
+/// Renders a `TRACE` verb response from the global capture ring and
+/// slow-query log.
+fn render_trace(target: TraceTarget, last_trace: Option<u64>) -> String {
+    match target {
+        TraceTarget::Last => match last_trace
+            .and_then(cej_obs::trace_by_id)
+            .or_else(cej_obs::last_trace)
+        {
+            Some(trace) => render_text(&trace.render()),
+            None => "ERR no traces captured yet\n".to_string(),
+        },
+        TraceTarget::Id(id) => match cej_obs::trace_by_id(id) {
+            Some(trace) => render_text(&trace.render()),
+            None => format!("ERR no trace `{id}` in the capture ring\n"),
+        },
+        TraceTarget::Slow => {
+            let slow = cej_obs::slow_queries();
+            if slow.is_empty() {
+                return "ERR no slow queries captured\n".to_string();
+            }
+            use std::fmt::Write as _;
+            let mut out = String::new();
+            for entry in slow {
+                let _ = writeln!(
+                    out,
+                    "trace {} label=\"{}\" total_us={} fingerprint={:016x}",
+                    entry.trace_id, entry.label, entry.total_us, entry.fingerprint
+                );
+            }
+            render_text(&out)
+        }
+    }
+}
+
+/// Wraps a query body in admission control and latency accounting; time
+/// spent waiting for an execution slot lands in an `admission.wait` span
+/// when the query is traced.
+fn admit_and_time(shared: &ServerShared, trace: &Trace, body: impl FnOnce() -> String) -> String {
+    let wait = trace.span("admission.wait");
     let Ok(permit) = shared.gate.acquire() else {
+        drop(wait);
         return "ERR busy (admission queue full, retry)\n".to_string();
     };
+    drop(wait);
     let start = Instant::now();
     let response = body();
     let elapsed_us = start.elapsed().as_micros() as u64;
     drop(permit);
     shared.latency.record_us(elapsed_us);
-    shared.queries.fetch_add(1, Ordering::Relaxed);
+    shared.queries.inc();
     response
 }
 
@@ -604,15 +1014,15 @@ fn cej_err(message: String) -> cej_core::CoreError {
 }
 
 /// Renders the `STATS` line: admission, latency, caches, indexes, pool,
-/// and incremental-view maintenance counters.
+/// and incremental-view maintenance counters.  Every counter and gauge is
+/// re-sourced from the metrics registry by name — `STATS` is a view over
+/// the same entries `METRICS` exposes, so the two surfaces cannot drift.
+/// Percentiles come from the registered histograms' shared cells.  New
+/// keys are only ever appended, keeping the line backward compatible.
 fn render_stats(shared: &ServerShared) -> String {
-    let admission = shared.gate.stats();
+    let value = |name: &str| shared.registry.value(name).unwrap_or(0);
     let latency = shared.latency.summary();
-    let indexes = shared.session.index_manager().stats();
-    let embeddings = shared.session.embedding_caches().stats();
-    let pool = cej_exec::ExecPool::metrics();
     let ivm = shared.session.ivm_stats();
-    let (frame_hits, frame_renders) = shared.frames.stats();
     format!(
         "OK queries={} inflight={} queued={} admitted={} rejected={} peak_inflight={} \
          p50_us={} p95_us={} p99_us={} max_us={} \
@@ -621,39 +1031,40 @@ fn render_stats(shared: &ServerShared) -> String {
          pool_tasks={} pool_steals={} pool_injected={} pool_wakeups={} pool_queue_depth={} pool_workers={} \
          standing={} deltas_applied={} ivm_propagations={} ivm_refreshes={} \
          ivm_p50_us={} ivm_p95_us={} ivm_p99_us={} \
-         frame_renders={} frame_shares={}\n",
-        shared.queries.load(Ordering::Relaxed),
-        admission.inflight,
-        admission.queued,
-        admission.admitted,
-        admission.rejected,
-        admission.peak_inflight,
+         frame_renders={} frame_shares={} frame_wakeups={}\n",
+        value("cej_queries_total"),
+        value("cej_admission_inflight"),
+        value("cej_admission_queued"),
+        value("cej_admission_admitted_total"),
+        value("cej_admission_rejected_total"),
+        value("cej_admission_peak_inflight"),
         latency.p50_us,
         latency.p95_us,
         latency.p99_us,
         latency.max_us,
-        indexes.builds,
-        indexes.hits,
-        indexes.evictions,
-        indexes.resident,
-        indexes.memory_bytes,
-        embeddings.model_calls,
-        embeddings.cache_hits,
-        pool.tasks_executed,
-        pool.steals,
-        pool.injected,
-        pool.wakeups,
-        pool.queue_depth,
-        pool.workers,
-        ivm.standing,
-        ivm.deltas_applied,
-        ivm.propagations,
-        ivm.refreshes,
+        value("cej_index_builds_total"),
+        value("cej_index_hits_total"),
+        value("cej_index_evictions_total"),
+        value("cej_index_resident"),
+        value("cej_index_memory_bytes"),
+        value("cej_embed_model_calls_total"),
+        value("cej_embed_cache_hits_total"),
+        value("cej_pool_tasks_total"),
+        value("cej_pool_steals_total"),
+        value("cej_pool_injected_total"),
+        value("cej_pool_wakeups_total"),
+        value("cej_pool_queue_depth"),
+        value("cej_pool_workers"),
+        value("cej_ivm_standing"),
+        value("cej_ivm_deltas_applied_total"),
+        value("cej_ivm_propagations_total"),
+        value("cej_ivm_refreshes_total"),
         ivm.latency_us.0,
         ivm.latency_us.1,
         ivm.latency_us.2,
-        frame_renders,
-        frame_hits,
+        value("cej_frame_renders_total"),
+        value("cej_frame_shares_total"),
+        value("cej_frame_wakeups_total"),
     )
 }
 
@@ -1332,6 +1743,133 @@ mod tests {
             client.request("RUN q2hi").unwrap(),
             Response::Rows { .. }
         ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_verb_exposes_every_stat_family() {
+        let mut server = Server::start(star_session(), ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            client.request(FOUR_TABLE_QUERY).unwrap(),
+            Response::Ok(_)
+        ));
+        assert!(matches!(
+            client.request("RUN q").unwrap(),
+            Response::Rows { .. }
+        ));
+        let Response::Text(lines) = client.request("METRICS").unwrap() else {
+            panic!("expected TEXT exposition");
+        };
+        let text = lines.join("\n");
+        for family in [
+            "cej_queries_total",
+            "cej_admission_admitted_total",
+            "cej_query_latency_us_bucket",
+            "cej_query_latency_us_count",
+            "cej_index_builds_total",
+            "cej_embed_model_calls_total",
+            "cej_pool_tasks_total",
+            "cej_ivm_deltas_applied_total",
+            "cej_ivm_propagation_latency_us_count",
+            "cej_frame_renders_total",
+            "cej_frame_wakeups_total",
+            "cej_traces_captured_total",
+        ] {
+            assert!(text.contains(family), "metrics missing {family}:\n{text}");
+        }
+        assert!(
+            text.contains("# HELP cej_queries_total")
+                && text.contains("# TYPE cej_queries_total counter"),
+            "{text}"
+        );
+        // one RUN went through: the counter and latency histogram saw it
+        assert!(text.contains("cej_queries_total 1"), "{text}");
+        assert!(text.contains("cej_query_latency_us_count 1"), "{text}");
+        // the in-process accessor serves the same exposition
+        assert!(server.metrics().contains("cej_queries_total"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn trace_verbs_render_the_span_tree_of_the_last_query() {
+        let mut server = Server::start(star_session(), ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // nothing traced on this connection yet is only an error when the
+        // global ring is also empty, which concurrent tests may not
+        // guarantee — so don't assert the empty case here
+        assert!(matches!(
+            client.request(FOUR_TABLE_QUERY).unwrap(),
+            Response::Ok(_)
+        ));
+        assert!(matches!(
+            client.request("RUN q").unwrap(),
+            Response::Rows { .. }
+        ));
+        let Response::Text(lines) = client.request("TRACE LAST").unwrap() else {
+            panic!("expected TEXT trace");
+        };
+        let text = lines.join("\n");
+        assert!(text.contains("label=\"RUN q\""), "{text}");
+        for span in [
+            "phase.rewrite",
+            "phase.order",
+            "phase.lower",
+            "phase.execute",
+        ] {
+            assert!(text.contains(span), "trace missing {span}:\n{text}");
+        }
+        assert!(text.contains("admission.wait"), "{text}");
+        assert!(text.contains("HashJoin"), "{text}");
+        // TRACE <id> answers the same tree; a bogus id answers ERR
+        let trace_id = lines[0]
+            .split_whitespace()
+            .nth(1)
+            .and_then(|t| t.parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("malformed trace header `{}`", lines[0]));
+        let Response::Text(by_id) = client.request(&format!("TRACE {trace_id}")).unwrap() else {
+            panic!("expected TEXT trace by id");
+        };
+        assert_eq!(lines, by_id);
+        assert!(matches!(
+            client.request("TRACE 18446744073709551614").unwrap(),
+            Response::Err(_)
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn apply_wakes_the_frame_flusher_without_waiting_for_an_idle_tick() {
+        let mut server = Server::start(star_session(), ServerConfig::default()).unwrap();
+        let wait = Duration::from_secs(10);
+        let mut subscriber = Client::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            subscriber
+                .request("PREPARE t QUERY orders EJOIN products ON note~title MODEL ft TOPK 1")
+                .unwrap(),
+            Response::Ok(_)
+        ));
+        let sub = sub_id(subscriber.request("SUBSCRIBE t").unwrap());
+
+        let mut applier = Client::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            applier
+                .request("APPLY orders APPEND 7|30|500|garden barbecue")
+                .unwrap(),
+            Response::Ok(_)
+        ));
+        let frame = subscriber.wait_delta(wait).unwrap().expect("delta frame");
+        assert_eq!(frame.subscription, sub);
+        // the flusher round that delivered it counted a wakeup
+        let Response::Ok(stats) = applier.request("STATS").unwrap() else {
+            panic!("expected stats");
+        };
+        let wakeups: u64 = stats
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix("frame_wakeups="))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no frame_wakeups in `{stats}`"));
+        assert!(wakeups >= 1, "{stats}");
         server.shutdown();
     }
 }

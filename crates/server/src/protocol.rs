@@ -8,6 +8,8 @@
 //! PING
 //! QUIT
 //! STATS
+//! METRICS
+//! TRACE (LAST | SLOW | <trace-id>)
 //! PREPARE <id> QUERY <table>
 //!         [JOIN <table> ON <ta>.<ca>=<tb>.<cb>]...
 //!         [EJOIN <table> ON <lcol>~<rcol> MODEL <model> (TOPK <k> | SIM <t>)]...
@@ -55,10 +57,22 @@
 //! END <fnv1a-64-checksum-hex>
 //! ```
 //!
-//! and text payloads (`EXPLAIN` / `ANALYZE`): `TEXT <n>` followed by `n`
-//! lines.  The `END` checksum covers the header and every row in order, so
-//! clients can assert byte-identical results across servers and thread
-//! counts without hashing themselves.
+//! and text payloads (`EXPLAIN` / `ANALYZE` / `METRICS` / `TRACE`):
+//! `TEXT <n>` followed by `n` lines.  The `END` checksum covers the header
+//! and every row in order, so clients can assert byte-identical results
+//! across servers and thread counts without hashing themselves.
+//!
+//! ## Observability verbs
+//!
+//! `METRICS` renders the server's unified metrics registry in Prometheus
+//! text exposition format (`# HELP`/`# TYPE` plus samples; histograms as
+//! cumulative `_bucket{le="…"}` series) — the scrape surface.  `TRACE LAST`
+//! renders the span tree of the last query traced *on this connection*
+//! (falling back to the most recent trace process-wide), `TRACE <id>`
+//! renders a specific trace by the id reported in slow-query entries, and
+//! `TRACE SLOW` lists the slow-query log (queries at or above
+//! `CEJ_SLOW_QUERY_MS`, traced even when sampling is off).  Tracing of
+//! served queries follows `CEJ_TRACE_SAMPLE` (default: every query).
 //!
 //! ## Incremental views on the wire
 //!
@@ -416,6 +430,24 @@ pub enum Command {
         /// Subscription id (as returned by `OK subscribed <sub>`).
         sub: u64,
     },
+    /// Render the metrics registry in Prometheus text exposition format.
+    Metrics,
+    /// Render a captured query trace (span tree) or the slow-query log.
+    Trace {
+        /// Which trace to render.
+        target: TraceTarget,
+    },
+}
+
+/// Target of a `TRACE` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceTarget {
+    /// The last trace captured on this connection (process-wide fallback).
+    Last,
+    /// The slow-query log.
+    Slow,
+    /// A specific trace by id.
+    Id(u64),
 }
 
 /// Splits `table.column` into its parts.
@@ -454,6 +486,18 @@ impl Command {
             "PING" => Ok(Command::Ping),
             "QUIT" => Ok(Command::Quit),
             "STATS" => Ok(Command::Stats),
+            "METRICS" => Ok(Command::Metrics),
+            "TRACE" => {
+                let [target] = rest else {
+                    return Err("TRACE takes LAST, SLOW, or a trace id".to_string());
+                };
+                let target = match *target {
+                    "LAST" => TraceTarget::Last,
+                    "SLOW" => TraceTarget::Slow,
+                    id => TraceTarget::Id(id.parse().map_err(|_| format!("bad trace id `{id}`"))?),
+                };
+                Ok(Command::Trace { target })
+            }
             "RUN" | "EXPLAIN" | "ANALYZE" => {
                 let [id] = rest else {
                     return Err(format!("{head} takes exactly one statement id"));
@@ -1085,6 +1129,32 @@ mod tests {
         assert!(Command::parse("RUN").is_err());
         assert!(Command::parse("").is_err());
         assert!(Command::parse("FROBNICATE x").is_err());
+    }
+
+    #[test]
+    fn parses_observability_verbs() {
+        assert_eq!(Command::parse("METRICS").unwrap(), Command::Metrics);
+        assert_eq!(
+            Command::parse("TRACE LAST").unwrap(),
+            Command::Trace {
+                target: TraceTarget::Last
+            }
+        );
+        assert_eq!(
+            Command::parse("TRACE SLOW").unwrap(),
+            Command::Trace {
+                target: TraceTarget::Slow
+            }
+        );
+        assert_eq!(
+            Command::parse("TRACE 42").unwrap(),
+            Command::Trace {
+                target: TraceTarget::Id(42)
+            }
+        );
+        assert!(Command::parse("TRACE").is_err());
+        assert!(Command::parse("TRACE banana").is_err());
+        assert!(Command::parse("TRACE LAST extra").is_err());
     }
 
     #[test]
